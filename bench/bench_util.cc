@@ -1,0 +1,113 @@
+#include "bench_util.h"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace ringdde::bench {
+
+std::unique_ptr<Env> BuildEnv(size_t n, std::unique_ptr<Distribution> dist,
+                              size_t items, uint64_t seed) {
+  auto env = std::make_unique<Env>();
+  env->net = std::make_unique<Network>();
+  RingOptions ropts;
+  ropts.seed = seed;
+  env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+  Status s = env->ring->CreateNetwork(n);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildEnv failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  env->dist = std::move(dist);
+  env->items = items;
+  Rng rng(seed ^ 0xDA7A);
+  env->ring->InsertDatasetBulk(
+      GenerateDataset(*env->dist, items, rng).keys);
+  return env;
+}
+
+DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed) {
+  DdeOptions opts = options;
+  opts.seed = seed;
+  DistributionFreeEstimator estimator(env.ring.get(), opts);
+  Rng rng(seed ^ 0x5EED);
+  Result<NodeAddr> querier = env.ring->RandomAliveNode(rng);
+  if (!querier.ok()) {
+    std::fprintf(stderr, "no alive querier\n");
+    std::abort();
+  }
+  Result<DensityEstimate> est = estimator.Estimate(*querier);
+  if (!est.ok()) {
+    std::fprintf(stderr, "estimate failed: %s\n",
+                 est.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*est);
+}
+
+RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
+                         uint64_t seed_base) {
+  RepeatedResult out;
+  std::vector<AccuracyReport> reports;
+  for (int r = 0; r < reps; ++r) {
+    const DensityEstimate e = RunDde(env, options, seed_base + r * 7919);
+    reports.push_back(CompareCdfToTruth(e.cdf, *env.dist));
+    out.mean_messages += static_cast<double>(e.cost.messages);
+    out.mean_hops += static_cast<double>(e.cost.hops);
+    out.mean_bytes += static_cast<double>(e.cost.bytes);
+    out.mean_peers += static_cast<double>(e.peers_probed);
+    const double n_true = static_cast<double>(env.ring->TotalItems());
+    if (n_true > 0) {
+      out.mean_total_error +=
+          std::abs(e.estimated_total_items - n_true) / n_true;
+    }
+  }
+  const double r = static_cast<double>(reps);
+  out.accuracy = MeanReport(reports);
+  out.mean_messages /= r;
+  out.mean_hops /= r;
+  out.mean_bytes /= r;
+  out.mean_peers /= r;
+  out.mean_total_error /= r;
+  return out;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::printf("# %s\n", title_.c_str());
+  // Column widths from header + cells.
+  std::vector<size_t> width(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), cells[c].c_str(),
+                  c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace ringdde::bench

@@ -1,0 +1,70 @@
+#ifndef RINGDDE_BENCH_BENCH_UTIL_H_
+#define RINGDDE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+#include "sim/network.h"
+#include "stats/metrics.h"
+
+namespace ringdde::bench {
+
+/// One simulated deployment: network fabric + overlay + workload truth.
+struct Env {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<ChordRing> ring;
+  std::unique_ptr<Distribution> dist;
+  size_t items = 0;
+};
+
+/// Builds an n-peer ring loaded with `items` draws from `dist`.
+std::unique_ptr<Env> BuildEnv(size_t n, std::unique_ptr<Distribution> dist,
+                              size_t items, uint64_t seed);
+
+/// Runs one DDE estimation from a random querier; returns the estimate.
+/// Aborts the process on failure (benchmarks run on healthy rings).
+DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed);
+
+/// Mean accuracy and cost of `reps` independent DDE runs.
+struct RepeatedResult {
+  AccuracyReport accuracy;
+  double mean_messages = 0.0;
+  double mean_hops = 0.0;
+  double mean_bytes = 0.0;
+  double mean_total_error = 0.0;  ///< mean |N̂ - N| / N
+  double mean_peers = 0.0;
+};
+
+RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
+                         uint64_t seed_base);
+
+/// Aligned table printer: emits a `# title` line, a header row, then rows,
+/// tab-separated (easy to grep/plot, readable in a terminal).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Adds one row; cells are pre-formatted strings.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints header + rows to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string Fmt(const char* fmt, ...);
+
+}  // namespace ringdde::bench
+
+#endif  // RINGDDE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,145 @@
+// E10 — Microbenchmarks of the core operations (google-benchmark).
+//
+// Throughput/latency of the building blocks: overlay lookups, local
+// summary computation, global CDF reconstruction, inversion sampling,
+// GK sketch maintenance, and KDE evaluation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/global_cdf.h"
+#include "core/inversion_sampler.h"
+#include "core/probe.h"
+#include "stats/gk_sketch.h"
+#include "stats/kde.h"
+
+namespace ringdde::bench {
+namespace {
+
+void BM_ChordLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto env = BuildEnv(n, std::make_unique<UniformDistribution>(), 0, 1);
+  Rng rng(2);
+  const auto addrs = env->ring->AliveAddrs();
+  for (auto _ : state) {
+    const NodeAddr from = addrs[rng.UniformU64(addrs.size())];
+    auto owner = env->ring->Lookup(from, RingId(rng.NextU64()));
+    benchmark::DoNotOptimize(owner);
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_ProbeWithSummary(benchmark::State& state) {
+  auto env =
+      BuildEnv(4096, std::make_unique<ZipfDistribution>(1000, 0.9), 200000,
+               3);
+  CdfProber prober(env->ring.get());
+  Rng rng(4);
+  const NodeAddr q = env->ring->AliveAddrs()[0];
+  for (auto _ : state) {
+    auto s = prober.Probe(q, RingId(rng.NextU64()));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ProbeWithSummary);
+
+void BM_ReconstructGlobalCdf(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto env =
+      BuildEnv(4096, std::make_unique<ZipfDistribution>(1000, 0.9), 200000,
+               5);
+  CdfProber prober(env->ring.get());
+  Rng rng(6);
+  std::vector<LocalSummary> summaries;
+  prober.ProbeUniform(env->ring->AliveAddrs()[0], m, rng, &summaries);
+  for (auto _ : state) {
+    auto r = ReconstructGlobalCdf(summaries);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(summaries.size()));
+}
+BENCHMARK(BM_ReconstructGlobalCdf)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FullEstimation(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  auto env =
+      BuildEnv(4096, std::make_unique<ZipfDistribution>(1000, 0.9), 200000,
+               7);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    DdeOptions opts;
+    opts.num_probes = m;
+    const DensityEstimate e = RunDde(*env, opts, seed++);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_FullEstimation)->Arg(64)->Arg(256);
+
+void BM_InversionSampling(benchmark::State& state) {
+  auto env =
+      BuildEnv(1024, std::make_unique<ZipfDistribution>(1000, 0.9), 100000,
+               8);
+  DdeOptions opts;
+  opts.num_probes = 256;
+  const DensityEstimate e = RunDde(*env, opts, 9);
+  InversionSampler sampler(&e.cdf);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_InversionSampling);
+
+void BM_GkSketchAdd(benchmark::State& state) {
+  Rng rng(11);
+  GkSketch sketch(0.01);
+  for (auto _ : state) {
+    sketch.Add(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkSketchAdd);
+
+void BM_GkSketchQuantile(benchmark::State& state) {
+  Rng rng(12);
+  GkSketch sketch(0.01);
+  for (int i = 0; i < 100000; ++i) sketch.Add(rng.UniformDouble());
+  double p = 0.0;
+  for (auto _ : state) {
+    p += 0.1;
+    if (p > 1.0) p = 0.05;
+    benchmark::DoNotOptimize(sketch.Quantile(p));
+  }
+}
+BENCHMARK(BM_GkSketchQuantile);
+
+void BM_KdePdf(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 1024; ++i) xs.push_back(rng.UniformDouble());
+  auto kde = KernelDensityEstimator::Build(xs, KernelType::kEpanechnikov);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 1.0) x = 0.0;
+    benchmark::DoNotOptimize(kde->Pdf(x));
+  }
+}
+BENCHMARK(BM_KdePdf);
+
+void BM_NodeJoin(benchmark::State& state) {
+  auto env =
+      BuildEnv(1024, std::make_unique<UniformDistribution>(), 100000, 14);
+  for (auto _ : state) {
+    auto fresh = env->ring->Join(env->ring->AliveAddrs()[0]);
+    benchmark::DoNotOptimize(fresh);
+  }
+}
+BENCHMARK(BM_NodeJoin);
+
+}  // namespace
+}  // namespace ringdde::bench
+
+BENCHMARK_MAIN();

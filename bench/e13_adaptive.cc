@@ -1,0 +1,60 @@
+// E13 — Self-tuning probe budget (extension experiment).
+//
+// The fixed-m estimator needs its budget chosen per deployment; the
+// adaptive variant probes in blended batches until consecutive
+// reconstructions agree. This table shows it spending its budget where the
+// data is hard: roughly the same accuracy everywhere, with the message
+// bill scaling with the workload's difficulty instead of a worst-case m.
+#include <memory>
+
+#include "bench_util.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kPeers = 2048;
+constexpr size_t kItems = 200000;
+
+void Run() {
+  Table table(Fmt("E13 adaptive vs fixed budget — n=%zu, N=%zu, "
+                  "tolerance=0.01",
+                  kPeers, kItems),
+              {"workload", "mode", "ks", "messages", "peers"});
+  for (auto& dist : StandardBenchmarkDistributions()) {
+    const std::string name = dist->Name();
+    auto env = BuildEnv(kPeers, std::move(dist), kItems, 501);
+    {
+      DdeOptions opts;
+      opts.num_probes = 256;
+      opts.seed = 61;
+      const DensityEstimate e = RunDde(*env, opts, 61);
+      table.AddRow({name, "fixed m=256",
+                    Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
+                    Fmt("%llu", (unsigned long long)e.cost.messages),
+                    Fmt("%zu", e.peers_probed)});
+    }
+    {
+      DdeOptions opts;
+      opts.seed = 62;
+      DistributionFreeEstimator est(env->ring.get(), opts);
+      Rng rng(63);
+      AdaptiveOptions aopts;
+      auto e = est.EstimateAdaptive(*env->ring->RandomAliveNode(rng),
+                                    aopts);
+      if (!e.ok()) continue;
+      table.AddRow({name, "adaptive",
+                    Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
+                    Fmt("%llu", (unsigned long long)e->cost.messages),
+                    Fmt("%zu", e->peers_probed)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E15 — Robustness against lying probe responders (extension).
+//
+// A fraction of peers inflate their reported item counts 50x (e.g. to
+// attract query traffic or poison a load balancer). Sweep the Byzantine
+// fraction and compare plain reconstruction against density-winsorized
+// reconstruction (ReconstructionOptions::density_winsor_fraction). The
+// flip side — a genuine hotspot flattened by winsorization — is measured
+// in ByzantineTest.GenuineSpikesAreTheCost.
+#include <memory>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "core/global_cdf.h"
+#include "core/probe.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kPeers = 2048;
+constexpr size_t kItems = 200000;
+constexpr size_t kProbes = 256;
+
+void Run() {
+  Table table(Fmt("E15 lying responders (50x count inflation) — n=%zu, "
+                  "N=%zu, m=%zu, Normal(0.5,0.15)",
+                  kPeers, kItems, kProbes),
+              {"byzantine_frac", "plain_ks", "plain_total_err",
+               "winsor_ks", "winsor_total_err"});
+
+  for (double frac : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    auto env = BuildEnv(
+        kPeers, std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+        kItems, 601);
+    // Choose the liars.
+    Rng brng(7);
+    std::unordered_set<NodeAddr> liars;
+    const auto addrs = env->ring->AliveAddrs();
+    for (NodeAddr a : addrs) {
+      if (brng.Bernoulli(frac)) liars.insert(a);
+    }
+    // Collect probe responses, corrupting the liars' counts.
+    CdfProber prober(env->ring.get());
+    Rng prng(11);
+    std::vector<LocalSummary> summaries;
+    prober.ProbeUniform(*env->ring->RandomAliveNode(prng), kProbes, prng,
+                        &summaries);
+    for (LocalSummary& s : summaries) {
+      if (liars.contains(s.addr)) s.item_count *= 50;
+    }
+
+    auto evaluate = [&](const ReconstructionOptions& opts, double* ks,
+                        double* total_err) {
+      auto r = ReconstructGlobalCdf(summaries, opts);
+      if (!r.ok()) {
+        *ks = 1.0;
+        *total_err = 1.0;
+        return;
+      }
+      *ks = CompareCdfToTruth(r->cdf, *env->dist).ks;
+      *total_err = std::abs(r->estimated_total - double(kItems)) / kItems;
+    };
+    double pk, pe, wk, we;
+    evaluate({}, &pk, &pe);
+    ReconstructionOptions robust;
+    robust.density_winsor_fraction = 0.05;
+    evaluate(robust, &wk, &we);
+    table.AddRow({Fmt("%.2f", frac), Fmt("%.4f", pk), Fmt("%.3f", pe),
+                  Fmt("%.4f", wk), Fmt("%.3f", we)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E2 — Scalability: accuracy versus network size.
+//
+// Two regimes: (a) fixed absolute budget m=256 — error stays roughly flat
+// as n grows because accuracy is governed by the number of CDF sample
+// points, not by n; (b) fixed sampling RATIO m=n/16 — error improves with
+// n. Message cost grows only logarithmically per probe (hops column).
+#include "bench_util.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kItems = 200000;
+constexpr int kReps = 3;
+
+void Run() {
+  Table fixed_m("E2a accuracy vs network size — fixed budget m=256, "
+                "Zipf(1000,0.9), N=200000",
+                {"n", "ks", "l1_cdf", "msgs", "hops_per_probe",
+                 "total_err"});
+  Table ratio_m("E2b accuracy vs network size — fixed ratio m=n/16",
+                {"n", "m", "ks", "l1_cdf", "msgs"});
+
+  for (size_t n : {256, 512, 1024, 2048, 4096, 8192, 16384}) {
+    auto env = BuildEnv(n, std::make_unique<ZipfDistribution>(1000, 0.9),
+                        kItems, 23 + n);
+    {
+      DdeOptions opts;
+      opts.num_probes = 256;
+      const RepeatedResult r = RepeatDde(*env, opts, kReps, n);
+      fixed_m.AddRow({Fmt("%zu", n), Fmt("%.4f", r.accuracy.ks),
+                      Fmt("%.4f", r.accuracy.l1_cdf),
+                      Fmt("%.0f", r.mean_messages),
+                      Fmt("%.2f", r.mean_hops / 256.0),
+                      Fmt("%.3f", r.mean_total_error)});
+    }
+    {
+      DdeOptions opts;
+      opts.num_probes = std::max<size_t>(n / 16, 8);
+      const RepeatedResult r = RepeatDde(*env, opts, kReps, n * 3);
+      ratio_m.AddRow({Fmt("%zu", n), Fmt("%zu", opts.num_probes),
+                      Fmt("%.4f", r.accuracy.ks),
+                      Fmt("%.4f", r.accuracy.l1_cdf),
+                      Fmt("%.0f", r.mean_messages)});
+    }
+  }
+  fixed_m.Print();
+  ratio_m.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

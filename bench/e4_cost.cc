@@ -1,0 +1,155 @@
+// E4 — Estimation cost: messages / hops / bytes per method.
+//
+// The cost side of the accuracy/cost trade-off. Expected shape: DDE pays
+// O(m log n) messages; random walks pay an order of magnitude more for
+// comparable sample counts; gossip pays n messages PER ROUND (but serves
+// every peer); the finger-tree convergecast pays ~2n for an exact answer.
+#include <memory>
+
+#include "baselines/gossip_histogram.h"
+#include "baselines/random_walk_sampler.h"
+#include "baselines/tree_aggregation.h"
+#include "baselines/uniform_peer_sampler.h"
+#include "bench_util.h"
+#include "core/theory.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kPeers = 4096;
+constexpr size_t kItems = 200000;
+
+void Run() {
+  auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      kItems, 71);
+  Rng rng(5);
+  const NodeAddr q = *env->ring->RandomAliveNode(rng);
+
+  Table table(Fmt("E4 cost per method — n=%zu, Zipf(1000,0.9), N=%zu",
+                  kPeers, kItems),
+              {"method", "ks", "messages", "hops", "kbytes",
+               "serves"});
+
+  {
+    DdeOptions opts;
+    opts.num_probes = 256;
+    const DensityEstimate e = RunDde(*env, opts, 101);
+    table.AddRow({"DDE m=256", Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)e.cost.messages),
+                  Fmt("%llu", (unsigned long long)e.cost.hops),
+                  Fmt("%.1f", e.cost.bytes / 1024.0), "1 querier"});
+  }
+  {
+    DdeOptions opts;
+    opts.num_probes = 1024;
+    const DensityEstimate e = RunDde(*env, opts, 103);
+    table.AddRow({"DDE m=1024", Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)e.cost.messages),
+                  Fmt("%llu", (unsigned long long)e.cost.hops),
+                  Fmt("%.1f", e.cost.bytes / 1024.0), "1 querier"});
+  }
+  {
+    UniformPeerSamplerOptions o;
+    o.num_peers = 256;
+    auto e = UniformPeerSampler(env->ring.get(), o).Estimate(q);
+    table.AddRow({"B1 peers=256",
+                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)e->cost.messages),
+                  Fmt("%llu", (unsigned long long)e->cost.hops),
+                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
+  }
+  {
+    RandomWalkSamplerOptions o;
+    o.num_samples = 256;
+    auto e = RandomWalkSampler(env->ring.get(), o).Estimate(q);
+    table.AddRow({"B2 walks=256",
+                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)e->cost.messages),
+                  Fmt("%llu", (unsigned long long)e->cost.hops),
+                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
+  }
+  {
+    GossipHistogramAggregator gossip(env->ring.get());
+    gossip.Initialize();
+    CostScope scope(env->net->counters());
+    for (int r = 0; r < 30; ++r) gossip.Step();
+    Rng grng(9);
+    auto cdf = gossip.EstimateAtPeer(q);
+    const CostCounters c = scope.Delta();
+    table.AddRow({"B3 gossip r=30",
+                  Fmt("%.4f", CompareCdfToTruth(*cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)c.messages),
+                  Fmt("%llu", (unsigned long long)c.hops),
+                  Fmt("%.1f", c.bytes / 1024.0), "ALL peers"});
+  }
+  {
+    // 512 bins so the "exact" anchor is not limited by bin resolution on
+    // this heavily skewed workload (gossip above keeps the deployable
+    // 64-bin payload and pays for it in within-bin error).
+    TreeAggregationOptions topts;
+    topts.bins = 512;
+    TreeAggregator tree(env->ring.get(), topts);
+    auto e = tree.Estimate(q);
+    table.AddRow({"B4 tree exact",
+                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
+                  Fmt("%llu", (unsigned long long)e->cost.messages),
+                  Fmt("%llu", (unsigned long long)e->cost.hops),
+                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
+  }
+  table.Print();
+
+  // Cost scaling of DDE itself, against the analytic prediction.
+  Table scaling("E4b DDE cost scaling vs theory (messages per run)",
+                {"n", "m", "measured", "theory_2mE[hops]+2m"});
+  for (size_t n : {1024, 4096, 16384}) {
+    auto env2 = BuildEnv(n, std::make_unique<UniformDistribution>(), 50000,
+                         n + 7);
+    for (size_t m : {64, 256}) {
+      DdeOptions opts;
+      opts.num_probes = m;
+      const RepeatedResult r = RepeatDde(*env2, opts, 3, n + m);
+      scaling.AddRow({Fmt("%zu", n), Fmt("%zu", m),
+                      Fmt("%.0f", r.mean_messages),
+                      Fmt("%.0f", ExpectedEstimationMessages(m, n))});
+    }
+  }
+  scaling.Print();
+
+  // Lossy channels: reliable delivery inflates cost by ~1/(1-p) but leaves
+  // accuracy untouched.
+  Table lossy("E4c DDE under packet loss — n=1024, m=256",
+              {"loss_p", "ks", "messages", "lost", "mean_latency_ms"});
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    NetworkOptions nopts;
+    nopts.loss_probability = p;
+    nopts.seed = 77;
+    auto net3 = std::make_unique<Network>(nopts);
+    ChordRing ring3(net3.get());
+    if (!ring3.CreateNetwork(1024).ok()) return;
+    Rng lrng(5);
+    auto dist3 = std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
+    ring3.InsertDatasetBulk(GenerateDataset(*dist3, 100000, lrng).keys);
+    DdeOptions opts;
+    opts.num_probes = 256;
+    opts.seed = 81;
+    DistributionFreeEstimator est3(&ring3, opts);
+    auto e = est3.Estimate(*ring3.RandomAliveNode(lrng));
+    if (!e.ok()) continue;
+    lossy.AddRow(
+        {Fmt("%.2f", p), Fmt("%.4f", CompareCdfToTruth(e->cdf, *dist3).ks),
+         Fmt("%llu", (unsigned long long)e->cost.messages),
+         Fmt("%llu", (unsigned long long)net3->lost_messages()),
+         Fmt("%.1f", e->cost.messages > 0
+                         ? 1000.0 * e->cost.latency_sum / e->cost.messages
+                         : 0.0)});
+  }
+  lossy.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E7 — Gossip convergence versus one-shot DDE at equal message budget.
+//
+// Push-sum converges exponentially in rounds, but every round costs n
+// messages. The table shows per-round gossip error alongside what DDE
+// achieves if handed the same CUMULATIVE message budget as probes. Shape:
+// for a single querier DDE reaches low error with a fraction of one gossip
+// round's traffic; gossip only amortizes when all n peers need estimates.
+#include <cmath>
+#include <memory>
+
+#include "baselines/gossip_histogram.h"
+#include "bench_util.h"
+#include "core/dissemination.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kPeers = 1024;
+constexpr size_t kItems = 100000;
+
+void Run() {
+  auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      kItems, 171);
+  GossipHistogramAggregator gossip(env->ring.get());
+  gossip.Initialize();
+
+  Table table(Fmt("E7 gossip convergence vs DDE — n=%zu, Zipf(1000,0.9)",
+                  kPeers),
+              {"round", "gossip_mean_ks", "cum_msgs",
+               "dde_ks_at_same_msgs", "dde_m"});
+
+  Rng rng(3);
+  uint64_t cum_msgs = 0;
+  // Average hops per lookup ~ 0.5 log2 n; messages per probe ~ 2 hops + 2.
+  const double per_probe = std::log2(double(kPeers)) + 2.0;
+  for (int round = 0; round <= 12; ++round) {
+    if (round > 0) cum_msgs += gossip.Step();
+    const double gks = gossip.MeanDisagreement(64, rng);
+
+    std::string dde_ks = "-";
+    std::string dde_m = "-";
+    if (cum_msgs > 0) {
+      const size_t m = std::max<size_t>(
+          4, static_cast<size_t>(double(cum_msgs) / per_probe));
+      DdeOptions opts;
+      opts.num_probes = std::min<size_t>(m, 4096);
+      const RepeatedResult r = RepeatDde(*env, opts, 2, 700 + round);
+      dde_ks = Fmt("%.4f", r.accuracy.ks);
+      dde_m = Fmt("%zu", opts.num_probes);
+    }
+    table.AddRow({Fmt("%d", round), Fmt("%.4f", gks),
+                  Fmt("%llu", (unsigned long long)cum_msgs), dde_ks,
+                  dde_m});
+  }
+  table.Print();
+
+  // Serving ALL peers: probe once + broadcast the estimate over the finger
+  // tree versus gossiping until convergence.
+  Table all_peers(Fmt("E7b serve-every-peer strategies — n=%zu", kPeers),
+                  {"strategy", "peer_mean_ks", "holders", "total_msgs",
+                   "total_MB"});
+  for (size_t shipped_knots : {size_t{0}, size_t{128}}) {
+    CostScope scope(env->net->counters());
+    DdeOptions opts;
+    opts.num_probes = 256;
+    DensityEstimate e = RunDde(*env, opts, 909);
+    std::string label = "DDE m=256 + broadcast (full)";
+    if (shipped_knots > 0) {
+      // Downsample the CDF before shipping: ~1/knots CDF error for a
+      // fraction of the bytes.
+      e.cdf = e.cdf.Resampled(shipped_knots);
+      label = Fmt("DDE m=256 + broadcast (%zu knots)", shipped_knots);
+    }
+    EstimateDisseminator diss(env->ring.get());
+    Rng drng(11);
+    auto holders = diss.Broadcast(*env->ring->RandomAliveNode(drng), e);
+    const CostCounters c = scope.Delta();
+    all_peers.AddRow(
+        {label, Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
+         Fmt("%zu", holders.value_or(0)),
+         Fmt("%llu", (unsigned long long)c.messages),
+         Fmt("%.1f", c.bytes / (1024.0 * 1024.0))});
+  }
+  {
+    GossipHistogramAggregator gossip2(env->ring.get());
+    gossip2.Initialize();
+    CostScope scope(env->net->counters());
+    for (int r = 0; r < 40; ++r) gossip2.Step();
+    Rng grng(12);
+    const CostCounters c = scope.Delta();
+    all_peers.AddRow({"gossip 40 rounds",
+                      Fmt("%.4f", gossip2.MeanDisagreement(64, grng)),
+                      Fmt("%zu", env->ring->AliveCount()),
+                      Fmt("%llu", (unsigned long long)c.messages),
+                      Fmt("%.1f", c.bytes / (1024.0 * 1024.0))});
+  }
+  all_peers.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E9 — Application: load-balancing analysis.
+//
+// A peer predicts the whole network's storage-load distribution from its
+// density estimate plus the membership's arcs (no load collection). Rows
+// compare predicted vs exact imbalance statistics, and the equi-depth
+// partition advisor's quality against naive equal-width splits.
+#include <memory>
+
+#include "apps/equidepth_partitioner.h"
+#include "apps/load_balance.h"
+#include "bench_util.h"
+
+namespace ringdde::bench {
+namespace {
+
+constexpr size_t kPeers = 2048;
+constexpr size_t kItems = 200000;
+
+void Run() {
+  Table table(Fmt("E9a predicted vs exact load balance — n=%zu, N=%zu, "
+                  "m=256",
+                  kPeers, kItems),
+              {"workload", "gini_exact", "gini_pred", "max/avg_exact",
+               "max/avg_pred", "per_peer_err"});
+
+  for (auto& dist : StandardBenchmarkDistributions()) {
+    const std::string name = dist->Name();
+    auto env = BuildEnv(kPeers, std::move(dist), kItems, 201);
+    DdeOptions opts;
+    opts.num_probes = 256;
+    const DensityEstimate e = RunDde(*env, opts, 501);
+    const LoadBalanceReport exact = ExactLoadBalance(*env->ring);
+    const LoadBalanceReport pred =
+        PredictLoadBalance(*env->ring, e.cdf, e.estimated_total_items);
+    table.AddRow(
+        {name, Fmt("%.3f", exact.gini), Fmt("%.3f", pred.gini),
+         Fmt("%.2f", exact.max_over_avg), Fmt("%.2f", pred.max_over_avg),
+         Fmt("%.3f", MeanLoadPredictionError(*env->ring, e.cdf,
+                                             e.estimated_total_items))});
+  }
+  table.Print();
+
+  Table table2(
+      "E9b equi-depth partition advisor — 16 partitions, ideal share "
+      "0.0625, m=256",
+      {"workload", "dde_max_share", "dde_imbalance", "equalwidth_max_share",
+       "equalwidth_imbalance"});
+  for (auto& dist : StandardBenchmarkDistributions()) {
+    const std::string name = dist->Name();
+    auto env = BuildEnv(kPeers, std::move(dist), kItems, 211);
+    DdeOptions opts;
+    opts.num_probes = 256;
+    const DensityEstimate e = RunDde(*env, opts, 601);
+    const auto bounds = ProposePartitionBoundaries(e.cdf, 16);
+    const PartitionQuality dde_q =
+        EvaluatePartitionShares(MeasurePartitionShares(*env->ring, bounds));
+    std::vector<double> naive;
+    for (int i = 1; i < 16; ++i) naive.push_back(i / 16.0);
+    const PartitionQuality naive_q = EvaluatePartitionShares(
+        MeasurePartitionShares(*env->ring, naive));
+    table2.AddRow({name, Fmt("%.4f", dde_q.max_share),
+                   Fmt("%.2f", dde_q.imbalance),
+                   Fmt("%.4f", naive_q.max_share),
+                   Fmt("%.2f", naive_q.imbalance)});
+  }
+  table2.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::Run();
+  return 0;
+}

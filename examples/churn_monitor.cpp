@@ -1,0 +1,72 @@
+// Churn monitor: keeping a live density estimate in a network that never
+// sits still.
+//
+// Scenario: 512 peers churn with 10-minute mean sessions while the data
+// itself shifts (a hotspot migrates across the domain). A monitor peer
+// maintains a fresh estimate with incremental refreshes and reports the
+// drift it observes — e.g. feeding an auto-partitioner or a dashboard.
+#include <cstdio>
+
+#include "core/maintenance.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/churn.h"
+#include "ring/chord_ring.h"
+#include "sim/network.h"
+
+using namespace ringdde;
+
+int main() {
+  Network network;
+  ChordRing ring(&network);
+  if (!ring.CreateNetwork(512).ok()) return 1;
+
+  Rng rng(13);
+  // Initial data: hotspot on the left.
+  TruncatedNormalDistribution initial(0.25, 0.07);
+  ring.InsertDatasetBulk(GenerateDataset(initial, 60000, rng).keys);
+
+  // The network churns: exponential sessions, half graceful departures.
+  ChurnOptions churn_options;
+  churn_options.mean_session_seconds = 600.0;
+  churn_options.stabilize_interval_seconds = 30.0;
+  ChurnProcess churn(&ring, churn_options);
+  churn.Start();
+
+  // The monitor refreshes a quarter of its probe pool every 30 seconds.
+  DdeOptions dde_options;
+  dde_options.num_probes = 192;
+  MaintenanceOptions m_options;
+  m_options.refresh_period_seconds = 30.0;
+  m_options.incremental = true;
+  m_options.incremental_fraction = 0.25;
+  EstimateMaintainer monitor(&ring, dde_options, m_options);
+  if (!monitor.Start(*ring.RandomAliveNode(rng)).ok()) return 1;
+
+  std::printf("%8s %8s %9s %9s %10s %10s %8s\n", "t(s)", "peers",
+              "median", "F(0.5)", "N_est", "churned", "refresh");
+  for (int minute = 1; minute <= 20; ++minute) {
+    network.events().RunUntil(minute * 60.0);
+    // At t=10min the workload shifts: a new hotspot grows on the right.
+    if (minute == 10) {
+      TruncatedNormalDistribution shifted(0.8, 0.05);
+      ring.InsertDatasetBulk(GenerateDataset(shifted, 90000, rng).keys);
+      std::printf("-- data shift: 90k new items arrive around 0.8 --\n");
+    }
+    if (!monitor.current().has_value()) continue;
+    const DensityEstimate& e = *monitor.current();
+    std::printf("%8d %8zu %9.3f %9.3f %10.0f %10llu %8llu\n", minute * 60,
+                ring.AliveCount(), e.Quantile(0.5), e.Cdf(0.5),
+                e.estimated_total_items,
+                (unsigned long long)(churn.joins() + churn.leaves() +
+                                     churn.crashes()),
+                (unsigned long long)monitor.refreshes());
+  }
+
+  std::printf("\nfinal staleness: %.0fs; failed refreshes: %llu\n",
+              monitor.StalenessSeconds(),
+              (unsigned long long)monitor.failed_refreshes());
+  std::printf("The median drifting from ~0.25 toward ~0.8 after the shift "
+              "is the estimate tracking live data through churn.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Selectivity demo: a P2P query optimizer estimating range-predicate
+// selectivities from one density estimate.
+//
+// Scenario: a 2048-peer ring stores 200k order timestamps (normalized to
+// [0,1)) that pile up around two daily rush hours. A peer planning a
+// distributed range query wants to know how many items a predicate covers
+// BEFORE shipping it, to choose between scanning and index dives.
+#include <cstdio>
+
+#include "apps/selectivity.h"
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+#include "sim/network.h"
+
+using namespace ringdde;
+
+int main() {
+  Network network;
+  ChordRing ring(&network);
+  if (!ring.CreateNetwork(2048).ok()) return 1;
+
+  // "Order timestamps": two rush-hour modes plus a uniform trickle.
+  GaussianMixtureDistribution workload(
+      {{0.45, 0.35, 0.04}, {0.35, 0.72, 0.05}, {0.20, 0.5, 0.28}},
+      "RushHours");
+  Rng rng(7);
+  ring.InsertDatasetBulk(GenerateDataset(workload, 200000, rng).keys);
+
+  // Estimate once...
+  DdeOptions options;
+  options.num_probes = 256;
+  DistributionFreeEstimator estimator(&ring, options);
+  auto estimate = estimator.Estimate(*ring.RandomAliveNode(rng));
+  if (!estimate.ok()) return 1;
+  std::printf("estimation cost: %llu messages, %zu peers probed\n\n",
+              (unsigned long long)estimate->cost.messages,
+              estimate->peers_probed);
+
+  // ...then answer any number of selectivity questions for free.
+  SelectivityEstimator sel(&estimate->cdf);
+  std::printf("%-22s %10s %10s %10s\n", "predicate", "est_rows", "true_rows",
+              "rel_err");
+  const double total = estimate->estimated_total_items;
+  struct Query {
+    const char* label;
+    double lo, hi;
+  };
+  for (const Query& q : {Query{"morning rush [.30,.40]", 0.30, 0.40},
+                         Query{"evening rush [.68,.78]", 0.68, 0.78},
+                         Query{"midday lull  [.45,.55]", 0.45, 0.55},
+                         Query{"night        [.90,1.0]", 0.90, 1.00},
+                         Query{"first half   [0,.50]", 0.00, 0.50},
+                         Query{"narrow spike [.35,.36]", 0.35, 0.36}}) {
+    const double est = sel.EstimateCount(q.lo, q.hi, total);
+    const double exact =
+        ExactSelectivity(ring, q.lo, q.hi) * (double)ring.TotalItems();
+    const double rel =
+        exact > 0 ? std::abs(est - exact) / exact : std::abs(est);
+    std::printf("%-22s %10.0f %10.0f %9.1f%%\n", q.label, est, exact,
+                rel * 100.0);
+  }
+
+  // Aggregate quality over a synthetic query log.
+  Rng wrng(99);
+  const auto queries = GenerateRangeQueries(1000, 0.08, wrng);
+  const SelectivityEvalResult r =
+      EvaluateSelectivity(estimate->cdf, ring, queries);
+  std::printf("\n1000-query workload: mean |err| = %.4f, p95 = %.4f\n",
+              r.mean_abs_error, r.p95_abs_error);
+  return 0;
+}

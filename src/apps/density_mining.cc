@@ -1,0 +1,148 @@
+#include "apps/density_mining.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/inversion_sampler.h"
+#include "stats/kde.h"
+
+namespace ringdde {
+
+std::string DensityMode::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mode@%.3f span=[%.3f,%.3f] mass=%.3f peak=%.2f", center, lo,
+                hi, mass, peak_density);
+  return std::string(buf);
+}
+
+Result<std::vector<DensityMode>> DetectModes(
+    const DensityEstimate& estimate, const ModeDetectionOptions& options) {
+  if (options.grid < 8) {
+    return Status::InvalidArgument("grid too coarse for mode detection");
+  }
+  // Smooth: KDE over stratified inversion samples of the estimate.
+  InversionSampler sampler(&estimate.cdf);
+  Rng rng(0x40DE5);  // fixed seed: deterministic mining
+  Result<KernelDensityEstimator> kde = KernelDensityEstimator::Build(
+      sampler.SampleStratified(options.sample_count, rng),
+      KernelType::kGaussian, options.bandwidth);
+  if (!kde.ok()) return kde.status();
+
+  // Scan the smoothed density.
+  const int g = options.grid;
+  std::vector<double> pdf(static_cast<size_t>(g) + 1);
+  for (int i = 0; i <= g; ++i) {
+    pdf[static_cast<size_t>(i)] =
+        kde->Pdf(static_cast<double>(i) / static_cast<double>(g));
+  }
+
+  // Peaks: strict local maxima (plateaus take their left edge); the domain
+  // edges count when the density slopes away from them.
+  std::vector<int> peaks;
+  for (int i = 0; i <= g; ++i) {
+    const double left = i > 0 ? pdf[i - 1] : -1.0;
+    const double right = i < g ? pdf[i + 1] : -1.0;
+    if (pdf[static_cast<size_t>(i)] > left &&
+        pdf[static_cast<size_t>(i)] >= right) {
+      peaks.push_back(i);
+    }
+  }
+  if (peaks.empty()) peaks.push_back(g / 2);  // flat density: one segment
+
+  // Valleys: the minimum between consecutive peaks cuts the domain.
+  std::vector<double> cuts{0.0};
+  for (size_t p = 0; p + 1 < peaks.size(); ++p) {
+    int argmin = peaks[p];
+    for (int i = peaks[p]; i <= peaks[p + 1]; ++i) {
+      if (pdf[static_cast<size_t>(i)] < pdf[static_cast<size_t>(argmin)]) {
+        argmin = i;
+      }
+    }
+    cuts.push_back(static_cast<double>(argmin) / g);
+  }
+  cuts.push_back(1.0);
+
+  // Assemble modes and merge sub-threshold bumps into the neighbor across
+  // their LOWER valley (so noise attaches to the structure it leaks from).
+  std::vector<DensityMode> modes;
+  for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+    DensityMode m;
+    m.lo = cuts[s];
+    m.hi = cuts[s + 1];
+    m.center = static_cast<double>(peaks[s]) / g;
+    m.peak_density = pdf[static_cast<size_t>(peaks[s])];
+    m.mass = estimate.cdf.Evaluate(m.hi) - estimate.cdf.Evaluate(m.lo);
+    modes.push_back(m);
+  }
+  bool merged = true;
+  while (merged && modes.size() > 1) {
+    merged = false;
+    for (size_t i = 0; i < modes.size(); ++i) {
+      if (modes[i].mass >= options.min_mass) continue;
+      // Merge into the neighbor with the higher shared valley density.
+      size_t target;
+      if (i == 0) {
+        target = 1;
+      } else if (i + 1 == modes.size()) {
+        target = i - 1;
+      } else {
+        const double left_valley =
+            kde->Pdf(modes[i].lo);  // shared with modes[i-1]
+        const double right_valley = kde->Pdf(modes[i].hi);
+        target = left_valley >= right_valley ? i - 1 : i + 1;
+      }
+      DensityMode& t = modes[target];
+      t.lo = std::min(t.lo, modes[i].lo);
+      t.hi = std::max(t.hi, modes[i].hi);
+      t.mass += modes[i].mass;
+      if (modes[i].peak_density > t.peak_density) {
+        t.peak_density = modes[i].peak_density;
+        t.center = modes[i].center;
+      }
+      modes.erase(modes.begin() + static_cast<ptrdiff_t>(i));
+      merged = true;
+      break;
+    }
+  }
+
+  std::sort(modes.begin(), modes.end(),
+            [](const DensityMode& a, const DensityMode& b) {
+              return a.mass > b.mass;
+            });
+  return modes;
+}
+
+std::vector<RangeMass> HeaviestRanges(const PiecewiseLinearCdf& cdf,
+                                      double width, size_t k, int grid) {
+  std::vector<RangeMass> candidates;
+  candidates.reserve(static_cast<size_t>(grid) + 1);
+  for (int i = 0; i <= grid; ++i) {
+    const double lo = static_cast<double>(i) / grid * (1.0 - width);
+    RangeMass r;
+    r.lo = lo;
+    r.hi = lo + width;
+    r.mass = cdf.Evaluate(r.hi) - cdf.Evaluate(r.lo);
+    candidates.push_back(r);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RangeMass& a, const RangeMass& b) {
+              return a.mass > b.mass;
+            });
+  std::vector<RangeMass> picked;
+  for (const RangeMass& c : candidates) {
+    if (picked.size() >= k) break;
+    bool overlaps = false;
+    for (const RangeMass& p : picked) {
+      if (c.lo < p.hi && p.lo < c.hi) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) picked.push_back(c);
+  }
+  return picked;
+}
+
+}  // namespace ringdde

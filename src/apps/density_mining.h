@@ -1,0 +1,66 @@
+#ifndef RINGDDE_APPS_DENSITY_MINING_H_
+#define RINGDDE_APPS_DENSITY_MINING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Application 4: data mining on the estimated density (the third use case
+/// the paper's abstract motivates). Everything here is network-free: one
+/// density estimate in, structure out.
+
+/// A detected density mode (cluster of keys).
+struct DensityMode {
+  double center = 0.0;        ///< location of the density peak
+  double lo = 0.0;            ///< left valley bounding the mode
+  double hi = 0.0;            ///< right valley bounding the mode
+  double mass = 0.0;          ///< estimated probability mass in [lo, hi]
+  double peak_density = 0.0;  ///< smoothed density at the peak
+
+  std::string ToString() const;
+};
+
+struct ModeDetectionOptions {
+  /// Inversion samples drawn from the estimate for KDE smoothing.
+  size_t sample_count = 2048;
+
+  /// KDE bandwidth; <= 0 selects Silverman's rule.
+  double bandwidth = 0.0;
+
+  /// Resolution of the density scan over [0, 1].
+  int grid = 512;
+
+  /// Modes carrying less estimated mass than this are merged into their
+  /// lower-valley neighbor (noise suppression).
+  double min_mass = 0.02;
+};
+
+/// Finds the modes of the estimated global density: smooths the estimate
+/// with a KDE over inversion samples, scans for peaks, cuts the domain at
+/// the valleys between them, and merges sub-threshold bumps. Modes are
+/// returned sorted by mass, heaviest first; their masses sum to ~1.
+Result<std::vector<DensityMode>> DetectModes(
+    const DensityEstimate& estimate, const ModeDetectionOptions& options = {});
+
+/// A fixed-width window and its estimated mass.
+struct RangeMass {
+  double lo = 0.0;
+  double hi = 0.0;
+  double mass = 0.0;
+};
+
+/// The k heaviest pairwise-disjoint windows of the given width (greedy by
+/// mass over a fine grid of candidate positions). The "hot ranges" a cache
+/// or an index advisor would target.
+std::vector<RangeMass> HeaviestRanges(const PiecewiseLinearCdf& cdf,
+                                      double width, size_t k,
+                                      int grid = 2048);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_APPS_DENSITY_MINING_H_

@@ -1,0 +1,64 @@
+#include "apps/equidepth_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/selectivity.h"
+#include "common/math_util.h"
+
+namespace ringdde {
+
+std::vector<double> ProposePartitionBoundaries(const PiecewiseLinearCdf& cdf,
+                                               size_t k) {
+  assert(k >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(k > 0 ? k - 1 : 0);
+  for (size_t i = 1; i < k; ++i) {
+    bounds.push_back(
+        cdf.Inverse(static_cast<double>(i) / static_cast<double>(k)));
+  }
+  // Inversion of a flat CDF region can emit equal cut points; keep them
+  // strictly increasing so partitions stay well-formed.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      bounds[i] = std::nextafter(bounds[i - 1], 1e300);
+    }
+  }
+  return bounds;
+}
+
+std::vector<double> MeasurePartitionShares(
+    const ChordRing& ring, const std::vector<double>& boundaries) {
+  std::vector<double> shares;
+  shares.reserve(boundaries.size() + 1);
+  double prev = 0.0;
+  for (double b : boundaries) {
+    shares.push_back(ExactSelectivity(ring, prev, b));
+    prev = b;
+  }
+  shares.push_back(ExactSelectivity(ring, prev, 1.0));
+  return shares;
+}
+
+std::string PartitionQuality::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "max=%.4f min=%.4f stddev=%.4f imbalance=%.3f", max_share,
+                min_share, stddev_share, imbalance);
+  return std::string(buf);
+}
+
+PartitionQuality EvaluatePartitionShares(const std::vector<double>& shares) {
+  PartitionQuality q;
+  if (shares.empty()) return q;
+  q.max_share = *std::max_element(shares.begin(), shares.end());
+  q.min_share = *std::min_element(shares.begin(), shares.end());
+  q.stddev_share = Stddev(shares);
+  const double ideal = 1.0 / static_cast<double>(shares.size());
+  q.imbalance = q.max_share / ideal;
+  return q;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,43 @@
+#ifndef RINGDDE_APPS_EQUIDEPTH_PARTITIONER_H_
+#define RINGDDE_APPS_EQUIDEPTH_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "ring/chord_ring.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Application 3: equi-depth domain partitioning.
+///
+/// A load balancer that wants k partitions with equal data mass reads the
+/// boundaries straight off the estimated CDF by inversion:
+/// boundary_i = F̂⁻¹(i/k). Quality is then judged against ground truth: how
+/// evenly did the proposed boundaries actually split the data?
+///
+/// Boundaries are (k-1) interior cut points; partition i spans
+/// [boundary_{i-1}, boundary_i) with the implicit outer bounds 0 and 1.
+std::vector<double> ProposePartitionBoundaries(const PiecewiseLinearCdf& cdf,
+                                               size_t k);
+
+/// Actual data share of each proposed partition (from ring ground truth).
+std::vector<double> MeasurePartitionShares(
+    const ChordRing& ring, const std::vector<double>& boundaries);
+
+/// Balance quality of a share vector (each ideally 1/(#partitions)).
+struct PartitionQuality {
+  double max_share = 0.0;
+  double min_share = 0.0;
+  double stddev_share = 0.0;
+  /// max_share / ideal_share; 1.0 is perfect.
+  double imbalance = 0.0;
+
+  std::string ToString() const;
+};
+
+PartitionQuality EvaluatePartitionShares(const std::vector<double>& shares);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_APPS_EQUIDEPTH_PARTITIONER_H_

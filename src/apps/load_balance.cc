@@ -1,0 +1,94 @@
+#include "apps/load_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "ring/ring_stats.h"
+
+namespace ringdde {
+
+namespace {
+
+LoadBalanceReport ReportFromLoads(std::vector<double> loads) {
+  LoadBalanceReport r;
+  if (loads.empty()) return r;
+  r.mean_load = Mean(loads);
+  if (r.mean_load > 0.0) {
+    r.max_over_avg =
+        *std::max_element(loads.begin(), loads.end()) / r.mean_load;
+    r.cv = Stddev(loads) / r.mean_load;
+  }
+  r.gini = GiniCoefficient(std::move(loads));
+  return r;
+}
+
+}  // namespace
+
+std::string LoadBalanceReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "gini=%.4f max/avg=%.2f cv=%.3f mean=%.1f", gini,
+                max_over_avg, cv, mean_load);
+  return std::string(buf);
+}
+
+LoadBalanceReport ExactLoadBalance(const ChordRing& ring) {
+  const std::vector<uint64_t> loads = NodeLoads(ring);
+  return ReportFromLoads(std::vector<double>(loads.begin(), loads.end()));
+}
+
+std::vector<double> PredictNodeLoads(const ChordRing& ring,
+                                     const PiecewiseLinearCdf& cdf,
+                                     double estimated_total) {
+  const auto& index = ring.index();
+  std::vector<double> loads;
+  loads.reserve(index.size());
+  if (index.empty()) return loads;
+  if (index.size() == 1) {
+    loads.push_back(estimated_total);
+    return loads;
+  }
+  uint64_t prev = index.rbegin()->first;
+  for (const auto& [id, addr] : index) {
+    const double lo = RingId(prev).ToUnit();
+    const double hi = RingId(id).ToUnit();
+    double frac;
+    if (lo <= hi) {
+      frac = cdf.Evaluate(hi) - cdf.Evaluate(lo);
+    } else {
+      // Arc wraps the domain boundary: mass above lo plus mass below hi.
+      frac = (1.0 - cdf.Evaluate(lo)) + cdf.Evaluate(hi);
+    }
+    loads.push_back(std::max(frac, 0.0) * estimated_total);
+    prev = id;
+  }
+  return loads;
+}
+
+LoadBalanceReport PredictLoadBalance(const ChordRing& ring,
+                                     const PiecewiseLinearCdf& cdf,
+                                     double estimated_total) {
+  return ReportFromLoads(PredictNodeLoads(ring, cdf, estimated_total));
+}
+
+double MeanLoadPredictionError(const ChordRing& ring,
+                               const PiecewiseLinearCdf& cdf,
+                               double estimated_total) {
+  const std::vector<uint64_t> actual = NodeLoads(ring);
+  const std::vector<double> predicted =
+      PredictNodeLoads(ring, cdf, estimated_total);
+  if (actual.empty() || actual.size() != predicted.size()) return 0.0;
+  KahanSum err;
+  KahanSum total;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    err.Add(std::fabs(predicted[i] - static_cast<double>(actual[i])));
+    total.Add(static_cast<double>(actual[i]));
+  }
+  const double mean_load = total.value() / static_cast<double>(actual.size());
+  if (mean_load <= 0.0) return 0.0;
+  return err.value() / static_cast<double>(actual.size()) / mean_load;
+}
+
+}  // namespace ringdde

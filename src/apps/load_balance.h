@@ -1,0 +1,49 @@
+#ifndef RINGDDE_APPS_LOAD_BALANCE_H_
+#define RINGDDE_APPS_LOAD_BALANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "ring/chord_ring.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Application 2: load-balancing analysis (the paper's other motivating use
+/// case). A peer holding a density estimate can predict every peer's
+/// storage load from public information alone (the membership's arcs),
+/// because load(peer) = N · (F(arc_hi) - F(arc_lo)) under order-preserving
+/// placement — no per-peer load collection needed.
+struct LoadBalanceReport {
+  double gini = 0.0;          ///< Gini coefficient of per-peer loads
+  double max_over_avg = 0.0;  ///< max load / mean load
+  double cv = 0.0;            ///< coefficient of variation (stddev/mean)
+  double mean_load = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Ground truth from the ring's actual stores.
+LoadBalanceReport ExactLoadBalance(const ChordRing& ring);
+
+/// Predicted report: per-peer loads computed from the estimated CDF over
+/// the ring's (oracle) arcs and the estimated total. Identical arcs are
+/// used for truth and prediction, so all divergence comes from F̂ vs F.
+LoadBalanceReport PredictLoadBalance(const ChordRing& ring,
+                                     const PiecewiseLinearCdf& cdf,
+                                     double estimated_total);
+
+/// Per-peer predicted loads, in ring order (for finer-grained comparison).
+std::vector<double> PredictNodeLoads(const ChordRing& ring,
+                                     const PiecewiseLinearCdf& cdf,
+                                     double estimated_total);
+
+/// Mean absolute per-peer load prediction error, normalized by the true
+/// mean load (0 = perfect prediction).
+double MeanLoadPredictionError(const ChordRing& ring,
+                               const PiecewiseLinearCdf& cdf,
+                               double estimated_total);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_APPS_LOAD_BALANCE_H_

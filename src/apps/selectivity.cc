@@ -1,0 +1,78 @@
+#include "apps/selectivity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+SelectivityEstimator::SelectivityEstimator(const PiecewiseLinearCdf* cdf)
+    : cdf_(cdf) {
+  assert(cdf != nullptr);
+}
+
+double SelectivityEstimator::EstimateFraction(double lo, double hi) const {
+  if (hi < lo) std::swap(lo, hi);
+  return Clamp(cdf_->Evaluate(hi) - cdf_->Evaluate(lo), 0.0, 1.0);
+}
+
+double SelectivityEstimator::EstimateCount(double lo, double hi,
+                                           double total_items) const {
+  return EstimateFraction(lo, hi) * total_items;
+}
+
+double ExactSelectivity(const ChordRing& ring, double lo, double hi) {
+  if (hi < lo) std::swap(lo, hi);
+  uint64_t matching = 0;
+  uint64_t total = 0;
+  for (const auto& [id, addr] : ring.index()) {
+    const Node* node = ring.GetNode(addr);
+    total += node->item_count();
+    // Sorted keys: rank difference counts keys in [lo, hi].
+    matching += node->RankOf(std::nextafter(hi, 1e300)) - node->RankOf(lo);
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(matching) / static_cast<double>(total);
+}
+
+std::vector<RangeQuery> GenerateRangeQueries(size_t count, double mean_width,
+                                             Rng& rng) {
+  assert(mean_width > 0.0);
+  std::vector<RangeQuery> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double center = rng.UniformDouble();
+    const double width = rng.Exponential(1.0 / mean_width);
+    RangeQuery q;
+    q.lo = Clamp(center - width / 2, 0.0, 1.0);
+    q.hi = Clamp(center + width / 2, 0.0, 1.0);
+    out.push_back(q);
+  }
+  return out;
+}
+
+SelectivityEvalResult EvaluateSelectivity(const PiecewiseLinearCdf& estimate,
+                                          const ChordRing& ring,
+                                          const std::vector<RangeQuery>& qs) {
+  SelectivityEvalResult r;
+  if (qs.empty()) return r;
+  SelectivityEstimator est(&estimate);
+  std::vector<double> abs_errors;
+  abs_errors.reserve(qs.size());
+  KahanSum rel_acc;
+  for (const RangeQuery& q : qs) {
+    const double got = est.EstimateFraction(q.lo, q.hi);
+    const double want = ExactSelectivity(ring, q.lo, q.hi);
+    const double abs_err = std::fabs(got - want);
+    abs_errors.push_back(abs_err);
+    rel_acc.Add(abs_err / std::max(want, 1e-4));
+  }
+  r.mean_abs_error = Mean(abs_errors);
+  r.p95_abs_error = Quantile(abs_errors, 0.95);
+  r.mean_rel_error = rel_acc.value() / static_cast<double>(qs.size());
+  return r;
+}
+
+}  // namespace ringdde

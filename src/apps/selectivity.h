@@ -1,0 +1,59 @@
+#ifndef RINGDDE_APPS_SELECTIVITY_H_
+#define RINGDDE_APPS_SELECTIVITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ring/chord_ring.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Application 1: range-query selectivity estimation (the query-processing
+/// use case from the paper's introduction). Once a peer holds a density
+/// estimate, any range predicate's selectivity is F̂(hi) - F̂(lo) with zero
+/// further network traffic.
+class SelectivityEstimator {
+ public:
+  /// The CDF must outlive the estimator.
+  explicit SelectivityEstimator(const PiecewiseLinearCdf* cdf);
+
+  /// Estimated fraction of global items with key in [lo, hi].
+  double EstimateFraction(double lo, double hi) const;
+
+  /// Estimated item count given an estimate of the global total.
+  double EstimateCount(double lo, double hi, double total_items) const;
+
+ private:
+  const PiecewiseLinearCdf* cdf_;
+};
+
+/// Exact fraction of items in [lo, hi], from ring ground truth (cost-free
+/// oracle scan; the benchmark's reference value).
+double ExactSelectivity(const ChordRing& ring, double lo, double hi);
+
+/// One range predicate over the unit key domain.
+struct RangeQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Random range workload: centers uniform in [0,1], widths exponential with
+/// the given mean (clamped into the domain).
+std::vector<RangeQuery> GenerateRangeQueries(size_t count, double mean_width,
+                                             Rng& rng);
+
+/// Error summary of an estimate against ground truth over a workload.
+struct SelectivityEvalResult {
+  double mean_abs_error = 0.0;   ///< mean |est - exact| (absolute fraction)
+  double p95_abs_error = 0.0;    ///< 95th percentile of absolute error
+  double mean_rel_error = 0.0;   ///< mean |est-exact|/max(exact, 1e-4)
+};
+
+SelectivityEvalResult EvaluateSelectivity(const PiecewiseLinearCdf& estimate,
+                                          const ChordRing& ring,
+                                          const std::vector<RangeQuery>& qs);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_APPS_SELECTIVITY_H_

@@ -1,0 +1,169 @@
+#include "baselines/gossip_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+GossipHistogramAggregator::GossipHistogramAggregator(ChordRing* ring,
+                                                     GossipOptions options)
+    : ring_(ring), options_(options), rng_(options.seed) {}
+
+void GossipHistogramAggregator::Initialize() {
+  states_.clear();
+  rounds_ = 0;
+  exact_global_.assign(options_.bins, 0.0);
+  for (const auto& [id, addr] : ring_->index()) {
+    const Node* node = ring_->GetNode(addr);
+    State st;
+    st.mass.assign(options_.bins, 0.0);
+    st.weight = 1.0;
+    const double b = static_cast<double>(options_.bins);
+    for (double key : node->keys()) {
+      const size_t bin = std::min(static_cast<size_t>(key * b),
+                                  options_.bins - 1);
+      st.mass[bin] += 1.0;
+      exact_global_[bin] += 1.0;
+    }
+    states_.emplace(addr, std::move(st));
+  }
+}
+
+NodeAddr GossipHistogramAggregator::PickPartner(NodeAddr sender) {
+  if (options_.uniform_partners) {
+    Result<NodeAddr> peer = ring_->RandomAliveNode(rng_);
+    return peer.ok() ? *peer : sender;
+  }
+  const Node* node = ring_->GetNode(sender);
+  // Candidate contacts: successors + populated fingers (alive only),
+  // DEDUPLICATED — the low fingers all collapse onto the immediate
+  // successor, and without dedup gossip degenerates into neighbor-only
+  // averaging, which mixes like a line graph instead of an expander.
+  std::vector<NodeAddr> candidates;
+  std::unordered_set<NodeAddr> seen;
+  for (const NodeEntry& e : node->successors()) {
+    if (ring_->IsAlive(e.addr) && seen.insert(e.addr).second) {
+      candidates.push_back(e.addr);
+    }
+  }
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    const auto& f = node->fingers().Get(k);
+    if (f.has_value() && f->addr != sender && ring_->IsAlive(f->addr) &&
+        seen.insert(f->addr).second) {
+      candidates.push_back(f->addr);
+    }
+  }
+  if (candidates.empty()) return sender;
+  return candidates[rng_.UniformU64(candidates.size())];
+}
+
+uint64_t GossipHistogramAggregator::Step() {
+  // Synchronous push-sum: compute all outgoing shares against the
+  // start-of-round state, then deliver.
+  struct Delivery {
+    NodeAddr to;
+    std::vector<double> mass;
+    double weight;
+  };
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(states_.size());
+
+  uint64_t messages = 0;
+  for (const auto& [id, addr] : ring_->index()) {
+    auto it = states_.find(addr);
+    if (it == states_.end()) continue;
+    State& st = it->second;
+    const NodeAddr partner = PickPartner(addr);
+    // Halve in place; ship the other half (possibly to self, still one
+    // message worth of work unless partner == self).
+    for (double& m : st.mass) m *= 0.5;
+    st.weight *= 0.5;
+    Delivery d;
+    d.to = partner;
+    d.mass = st.mass;  // the shipped half equals what remains
+    d.weight = st.weight;
+    if (partner != addr) {
+      ring_->network().Send(addr, partner, 8 * options_.bins + 8,
+                            /*hop_count=*/1);
+      ++messages;
+    }
+    deliveries.push_back(std::move(d));
+  }
+  for (Delivery& d : deliveries) {
+    auto it = states_.find(d.to);
+    if (it == states_.end()) continue;  // partner churned away: share lost
+    State& st = it->second;
+    for (size_t i = 0; i < st.mass.size(); ++i) st.mass[i] += d.mass[i];
+    st.weight += d.weight;
+  }
+  ++rounds_;
+  return messages;
+}
+
+Result<PiecewiseLinearCdf> GossipHistogramAggregator::EstimateAtPeer(
+    NodeAddr addr) const {
+  auto it = states_.find(addr);
+  if (it == states_.end()) return Status::NotFound("no gossip state");
+  const State& st = it->second;
+  EquiWidthHistogram h(0.0, 1.0, options_.bins);
+  for (size_t i = 0; i < st.mass.size(); ++i) {
+    const double center =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(options_.bins);
+    h.Add(center, st.mass[i]);
+  }
+  return h.ToCdf();
+}
+
+Result<double> GossipHistogramAggregator::EstimatedTotalAtPeer(
+    NodeAddr addr) const {
+  auto it = states_.find(addr);
+  if (it == states_.end()) return Status::NotFound("no gossip state");
+  const State& st = it->second;
+  if (st.weight <= 0.0) return Status::Internal("zero push-sum weight");
+  // mass/weight converges to the per-peer average; scale by the cohort
+  // size captured at Initialize() to estimate the global total.
+  return SumPrecise(st.mass) / st.weight *
+         static_cast<double>(states_.size());
+}
+
+double GossipHistogramAggregator::MeanDisagreement(size_t sample_peers,
+                                                   Rng& rng) const {
+  const double total = SumPrecise(exact_global_);
+  if (total <= 0.0 || states_.empty()) return 0.0;
+  // Exact global CDF at bin boundaries.
+  std::vector<double> exact_cum(exact_global_.size());
+  double run = 0.0;
+  for (size_t i = 0; i < exact_global_.size(); ++i) {
+    run += exact_global_[i];
+    exact_cum[i] = run / total;
+  }
+  KahanSum err_acc;
+  size_t measured = 0;
+  for (size_t s = 0; s < sample_peers; ++s) {
+    Result<NodeAddr> peer = ring_->RandomAliveNode(rng);
+    if (!peer.ok()) break;
+    auto it = states_.find(*peer);
+    if (it == states_.end()) continue;
+    const State& st = it->second;
+    const double local_total = SumPrecise(st.mass);
+    if (local_total <= 0.0) {
+      err_acc.Add(1.0);
+      ++measured;
+      continue;
+    }
+    double ks = 0.0;
+    double cum = 0.0;
+    for (size_t i = 0; i < st.mass.size(); ++i) {
+      cum += st.mass[i];
+      ks = std::max(ks, std::fabs(cum / local_total - exact_cum[i]));
+    }
+    err_acc.Add(ks);
+    ++measured;
+  }
+  return measured == 0 ? 0.0 : err_acc.value() / static_cast<double>(measured);
+}
+
+}  // namespace ringdde

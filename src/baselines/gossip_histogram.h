@@ -1,0 +1,80 @@
+#ifndef RINGDDE_BASELINES_GOSSIP_HISTOGRAM_H_
+#define RINGDDE_BASELINES_GOSSIP_HISTOGRAM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ring/chord_ring.h"
+#include "stats/histogram.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Baseline B3: push-sum gossip aggregation of equi-width histograms.
+///
+/// Every peer starts with (its local histogram, weight 1) and each
+/// synchronous round sends half of both to one gossip partner. The ratio
+/// histogram/weight converges (exponentially in rounds) to the global
+/// average histogram at EVERY peer, i.e. gossip buys all-peers knowledge,
+/// while DDE serves one querier. The per-round cost is n messages of B
+/// bins each; E7 plots error versus rounds against DDE at an equal message
+/// budget.
+struct GossipOptions {
+  size_t bins = 64;
+
+  /// If true, partners are drawn uniformly from the membership (idealized
+  /// gossip); if false, from the sender's finger table (deployable gossip,
+  /// slightly slower mixing).
+  bool uniform_partners = false;
+
+  uint64_t seed = 2024;
+};
+
+class GossipHistogramAggregator {
+ public:
+  GossipHistogramAggregator(ChordRing* ring, GossipOptions options = {});
+
+  /// Snapshots every alive peer's local data into its gossip state.
+  /// Call once before stepping (re-call to restart).
+  void Initialize();
+
+  /// Executes one synchronous push-sum round (every alive peer sends once).
+  /// Returns the number of messages sent.
+  uint64_t Step();
+
+  /// Number of completed rounds since Initialize().
+  uint64_t rounds() const { return rounds_; }
+
+  /// The estimate held at one peer: its histogram/weight ratio, as a CDF.
+  /// Fails if the peer is unknown or its state is still empty.
+  Result<PiecewiseLinearCdf> EstimateAtPeer(NodeAddr addr) const;
+
+  /// That peer's estimate of the global item count: (mass/weight) × n.
+  Result<double> EstimatedTotalAtPeer(NodeAddr addr) const;
+
+  /// Mean KS-style disagreement of per-peer CDF estimates against the
+  /// exact global histogram CDF, averaged over `sample_peers` random peers
+  /// (convergence diagnostic for E7).
+  double MeanDisagreement(size_t sample_peers, Rng& rng) const;
+
+ private:
+  struct State {
+    std::vector<double> mass;  // histogram bins
+    double weight = 0.0;
+  };
+
+  NodeAddr PickPartner(NodeAddr sender);
+
+  ChordRing* ring_;
+  GossipOptions options_;
+  Rng rng_;
+  uint64_t rounds_ = 0;
+  std::unordered_map<NodeAddr, State> states_;
+  std::vector<double> exact_global_;  // ground truth bins at Initialize()
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_BASELINES_GOSSIP_HISTOGRAM_H_

@@ -1,0 +1,89 @@
+#include "baselines/parametric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+PiecewiseLinearCdf ParametricEstimate::ToPiecewiseCdf() const {
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  constexpr int kKnots = 257;
+  knots.reserve(kKnots);
+  for (int i = 0; i < kKnots; ++i) {
+    const double x = static_cast<double>(i) / (kKnots - 1);
+    knots.push_back({x, fitted->Cdf(x)});
+  }
+  PiecewiseLinearCdf::MakeMonotone(knots);
+  knots.front().f = 0.0;
+  knots.back().f = 1.0;
+  Result<PiecewiseLinearCdf> cdf = PiecewiseLinearCdf::FromKnots(knots);
+  return cdf.ok() ? std::move(*cdf) : PiecewiseLinearCdf();
+}
+
+ParametricFitEstimator::ParametricFitEstimator(ChordRing* ring,
+                                               ParametricFitOptions options)
+    : ring_(ring), options_(options), rng_(options.seed) {}
+
+Result<ParametricEstimate> ParametricFitEstimator::Estimate(
+    NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+
+  // Hansen–Hurwitz weighting: random-id lookups select a peer with
+  // probability proportional to its arc, so each peer's EXACT local moment
+  // summary (count, Σx, Σx²) is scaled by 1/arc before combining. The
+  // ratio estimates of mean and variance are then unbiased; the remaining
+  // failure mode of this baseline is the model assumption itself, not the
+  // sampling.
+  std::unordered_set<NodeAddr> seen;
+  double count_sum = 0.0;
+  KahanSum wn, wx, wxx;
+  for (size_t i = 0; i < options_.num_peers; ++i) {
+    Result<NodeAddr> owner = ring_->Lookup(querier, RingId(rng_.NextU64()));
+    if (!owner.ok()) continue;
+    Node* node = ring_->GetNode(*owner);
+    if (node == nullptr || !node->alive()) continue;
+    if (!seen.insert(*owner).second) continue;
+    count_sum += static_cast<double>(node->item_count());
+    const double arc = node->OwnedArcFraction();
+    if (arc > 0.0) {
+      const double inv = 1.0 / arc;
+      KahanSum sx, sxx;
+      for (double x : node->keys()) {
+        sx.Add(x);
+        sxx.Add(x * x);
+      }
+      wn.Add(inv * static_cast<double>(node->item_count()));
+      wx.Add(inv * sx.value());
+      wxx.Add(inv * sxx.value());
+    }
+    ring_->network().Send(querier, *owner, 16, /*hop_count=*/1);
+    ring_->network().Send(*owner, querier, 24, /*hop_count=*/0);
+  }
+  if (seen.size() < 2 || wn.value() <= 0.0) {
+    return Status::Unavailable("too few moment summaries for the fit");
+  }
+
+  // Weighted method of moments for Normal(mu, sigma); floor sigma so a
+  // degenerate sample still yields a proper model.
+  const double mu = wx.value() / wn.value();
+  const double var = std::max(wxx.value() / wn.value() - mu * mu, 0.0);
+  const double sigma = std::max(std::sqrt(var), 1e-4);
+
+  ParametricEstimate est;
+  est.fitted = std::make_unique<TruncatedNormalDistribution>(mu, sigma);
+  est.estimated_total_items =
+      seen.empty() ? 0.0
+                   : count_sum / static_cast<double>(seen.size()) *
+                         static_cast<double>(ring_->AliveCount());
+  est.peers_probed = seen.size();
+  est.cost = scope.Delta();
+  return est;
+}
+
+}  // namespace ringdde

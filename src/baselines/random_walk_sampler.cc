@@ -1,0 +1,123 @@
+#include "baselines/random_walk_sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ringdde {
+
+RandomWalkSampler::RandomWalkSampler(ChordRing* ring,
+                                     RandomWalkSamplerOptions options)
+    : ring_(ring), options_(options), rng_(options.seed) {}
+
+std::vector<NodeAddr> RandomWalkSampler::NeighborsOf(NodeAddr addr) const {
+  std::vector<NodeAddr> out;
+  const Node* node = ring_->GetNode(addr);
+  if (node == nullptr) return out;
+  std::unordered_set<NodeAddr> seen;
+  for (const NodeEntry& e : node->successors()) {
+    if (ring_->IsAlive(e.addr) && seen.insert(e.addr).second) {
+      out.push_back(e.addr);
+    }
+  }
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    const auto& f = node->fingers().Get(k);
+    if (f.has_value() && f->addr != addr && ring_->IsAlive(f->addr) &&
+        seen.insert(f->addr).second) {
+      out.push_back(f->addr);
+    }
+  }
+  return out;
+}
+
+NodeAddr RandomWalkSampler::Walk(NodeAddr start) {
+  NodeAddr cur = start;
+  size_t cur_degree = NeighborsOf(cur).size();
+  for (size_t step = 0; step < options_.walk_length; ++step) {
+    const std::vector<NodeAddr> nbrs = NeighborsOf(cur);
+    if (nbrs.empty()) break;
+    const NodeAddr cand = nbrs[rng_.UniformU64(nbrs.size())];
+    const size_t cand_degree = NeighborsOf(cand).size();
+    // Degree query + (possible) move: 2 messages either way, matching an
+    // MH implementation that always contacts the candidate.
+    ring_->network().Send(cur, cand, 16, /*hop_count=*/1);
+    ring_->network().Send(cand, cur, 16, /*hop_count=*/0);
+    // MH acceptance for uniform stationary distribution: min(1, d(x)/d(y)).
+    if (cand_degree == 0) continue;
+    const double accept = std::min(
+        1.0, static_cast<double>(cur_degree) /
+                 static_cast<double>(cand_degree));
+    if (rng_.Bernoulli(accept)) {
+      cur = cand;
+      cur_degree = cand_degree;
+    }
+  }
+  return cur;
+}
+
+Result<DensityEstimate> RandomWalkSampler::Estimate(NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+
+  std::vector<double> items;
+  items.reserve(options_.num_samples);
+  double max_load_seen = 1.0;
+  size_t peers_contacted = 0;
+  double count_sum = 0.0;
+
+  // Calibration pass: a handful of walks just to seed max_load_seen, so
+  // the rejection step is not systematically lenient on the first samples.
+  for (size_t i = 0; i < 16; ++i) {
+    const NodeAddr peer = Walk(querier);
+    Node* node = ring_->GetNode(peer);
+    if (node == nullptr || !node->alive()) continue;
+    ring_->network().Send(querier, peer, 16, /*hop_count=*/1);
+    ring_->network().Send(peer, querier, 16, /*hop_count=*/0);
+    max_load_seen =
+        std::max(max_load_seen, static_cast<double>(node->item_count()));
+  }
+
+  for (size_t i = 0; i < options_.num_samples; ++i) {
+    bool accepted = false;
+    for (size_t attempt = 0;
+         attempt < options_.max_rejections && !accepted; ++attempt) {
+      const NodeAddr peer = Walk(querier);
+      Node* node = ring_->GetNode(peer);
+      if (node == nullptr || !node->alive()) continue;
+      // Fetch the load (1 round trip).
+      ring_->network().Send(querier, peer, 16, /*hop_count=*/1);
+      ring_->network().Send(peer, querier, 16, /*hop_count=*/0);
+      ++peers_contacted;
+      const double load = static_cast<double>(node->item_count());
+      count_sum += load;
+      max_load_seen = std::max(max_load_seen, load);
+      // Load-proportional rejection: uniform-peer -> uniform-item.
+      if (load <= 0.0 || !rng_.Bernoulli(load / max_load_seen)) continue;
+      items.push_back(node->keys()[rng_.UniformU64(node->item_count())]);
+      ring_->network().Send(querier, peer, 16, /*hop_count=*/1);
+      ring_->network().Send(peer, querier, 16, /*hop_count=*/0);
+      accepted = true;
+    }
+  }
+  if (items.size() < 2) {
+    return Status::Unavailable("too few items collected by random walks");
+  }
+
+  Result<PiecewiseLinearCdf> cdf = PiecewiseLinearCdf::FromSamples(items);
+  if (!cdf.ok()) return cdf.status();
+
+  DensityEstimate est;
+  est.cdf = std::move(*cdf);
+  est.estimated_total_items =
+      peers_contacted == 0
+          ? 0.0
+          : count_sum / static_cast<double>(peers_contacted) *
+                static_cast<double>(ring_->AliveCount());
+  est.peers_probed = peers_contacted;
+  est.cost = scope.Delta();
+  est.produced_at = ring_->network().Now();
+  return est;
+}
+
+}  // namespace ringdde

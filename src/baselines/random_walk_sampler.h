@@ -1,0 +1,55 @@
+#ifndef RINGDDE_BASELINES_RANDOM_WALK_SAMPLER_H_
+#define RINGDDE_BASELINES_RANDOM_WALK_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Baseline B2: Metropolis–Hastings random-walk item sampling.
+///
+/// The classical *unbiased* alternative: an MH walk over the overlay graph
+/// (successors + fingers, degree-corrected) mixes to the uniform
+/// distribution over peers; load-proportional rejection then turns uniform
+/// peers into (near-)uniform items. Statistically sound for any skew, but
+/// each accepted item costs a whole walk — the cost gap against DDE is the
+/// point of E4.
+struct RandomWalkSamplerOptions {
+  /// Items to collect.
+  size_t num_samples = 512;
+
+  /// MH steps per walk; O(log n)-ish multiples govern mixing quality.
+  size_t walk_length = 24;
+
+  /// Cap on load-rejection retries per sample (each retry is a fresh walk).
+  size_t max_rejections = 16;
+
+  uint64_t seed = 123;
+};
+
+class RandomWalkSampler {
+ public:
+  RandomWalkSampler(ChordRing* ring, RandomWalkSamplerOptions options = {});
+
+  Result<DensityEstimate> Estimate(NodeAddr querier);
+
+ private:
+  /// One MH walk from `start`; returns the endpoint. Charges 2 messages per
+  /// step (degree query + move).
+  NodeAddr Walk(NodeAddr start);
+
+  /// Alive overlay neighbors (successors + distinct fingers).
+  std::vector<NodeAddr> NeighborsOf(NodeAddr addr) const;
+
+  ChordRing* ring_;
+  RandomWalkSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_BASELINES_RANDOM_WALK_SAMPLER_H_

@@ -1,0 +1,80 @@
+#include "baselines/tree_aggregation.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace ringdde {
+
+namespace {
+constexpr int kMaxDepth = 80;
+}  // namespace
+
+TreeAggregator::TreeAggregator(ChordRing* ring,
+                               TreeAggregationOptions options)
+    : ring_(ring), options_(options) {}
+
+Result<DensityEstimate> TreeAggregator::Estimate(NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+  peers_reached_ = 0;
+  visited_.clear();
+
+  EquiWidthHistogram sink(0.0, 1.0, options_.bins);
+  const Node* root = ring_->GetNode(querier);
+  // The querier covers the full ring: (own id, own id] wraps all the way
+  // around, so every alive peer falls in exactly one delegated sub-arc.
+  Aggregate(querier, root->id(), root->id(), &sink, 0);
+
+  Result<PiecewiseLinearCdf> cdf = sink.ToCdf();
+  if (!cdf.ok()) return cdf.status();
+
+  DensityEstimate est;
+  est.cdf = std::move(*cdf);
+  est.estimated_total_items = sink.TotalMass();
+  est.peers_probed = peers_reached_;
+  est.cost = scope.Delta();
+  est.produced_at = ring_->network().Now();
+  return est;
+}
+
+void TreeAggregator::Aggregate(NodeAddr coordinator, RingId after,
+                               RingId until, EquiWidthHistogram* sink,
+                               int depth) {
+  (void)after;
+  if (depth > kMaxDepth) return;
+  Node* node = ring_->GetNode(coordinator);
+  if (node == nullptr || !node->alive()) return;
+  // Stale finger tables after churn can hand overlapping sub-arcs to two
+  // children; a real protocol dedupes by query id, we dedupe by visit.
+  if (!visited_.insert(coordinator).second) return;
+  ++peers_reached_;
+  // The coordinator contributes its own data...
+  sink->AddAll(node->keys());
+
+  // ...and delegates disjoint sub-arcs of (self, until) to its fingers, in
+  // ascending clockwise order; each child covers up to the next child.
+  // On the root call until == self, so InArcOpenOpen spans the full ring.
+  std::vector<NodeEntry> children;
+  std::unordered_set<NodeAddr> dedup;
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    const auto& f = node->fingers().Get(k);
+    if (!f.has_value() || f->addr == coordinator) continue;
+    if (!InArcOpenOpen(f->id, node->id(), until)) continue;
+    if (!ring_->IsAlive(f->addr)) continue;
+    if (dedup.insert(f->addr).second) children.push_back(*f);
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    const RingId bound =
+        i + 1 < children.size() ? children[i + 1].id : until;
+    // Request down, aggregated histogram back up.
+    ring_->network().Send(coordinator, children[i].addr, 24,
+                          /*hop_count=*/1);
+    Aggregate(children[i].addr, children[i].id, bound, sink, depth + 1);
+    ring_->network().Send(children[i].addr, coordinator,
+                          8 * options_.bins + 8, /*hop_count=*/0);
+  }
+}
+
+}  // namespace ringdde

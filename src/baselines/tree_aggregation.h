@@ -1,0 +1,48 @@
+#ifndef RINGDDE_BASELINES_TREE_AGGREGATION_H_
+#define RINGDDE_BASELINES_TREE_AGGREGATION_H_
+
+#include <unordered_set>
+
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "ring/chord_ring.h"
+#include "stats/histogram.h"
+
+namespace ringdde {
+
+/// Baseline B4: exact histogram via finger-tree convergecast.
+///
+/// Chord's broadcast trick run in reverse: the querier partitions the ring
+/// among its fingers, each finger recursively aggregates its sub-arc, and
+/// equi-width histograms merge on the way back. Touches every alive peer —
+/// ~2(n-1) messages — and returns the *exact* global histogram (up to bin
+/// resolution and churn-induced subtree loss). The "spare no expense"
+/// upper-accuracy anchor in E1/E4.
+struct TreeAggregationOptions {
+  size_t bins = 64;
+};
+
+class TreeAggregator {
+ public:
+  TreeAggregator(ChordRing* ring, TreeAggregationOptions options = {});
+
+  Result<DensityEstimate> Estimate(NodeAddr querier);
+
+  /// Peers reached by the last Estimate() call.
+  size_t peers_reached() const { return peers_reached_; }
+
+ private:
+  /// Recursively aggregates the histogram of every alive peer whose id lies
+  /// in (after, until], coordinated by `coordinator`.
+  void Aggregate(NodeAddr coordinator, RingId after, RingId until,
+                 EquiWidthHistogram* sink, int depth);
+
+  ChordRing* ring_;
+  TreeAggregationOptions options_;
+  size_t peers_reached_ = 0;
+  std::unordered_set<NodeAddr> visited_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_BASELINES_TREE_AGGREGATION_H_

@@ -1,0 +1,59 @@
+#include "baselines/uniform_peer_sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ringdde {
+
+UniformPeerSampler::UniformPeerSampler(ChordRing* ring,
+                                       UniformPeerSamplerOptions options)
+    : ring_(ring), options_(options), rng_(options.seed) {}
+
+Result<DensityEstimate> UniformPeerSampler::Estimate(NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+
+  std::vector<double> pooled;
+  std::unordered_set<NodeAddr> seen;
+  double count_sum = 0.0;
+  for (size_t i = 0; i < options_.num_peers; ++i) {
+    Result<NodeAddr> owner = ring_->Lookup(querier, RingId(rng_.NextU64()));
+    if (!owner.ok()) continue;
+    Node* node = ring_->GetNode(*owner);
+    if (node == nullptr || !node->alive()) continue;
+    if (!seen.insert(*owner).second) continue;  // repeat peer: no new info
+    count_sum += static_cast<double>(node->item_count());
+    // Fetch up to items_per_peer random local items: request + response.
+    const size_t take =
+        std::min<size_t>(options_.items_per_peer, node->item_count());
+    for (size_t j = 0; j < take; ++j) {
+      pooled.push_back(node->keys()[rng_.UniformU64(node->item_count())]);
+    }
+    ring_->network().Send(querier, *owner, 16, /*hop_count=*/1);
+    ring_->network().Send(*owner, querier, 8 * take + 8, /*hop_count=*/0);
+  }
+  if (pooled.size() < 2) {
+    return Status::Unavailable("too few items collected");
+  }
+
+  Result<PiecewiseLinearCdf> cdf = PiecewiseLinearCdf::FromSamples(pooled);
+  if (!cdf.ok()) return cdf.status();
+
+  DensityEstimate est;
+  est.cdf = std::move(*cdf);
+  // Scale the per-peer mean count by the membership size. Knowing n is a
+  // concession every baseline gets for free; the DDE estimator does not
+  // need it.
+  est.estimated_total_items =
+      seen.empty() ? 0.0
+                   : count_sum / static_cast<double>(seen.size()) *
+                         static_cast<double>(ring_->AliveCount());
+  est.peers_probed = seen.size();
+  est.cost = scope.Delta();
+  est.produced_at = ring_->network().Now();
+  return est;
+}
+
+}  // namespace ringdde

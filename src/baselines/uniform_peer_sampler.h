@@ -1,0 +1,43 @@
+#ifndef RINGDDE_BASELINES_UNIFORM_PEER_SAMPLER_H_
+#define RINGDDE_BASELINES_UNIFORM_PEER_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Baseline B1: naive peer-sampling item collector.
+///
+/// The straightforward approach the paper's model improves on: look up k
+/// random ring ids, and from each owner pull a fixed number of random local
+/// items; the pooled items' empirical CDF is the estimate. It is biased
+/// twice over — random-id lookups hit peers proportionally to arc length,
+/// and taking the same number of items from every peer under-weights
+/// heavily loaded peers — and the bias grows with data skew (measured in
+/// E3).
+struct UniformPeerSamplerOptions {
+  size_t num_peers = 64;
+  size_t items_per_peer = 16;
+  uint64_t seed = 99;
+};
+
+class UniformPeerSampler {
+ public:
+  UniformPeerSampler(ChordRing* ring, UniformPeerSamplerOptions options = {});
+
+  /// Collects the pooled item sample and returns its ECDF-based estimate.
+  Result<DensityEstimate> Estimate(NodeAddr querier);
+
+ private:
+  ChordRing* ring_;
+  UniformPeerSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_BASELINES_UNIFORM_PEER_SAMPLER_H_

@@ -1,0 +1,111 @@
+#include "common/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ringdde {
+
+void Encoder::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::PutFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutDouble(double v) {
+  PutFixed64(std::bit_cast<uint64_t>(v));
+}
+
+void Encoder::PutLengthPrefixedBytes(const uint8_t* data, size_t len) {
+  PutVarint64(len);
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+Status Decoder::GetU8(uint8_t* v) {
+  if (remaining() < 1) return Status::OutOfRange("truncated u8");
+  *v = *data_++;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed32(uint32_t* v) {
+  if (remaining() < 4) return Status::OutOfRange("truncated fixed32");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[i]) << (8 * i);
+  }
+  data_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* v) {
+  if (remaining() < 8) return Status::OutOfRange("truncated fixed64");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[i]) << (8 * i);
+  }
+  data_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint64(uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (data_ == end_) return Status::OutOfRange("truncated varint");
+    const uint8_t byte = *data_++;
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical overlong encodings of the final byte.
+      if (shift == 63 && byte > 1) {
+        return Status::OutOfRange("varint overflows 64 bits");
+      }
+      *v = out;
+      return Status::OK();
+    }
+  }
+  return Status::OutOfRange("varint longer than 10 bytes");
+}
+
+Status Decoder::GetDouble(double* v) {
+  uint64_t bits;
+  RINGDDE_RETURN_IF_ERROR(GetFixed64(&bits));
+  *v = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixedBytes(const uint8_t** data, size_t* len) {
+  uint64_t n;
+  RINGDDE_RETURN_IF_ERROR(GetVarint64(&n));
+  if (remaining() < n) return Status::OutOfRange("truncated byte string");
+  *data = data_;
+  *len = static_cast<size_t>(n);
+  data_ += n;
+  return Status::OK();
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ringdde

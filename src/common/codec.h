@@ -1,0 +1,67 @@
+#ifndef RINGDDE_COMMON_CODEC_H_
+#define RINGDDE_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ringdde {
+
+/// Append-only binary encoder for the simulator's wire formats.
+///
+/// Fixed-width integers are little-endian; varints are LEB128; doubles are
+/// IEEE-754 bit patterns in fixed 8 bytes. The encodings exist so message
+/// payload sizes charged to the network are the sizes a real deployment
+/// would ship, and so estimates can be exchanged between peers
+/// (core/wire.h).
+class Encoder {
+ public:
+  void PutU8(uint8_t v);
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  /// LEB128, 1-10 bytes.
+  void PutVarint64(uint64_t v);
+  void PutDouble(double v);
+  /// Varint length prefix + raw bytes.
+  void PutLengthPrefixedBytes(const uint8_t* data, size_t len);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Sequential binary decoder over a borrowed byte range. All getters
+/// return OutOfRange on truncated input and never read past the end; the
+/// referenced bytes must outlive the decoder.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t len) : data_(data), end_(data + len) {}
+  explicit Decoder(const std::vector<uint8_t>& buffer)
+      : Decoder(buffer.data(), buffer.size()) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetDouble(double* v);
+  /// Returns a view into the underlying buffer (no copy).
+  Status GetLengthPrefixedBytes(const uint8_t** data, size_t* len);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - data_); }
+  bool Done() const { return data_ == end_; }
+
+ private:
+  const uint8_t* data_;
+  const uint8_t* end_;
+};
+
+/// Bytes PutVarint64(v) would append.
+size_t VarintLength(uint64_t v);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_CODEC_H_

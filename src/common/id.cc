@@ -1,0 +1,41 @@
+#include "common/id.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+double RingId::ToUnit() const {
+  // Use the top 53 bits: converting the full 64-bit value to double rounds
+  // UINT64_MAX up to 2^64, which would map to 1.0 — outside the half-open
+  // unit interval.
+  return static_cast<double>(value >> 11) * 0x1.0p-53;
+}
+
+RingId RingId::FromUnit(double u) {
+  // Reduce to [0, 1). fmod of a negative value is negative, so fix up.
+  double r = std::fmod(u, 1.0);
+  if (r < 0.0) r += 1.0;
+  // 2^64 * r < 2^64 because r < 1, but guard the r == 1-ulp rounding edge.
+  double scaled = r * 0x1.0p64;
+  if (scaled >= 0x1.0p64) return RingId(UINT64_MAX);
+  return RingId(static_cast<uint64_t>(scaled));
+}
+
+std::string RingId::ToString() const {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+double ArcFraction(RingId a, RingId b) {
+  if (a == b) return 1.0;
+  return static_cast<double>(ClockwiseDistance(a, b)) * 0x1.0p-64;
+}
+
+RingId HashToRing(uint64_t name) { return RingId(SplitMix64(name)); }
+
+}  // namespace ringdde

@@ -1,0 +1,85 @@
+#ifndef RINGDDE_COMMON_ID_H_
+#define RINGDDE_COMMON_ID_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ringdde {
+
+/// Identifier on the 2^64 ring.
+///
+/// Both peers and data keys live in the same circular identifier space, as in
+/// Chord. All arithmetic wraps modulo 2^64. The unit-interval view
+/// (ToUnit/FromUnit) is what makes order-preserving placement work: a data key
+/// normalized to [0,1) maps to the ring position `key * 2^64`, so the ring
+/// order equals the data order and a peer's arc is a contiguous key range.
+struct RingId {
+  uint64_t value = 0;
+
+  constexpr RingId() = default;
+  constexpr explicit RingId(uint64_t v) : value(v) {}
+
+  /// Ring position as a fraction of the full circle, in [0, 1).
+  double ToUnit() const;
+
+  /// Ring id at the given fraction of the circle; `u` is reduced mod 1 and
+  /// negative inputs wrap.
+  static RingId FromUnit(double u);
+
+  /// Wrapping offset arithmetic.
+  constexpr RingId operator+(uint64_t delta) const {
+    return RingId(value + delta);
+  }
+  constexpr RingId operator-(uint64_t delta) const {
+    return RingId(value - delta);
+  }
+
+  constexpr auto operator<=>(const RingId&) const = default;
+
+  /// Hex string, zero padded to 16 digits.
+  std::string ToString() const;
+};
+
+/// Clockwise distance from `a` to `b`: number of steps to reach b moving in
+/// increasing-id direction, in [0, 2^64). Distance 0 means a == b.
+constexpr uint64_t ClockwiseDistance(RingId a, RingId b) {
+  return b.value - a.value;  // unsigned wrap does the mod for us
+}
+
+/// True iff `x` lies in the clockwise half-open arc (a, b]. By convention an
+/// empty direction (a == b) denotes the FULL ring, matching Chord's successor
+/// semantics where a single node owns everything.
+constexpr bool InArcOpenClosed(RingId x, RingId a, RingId b) {
+  if (a == b) return true;
+  return ClockwiseDistance(a, x) != 0 &&
+         ClockwiseDistance(a, x) <= ClockwiseDistance(a, b);
+}
+
+/// True iff `x` lies in the clockwise half-open arc [a, b). a == b again
+/// denotes the full ring.
+constexpr bool InArcClosedOpen(RingId x, RingId a, RingId b) {
+  if (a == b) return true;
+  return ClockwiseDistance(a, x) < ClockwiseDistance(a, b);
+}
+
+/// True iff `x` lies strictly inside the clockwise open arc (a, b).
+/// a == b denotes the full ring minus the point a.
+constexpr bool InArcOpenOpen(RingId x, RingId a, RingId b) {
+  if (a == b) return x != a;
+  return ClockwiseDistance(a, x) != 0 &&
+         ClockwiseDistance(a, x) < ClockwiseDistance(a, b);
+}
+
+/// Arc length of [a, b) as a fraction of the whole ring. a == b yields 1.0
+/// (the full ring), consistent with the single-node-owns-all convention.
+double ArcFraction(RingId a, RingId b);
+
+/// Deterministically hashes an arbitrary 64-bit name (e.g. a peer's address)
+/// to a well-spread ring id. Used for HASHED placement and for assigning
+/// peer ids.
+RingId HashToRing(uint64_t name);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_ID_H_

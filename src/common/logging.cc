@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace ringdde {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+/// Strips directories from __FILE__ for compact output.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace ringdde

@@ -1,0 +1,54 @@
+#ifndef RINGDDE_COMMON_LOGGING_H_
+#define RINGDDE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ringdde {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarning so library users and benchmarks are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr (with level tag and source location)
+/// if `level` >= the process minimum. Thread-compatible: callers in this
+/// single-threaded simulator never race.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal_logging {
+
+/// Stream-style collector used by the RINGDDE_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: RINGDDE_LOG(kInfo) << "joined " << n << " peers";
+#define RINGDDE_LOG(severity)                                              \
+  ::ringdde::internal_logging::LogLine(::ringdde::LogLevel::severity,      \
+                                       __FILE__, __LINE__)
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_LOGGING_H_

@@ -1,0 +1,120 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ringdde {
+
+void KahanSum::Add(double x) {
+  const double y = x - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+void KahanSum::Reset() {
+  sum_ = 0.0;
+  compensation_ = 0.0;
+}
+
+double SumPrecise(const std::vector<double>& xs) {
+  KahanSum acc;
+  for (double x : xs) acc.Add(x);
+  return acc.value();
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return SumPrecise(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  KahanSum acc;
+  for (double x : xs) acc.Add((x - m) * (x - m));
+  return acc.value() / static_cast<double>(xs.size() - 1);
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double Quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = Clamp(p, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double h = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  return Lerp(xs[lo], xs[hi], h - static_cast<double>(lo));
+}
+
+ptrdiff_t UpperIndex(const std::vector<double>& sorted_xs, double x) {
+  auto it = std::upper_bound(sorted_xs.begin(), sorted_xs.end(), x);
+  return static_cast<ptrdiff_t>(it - sorted_xs.begin()) - 1;
+}
+
+double Log1pExp(double x) {
+  if (x > 35.0) return x;            // exp(-x) underflows relative to x
+  if (x < -35.0) return std::exp(x);  // log1p(tiny) == tiny
+  return std::log1p(std::exp(x));
+}
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z * 0.7071067811865475244);  // z / sqrt(2)
+}
+
+double StandardNormalPdf(double z) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double InverseStandardNormalCdf(double p) {
+  // Acklam's rational approximation, then one Newton–Raphson polish.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+
+  double x;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double err = StandardNormalCdf(x) - p;
+  const double pdf = StandardNormalPdf(x);
+  if (pdf > 0.0) x -= err / pdf;
+  return x;
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace ringdde

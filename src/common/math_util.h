@@ -1,0 +1,68 @@
+#ifndef RINGDDE_COMMON_MATH_UTIL_H_
+#define RINGDDE_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ringdde {
+
+/// Compensated (Kahan) summation accumulator. Long simulation runs sum many
+/// small increments; naive summation loses precision that then shows up as
+/// spurious "estimation error" in accuracy metrics.
+class KahanSum {
+ public:
+  void Add(double x);
+  double value() const { return sum_; }
+  void Reset();
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Kahan sum of a vector.
+double SumPrecise(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two elements.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double Stddev(const std::vector<double>& xs);
+
+/// Linear interpolation: value at t in [0,1] between a (t=0) and b (t=1).
+double Lerp(double a, double b, double t);
+
+/// Clamp x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// p-quantile (p in [0,1]) of the values using linear interpolation between
+/// order statistics (type-7, the numpy default). Input need not be sorted;
+/// a sorted copy is made. Empty input returns 0.
+double Quantile(std::vector<double> xs, double p);
+
+/// Largest index i such that sorted_xs[i] <= x, or -1 if all elements exceed
+/// x. `sorted_xs` must be ascending.
+ptrdiff_t UpperIndex(const std::vector<double>& sorted_xs, double x);
+
+/// Numerically stable log(1 + exp(x)).
+double Log1pExp(double x);
+
+/// Standard normal CDF Phi(z).
+double StandardNormalCdf(double z);
+
+/// Standard normal density phi(z).
+double StandardNormalPdf(double z);
+
+/// Inverse standard normal CDF for p in (0,1): Acklam's rational
+/// approximation followed by one Newton step (relative error < 1e-12).
+double InverseStandardNormalCdf(double p);
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,211 @@
+#include "core/bivariate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+#include "core/global_cdf.h"
+
+namespace ringdde {
+
+// --- BivariateStore ---------------------------------------------------------
+
+BivariateStore::BivariateStore(ChordRing* ring) : ring_(ring) {
+  assert(ring != nullptr);
+}
+
+Status BivariateStore::BulkLoad(const std::vector<XY>& items) {
+  std::vector<double> x_keys;
+  x_keys.reserve(items.size());
+  for (const XY& item : items) {
+    Result<NodeAddr> owner =
+        ring_->OracleOwner(RingId::FromUnit(item.x));
+    if (!owner.ok()) return owner.status();
+    items_[*owner].push_back(item);
+    x_keys.push_back(item.x);
+  }
+  ring_->InsertDatasetBulk(x_keys);
+  total_items_ += items.size();
+  return Status::OK();
+}
+
+const std::vector<XY>& BivariateStore::ItemsAt(NodeAddr addr) const {
+  auto it = items_.find(addr);
+  return it == items_.end() ? empty_ : it->second;
+}
+
+uint64_t BivariateStore::ExactRectangleCount(double x1, double x2, double y1,
+                                             double y2) const {
+  if (x2 < x1) std::swap(x1, x2);
+  if (y2 < y1) std::swap(y1, y2);
+  uint64_t count = 0;
+  for (const auto& [addr, items] : items_) {
+    for (const XY& item : items) {
+      if (item.x >= x1 && item.x <= x2 && item.y >= y1 && item.y <= y2) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// --- BivariateEstimate -------------------------------------------------------
+
+double BivariateEstimate::ConditionalYCdf(double x, double y) const {
+  if (slices_.empty()) return Clamp(y, 0.0, 1.0);  // uninformative
+  if (x <= slices_.front().x_center) {
+    return slices_.front().y_cdf.Evaluate(y);
+  }
+  if (x >= slices_.back().x_center) {
+    return slices_.back().y_cdf.Evaluate(y);
+  }
+  auto it = std::lower_bound(
+      slices_.begin(), slices_.end(), x,
+      [](const Slice& s, double v) { return s.x_center < v; });
+  const Slice& hi = *it;
+  const Slice& lo = *(it - 1);
+  const double t = (x - lo.x_center) / (hi.x_center - lo.x_center);
+  return Lerp(lo.y_cdf.Evaluate(y), hi.y_cdf.Evaluate(y), t);
+}
+
+double BivariateEstimate::JointCdf(double x, double y) const {
+  return RectangleMass(0.0, x, 0.0, y);
+}
+
+double BivariateEstimate::RectangleMass(double x1, double x2, double y1,
+                                        double y2) const {
+  if (x2 < x1) std::swap(x1, x2);
+  if (y2 < y1) std::swap(y1, y2);
+  x1 = Clamp(x1, 0.0, 1.0);
+  x2 = Clamp(x2, 0.0, 1.0);
+  if (x2 <= x1) return 0.0;
+  // ∫ over [x1,x2] of f_X(t)·(G(y2|t) - G(y1|t)) dt, midpoint rule with
+  // the x-marginal supplying exact strip masses.
+  constexpr int kSteps = 256;
+  KahanSum mass;
+  double prev_fx = x_cdf_.Evaluate(x1);
+  for (int i = 1; i <= kSteps; ++i) {
+    const double t_hi = Lerp(x1, x2, static_cast<double>(i) / kSteps);
+    const double fx = x_cdf_.Evaluate(t_hi);
+    const double strip = fx - prev_fx;
+    if (strip > 0.0) {
+      const double t_mid =
+          Lerp(x1, x2, (static_cast<double>(i) - 0.5) / kSteps);
+      mass.Add(strip * (ConditionalYCdf(t_mid, y2) -
+                        ConditionalYCdf(t_mid, y1)));
+    }
+    prev_fx = fx;
+  }
+  return Clamp(mass.value(), 0.0, 1.0);
+}
+
+// --- BivariateEstimator -------------------------------------------------------
+
+BivariateEstimator::BivariateEstimator(ChordRing* ring,
+                                       const BivariateStore* store,
+                                       BivariateOptions options)
+    : ring_(ring), store_(store), options_(options), rng_(options.seed) {
+  assert(ring != nullptr && store != nullptr);
+  assert(options_.num_probes > 0);
+  assert(options_.x_quantiles >= 2 && options_.y_quantiles >= 2);
+}
+
+Result<BivariateEstimate> BivariateEstimator::Estimate(NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+
+  std::vector<BivariateSummary> summaries;
+  std::unordered_set<NodeAddr> seen;
+  for (size_t i = 0; i < options_.num_probes; ++i) {
+    const RingId target(rng_.NextU64());
+    Result<NodeAddr> owner = ring_->Lookup(querier, target);
+    if (!owner.ok()) continue;
+    Node* node = ring_->GetNode(*owner);
+    if (node == nullptr || !node->alive()) continue;
+    if (!seen.insert(*owner).second) continue;
+
+    BivariateSummary s;
+    s.x = ComputeLocalSummary(*node, options_.x_quantiles);
+    std::vector<double> ys;
+    for (const XY& item : store_->ItemsAt(*owner)) ys.push_back(item.y);
+    if (!ys.empty()) {
+      std::sort(ys.begin(), ys.end());
+      const double q1 = static_cast<double>(options_.y_quantiles - 1);
+      for (int q = 0; q < options_.y_quantiles; ++q) {
+        const double h =
+            static_cast<double>(q) / q1 * static_cast<double>(ys.size() - 1);
+        const size_t lo = static_cast<size_t>(h);
+        const size_t hi = std::min(lo + 1, ys.size() - 1);
+        s.y_quantiles.push_back(
+            Lerp(ys[lo], ys[hi], h - static_cast<double>(lo)));
+      }
+    }
+    ring_->network().Send(querier, *owner, 16, /*hop_count=*/1);
+    ring_->network().Send(*owner, querier, s.EncodedBytes(),
+                          /*hop_count=*/0);
+    summaries.push_back(std::move(s));
+  }
+  if (summaries.empty()) {
+    return Status::Unavailable("all probes failed");
+  }
+
+  // Marginal x reconstruction reuses the univariate machinery.
+  std::vector<LocalSummary> x_summaries;
+  x_summaries.reserve(summaries.size());
+  for (const auto& s : summaries) x_summaries.push_back(s.x);
+  Result<ReconstructionResult> recon = ReconstructGlobalCdf(x_summaries);
+  if (!recon.ok()) return recon.status();
+
+  BivariateEstimate estimate;
+  estimate.x_cdf_ = std::move(recon->cdf);
+  estimate.estimated_total_ = recon->estimated_total;
+
+  // Conditional slices at the probed arcs' x centers of mass.
+  for (const BivariateSummary& s : summaries) {
+    if (s.x.item_count == 0 || s.y_quantiles.empty()) continue;
+    BivariateEstimate::Slice slice;
+    // Center of the peer's x mass: its median x quantile.
+    slice.x_center = s.x.quantiles[s.x.quantiles.size() / 2];
+    std::vector<PiecewiseLinearCdf::Knot> knots;
+    const double q1 = static_cast<double>(s.y_quantiles.size() - 1);
+    for (size_t q = 0; q < s.y_quantiles.size(); ++q) {
+      knots.push_back(
+          {s.y_quantiles[q], static_cast<double>(q) / std::max(q1, 1.0)});
+    }
+    PiecewiseLinearCdf::MakeMonotone(knots);
+    if (knots.size() < 2) {
+      // Degenerate (all y identical): a steep ramp at the atom.
+      const double y = knots.empty() ? 0.5 : knots.front().x;
+      knots = {{y - 1e-9, 0.0}, {y + 1e-9, 1.0}};
+    }
+    knots.front().f = 0.0;
+    knots.back().f = 1.0;
+    Result<PiecewiseLinearCdf> y_cdf =
+        PiecewiseLinearCdf::FromKnots(std::move(knots));
+    if (!y_cdf.ok()) continue;
+    slice.y_cdf = std::move(*y_cdf);
+    estimate.slices_.push_back(std::move(slice));
+  }
+  std::sort(estimate.slices_.begin(), estimate.slices_.end(),
+            [](const BivariateEstimate::Slice& a,
+               const BivariateEstimate::Slice& b) {
+              return a.x_center < b.x_center;
+            });
+  // Equal centers break interpolation; nudge duplicates apart.
+  for (size_t i = 1; i < estimate.slices_.size(); ++i) {
+    if (estimate.slices_[i].x_center <= estimate.slices_[i - 1].x_center) {
+      estimate.slices_[i].x_center =
+          std::nextafter(estimate.slices_[i - 1].x_center, 1e300);
+    }
+  }
+
+  estimate.peers_probed = summaries.size();
+  estimate.cost = scope.Delta();
+  return estimate;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,138 @@
+#ifndef RINGDDE_CORE_BIVARIATE_H_
+#define RINGDDE_CORE_BIVARIATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/local_summary.h"
+#include "ring/chord_ring.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Extension: two-attribute density estimation (the "multi-dimensional
+/// data" future-work direction of the single-attribute model).
+///
+/// Items are (x, y) pairs in the unit square. Placement stays
+/// one-dimensional and order-preserving on x — so the ring still
+/// materializes the x-marginal CDF — and every probed peer additionally
+/// returns quantiles of the y values it stores. The reconstruction glues
+/// those into conditional CDFs G(y | x), anchored at the probed arcs and
+/// interpolated between them, which together with the x-marginal gives the
+/// joint distribution: F(x, y) = ∫₀ˣ f_X(t)·G(y | t) dt.
+///
+/// Scope: static rings (the companion store does not migrate attribute
+/// values through churn; the univariate estimator remains the dynamic
+/// workhorse).
+
+/// One two-attribute item.
+struct XY {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Side table holding each peer's (x, y) items, assigned by x placement.
+/// Companion to ChordRing, which itself stores only the x keys.
+class BivariateStore {
+ public:
+  explicit BivariateStore(ChordRing* ring);
+
+  /// Assigns every item to the owner of its x position and ALSO loads the
+  /// x keys into the ring (so ring state and side table agree).
+  Status BulkLoad(const std::vector<XY>& items);
+
+  /// Items held by one peer (empty vector for unknown peers).
+  const std::vector<XY>& ItemsAt(NodeAddr addr) const;
+
+  /// Exact count of items with x in [x1,x2] and y in [y1,y2] (ground-truth
+  /// oracle scan for evaluation).
+  uint64_t ExactRectangleCount(double x1, double x2, double y1,
+                               double y2) const;
+
+  uint64_t total_items() const { return total_items_; }
+
+ private:
+  ChordRing* ring_;
+  std::unordered_map<NodeAddr, std::vector<XY>> items_;
+  std::vector<XY> empty_;
+  uint64_t total_items_ = 0;
+};
+
+/// A probed peer's two-attribute response: its x-slice of the global CDF
+/// plus quantiles of its local y values.
+struct BivariateSummary {
+  LocalSummary x;                   ///< arc, count, x quantiles
+  std::vector<double> y_quantiles;  ///< q evenly spaced local y quantiles
+
+  uint64_t EncodedBytes() const {
+    return x.EncodedBytes() + 8 * y_quantiles.size();
+  }
+};
+
+/// The reconstructed joint estimate.
+class BivariateEstimate {
+ public:
+  /// Marginal CDF of x.
+  const PiecewiseLinearCdf& x_cdf() const { return x_cdf_; }
+
+  /// Estimated global item count.
+  double estimated_total() const { return estimated_total_; }
+
+  /// Conditional CDF G(y | x): the y-CDFs of the two probed arcs
+  /// bracketing x, linearly blended by x position.
+  double ConditionalYCdf(double x, double y) const;
+
+  /// Joint CDF F(x, y), by integrating the conditional against the
+  /// x-marginal.
+  double JointCdf(double x, double y) const;
+
+  /// Estimated fraction of items in the rectangle [x1,x2] x [y1,y2].
+  double RectangleMass(double x1, double x2, double y1, double y2) const;
+
+  /// Number of conditional slices backing the estimate.
+  size_t slice_count() const { return slices_.size(); }
+
+  CostCounters cost;
+  size_t peers_probed = 0;
+
+ private:
+  friend class BivariateEstimator;
+
+  struct Slice {
+    double x_center = 0.0;
+    PiecewiseLinearCdf y_cdf;
+  };
+
+  PiecewiseLinearCdf x_cdf_;
+  double estimated_total_ = 0.0;
+  std::vector<Slice> slices_;  // ascending by x_center
+};
+
+struct BivariateOptions {
+  size_t num_probes = 256;
+  int x_quantiles = 8;
+  int y_quantiles = 8;
+  uint64_t seed = 77;
+};
+
+/// The two-attribute estimator: probes like the univariate estimator and
+/// additionally collects per-arc y-quantiles from the BivariateStore.
+class BivariateEstimator {
+ public:
+  BivariateEstimator(ChordRing* ring, const BivariateStore* store,
+                     BivariateOptions options = {});
+
+  Result<BivariateEstimate> Estimate(NodeAddr querier);
+
+ private:
+  ChordRing* ring_;
+  const BivariateStore* store_;
+  BivariateOptions options_;
+  Rng rng_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_BIVARIATE_H_

@@ -1,0 +1,162 @@
+#include "core/density_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/inversion_sampler.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+
+Result<KernelDensityEstimator> DensityEstimate::SmoothedPdf(
+    size_t samples, KernelType kernel) const {
+  InversionSampler sampler(&cdf);
+  Rng rng(0xD0E5);  // deterministic: same estimate -> same smooth view
+  return KernelDensityEstimator::Build(
+      sampler.SampleStratified(samples, rng), kernel);
+}
+
+DistributionFreeEstimator::DistributionFreeEstimator(ChordRing* ring,
+                                                     DdeOptions options)
+    : ring_(ring),
+      options_(options),
+      prober_(ring, ProbeOptions{options.local_quantiles,
+                                 options.resolve_covered_locally,
+                                 options.use_sketch_summaries,
+                                 options.sketch_epsilon}),
+      rng_(options.seed) {
+  assert(ring != nullptr);
+  assert(options_.num_probes > 0);
+  assert(options_.refinement_rounds >= 1);
+}
+
+Result<DensityEstimate> DistributionFreeEstimator::Estimate(
+    NodeAddr querier) {
+  std::vector<LocalSummary> summaries;
+  return EstimateWith(querier, &summaries, options_.num_probes);
+}
+
+Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
+    NodeAddr querier, const AdaptiveOptions& adaptive) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  assert(adaptive.batch_size > 0);
+  assert(adaptive.tolerance > 0.0);
+  CostScope scope(ring_->network().counters());
+  const uint64_t failed_before = prober_.failed_probes();
+
+  std::vector<LocalSummary> summaries;
+  Result<ReconstructionResult> recon =
+      Status::Internal("no batches executed");
+  PiecewiseLinearCdf previous;  // uniform start
+  bool have_previous = false;
+  int calm_batches = 0;
+  size_t probes_spent = 0;
+
+  while (probes_spent < adaptive.max_probes) {
+    const size_t batch =
+        std::min(adaptive.batch_size, adaptive.max_probes - probes_spent);
+    if (!have_previous) {
+      // First batch: unbiased uniform positions.
+      prober_.ProbeUniform(querier, batch, rng_, &summaries);
+    } else {
+      // Later batches blend exploitation with exploration: half the
+      // targets come from inversion on the current estimate (sharpen the
+      // mass), half stay uniform (keep discovering what the estimate does
+      // not know about yet). Pure inversion would re-hit covered arcs and
+      // stall the movement signal into premature convergence.
+      InversionSampler sampler(&previous);
+      const size_t guided = batch / 2;
+      std::vector<double> keys = sampler.SampleStratified(guided, rng_);
+      std::vector<RingId> targets;
+      targets.reserve(batch);
+      for (double k : keys) targets.push_back(RingId::FromUnit(k));
+      for (size_t i = guided; i < batch; ++i) {
+        targets.push_back(RingId(rng_.NextU64()));
+      }
+      prober_.ProbeTargets(querier, targets, &summaries);
+    }
+    probes_spent += batch;
+    if (summaries.empty()) {
+      return Status::Unavailable("all probes failed; no summaries");
+    }
+    recon = ReconstructGlobalCdf(summaries, options_.reconstruction);
+    if (!recon.ok()) return recon.status();
+
+    if (have_previous) {
+      const PiecewiseLinearCdf& cur = recon->cdf;
+      const double movement = SupDistance(
+          [&](double x) { return cur.Evaluate(x); },
+          [&](double x) { return previous.Evaluate(x); }, 0.0, 1.0,
+          /*grid=*/512);
+      calm_batches = movement <= adaptive.tolerance ? calm_batches + 1 : 0;
+      if (calm_batches >= adaptive.patience) break;
+    }
+    previous = recon->cdf;
+    have_previous = true;
+  }
+  if (!recon.ok()) return recon.status();  // max_probes == 0
+
+  DensityEstimate estimate;
+  estimate.cdf = std::move(recon->cdf);
+  estimate.estimated_total_items = recon->estimated_total;
+  estimate.peers_probed = summaries.size();
+  estimate.covered_fraction = recon->covered_fraction;
+  estimate.cost = scope.Delta();
+  estimate.failed_probes = prober_.failed_probes() - failed_before;
+  estimate.produced_at = ring_->network().Now();
+  return estimate;
+}
+
+Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
+    NodeAddr querier, std::vector<LocalSummary>* carry_over,
+    size_t fresh_probes) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  CostScope scope(ring_->network().counters());
+  const uint64_t failed_before = prober_.failed_probes();
+
+  const int rounds = options_.refinement_rounds;
+  // Split the budget evenly across rounds; round 1 gets the remainder.
+  const size_t per_round = fresh_probes / static_cast<size_t>(rounds);
+  const size_t first_round =
+      fresh_probes - per_round * static_cast<size_t>(rounds - 1);
+
+  // Round 1: uniform positions.
+  prober_.ProbeUniform(querier, first_round, rng_, carry_over);
+  if (carry_over->empty()) {
+    return Status::Unavailable("all probes failed; no summaries collected");
+  }
+  Result<ReconstructionResult> recon =
+      ReconstructGlobalCdf(*carry_over, options_.reconstruction);
+  if (!recon.ok()) return recon.status();
+
+  // Refinement rounds: inversion-guided targets from the current estimate.
+  for (int r = 1; r < rounds && per_round > 0; ++r) {
+    InversionSampler sampler(&recon->cdf);
+    const std::vector<double> keys =
+        sampler.SampleStratified(per_round, rng_);
+    std::vector<RingId> targets;
+    targets.reserve(keys.size());
+    for (double k : keys) targets.push_back(RingId::FromUnit(k));
+    const size_t before = carry_over->size();
+    prober_.ProbeTargets(querier, targets, carry_over);
+    if (carry_over->size() == before) continue;  // everything was covered
+    recon = ReconstructGlobalCdf(*carry_over, options_.reconstruction);
+    if (!recon.ok()) return recon.status();
+  }
+
+  DensityEstimate estimate;
+  estimate.cdf = std::move(recon->cdf);
+  estimate.estimated_total_items = recon->estimated_total;
+  estimate.peers_probed = carry_over->size();
+  estimate.covered_fraction = recon->covered_fraction;
+  estimate.cost = scope.Delta();
+  estimate.failed_probes = prober_.failed_probes() - failed_before;
+  estimate.produced_at = ring_->network().Now();
+  return estimate;
+}
+
+}  // namespace ringdde

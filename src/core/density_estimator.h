@@ -1,0 +1,149 @@
+#ifndef RINGDDE_CORE_DENSITY_ESTIMATOR_H_
+#define RINGDDE_CORE_DENSITY_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/global_cdf.h"
+#include "core/probe.h"
+#include "ring/chord_ring.h"
+#include "sim/counters.h"
+#include "stats/kde.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Configuration of the distribution-free density estimator (the paper's
+/// contribution).
+struct DdeOptions {
+  /// Total probe budget m: the number of ring positions sampled. Drives the
+  /// accuracy/cost trade-off; see theory.h for the (ε, δ) calculator.
+  size_t num_probes = 256;
+
+  /// Probe rounds. Round 1 always samples positions uniformly (unbiased
+  /// over the key domain). Rounds >= 2 draw targets by *inversion* from the
+  /// current CDF estimate, concentrating the remaining budget where the
+  /// estimated mass is — the adaptive step that keeps accuracy flat under
+  /// heavy skew. 1 disables refinement.
+  int refinement_rounds = 2;
+
+  /// Quantile knots per probe response (>= 2; includes local min/max).
+  int local_quantiles = 8;
+
+  /// Resolve probe targets landing on already-fetched arcs locally (no
+  /// messages). See ProbeOptions::skip_covered_targets; ablated in E11e.
+  bool resolve_covered_locally = true;
+
+  /// Peers answer probes from GK ε-sketches instead of exact order
+  /// statistics. See ProbeOptions::use_sketch_summaries; ablated in E11f.
+  bool use_sketch_summaries = false;
+  double sketch_epsilon = 0.02;
+
+  ReconstructionOptions reconstruction;
+
+  /// Seed for probe-target randomness.
+  uint64_t seed = 42;
+};
+
+/// One complete estimation outcome.
+struct DensityEstimate {
+  /// The estimated global CDF over the unit key domain.
+  PiecewiseLinearCdf cdf;
+
+  /// N̂: estimated global item count.
+  double estimated_total_items = 0.0;
+
+  /// Distinct peers whose summaries back the estimate.
+  size_t peers_probed = 0;
+
+  /// Fraction of the ring directly covered by probed arcs.
+  double covered_fraction = 0.0;
+
+  /// Communication cost of this estimation run only.
+  CostCounters cost;
+
+  /// Probes lost to churn (routing failed or the owner died mid-probe)
+  /// during this run.
+  uint64_t failed_probes = 0;
+
+  /// Virtual time at which the estimate was produced.
+  double produced_at = 0.0;
+
+  /// Density at x implied by the piecewise-linear CDF (piecewise constant).
+  double Pdf(double x) const { return cdf.DensityAt(x); }
+
+  /// F̂(x).
+  double Cdf(double x) const { return cdf.Evaluate(x); }
+
+  /// F̂⁻¹(p).
+  double Quantile(double p) const { return cdf.Inverse(p); }
+
+  /// Smooth density view: a KDE over `samples` stratified inversion draws.
+  Result<KernelDensityEstimator> SmoothedPdf(
+      size_t samples = 1024,
+      KernelType kernel = KernelType::kGaussian) const;
+};
+
+/// Self-tuning variant: probe in batches until the estimate stops moving.
+struct AdaptiveOptions {
+  /// Probes per batch.
+  size_t batch_size = 64;
+
+  /// Stop when the sup-distance between consecutive reconstructions falls
+  /// below this for `patience` consecutive batches.
+  double tolerance = 0.01;
+  int patience = 2;
+
+  /// Hard probe ceiling.
+  size_t max_probes = 4096;
+};
+
+/// The distribution-free data density estimator for ring-based P2P
+/// networks.
+///
+/// Protocol (executed by one querier peer):
+///   1. Sample m₁ ring positions uniformly; route to each owner and fetch
+///      its LocalSummary (arc, count, local quantiles) — unbiased CDF
+///      sampling over the key domain.
+///   2. Reconstruct a provisional global CDF (global_cdf.h).
+///   3. For each refinement round, draw the next batch of probe targets by
+///      stratified inversion from the provisional CDF, probe, and
+///      re-reconstruct. Probes landing on already-fetched arcs are resolved
+///      locally and cost nothing.
+/// Total cost is O(m log n) messages; accuracy follows the distribution-
+/// free DKW regime in m (see stats/bounds.h and the E1/E3 benchmarks).
+class DistributionFreeEstimator {
+ public:
+  DistributionFreeEstimator(ChordRing* ring, DdeOptions options = {});
+
+  /// Runs the full protocol from `querier` (must be an alive peer).
+  Result<DensityEstimate> Estimate(NodeAddr querier);
+
+  /// As Estimate(), but reuses `carry_over` summaries (from a previous run)
+  /// as if they were already probed this run; used by incremental
+  /// maintenance. New probes are appended to `carry_over`.
+  Result<DensityEstimate> EstimateWith(NodeAddr querier,
+                                       std::vector<LocalSummary>* carry_over,
+                                       size_t fresh_probes);
+
+  /// Self-tuning estimation: probes in batches (first uniform, then
+  /// inversion-guided) and stops once consecutive reconstructions agree to
+  /// within `adaptive.tolerance` (sup distance) for `patience` batches —
+  /// no probe budget to pick. The configured num_probes/refinement_rounds
+  /// are ignored; all other options apply.
+  Result<DensityEstimate> EstimateAdaptive(NodeAddr querier,
+                                           const AdaptiveOptions& adaptive);
+
+  const DdeOptions& options() const { return options_; }
+
+ private:
+  ChordRing* ring_;
+  DdeOptions options_;
+  CdfProber prober_;
+  Rng rng_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_DENSITY_ESTIMATOR_H_

@@ -1,0 +1,74 @@
+#include "core/dissemination.h"
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "core/wire.h"
+
+namespace ringdde {
+
+namespace {
+constexpr int kMaxDepth = 80;
+}  // namespace
+
+EstimateDisseminator::EstimateDisseminator(ChordRing* ring) : ring_(ring) {
+  assert(ring != nullptr);
+}
+
+Result<size_t> EstimateDisseminator::Broadcast(
+    NodeAddr origin, const DensityEstimate& estimate) {
+  if (!ring_->IsAlive(origin)) {
+    return Status::InvalidArgument("origin is not an alive peer");
+  }
+  Encoder encoder;
+  EncodeDensityEstimate(estimate, &encoder);
+
+  const Node* root = ring_->GetNode(origin);
+  size_t delivered = 0;
+  Relay(origin, root->id(), encoder.buffer(), 0, &delivered);
+  return delivered;
+}
+
+void EstimateDisseminator::Relay(NodeAddr coordinator, RingId until,
+                                 const std::vector<uint8_t>& payload,
+                                 int depth, size_t* delivered) {
+  if (depth > kMaxDepth) return;
+  Node* node = ring_->GetNode(coordinator);
+  if (node == nullptr || !node->alive()) return;
+
+  // Deliver locally: decode the wire bytes, exactly as a real peer would.
+  Decoder decoder(payload);
+  Result<DensityEstimate> decoded = DecodeDensityEstimate(&decoder);
+  if (decoded.ok()) {
+    received_[coordinator] = std::move(*decoded);
+    ++*delivered;
+  }
+
+  // Delegate disjoint sub-arcs of (self, until) to ascending fingers; on
+  // the root call until == self, which spans the full ring.
+  std::vector<NodeEntry> children;
+  std::unordered_set<NodeAddr> dedup;
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    const auto& f = node->fingers().Get(k);
+    if (!f.has_value() || f->addr == coordinator) continue;
+    if (!InArcOpenOpen(f->id, node->id(), until)) continue;
+    if (!ring_->IsAlive(f->addr)) continue;
+    if (dedup.insert(f->addr).second) children.push_back(*f);
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    const RingId bound =
+        i + 1 < children.size() ? children[i + 1].id : until;
+    ring_->network().Send(coordinator, children[i].addr, payload.size(),
+                          /*hop_count=*/1);
+    Relay(children[i].addr, bound, payload, depth + 1, delivered);
+  }
+}
+
+const DensityEstimate* EstimateDisseminator::EstimateAt(
+    NodeAddr addr) const {
+  auto it = received_.find(addr);
+  return it == received_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ringdde

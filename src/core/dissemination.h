@@ -1,0 +1,54 @@
+#ifndef RINGDDE_CORE_DISSEMINATION_H_
+#define RINGDDE_CORE_DISSEMINATION_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Estimate dissemination: share ONE peer's m-probe investment ring-wide.
+///
+/// The querier encodes its DensityEstimate (core/wire.h) and broadcasts it
+/// over the Chord finger tree: it partitions the ring among its fingers,
+/// each finger re-broadcasts within its sub-arc. Every alive peer receives
+/// the estimate in O(log n) hops for ~n-1 messages of |encoded cdf| bytes —
+/// turning the "gossip serves everyone" argument around: probe once
+/// (O(m log n)), broadcast once (O(n)), and everyone holds the SAME
+/// consistent estimate, instead of n noisy per-peer gossip views.
+///
+/// Received estimates are stored per-peer in this object (the simulation
+/// stand-in for each peer's application state).
+class EstimateDisseminator {
+ public:
+  explicit EstimateDisseminator(ChordRing* ring);
+
+  /// Broadcasts `estimate` from `origin` to every reachable alive peer.
+  /// Returns the number of peers that received it (including the origin).
+  /// Charges one message of the encoded estimate's size per tree edge.
+  Result<size_t> Broadcast(NodeAddr origin, const DensityEstimate& estimate);
+
+  /// The estimate a peer currently holds, if any. Decoded from the wire
+  /// bytes, so what peers hold is exactly what survived encoding.
+  const DensityEstimate* EstimateAt(NodeAddr addr) const;
+
+  /// Peers holding an estimate.
+  size_t holder_count() const { return received_.size(); }
+
+  /// Drops all delivered estimates (e.g. before re-broadcasting).
+  void Clear() { received_.clear(); }
+
+ private:
+  void Relay(NodeAddr coordinator, RingId until,
+             const std::vector<uint8_t>& payload, int depth,
+             size_t* delivered);
+
+  ChordRing* ring_;
+  std::unordered_map<NodeAddr, DensityEstimate> received_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_DISSEMINATION_H_

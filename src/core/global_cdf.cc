@@ -1,0 +1,271 @@
+#include "core/global_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+namespace {
+
+/// One linear stretch of probed key domain: [lo, hi] with `count` items and
+/// optional interior shape knots (x ascending, rel_cum in [0, count]).
+struct Segment {
+  double lo = 0.0;
+  double hi = 0.0;
+  double count = 0.0;
+  /// Source summary's raw rank at `lo` (non-zero for the high part of a
+  /// wrapped arc); needed so clipping can consult InterpolatedRank.
+  double rank_offset = 0.0;
+  std::vector<PiecewiseLinearCdf::Knot> shape;  // f holds RELATIVE cumulative
+
+  double Width() const { return hi - lo; }
+  double Density() const {
+    return Width() > 0.0 ? count / Width() : 0.0;
+  }
+};
+
+/// Builds the interior shape knots of a segment from a summary's quantiles,
+/// restricted to keys in [lo, hi], with relative cumulative offset by
+/// `cum_at_lo` (the summary's rank at the segment's lower end).
+void AddShapeKnots(const LocalSummary& s, double lo, double hi,
+                   double cum_at_lo, Segment* seg) {
+  if (s.quantiles.size() < 2 || s.item_count == 0) return;
+  const double c = static_cast<double>(s.item_count);
+  const double q1 = static_cast<double>(s.quantiles.size() - 1);
+  for (size_t i = 0; i < s.quantiles.size(); ++i) {
+    const double x = s.quantiles[i];
+    if (x <= lo || x >= hi) continue;
+    const double rel = c * static_cast<double>(i) / q1 - cum_at_lo;
+    seg->shape.push_back({x, Clamp(rel, 0.0, seg->count)});
+  }
+}
+
+/// Converts one summary into 1 (normal) or 2 (domain-boundary-wrapping)
+/// segments in linear key space.
+void SummaryToSegments(const LocalSummary& s, std::vector<Segment>* out) {
+  double lo = s.arc_lo.ToUnit();
+  double hi = s.arc_hi.ToUnit();
+  if (s.arc_lo == s.arc_hi) {
+    // Full-ring arc (single-node network).
+    Segment seg;
+    seg.lo = 0.0;
+    seg.hi = 1.0;
+    seg.count = static_cast<double>(s.item_count);
+    AddShapeKnots(s, 0.0, 1.0, 0.0, &seg);
+    out->push_back(std::move(seg));
+    return;
+  }
+  if (lo < hi) {
+    Segment seg;
+    seg.lo = lo;
+    seg.hi = hi;
+    seg.count = static_cast<double>(s.item_count);
+    AddShapeKnots(s, lo, hi, 0.0, &seg);
+    out->push_back(std::move(seg));
+    return;
+  }
+  // Wrapping arc (lo > hi): keys live in [0, hi] ∪ [lo, 1). The raw-sorted
+  // quantiles put the [0, hi] keys first, so the rank at `hi` is the low
+  // part's count.
+  const double low_count = s.InterpolatedRank(hi);
+  const double high_count = static_cast<double>(s.item_count) - low_count;
+  if (hi > 0.0) {
+    Segment seg;
+    seg.lo = 0.0;
+    seg.hi = hi;
+    seg.count = low_count;
+    AddShapeKnots(s, 0.0, hi, 0.0, &seg);
+    out->push_back(std::move(seg));
+  }
+  if (lo < 1.0) {
+    Segment seg;
+    seg.lo = lo;
+    seg.hi = 1.0;
+    seg.count = high_count;
+    seg.rank_offset = low_count;
+    AddShapeKnots(s, lo, 1.0, low_count, &seg);
+    out->push_back(std::move(seg));
+  }
+}
+
+/// Clips `seg` so it starts at or after `floor_lo`, rescaling its count by
+/// the interpolated mass above the cut. Returns false if nothing remains.
+bool ClipSegmentLow(double floor_lo, const LocalSummary* src, Segment* seg) {
+  if (seg->lo >= floor_lo) return true;
+  if (seg->hi <= floor_lo) return false;
+  double cut_rank;
+  if (src != nullptr && !src->quantiles.empty()) {
+    cut_rank = src->InterpolatedRank(floor_lo) - seg->rank_offset;
+  } else {
+    // Uniform-within-segment assumption.
+    cut_rank = seg->count * (floor_lo - seg->lo) / seg->Width();
+  }
+  cut_rank = Clamp(cut_rank, 0.0, seg->count);
+  seg->count -= cut_rank;
+  seg->rank_offset += cut_rank;
+  seg->lo = floor_lo;
+  std::erase_if(seg->shape, [floor_lo](const PiecewiseLinearCdf::Knot& k) {
+    return k.x <= floor_lo;
+  });
+  for (auto& k : seg->shape) k.f = Clamp(k.f - cut_rank, 0.0, seg->count);
+  return true;
+}
+
+}  // namespace
+
+Result<ReconstructionResult> ReconstructGlobalCdf(
+    const std::vector<LocalSummary>& summaries,
+    const ReconstructionOptions& options) {
+  if (summaries.empty()) {
+    return Status::InvalidArgument("no probe summaries to reconstruct from");
+  }
+
+  // 1. Linearize: split wrapping arcs, strip quantile shape if disabled.
+  std::vector<Segment> segments;
+  std::vector<const LocalSummary*> sources;
+  segments.reserve(summaries.size() + 1);
+  for (const LocalSummary& s : summaries) {
+    const size_t before = segments.size();
+    SummaryToSegments(s, &segments);
+    for (size_t i = before; i < segments.size(); ++i) sources.push_back(&s);
+  }
+  if (!options.use_quantile_knots) {
+    for (Segment& seg : segments) seg.shape.clear();
+  }
+
+  // 2. Sort by position and clip stale-state overlaps.
+  std::vector<size_t> order(segments.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return segments[a].lo < segments[b].lo;
+  });
+  std::vector<Segment> clipped;
+  std::vector<const LocalSummary*> clipped_src;
+  double frontier = 0.0;
+  for (size_t idx : order) {
+    Segment seg = segments[idx];
+    if (!ClipSegmentLow(frontier, sources[idx], &seg)) continue;
+    frontier = std::max(frontier, seg.hi);
+    clipped_src.push_back(sources[idx]);
+    clipped.push_back(std::move(seg));
+  }
+  if (clipped.empty()) {
+    return Status::Internal("all probed segments clipped away");
+  }
+
+  // 3. Optional winsorization: clamp per-arc densities into the
+  // [f, 1-f] quantile band of all observed densities, rescaling counts
+  // (and shape knots) of out-of-band arcs. A lying responder can then
+  // shift the estimate by at most ~the band edge times its arc width.
+  if (options.density_winsor_fraction > 0.0 && clipped.size() >= 3) {
+    const double f =
+        Clamp(options.density_winsor_fraction, 0.0, 0.49);
+    std::vector<double> densities;
+    densities.reserve(clipped.size());
+    for (const Segment& seg : clipped) densities.push_back(seg.Density());
+    const double lo_bound = Quantile(densities, f);
+    const double hi_bound = Quantile(densities, 1.0 - f);
+    for (Segment& seg : clipped) {
+      const double d = seg.Density();
+      const double clamped = Clamp(d, lo_bound, hi_bound);
+      if (clamped == d) continue;
+      if (d > 0.0) {
+        const double scale = clamped / d;
+        seg.count *= scale;
+        for (auto& knot : seg.shape) knot.f *= scale;
+      } else {
+        // Claimed emptiness raised to the lower band: a linear ramp (no
+        // shape information to rescale).
+        seg.count = clamped * seg.Width();
+      }
+    }
+  }
+
+  // 4. Coverage and the global density ratio estimate.
+  double covered = 0.0;
+  double counted = 0.0;
+  for (const Segment& seg : clipped) {
+    covered += seg.Width();
+    counted += seg.count;
+  }
+  const double global_density = covered > 0.0 ? counted / covered : 0.0;
+
+  // Gap density per policy. Edge gaps (before the first and after the last
+  // segment) wrap across the domain boundary, so both use the last/first
+  // segment pair as neighbors.
+  auto gap_density = [&](const Segment* left, const Segment* right) {
+    switch (options.gap_fill) {
+      case GapFillPolicy::kZero:
+        return 0.0;
+      case GapFillPolicy::kGlobalMean:
+        return global_density;
+      case GapFillPolicy::kNeighborInterpolation: {
+        double sum = 0.0;
+        int n = 0;
+        if (left != nullptr) {
+          sum += left->Density();
+          ++n;
+        }
+        if (right != nullptr) {
+          sum += right->Density();
+          ++n;
+        }
+        return n > 0 ? sum / n : global_density;
+      }
+    }
+    return global_density;
+  };
+
+  // 5. Assemble unnormalized cumulative knots.
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  knots.reserve(clipped.size() * 4 + 2);
+  double running = 0.0;
+  knots.push_back({0.0, 0.0});
+  const Segment* wrap_left = &clipped.back();    // neighbor across 0
+  const Segment* wrap_right = &clipped.front();  // neighbor across 1
+  for (size_t i = 0; i < clipped.size(); ++i) {
+    const Segment& seg = clipped[i];
+    // Gap before this segment.
+    const double gap_lo = i == 0 ? 0.0 : clipped[i - 1].hi;
+    if (seg.lo > gap_lo) {
+      const Segment* left = i == 0 ? wrap_left : &clipped[i - 1];
+      running += (seg.lo - gap_lo) * gap_density(left, &seg);
+    }
+    knots.push_back({seg.lo, running});
+    for (const auto& shape_knot : seg.shape) {
+      knots.push_back({shape_knot.x, running + shape_knot.f});
+    }
+    running += seg.count;
+    knots.push_back({seg.hi, running});
+  }
+  // Trailing gap to the domain end.
+  const double tail_lo = clipped.back().hi;
+  if (tail_lo < 1.0) {
+    running += (1.0 - tail_lo) * gap_density(&clipped.back(), wrap_right);
+  }
+  knots.push_back({1.0, running});
+
+  ReconstructionResult result;
+  result.estimated_total = running;
+  result.covered_fraction = covered;
+  result.segment_count = clipped.size();
+
+  if (running <= 0.0) {
+    // Probes saw no data at all: report the uninformative uniform CDF.
+    auto uniform = PiecewiseLinearCdf::FromKnots({{0.0, 0.0}, {1.0, 1.0}});
+    result.cdf = std::move(*uniform);
+    return result;
+  }
+
+  for (auto& k : knots) k.f /= running;
+  PiecewiseLinearCdf::MakeMonotone(knots);
+  knots.back().f = 1.0;
+  Result<PiecewiseLinearCdf> cdf = PiecewiseLinearCdf::FromKnots(knots);
+  if (!cdf.ok()) return cdf.status();
+  result.cdf = std::move(*cdf);
+  return result;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,72 @@
+#ifndef RINGDDE_CORE_GLOBAL_CDF_H_
+#define RINGDDE_CORE_GLOBAL_CDF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/local_summary.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// How to estimate the item mass of ring regions no probe covered.
+enum class GapFillPolicy {
+  /// Gap density = average of the two adjacent probed arcs' densities
+  /// (wrapping at the domain boundary). Default: locally adaptive, so
+  /// skewed distributions keep their shape between probes.
+  kNeighborInterpolation,
+  /// Gap density = global ratio estimate (total probed count over total
+  /// probed width). Lower variance per gap but flattens local structure.
+  kGlobalMean,
+  /// Gaps carry zero mass. Ablation only: quantifies how much of the
+  /// estimate is interpolation.
+  kZero,
+};
+
+struct ReconstructionOptions {
+  GapFillPolicy gap_fill = GapFillPolicy::kNeighborInterpolation;
+
+  /// If true, each probed arc contributes its local quantile knots so the
+  /// CDF is shaped *within* arcs; if false, each arc is a single linear
+  /// ramp (count-only reconstruction — the E11 ablation).
+  bool use_quantile_knots = true;
+
+  /// Robustness against faulty or lying peers: when > 0, per-arc densities
+  /// are winsorized at the [f, 1-f] quantiles of all observed densities —
+  /// an arc claiming a density above the (1-f)-quantile has its count
+  /// capped to that bound (and below-bound symmetric for deflation), and
+  /// the clamped densities also drive gap filling. Bounds the damage any
+  /// o(f·m) coalition of Byzantine responders can do, at the cost of
+  /// clipping genuine extreme spikes (E15 quantifies both sides).
+  /// 0 disables (trust all responses). Sensible values: 0.01–0.1.
+  double density_winsor_fraction = 0.0;
+};
+
+/// Output of stitching probe responses into a global estimate.
+struct ReconstructionResult {
+  PiecewiseLinearCdf cdf;        ///< normalized estimate of the global CDF
+  double estimated_total = 0.0;  ///< N̂: estimated global item count
+  double covered_fraction = 0.0; ///< ring fraction the probes covered
+  size_t segment_count = 0;      ///< arcs used (after split/clip/dedup)
+};
+
+/// Stitches probed arc summaries into a monotone piecewise-linear estimate
+/// of the global CDF over the unit key domain.
+///
+/// Steps: (1) split the (at most one) arc wrapping the domain boundary into
+/// two linear segments, apportioning its count by its local quantiles;
+/// (2) sort segments and clip any stale-state overlaps; (3) lay down exact
+/// cumulative increments across probed segments, with quantile shape knots;
+/// (4) fill unprobed gaps per `gap_fill`; (5) normalize. The unnormalized
+/// final mass is the Horvitz–Thompson-style estimate N̂ of the global item
+/// count.
+///
+/// Fails on an empty summary set. A set whose counts are all zero yields
+/// the uniform CDF with estimated_total = 0.
+Result<ReconstructionResult> ReconstructGlobalCdf(
+    const std::vector<LocalSummary>& summaries,
+    const ReconstructionOptions& options = {});
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_GLOBAL_CDF_H_

@@ -1,0 +1,45 @@
+#include "core/inversion_sampler.h"
+
+#include <cassert>
+
+namespace ringdde {
+
+InversionSampler::InversionSampler(const PiecewiseLinearCdf* cdf)
+    : cdf_(cdf) {
+  assert(cdf != nullptr);
+}
+
+double InversionSampler::Sample(Rng& rng) const {
+  return cdf_->Inverse(rng.UniformDouble());
+}
+
+std::vector<double> InversionSampler::SampleMany(size_t k, Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+std::vector<double> InversionSampler::SampleStratified(size_t k,
+                                                       Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(k);
+  const double kd = static_cast<double>(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double u = (static_cast<double>(i) + rng.UniformDouble()) / kd;
+    out.push_back(cdf_->Inverse(u));
+  }
+  return out;
+}
+
+std::vector<double> InversionSampler::EvenQuantiles(size_t k) const {
+  std::vector<double> out;
+  out.reserve(k);
+  const double kd = static_cast<double>(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.push_back(cdf_->Inverse((static_cast<double>(i) + 0.5) / kd));
+  }
+  return out;
+}
+
+}  // namespace ringdde

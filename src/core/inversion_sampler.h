@@ -1,0 +1,44 @@
+#ifndef RINGDDE_CORE_INVERSION_SAMPLER_H_
+#define RINGDDE_CORE_INVERSION_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// The inversion method over an estimated CDF: X = F̂⁻¹(U), U ~ Uniform(0,1).
+///
+/// This is the paper's titular idea applied twice. Downstream consumers use
+/// it to draw as many (pseudo-)samples from the estimated global
+/// distribution as they like without any further network traffic; and the
+/// estimator itself uses the stratified variant to aim refinement probes at
+/// where the mass is, which is what makes probing "free from sampling bias"
+/// under skew.
+class InversionSampler {
+ public:
+  /// The referenced CDF must outlive the sampler.
+  explicit InversionSampler(const PiecewiseLinearCdf* cdf);
+
+  /// One inverse-transform draw.
+  double Sample(Rng& rng) const;
+
+  /// `k` i.i.d. draws.
+  std::vector<double> SampleMany(size_t k, Rng& rng) const;
+
+  /// `k` stratified draws: u_i = (i + U_i)/k, one per equal-probability
+  /// stratum. Same marginal distribution, much lower discrepancy — the
+  /// right choice for probe targeting and for quantile summaries.
+  std::vector<double> SampleStratified(size_t k, Rng& rng) const;
+
+  /// Deterministic k evenly spaced quantiles F̂⁻¹((i+0.5)/k), i = 0..k-1.
+  std::vector<double> EvenQuantiles(size_t k) const;
+
+ private:
+  const PiecewiseLinearCdf* cdf_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_INVERSION_SAMPLER_H_

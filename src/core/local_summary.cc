@@ -1,0 +1,81 @@
+#include "core/local_summary.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+#include "stats/gk_sketch.h"
+
+namespace ringdde {
+
+double LocalSummary::Density() const {
+  const double w = ArcWidth();
+  if (w <= 0.0) return 0.0;
+  return static_cast<double>(item_count) / w;
+}
+
+double LocalSummary::InterpolatedRank(double key) const {
+  if (item_count == 0 || quantiles.empty()) return 0.0;
+  const double c = static_cast<double>(item_count);
+  if (quantiles.size() == 1) {
+    // Single knot: all mass at one value.
+    return key >= quantiles.front() ? c : 0.0;
+  }
+  if (key < quantiles.front()) return 0.0;
+  if (key >= quantiles.back()) return c;
+  // quantiles[i] sits at cumulative fraction i/(q-1).
+  auto it = std::upper_bound(quantiles.begin(), quantiles.end(), key);
+  const size_t i = static_cast<size_t>(it - quantiles.begin());  // >= 1
+  const double lo = quantiles[i - 1];
+  const double hi = quantiles[i];
+  const double q1 = static_cast<double>(quantiles.size() - 1);
+  double t = 0.0;
+  if (hi > lo) t = (key - lo) / (hi - lo);
+  return c * ((static_cast<double>(i - 1) + t) / q1);
+}
+
+LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
+                                         double sketch_epsilon) {
+  assert(num_quantiles >= 2);
+  LocalSummary s;
+  s.addr = node.addr();
+  s.arc_lo = node.predecessor().id;
+  s.arc_hi = node.id();
+  s.item_count = node.item_count();
+  if (s.item_count > 0) {
+    GkSketch sketch(sketch_epsilon);
+    sketch.AddAll(node.keys());
+    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
+    const double q1 = static_cast<double>(num_quantiles - 1);
+    double prev = -1e300;
+    for (int i = 0; i < num_quantiles; ++i) {
+      double q = sketch.Quantile(static_cast<double>(i) / q1);
+      // The sketch's per-query guarantees do not promise joint
+      // monotonicity; enforce it so InterpolatedRank stays well-defined.
+      q = std::max(q, prev);
+      prev = q;
+      s.quantiles.push_back(q);
+    }
+  }
+  return s;
+}
+
+LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles) {
+  assert(num_quantiles >= 2);
+  LocalSummary s;
+  s.addr = node.addr();
+  s.arc_lo = node.predecessor().id;
+  s.arc_hi = node.id();
+  s.item_count = node.item_count();
+  if (s.item_count > 0) {
+    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
+    const double q1 = static_cast<double>(num_quantiles - 1);
+    for (int i = 0; i < num_quantiles; ++i) {
+      s.quantiles.push_back(
+          node.LocalQuantile(static_cast<double>(i) / q1));
+    }
+  }
+  return s;
+}
+
+}  // namespace ringdde

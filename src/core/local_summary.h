@@ -1,0 +1,60 @@
+#ifndef RINGDDE_CORE_LOCAL_SUMMARY_H_
+#define RINGDDE_CORE_LOCAL_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/id.h"
+#include "ring/node.h"
+
+namespace ringdde {
+
+/// What a probed peer returns: everything needed to reconstruct its exact
+/// slice of the global cumulative distribution function.
+///
+/// Because placement is order-preserving, the peer's owned arc
+/// (arc_lo, arc_hi] *is* a key interval, its item count is the exact CDF
+/// increment across that interval, and its local quantiles describe the
+/// CDF's shape inside it. A probe response is therefore a lossless (up to
+/// quantile resolution) sample of the global CDF restricted to one arc.
+struct LocalSummary {
+  NodeAddr addr = 0;
+  RingId arc_lo;  ///< exclusive lower arc end (the peer's predecessor id)
+  RingId arc_hi;  ///< inclusive upper arc end (the peer's own id)
+  uint64_t item_count = 0;
+
+  /// `q` evenly spaced local key quantiles at p = i/(q+1), i = 1..q,
+  /// ascending. Empty when the peer stores nothing.
+  std::vector<double> quantiles;
+
+  /// Arc length as a fraction of the ring (= of the unit key domain).
+  double ArcWidth() const { return ArcFraction(arc_lo, arc_hi); }
+
+  /// Items per unit of key domain across the arc (the per-probe density
+  /// observation; 0-width arcs yield 0).
+  double Density() const;
+
+  /// Exact-ish local rank: estimated count of this peer's items <= key,
+  /// interpolated through the quantile knots. Clamped to [0, item_count].
+  double InterpolatedRank(double key) const;
+
+  /// Serialized probe-response size: arc (16) + count (8) + quantiles (8
+  /// each).
+  uint64_t EncodedBytes() const { return 24 + 8 * quantiles.size(); }
+};
+
+/// Computes the summary a peer would return to a probe, with `num_quantiles`
+/// local quantiles (exact order statistics).
+LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles);
+
+/// As ComputeLocalSummary, but the quantiles are read from a Greenwald–
+/// Khanna ε-sketch over the peer's keys instead of exact order statistics —
+/// modeling peers whose stores are too large (or too write-hot) to keep
+/// sorted, and bounding what sketch-only peers cost in estimate fidelity
+/// (ablation E11f). Rank error per quantile is ≤ ε·count.
+LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
+                                         double sketch_epsilon);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_LOCAL_SUMMARY_H_

@@ -1,0 +1,96 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ringdde {
+
+EstimateMaintainer::EstimateMaintainer(ChordRing* ring,
+                                       DdeOptions estimator_options,
+                                       MaintenanceOptions options)
+    : ring_(ring), estimator_(ring, estimator_options), options_(options) {
+  assert(options_.refresh_period_seconds > 0.0);
+  assert(options_.incremental_fraction > 0.0 &&
+         options_.incremental_fraction <= 1.0);
+}
+
+Status EstimateMaintainer::Start(NodeAddr owner) {
+  if (started_) return Status::FailedPrecondition("already started");
+  if (!ring_->IsAlive(owner)) {
+    return Status::InvalidArgument("owner is not an alive peer");
+  }
+  owner_ = owner;
+  started_ = true;
+  Refresh();
+  ScheduleNext();
+  return Status::OK();
+}
+
+double EstimateMaintainer::StalenessSeconds() const {
+  if (!current_.has_value()) return std::numeric_limits<double>::infinity();
+  return ring_->network().Now() - current_->produced_at;
+}
+
+void EstimateMaintainer::Refresh() {
+  // The observer role migrates if its host departed.
+  if (!ring_->IsAlive(owner_)) {
+    Result<NodeAddr> fresh = ring_->RandomAliveNode(ring_->rng());
+    if (!fresh.ok()) {
+      ++failed_refreshes_;
+      return;
+    }
+    owner_ = *fresh;
+  }
+
+  // Evict summaries from departed peers: their arcs no longer exist.
+  std::erase_if(summary_pool_, [this](const LocalSummary& s) {
+    return !ring_->IsAlive(s.addr);
+  });
+
+  size_t fresh_probes;
+  if (options_.incremental && current_.has_value()) {
+    fresh_probes = static_cast<size_t>(
+        std::ceil(options_.incremental_fraction *
+                  static_cast<double>(estimator_.options().num_probes)));
+    fresh_probes = std::max<size_t>(fresh_probes, 1);
+    // Age out the oldest summaries to make room for the fresh slice.
+    const size_t cap = estimator_.options().num_probes;
+    const size_t keep =
+        summary_pool_.size() + fresh_probes > cap
+            ? cap - std::min(cap, fresh_probes)
+            : summary_pool_.size();
+    if (summary_pool_.size() > keep) {
+      summary_pool_.erase(summary_pool_.begin(),
+                          summary_pool_.begin() +
+                              static_cast<ptrdiff_t>(summary_pool_.size() -
+                                                     keep));
+    }
+  } else {
+    summary_pool_.clear();
+    fresh_probes = estimator_.options().num_probes;
+  }
+
+  Result<DensityEstimate> est =
+      estimator_.EstimateWith(owner_, &summary_pool_, fresh_probes);
+  if (est.ok()) {
+    current_ = std::move(*est);
+    ++refreshes_;
+  } else {
+    ++failed_refreshes_;
+    RINGDDE_LOG(kDebug) << "refresh failed: " << est.status().ToString();
+  }
+}
+
+void EstimateMaintainer::ScheduleNext() {
+  ring_->network().events().ScheduleAfter(
+      options_.refresh_period_seconds, [this] {
+        Refresh();
+        ScheduleNext();
+      });
+}
+
+}  // namespace ringdde

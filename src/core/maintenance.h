@@ -1,0 +1,68 @@
+#ifndef RINGDDE_CORE_MAINTENANCE_H_
+#define RINGDDE_CORE_MAINTENANCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/density_estimator.h"
+
+namespace ringdde {
+
+/// Refresh policy for keeping an estimate current in a dynamic network.
+struct MaintenanceOptions {
+  /// Seconds between refreshes.
+  double refresh_period_seconds = 60.0;
+
+  /// If true, each refresh re-probes only `incremental_fraction` of the
+  /// probe budget and splices the fresh summaries over the oldest cached
+  /// ones; if false, every refresh is a full re-estimation.
+  bool incremental = false;
+
+  /// Fraction of the probe budget refreshed per period in incremental mode.
+  double incremental_fraction = 0.25;
+};
+
+/// Keeps one peer's density estimate fresh under churn and data updates by
+/// re-running the estimator on the shared event queue.
+///
+/// Incremental mode amortizes cost: summaries age in a FIFO pool and only
+/// the oldest slice is re-probed each period, trading staleness for
+/// messages (measured in E5). Summaries from peers that have since departed
+/// are evicted eagerly on every refresh.
+class EstimateMaintainer {
+ public:
+  EstimateMaintainer(ChordRing* ring, DdeOptions estimator_options,
+                     MaintenanceOptions options = {});
+
+  /// Runs the first estimation immediately and schedules periodic
+  /// refreshes for `owner`. Call once.
+  Status Start(NodeAddr owner);
+
+  /// Latest successful estimate, if any.
+  const std::optional<DensityEstimate>& current() const { return current_; }
+
+  /// Seconds since the latest successful estimate (infinity if none).
+  double StalenessSeconds() const;
+
+  uint64_t refreshes() const { return refreshes_; }
+  uint64_t failed_refreshes() const { return failed_refreshes_; }
+
+ private:
+  void Refresh();
+  void ScheduleNext();
+
+  ChordRing* ring_;
+  DistributionFreeEstimator estimator_;
+  MaintenanceOptions options_;
+  NodeAddr owner_ = 0;
+  bool started_ = false;
+
+  std::optional<DensityEstimate> current_;
+  std::vector<LocalSummary> summary_pool_;  // FIFO: oldest first
+  uint64_t refreshes_ = 0;
+  uint64_t failed_refreshes_ = 0;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_MAINTENANCE_H_

@@ -1,0 +1,84 @@
+#include "core/probe.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "core/wire.h"
+
+namespace ringdde {
+
+CdfProber::CdfProber(ChordRing* ring, ProbeOptions options)
+    : ring_(ring), options_(options) {
+  assert(ring != nullptr);
+  assert(options_.num_quantiles >= 2);
+}
+
+Result<LocalSummary> CdfProber::Probe(NodeAddr querier, RingId target) {
+  Result<NodeAddr> owner = ring_->Lookup(querier, target);
+  if (!owner.ok()) {
+    ++failed_probes_;
+    return owner.status();
+  }
+  Node* node = ring_->GetNode(*owner);
+  if (node == nullptr || !node->alive()) {
+    // The lookup's final answer went stale before we could contact it.
+    ++failed_probes_;
+    return Status::Unavailable("probed owner died");
+  }
+  LocalSummary summary =
+      options_.use_sketch_summaries
+          ? ComputeLocalSummarySketched(*node, options_.num_quantiles,
+                                        options_.sketch_epsilon)
+          : ComputeLocalSummary(*node, options_.num_quantiles);
+  // Summary request + response, charged at the response's REAL wire size.
+  ring_->network().Send(querier, *owner, 16, /*hop_count=*/1);
+  ring_->network().Send(*owner, querier, EncodedSummarySize(summary),
+                        /*hop_count=*/0);
+  return summary;
+}
+
+void CdfProber::ProbeTargets(NodeAddr querier,
+                             const std::vector<RingId>& targets,
+                             std::vector<LocalSummary>* out) {
+  std::unordered_set<NodeAddr> seen;
+  seen.reserve(out->size() + targets.size());
+  for (const LocalSummary& s : *out) seen.insert(s.addr);
+  for (RingId t : targets) {
+    // Skip positions whose owner we already hold: the owner is resolvable
+    // locally against fetched arcs, so no message is spent.
+    if (options_.skip_covered_targets) {
+      bool covered = false;
+      for (const LocalSummary& s : *out) {
+        if (InArcOpenClosed(t, s.arc_lo, s.arc_hi)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+    }
+    Result<LocalSummary> r = Probe(querier, t);
+    if (!r.ok()) continue;
+    if (seen.insert(r->addr).second) {
+      out->push_back(std::move(*r));
+    } else {
+      // Re-probed peer: keep the fresher summary (matters when covered
+      // targets are probed anyway under churn).
+      for (LocalSummary& s : *out) {
+        if (s.addr == r->addr) {
+          s = std::move(*r);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void CdfProber::ProbeUniform(NodeAddr querier, size_t m, Rng& rng,
+                             std::vector<LocalSummary>* out) {
+  std::vector<RingId> targets;
+  targets.reserve(m);
+  for (size_t i = 0; i < m; ++i) targets.push_back(RingId(rng.NextU64()));
+  ProbeTargets(querier, targets, out);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,73 @@
+#ifndef RINGDDE_CORE_PROBE_H_
+#define RINGDDE_CORE_PROBE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/local_summary.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Probe-protocol knobs.
+struct ProbeOptions {
+  /// Quantile knots per probe response (including the local min and max).
+  /// More knots = better within-arc CDF shape = bigger responses.
+  int num_quantiles = 8;
+
+  /// If true, a probe target that falls inside an already-fetched arc is
+  /// resolved locally (no messages). Under heavy churn the fetched arcs can
+  /// be stale and overlapping, so this optimization trades accuracy for
+  /// cost; E11e quantifies the trade. Correct and significantly cheaper on
+  /// stable rings.
+  bool skip_covered_targets = true;
+
+  /// If true, probed peers answer from a Greenwald–Khanna ε-sketch instead
+  /// of exact order statistics (peers that do not keep sorted stores).
+  /// Fidelity cost ablated in E11f.
+  bool use_sketch_summaries = false;
+
+  /// Rank-error bound of the peer sketches when use_sketch_summaries.
+  double sketch_epsilon = 0.02;
+};
+
+/// The CDF-sampling primitive: route to the owner of a ring position and
+/// fetch its LocalSummary.
+///
+/// Cost model per probe: one iterative lookup (charged by ChordRing) plus a
+/// summary request (16 bytes) and response (summary.EncodedBytes()).
+class CdfProber {
+ public:
+  CdfProber(ChordRing* ring, ProbeOptions options = {});
+
+  /// Probes the owner of `target` starting from `querier`.
+  Result<LocalSummary> Probe(NodeAddr querier, RingId target);
+
+  /// Draws `m` ring positions uniformly at random and probes each; this is
+  /// the distribution-free CDF-sampling step. Repeat owners are fetched
+  /// only once (a duplicate position adds no information); failed probes
+  /// (churn) are skipped. Appends to `out`, skipping owners already present.
+  void ProbeUniform(NodeAddr querier, size_t m, Rng& rng,
+                    std::vector<LocalSummary>* out);
+
+  /// Probes the owners of explicit ring positions (used by the inversion-
+  /// guided refinement rounds). Same dedup/failure semantics.
+  void ProbeTargets(NodeAddr querier, const std::vector<RingId>& targets,
+                    std::vector<LocalSummary>* out);
+
+  const ProbeOptions& options() const { return options_; }
+
+  /// Number of probes that failed (routing Unavailable/TimedOut) since
+  /// construction.
+  uint64_t failed_probes() const { return failed_probes_; }
+
+ private:
+  ChordRing* ring_;
+  ProbeOptions options_;
+  uint64_t failed_probes_ = 0;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_PROBE_H_

@@ -1,0 +1,47 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/bounds.h"
+
+namespace ringdde {
+
+size_t RecommendedProbeCount(double epsilon, double delta) {
+  return DkwRequiredSamples(epsilon, delta);
+}
+
+double ProbeCountEpsilon(size_t m, double delta) {
+  return DkwEpsilon(m, delta);
+}
+
+double ExpectedLookupHops(size_t n) {
+  if (n <= 1) return 0.0;
+  return 0.5 * std::log2(static_cast<double>(n));
+}
+
+double ExpectedEstimationMessages(size_t m, size_t n) {
+  // Per probe: lookup hops, 2 messages each (query + response), plus the
+  // summary request/response pair.
+  const double per_probe = 2.0 * ExpectedLookupHops(n) + 2.0;
+  return static_cast<double>(m) * per_probe;
+}
+
+double ExpectedDistinctPeers(size_t m, size_t n) {
+  if (n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double miss = std::pow(1.0 - 1.0 / nn, static_cast<double>(m));
+  return nn * (1.0 - miss);
+}
+
+double ExpectedCoverage(size_t m, size_t n) {
+  if (n == 0) return 0.0;
+  // Size-biased sampling: a uniform position lands in an arc with
+  // probability proportional to its length, so probed arcs average ~2x the
+  // mean arc (exponential arc-length limit). Clamp to 1.
+  const double covered = ExpectedDistinctPeers(m, n) * 2.0 /
+                         static_cast<double>(n);
+  return std::min(covered, 1.0);
+}
+
+}  // namespace ringdde

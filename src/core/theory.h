@@ -1,0 +1,42 @@
+#ifndef RINGDDE_CORE_THEORY_H_
+#define RINGDDE_CORE_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ringdde {
+
+/// Analytic predictions quoted alongside measurements in the benchmarks.
+/// All are the standard results for Chord-style rings; the DKW material is
+/// re-exported from stats/bounds.h in estimator terms.
+
+/// Probe budget m achieving KS error <= epsilon with probability >= 1-delta
+/// in the idealized (rank-sampling) analysis; a direct DKW application.
+size_t RecommendedProbeCount(double epsilon, double delta);
+
+/// The (eps) a budget of m probes buys at confidence 1-delta.
+double ProbeCountEpsilon(size_t m, double delta);
+
+/// Expected hops of one Chord lookup in an n-node ring: (1/2)·log2(n).
+double ExpectedLookupHops(size_t n);
+
+/// Expected messages of one estimation run with m probes in an n-node
+/// ring under this simulator's cost model: per probe, a lookup of
+/// E[hops] round trips (2 messages each) plus the summary round trip.
+double ExpectedEstimationMessages(size_t m, size_t n);
+
+/// Expected number of DISTINCT peers hit by m uniform position probes in an
+/// n-node ring: n·(1 - (1-1/n)^m) under the uniform-arc approximation.
+double ExpectedDistinctPeers(size_t m, size_t n);
+
+/// Expected fraction of the ring covered by the arcs of m uniform position
+/// probes: with i.i.d. Exponential arcs (the large-n limit of uniform node
+/// ids), the probed arcs are size-biased, giving coverage
+/// 1 - (1-1/n)^m weighted by... approximated as ExpectedDistinctPeers·2/n
+/// (size-biased arcs average twice the mean arc). Used only as a sanity
+/// reference column.
+double ExpectedCoverage(size_t m, size_t n);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_THEORY_H_

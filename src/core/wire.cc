@@ -1,0 +1,129 @@
+#include "core/wire.h"
+
+namespace ringdde {
+
+namespace {
+constexpr uint8_t kSummaryTag = 0x51;
+constexpr uint8_t kCdfTag = 0x52;
+constexpr uint8_t kEstimateTag = 0x53;
+}  // namespace
+
+void EncodeLocalSummary(const LocalSummary& summary, Encoder* encoder) {
+  encoder->PutU8(kSummaryTag);
+  encoder->PutVarint64(summary.addr);
+  encoder->PutFixed64(summary.arc_lo.value);
+  encoder->PutFixed64(summary.arc_hi.value);
+  encoder->PutVarint64(summary.item_count);
+  encoder->PutVarint64(summary.quantiles.size());
+  for (double q : summary.quantiles) encoder->PutDouble(q);
+}
+
+Result<LocalSummary> DecodeLocalSummary(Decoder* decoder) {
+  uint8_t tag;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetU8(&tag));
+  if (tag != kSummaryTag) {
+    return Status::InvalidArgument("not a LocalSummary payload");
+  }
+  LocalSummary s;
+  uint64_t addr, lo, hi, count, nq;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&addr));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetFixed64(&lo));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetFixed64(&hi));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&count));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&nq));
+  if (nq > decoder->remaining() / 8) {
+    return Status::OutOfRange("quantile count exceeds payload");
+  }
+  s.addr = addr;
+  s.arc_lo = RingId(lo);
+  s.arc_hi = RingId(hi);
+  s.item_count = count;
+  s.quantiles.reserve(static_cast<size_t>(nq));
+  double prev = -1e300;
+  for (uint64_t i = 0; i < nq; ++i) {
+    double q;
+    RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&q));
+    if (q < prev) {
+      return Status::InvalidArgument("quantiles not ascending");
+    }
+    prev = q;
+    s.quantiles.push_back(q);
+  }
+  return s;
+}
+
+void EncodePiecewiseCdf(const PiecewiseLinearCdf& cdf, Encoder* encoder) {
+  encoder->PutU8(kCdfTag);
+  encoder->PutVarint64(cdf.knots().size());
+  for (const auto& knot : cdf.knots()) {
+    encoder->PutDouble(knot.x);
+    encoder->PutDouble(knot.f);
+  }
+}
+
+Result<PiecewiseLinearCdf> DecodePiecewiseCdf(Decoder* decoder) {
+  uint8_t tag;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetU8(&tag));
+  if (tag != kCdfTag) {
+    return Status::InvalidArgument("not a PiecewiseLinearCdf payload");
+  }
+  uint64_t n;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&n));
+  if (n > decoder->remaining() / 16) {
+    return Status::OutOfRange("knot count exceeds payload");
+  }
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  knots.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    PiecewiseLinearCdf::Knot k;
+    RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&k.x));
+    RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&k.f));
+    knots.push_back(k);
+  }
+  // Validation (monotonicity, [0,1] range) happens in FromKnots; a hostile
+  // or corrupt payload is rejected, never trusted.
+  return PiecewiseLinearCdf::FromKnots(std::move(knots));
+}
+
+void EncodeDensityEstimate(const DensityEstimate& estimate,
+                           Encoder* encoder) {
+  encoder->PutU8(kEstimateTag);
+  EncodePiecewiseCdf(estimate.cdf, encoder);
+  encoder->PutDouble(estimate.estimated_total_items);
+  encoder->PutVarint64(estimate.peers_probed);
+  encoder->PutDouble(estimate.covered_fraction);
+  encoder->PutDouble(estimate.produced_at);
+}
+
+Result<DensityEstimate> DecodeDensityEstimate(Decoder* decoder) {
+  uint8_t tag;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetU8(&tag));
+  if (tag != kEstimateTag) {
+    return Status::InvalidArgument("not a DensityEstimate payload");
+  }
+  Result<PiecewiseLinearCdf> cdf = DecodePiecewiseCdf(decoder);
+  if (!cdf.ok()) return cdf.status();
+  DensityEstimate e;
+  e.cdf = std::move(*cdf);
+  uint64_t peers;
+  RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&e.estimated_total_items));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&peers));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&e.covered_fraction));
+  RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&e.produced_at));
+  e.peers_probed = static_cast<size_t>(peers);
+  if (e.estimated_total_items < 0.0 || e.covered_fraction < 0.0 ||
+      e.covered_fraction > 1.0 + 1e-9) {
+    return Status::InvalidArgument("estimate fields out of range");
+  }
+  return e;
+}
+
+size_t EncodedSummarySize(const LocalSummary& summary) {
+  // tag + varint(addr) + 2 fixed64 + varint(count) + varint(#q) + 8/q.
+  return 1 + VarintLength(summary.addr) + 16 +
+         VarintLength(summary.item_count) +
+         VarintLength(summary.quantiles.size()) +
+         8 * summary.quantiles.size();
+}
+
+}  // namespace ringdde

@@ -1,0 +1,39 @@
+#ifndef RINGDDE_CORE_WIRE_H_
+#define RINGDDE_CORE_WIRE_H_
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "core/local_summary.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Wire formats for the estimation protocol's messages.
+///
+/// Two purposes: (1) probe responses are charged to the network at their
+/// REAL encoded size; (2) a peer can ship its whole density estimate to
+/// another peer (estimate dissemination / caching), which is how an
+/// application layer would share one m-probe investment ring-wide.
+///
+/// Formats are versioned with a leading tag byte so they can evolve.
+
+/// Probe response: the peer's CDF slice.
+void EncodeLocalSummary(const LocalSummary& summary, Encoder* encoder);
+Result<LocalSummary> DecodeLocalSummary(Decoder* decoder);
+
+/// A piecewise-linear CDF (knot list).
+void EncodePiecewiseCdf(const PiecewiseLinearCdf& cdf, Encoder* encoder);
+Result<PiecewiseLinearCdf> DecodePiecewiseCdf(Decoder* decoder);
+
+/// A full shareable estimate: CDF + N̂ + provenance counters.
+void EncodeDensityEstimate(const DensityEstimate& estimate,
+                           Encoder* encoder);
+Result<DensityEstimate> DecodeDensityEstimate(Decoder* decoder);
+
+/// Convenience: encoded size of a summary without keeping the bytes.
+size_t EncodedSummarySize(const LocalSummary& summary);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_WIRE_H_

@@ -1,0 +1,72 @@
+#include "core/workload_stream.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ringdde {
+
+WorkloadStream::WorkloadStream(ChordRing* ring,
+                               std::unique_ptr<Distribution> initial,
+                               WorkloadStreamOptions options)
+    : ring_(ring),
+      insert_dist_(std::move(initial)),
+      options_(options),
+      rng_(options.seed) {
+  assert(ring != nullptr);
+  assert(insert_dist_ != nullptr);
+}
+
+void WorkloadStream::TrackExistingKeys(const std::vector<double>& keys) {
+  live_keys_.insert(live_keys_.end(), keys.begin(), keys.end());
+}
+
+void WorkloadStream::Start() {
+  if (options_.inserts_per_second > 0.0) ScheduleInsert();
+  if (options_.deletes_per_second > 0.0) ScheduleDelete();
+}
+
+void WorkloadStream::SetInsertDistribution(
+    std::unique_ptr<Distribution> dist) {
+  assert(dist != nullptr);
+  insert_dist_ = std::move(dist);
+}
+
+void WorkloadStream::ScheduleInsert() {
+  ring_->network().events().ScheduleAfter(
+      rng_.Exponential(options_.inserts_per_second),
+      [this] { OnInsert(); });
+}
+
+void WorkloadStream::ScheduleDelete() {
+  ring_->network().events().ScheduleAfter(
+      rng_.Exponential(options_.deletes_per_second),
+      [this] { OnDelete(); });
+}
+
+void WorkloadStream::OnInsert() {
+  const double key = insert_dist_->Sample(rng_);
+  if (ring_->InsertKeyBulk(key).ok()) {
+    live_keys_.push_back(key);
+    ++inserts_;
+  }
+  ScheduleInsert();
+}
+
+void WorkloadStream::OnDelete() {
+  // Uniform victim from the live pool, swap-removed. A key may have been
+  // lost to a non-durable crash meanwhile; treat that as already deleted.
+  while (!live_keys_.empty()) {
+    const size_t idx =
+        static_cast<size_t>(rng_.UniformU64(live_keys_.size()));
+    const double key = live_keys_[idx];
+    live_keys_[idx] = live_keys_.back();
+    live_keys_.pop_back();
+    if (ring_->EraseKeyBulk(key).ok()) {
+      ++deletes_;
+      break;
+    }
+  }
+  ScheduleDelete();
+}
+
+}  // namespace ringdde

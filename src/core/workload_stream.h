@@ -1,0 +1,70 @@
+#ifndef RINGDDE_CORE_WORKLOAD_STREAM_H_
+#define RINGDDE_CORE_WORKLOAD_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// A live data-update workload: Poisson insert and delete streams driven on
+/// the shared event queue, so estimates are evaluated against a
+/// distribution that MOVES (the "data updates" half of a dynamic network,
+/// complementing peer churn).
+///
+/// Inserts draw keys from the current insert distribution (swappable at
+/// runtime to model drift); deletes remove uniformly random existing keys.
+/// With insert rate == delete rate the dataset size is stationary while its
+/// shape drifts toward the insert distribution.
+struct WorkloadStreamOptions {
+  double inserts_per_second = 50.0;
+  double deletes_per_second = 0.0;
+  uint64_t seed = 404;
+};
+
+class WorkloadStream {
+ public:
+  /// `initial_insert_dist` supplies keys until SetInsertDistribution
+  /// replaces it. The ring must outlive the stream.
+  WorkloadStream(ChordRing* ring,
+                 std::unique_ptr<Distribution> initial_insert_dist,
+                 WorkloadStreamOptions options = {});
+
+  /// Registers already-loaded keys so deletes can target them too.
+  void TrackExistingKeys(const std::vector<double>& keys);
+
+  /// Schedules the first insert/delete events. Call once, then run the
+  /// event queue.
+  void Start();
+
+  /// Swaps the insert distribution (models workload drift).
+  void SetInsertDistribution(std::unique_ptr<Distribution> dist);
+
+  uint64_t inserts() const { return inserts_; }
+  uint64_t deletes() const { return deletes_; }
+
+  /// Keys currently believed live (inserted or tracked, minus deleted).
+  size_t live_keys() const { return live_keys_.size(); }
+
+ private:
+  void OnInsert();
+  void OnDelete();
+  void ScheduleInsert();
+  void ScheduleDelete();
+
+  ChordRing* ring_;
+  std::unique_ptr<Distribution> insert_dist_;
+  WorkloadStreamOptions options_;
+  Rng rng_;
+
+  std::vector<double> live_keys_;  // swap-remove pool for delete targets
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_WORKLOAD_STREAM_H_

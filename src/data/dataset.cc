@@ -1,0 +1,29 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+Dataset GenerateDataset(const Distribution& dist, size_t n, Rng& rng) {
+  Dataset out;
+  out.distribution_name = dist.Name();
+  out.keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.keys.push_back(dist.Sample(rng));
+  return out;
+}
+
+DatasetSummary SummarizeDataset(const Dataset& dataset) {
+  DatasetSummary s;
+  s.count = dataset.keys.size();
+  if (s.count == 0) return s;
+  s.min = *std::min_element(dataset.keys.begin(), dataset.keys.end());
+  s.max = *std::max_element(dataset.keys.begin(), dataset.keys.end());
+  s.mean = Mean(dataset.keys);
+  s.stddev = Stddev(dataset.keys);
+  s.median = Quantile(dataset.keys, 0.5);
+  return s;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,37 @@
+#ifndef RINGDDE_DATA_DATASET_H_
+#define RINGDDE_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+
+/// A generated workload: keys in the unit domain plus provenance.
+struct Dataset {
+  std::vector<double> keys;
+  std::string distribution_name;
+
+  size_t size() const { return keys.size(); }
+};
+
+/// Draws `n` i.i.d. keys from `dist`.
+Dataset GenerateDataset(const Distribution& dist, size_t n, Rng& rng);
+
+/// Summary statistics of a dataset (for experiment logs).
+struct DatasetSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+};
+
+DatasetSummary SummarizeDataset(const Dataset& dataset);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_DATA_DATASET_H_

@@ -1,0 +1,340 @@
+#include "data/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+namespace {
+
+std::string FormatName(const char* fmt, double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return std::string(buf);
+}
+
+}  // namespace
+
+// --- Distribution base -------------------------------------------------------
+
+double Distribution::Quantile(double p) const {
+  p = Clamp(p, 0.0, 1.0);
+  double lo = support_lo();
+  double hi = support_hi();
+  if (p <= 0.0) return lo;
+  if (p >= 1.0) return hi;
+  // 80 bisection steps: interval shrinks below 1e-24, far under double eps
+  // over a unit domain.
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+// --- Uniform -----------------------------------------------------------------
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  assert(0.0 <= lo && lo < hi && hi <= 1.0);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return rng.UniformDouble(lo_, hi_);
+}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::Quantile(double p) const {
+  return lo_ + Clamp(p, 0.0, 1.0) * (hi_ - lo_);
+}
+
+std::string UniformDistribution::Name() const {
+  if (lo_ == 0.0 && hi_ == 1.0) return "Uniform";
+  return FormatName("Uniform[%.2f,%.2f]", lo_, hi_);
+}
+
+// --- Truncated normal ---------------------------------------------------------
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mean,
+                                                         double stddev)
+    : mean_(mean), stddev_(stddev) {
+  assert(stddev > 0.0);
+  cdf_lo_ = StandardNormalCdf((0.0 - mean_) / stddev_);
+  cdf_hi_ = StandardNormalCdf((1.0 - mean_) / stddev_);
+  mass_ = cdf_hi_ - cdf_lo_;
+  assert(mass_ > 1e-12 && "normal has no mass inside [0,1]");
+}
+
+double TruncatedNormalDistribution::Sample(Rng& rng) const {
+  // Rejection from the untruncated normal; falls back to inversion if the
+  // acceptance region is tiny (pathological parameters).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = rng.Normal(mean_, stddev_);
+    if (x >= 0.0 && x <= 1.0) return x;
+  }
+  return Quantile(rng.UniformDouble());
+}
+
+double TruncatedNormalDistribution::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  const double z = (x - mean_) / stddev_;
+  return StandardNormalPdf(z) / (stddev_ * mass_);
+}
+
+double TruncatedNormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double z = (x - mean_) / stddev_;
+  return (StandardNormalCdf(z) - cdf_lo_) / mass_;
+}
+
+double TruncatedNormalDistribution::Quantile(double p) const {
+  p = Clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  const double z = InverseStandardNormalCdf(cdf_lo_ + p * mass_);
+  return Clamp(mean_ + stddev_ * z, 0.0, 1.0);
+}
+
+std::string TruncatedNormalDistribution::Name() const {
+  return FormatName("Normal(%.2f,%.2f)", mean_, stddev_);
+}
+
+// --- Truncated exponential ------------------------------------------------------
+
+TruncatedExponentialDistribution::TruncatedExponentialDistribution(double rate)
+    : rate_(rate) {
+  assert(rate > 0.0);
+  mass_ = 1.0 - std::exp(-rate_);
+}
+
+double TruncatedExponentialDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.UniformDouble());
+}
+
+double TruncatedExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x) / mass_;
+}
+
+double TruncatedExponentialDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return (1.0 - std::exp(-rate_ * x)) / mass_;
+}
+
+double TruncatedExponentialDistribution::Quantile(double p) const {
+  p = Clamp(p, 0.0, 1.0);
+  return Clamp(-std::log(1.0 - p * mass_) / rate_, 0.0, 1.0);
+}
+
+std::string TruncatedExponentialDistribution::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "Exp(%.1f)", rate_);
+  return std::string(buf);
+}
+
+// --- Bounded Pareto --------------------------------------------------------------
+
+BoundedParetoDistribution::BoundedParetoDistribution(double alpha, double lo)
+    : alpha_(alpha), lo_(lo) {
+  assert(alpha > 0.0 && lo > 0.0 && lo < 1.0);
+  norm_ = 1.0 - std::pow(lo_, alpha_);
+}
+
+double BoundedParetoDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.UniformDouble());
+}
+
+double BoundedParetoDistribution::Pdf(double x) const {
+  if (x < lo_ || x > 1.0) return 0.0;
+  return alpha_ * std::pow(lo_, alpha_) * std::pow(x, -alpha_ - 1.0) / norm_;
+}
+
+double BoundedParetoDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return (1.0 - std::pow(lo_ / x, alpha_)) / norm_;
+}
+
+double BoundedParetoDistribution::Quantile(double p) const {
+  p = Clamp(p, 0.0, 1.0);
+  const double t = 1.0 - p * norm_;
+  return Clamp(lo_ * std::pow(t, -1.0 / alpha_), lo_, 1.0);
+}
+
+std::string BoundedParetoDistribution::Name() const {
+  return FormatName("Pareto(%.2f,lo=%.2f)", alpha_, lo_);
+}
+
+// --- Piecewise constant ------------------------------------------------------------
+
+PiecewiseConstantDistribution::PiecewiseConstantDistribution(
+    std::vector<double> masses, std::string name)
+    : masses_(std::move(masses)), name_(std::move(name)) {
+  assert(!masses_.empty());
+  double total = 0.0;
+  for (double m : masses_) {
+    assert(m >= 0.0);
+    total += m;
+  }
+  assert(total > 0.0);
+  cumulative_.reserve(masses_.size());
+  double run = 0.0;
+  for (double& m : masses_) {
+    m /= total;
+    run += m;
+    cumulative_.push_back(run);
+  }
+  cumulative_.back() = 1.0;  // kill rounding drift
+}
+
+double PiecewiseConstantDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.UniformDouble());
+}
+
+double PiecewiseConstantDistribution::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  const double b = static_cast<double>(masses_.size());
+  size_t i = std::min(static_cast<size_t>(x * b), masses_.size() - 1);
+  return masses_[i] * b;
+}
+
+double PiecewiseConstantDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double b = static_cast<double>(masses_.size());
+  const size_t i = std::min(static_cast<size_t>(x * b), masses_.size() - 1);
+  const double before = i == 0 ? 0.0 : cumulative_[i - 1];
+  const double within = (x * b - static_cast<double>(i)) * masses_[i];
+  return before + within;
+}
+
+double PiecewiseConstantDistribution::Quantile(double p) const {
+  p = Clamp(p, 0.0, 1.0);
+  // First bin whose cumulative reaches p.
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), p);
+  if (it == cumulative_.end()) return 1.0;
+  const size_t i = static_cast<size_t>(it - cumulative_.begin());
+  const double before = i == 0 ? 0.0 : cumulative_[i - 1];
+  const double b = static_cast<double>(masses_.size());
+  if (masses_[i] <= 0.0) return static_cast<double>(i) / b;
+  const double frac = (p - before) / masses_[i];
+  return (static_cast<double>(i) + frac) / b;
+}
+
+// --- Zipf ----------------------------------------------------------------------------
+
+std::vector<double> ZipfDistribution::ZipfMasses(size_t num_values,
+                                                 double theta) {
+  assert(num_values > 0);
+  std::vector<double> masses(num_values);
+  for (size_t i = 0; i < num_values; ++i) {
+    masses[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return masses;
+}
+
+ZipfDistribution::ZipfDistribution(size_t num_values, double theta)
+    : PiecewiseConstantDistribution(
+          ZipfMasses(num_values, theta),
+          FormatName("Zipf(%.0f,%.2f)", static_cast<double>(num_values),
+                     theta)),
+      theta_(theta) {}
+
+// --- Gaussian mixture ------------------------------------------------------------------
+
+GaussianMixtureDistribution::GaussianMixtureDistribution(
+    std::vector<Component> components, std::string name)
+    : components_(std::move(components)), name_(std::move(name)) {
+  assert(!components_.empty());
+  double wsum = 0.0;
+  for (const Component& c : components_) {
+    assert(c.weight > 0.0 && c.stddev > 0.0);
+    wsum += c.weight;
+  }
+  mass_ = 0.0;
+  for (Component& c : components_) {
+    c.weight /= wsum;
+    const double lo = StandardNormalCdf((0.0 - c.mean) / c.stddev);
+    const double hi = StandardNormalCdf((1.0 - c.mean) / c.stddev);
+    mass_ += c.weight * (hi - lo);
+  }
+  assert(mass_ > 1e-12 && "mixture has no mass inside [0,1]");
+}
+
+double GaussianMixtureDistribution::Sample(Rng& rng) const {
+  // Joint rejection over (component, variate): accepted draws follow the
+  // jointly renormalized truncated mixture exactly.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    double u = rng.UniformDouble();
+    const Component* chosen = &components_.back();
+    for (const Component& c : components_) {
+      if (u < c.weight) {
+        chosen = &c;
+        break;
+      }
+      u -= c.weight;
+    }
+    const double x = rng.Normal(chosen->mean, chosen->stddev);
+    if (x >= 0.0 && x <= 1.0) return x;
+  }
+  return Quantile(rng.UniformDouble());  // generic bisection fallback
+}
+
+double GaussianMixtureDistribution::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  double raw = 0.0;
+  for (const Component& c : components_) {
+    const double z = (x - c.mean) / c.stddev;
+    raw += c.weight * StandardNormalPdf(z) / c.stddev;
+  }
+  return raw / mass_;
+}
+
+double GaussianMixtureDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double raw = 0.0;
+  for (const Component& c : components_) {
+    const double at_x = StandardNormalCdf((x - c.mean) / c.stddev);
+    const double at_0 = StandardNormalCdf((0.0 - c.mean) / c.stddev);
+    raw += c.weight * (at_x - at_0);
+  }
+  return raw / mass_;
+}
+
+// --- Canonical benchmark set ---------------------------------------------------------------
+
+std::vector<std::unique_ptr<Distribution>> StandardBenchmarkDistributions() {
+  std::vector<std::unique_ptr<Distribution>> out;
+  out.push_back(std::make_unique<UniformDistribution>());
+  out.push_back(std::make_unique<TruncatedNormalDistribution>(0.5, 0.15));
+  out.push_back(std::make_unique<ZipfDistribution>(1000, 0.9));
+  out.push_back(std::make_unique<GaussianMixtureDistribution>(
+      std::vector<GaussianMixtureDistribution::Component>{
+          {0.4, 0.2, 0.05}, {0.35, 0.55, 0.08}, {0.25, 0.85, 0.04}},
+      "Mixture3"));
+  return out;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,172 @@
+#ifndef RINGDDE_DATA_DISTRIBUTION_H_
+#define RINGDDE_DATA_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+/// An analytic data distribution over the unit key domain [0, 1].
+///
+/// Every workload distribution exposes its exact pdf/cdf/quantile so
+/// experiment accuracy metrics compare estimates against *analytic* ground
+/// truth instead of against a finite reference sample. All bundled
+/// distributions are supported on (a subset of) [0, 1]; arbitrary real
+/// domains are handled by mapping through data::DomainMapper.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Density at x; 0 outside the support.
+  virtual double Pdf(double x) const = 0;
+
+  /// P(X <= x). 0 below the support, 1 above it.
+  virtual double Cdf(double x) const = 0;
+
+  /// Inverse CDF at p in [0,1]. The default implementation bisects Cdf()
+  /// over the support; subclasses with closed forms override it.
+  virtual double Quantile(double p) const;
+
+  /// Inclusive support bounds within [0, 1].
+  virtual double support_lo() const { return 0.0; }
+  virtual double support_hi() const { return 1.0; }
+
+  /// Short human-readable name used in experiment tables.
+  virtual std::string Name() const = 0;
+};
+
+/// Uniform over [lo, hi] ⊆ [0,1].
+class UniformDistribution : public Distribution {
+ public:
+  explicit UniformDistribution(double lo = 0.0, double hi = 1.0);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double support_lo() const override { return lo_; }
+  double support_hi() const override { return hi_; }
+  std::string Name() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Normal(mean, stddev) truncated to [0, 1], exactly renormalized.
+class TruncatedNormalDistribution : public Distribution {
+ public:
+  TruncatedNormalDistribution(double mean, double stddev);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  std::string Name() const override;
+
+ private:
+  double mean_, stddev_;
+  double cdf_lo_, cdf_hi_, mass_;  // of the untruncated normal at 0 and 1
+};
+
+/// Exponential(rate) truncated to [0, 1], exactly renormalized.
+/// Density decays from 0 toward 1; larger rate = more skew toward 0.
+class TruncatedExponentialDistribution : public Distribution {
+ public:
+  explicit TruncatedExponentialDistribution(double rate);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  std::string Name() const override;
+
+ private:
+  double rate_;
+  double mass_;  // 1 - exp(-rate)
+};
+
+/// Bounded Pareto on [lo, 1] with shape alpha (heavy head at lo).
+class BoundedParetoDistribution : public Distribution {
+ public:
+  BoundedParetoDistribution(double alpha, double lo = 0.01);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double support_lo() const override { return lo_; }
+  std::string Name() const override;
+
+ private:
+  double alpha_, lo_;
+  double norm_;  // 1 - lo^alpha
+};
+
+/// Piecewise-constant density over `masses.size()` equal-width bins spanning
+/// [0,1]: bin i carries probability masses[i] (they are normalized on
+/// construction) spread uniformly within the bin. Exact pdf/cdf/quantile.
+class PiecewiseConstantDistribution : public Distribution {
+ public:
+  PiecewiseConstantDistribution(std::vector<double> masses, std::string name);
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  std::string Name() const override { return name_; }
+
+  size_t num_bins() const { return masses_.size(); }
+  const std::vector<double>& masses() const { return masses_; }
+
+ private:
+  std::vector<double> masses_;      // normalized bin probabilities
+  std::vector<double> cumulative_;  // cumulative_[i] = P(X <= (i+1)/B)
+  std::string name_;
+};
+
+/// Zipf-skewed data: V distinct values at bin centers of [0,1], value rank
+/// i (1-based) has probability ∝ 1/i^theta, smeared uniformly over its bin
+/// so the distribution stays continuous with exact ground truth.
+/// theta = 0 degenerates to uniform; theta around 0.8–1.2 is the classic
+/// "skewed web data" regime.
+class ZipfDistribution : public PiecewiseConstantDistribution {
+ public:
+  ZipfDistribution(size_t num_values, double theta);
+  double theta() const { return theta_; }
+
+ private:
+  static std::vector<double> ZipfMasses(size_t num_values, double theta);
+  double theta_;
+};
+
+/// Mixture of normals truncated (jointly renormalized) to [0,1].
+class GaussianMixtureDistribution : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    double mean;
+    double stddev;
+  };
+
+  explicit GaussianMixtureDistribution(std::vector<Component> components,
+                                       std::string name = "Mixture");
+  double Sample(Rng& rng) const override;
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  std::string Name() const override { return name_; }
+
+ private:
+  std::vector<Component> components_;  // weights normalized
+  double mass_;                        // truncation mass of the raw mixture
+  std::string name_;
+};
+
+/// The four canonical workload distributions used throughout the E1–E9
+/// benchmarks: Uniform, Normal(0.5, 0.15), Zipf(1000, 0.9), and a trimodal
+/// Gaussian mixture.
+std::vector<std::unique_ptr<Distribution>> StandardBenchmarkDistributions();
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_DATA_DISTRIBUTION_H_

@@ -1,0 +1,38 @@
+#include "data/placement.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace ringdde {
+
+DomainMapper::DomainMapper(double lo, double hi) : lo_(lo), hi_(hi) {
+  assert(lo < hi);
+}
+
+double DomainMapper::ToUnit(double domain_value) const {
+  const double u = (domain_value - lo_) / (hi_ - lo_);
+  // [0, 1): the ring id space is half-open.
+  return Clamp(u, 0.0, 0x1.fffffffffffffp-1);
+}
+
+double DomainMapper::ToDomain(double unit_key) const {
+  return lo_ + unit_key * (hi_ - lo_);
+}
+
+RingId DomainMapper::ToRing(double domain_value) const {
+  return OrderPreservingPlacement(ToUnit(domain_value));
+}
+
+RingId OrderPreservingPlacement(double key01) {
+  return RingId::FromUnit(key01);
+}
+
+RingId HashedPlacement(double key01) {
+  return RingId(SplitMix64(std::bit_cast<uint64_t>(key01)));
+}
+
+}  // namespace ringdde

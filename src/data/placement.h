@@ -1,0 +1,48 @@
+#ifndef RINGDDE_DATA_PLACEMENT_H_
+#define RINGDDE_DATA_PLACEMENT_H_
+
+#include "common/id.h"
+
+namespace ringdde {
+
+/// Maps an application's real data domain [lo, hi] to the unit key domain
+/// [0, 1) used by the overlay, linearly (hence order-preserving).
+///
+/// The whole distribution-free estimation model rests on order-preserving
+/// placement: because ring order equals key order, the cumulative item count
+/// around the ring *is* the (unnormalized) global CDF over the data domain.
+class DomainMapper {
+ public:
+  /// Requires lo < hi.
+  DomainMapper(double lo, double hi);
+
+  /// Domain value -> unit key, clamped to [0, 1).
+  double ToUnit(double domain_value) const;
+
+  /// Unit key -> domain value.
+  double ToDomain(double unit_key) const;
+
+  /// Unit key -> ring position (order-preserving placement).
+  RingId ToRing(double domain_value) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Order-preserving placement of a unit-domain key on the ring. This is the
+/// placement the library's estimators require.
+RingId OrderPreservingPlacement(double key01);
+
+/// Hashed (uniform, order-destroying) placement, provided for contrast: it
+/// balances load perfectly but makes the ring useless for CDF sampling
+/// because neighboring ring positions no longer hold neighboring keys.
+/// Exercised in tests and discussed in DESIGN.md; the overlay itself always
+/// uses order-preserving placement.
+RingId HashedPlacement(double key01);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_DATA_PLACEMENT_H_

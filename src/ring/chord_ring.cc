@@ -1,0 +1,349 @@
+#include "ring/chord_ring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+
+#include "common/logging.h"
+
+namespace ringdde {
+
+ChordRing::ChordRing(Network* network, RingOptions options)
+    : network_(network), options_(options), rng_(options.seed) {
+  assert(network != nullptr);
+}
+
+RingId ChordRing::NewUniqueId() {
+  for (;;) {
+    RingId id(rng_.NextU64());
+    if (used_ids_.insert(id.value).second) return id;
+  }
+}
+
+Status ChordRing::CreateNetwork(size_t n) {
+  if (n == 0) return Status::InvalidArgument("network size must be positive");
+  if (!nodes_.empty()) {
+    return Status::FailedPrecondition("network already created");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    NodeAddr addr = next_addr_++;
+    RingId id = NewUniqueId();
+    nodes_.emplace(addr, std::make_unique<Node>(addr, id));
+    index_.emplace(id.value, addr);
+  }
+  StabilizeAll();
+  return Status::OK();
+}
+
+Result<NodeAddr> ChordRing::OracleOwner(RingId target) const {
+  if (index_.empty()) return Status::NotFound("ring is empty");
+  auto it = index_.lower_bound(target.value);
+  if (it == index_.end()) it = index_.begin();  // wrap
+  return it->second;
+}
+
+Status ChordRing::InsertKeyBulk(double key01) {
+  Result<NodeAddr> owner = OracleOwner(RingId::FromUnit(key01));
+  if (!owner.ok()) return owner.status();
+  GetNode(*owner)->InsertKey(key01);
+  return Status::OK();
+}
+
+void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01) {
+  // Group by owner to amortize the per-node sorted-insert cost.
+  std::unordered_map<NodeAddr, std::vector<double>> by_owner;
+  for (double k : keys01) {
+    Result<NodeAddr> owner = OracleOwner(RingId::FromUnit(k));
+    if (!owner.ok()) return;  // empty ring: nothing to load into
+    by_owner[*owner].push_back(k);
+  }
+  for (auto& [addr, keys] : by_owner) {
+    GetNode(addr)->InsertKeys(keys);
+  }
+}
+
+void ChordRing::ChargeHop(NodeAddr from, NodeAddr to) {
+  // Query + response round trip.
+  network_->Send(from, to, options_.routing_info_bytes, /*hop_count=*/1);
+  network_->Send(to, from, options_.routing_info_bytes, /*hop_count=*/0);
+}
+
+void ChordRing::ChargeTimeout(NodeAddr from, NodeAddr to) {
+  network_->Send(from, to, options_.routing_info_bytes, /*hop_count=*/0);
+}
+
+Result<NodeAddr> ChordRing::Lookup(NodeAddr from, RingId target) {
+  Node* start = GetNode(from);
+  if (start == nullptr || !start->alive()) {
+    return Status::InvalidArgument("lookup origin is not an alive node");
+  }
+  const auto alive = [this](NodeAddr a) { return IsAlive(a); };
+
+  NodeAddr current = from;
+  for (uint32_t hops = 0; hops <= options_.max_lookup_hops; ++hops) {
+    Node* cur = GetNode(current);
+    // First alive entry of the successor list; each stale head costs a
+    // timed-out ping.
+    const NodeEntry* succ = nullptr;
+    for (const NodeEntry& e : cur->successors()) {
+      if (IsAlive(e.addr)) {
+        succ = &e;
+        break;
+      }
+      ChargeTimeout(current, e.addr);
+    }
+    if (succ == nullptr) {
+      return Status::Unavailable("successor list exhausted (partition)");
+    }
+    if (InArcOpenClosed(target, cur->id(), succ->id)) {
+      // succ owns target (or will after its next stabilize).
+      return succ->addr;
+    }
+    // Biggest legal finger jump; dead candidates cost a timeout each.
+    std::vector<NodeEntry> probed_dead;
+    std::optional<NodeEntry> next =
+        cur->fingers().ClosestPreceding(cur->id(), target, alive,
+                                        &probed_dead);
+    for (const NodeEntry& d : probed_dead) ChargeTimeout(current, d.addr);
+    if (!next.has_value()) {
+      // No finger inside (cur, target): fall through to the successor,
+      // which is guaranteed to precede the owner, so progress is made.
+      next = *succ;
+    }
+    ChargeHop(current, next->addr);
+    current = next->addr;
+  }
+  return Status::TimedOut("lookup exceeded hop budget");
+}
+
+Result<NodeAddr> ChordRing::Join(NodeAddr bootstrap) {
+  if (!IsAlive(bootstrap)) {
+    return Status::InvalidArgument("bootstrap node is not alive");
+  }
+  const NodeAddr addr = next_addr_++;
+  const RingId id = NewUniqueId();
+  auto node = std::make_unique<Node>(addr, id);
+
+  // 1. Find the successor: the peer currently owning our id.
+  Result<NodeAddr> succ_addr = Lookup(bootstrap, id);
+  if (!succ_addr.ok()) return succ_addr.status();
+  Node* succ = GetNode(*succ_addr);
+
+  // 2. Splice into the ring: our arc is (succ.pred, id].
+  const NodeEntry old_pred = succ->predecessor();
+  node->set_predecessor(old_pred);
+  node->set_successors(OracleSuccessorList(id));
+  succ->set_predecessor(NodeEntry{addr, id});
+  // Notify the old predecessor so its successor pointer includes us.
+  if (Node* pred_node = GetNode(old_pred.addr);
+      pred_node != nullptr && pred_node->alive()) {
+    std::vector<NodeEntry> pl = pred_node->successors();
+    pl.insert(pl.begin(), NodeEntry{addr, id});
+    if (pl.size() > options_.successor_list_size) {
+      pl.resize(options_.successor_list_size);
+    }
+    pred_node->set_successors(std::move(pl));
+    ChargeHop(addr, old_pred.addr);
+  }
+
+  // 3. Data handover: keys in (old_pred, id] move from succ to us.
+  std::vector<double> moved = succ->ExtractKeysInArc(old_pred.id, id);
+  network_->Send(*succ_addr, addr, options_.key_bytes * moved.size(),
+                 /*hop_count=*/1);
+  node->InsertKeys(moved);
+
+  // 4. Bootstrap fingers by copying the successor's table (one message);
+  //    periodic fix_fingers repairs the small error later.
+  node->fingers() = succ->fingers();
+  ChargeHop(addr, *succ_addr);
+
+  index_.emplace(id.value, addr);
+  nodes_.emplace(addr, std::move(node));
+  return addr;
+}
+
+Status ChordRing::Leave(NodeAddr addr) {
+  Node* node = GetNode(addr);
+  if (node == nullptr || !node->alive()) {
+    return Status::NotFound("no such alive node");
+  }
+  if (index_.size() == 1) {
+    return Status::FailedPrecondition("last node cannot leave");
+  }
+  index_.erase(node->id().value);
+  node->set_alive(false);
+
+  Result<NodeAddr> succ_addr = OracleOwner(node->id());
+  Node* succ = GetNode(*succ_addr);
+
+  // Hand all data to the successor.
+  std::vector<double> moved = node->ExtractKeysInArc(node->id(), node->id());
+  network_->Send(addr, *succ_addr, options_.key_bytes * moved.size(),
+                 /*hop_count=*/1);
+  succ->InsertKeys(moved);
+
+  // Pointer handoff: successor inherits our predecessor; predecessor's
+  // successor pointer skips us.
+  succ->set_predecessor(node->predecessor());
+  ChargeHop(addr, *succ_addr);
+  if (Node* pred = GetNode(node->predecessor().addr);
+      pred != nullptr && pred->alive()) {
+    std::vector<NodeEntry> pl = pred->successors();
+    std::erase_if(pl, [&](const NodeEntry& e) { return e.addr == addr; });
+    pl.insert(pl.begin(), EntryFor(*succ));
+    if (pl.size() > options_.successor_list_size) {
+      pl.resize(options_.successor_list_size);
+    }
+    pred->set_successors(std::move(pl));
+    ChargeHop(addr, node->predecessor().addr);
+  }
+  return Status::OK();
+}
+
+Status ChordRing::Crash(NodeAddr addr) {
+  Node* node = GetNode(addr);
+  if (node == nullptr || !node->alive()) {
+    return Status::NotFound("no such alive node");
+  }
+  if (index_.size() == 1) {
+    return Status::FailedPrecondition("last node cannot crash");
+  }
+  index_.erase(node->id().value);
+  node->set_alive(false);
+
+  if (options_.durable_data) {
+    // Replication recovery: items re-materialize at the new owner.
+    std::vector<double> lost = node->ExtractKeysInArc(node->id(), node->id());
+    Result<NodeAddr> succ_addr = OracleOwner(node->id());
+    GetNode(*succ_addr)->InsertKeys(lost);
+    // The succeeding node also inherits ownership of the crashed arc; fix
+    // its predecessor pointer as its next stabilize round would.
+    GetNode(*succ_addr)->set_predecessor(node->predecessor());
+  } else {
+    node->ExtractKeysInArc(node->id(), node->id());  // drop
+  }
+  return Status::OK();
+}
+
+Status ChordRing::InsertKeyRouted(NodeAddr from, double key01) {
+  Result<NodeAddr> owner = Lookup(from, RingId::FromUnit(key01));
+  if (!owner.ok()) return owner.status();
+  network_->Send(from, *owner, options_.key_bytes, /*hop_count=*/1);
+  GetNode(*owner)->InsertKey(key01);
+  return Status::OK();
+}
+
+Status ChordRing::EraseKeyBulk(double key01) {
+  Result<NodeAddr> owner = OracleOwner(RingId::FromUnit(key01));
+  if (!owner.ok()) return owner.status();
+  if (!GetNode(*owner)->EraseKey(key01)) {
+    return Status::NotFound("key not stored at its owner");
+  }
+  return Status::OK();
+}
+
+Status ChordRing::EraseKeyRouted(NodeAddr from, double key01) {
+  Result<NodeAddr> owner = Lookup(from, RingId::FromUnit(key01));
+  if (!owner.ok()) return owner.status();
+  network_->Send(from, *owner, options_.key_bytes, /*hop_count=*/1);
+  if (!GetNode(*owner)->EraseKey(key01)) {
+    return Status::NotFound("key not stored at its owner");
+  }
+  return Status::OK();
+}
+
+std::vector<NodeEntry> ChordRing::OracleSuccessorList(RingId id) const {
+  std::vector<NodeEntry> out;
+  if (index_.empty()) return out;
+  const size_t distinct_others =
+      index_.size() - (index_.contains(id.value) ? 1 : 0);
+  if (distinct_others == 0) {
+    // Single-node ring: the node is its own successor.
+    const Node* n = GetNode(index_.begin()->second);
+    out.push_back(NodeEntry{n->addr(), n->id()});
+    return out;
+  }
+  const size_t want =
+      std::min<size_t>(options_.successor_list_size, distinct_others);
+  auto it = index_.upper_bound(id.value);
+  while (out.size() < want) {
+    if (it == index_.end()) it = index_.begin();
+    if (RingId(it->first) != id) {
+      const Node* n = GetNode(it->second);
+      out.push_back(NodeEntry{n->addr(), n->id()});
+    }
+    ++it;
+  }
+  return out;
+}
+
+void ChordRing::StabilizeNode(NodeAddr addr) {
+  Node* node = GetNode(addr);
+  if (node == nullptr || !node->alive()) return;
+  const RingId id = node->id();
+
+  node->set_successors(OracleSuccessorList(id));
+
+  // Predecessor: last alive node strictly before id (wrapping).
+  auto it = index_.lower_bound(id.value);
+  if (it == index_.begin()) it = index_.end();
+  --it;
+  const Node* pred = GetNode(it->second);
+  if (pred->id() == id) {
+    node->set_predecessor(EntryFor(*node));  // lone node
+  } else {
+    node->set_predecessor(EntryFor(*pred));
+  }
+
+  // fix_fingers: finger k = successor(id + 2^k).
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    Result<NodeAddr> owner = OracleOwner(FingerTable::FingerStart(id, k));
+    if (owner.ok()) {
+      const Node* f = GetNode(*owner);
+      node->fingers().Set(k, NodeEntry{f->addr(), f->id()});
+    }
+  }
+}
+
+void ChordRing::StabilizeAll() {
+  for (const auto& [id, addr] : index_) StabilizeNode(addr);
+}
+
+Node* ChordRing::GetNode(NodeAddr addr) {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const Node* ChordRing::GetNode(NodeAddr addr) const {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+bool ChordRing::IsAlive(NodeAddr addr) const {
+  const Node* n = GetNode(addr);
+  return n != nullptr && n->alive();
+}
+
+std::vector<NodeAddr> ChordRing::AliveAddrs() const {
+  std::vector<NodeAddr> out;
+  out.reserve(index_.size());
+  for (const auto& [id, addr] : index_) out.push_back(addr);
+  return out;
+}
+
+Result<NodeAddr> ChordRing::RandomAliveNode(Rng& rng) const {
+  if (index_.empty()) return Status::NotFound("ring is empty");
+  // index_ iteration order is deterministic; pick the k-th entry.
+  uint64_t k = rng.UniformU64(index_.size());
+  auto it = index_.begin();
+  std::advance(it, static_cast<ptrdiff_t>(k));
+  return it->second;
+}
+
+uint64_t ChordRing::TotalItems() const {
+  uint64_t total = 0;
+  for (const auto& [id, addr] : index_) total += GetNode(addr)->item_count();
+  return total;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,166 @@
+#ifndef RINGDDE_RING_CHORD_RING_H_
+#define RINGDDE_RING_CHORD_RING_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ring/node.h"
+#include "sim/network.h"
+
+namespace ringdde {
+
+/// Tuning knobs of the overlay simulation.
+struct RingOptions {
+  /// Length of each node's successor list (Chord recommends O(log n); the
+  /// default survives the churn rates exercised in the benchmarks).
+  uint32_t successor_list_size = 8;
+
+  /// Routing gives up after this many hops (guards against pathological
+  /// stale-state loops; 2^64 ids make 256 a generous budget).
+  uint32_t max_lookup_hops = 256;
+
+  /// If true, a crash does not destroy data: the failed node's items
+  /// reappear at its successor, modeling successor-list replication whose
+  /// maintenance traffic is out of scope. If false, crashed items are lost.
+  bool durable_data = true;
+
+  /// Payload size (bytes) of one routing query/response, charged per hop.
+  uint64_t routing_info_bytes = 64;
+
+  /// Payload size (bytes) per data key moved during join/leave handover.
+  uint64_t key_bytes = 8;
+
+  /// Seed for node-id assignment and protocol randomness.
+  uint64_t seed = 1;
+};
+
+/// The ring overlay: owns all peers of one simulated deployment and
+/// implements the Chord protocols over the sim::Network fabric.
+///
+/// Two classes of operation:
+///  - *Protocol* operations (Lookup, Join, Leave, Crash, routed inserts)
+///    charge messages/hops/bytes to the network counters. Routing is
+///    iterative: each hop costs 2 messages (query + response); each stale
+///    candidate contacted costs 1 timeout message.
+///  - *Oracle* operations (CreateNetwork, bulk loads, OracleOwner,
+///    Stabilize*) manipulate ground truth for experiment setup and for
+///    modeling converged background maintenance; they are cost-free.
+///
+/// The `index_` map is the ground-truth membership (alive nodes by ring id).
+/// Per-node routing state (successor lists, finger tables) is a *cached
+/// snapshot* of that truth taken at the node's last stabilization, so
+/// between stabilizations routing runs on stale state exactly as a real
+/// deployment would.
+class ChordRing {
+ public:
+  explicit ChordRing(Network* network, RingOptions options = {});
+
+  // --- Setup (oracle, cost-free) ----------------------------------------
+
+  /// Creates `n` peers with uniformly random ids and fully converged
+  /// routing state. Fails if n == 0.
+  Status CreateNetwork(size_t n);
+
+  /// Places one unit-domain key on its owner. Cost-free bulk load.
+  Status InsertKeyBulk(double key01);
+
+  /// Bulk-loads a dataset of unit-domain keys (cost-free).
+  void InsertDatasetBulk(const std::vector<double>& keys01);
+
+  /// Ground-truth owner of a ring position: the first alive node clockwise
+  /// at or after `target`. Fails only on an empty ring.
+  Result<NodeAddr> OracleOwner(RingId target) const;
+
+  // --- Protocol operations (cost-accounted) ------------------------------
+
+  /// Iteratively routes from `from` (must be alive) to the owner of
+  /// `target`. Charges per the class comment. Returns the owner's address.
+  Result<NodeAddr> Lookup(NodeAddr from, RingId target);
+
+  /// A new peer joins via `bootstrap`: one lookup to find its successor,
+  /// one data-handover message, pointer handshakes with its neighbors, and
+  /// a finger-table copy from the successor. Returns the new address.
+  Result<NodeAddr> Join(NodeAddr bootstrap);
+
+  /// Graceful departure: hands data to the successor and unlinks.
+  Status Leave(NodeAddr addr);
+
+  /// Fail-stop crash: no messages; neighbors discover the death lazily.
+  /// Data survives iff options().durable_data.
+  Status Crash(NodeAddr addr);
+
+  /// Routed insert of one key starting at `from` (lookup + 1 store message).
+  Status InsertKeyRouted(NodeAddr from, double key01);
+
+  /// Removes one occurrence of a key from its owner (oracle-routed,
+  /// cost-free; the data-update analogue of InsertKeyBulk). NotFound if the
+  /// owner does not store it.
+  Status EraseKeyBulk(double key01);
+
+  /// Routed delete (lookup + 1 delete message). NotFound if absent.
+  Status EraseKeyRouted(NodeAddr from, double key01);
+
+  // --- Maintenance (oracle-assisted, cost-free) ---------------------------
+
+  /// Refreshes one node's successor list, predecessor, and fingers to
+  /// ground truth (models a completed stabilize + fix_fingers cycle).
+  void StabilizeNode(NodeAddr addr);
+
+  /// Stabilizes every alive node.
+  void StabilizeAll();
+
+  // --- Introspection ------------------------------------------------------
+
+  Node* GetNode(NodeAddr addr);
+  const Node* GetNode(NodeAddr addr) const;
+  bool IsAlive(NodeAddr addr) const;
+  size_t AliveCount() const { return index_.size(); }
+  std::vector<NodeAddr> AliveAddrs() const;
+
+  /// Uniformly random alive node (for choosing queriers).
+  Result<NodeAddr> RandomAliveNode(Rng& rng) const;
+
+  /// Total items stored across alive nodes.
+  uint64_t TotalItems() const;
+
+  /// Alive-membership ground truth: ring id -> address, ascending by id.
+  const std::map<uint64_t, NodeAddr>& index() const { return index_; }
+
+  Network& network() { return *network_; }
+  const RingOptions& options() const { return options_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Picks a fresh never-used ring id.
+  RingId NewUniqueId();
+
+  NodeEntry EntryFor(const Node& node) const {
+    return NodeEntry{node.addr(), node.id()};
+  }
+
+  /// Ground-truth successor list for position `id` (excluding `id` itself).
+  std::vector<NodeEntry> OracleSuccessorList(RingId id) const;
+
+  /// Charges one routing round trip between two peers.
+  void ChargeHop(NodeAddr from, NodeAddr to);
+  /// Charges one timed-out probe of a stale candidate.
+  void ChargeTimeout(NodeAddr from, NodeAddr to);
+
+  Network* network_;
+  RingOptions options_;
+  Rng rng_;
+
+  std::unordered_map<NodeAddr, std::unique_ptr<Node>> nodes_;  // incl. dead
+  std::map<uint64_t, NodeAddr> index_;  // alive nodes by ring id
+  std::unordered_set<uint64_t> used_ids_;
+  NodeAddr next_addr_ = 1;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_CHORD_RING_H_

@@ -1,0 +1,80 @@
+#include "ring/churn.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ringdde {
+
+ChurnProcess::ChurnProcess(ChordRing* ring, ChurnOptions options)
+    : ring_(ring), options_(options), rng_(options.seed) {
+  assert(ring != nullptr);
+  assert(options_.mean_session_seconds > 0.0);
+  assert(options_.stabilize_interval_seconds > 0.0);
+}
+
+void ChurnProcess::Start() {
+  for (NodeAddr addr : ring_->AliveAddrs()) ScheduleDeparture(addr);
+  OnStabilizeTick();
+}
+
+void ChurnProcess::ScheduleDeparture(NodeAddr addr) {
+  const double session =
+      rng_.Exponential(1.0 / options_.mean_session_seconds);
+  ring_->network().events().ScheduleAfter(
+      session, [this, addr] { OnDeparture(addr); });
+}
+
+void ChurnProcess::OnDeparture(NodeAddr addr) {
+  if (!ring_->IsAlive(addr)) return;  // already gone (e.g. replaced)
+  if (ring_->AliveCount() <= 2) {
+    // Too small to churn safely; retry later so the process never stalls.
+    ScheduleDeparture(addr);
+    return;
+  }
+  Status s;
+  if (rng_.Bernoulli(options_.graceful_fraction)) {
+    s = ring_->Leave(addr);
+    if (s.ok()) ++leaves_;
+  } else {
+    s = ring_->Crash(addr);
+    if (s.ok()) ++crashes_;
+  }
+  if (!s.ok()) {
+    RINGDDE_LOG(kDebug) << "departure of " << addr
+                        << " failed: " << s.ToString();
+    return;
+  }
+  if (options_.maintain_size) {
+    Result<NodeAddr> bootstrap = ring_->RandomAliveNode(rng_);
+    if (bootstrap.ok()) {
+      Result<NodeAddr> fresh = ring_->Join(*bootstrap);
+      if (fresh.ok()) {
+        ++joins_;
+        ScheduleDeparture(*fresh);
+      } else {
+        ++failed_joins_;
+        RINGDDE_LOG(kDebug) << "join failed: " << fresh.status().ToString();
+      }
+    }
+  }
+}
+
+void ChurnProcess::OnStabilizeTick() {
+  const size_t n = ring_->AliveCount();
+  if (n > 0) {
+    // Stabilize the cursor-th alive node; the cursor walks the whole ring
+    // once per stabilize_interval.
+    const auto& index = ring_->index();
+    auto it = index.begin();
+    std::advance(it, static_cast<ptrdiff_t>(stabilize_cursor_ % n));
+    ring_->StabilizeNode(it->second);
+    ++stabilize_cursor_;
+  }
+  const double delay =
+      options_.stabilize_interval_seconds / static_cast<double>(n > 0 ? n : 1);
+  ring_->network().events().ScheduleAfter(delay,
+                                          [this] { OnStabilizeTick(); });
+}
+
+}  // namespace ringdde

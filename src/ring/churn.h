@@ -1,0 +1,72 @@
+#ifndef RINGDDE_RING_CHURN_H_
+#define RINGDDE_RING_CHURN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Parameters of the churn process.
+struct ChurnOptions {
+  /// Mean peer session (online) time in seconds; sessions are exponential,
+  /// the standard P2P churn model. Smaller means harsher churn.
+  double mean_session_seconds = 3600.0;
+
+  /// Fraction of departures that are graceful (Leave with data handover);
+  /// the rest are fail-stop crashes.
+  double graceful_fraction = 0.5;
+
+  /// Period of each node's stabilize/fix_fingers cycle, in seconds. Nodes
+  /// stabilize round-robin so the aggregate rate is n / interval.
+  double stabilize_interval_seconds = 30.0;
+
+  /// If true, every departure is matched by a join (constant network size in
+  /// expectation, the usual steady-state assumption).
+  bool maintain_size = true;
+
+  uint64_t seed = 7;
+};
+
+/// Drives joins, departures, and periodic stabilization on the shared event
+/// queue. The process keeps the network in flux so estimators can be
+/// evaluated against routing-state staleness and data movement.
+class ChurnProcess {
+ public:
+  ChurnProcess(ChordRing* ring, ChurnOptions options = {});
+
+  /// Schedules the initial departure timer for every alive node and the
+  /// stabilization cycle. Call once, then run the event queue.
+  void Start();
+
+  /// Cumulative event counts since Start().
+  uint64_t joins() const { return joins_; }
+  uint64_t leaves() const { return leaves_; }
+  uint64_t crashes() const { return crashes_; }
+  uint64_t failed_joins() const { return failed_joins_; }
+
+  const ChurnOptions& options() const { return options_; }
+
+ private:
+  /// Schedules the end of `addr`'s current session.
+  void ScheduleDeparture(NodeAddr addr);
+  void OnDeparture(NodeAddr addr);
+  void OnStabilizeTick();
+
+  ChordRing* ring_;
+  ChurnOptions options_;
+  Rng rng_;
+
+  uint64_t joins_ = 0;
+  uint64_t leaves_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t failed_joins_ = 0;
+
+  // Round-robin stabilization cursor (index into the alive set).
+  size_t stabilize_cursor_ = 0;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_CHURN_H_

@@ -1,0 +1,42 @@
+#include "ring/finger_table.h"
+
+namespace ringdde {
+
+RingId FingerTable::FingerStart(RingId self, int k) {
+  return self + (uint64_t{1} << k);
+}
+
+void FingerTable::Set(int k, NodeEntry entry) { fingers_[k] = entry; }
+
+const std::optional<NodeEntry>& FingerTable::Get(int k) const {
+  return fingers_[k];
+}
+
+void FingerTable::Clear() {
+  for (auto& f : fingers_) f.reset();
+}
+
+std::optional<NodeEntry> FingerTable::ClosestPreceding(
+    RingId self, RingId target, const AlivePredicate& alive,
+    std::vector<NodeEntry>* probed_dead) const {
+  // Scan from the farthest finger down, as in the Chord paper: the first
+  // entry inside (self, target) is the biggest legal jump.
+  for (int k = kBits - 1; k >= 0; --k) {
+    const auto& f = fingers_[k];
+    if (!f.has_value()) continue;
+    if (!InArcOpenOpen(f->id, self, target)) continue;
+    if (alive(f->addr)) return f;
+    if (probed_dead != nullptr) probed_dead->push_back(*f);
+  }
+  return std::nullopt;
+}
+
+int FingerTable::PopulatedCount() const {
+  int n = 0;
+  for (const auto& f : fingers_) {
+    if (f.has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,59 @@
+#ifndef RINGDDE_RING_FINGER_TABLE_H_
+#define RINGDDE_RING_FINGER_TABLE_H_
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/id.h"
+#include "sim/network.h"
+
+namespace ringdde {
+
+/// (address, ring id) pair referencing another peer.
+struct NodeEntry {
+  NodeAddr addr = 0;
+  RingId id;
+
+  bool operator==(const NodeEntry&) const = default;
+};
+
+/// Classic Chord finger table: finger k of a node with id `self` points to
+/// successor(self + 2^k) for k in [0, 64).
+///
+/// Entries can be stale (pointing at departed peers); liveness is checked at
+/// routing time through a caller-supplied predicate, which models contacting
+/// the candidate and timing out.
+class FingerTable {
+ public:
+  static constexpr int kBits = 64;
+
+  /// Liveness oracle: returns true if the peer at this address is reachable.
+  using AlivePredicate = std::function<bool(NodeAddr)>;
+
+  /// The ring position finger k should cover for a node with id `self`.
+  static RingId FingerStart(RingId self, int k);
+
+  void Set(int k, NodeEntry entry);
+  const std::optional<NodeEntry>& Get(int k) const;
+  void Clear();
+
+  /// Closest finger strictly inside the open arc (self, target) that passes
+  /// `alive`. This is Chord's closest_preceding_node. Every dead candidate
+  /// inspected before the returned one is appended to `probed_dead` (if non
+  /// null) so the router can charge timeout messages for them.
+  std::optional<NodeEntry> ClosestPreceding(
+      RingId self, RingId target, const AlivePredicate& alive,
+      std::vector<NodeEntry>* probed_dead = nullptr) const;
+
+  /// Number of populated entries.
+  int PopulatedCount() const;
+
+ private:
+  std::array<std::optional<NodeEntry>, kBits> fingers_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_FINGER_TABLE_H_

@@ -1,0 +1,111 @@
+#include "ring/node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+
+Node::Node(NodeAddr addr, RingId id) : addr_(addr), id_(id) {
+  // A lone node is its own predecessor/successor (full-ring ownership).
+  predecessor_ = NodeEntry{addr, id};
+  successors_ = {NodeEntry{addr, id}};
+}
+
+void Node::InsertKey(double key) {
+  EnsureSorted();
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  keys_.insert(it, key);
+}
+
+void Node::InsertKeys(const std::vector<double>& keys) {
+  keys_.insert(keys_.end(), keys.begin(), keys.end());
+  sorted_ = false;
+}
+
+bool Node::EraseKey(double key) {
+  EnsureSorted();
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return false;
+  keys_.erase(it);
+  return true;
+}
+
+std::vector<double> Node::ExtractKeysInArc(RingId from, RingId to) {
+  EnsureSorted();
+  std::vector<double> moved;
+  std::vector<double> kept;
+  kept.reserve(keys_.size());
+  for (double k : keys_) {
+    if (InArcOpenClosed(RingId::FromUnit(k), from, to)) {
+      moved.push_back(k);
+    } else {
+      kept.push_back(k);
+    }
+  }
+  keys_ = std::move(kept);
+  return moved;
+}
+
+const std::vector<double>& Node::keys() const {
+  EnsureSorted();
+  return keys_;
+}
+
+size_t Node::RankOf(double key) const {
+  EnsureSorted();
+  return static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+double Node::LocalQuantile(double p) const {
+  assert(!keys_.empty());
+  EnsureSorted();
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double h = p * static_cast<double>(keys_.size() - 1);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min(lo + 1, keys_.size() - 1);
+  const double t = h - static_cast<double>(lo);
+  return keys_[lo] + (keys_[hi] - keys_[lo]) * t;
+}
+
+std::vector<double> Node::EvenQuantiles(int q) const {
+  std::vector<double> out;
+  if (keys_.empty() || q <= 0) return out;
+  out.reserve(static_cast<size_t>(q));
+  for (int i = 1; i <= q; ++i) {
+    out.push_back(LocalQuantile(static_cast<double>(i) / (q + 1)));
+  }
+  return out;
+}
+
+void Node::StoreReplica(NodeAddr owner, std::vector<double> keys) {
+  replicas_[owner] = std::move(keys);
+}
+
+bool Node::TakeReplica(NodeAddr owner, std::vector<double>* out) {
+  auto it = replicas_.find(owner);
+  if (it == replicas_.end()) return false;
+  if (out != nullptr) *out = std::move(it->second);
+  replicas_.erase(it);
+  return true;
+}
+
+bool Node::HasReplica(NodeAddr owner) const {
+  return replicas_.contains(owner);
+}
+
+size_t Node::replica_key_count() const {
+  size_t total = 0;
+  for (const auto& [owner, keys] : replicas_) total += keys.size();
+  return total;
+}
+
+void Node::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(keys_.begin(), keys_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace ringdde

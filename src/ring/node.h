@@ -1,0 +1,123 @@
+#ifndef RINGDDE_RING_NODE_H_
+#define RINGDDE_RING_NODE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.h"
+#include "ring/finger_table.h"
+#include "sim/network.h"
+
+namespace ringdde {
+
+/// One peer of the ring overlay.
+///
+/// A node owns the clockwise arc (predecessor.id, id] of the identifier
+/// space and stores every data key whose ring position falls in that arc.
+/// Keys are kept in a sorted vector: rank queries (the building block of the
+/// local CDF summary) are then a binary search, and bulk loads are an append
+/// plus one sort — the right trade-off for read-mostly simulation state.
+class Node {
+ public:
+  Node(NodeAddr addr, RingId id);
+
+  NodeAddr addr() const { return addr_; }
+  RingId id() const { return id_; }
+
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  // --- Routing state ---------------------------------------------------
+  const NodeEntry& predecessor() const { return predecessor_; }
+  void set_predecessor(NodeEntry e) { predecessor_ = e; }
+
+  /// Successor list, nearest first. Entry 0 is THE successor.
+  const std::vector<NodeEntry>& successors() const { return successors_; }
+  void set_successors(std::vector<NodeEntry> succ) {
+    successors_ = std::move(succ);
+  }
+
+  FingerTable& fingers() { return fingers_; }
+  const FingerTable& fingers() const { return fingers_; }
+
+  /// Fraction of the ring this node owns: the (predecessor, id] arc.
+  double OwnedArcFraction() const {
+    return ArcFraction(predecessor_.id, id_);
+  }
+
+  /// True if ring position x belongs to this node's arc (pred, id].
+  bool Owns(RingId x) const {
+    return InArcOpenClosed(x, predecessor_.id, id_);
+  }
+
+  // --- Local data store -------------------------------------------------
+  /// Inserts a data key (already normalized to the unit domain [0,1)).
+  void InsertKey(double key);
+
+  /// Bulk-inserts keys; cheaper than repeated InsertKey.
+  void InsertKeys(const std::vector<double>& keys);
+
+  /// Removes one occurrence; returns false if absent.
+  bool EraseKey(double key);
+
+  /// Removes and returns all stored keys whose ring position lies in the
+  /// clockwise arc (from, to]. Used for data handover on join/leave.
+  std::vector<double> ExtractKeysInArc(RingId from, RingId to);
+
+  /// All keys, ascending.
+  const std::vector<double>& keys() const;
+
+  size_t item_count() const { return keys_.size(); }
+
+  /// Number of stored keys strictly less than `key`: the local rank, i.e.
+  /// the unnormalized local CDF evaluated at `key`.
+  size_t RankOf(double key) const;
+
+  /// Exact local p-quantile via order statistics (p in [0,1]).
+  /// Requires a non-empty store.
+  double LocalQuantile(double p) const;
+
+  /// Evenly spaced local quantiles (q values at p = 1/(q+1) .. q/(q+1)),
+  /// the payload of a probe response. Empty store yields an empty vector.
+  std::vector<double> EvenQuantiles(int q) const;
+
+  // --- Replica store (ring/replication.h) --------------------------------
+  /// Replaces this node's mirrored copy of `owner`'s keys. Replicas live
+  /// beside the primary store and are invisible to item_count()/keys().
+  void StoreReplica(NodeAddr owner, std::vector<double> keys);
+
+  /// Removes and returns the replica held for `owner`, if any.
+  bool TakeReplica(NodeAddr owner, std::vector<double>* out);
+
+  /// True if a replica for `owner` is held.
+  bool HasReplica(NodeAddr owner) const;
+
+  /// Number of distinct owners replicated here.
+  size_t replica_owner_count() const { return replicas_.size(); }
+
+  /// Total replicated keys held (across owners).
+  size_t replica_key_count() const;
+
+ private:
+  void EnsureSorted() const;
+
+  NodeAddr addr_;
+  RingId id_;
+  bool alive_ = true;
+
+  NodeEntry predecessor_;
+  std::vector<NodeEntry> successors_;
+  FingerTable fingers_;
+
+  // Lazily sorted: bulk inserts set dirty, readers sort on demand.
+  mutable std::vector<double> keys_;
+  mutable bool sorted_ = true;
+
+  // Mirrored key sets by primary owner address.
+  std::unordered_map<NodeAddr, std::vector<double>> replicas_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_NODE_H_

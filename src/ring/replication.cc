@@ -1,0 +1,165 @@
+#include "ring/replication.h"
+
+#include <bit>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+ReplicationManager::ReplicationManager(ChordRing* ring,
+                                       ReplicationOptions options)
+    : ring_(ring), options_(options) {
+  assert(ring != nullptr);
+  assert(options_.replication_factor >= 1);
+  assert(options_.sync_period_seconds > 0.0);
+}
+
+uint64_t ReplicationManager::Fingerprint(const Node& node) const {
+  // Order-independent content hash: count mixed with the sum of per-key
+  // mixed bit patterns. Collisions only delay a re-push by one cycle.
+  uint64_t h = SplitMix64(node.item_count());
+  for (double k : node.keys()) {
+    h += SplitMix64(std::bit_cast<uint64_t>(k));
+  }
+  return h;
+}
+
+void ReplicationManager::PushReplicas(NodeAddr owner) {
+  Node* node = ring_->GetNode(owner);
+  if (node == nullptr || !node->alive()) return;
+  const std::vector<double>& keys = node->keys();
+  uint32_t placed = 0;
+  for (const NodeEntry& e : node->successors()) {
+    if (placed >= options_.replication_factor) break;
+    if (e.addr == owner) continue;
+    Node* target = ring_->GetNode(e.addr);
+    if (target == nullptr || !target->alive()) continue;
+    ring_->network().Send(owner, e.addr,
+                          options_.key_bytes * keys.size() + 16,
+                          /*hop_count=*/1);
+    target->StoreReplica(owner, keys);
+    ++placed;
+  }
+  synced_fingerprints_[owner] = Fingerprint(*node);
+}
+
+void ReplicationManager::FullSync() {
+  for (NodeAddr addr : ring_->AliveAddrs()) PushReplicas(addr);
+  ++syncs_;
+}
+
+uint64_t ReplicationManager::IncrementalSync() {
+  uint64_t shipped = 0;
+  for (NodeAddr addr : ring_->AliveAddrs()) {
+    Node* node = ring_->GetNode(addr);
+    bool needs_push = false;
+    // Content changed since the last push?
+    auto it = synced_fingerprints_.find(addr);
+    if (it == synced_fingerprints_.end() ||
+        it->second != Fingerprint(*node)) {
+      needs_push = true;
+    }
+    if (!needs_push) {
+      // Placement decayed? Holders may have departed since the push;
+      // re-replicate when fewer than replication_factor of the first
+      // successors still hold a copy.
+      uint32_t holders = 0;
+      uint32_t alive_candidates = 0;
+      for (const NodeEntry& e : node->successors()) {
+        if (alive_candidates >= options_.replication_factor) break;
+        const Node* succ = ring_->GetNode(e.addr);
+        if (succ == nullptr || !succ->alive() || e.addr == addr) continue;
+        ++alive_candidates;
+        if (succ->HasReplica(addr)) ++holders;
+      }
+      needs_push = holders < alive_candidates;
+    }
+    if (needs_push) {
+      shipped += node->item_count();
+      PushReplicas(addr);
+    }
+  }
+  ++syncs_;
+  return shipped;
+}
+
+void ReplicationManager::Start() {
+  if (started_) return;
+  started_ = true;
+  FullSync();
+  // Self-rescheduling periodic incremental sync.
+  struct Rearm {
+    ReplicationManager* self;
+    void operator()() const {
+      self->IncrementalSync();
+      self->ring_->network().events().ScheduleAfter(
+          self->options_.sync_period_seconds, Rearm{self});
+    }
+  };
+  ring_->network().events().ScheduleAfter(options_.sync_period_seconds,
+                                          Rearm{this});
+}
+
+Result<uint64_t> ReplicationManager::CrashWithRecovery(NodeAddr addr) {
+  Node* victim = ring_->GetNode(addr);
+  if (victim == nullptr || !victim->alive()) {
+    return Status::NotFound("no such alive node");
+  }
+  if (ring_->options().durable_data) {
+    return Status::FailedPrecondition(
+        "ring has durable_data oracle recovery enabled; replication "
+        "recovery would double-count");
+  }
+  const uint64_t primary_before = victim->item_count();
+  const RingId crashed_id = victim->id();
+  // Who would have been consulted for replicas: the victim's successor
+  // list as of the crash.
+  const std::vector<NodeEntry> candidates = victim->successors();
+
+  RINGDDE_RETURN_IF_ERROR(ring_->Crash(addr));
+
+  // The arc's new owner.
+  Result<NodeAddr> owner = ring_->OracleOwner(crashed_id);
+  if (!owner.ok()) return owner.status();
+  Node* new_owner = ring_->GetNode(*owner);
+  // Failure detection doubles as pointer repair, as a stabilize round
+  // would: the new owner absorbs the crashed arc.
+  new_owner->set_predecessor(victim->predecessor());
+
+  // Find the freshest replica: first alive candidate holding one. The new
+  // owner's own copy is free; remote copies cost a fetch.
+  uint64_t recovered = 0;
+  uint32_t checked = 0;
+  for (const NodeEntry& e : candidates) {
+    if (checked >= options_.replication_factor) break;
+    Node* holder = ring_->GetNode(e.addr);
+    if (holder == nullptr || !holder->alive()) continue;
+    ++checked;
+    std::vector<double> keys;
+    if (!holder->TakeReplica(addr, &keys)) continue;
+    if (e.addr != *owner) {
+      ring_->network().Send(e.addr, *owner,
+                            options_.key_bytes * keys.size() + 16,
+                            /*hop_count=*/1);
+    }
+    recovered = keys.size();
+    new_owner->InsertKeys(keys);
+    break;
+  }
+  // Drop now-useless copies at the remaining candidates.
+  for (const NodeEntry& e : candidates) {
+    if (Node* holder = ring_->GetNode(e.addr); holder != nullptr) {
+      holder->TakeReplica(addr, nullptr);
+    }
+  }
+  keys_recovered_ += recovered;
+  keys_lost_ += primary_before >= recovered ? primary_before - recovered : 0;
+  synced_fingerprints_.erase(addr);
+
+  // Re-protect the enlarged owner.
+  PushReplicas(*owner);
+  return recovered;
+}
+
+}  // namespace ringdde

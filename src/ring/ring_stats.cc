@@ -1,0 +1,70 @@
+#include "ring/ring_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+std::vector<uint64_t> NodeLoads(const ChordRing& ring) {
+  std::vector<uint64_t> loads;
+  loads.reserve(ring.AliveCount());
+  for (const auto& [id, addr] : ring.index()) {
+    loads.push_back(ring.GetNode(addr)->item_count());
+  }
+  return loads;
+}
+
+std::vector<double> NodeArcs(const ChordRing& ring) {
+  const auto& index = ring.index();
+  std::vector<double> arcs;
+  arcs.reserve(index.size());
+  if (index.empty()) return arcs;
+  if (index.size() == 1) {
+    arcs.push_back(1.0);
+    return arcs;
+  }
+  // Node with id x owns (pred_id, x]; walk the sorted index.
+  uint64_t prev = index.rbegin()->first;  // predecessor of the first node
+  for (const auto& [id, addr] : index) {
+    arcs.push_back(ArcFraction(RingId(prev), RingId(id)));
+    prev = id;
+  }
+  return arcs;
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double total = SumPrecise(values);
+  if (total <= 0.0) return 0.0;
+  const double n = static_cast<double>(values.size());
+  KahanSum weighted;
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted.Add((2.0 * static_cast<double>(i + 1) - n - 1.0) * values[i]);
+  }
+  return weighted.value() / (n * total);
+}
+
+RingStatsSummary ComputeRingStats(const ChordRing& ring) {
+  RingStatsSummary s;
+  s.alive_nodes = ring.AliveCount();
+  if (s.alive_nodes == 0) return s;
+
+  const std::vector<double> arcs = NodeArcs(ring);
+  s.min_arc = *std::min_element(arcs.begin(), arcs.end());
+  s.max_arc = *std::max_element(arcs.begin(), arcs.end());
+  s.mean_arc = SumPrecise(arcs) / static_cast<double>(arcs.size());
+
+  const std::vector<uint64_t> loads = NodeLoads(ring);
+  std::vector<double> loads_d(loads.begin(), loads.end());
+  s.min_load = *std::min_element(loads.begin(), loads.end());
+  s.max_load = *std::max_element(loads.begin(), loads.end());
+  s.mean_load = SumPrecise(loads_d) / static_cast<double>(loads.size());
+  s.load_gini = GiniCoefficient(std::move(loads_d));
+  for (uint64_t l : loads) s.total_items += l;
+  return s;
+}
+
+}  // namespace ringdde

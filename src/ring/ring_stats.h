@@ -1,0 +1,45 @@
+#ifndef RINGDDE_RING_RING_STATS_H_
+#define RINGDDE_RING_RING_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+/// Ground-truth structural statistics of a ring, for experiment reporting
+/// and for validating the overlay substrate itself.
+struct RingStatsSummary {
+  size_t alive_nodes = 0;
+  uint64_t total_items = 0;
+
+  // Arc (ownership span) statistics, as fractions of the ring.
+  double min_arc = 0.0;
+  double max_arc = 0.0;
+  double mean_arc = 0.0;
+
+  // Storage-load statistics (items per node).
+  uint64_t min_load = 0;
+  uint64_t max_load = 0;
+  double mean_load = 0.0;
+  double load_gini = 0.0;  ///< Gini coefficient of items-per-node.
+};
+
+/// Computes the summary from oracle state (cost-free).
+RingStatsSummary ComputeRingStats(const ChordRing& ring);
+
+/// Items-per-node loads, in ring order.
+std::vector<uint64_t> NodeLoads(const ChordRing& ring);
+
+/// Owned-arc fractions, in ring order, derived from the oracle index (not
+/// from possibly-stale predecessor pointers). Sums to 1.
+std::vector<double> NodeArcs(const ChordRing& ring);
+
+/// Gini coefficient of a non-negative load vector; 0 = perfectly even,
+/// -> 1 = all load on one node. Empty or all-zero input yields 0.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_RING_STATS_H_

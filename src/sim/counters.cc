@@ -1,0 +1,17 @@
+#include "sim/counters.h"
+
+#include <cstdio>
+
+namespace ringdde {
+
+std::string CostCounters::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "messages=%llu hops=%llu bytes=%llu latency_sum=%.6f",
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(hops),
+                static_cast<unsigned long long>(bytes), latency_sum);
+  return std::string(buf);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,55 @@
+#ifndef RINGDDE_SIM_COUNTERS_H_
+#define RINGDDE_SIM_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ringdde {
+
+/// Communication-cost accounting for one network (or one experiment phase).
+///
+/// `messages` counts point-to-point sends, `hops` counts overlay routing
+/// steps (a single lookup contributes several hops and the same number of
+/// messages in iterative routing), `bytes` sums payload sizes, and
+/// `latency_sum` accumulates per-message simulated latency so a caller can
+/// compute the serial completion time of a sequential protocol.
+struct CostCounters {
+  uint64_t messages = 0;
+  uint64_t hops = 0;
+  uint64_t bytes = 0;
+  double latency_sum = 0.0;
+
+  void Reset() { *this = CostCounters{}; }
+
+  CostCounters operator-(const CostCounters& rhs) const {
+    return CostCounters{messages - rhs.messages, hops - rhs.hops,
+                        bytes - rhs.bytes, latency_sum - rhs.latency_sum};
+  }
+  CostCounters& operator+=(const CostCounters& rhs) {
+    messages += rhs.messages;
+    hops += rhs.hops;
+    bytes += rhs.bytes;
+    latency_sum += rhs.latency_sum;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+/// RAII snapshot: construct before a protocol phase, call Delta() after, to
+/// get only the cost incurred by that phase.
+class CostScope {
+ public:
+  explicit CostScope(const CostCounters& counters)
+      : counters_(counters), start_(counters) {}
+
+  CostCounters Delta() const { return counters_ - start_; }
+
+ private:
+  const CostCounters& counters_;
+  CostCounters start_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_COUNTERS_H_

@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace ringdde {
+
+EventId EventQueue::ScheduleAt(double when, Callback cb) {
+  assert(when >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(double delay, Callback cb) {
+  assert(delay >= 0.0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // We cannot remove from the heap; remember the id and skip it on pop.
+  return cancelled_.insert(id).second;
+}
+
+bool EventQueue::FireNext(double t_end) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.when > t_end) return false;
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    // Copy out before pop: the callback may schedule new events and
+    // invalidate the reference.
+    Entry entry{top.when, top.seq, top.id, top.cb};
+    heap_.pop();
+    now_ = entry.when;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntil(double t_end) {
+  uint64_t fired = 0;
+  while (FireNext(t_end)) ++fired;
+  if (now_ < t_end) now_ = t_end;
+  return fired;
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (fired < max_events &&
+         FireNext(std::numeric_limits<double>::infinity())) {
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace ringdde

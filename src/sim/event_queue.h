@@ -1,0 +1,81 @@
+#ifndef RINGDDE_SIM_EVENT_QUEUE_H_
+#define RINGDDE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ringdde {
+
+/// Handle to a scheduled event, usable for cancellation.
+using EventId = uint64_t;
+
+/// Discrete-event simulation core: a virtual clock plus a time-ordered queue
+/// of callbacks. Single-threaded and deterministic — two events at the same
+/// timestamp fire in scheduling order (FIFO tie-break by sequence number).
+///
+/// Used by the churn process (joins/leaves), gossip rounds, and estimate
+/// maintenance timers. Request/response probe traffic is accounted separately
+/// through sim::Network, which is cheaper than queueing every hop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time (seconds). Starts at 0.
+  double Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (must be >= Now()).
+  /// Returns an id that can be passed to Cancel().
+  EventId ScheduleAt(double when, Callback cb);
+
+  /// Schedules `cb` `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(double delay, Callback cb);
+
+  /// Marks the event cancelled; it will be skipped when its time comes.
+  /// Returns false if the id is unknown or already fired.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty or virtual time would exceed
+  /// `t_end`. The clock is left at min(t_end, time of last fired event...)
+  /// — precisely: at t_end if the run was cut off, else at the last event.
+  /// Returns the number of events fired.
+  uint64_t RunUntil(double t_end);
+
+  /// Runs every pending event (including ones scheduled by handlers), with a
+  /// safety cap on the number fired. Returns the number fired.
+  uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+  bool Empty() const { return PendingCount() == 0; }
+
+ private:
+  struct Entry {
+    double when;
+    uint64_t seq;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and fires the earliest event; returns false if none eligible.
+  bool FireNext(double t_end);
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,48 @@
+#include "sim/latency_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+
+ConstantLatency::ConstantLatency(double seconds) : seconds_(seconds) {
+  assert(seconds >= 0.0);
+}
+
+double ConstantLatency::Sample(Rng& rng, uint64_t from, uint64_t to) const {
+  (void)rng;
+  (void)from;
+  (void)to;
+  return seconds_;
+}
+
+UniformLatency::UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+  assert(0.0 <= lo && lo <= hi);
+}
+
+double UniformLatency::Sample(Rng& rng, uint64_t from, uint64_t to) const {
+  (void)from;
+  (void)to;
+  return rng.UniformDouble(lo_, hi_);
+}
+
+LogNormalLatency::LogNormalLatency(double median_seconds, double sigma)
+    : mu_(std::log(median_seconds)), sigma_(sigma) {
+  assert(median_seconds > 0.0 && sigma >= 0.0);
+}
+
+double LogNormalLatency::Sample(Rng& rng, uint64_t from, uint64_t to) const {
+  (void)from;
+  (void)to;
+  return std::exp(mu_ + sigma_ * rng.Normal());
+}
+
+double LogNormalLatency::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::unique_ptr<LatencyModel> MakeDefaultLatencyModel() {
+  return std::make_unique<LogNormalLatency>(0.05, 0.5);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,69 @@
+#ifndef RINGDDE_SIM_LATENCY_MODEL_H_
+#define RINGDDE_SIM_LATENCY_MODEL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+/// Per-message one-way latency model for the simulated network.
+/// Implementations must be deterministic given the Rng stream.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Latency in seconds for one message between two endpoints. Endpoint
+  /// addresses are passed so pairwise-correlated models are possible; the
+  /// bundled models ignore them.
+  virtual double Sample(Rng& rng, uint64_t from, uint64_t to) const = 0;
+
+  /// Mean latency of the model (used for cost summaries).
+  virtual double Mean() const = 0;
+};
+
+/// Fixed latency for every message. Good default for message-count studies
+/// where only relative costs matter.
+class ConstantLatency : public LatencyModel {
+ public:
+  explicit ConstantLatency(double seconds = 0.05);
+  double Sample(Rng& rng, uint64_t from, uint64_t to) const override;
+  double Mean() const override { return seconds_; }
+
+ private:
+  double seconds_;
+};
+
+/// Uniform latency in [lo, hi).
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(double lo, double hi);
+  double Sample(Rng& rng, uint64_t from, uint64_t to) const override;
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Heavy-tailed internet-like latency: log-normal with the given median and
+/// sigma (of the underlying normal). The common choice for P2P studies
+/// because a small fraction of paths is much slower than the median.
+class LogNormalLatency : public LatencyModel {
+ public:
+  LogNormalLatency(double median_seconds, double sigma);
+  double Sample(Rng& rng, uint64_t from, uint64_t to) const override;
+  double Mean() const override;
+
+ private:
+  double mu_;     ///< log(median)
+  double sigma_;
+};
+
+/// Convenience factory for the default model used across benchmarks:
+/// log-normal, 50 ms median, sigma 0.5.
+std::unique_ptr<LatencyModel> MakeDefaultLatencyModel();
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_LATENCY_MODEL_H_

@@ -1,0 +1,37 @@
+#include "sim/network.h"
+
+namespace ringdde {
+
+Network::Network(NetworkOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (!options_.latency) {
+    options_.latency = MakeDefaultLatencyModel();
+  }
+  // A loss rate of 1 would retransmit forever; cap below certainty.
+  if (options_.loss_probability < 0.0) options_.loss_probability = 0.0;
+  if (options_.loss_probability > 0.99) options_.loss_probability = 0.99;
+}
+
+double Network::Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+                     uint64_t hop_count) {
+  double total_latency = 0.0;
+  // Reliable delivery over a lossy channel: retransmit until one attempt
+  // gets through; every attempt is charged.
+  for (;;) {
+    const double latency = options_.latency->Sample(rng_, from, to);
+    counters_.messages += 1;
+    counters_.bytes += payload_bytes + options_.header_bytes;
+    counters_.latency_sum += latency;
+    if (!rng_.Bernoulli(options_.loss_probability)) {
+      total_latency += latency;
+      break;
+    }
+    ++lost_messages_;
+    total_latency += options_.retransmit_timeout_seconds;
+    counters_.latency_sum += options_.retransmit_timeout_seconds;
+  }
+  counters_.hops += hop_count;
+  return total_latency;
+}
+
+}  // namespace ringdde

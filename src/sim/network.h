@@ -1,0 +1,79 @@
+#ifndef RINGDDE_SIM_NETWORK_H_
+#define RINGDDE_SIM_NETWORK_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/counters.h"
+#include "sim/event_queue.h"
+#include "sim/latency_model.h"
+
+namespace ringdde {
+
+/// Opaque endpoint address (a node's stable name, NOT its ring id — a node
+/// keeps its address across re-joins).
+using NodeAddr = uint64_t;
+
+/// Options for the simulated network fabric.
+struct NetworkOptions {
+  /// One-way message latency model. Null selects MakeDefaultLatencyModel().
+  std::shared_ptr<LatencyModel> latency;
+  /// Fixed per-message header overhead added to every payload, in bytes.
+  uint64_t header_bytes = 40;
+  /// Independent per-message loss probability in [0, 1). Protocols are
+  /// modeled as reliable-with-retransmission: a lost message is re-sent
+  /// after a timeout until it gets through, so loss shows up as extra
+  /// messages/bytes/latency rather than as protocol failure.
+  double loss_probability = 0.0;
+  /// Retransmission timeout charged per lost attempt, in seconds.
+  double retransmit_timeout_seconds = 0.2;
+  /// Seed for the latency/loss sampling stream.
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// The message fabric shared by all peers of one simulated deployment.
+///
+/// Two usage styles coexist:
+///  - Synchronous accounting: request/response protocols (lookups, probes)
+///    call Send() per hop; the call records cost and returns the sampled
+///    latency so the caller can accumulate the serial completion time.
+///  - Event-driven: periodic processes (churn, gossip rounds, maintenance)
+///    schedule themselves on the owned EventQueue.
+class Network {
+ public:
+  explicit Network(NetworkOptions options = {});
+
+  /// Records one logical message of `payload_bytes` from `from` to `to`,
+  /// counting it as `hop_count` overlay hops (1 for a direct hop). With
+  /// loss enabled, lost attempts are retransmitted and every attempt is
+  /// charged. Returns the total delivery latency in seconds (including
+  /// retransmission timeouts).
+  double Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+              uint64_t hop_count = 1);
+
+  /// Messages lost (and retransmitted) since construction.
+  uint64_t lost_messages() const { return lost_messages_; }
+
+  /// Cumulative cost since construction (or the last ResetCounters()).
+  const CostCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+  EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
+
+  /// Virtual time of the event queue, for convenience.
+  double Now() const { return events_.Now(); }
+
+  const LatencyModel& latency_model() const { return *options_.latency; }
+
+ private:
+  NetworkOptions options_;
+  Rng rng_;
+  EventQueue events_;
+  CostCounters counters_;
+  uint64_t lost_messages_ = 0;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_NETWORK_H_

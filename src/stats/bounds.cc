@@ -1,0 +1,33 @@
+#include "stats/bounds.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+
+size_t DkwRequiredSamples(double epsilon, double delta) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  const double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<size_t>(std::ceil(m));
+}
+
+double DkwEpsilon(size_t m, double delta) {
+  assert(m > 0);
+  assert(delta > 0.0 && delta < 1.0);
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(m)));
+}
+
+double DkwConfidence(size_t m, double epsilon) {
+  assert(epsilon > 0.0);
+  const double tail =
+      2.0 * std::exp(-2.0 * static_cast<double>(m) * epsilon * epsilon);
+  return tail >= 1.0 ? 0.0 : 1.0 - tail;
+}
+
+size_t HoeffdingRequiredSamples(double epsilon, double delta, double range) {
+  assert(range > 0.0);
+  return DkwRequiredSamples(epsilon / range, delta);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,38 @@
+#ifndef RINGDDE_STATS_BOUNDS_H_
+#define RINGDDE_STATS_BOUNDS_H_
+
+#include <cstddef>
+
+namespace ringdde {
+
+/// Distribution-free concentration bounds backing the estimator's
+/// "accuracy regardless of the data distribution" guarantee.
+///
+/// Dvoretzky–Kiefer–Wolfowitz (with Massart's tight constant):
+///   P( sup_x |F_m(x) - F(x)| > eps ) <= 2 exp(-2 m eps^2)
+/// for the empirical CDF F_m of m i.i.d. samples of ANY distribution F.
+/// Because the estimator samples the global CDF directly (rather than items
+/// through a biased peer process), the bound applies verbatim to it.
+
+/// Smallest m with 2 exp(-2 m eps^2) <= delta, i.e. the CDF sample count
+/// guaranteeing KS error <= eps with probability >= 1 - delta.
+/// Requires eps in (0,1) and delta in (0,1).
+size_t DkwRequiredSamples(double epsilon, double delta);
+
+/// The eps guaranteed by m samples at confidence 1 - delta:
+///   eps = sqrt( ln(2/delta) / (2 m) ).
+double DkwEpsilon(size_t m, double delta);
+
+/// Confidence 1 - 2 exp(-2 m eps^2) that m samples achieve KS error <= eps
+/// (clamped below at 0).
+double DkwConfidence(size_t m, double epsilon);
+
+/// Hoeffding bound for estimating the mean of a [0, range]-valued quantity
+/// (e.g. the total item count from per-probe density observations):
+/// smallest m with 2 exp(-2 m (eps/range)^2) <= delta.
+size_t HoeffdingRequiredSamples(double epsilon, double delta,
+                                double range = 1.0);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_BOUNDS_H_

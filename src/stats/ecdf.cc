@@ -1,0 +1,35 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double p) const {
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 1.0) return sorted_.back();
+  const double target = p * static_cast<double>(sorted_.size());
+  size_t idx = static_cast<size_t>(std::ceil(target));
+  if (idx == 0) idx = 1;
+  if (idx > sorted_.size()) idx = sorted_.size();
+  return sorted_[idx - 1];
+}
+
+Result<PiecewiseLinearCdf> EmpiricalCdf::ToPiecewiseLinear() const {
+  return PiecewiseLinearCdf::FromSamples(sorted_);
+}
+
+}  // namespace ringdde

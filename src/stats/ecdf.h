@@ -1,0 +1,36 @@
+#ifndef RINGDDE_STATS_ECDF_H_
+#define RINGDDE_STATS_ECDF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Classical step-function empirical CDF of a sample.
+class EmpiricalCdf {
+ public:
+  /// Takes ownership of the samples (sorted on construction).
+  /// Must be non-empty.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x (right-continuous step function).
+  double Evaluate(double x) const;
+
+  /// p-quantile: the smallest sample x with F(x) >= p.
+  double Quantile(double p) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Linearly interpolated version (needs >= 2 samples).
+  Result<PiecewiseLinearCdf> ToPiecewiseLinear() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_ECDF_H_

@@ -1,0 +1,96 @@
+#include "stats/gk_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  assert(epsilon > 0.0 && epsilon < 0.5);
+}
+
+void GkSketch::Add(double x) {
+  // Find insertion point: first tuple with value >= x.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), x,
+      [](const Tuple& t, double v) { return t.value < v; });
+
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insert: delta = floor(2 eps n) - 1 per the GK paper.
+    const double cap = 2.0 * epsilon_ * static_cast<double>(count_);
+    delta = cap >= 1.0 ? static_cast<uint64_t>(cap) - 1 : 0;
+  }
+  tuples_.insert(it, Tuple{x, 1, delta});
+  ++count_;
+
+  // Compress every 1/(2 eps) inserts, the standard schedule.
+  if (++since_compress_ >= static_cast<uint64_t>(1.0 / (2.0 * epsilon_))) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkSketch::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  // Merge tuple i into its successor when the combined uncertainty stays
+  // under the 2 eps n band. The last tuple is always kept (max value).
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& cur = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(cur.g + next.g + next.delta) < threshold) {
+      // Fold cur's gap into next (mutating our working copy).
+      tuples_[i + 1].g += cur.g;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double GkSketch::Quantile(double p) const {
+  if (tuples_.empty()) return 0.0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double target = p * static_cast<double>(count_);
+  const double slack = epsilon_ * static_cast<double>(count_);
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const double rmax = static_cast<double>(rmin + t.delta);
+    if (rmax >= target - slack &&
+        static_cast<double>(rmin) <= target + slack) {
+      return t.value;
+    }
+    if (static_cast<double>(rmin) > target + slack) return t.value;
+  }
+  return tuples_.back().value;
+}
+
+uint64_t GkSketch::RankOf(double x) const {
+  // Midpoint of the [rmin, rmax] band of the last tuple with value <= x.
+  uint64_t rmin = 0;
+  uint64_t best = 0;
+  bool found = false;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    if (t.value <= x) {
+      best = rmin + t.delta / 2;
+      found = true;
+    } else {
+      break;
+    }
+  }
+  return found ? best : 0;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,59 @@
+#ifndef RINGDDE_STATS_GK_SKETCH_H_
+#define RINGDDE_STATS_GK_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ringdde {
+
+/// Greenwald–Khanna ε-approximate quantile sketch.
+///
+/// Peers with large local stores use this to answer probe requests with a
+/// compact summary instead of shipping raw quantile arrays computed from all
+/// keys. Any rank query is answered within ±ε·N of the true rank using
+/// O((1/ε)·log(εN)) stored tuples.
+class GkSketch {
+ public:
+  /// `epsilon` in (0, 0.5): the rank-error guarantee.
+  explicit GkSketch(double epsilon = 0.01);
+
+  /// Inserts one value. Amortized O(log(1/ε)) with periodic compression.
+  void Add(double x);
+
+  /// Inserts all values.
+  void AddAll(const std::vector<double>& xs);
+
+  /// Value whose rank is within ε·N of ceil(p·N). Returns 0 on an empty
+  /// sketch.
+  double Quantile(double p) const;
+
+  /// Approximate rank of x (count of inserted values <= x), within ε·N.
+  uint64_t RankOf(double x) const;
+
+  uint64_t count() const { return count_; }
+  size_t tuple_count() const { return tuples_.size(); }
+  double epsilon() const { return epsilon_; }
+
+  /// Serialized payload size if shipped over the network: each tuple is a
+  /// (value, g, delta) triple ≈ 20 bytes.
+  uint64_t EncodedBytes() const { return 20 * tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double value;     ///< sample value v_i
+    uint64_t g;       ///< rank(v_i) - rank(v_{i-1}) lower-bound gap
+    uint64_t delta;   ///< uncertainty of the rank of v_i
+  };
+
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  uint64_t since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // ordered by value
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_GK_SKETCH_H_

@@ -1,0 +1,130 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+EquiWidthHistogram::EquiWidthHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), mass_(bins, 0.0) {
+  assert(lo < hi);
+  assert(bins >= 1);
+}
+
+size_t EquiWidthHistogram::BinOf(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return mass_.size() - 1;
+  const double t = (x - lo_) / (hi_ - lo_);
+  return std::min(static_cast<size_t>(t * static_cast<double>(mass_.size())),
+                  mass_.size() - 1);
+}
+
+void EquiWidthHistogram::Add(double x, double weight) {
+  mass_[BinOf(x)] += weight;
+}
+
+void EquiWidthHistogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+Status EquiWidthHistogram::Merge(const EquiWidthHistogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.mass_.size() != mass_.size()) {
+    return Status::InvalidArgument("histogram geometries differ");
+  }
+  for (size_t i = 0; i < mass_.size(); ++i) mass_[i] += other.mass_[i];
+  return Status::OK();
+}
+
+void EquiWidthHistogram::Scale(double factor) {
+  for (double& m : mass_) m *= factor;
+}
+
+double EquiWidthHistogram::TotalMass() const { return SumPrecise(mass_); }
+
+double EquiWidthHistogram::PdfAt(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  const double total = TotalMass();
+  if (total <= 0.0) return 0.0;
+  return mass_[BinOf(x)] / (total * bin_width());
+}
+
+double EquiWidthHistogram::CdfAt(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double total = TotalMass();
+  if (total <= 0.0) return 0.0;
+  const size_t bin = BinOf(x);
+  double below = 0.0;
+  for (size_t i = 0; i < bin; ++i) below += mass_[i];
+  const double bin_lo = lo_ + static_cast<double>(bin) * bin_width();
+  const double frac = (x - bin_lo) / bin_width();
+  return (below + frac * mass_[bin]) / total;
+}
+
+Result<PiecewiseLinearCdf> EquiWidthHistogram::ToCdf() const {
+  const double total = TotalMass();
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("empty histogram has no CDF");
+  }
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  knots.reserve(mass_.size() + 1);
+  knots.push_back({lo_, 0.0});
+  double run = 0.0;
+  for (size_t i = 0; i < mass_.size(); ++i) {
+    run += mass_[i];
+    knots.push_back({lo_ + static_cast<double>(i + 1) * bin_width(),
+                     Clamp(run / total, 0.0, 1.0)});
+  }
+  knots.back().f = 1.0;
+  return PiecewiseLinearCdf::FromKnots(std::move(knots));
+}
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> samples, size_t buckets) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("cannot build from empty sample");
+  }
+  if (buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> bounds;
+  bounds.reserve(buckets + 1);
+  const double n1 = static_cast<double>(samples.size() - 1);
+  for (size_t b = 0; b <= buckets; ++b) {
+    const double h = n1 * static_cast<double>(b) / static_cast<double>(buckets);
+    const size_t lo = static_cast<size_t>(h);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    bounds.push_back(
+        Lerp(samples[lo], samples[hi], h - static_cast<double>(lo)));
+  }
+  // Equal boundary values (heavy duplicates) would break the
+  // uniform-within-bucket interpolation; nudge them apart minimally.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      bounds[i] = std::nextafter(bounds[i - 1], 1e300);
+    }
+  }
+  return EquiDepthHistogram(std::move(bounds));
+}
+
+double EquiDepthHistogram::CdfAt(double x) const {
+  if (x <= boundaries_.front()) return 0.0;
+  if (x >= boundaries_.back()) return 1.0;
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+  const size_t b = static_cast<size_t>(it - boundaries_.begin()) - 1;
+  const double lo = boundaries_[b];
+  const double hi = boundaries_[b + 1];
+  const double within = (x - lo) / (hi - lo);
+  const double per_bucket = 1.0 / static_cast<double>(buckets());
+  return (static_cast<double>(b) + within) * per_bucket;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(double a, double b) const {
+  if (b < a) std::swap(a, b);
+  return CdfAt(b) - CdfAt(a);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,92 @@
+#ifndef RINGDDE_STATS_HISTOGRAM_H_
+#define RINGDDE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Equi-width histogram over [lo, hi] with weighted counts.
+///
+/// Mergeable (bin-wise addition), which is what the gossip and tree
+/// aggregation baselines exchange: every peer's local histogram uses the
+/// same (lo, hi, bins) geometry, so merging is exact.
+class EquiWidthHistogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  EquiWidthHistogram(double lo, double hi, size_t bins);
+
+  /// Adds `weight` mass at x. Out-of-range x clamps into the edge bins.
+  void Add(double x, double weight = 1.0);
+
+  /// Adds every value with weight 1.
+  void AddAll(const std::vector<double>& xs);
+
+  /// Bin-wise merge; geometries must match exactly.
+  Status Merge(const EquiWidthHistogram& other);
+
+  /// Multiplies every bin mass by `factor` (push-sum style reweighting).
+  void Scale(double factor);
+
+  double TotalMass() const;
+
+  /// Normalized density at x; 0 outside [lo, hi], 0 if the histogram is
+  /// empty.
+  double PdfAt(double x) const;
+
+  /// Normalized CDF at x, linear within bins; 0 if empty.
+  double CdfAt(double x) const;
+
+  /// Piecewise-linear CDF with a knot at every bin boundary.
+  /// Fails if the histogram is empty.
+  Result<PiecewiseLinearCdf> ToCdf() const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t bins() const { return mass_.size(); }
+  const std::vector<double>& bin_masses() const { return mass_; }
+  double bin_width() const { return (hi_ - lo_) / static_cast<double>(bins()); }
+
+  /// Serialized payload size if shipped over the network: 8 bytes per bin.
+  uint64_t EncodedBytes() const { return 8 * mass_.size(); }
+
+ private:
+  size_t BinOf(double x) const;
+
+  double lo_, hi_;
+  std::vector<double> mass_;
+};
+
+/// Equi-depth (equi-height) histogram: `buckets` buckets each holding the
+/// same number of samples; boundaries are sample quantiles. The classic
+/// selectivity-estimation summary.
+class EquiDepthHistogram {
+ public:
+  /// Builds from a sample (copied & sorted). Requires a non-empty sample
+  /// and buckets >= 1.
+  static Result<EquiDepthHistogram> Build(std::vector<double> samples,
+                                          size_t buckets);
+
+  /// Estimated fraction of data in [a, b] (uniform-within-bucket
+  /// assumption).
+  double EstimateSelectivity(double a, double b) const;
+
+  double CdfAt(double x) const;
+
+  /// Bucket boundaries, size buckets()+1, ascending.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  size_t buckets() const { return boundaries_.size() - 1; }
+
+ private:
+  explicit EquiDepthHistogram(std::vector<double> boundaries)
+      : boundaries_(std::move(boundaries)) {}
+
+  std::vector<double> boundaries_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_HISTOGRAM_H_

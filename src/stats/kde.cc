@@ -1,0 +1,86 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+namespace {
+
+double GaussianKernelPdf(double u) { return StandardNormalPdf(u); }
+double GaussianKernelCdf(double u) { return StandardNormalCdf(u); }
+
+double EpanechnikovKernelPdf(double u) {
+  if (u < -1.0 || u > 1.0) return 0.0;
+  return 0.75 * (1.0 - u * u);
+}
+
+double EpanechnikovKernelCdf(double u) {
+  if (u <= -1.0) return 0.0;
+  if (u >= 1.0) return 1.0;
+  // Integral of 0.75(1-t^2) from -1 to u.
+  return 0.25 * (2.0 + 3.0 * u - u * u * u);
+}
+
+}  // namespace
+
+double KernelDensityEstimator::SilvermanBandwidth(
+    const std::vector<double>& samples) {
+  const double sd = Stddev(samples);
+  std::vector<double> copy = samples;
+  const double q75 = Quantile(copy, 0.75);
+  const double q25 = Quantile(copy, 0.25);
+  const double iqr = (q75 - q25) / 1.34;
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(spread, iqr);
+  if (spread <= 0.0) spread = 1e-3;  // degenerate sample
+  const double n = static_cast<double>(std::max<size_t>(samples.size(), 1));
+  return 0.9 * spread * std::pow(n, -0.2);
+}
+
+Result<KernelDensityEstimator> KernelDensityEstimator::Build(
+    std::vector<double> samples, KernelType kernel, double bandwidth) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE needs at least one sample");
+  }
+  if (bandwidth <= 0.0) bandwidth = SilvermanBandwidth(samples);
+  std::sort(samples.begin(), samples.end());
+  return KernelDensityEstimator(std::move(samples), kernel, bandwidth);
+}
+
+double KernelDensityEstimator::Pdf(double x) const {
+  const double h = bandwidth_;
+  KahanSum acc;
+  if (kernel_ == KernelType::kEpanechnikov) {
+    // Compact support: only samples within [x-h, x+h] contribute.
+    auto lo = std::lower_bound(samples_.begin(), samples_.end(), x - h);
+    auto hi = std::upper_bound(samples_.begin(), samples_.end(), x + h);
+    for (auto it = lo; it != hi; ++it) {
+      acc.Add(EpanechnikovKernelPdf((x - *it) / h));
+    }
+  } else {
+    for (double s : samples_) acc.Add(GaussianKernelPdf((x - s) / h));
+  }
+  return acc.value() / (static_cast<double>(samples_.size()) * h);
+}
+
+double KernelDensityEstimator::Cdf(double x) const {
+  const double h = bandwidth_;
+  KahanSum acc;
+  if (kernel_ == KernelType::kEpanechnikov) {
+    auto hi = std::upper_bound(samples_.begin(), samples_.end(), x + h);
+    // Samples entirely below x-h contribute exactly 1 each.
+    auto lo = std::lower_bound(samples_.begin(), samples_.end(), x - h);
+    acc.Add(static_cast<double>(lo - samples_.begin()));
+    for (auto it = lo; it != hi; ++it) {
+      acc.Add(EpanechnikovKernelCdf((x - *it) / h));
+    }
+  } else {
+    for (double s : samples_) acc.Add(GaussianKernelCdf((x - s) / h));
+  }
+  return acc.value() / static_cast<double>(samples_.size());
+}
+
+}  // namespace ringdde

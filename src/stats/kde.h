@@ -1,0 +1,59 @@
+#ifndef RINGDDE_STATS_KDE_H_
+#define RINGDDE_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace ringdde {
+
+/// Smoothing kernel for density estimation.
+enum class KernelType {
+  kGaussian,
+  kEpanechnikov,
+};
+
+/// Classic kernel density estimator over a one-dimensional sample.
+///
+/// Used as the smoothing stage of the density pipeline: the inversion
+/// sampler produces (pseudo-)samples from the estimated global CDF, and a
+/// KDE over them gives a smooth density for presentation and for pdf-based
+/// accuracy metrics. Evaluation is O(n) per query — fine for the sample
+/// sizes the estimators use (hundreds to a few thousand points).
+class KernelDensityEstimator {
+ public:
+  /// `bandwidth` <= 0 selects Silverman's rule of thumb.
+  /// Requires a non-empty sample.
+  static Result<KernelDensityEstimator> Build(
+      std::vector<double> samples, KernelType kernel = KernelType::kGaussian,
+      double bandwidth = 0.0);
+
+  /// Density estimate at x.
+  double Pdf(double x) const;
+
+  /// Smoothed CDF at x (sum of per-sample kernel CDFs).
+  double Cdf(double x) const;
+
+  double bandwidth() const { return bandwidth_; }
+  KernelType kernel() const { return kernel_; }
+  size_t sample_size() const { return samples_.size(); }
+
+  /// Silverman's rule: 0.9 * min(stddev, IQR/1.34) * n^(-1/5), floored at a
+  /// tiny positive value so degenerate samples still yield a valid KDE.
+  static double SilvermanBandwidth(const std::vector<double>& samples);
+
+ private:
+  KernelDensityEstimator(std::vector<double> samples, KernelType kernel,
+                         double bandwidth)
+      : samples_(std::move(samples)),
+        kernel_(kernel),
+        bandwidth_(bandwidth) {}
+
+  std::vector<double> samples_;
+  KernelType kernel_;
+  double bandwidth_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_KDE_H_

@@ -1,0 +1,133 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+double SupDistance(const RealFn& f, const RealFn& g, double lo, double hi,
+                   int grid, const std::vector<double>& extra) {
+  double sup = 0.0;
+  for (int i = 0; i <= grid; ++i) {
+    const double x = Lerp(lo, hi, static_cast<double>(i) / grid);
+    sup = std::max(sup, std::fabs(f(x) - g(x)));
+  }
+  for (double x : extra) {
+    if (x < lo || x > hi) continue;
+    sup = std::max(sup, std::fabs(f(x) - g(x)));
+  }
+  return sup;
+}
+
+double L1Distance(const RealFn& f, const RealFn& g, double lo, double hi,
+                  int grid) {
+  const double h = (hi - lo) / grid;
+  KahanSum acc;
+  double prev = std::fabs(f(lo) - g(lo));
+  for (int i = 1; i <= grid; ++i) {
+    const double x = Lerp(lo, hi, static_cast<double>(i) / grid);
+    const double cur = std::fabs(f(x) - g(x));
+    acc.Add(0.5 * (prev + cur) * h);
+    prev = cur;
+  }
+  return acc.value();
+}
+
+double L2Distance(const RealFn& f, const RealFn& g, double lo, double hi,
+                  int grid) {
+  const double h = (hi - lo) / grid;
+  KahanSum acc;
+  double d0 = f(lo) - g(lo);
+  double prev = d0 * d0;
+  for (int i = 1; i <= grid; ++i) {
+    const double x = Lerp(lo, hi, static_cast<double>(i) / grid);
+    const double d = f(x) - g(x);
+    const double cur = d * d;
+    acc.Add(0.5 * (prev + cur) * h);
+    prev = cur;
+  }
+  return std::sqrt(acc.value());
+}
+
+double KlDivergence(const RealFn& p, const RealFn& q, double lo, double hi,
+                    int grid, double floor_eps) {
+  const double h = (hi - lo) / grid;
+  KahanSum acc;
+  auto integrand = [&](double x) {
+    const double pv = std::max(p(x), floor_eps);
+    const double qv = std::max(q(x), floor_eps);
+    return pv * std::log(pv / qv);
+  };
+  double prev = integrand(lo);
+  for (int i = 1; i <= grid; ++i) {
+    const double x = Lerp(lo, hi, static_cast<double>(i) / grid);
+    const double cur = integrand(x);
+    acc.Add(0.5 * (prev + cur) * h);
+    prev = cur;
+  }
+  return acc.value();
+}
+
+std::string AccuracyReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ks=%.5f l1_cdf=%.5f l2_cdf=%.5f l1_pdf=%.5f", ks, l1_cdf,
+                l2_cdf, l1_pdf);
+  return std::string(buf);
+}
+
+AccuracyReport CompareFnToTruth(const RealFn& est_cdf, const RealFn& est_pdf,
+                                const Distribution& truth, int grid) {
+  // Evaluate over the full unit domain, not just the truth support: an
+  // estimate that puts mass outside the support must be penalized.
+  const double lo = 0.0;
+  const double hi = 1.0;
+  RealFn true_cdf = [&truth](double x) { return truth.Cdf(x); };
+  AccuracyReport r;
+  r.ks = SupDistance(est_cdf, true_cdf, lo, hi, grid);
+  r.l1_cdf = L1Distance(est_cdf, true_cdf, lo, hi, grid);
+  r.l2_cdf = L2Distance(est_cdf, true_cdf, lo, hi, grid);
+  if (est_pdf) {
+    RealFn true_pdf = [&truth](double x) { return truth.Pdf(x); };
+    r.l1_pdf = L1Distance(est_pdf, true_pdf, lo, hi, grid);
+  }
+  return r;
+}
+
+AccuracyReport CompareCdfToTruth(const PiecewiseLinearCdf& estimate,
+                                 const Distribution& truth, int grid) {
+  RealFn est_cdf = [&estimate](double x) { return estimate.Evaluate(x); };
+  RealFn est_pdf = [&estimate](double x) { return estimate.DensityAt(x); };
+  AccuracyReport r = CompareFnToTruth(est_cdf, est_pdf, truth, grid);
+  // Refine KS with the estimate's knots: sup of PWL vs smooth truth can
+  // fall between grid points but is bracketed by knot positions.
+  std::vector<double> knot_xs;
+  knot_xs.reserve(estimate.knots().size());
+  for (const auto& k : estimate.knots()) knot_xs.push_back(k.x);
+  RealFn true_cdf = [&truth](double x) { return truth.Cdf(x); };
+  r.ks = std::max(r.ks,
+                  SupDistance(est_cdf, true_cdf, 0.0, 1.0, grid, knot_xs));
+  return r;
+}
+
+AccuracyReport MeanReport(const std::vector<AccuracyReport>& reports) {
+  AccuracyReport m;
+  if (reports.empty()) return m;
+  for (const AccuracyReport& r : reports) {
+    m.ks += r.ks;
+    m.l1_cdf += r.l1_cdf;
+    m.l2_cdf += r.l2_cdf;
+    m.l1_pdf += r.l1_pdf;
+  }
+  const double n = static_cast<double>(reports.size());
+  m.ks /= n;
+  m.l1_cdf /= n;
+  m.l2_cdf /= n;
+  m.l1_pdf /= n;
+  return m;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,62 @@
+#ifndef RINGDDE_STATS_METRICS_H_
+#define RINGDDE_STATS_METRICS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/distribution.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// A real function of one variable, used so metrics accept analytic
+/// distributions, estimates, or ad-hoc lambdas interchangeably.
+using RealFn = std::function<double(double)>;
+
+/// sup_x |f(x) - g(x)| over `grid` evenly spaced points in [lo, hi] plus the
+/// supplied extra evaluation points (pass CDF breakpoints here — the sup of
+/// a step/piecewise function against a smooth one is attained at its knots).
+double SupDistance(const RealFn& f, const RealFn& g, double lo, double hi,
+                   int grid = 2048, const std::vector<double>& extra = {});
+
+/// ∫|f - g| dx over [lo, hi] via the trapezoid rule on `grid` intervals.
+double L1Distance(const RealFn& f, const RealFn& g, double lo, double hi,
+                  int grid = 2048);
+
+/// sqrt(∫ (f-g)^2 dx) over [lo, hi].
+double L2Distance(const RealFn& f, const RealFn& g, double lo, double hi,
+                  int grid = 2048);
+
+/// KL(p || q) = ∫ p log(p/q) dx with both densities floored at `floor_eps`
+/// to keep the integrand finite where the estimate has zero mass.
+double KlDivergence(const RealFn& p, const RealFn& q, double lo, double hi,
+                    int grid = 2048, double floor_eps = 1e-9);
+
+/// The standard accuracy bundle every experiment reports.
+struct AccuracyReport {
+  double ks = 0.0;      ///< Kolmogorov–Smirnov: sup |F̂ - F|
+  double l1_cdf = 0.0;  ///< ∫ |F̂ - F| (a.k.a. Wasserstein-1 distance)
+  double l2_cdf = 0.0;  ///< sqrt(∫ (F̂ - F)^2) (Cramér–von Mises flavor)
+  double l1_pdf = 0.0;  ///< ∫ |f̂ - f| (total variation ×2)
+
+  std::string ToString() const;
+};
+
+/// Compares an estimated CDF against analytic truth over the truth's
+/// support. The pdf term uses the estimate's piecewise-constant implied
+/// density.
+AccuracyReport CompareCdfToTruth(const PiecewiseLinearCdf& estimate,
+                                 const Distribution& truth, int grid = 2048);
+
+/// Compares an arbitrary estimated CDF function (and optionally its density)
+/// against analytic truth.
+AccuracyReport CompareFnToTruth(const RealFn& est_cdf, const RealFn& est_pdf,
+                                const Distribution& truth, int grid = 2048);
+
+/// Mean over a vector of reports (for repetition averaging).
+AccuracyReport MeanReport(const std::vector<AccuracyReport>& reports);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_METRICS_H_

@@ -1,0 +1,157 @@
+#include "stats/piecewise_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+
+Result<PiecewiseLinearCdf> PiecewiseLinearCdf::FromKnots(
+    std::vector<Knot> knots) {
+  if (knots.size() < 2) {
+    return Status::InvalidArgument("need at least 2 knots");
+  }
+  for (size_t i = 0; i < knots.size(); ++i) {
+    if (knots[i].f < -1e-12 || knots[i].f > 1.0 + 1e-12) {
+      return Status::InvalidArgument("CDF value outside [0,1]");
+    }
+    knots[i].f = Clamp(knots[i].f, 0.0, 1.0);
+    if (i > 0) {
+      if (knots[i].x <= knots[i - 1].x) {
+        return Status::InvalidArgument("knot x not strictly increasing");
+      }
+      if (knots[i].f < knots[i - 1].f) {
+        return Status::InvalidArgument("CDF values not monotone");
+      }
+    }
+  }
+  return PiecewiseLinearCdf(std::move(knots));
+}
+
+Result<PiecewiseLinearCdf> PiecewiseLinearCdf::FromSamples(
+    std::vector<double> samples) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("need at least 2 samples");
+  }
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::vector<Knot> knots;
+  knots.reserve(samples.size() + 1);
+  // Left anchor a hair below the minimum with F = 0, then a knot at each
+  // distinct value x carrying the fraction of samples <= x. Atoms become
+  // near-vertical ramps; F is exactly 0 below the data and 1 above it.
+  const double span = samples.back() - samples.front();
+  const double eps =
+      std::max({1e-12, std::fabs(samples.front()) * 1e-12, span * 1e-9});
+  knots.push_back(Knot{samples.front() - eps, 0.0});
+  size_t i = 0;
+  while (i < samples.size()) {
+    size_t j = i;
+    while (j + 1 < samples.size() && samples[j + 1] == samples[i]) ++j;
+    knots.push_back(Knot{samples[i], static_cast<double>(j + 1) / n});
+    i = j + 1;
+  }
+  knots.back().f = 1.0;
+  return FromKnots(std::move(knots));
+}
+
+void PiecewiseLinearCdf::MakeMonotone(std::vector<Knot>& knots) {
+  std::sort(knots.begin(), knots.end(),
+            [](const Knot& a, const Knot& b) { return a.x < b.x; });
+  // Merge duplicate x, keeping the largest f.
+  std::vector<Knot> merged;
+  merged.reserve(knots.size());
+  for (const Knot& k : knots) {
+    if (!merged.empty() && merged.back().x == k.x) {
+      merged.back().f = std::max(merged.back().f, k.f);
+    } else {
+      merged.push_back(k);
+    }
+  }
+  // Clamp and running-max for monotonicity.
+  double run = 0.0;
+  for (Knot& k : merged) {
+    k.f = Clamp(k.f, 0.0, 1.0);
+    run = std::max(run, k.f);
+    k.f = run;
+  }
+  knots = std::move(merged);
+}
+
+double PiecewiseLinearCdf::Evaluate(double x) const {
+  if (x <= knots_.front().x) return knots_.front().f;
+  if (x >= knots_.back().x) return knots_.back().f;
+  // Binary search for the segment containing x.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const Knot& k) { return v < k.x; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return Lerp(lo.f, hi.f, t);
+}
+
+double PiecewiseLinearCdf::Inverse(double p) const {
+  if (p <= knots_.front().f) return knots_.front().x;
+  if (p >= knots_.back().f) return knots_.back().x;
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), p,
+      [](const Knot& k, double v) { return k.f < v; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  if (hi.f == lo.f) return lo.x;  // flat segment: leftmost point
+  const double t = (p - lo.f) / (hi.f - lo.f);
+  return Lerp(lo.x, hi.x, t);
+}
+
+double PiecewiseLinearCdf::DensityAt(double x) const {
+  if (x < knots_.front().x || x > knots_.back().x) return 0.0;
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const Knot& k) { return v < k.x; });
+  if (it == knots_.end()) --it;       // x == last knot: use last segment
+  if (it == knots_.begin()) ++it;     // x == first knot: use first segment
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  return (hi.f - lo.f) / (hi.x - lo.x);
+}
+
+bool PiecewiseLinearCdf::IsNormalized() const {
+  return std::fabs(knots_.front().f) < 1e-9 &&
+         std::fabs(knots_.back().f - 1.0) < 1e-9;
+}
+
+PiecewiseLinearCdf PiecewiseLinearCdf::Resampled(size_t max_knots) const {
+  if (max_knots < 2) max_knots = 2;
+  if (knots_.size() <= max_knots) return *this;
+  const double f_lo = knots_.front().f;
+  const double f_hi = knots_.back().f;
+  std::vector<Knot> out;
+  out.reserve(max_knots);
+  out.push_back(knots_.front());
+  for (size_t i = 1; i + 1 < max_knots; ++i) {
+    const double p =
+        Lerp(f_lo, f_hi,
+             static_cast<double>(i) / static_cast<double>(max_knots - 1));
+    const double x = Inverse(p);
+    if (x > out.back().x) out.push_back(Knot{x, p});
+  }
+  if (knots_.back().x > out.back().x) {
+    out.push_back(knots_.back());
+  } else {
+    out.back() = knots_.back();
+  }
+  if (out.size() < 2) return *this;  // degenerate flat function
+  Result<PiecewiseLinearCdf> result = FromKnots(std::move(out));
+  return result.ok() ? std::move(*result) : *this;
+}
+
+void PiecewiseLinearCdf::Normalize() {
+  const double lo = knots_.front().f;
+  const double hi = knots_.back().f;
+  if (hi - lo < 1e-15) return;  // degenerate: nothing sensible to do
+  for (Knot& k : knots_) k.f = (k.f - lo) / (hi - lo);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,82 @@
+#ifndef RINGDDE_STATS_PIECEWISE_CDF_H_
+#define RINGDDE_STATS_PIECEWISE_CDF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace ringdde {
+
+/// Monotone piecewise-linear cumulative distribution function.
+///
+/// This is the library's central representation of an estimated global
+/// distribution: probe results are stitched into one of these, accuracy
+/// metrics compare it against analytic truth, and the inversion sampler
+/// inverts it. Between knots the CDF is linear (so the implied density is
+/// piecewise constant); outside the knot range it is clamped to the first /
+/// last value.
+class PiecewiseLinearCdf {
+ public:
+  struct Knot {
+    double x;  ///< domain position
+    double f;  ///< CDF value in [0,1]
+  };
+
+  /// Default: the uniform CDF on [0, 1].
+  PiecewiseLinearCdf() : knots_{{0.0, 0.0}, {1.0, 1.0}} {}
+
+  /// Builds from knots. Requirements: at least 2 knots, x strictly
+  /// increasing, f nondecreasing, all f in [0,1]. Violations yield
+  /// InvalidArgument. Callers producing noisy estimates should call
+  /// MakeMonotone() on their knot vector first.
+  static Result<PiecewiseLinearCdf> FromKnots(std::vector<Knot> knots);
+
+  /// Builds the linearly-interpolated empirical CDF of a sample: knot i at
+  /// (x_(i), (i+1)/n) over the sorted distinct values, prepended with
+  /// (x_(0), 1/n)'s left anchor so F starts near 0. Requires >= 2 samples.
+  static Result<PiecewiseLinearCdf> FromSamples(std::vector<double> samples);
+
+  /// In-place repair for noisy estimates: sorts by x, merges duplicate x
+  /// (keeping the max f), clamps f into [0,1], and applies a running max so
+  /// f is nondecreasing.
+  static void MakeMonotone(std::vector<Knot>& knots);
+
+  /// F(x); clamped to [first.f, last.f] outside the knot span.
+  double Evaluate(double x) const;
+
+  /// Quantile: smallest x with F(x) >= p (by linear interpolation).
+  /// p below first.f returns the first knot's x; p above last.f the last's.
+  double Inverse(double p) const;
+
+  /// Implied density at x: the slope of the segment containing x (0 outside
+  /// the knot span, and at exact flat segments).
+  double DensityAt(double x) const;
+
+  /// True if the first knot is at F=0 and the last at F=1 (within 1e-9).
+  bool IsNormalized() const;
+
+  /// Rescales f linearly so the first knot maps to 0 and the last to 1.
+  /// No-op on an already-normalized or degenerate (flat) function.
+  void Normalize();
+
+  /// A compact approximation with at most `max_knots` knots, placed at
+  /// evenly spaced probability levels (mass-adaptive: steep regions keep
+  /// more x-resolution). Used to cheapen estimate shipping; max error is
+  /// ~1/max_knots in CDF value. Requires max_knots >= 2; a function that
+  /// already fits is returned unchanged.
+  PiecewiseLinearCdf Resampled(size_t max_knots) const;
+
+  double x_min() const { return knots_.front().x; }
+  double x_max() const { return knots_.back().x; }
+  const std::vector<Knot>& knots() const { return knots_; }
+
+ private:
+  explicit PiecewiseLinearCdf(std::vector<Knot> knots)
+      : knots_(std::move(knots)) {}
+
+  std::vector<Knot> knots_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_PIECEWISE_CDF_H_

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void Build(const Distribution& dist, size_t n = 2048,
+             size_t items = 100000) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(1);
+    ring_->InsertDatasetBulk(GenerateDataset(dist, items, rng).keys);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(AdaptiveTest, ConvergesWithoutBudgetTuning) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(dist);
+  DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+  AdaptiveOptions opts;
+  auto e = est.EstimateAdaptive(ring_->AliveAddrs()[0], opts);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.05);
+  EXPECT_GT(e->peers_probed, 0u);
+}
+
+TEST_F(AdaptiveTest, SpendsMoreOnHarderDistributions) {
+  // Heavy skew needs more batches to stabilize than uniform data.
+  uint64_t msgs_uniform = 0, msgs_zipf = 0;
+  {
+    UniformDistribution dist;
+    Build(dist);
+    DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+    auto e = est.EstimateAdaptive(ring_->AliveAddrs()[0], AdaptiveOptions{});
+    ASSERT_TRUE(e.ok());
+    msgs_uniform = e->cost.messages;
+  }
+  {
+    ZipfDistribution dist(1000, 1.1);
+    Build(dist);
+    DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+    auto e = est.EstimateAdaptive(ring_->AliveAddrs()[0], AdaptiveOptions{});
+    ASSERT_TRUE(e.ok());
+    msgs_zipf = e->cost.messages;
+    EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.08);
+  }
+  EXPECT_GT(msgs_zipf, msgs_uniform);
+}
+
+TEST_F(AdaptiveTest, RespectsMaxProbesCeiling) {
+  ZipfDistribution dist(1000, 1.2);
+  Build(dist);
+  DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+  AdaptiveOptions opts;
+  opts.batch_size = 32;
+  opts.max_probes = 64;
+  opts.tolerance = 1e-9;  // never satisfied: ceiling must kick in
+  auto e = est.EstimateAdaptive(ring_->AliveAddrs()[0], opts);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(e->peers_probed, 64u * 2u);
+}
+
+TEST_F(AdaptiveTest, TighterToleranceBuysAccuracy) {
+  ZipfDistribution dist(1000, 0.9);
+  Build(dist);
+  double ks_loose = 0.0, ks_tight = 0.0;
+  for (double tol : {0.05, 0.005}) {
+    DdeOptions dopts;
+    dopts.seed = 77;
+    DistributionFreeEstimator est(ring_.get(), dopts);
+    AdaptiveOptions opts;
+    opts.tolerance = tol;
+    auto e = est.EstimateAdaptive(ring_->AliveAddrs()[0], opts);
+    ASSERT_TRUE(e.ok());
+    (tol == 0.05 ? ks_loose : ks_tight) =
+        CompareCdfToTruth(e->cdf, dist).ks;
+  }
+  EXPECT_LT(ks_tight, ks_loose);
+}
+
+TEST_F(AdaptiveTest, DeadQuerierRejected) {
+  UniformDistribution dist;
+  Build(dist, 64, 1000);
+  const NodeAddr victim = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+  EXPECT_TRUE(est.EstimateAdaptive(victim, AdaptiveOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ringdde

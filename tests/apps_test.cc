@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/equidepth_partitioner.h"
+#include "apps/load_balance.h"
+#include "apps/selectivity.h"
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void Build(const Distribution& dist, size_t n = 512,
+             size_t items = 50000) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(1);
+    const Dataset ds = GenerateDataset(dist, items, rng);
+    ring_->InsertDatasetBulk(ds.keys);
+  }
+
+  DensityEstimate Estimate(size_t probes = 256) {
+    DdeOptions opts;
+    opts.num_probes = probes;
+    DistributionFreeEstimator est(ring_.get(), opts);
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    EXPECT_TRUE(e.ok());
+    return std::move(*e);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(AppsTest, ExactSelectivityMatchesConstruction) {
+  UniformDistribution dist;
+  Build(dist);
+  EXPECT_NEAR(ExactSelectivity(*ring_, 0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(ExactSelectivity(*ring_, 0.2, 0.7), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(ExactSelectivity(*ring_, 0.5, 0.5), 0.0);
+  // Swapped bounds are normalized.
+  EXPECT_DOUBLE_EQ(ExactSelectivity(*ring_, 0.7, 0.2),
+                   ExactSelectivity(*ring_, 0.2, 0.7));
+}
+
+TEST_F(AppsTest, SelectivityEstimatorTracksExact) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  SelectivityEstimator sel(&e.cdf);
+  for (auto [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.4, 0.6}, {0.0, 0.5}, {0.45, 0.55}, {0.8, 1.0}}) {
+    EXPECT_NEAR(sel.EstimateFraction(lo, hi),
+                ExactSelectivity(*ring_, lo, hi), 0.03)
+        << lo << ".." << hi;
+  }
+}
+
+TEST_F(AppsTest, SelectivityCountUsesTotal) {
+  UniformDistribution dist;
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  SelectivityEstimator sel(&e.cdf);
+  EXPECT_NEAR(sel.EstimateCount(0.0, 0.5, e.estimated_total_items),
+              25000.0, 3000.0);
+}
+
+TEST_F(AppsTest, GenerateRangeQueriesWellFormed) {
+  Rng rng(2);
+  const auto qs = GenerateRangeQueries(500, 0.1, rng);
+  ASSERT_EQ(qs.size(), 500u);
+  for (const auto& q : qs) {
+    EXPECT_LE(q.lo, q.hi);
+    EXPECT_GE(q.lo, 0.0);
+    EXPECT_LE(q.hi, 1.0);
+  }
+}
+
+TEST_F(AppsTest, EvaluateSelectivityReportsSmallErrorsForGoodEstimate) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  Rng rng(3);
+  const auto qs = GenerateRangeQueries(200, 0.1, rng);
+  const SelectivityEvalResult r = EvaluateSelectivity(e.cdf, *ring_, qs);
+  EXPECT_LT(r.mean_abs_error, 0.02);
+  EXPECT_LT(r.p95_abs_error, 0.05);
+  EXPECT_GE(r.p95_abs_error, r.mean_abs_error);
+}
+
+TEST_F(AppsTest, ExactLoadBalanceMatchesRingStats) {
+  ZipfDistribution dist(1000, 0.9);
+  Build(dist);
+  const LoadBalanceReport r = ExactLoadBalance(*ring_);
+  EXPECT_GT(r.gini, 0.3);  // skewed data on uniform arcs: imbalanced
+  EXPECT_GT(r.max_over_avg, 2.0);
+  EXPECT_NEAR(r.mean_load, 50000.0 / 512.0, 1e-6);
+}
+
+TEST_F(AppsTest, PredictedLoadsSumToEstimatedTotal) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  const auto loads = PredictNodeLoads(*ring_, e.cdf, e.estimated_total_items);
+  ASSERT_EQ(loads.size(), 512u);
+  double sum = 0.0;
+  for (double l : loads) sum += l;
+  EXPECT_NEAR(sum, e.estimated_total_items, e.estimated_total_items * 0.01);
+}
+
+TEST_F(AppsTest, PredictedImbalanceTracksTruth) {
+  ZipfDistribution dist(1000, 0.9);
+  Build(dist);
+  const DensityEstimate e = Estimate(512);
+  const LoadBalanceReport truth = ExactLoadBalance(*ring_);
+  const LoadBalanceReport pred =
+      PredictLoadBalance(*ring_, e.cdf, e.estimated_total_items);
+  EXPECT_NEAR(pred.gini, truth.gini, 0.12);
+  EXPECT_NEAR(pred.mean_load, truth.mean_load, truth.mean_load * 0.1);
+}
+
+TEST_F(AppsTest, LoadPredictionErrorSmallWithGoodEstimate) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(dist);
+  const DensityEstimate e = Estimate(512);
+  EXPECT_LT(MeanLoadPredictionError(*ring_, e.cdf, e.estimated_total_items),
+            0.35);
+}
+
+TEST_F(AppsTest, ProposeBoundariesCountAndOrder) {
+  UniformDistribution dist;
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  const auto bounds = ProposePartitionBoundaries(e.cdf, 8);
+  ASSERT_EQ(bounds.size(), 7u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST_F(AppsTest, EquiDepthPartitionsBalanceSkewedData) {
+  ZipfDistribution dist(1000, 1.0);
+  Build(dist);
+  const DensityEstimate e = Estimate(512);
+  const auto bounds = ProposePartitionBoundaries(e.cdf, 16);
+  const auto shares = MeasurePartitionShares(*ring_, bounds);
+  ASSERT_EQ(shares.size(), 16u);
+  const PartitionQuality q = EvaluatePartitionShares(shares);
+  // Ideal share 1/16 = 0.0625; a good estimate keeps the worst partition
+  // within ~2x ideal. Naive equal-width would leave one partition with
+  // most of the mass (imbalance ~ 16).
+  EXPECT_LT(q.imbalance, 2.5);
+  // Contrast: equal-width boundaries on the same data.
+  std::vector<double> naive;
+  for (int i = 1; i < 16; ++i) naive.push_back(i / 16.0);
+  const PartitionQuality naive_q =
+      EvaluatePartitionShares(MeasurePartitionShares(*ring_, naive));
+  EXPECT_GT(naive_q.imbalance, q.imbalance * 2);
+}
+
+TEST_F(AppsTest, PartitionSharesSumToOne) {
+  TruncatedExponentialDistribution dist(5.0);
+  Build(dist);
+  const DensityEstimate e = Estimate();
+  const auto shares =
+      MeasurePartitionShares(*ring_, ProposePartitionBoundaries(e.cdf, 10));
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(AppsTest, SinglePartitionDegenerate) {
+  UniformDistribution dist;
+  Build(dist, 64, 1000);
+  const DensityEstimate e = Estimate(32);
+  const auto bounds = ProposePartitionBoundaries(e.cdf, 1);
+  EXPECT_TRUE(bounds.empty());
+  const auto shares = MeasurePartitionShares(*ring_, bounds);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_NEAR(shares[0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,168 @@
+#include "core/bivariate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/math_util.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+class BivariateTest : public ::testing::Test {
+ protected:
+  /// Loads n items with x ~ dist_x and y = Generate(x, rng).
+  template <typename YGen>
+  void Build(const Distribution& dist_x, YGen&& y_gen, size_t n = 50000) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(1024).ok());
+    store_ = std::make_unique<BivariateStore>(ring_.get());
+    Rng rng(3);
+    std::vector<XY> items;
+    items.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      XY item;
+      item.x = dist_x.Sample(rng);
+      item.y = y_gen(item.x, rng);
+      items.push_back(item);
+    }
+    ASSERT_TRUE(store_->BulkLoad(items).ok());
+  }
+
+  BivariateEstimate Estimate(size_t probes = 256) {
+    BivariateOptions opts;
+    opts.num_probes = probes;
+    BivariateEstimator est(ring_.get(), store_.get(), opts);
+    Rng rng(7);
+    auto e = est.Estimate(*ring_->RandomAliveNode(rng));
+    EXPECT_TRUE(e.ok());
+    return std::move(*e);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  std::unique_ptr<BivariateStore> store_;
+};
+
+TEST_F(BivariateTest, StoreAssignsByXPlacement) {
+  UniformDistribution ux;
+  Build(ux, [](double, Rng& rng) { return rng.UniformDouble(); }, 5000);
+  EXPECT_EQ(store_->total_items(), 5000u);
+  EXPECT_EQ(ring_->TotalItems(), 5000u);
+  // Every side-table item sits with the ring owner of its x.
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    for (const XY& item : store_->ItemsAt(a)) {
+      EXPECT_TRUE(ring_->GetNode(a)->Owns(RingId::FromUnit(item.x)));
+    }
+  }
+}
+
+TEST_F(BivariateTest, ExactRectangleCountScans) {
+  UniformDistribution ux;
+  Build(ux, [](double, Rng& rng) { return rng.UniformDouble(); }, 20000);
+  const uint64_t all = store_->ExactRectangleCount(0, 1, 0, 1);
+  EXPECT_EQ(all, 20000u);
+  const uint64_t quadrant = store_->ExactRectangleCount(0, 0.5, 0, 0.5);
+  EXPECT_NEAR(static_cast<double>(quadrant), 5000.0, 300.0);
+}
+
+TEST_F(BivariateTest, IndependentAttributesFactorize) {
+  // x uniform, y ~ Normal(0.5, 0.1) independent of x: F(x,y) = x * G(y).
+  UniformDistribution ux;
+  TruncatedNormalDistribution ny(0.5, 0.1);
+  Build(ux, [&ny](double, Rng& rng) { return ny.Sample(rng); });
+  const BivariateEstimate e = Estimate();
+  for (double x : {0.25, 0.5, 0.75}) {
+    for (double y : {0.4, 0.5, 0.6}) {
+      EXPECT_NEAR(e.JointCdf(x, y), x * ny.Cdf(y), 0.04)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_F(BivariateTest, CorrelatedAttributesAreCaptured) {
+  // y tracks x: y = clamp(x + small noise). An independence-assuming
+  // estimate (marginal product) is far off in the corners.
+  UniformDistribution ux;
+  Build(ux, [](double x, Rng& rng) {
+    return Clamp(x + rng.Normal(0.0, 0.05), 0.0, 1.0);
+  });
+  const BivariateEstimate e = Estimate();
+  const double n = static_cast<double>(store_->total_items());
+  // Low-x & low-y rectangle: under correlation nearly all low-x items
+  // qualify -> mass ~ 0.3; independence would say 0.3 * 0.3 ~ 0.09.
+  const double est = e.RectangleMass(0.0, 0.3, 0.0, 0.35);
+  const double exact =
+      store_->ExactRectangleCount(0.0, 0.3, 0.0, 0.35) / n;
+  EXPECT_NEAR(est, exact, 0.05);
+  EXPECT_GT(est, 0.2);  // clearly not the independence answer
+  // Anti-diagonal rectangle is nearly empty.
+  const double off = e.RectangleMass(0.0, 0.3, 0.7, 1.0);
+  EXPECT_LT(off, 0.03);
+}
+
+TEST_F(BivariateTest, RectangleMassMatchesExactScanBroadly) {
+  ZipfDistribution zx(500, 0.8);
+  Build(zx, [](double x, Rng& rng) {
+    return Clamp(1.0 - x + rng.Normal(0.0, 0.1), 0.0, 1.0);
+  });
+  const BivariateEstimate e = Estimate(384);
+  const double n = static_cast<double>(store_->total_items());
+  Rng qrng(11);
+  double worst = 0.0;
+  for (int q = 0; q < 30; ++q) {
+    const double x1 = qrng.UniformDouble(0.0, 0.8);
+    const double x2 = x1 + qrng.UniformDouble(0.05, 0.2);
+    const double y1 = qrng.UniformDouble(0.0, 0.8);
+    const double y2 = y1 + qrng.UniformDouble(0.05, 0.2);
+    const double est = e.RectangleMass(x1, x2, y1, y2);
+    const double exact = store_->ExactRectangleCount(x1, x2, y1, y2) / n;
+    worst = std::max(worst, std::fabs(est - exact));
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST_F(BivariateTest, MarginalXMatchesUnivariateQuality) {
+  TruncatedNormalDistribution nx(0.5, 0.15);
+  Build(nx, [](double, Rng& rng) { return rng.UniformDouble(); });
+  const BivariateEstimate e = Estimate();
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(e.x_cdf().Evaluate(x), nx.Cdf(x), 0.02);
+  }
+  EXPECT_NEAR(e.estimated_total(), 50000.0, 5000.0);
+}
+
+TEST_F(BivariateTest, JointCdfMonotoneInBothArguments) {
+  UniformDistribution ux;
+  Build(ux, [](double x, Rng& rng) {
+    return Clamp(x * 0.5 + rng.UniformDouble() * 0.5, 0.0, 1.0);
+  });
+  const BivariateEstimate e = Estimate(128);
+  double prev = -1.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double v = e.JointCdf(i / 10.0, 0.7);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+  prev = -1.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double v = e.JointCdf(0.7, i / 10.0);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+TEST_F(BivariateTest, DeadQuerierRejected) {
+  UniformDistribution ux;
+  Build(ux, [](double, Rng& rng) { return rng.UniformDouble(); }, 1000);
+  const NodeAddr victim = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  BivariateEstimator est(ring_.get(), store_.get());
+  EXPECT_TRUE(est.Estimate(victim).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,57 @@
+#include "stats/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ringdde {
+namespace {
+
+TEST(DkwTest, KnownSampleSize) {
+  // m = ln(2/0.05) / (2 * 0.05^2) = ln(40)/0.005 ~ 737.8 -> 738.
+  EXPECT_EQ(DkwRequiredSamples(0.05, 0.05), 738u);
+}
+
+TEST(DkwTest, TighterEpsilonNeedsQuadraticallyMore) {
+  const size_t m1 = DkwRequiredSamples(0.1, 0.05);
+  const size_t m2 = DkwRequiredSamples(0.05, 0.05);
+  const size_t m4 = DkwRequiredSamples(0.025, 0.05);
+  EXPECT_NEAR(static_cast<double>(m2) / m1, 4.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(m4) / m2, 4.0, 0.1);
+}
+
+TEST(DkwTest, SmallerDeltaNeedsMore) {
+  EXPECT_GT(DkwRequiredSamples(0.05, 0.001), DkwRequiredSamples(0.05, 0.1));
+}
+
+TEST(DkwTest, EpsilonInvertsRequiredSamples) {
+  const double eps = 0.07;
+  const double delta = 0.02;
+  const size_t m = DkwRequiredSamples(eps, delta);
+  // With m samples the guaranteed epsilon is at most eps (m was rounded
+  // up), and with m-1 it would exceed it.
+  EXPECT_LE(DkwEpsilon(m, delta), eps);
+  EXPECT_GT(DkwEpsilon(m - 1, delta), eps * 0.99);
+}
+
+TEST(DkwTest, ConfidenceMatchesBound) {
+  // 2 exp(-2 m eps^2) at m=1000, eps=0.05 -> 2 exp(-5) ~ 0.01348.
+  EXPECT_NEAR(DkwConfidence(1000, 0.05), 1.0 - 2.0 * std::exp(-5.0), 1e-12);
+}
+
+TEST(DkwTest, ConfidenceClampedAtZero) {
+  EXPECT_DOUBLE_EQ(DkwConfidence(1, 0.01), 0.0);
+}
+
+TEST(DkwTest, ConfidenceApproachesOne) {
+  EXPECT_GT(DkwConfidence(100000, 0.05), 0.999);
+}
+
+TEST(HoeffdingTest, RangeScalesRequirement) {
+  // Estimating to +-1 of a [0,10] quantity == +-0.1 of a [0,1] quantity.
+  EXPECT_EQ(HoeffdingRequiredSamples(1.0, 0.05, 10.0),
+            DkwRequiredSamples(0.1, 0.05));
+}
+
+}  // namespace
+}  // namespace ringdde

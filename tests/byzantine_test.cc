@@ -1,0 +1,125 @@
+// Robust reconstruction against faulty/lying probe responses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/global_cdf.h"
+
+namespace ringdde {
+namespace {
+
+/// Builds an honest summary for arc [lo, hi) holding uniform data at
+/// `density` items per unit domain.
+LocalSummary HonestSummary(NodeAddr addr, double lo, double hi,
+                           double density) {
+  Node node(addr, RingId::FromUnit(hi));
+  node.set_predecessor(NodeEntry{addr + 10000, RingId::FromUnit(lo)});
+  const int count = static_cast<int>(density * (hi - lo));
+  std::vector<double> keys;
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(lo + (hi - lo) * (i + 0.5) / count);
+  }
+  node.InsertKeys(keys);
+  return ComputeLocalSummary(node, 4);
+}
+
+/// A full tiling of [0,1) by `n` honest peers at uniform density 1000.
+std::vector<LocalSummary> HonestTiling(int n) {
+  std::vector<LocalSummary> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(HonestSummary(i + 1, static_cast<double>(i) / n,
+                                static_cast<double>(i + 1) / n,
+                                1000.0));
+  }
+  return out;
+}
+
+TEST(ByzantineTest, InflatedCountSkewsNaiveReconstruction) {
+  std::vector<LocalSummary> ss = HonestTiling(20);
+  ss[5].item_count *= 100;  // the lie: claims 100x its real data
+  auto naive = ReconstructGlobalCdf(ss, {});
+  ASSERT_TRUE(naive.ok());
+  // One liar among 20 honest peers captures ~83% of the estimated mass.
+  const double mass_at_liar =
+      naive->cdf.Evaluate(0.30) - naive->cdf.Evaluate(0.25);
+  EXPECT_GT(mass_at_liar, 0.5);
+  EXPECT_GT(naive->estimated_total, 5000.0);  // vs true 1000
+}
+
+TEST(ByzantineTest, WinsorizationBoundsTheDamage) {
+  std::vector<LocalSummary> ss = HonestTiling(20);
+  ss[5].item_count *= 100;
+  ReconstructionOptions robust;
+  robust.density_winsor_fraction = 0.1;
+  auto r = ReconstructGlobalCdf(ss, robust);
+  ASSERT_TRUE(r.ok());
+  // The liar's arc is clamped to the 90th-percentile density: near honest.
+  const double mass_at_liar =
+      r->cdf.Evaluate(0.30) - r->cdf.Evaluate(0.25);
+  EXPECT_LT(mass_at_liar, 0.08);
+  EXPECT_NEAR(r->estimated_total, 1000.0, 100.0);
+}
+
+TEST(ByzantineTest, DeflationAlsoClamped) {
+  std::vector<LocalSummary> ss = HonestTiling(20);
+  ss[7].item_count = 0;  // claims emptiness
+  ss[7].quantiles.clear();
+  ReconstructionOptions robust;
+  robust.density_winsor_fraction = 0.1;
+  auto r = ReconstructGlobalCdf(ss, robust);
+  ASSERT_TRUE(r.ok());
+  // The hole is raised to the 10th-percentile density (= honest here).
+  EXPECT_NEAR(r->estimated_total, 1000.0, 60.0);
+}
+
+TEST(ByzantineTest, HonestDataUnaffectedByWinsorization) {
+  const std::vector<LocalSummary> ss = HonestTiling(20);
+  auto plain = ReconstructGlobalCdf(ss, {});
+  ReconstructionOptions robust;
+  robust.density_winsor_fraction = 0.1;
+  auto wins = ReconstructGlobalCdf(ss, robust);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(wins.ok());
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(wins->cdf.Evaluate(x), plain->cdf.Evaluate(x), 1e-6);
+  }
+  EXPECT_NEAR(wins->estimated_total, plain->estimated_total, 1.0);
+}
+
+TEST(ByzantineTest, GenuineSpikesAreTheCost) {
+  // An honest heavy spike looks exactly like a lie; winsorizing flattens
+  // it. This is the documented trade-off, asserted so it stays visible.
+  std::vector<LocalSummary> ss = HonestTiling(20);
+  // Peer 10 honestly holds 20x density (a real hotspot).
+  ss[10] = HonestSummary(11, 0.50, 0.55, 20000.0);
+  ReconstructionOptions robust;
+  robust.density_winsor_fraction = 0.1;
+  auto wins = ReconstructGlobalCdf(ss, robust);
+  auto plain = ReconstructGlobalCdf(ss, {});
+  ASSERT_TRUE(wins.ok());
+  ASSERT_TRUE(plain.ok());
+  const double spike_plain =
+      plain->cdf.Evaluate(0.55) - plain->cdf.Evaluate(0.50);
+  const double spike_wins =
+      wins->cdf.Evaluate(0.55) - wins->cdf.Evaluate(0.50);
+  EXPECT_GT(spike_plain, 0.4);  // plain keeps the true hotspot
+  EXPECT_LT(spike_wins, 0.1);   // robust flattens it
+}
+
+TEST(ByzantineTest, DisabledByDefault) {
+  ReconstructionOptions opts;
+  EXPECT_DOUBLE_EQ(opts.density_winsor_fraction, 0.0);
+}
+
+TEST(ByzantineTest, TooFewSegmentsSkipWinsorization) {
+  std::vector<LocalSummary> ss{HonestSummary(1, 0.0, 0.5, 1000.0),
+                               HonestSummary(2, 0.5, 1.0, 1000.0)};
+  ReconstructionOptions robust;
+  robust.density_winsor_fraction = 0.25;
+  auto r = ReconstructGlobalCdf(ss, robust);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimated_total, 1000.0, 2.0);
+}
+
+}  // namespace
+}  // namespace ringdde

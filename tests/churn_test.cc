@@ -1,0 +1,131 @@
+#include "ring/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ringdde {
+namespace {
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, ChurnOptions churn_opts = {}) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+    }
+    churn_ = std::make_unique<ChurnProcess>(ring_.get(), churn_opts);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  std::unique_ptr<ChurnProcess> churn_;
+};
+
+TEST_F(ChurnTest, MaintainsNetworkSizeInExpectation) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 100.0;
+  opts.maintain_size = true;
+  Build(128, opts);
+  churn_->Start();
+  net_->events().RunUntil(300.0);
+  // Every departure triggers a join; size stays within a couple of the
+  // target (transient off-by-a-few possible if a join fails).
+  EXPECT_GE(ring_->AliveCount(), 120u);
+  EXPECT_LE(ring_->AliveCount(), 132u);
+  EXPECT_GT(churn_->joins(), 100u);
+}
+
+TEST_F(ChurnTest, DeparturesSplitPerGracefulFraction) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 50.0;
+  opts.graceful_fraction = 1.0;
+  Build(64, opts);
+  churn_->Start();
+  net_->events().RunUntil(200.0);
+  EXPECT_GT(churn_->leaves(), 0u);
+  EXPECT_EQ(churn_->crashes(), 0u);
+}
+
+TEST_F(ChurnTest, AllCrashMode) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 50.0;
+  opts.graceful_fraction = 0.0;
+  Build(64, opts);
+  churn_->Start();
+  net_->events().RunUntil(200.0);
+  EXPECT_EQ(churn_->leaves(), 0u);
+  EXPECT_GT(churn_->crashes(), 0u);
+}
+
+TEST_F(ChurnTest, DataConservedUnderGracefulChurn) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 60.0;
+  opts.graceful_fraction = 1.0;
+  Build(64, opts);
+  const uint64_t before = ring_->TotalItems();
+  churn_->Start();
+  net_->events().RunUntil(300.0);
+  EXPECT_EQ(ring_->TotalItems(), before);
+}
+
+TEST_F(ChurnTest, DataConservedUnderCrashesWithDurability) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 60.0;
+  opts.graceful_fraction = 0.0;
+  Build(64, opts);  // RingOptions default: durable_data = true
+  const uint64_t before = ring_->TotalItems();
+  churn_->Start();
+  net_->events().RunUntil(300.0);
+  EXPECT_EQ(ring_->TotalItems(), before);
+}
+
+TEST_F(ChurnTest, RoutingStaysCorrectUnderChurnWithStabilization) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 120.0;
+  opts.stabilize_interval_seconds = 10.0;
+  Build(128, opts);
+  churn_->Start();
+  Rng rng(3);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    net_->events().RunUntil((epoch + 1) * 30.0);
+    const auto alive = ring_->AliveAddrs();
+    for (int i = 0; i < 20; ++i) {
+      const NodeAddr from = alive[rng.UniformU64(alive.size())];
+      if (!ring_->IsAlive(from)) continue;
+      const RingId target(rng.NextU64());
+      Result<NodeAddr> owner = ring_->Lookup(from, target);
+      ASSERT_TRUE(owner.ok()) << owner.status().ToString();
+      EXPECT_TRUE(ring_->IsAlive(*owner));
+    }
+  }
+}
+
+TEST_F(ChurnTest, WithoutReplacementNetworkShrinks) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 30.0;
+  opts.maintain_size = false;
+  Build(64, opts);
+  churn_->Start();
+  net_->events().RunUntil(100.0);
+  EXPECT_LT(ring_->AliveCount(), 64u);
+  EXPECT_GE(ring_->AliveCount(), 2u);  // churn refuses to go below 2
+}
+
+TEST_F(ChurnTest, TinyNetworkNeverStalls) {
+  ChurnOptions opts;
+  opts.mean_session_seconds = 5.0;
+  opts.maintain_size = false;
+  Build(3, opts);
+  churn_->Start();
+  net_->events().RunUntil(100.0);
+  EXPECT_GE(ring_->AliveCount(), 2u);
+  // The event queue must still have future departures scheduled (retries).
+  EXPECT_FALSE(net_->events().Empty());
+}
+
+}  // namespace
+}  // namespace ringdde

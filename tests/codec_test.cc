@@ -1,0 +1,172 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+TEST(EncoderTest, FixedWidthLittleEndian) {
+  Encoder enc;
+  enc.PutFixed32(0x01020304);
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_EQ(enc.buffer()[0], 0x04);
+  EXPECT_EQ(enc.buffer()[3], 0x01);
+  enc.Clear();
+  enc.PutFixed64(0x0102030405060708ULL);
+  ASSERT_EQ(enc.size(), 8u);
+  EXPECT_EQ(enc.buffer()[0], 0x08);
+  EXPECT_EQ(enc.buffer()[7], 0x01);
+}
+
+TEST(CodecTest, FixedRoundTrips) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutFixed32(0xDEADBEEF);
+  enc.PutFixed64(0x123456789ABCDEF0ULL);
+  Decoder dec(enc.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetFixed32(&u32).ok());
+  ASSERT_TRUE(dec.GetFixed64(&u64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x123456789ABCDEF0ULL);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, VarintRoundTripsEdgeValues) {
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+        uint64_t{16383}, uint64_t{16384}, uint64_t{1} << 32,
+        std::numeric_limits<uint64_t>::max()}) {
+    Encoder enc;
+    enc.PutVarint64(v);
+    EXPECT_EQ(enc.size(), VarintLength(v));
+    Decoder dec(enc.buffer());
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint64(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+TEST(CodecTest, VarintLengths) {
+  EXPECT_EQ(VarintLength(0), 1u);
+  EXPECT_EQ(VarintLength(127), 1u);
+  EXPECT_EQ(VarintLength(128), 2u);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(CodecTest, DoubleRoundTripsSpecials) {
+  for (double v : {0.0, -0.0, 1.5, -3.14159, 1e-300, 1e300,
+                   std::numeric_limits<double>::infinity()}) {
+    Encoder enc;
+    enc.PutDouble(v);
+    Decoder dec(enc.buffer());
+    double out;
+    ASSERT_TRUE(dec.GetDouble(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  // NaN: compare bit patterns, not values.
+  Encoder enc;
+  enc.PutDouble(std::nan(""));
+  Decoder dec(enc.buffer());
+  double out;
+  ASSERT_TRUE(dec.GetDouble(&out).ok());
+  EXPECT_TRUE(std::isnan(out));
+}
+
+TEST(CodecTest, LengthPrefixedBytes) {
+  const uint8_t payload[] = {1, 2, 3, 4, 5};
+  Encoder enc;
+  enc.PutLengthPrefixedBytes(payload, sizeof(payload));
+  Decoder dec(enc.buffer());
+  const uint8_t* data;
+  size_t len;
+  ASSERT_TRUE(dec.GetLengthPrefixedBytes(&data, &len).ok());
+  ASSERT_EQ(len, 5u);
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[4], 5);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(DecoderTest, TruncationIsOutOfRange) {
+  Encoder enc;
+  enc.PutFixed64(42);
+  // Chop the last byte.
+  Decoder dec(enc.buffer().data(), enc.size() - 1);
+  uint64_t v;
+  EXPECT_EQ(dec.GetFixed64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DecoderTest, TruncatedVarintRejected) {
+  Encoder enc;
+  enc.PutVarint64(1u << 20);  // multi-byte
+  Decoder dec(enc.buffer().data(), 1);
+  uint64_t v;
+  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DecoderTest, OverlongVarintRejected) {
+  // 10 continuation bytes followed by a large final byte: > 64 bits.
+  std::vector<uint8_t> bad(10, 0xFF);
+  Decoder dec(bad.data(), bad.size());
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint64(&v).ok());
+}
+
+TEST(DecoderTest, ByteStringLengthBeyondPayloadRejected) {
+  Encoder enc;
+  enc.PutVarint64(1000);  // claims 1000 bytes, provides none
+  Decoder dec(enc.buffer());
+  const uint8_t* data;
+  size_t len;
+  EXPECT_EQ(dec.GetLengthPrefixedBytes(&data, &len).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DecoderTest, EmptyBufferDoneAndFailsReads) {
+  Decoder dec(nullptr, 0);
+  EXPECT_TRUE(dec.Done());
+  uint8_t v;
+  EXPECT_FALSE(dec.GetU8(&v).ok());
+}
+
+TEST(CodecTest, RandomizedMixedRoundTrip) {
+  Rng rng(71);
+  for (int round = 0; round < 200; ++round) {
+    Encoder enc;
+    std::vector<uint64_t> ints;
+    std::vector<double> doubles;
+    const int n = 1 + static_cast<int>(rng.UniformU64(20));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t v = rng.NextU64() >> rng.UniformU64(64);
+      ints.push_back(v);
+      enc.PutVarint64(v);
+      const double d = rng.UniformDouble(-1e6, 1e6);
+      doubles.push_back(d);
+      enc.PutDouble(d);
+    }
+    Decoder dec(enc.buffer());
+    for (int i = 0; i < n; ++i) {
+      uint64_t v;
+      double d;
+      ASSERT_TRUE(dec.GetVarint64(&v).ok());
+      ASSERT_TRUE(dec.GetDouble(&d).ok());
+      EXPECT_EQ(v, ints[i]);
+      EXPECT_EQ(d, doubles[i]);
+    }
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/placement.h"
+
+namespace ringdde {
+namespace {
+
+TEST(DatasetTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  UniformDistribution d;
+  const Dataset ds = GenerateDataset(d, 1000, rng);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.distribution_name, "Uniform");
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Rng rng(2);
+  UniformDistribution d;
+  const Dataset ds = GenerateDataset(d, 0, rng);
+  EXPECT_EQ(ds.size(), 0u);
+  const DatasetSummary s = SummarizeDataset(ds);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(DatasetTest, SummaryTracksMoments) {
+  Rng rng(3);
+  TruncatedNormalDistribution d(0.5, 0.1);
+  const Dataset ds = GenerateDataset(d, 50000, rng);
+  const DatasetSummary s = SummarizeDataset(ds);
+  EXPECT_EQ(s.count, 50000u);
+  EXPECT_NEAR(s.mean, 0.5, 0.01);
+  EXPECT_NEAR(s.median, 0.5, 0.01);
+  EXPECT_NEAR(s.stddev, 0.1, 0.01);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 1.0);
+}
+
+TEST(DomainMapperTest, RoundTrip) {
+  DomainMapper m(-100.0, 300.0);
+  EXPECT_NEAR(m.ToUnit(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(m.ToUnit(100.0), 0.5, 1e-12);
+  EXPECT_LT(m.ToUnit(300.0), 1.0);  // clamped below 1 for the open domain
+  EXPECT_NEAR(m.ToDomain(0.5), 100.0, 1e-9);
+  EXPECT_NEAR(m.ToDomain(m.ToUnit(42.0)), 42.0, 1e-9);
+}
+
+TEST(DomainMapperTest, ClampsOutOfDomain) {
+  DomainMapper m(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.ToUnit(-5.0), 0.0);
+  EXPECT_LT(m.ToUnit(50.0), 1.0);
+}
+
+TEST(DomainMapperTest, ToRingIsOrderPreserving) {
+  DomainMapper m(0.0, 1000.0);
+  RingId prev = m.ToRing(0.0);
+  for (int v = 1; v <= 100; ++v) {
+    const RingId cur = m.ToRing(v * 10.0);
+    EXPECT_GT(cur.value, prev.value);
+    prev = cur;
+  }
+}
+
+TEST(PlacementTest, OrderPreservingKeepsOrder) {
+  double prev_u = -1.0;
+  uint64_t prev_ring = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double u = i / 1000.0 * 0.999;
+    const RingId r = OrderPreservingPlacement(u);
+    if (prev_u >= 0.0) {
+      EXPECT_GE(r.value, prev_ring);
+    }
+    prev_u = u;
+    prev_ring = r.value;
+  }
+}
+
+TEST(PlacementTest, HashedDestroysOrderButIsDeterministic) {
+  EXPECT_EQ(HashedPlacement(0.5).value, HashedPlacement(0.5).value);
+  // Neighboring keys land far apart.
+  int order_preserved = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool kept = HashedPlacement(i / 100.0).value <
+                      HashedPlacement((i + 1) / 100.0).value;
+    if (kept) ++order_preserved;
+  }
+  EXPECT_GT(order_preserved, 20);
+  EXPECT_LT(order_preserved, 80);  // ~random, not monotone
+}
+
+TEST(PlacementTest, HashedSpreadsUniformly) {
+  // Bucket 1000 consecutive keys into 4 quadrants of the ring.
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = HashedPlacement(i * 1e-3).ToUnit();
+    buckets[static_cast<int>(u * 4)]++;
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 180);
+    EXPECT_LT(b, 320);
+  }
+}
+
+}  // namespace
+}  // namespace ringdde

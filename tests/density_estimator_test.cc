@@ -1,0 +1,168 @@
+#include "core/density_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, const Distribution& dist, size_t items,
+             uint64_t seed = 1) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(seed);
+    const Dataset ds = GenerateDataset(dist, items, rng);
+    ring_->InsertDatasetBulk(ds.keys);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(EstimatorTest, EstimateSucceedsAndIsAccurate) {
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Build(1024, dist, 100000);
+  DdeOptions opts;
+  opts.num_probes = 256;
+  DistributionFreeEstimator est(ring_.get(), opts);
+  auto e = est.Estimate(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const AccuracyReport r = CompareCdfToTruth(e->cdf, dist);
+  EXPECT_LT(r.ks, 0.05);
+  EXPECT_NEAR(e->estimated_total_items, 100000.0, 10000.0);
+  EXPECT_GT(e->peers_probed, 0u);
+  EXPECT_GT(e->cost.messages, 0u);
+}
+
+TEST_F(EstimatorTest, MoreProbesMoreAccurate) {
+  ZipfDistribution dist(500, 0.9);
+  Build(2048, dist, 100000);
+  double prev_ks = 1.0;
+  int improvements = 0;
+  for (size_t m : {32, 128, 512}) {
+    DdeOptions opts;
+    opts.num_probes = m;
+    opts.seed = 7;
+    DistributionFreeEstimator est(ring_.get(), opts);
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    ASSERT_TRUE(e.ok());
+    const double ks = CompareCdfToTruth(e->cdf, dist).ks;
+    if (ks < prev_ks) ++improvements;
+    prev_ks = ks;
+  }
+  EXPECT_GE(improvements, 1);  // monotone in expectation; allow one flip
+  EXPECT_LT(prev_ks, 0.05);    // 512 probes of 2048 peers: tight fit
+}
+
+TEST_F(EstimatorTest, CostScalesWithProbes) {
+  UniformDistribution dist;
+  Build(1024, dist, 50000);
+  uint64_t prev_msgs = 0;
+  for (size_t m : {32, 128, 512}) {
+    DdeOptions opts;
+    opts.num_probes = m;
+    DistributionFreeEstimator est(ring_.get(), opts);
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    ASSERT_TRUE(e.ok());
+    EXPECT_GT(e->cost.messages, prev_msgs);
+    prev_msgs = e->cost.messages;
+  }
+}
+
+TEST_F(EstimatorTest, DeadQuerierRejected) {
+  UniformDistribution dist;
+  Build(64, dist, 1000);
+  const NodeAddr victim = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  DistributionFreeEstimator est(ring_.get());
+  EXPECT_TRUE(est.Estimate(victim).status().IsInvalidArgument());
+}
+
+TEST_F(EstimatorTest, EmptyNetworkDataYieldsUniformFallback) {
+  UniformDistribution dist;
+  Build(64, dist, 0);
+  DistributionFreeEstimator est(ring_.get());
+  auto e = est.Estimate(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e->estimated_total_items, 0.0);
+  EXPECT_NEAR(e->cdf.Evaluate(0.5), 0.5, 1e-9);
+}
+
+TEST_F(EstimatorTest, RefinementImprovesSkewedAccuracyAtSmallBudget) {
+  // Heavy skew, small probe budget: inversion-guided refinement should on
+  // average beat uniform-only probing. Compare over repetitions.
+  ZipfDistribution dist(1000, 1.1);
+  double err_uniform = 0.0, err_refined = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Build(2048, dist, 100000, seed);
+    for (int rounds : {1, 3}) {
+      DdeOptions opts;
+      opts.num_probes = 96;
+      opts.refinement_rounds = rounds;
+      opts.seed = seed * 100;
+      DistributionFreeEstimator est(ring_.get(), opts);
+      auto e = est.Estimate(ring_->AliveAddrs()[0]);
+      ASSERT_TRUE(e.ok());
+      const double ks = CompareCdfToTruth(e->cdf, dist).ks;
+      (rounds == 1 ? err_uniform : err_refined) += ks;
+    }
+  }
+  EXPECT_LT(err_refined, err_uniform * 1.1);  // at worst comparable
+}
+
+TEST_F(EstimatorTest, SmoothedPdfIntegratesToOne) {
+  TruncatedNormalDistribution dist(0.5, 0.1);
+  Build(512, dist, 50000);
+  DistributionFreeEstimator est(ring_.get());
+  auto e = est.Estimate(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  auto kde = e->SmoothedPdf(512);
+  ASSERT_TRUE(kde.ok());
+  double integral = 0.0;
+  const int grid = 2000;
+  for (int i = 0; i < grid; ++i) {
+    integral += kde->Pdf(-0.5 + 2.0 * (i + 0.5) / grid) * 2.0 / grid;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST_F(EstimatorTest, QuantileAccessorsConsistent) {
+  UniformDistribution dist;
+  Build(512, dist, 50000);
+  DistributionFreeEstimator est(ring_.get());
+  auto e = est.Estimate(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(e->Cdf(e->Quantile(p)), p, 1e-6);
+  }
+}
+
+TEST_F(EstimatorTest, EstimateWithCarryOverReusesSummaries) {
+  UniformDistribution dist;
+  Build(512, dist, 50000);
+  DdeOptions opts;
+  opts.num_probes = 128;
+  DistributionFreeEstimator est(ring_.get(), opts);
+  std::vector<LocalSummary> pool;
+  auto first = est.EstimateWith(ring_->AliveAddrs()[0], &pool, 128);
+  ASSERT_TRUE(first.ok());
+  const size_t pooled = pool.size();
+  EXPECT_GT(pooled, 0u);
+  // Second run with zero fresh probes must cost nothing new for probing
+  // (reconstruction is local).
+  auto second = est.EstimateWith(ring_->AliveAddrs()[0], &pool, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(pool.size(), pooled);
+  EXPECT_EQ(second->cost.messages, 0u);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,139 @@
+#include "apps/density_mining.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+class DensityMiningTest : public ::testing::Test {
+ protected:
+  DensityEstimate EstimateFor(const Distribution& dist, size_t probes = 384) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    EXPECT_TRUE(ring_->CreateNetwork(1024).ok());
+    Rng rng(5);
+    ring_->InsertDatasetBulk(GenerateDataset(dist, 100000, rng).keys);
+    DdeOptions opts;
+    opts.num_probes = probes;
+    DistributionFreeEstimator est(ring_.get(), opts);
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    EXPECT_TRUE(e.ok());
+    return std::move(*e);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(DensityMiningTest, FindsTrimodalClusters) {
+  GaussianMixtureDistribution dist(
+      {{0.4, 0.2, 0.03}, {0.35, 0.55, 0.04}, {0.25, 0.85, 0.03}});
+  const DensityEstimate e = EstimateFor(dist);
+  auto modes = DetectModes(e);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_EQ(modes->size(), 3u);
+  // Heaviest first; centers near the true component means.
+  EXPECT_NEAR((*modes)[0].center, 0.2, 0.05);
+  EXPECT_NEAR((*modes)[0].mass, 0.4, 0.07);
+  std::vector<double> centers;
+  for (const auto& m : *modes) centers.push_back(m.center);
+  std::sort(centers.begin(), centers.end());
+  EXPECT_NEAR(centers[0], 0.2, 0.05);
+  EXPECT_NEAR(centers[1], 0.55, 0.05);
+  EXPECT_NEAR(centers[2], 0.85, 0.05);
+}
+
+TEST_F(DensityMiningTest, ModeMassesSumToOne) {
+  GaussianMixtureDistribution dist({{0.5, 0.3, 0.05}, {0.5, 0.7, 0.05}});
+  const DensityEstimate e = EstimateFor(dist);
+  auto modes = DetectModes(e);
+  ASSERT_TRUE(modes.ok());
+  double total = 0.0;
+  for (const auto& m : *modes) {
+    total += m.mass;
+    EXPECT_LE(m.lo, m.center);
+    EXPECT_GE(m.hi, m.center);
+    EXPECT_GE(m.mass, 0.0);
+  }
+  EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST_F(DensityMiningTest, UnimodalDataYieldsOneDominantMode) {
+  TruncatedNormalDistribution dist(0.5, 0.1);
+  const DensityEstimate e = EstimateFor(dist);
+  ModeDetectionOptions opts;
+  opts.min_mass = 0.05;
+  auto modes = DetectModes(e, opts);
+  ASSERT_TRUE(modes.ok());
+  ASSERT_GE(modes->size(), 1u);
+  EXPECT_NEAR((*modes)[0].center, 0.5, 0.05);
+  EXPECT_GT((*modes)[0].mass, 0.8);
+}
+
+TEST_F(DensityMiningTest, MinMassMergesNoiseBumps) {
+  GaussianMixtureDistribution dist({{0.5, 0.3, 0.05}, {0.5, 0.7, 0.05}});
+  const DensityEstimate e = EstimateFor(dist);
+  ModeDetectionOptions strict;
+  strict.min_mass = 0.25;
+  auto modes = DetectModes(e, strict);
+  ASSERT_TRUE(modes.ok());
+  EXPECT_EQ(modes->size(), 2u);
+  ModeDetectionOptions absurd;
+  absurd.min_mass = 0.9;  // nothing survives alone: all merges into one
+  auto merged = DetectModes(e, absurd);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 1u);
+  EXPECT_NEAR((*merged)[0].mass, 1.0, 0.02);
+}
+
+TEST_F(DensityMiningTest, RejectsTooCoarseGrid) {
+  TruncatedNormalDistribution dist(0.5, 0.1);
+  const DensityEstimate e = EstimateFor(dist, 64);
+  ModeDetectionOptions opts;
+  opts.grid = 4;
+  EXPECT_TRUE(DetectModes(e, opts).status().IsInvalidArgument());
+}
+
+TEST(HeaviestRangesTest, FindsTheHotWindow) {
+  // 80% of mass in [0.4, 0.5].
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.4, 0.1}, {0.5, 0.9}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  const auto top = HeaviestRanges(*cdf, 0.1, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_NEAR(top[0].lo, 0.4, 0.01);
+  EXPECT_NEAR(top[0].mass, 0.8, 0.02);
+  EXPECT_GT(top[0].mass, top[1].mass);
+}
+
+TEST(HeaviestRangesTest, RangesAreDisjointAndSortedByMass) {
+  PiecewiseLinearCdf cdf;  // uniform
+  const auto top = HeaviestRanges(cdf, 0.2, 4);
+  ASSERT_EQ(top.size(), 4u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_NEAR(top[i].hi - top[i].lo, 0.2, 1e-9);
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      EXPECT_TRUE(top[i].hi <= top[j].lo + 1e-12 ||
+                  top[j].hi <= top[i].lo + 1e-12);
+    }
+    if (i > 0) {
+      EXPECT_LE(top[i].mass, top[i - 1].mass + 1e-12);
+    }
+  }
+}
+
+TEST(HeaviestRangesTest, FewerWindowsThanRequestedWhenNoRoom) {
+  PiecewiseLinearCdf cdf;
+  // Width 0.5: at most 2 disjoint windows fit.
+  const auto top = HeaviestRanges(cdf, 0.5, 5);
+  EXPECT_LE(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ringdde

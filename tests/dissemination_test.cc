@@ -1,0 +1,109 @@
+#include "core/dissemination.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "sim/counters.h"
+
+namespace ringdde {
+namespace {
+
+class DisseminationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(256).ok());
+    TruncatedNormalDistribution dist(0.5, 0.15);
+    Rng rng(1);
+    ring_->InsertDatasetBulk(GenerateDataset(dist, 20000, rng).keys);
+    DistributionFreeEstimator est(ring_.get(), DdeOptions{});
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    ASSERT_TRUE(e.ok());
+    estimate_ = std::move(*e);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  DensityEstimate estimate_;
+};
+
+TEST_F(DisseminationTest, ReachesEveryPeerOnStableRing) {
+  EstimateDisseminator diss(ring_.get());
+  auto delivered = diss.Broadcast(ring_->AliveAddrs()[0], estimate_);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 256u);
+  EXPECT_EQ(diss.holder_count(), 256u);
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    EXPECT_NE(diss.EstimateAt(a), nullptr);
+  }
+}
+
+TEST_F(DisseminationTest, CostIsOneMessagePerNonOriginPeer) {
+  EstimateDisseminator diss(ring_.get());
+  CostScope scope(net_->counters());
+  ASSERT_TRUE(diss.Broadcast(ring_->AliveAddrs()[0], estimate_).ok());
+  EXPECT_EQ(scope.Delta().messages, 255u);
+}
+
+TEST_F(DisseminationTest, DeliveredEstimateMatchesOriginal) {
+  EstimateDisseminator diss(ring_.get());
+  ASSERT_TRUE(diss.Broadcast(ring_->AliveAddrs()[0], estimate_).ok());
+  const DensityEstimate* got = diss.EstimateAt(ring_->AliveAddrs()[99]);
+  ASSERT_NE(got, nullptr);
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(got->Cdf(x), estimate_.Cdf(x));
+  }
+  EXPECT_DOUBLE_EQ(got->estimated_total_items,
+                   estimate_.estimated_total_items);
+}
+
+TEST_F(DisseminationTest, DeadOriginRejected) {
+  const NodeAddr victim = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EstimateDisseminator diss(ring_.get());
+  EXPECT_TRUE(
+      diss.Broadcast(victim, estimate_).status().IsInvalidArgument());
+}
+
+TEST_F(DisseminationTest, SkipsDeadPeersButCoversTheRest) {
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ring_->Crash(*ring_->RandomAliveNode(rng)).ok());
+  }
+  ring_->StabilizeAll();
+  EstimateDisseminator diss(ring_.get());
+  auto delivered =
+      diss.Broadcast(*ring_->RandomAliveNode(rng), estimate_);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, ring_->AliveCount());
+}
+
+TEST_F(DisseminationTest, StaleFingersLoseSomeSubtreesGracefully) {
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ring_->Crash(*ring_->RandomAliveNode(rng)).ok());
+  }
+  // No stabilization: stale fingers cut some branches; most peers still
+  // get the estimate and nothing crashes or loops.
+  EstimateDisseminator diss(ring_.get());
+  auto delivered =
+      diss.Broadcast(*ring_->RandomAliveNode(rng), estimate_);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_GE(*delivered, ring_->AliveCount() / 2);
+  EXPECT_LE(*delivered, ring_->AliveCount());
+}
+
+TEST_F(DisseminationTest, ClearDropsState) {
+  EstimateDisseminator diss(ring_.get());
+  ASSERT_TRUE(diss.Broadcast(ring_->AliveAddrs()[0], estimate_).ok());
+  diss.Clear();
+  EXPECT_EQ(diss.holder_count(), 0u);
+  EXPECT_EQ(diss.EstimateAt(ring_->AliveAddrs()[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace ringdde

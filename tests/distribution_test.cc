@@ -1,0 +1,257 @@
+#include "data/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property sweep over the whole distribution zoo: every distribution must
+// satisfy the probability axioms and agree with its own sampler.
+// ---------------------------------------------------------------------------
+
+using DistFactory = std::function<std::unique_ptr<Distribution>()>;
+
+struct ZooCase {
+  std::string label;
+  DistFactory make;
+};
+
+class DistributionZooTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(DistributionZooTest, CdfIsMonotoneFromZeroToOne) {
+  auto d = GetParam().make();
+  EXPECT_NEAR(d->Cdf(-0.5), 0.0, 1e-12);
+  EXPECT_NEAR(d->Cdf(1.5), 1.0, 1e-12);
+  double prev = -1.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double x = i / 500.0;
+    const double f = d->Cdf(x);
+    EXPECT_GE(f, prev - 1e-12) << "x=" << x;
+    EXPECT_GE(f, -1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+    prev = f;
+  }
+}
+
+TEST_P(DistributionZooTest, PdfIntegratesToOne) {
+  auto d = GetParam().make();
+  const int grid = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < grid; ++i) {
+    const double x = (i + 0.5) / grid;
+    integral += d->Pdf(x) / grid;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST_P(DistributionZooTest, PdfIsDerivativeOfCdf) {
+  auto d = GetParam().make();
+  // Compare (Cdf(x+h)-Cdf(x-h))/2h to Pdf(x) at points away from jumps.
+  const double h = 1e-6;
+  // Points chosen away from the bin boundaries of every zoo member (Zipf
+  // members have bins at multiples of 1/100, 1/1000, 1/50).
+  for (double x : {0.1335, 0.3145, 0.5235, 0.6815, 0.8765}) {
+    const double numeric = (d->Cdf(x + h) - d->Cdf(x - h)) / (2.0 * h);
+    const double pdf = d->Pdf(x);
+    // Piecewise-constant densities (Zipf) have exact agreement within a
+    // bin; smooth ones approximate. Tolerate 2% relative + small absolute.
+    EXPECT_NEAR(numeric, pdf, 0.02 * std::max(1.0, pdf) + 1e-3)
+        << "x=" << x << " dist=" << d->Name();
+  }
+}
+
+TEST_P(DistributionZooTest, QuantileInvertsCdf) {
+  auto d = GetParam().make();
+  for (double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double x = d->Quantile(p);
+    EXPECT_GE(x, d->support_lo() - 1e-9);
+    EXPECT_LE(x, d->support_hi() + 1e-9);
+    EXPECT_NEAR(d->Cdf(x), p, 1e-6) << "p=" << p << " dist=" << d->Name();
+  }
+}
+
+TEST_P(DistributionZooTest, QuantileIsMonotone) {
+  auto d = GetParam().make();
+  double prev = d->support_lo() - 1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = d->Quantile(i / 100.0);
+    EXPECT_GE(x, prev - 1e-12);
+    prev = x;
+  }
+}
+
+TEST_P(DistributionZooTest, SamplesMatchCdfByKsTest) {
+  auto d = GetParam().make();
+  Rng rng(4242);
+  const int n = 20000;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(d->Sample(rng));
+  std::sort(xs.begin(), xs.end());
+  double ks = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double emp = static_cast<double>(i + 1) / n;
+    ks = std::max(ks, std::fabs(emp - d->Cdf(xs[i])));
+  }
+  // DKW at n=20000, delta=1e-6: eps ~ 0.019.
+  EXPECT_LT(ks, 0.02) << d->Name();
+}
+
+TEST_P(DistributionZooTest, SamplesStayInSupport) {
+  auto d = GetParam().make();
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d->Sample(rng);
+    EXPECT_GE(x, d->support_lo() - 1e-12);
+    EXPECT_LE(x, d->support_hi() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, DistributionZooTest,
+    ::testing::Values(
+        ZooCase{"Uniform",
+                [] { return std::make_unique<UniformDistribution>(); }},
+        ZooCase{"UniformSub",
+                [] {
+                  return std::make_unique<UniformDistribution>(0.2, 0.7);
+                }},
+        ZooCase{"NormalCentered",
+                [] {
+                  return std::make_unique<TruncatedNormalDistribution>(0.5,
+                                                                       0.15);
+                }},
+        ZooCase{"NormalEdge",
+                [] {
+                  return std::make_unique<TruncatedNormalDistribution>(0.1,
+                                                                       0.3);
+                }},
+        ZooCase{"NormalTight",
+                [] {
+                  return std::make_unique<TruncatedNormalDistribution>(0.5,
+                                                                       0.02);
+                }},
+        ZooCase{"Exponential",
+                [] {
+                  return std::make_unique<TruncatedExponentialDistribution>(
+                      5.0);
+                }},
+        ZooCase{"ExponentialMild",
+                [] {
+                  return std::make_unique<TruncatedExponentialDistribution>(
+                      1.0);
+                }},
+        ZooCase{"Pareto",
+                [] {
+                  return std::make_unique<BoundedParetoDistribution>(1.2,
+                                                                     0.01);
+                }},
+        ZooCase{"ZipfModerate",
+                [] { return std::make_unique<ZipfDistribution>(100, 0.8); }},
+        ZooCase{"ZipfHeavy",
+                [] { return std::make_unique<ZipfDistribution>(1000, 1.2); }},
+        ZooCase{"ZipfUniformTheta0",
+                [] { return std::make_unique<ZipfDistribution>(50, 0.0); }},
+        ZooCase{"Mixture",
+                [] {
+                  return std::make_unique<GaussianMixtureDistribution>(
+                      std::vector<GaussianMixtureDistribution::Component>{
+                          {0.5, 0.25, 0.05}, {0.5, 0.75, 0.05}},
+                      "Bimodal");
+                }}),
+    [](const ::testing::TestParamInfo<ZooCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Distribution-specific facts.
+// ---------------------------------------------------------------------------
+
+TEST(UniformDistributionTest, ClosedForms) {
+  UniformDistribution d(0.25, 0.75);
+  EXPECT_DOUBLE_EQ(d.Pdf(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 0.5);
+  EXPECT_EQ(d.Name(), "Uniform[0.25,0.75]");
+}
+
+TEST(TruncatedNormalTest, SymmetricAroundMean) {
+  TruncatedNormalDistribution d(0.5, 0.1);
+  EXPECT_NEAR(d.Cdf(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(d.Pdf(0.4), d.Pdf(0.6), 1e-9);
+  EXPECT_NEAR(d.Quantile(0.5), 0.5, 1e-9);
+}
+
+TEST(TruncatedNormalTest, TruncationRenormalizes) {
+  // Mean outside [0,1]: all mass squeezed inside, CDF still spans [0,1].
+  TruncatedNormalDistribution d(1.2, 0.3);
+  EXPECT_NEAR(d.Cdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(0.0), 0.0, 1e-12);
+  EXPECT_GT(d.Pdf(0.99), d.Pdf(0.01));
+}
+
+TEST(TruncatedExponentialTest, DecaysMonotonically) {
+  TruncatedExponentialDistribution d(5.0);
+  EXPECT_GT(d.Pdf(0.1), d.Pdf(0.5));
+  EXPECT_GT(d.Pdf(0.5), d.Pdf(0.9));
+}
+
+TEST(BoundedParetoTest, HeavyHeadAtLowerBound) {
+  BoundedParetoDistribution d(1.5, 0.01);
+  EXPECT_GT(d.Pdf(0.02), d.Pdf(0.5));
+  EXPECT_DOUBLE_EQ(d.Cdf(0.005), 0.0);
+  EXPECT_DOUBLE_EQ(d.support_lo(), 0.01);
+}
+
+TEST(ZipfDistributionTest, Theta0IsUniform) {
+  ZipfDistribution d(10, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(d.masses()[i], 0.1, 1e-12);
+  }
+  EXPECT_NEAR(d.Pdf(0.55), 1.0, 1e-12);
+}
+
+TEST(ZipfDistributionTest, SkewConcentratesMassAtHead) {
+  ZipfDistribution d(1000, 1.0);
+  // First value (bin [0, 0.001)) carries by far the biggest single mass.
+  EXPECT_GT(d.masses()[0], d.masses()[1]);
+  EXPECT_GT(d.Cdf(0.01), 0.3);  // top 1% of values >> 1% of the mass
+  EXPECT_DOUBLE_EQ(d.theta(), 1.0);
+}
+
+TEST(PiecewiseConstantTest, MassesNormalized) {
+  PiecewiseConstantDistribution d({1.0, 3.0}, "test");
+  EXPECT_DOUBLE_EQ(d.masses()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.masses()[1], 0.75);
+  EXPECT_DOUBLE_EQ(d.Pdf(0.25), 0.5);   // 0.25 * 2 bins
+  EXPECT_DOUBLE_EQ(d.Pdf(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.25), 0.5);
+}
+
+TEST(GaussianMixtureTest, ModesWhereComponentsAre) {
+  GaussianMixtureDistribution d({{0.5, 0.3, 0.05}, {0.5, 0.7, 0.05}});
+  EXPECT_GT(d.Pdf(0.3), d.Pdf(0.5));
+  EXPECT_GT(d.Pdf(0.7), d.Pdf(0.5));
+  EXPECT_NEAR(d.Cdf(0.5), 0.5, 1e-6);
+}
+
+TEST(StandardBenchmarkDistributionsTest, FourCanonicalWorkloads) {
+  const auto dists = StandardBenchmarkDistributions();
+  ASSERT_EQ(dists.size(), 4u);
+  EXPECT_EQ(dists[0]->Name(), "Uniform");
+  EXPECT_NE(dists[2]->Name().find("Zipf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,83 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+TEST(EcdfTest, StepFunctionValues) {
+  EmpiricalCdf ecdf({0.2, 0.4, 0.6, 0.8});
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.2), 0.25);  // right-continuous
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.8), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(2.0), 1.0);
+}
+
+TEST(EcdfTest, SortsInput) {
+  EmpiricalCdf ecdf({0.9, 0.1, 0.5});
+  const auto& s = ecdf.sorted_samples();
+  EXPECT_DOUBLE_EQ(s[0], 0.1);
+  EXPECT_DOUBLE_EQ(s[2], 0.9);
+}
+
+TEST(EcdfTest, DuplicatesJumpTogether) {
+  EmpiricalCdf ecdf({0.5, 0.5, 0.5, 0.9});
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.49), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Evaluate(0.5), 0.75);
+}
+
+TEST(EcdfTest, QuantileSmallestSampleReachingP) {
+  EmpiricalCdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 4.0);
+}
+
+TEST(EcdfTest, QuantileEvaluateConsistency) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.UniformDouble());
+  EmpiricalCdf ecdf(xs);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(ecdf.Evaluate(ecdf.Quantile(p)), p);
+  }
+}
+
+TEST(EcdfTest, SizeReported) {
+  EmpiricalCdf ecdf({1.0, 2.0});
+  EXPECT_EQ(ecdf.size(), 2u);
+}
+
+TEST(EcdfTest, ToPiecewiseLinearAgreesAtSamplePoints) {
+  EmpiricalCdf ecdf({0.2, 0.4, 0.6, 0.8});
+  auto pwl = ecdf.ToPiecewiseLinear();
+  ASSERT_TRUE(pwl.ok());
+  for (double x : {0.2, 0.4, 0.6, 0.8}) {
+    EXPECT_NEAR(pwl->Evaluate(x), ecdf.Evaluate(x), 1e-9);
+  }
+}
+
+TEST(EcdfTest, ConvergesToTruthDkw) {
+  Rng rng(2);
+  std::vector<double> xs;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.UniformDouble());
+  EmpiricalCdf ecdf(xs);
+  double ks = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = i / 1000.0;
+    ks = std::max(ks, std::fabs(ecdf.Evaluate(x) - x));
+  }
+  EXPECT_LT(ks, 0.012);  // DKW at n=50000, delta ~ 1e-6
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,196 @@
+// Cross-module edge cases not naturally covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/density_estimator.h"
+#include "core/dissemination.h"
+#include "core/maintenance.h"
+#include "core/wire.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+TEST(EdgeCaseTest, TwoNodeRingFullLifecycle) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(2).ok());
+  ASSERT_TRUE(ring.InsertKeyBulk(0.3).ok());
+  ASSERT_TRUE(ring.InsertKeyBulk(0.7).ok());
+  // Lookups from both nodes reach the right owners.
+  for (NodeAddr a : ring.AliveAddrs()) {
+    Result<NodeAddr> owner = ring.Lookup(a, RingId::FromUnit(0.3));
+    ASSERT_TRUE(owner.ok());
+    EXPECT_EQ(*owner, *ring.OracleOwner(RingId::FromUnit(0.3)));
+  }
+  // One node leaves; the survivor owns everything.
+  ASSERT_TRUE(ring.Leave(ring.AliveAddrs()[0]).ok());
+  EXPECT_EQ(ring.AliveCount(), 1u);
+  EXPECT_EQ(ring.TotalItems(), 2u);
+  const NodeAddr lone = ring.AliveAddrs()[0];
+  EXPECT_EQ(*ring.Lookup(lone, RingId(123)), lone);
+}
+
+TEST(EdgeCaseTest, EstimatorOnSingleNodeRingIsExact) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(1).ok());
+  TruncatedNormalDistribution dist(0.5, 0.1);
+  Rng rng(1);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 5000, rng).keys);
+  DdeOptions opts;
+  opts.num_probes = 4;
+  opts.local_quantiles = 32;
+  DistributionFreeEstimator est(&ring, opts);
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  // One peer owns the full ring: the estimate is its (exact) local view.
+  EXPECT_DOUBLE_EQ(e->estimated_total_items, 5000.0);
+  EXPECT_DOUBLE_EQ(e->covered_fraction, 1.0);
+  EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.05);
+}
+
+TEST(EdgeCaseTest, EstimatorWithMoreProbesThanPeers) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(16).ok());
+  Rng rng(2);
+  UniformDistribution dist;
+  ring.InsertDatasetBulk(GenerateDataset(dist, 2000, rng).keys);
+  DdeOptions opts;
+  opts.num_probes = 500;  // >> 16 peers
+  DistributionFreeEstimator est(&ring, opts);
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(e->peers_probed, 16u);
+  EXPECT_NEAR(e->covered_fraction, 1.0, 1e-6);
+  EXPECT_NEAR(e->estimated_total_items, 2000.0, 1.0);  // exact coverage
+}
+
+TEST(EdgeCaseTest, ProbesWithQuantilesLargerThanStores) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(64).ok());
+  Rng rng(3);
+  UniformDistribution dist;
+  // ~2 items per peer, 16 quantiles requested: heavy duplication in the
+  // quantile vectors must not break reconstruction.
+  ring.InsertDatasetBulk(GenerateDataset(dist, 128, rng).keys);
+  DdeOptions opts;
+  opts.num_probes = 64;
+  opts.local_quantiles = 16;
+  DistributionFreeEstimator est(&ring, opts);
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->cdf.IsNormalized());
+  EXPECT_NEAR(e->estimated_total_items, 128.0, 40.0);
+}
+
+TEST(EdgeCaseTest, KeysAtDomainBoundaries) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(8).ok());
+  ASSERT_TRUE(ring.InsertKeyBulk(0.0).ok());
+  ASSERT_TRUE(
+      ring.InsertKeyBulk(0x1.fffffffffffffp-1).ok());  // just below 1
+  EXPECT_EQ(ring.TotalItems(), 2u);
+  // Both erasable.
+  EXPECT_TRUE(ring.EraseKeyBulk(0.0).ok());
+  EXPECT_TRUE(ring.EraseKeyBulk(0x1.fffffffffffffp-1).ok());
+}
+
+TEST(EdgeCaseTest, WireRoundTripSurvivesResampling) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(128).ok());
+  Rng rng(4);
+  ZipfDistribution dist(100, 1.0);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 20000, rng).keys);
+  DistributionFreeEstimator est(&ring, DdeOptions{});
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  DensityEstimate compact = std::move(*e);
+  compact.cdf = compact.cdf.Resampled(32);
+
+  Encoder enc;
+  EncodeDensityEstimate(compact, &enc);
+  EXPECT_LT(enc.size(), 32u * 16u + 64u);
+  Decoder dec(enc.buffer());
+  auto decoded = DecodeDensityEstimate(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(CompareCdfToTruth(decoded->cdf, dist).ks, 0.08);
+}
+
+TEST(EdgeCaseTest, DisseminationOfResampledEstimateIsCheap) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(128).ok());
+  Rng rng(5);
+  UniformDistribution dist;
+  ring.InsertDatasetBulk(GenerateDataset(dist, 10000, rng).keys);
+  DistributionFreeEstimator est(&ring, DdeOptions{});
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+
+  uint64_t bytes_full, bytes_small;
+  {
+    EstimateDisseminator diss(&ring);
+    CostScope scope(net.counters());
+    ASSERT_TRUE(diss.Broadcast(ring.AliveAddrs()[0], *e).ok());
+    bytes_full = scope.Delta().bytes;
+  }
+  {
+    DensityEstimate small = *e;  // copy
+    small.cdf = small.cdf.Resampled(32);
+    EstimateDisseminator diss(&ring);
+    CostScope scope(net.counters());
+    ASSERT_TRUE(diss.Broadcast(ring.AliveAddrs()[0], small).ok());
+    bytes_small = scope.Delta().bytes;
+  }
+  EXPECT_LT(bytes_small, bytes_full / 2);
+}
+
+TEST(EdgeCaseTest, LookupHopBudgetExhaustionReported) {
+  Network net;
+  RingOptions ropts;
+  ropts.max_lookup_hops = 0;  // pathological budget
+  ChordRing ring(&net, ropts);
+  ASSERT_TRUE(ring.CreateNetwork(64).ok());
+  // With 0 allowed hops only targets owned by the querier's successor
+  // resolve; most lookups must time out rather than loop.
+  int timeouts = 0;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    Result<NodeAddr> r =
+        ring.Lookup(ring.AliveAddrs()[0], RingId(rng.NextU64()));
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsTimedOut());
+      ++timeouts;
+    }
+  }
+  EXPECT_GT(timeouts, 30);
+}
+
+TEST(EdgeCaseTest, MaintainerOnTinyRing) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(2).ok());
+  Rng rng(7);
+  UniformDistribution dist;
+  ring.InsertDatasetBulk(GenerateDataset(dist, 100, rng).keys);
+  DdeOptions opts;
+  opts.num_probes = 8;
+  EstimateMaintainer m(&ring, opts);
+  ASSERT_TRUE(m.Start(ring.AliveAddrs()[0]).ok());
+  net.events().RunUntil(200.0);
+  EXPECT_GE(m.refreshes(), 3u);
+  ASSERT_TRUE(m.current().has_value());
+  EXPECT_NEAR(m.current()->estimated_total_items, 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ringdde

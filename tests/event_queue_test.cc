@@ -1,0 +1,124 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ringdde {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.Now(), 0.0);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, TieBreaksFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(5.0, [&] {
+    q.ScheduleAfter(2.0, [&] { fired_at = q.Now(); });
+  });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.Now(), 5.0);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_EQ(q.RunUntil(20.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventAtExactBoundaryFires) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.ScheduleAt(1.0, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  q.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(999));
+  EXPECT_FALSE(q.Cancel(0));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) q.ScheduleAfter(1.0, step);
+  };
+  q.ScheduleAfter(1.0, step);
+  EXPECT_EQ(q.RunAll(), 5u);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 5.0);
+}
+
+TEST(EventQueueTest, RunAllRespectsCap) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, forever);
+  };
+  q.ScheduleAfter(1.0, forever);
+  EXPECT_EQ(q.RunAll(10), 10u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, PendingCountExcludesCancelled) {
+  EventQueue q;
+  q.ScheduleAt(1.0, [] {});
+  const EventId id = q.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Empty());
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(42.0);
+  EXPECT_DOUBLE_EQ(q.Now(), 42.0);
+}
+
+}  // namespace
+}  // namespace ringdde

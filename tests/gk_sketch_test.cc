@@ -1,0 +1,134 @@
+#include "stats/gk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+TEST(GkSketchTest, EmptySketchReturnsZero) {
+  GkSketch sk(0.01);
+  EXPECT_DOUBLE_EQ(sk.Quantile(0.5), 0.0);
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_EQ(sk.RankOf(0.5), 0u);
+}
+
+TEST(GkSketchTest, SingleValue) {
+  GkSketch sk(0.1);
+  sk.Add(0.42);
+  EXPECT_DOUBLE_EQ(sk.Quantile(0.5), 0.42);
+  EXPECT_EQ(sk.count(), 1u);
+}
+
+TEST(GkSketchTest, QuantilesWithinEpsilonUniform) {
+  const double eps = 0.02;
+  GkSketch sk(eps);
+  Rng rng(1);
+  const int n = 50000;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    xs.push_back(x);
+    sk.Add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double approx = sk.Quantile(p);
+    // True rank of the returned value must be within eps*n of p*n.
+    const auto rank = static_cast<double>(
+        std::lower_bound(xs.begin(), xs.end(), approx) - xs.begin());
+    EXPECT_NEAR(rank / n, p, 2.0 * eps) << "p=" << p;
+  }
+}
+
+TEST(GkSketchTest, QuantilesWithinEpsilonSkewed) {
+  const double eps = 0.02;
+  GkSketch sk(eps);
+  Rng rng(2);
+  const int n = 30000;
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) {
+    const double x = std::pow(rng.UniformDouble(), 4.0);  // heavy at 0
+    xs.push_back(x);
+    sk.Add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double approx = sk.Quantile(p);
+    const auto rank = static_cast<double>(
+        std::lower_bound(xs.begin(), xs.end(), approx) - xs.begin());
+    EXPECT_NEAR(rank / n, p, 2.0 * eps);
+  }
+}
+
+TEST(GkSketchTest, SortedAndReverseSortedInput) {
+  for (bool reverse : {false, true}) {
+    GkSketch sk(0.05);
+    for (int i = 0; i < 10000; ++i) {
+      const int v = reverse ? 9999 - i : i;
+      sk.Add(v / 10000.0);
+    }
+    EXPECT_NEAR(sk.Quantile(0.5), 0.5, 0.12);
+    EXPECT_NEAR(sk.Quantile(0.9), 0.9, 0.12);
+  }
+}
+
+TEST(GkSketchTest, CompressionBoundsMemory) {
+  GkSketch sk(0.01);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) sk.Add(rng.UniformDouble());
+  // GK stores O((1/eps) log(eps n)) tuples; 1/0.01 * log(1000) ~ 700.
+  EXPECT_LT(sk.tuple_count(), 2000u);
+  EXPECT_EQ(sk.count(), 100000u);
+}
+
+TEST(GkSketchTest, CoarserEpsilonSmallerSketch) {
+  GkSketch fine(0.005), coarse(0.05);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.UniformDouble();
+    fine.Add(x);
+    coarse.Add(x);
+  }
+  EXPECT_LT(coarse.tuple_count(), fine.tuple_count());
+  EXPECT_EQ(coarse.EncodedBytes(), 20 * coarse.tuple_count());
+}
+
+TEST(GkSketchTest, RankOfTracksTruth) {
+  GkSketch sk(0.02);
+  const int n = 20000;
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) sk.Add(rng.UniformDouble());
+  for (double x : {0.1, 0.5, 0.9}) {
+    const double rank = static_cast<double>(sk.RankOf(x));
+    EXPECT_NEAR(rank / n, x, 0.05) << "x=" << x;
+  }
+}
+
+TEST(GkSketchTest, QuantileMonotone) {
+  GkSketch sk(0.02);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) sk.Add(rng.UniformDouble());
+  double prev = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double q = sk.Quantile(i / 20.0);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(GkSketchTest, ExtremeQuantilesReturnMinMax) {
+  GkSketch sk(0.05);
+  for (int i = 1; i <= 1000; ++i) sk.Add(i / 1000.0);
+  EXPECT_NEAR(sk.Quantile(0.0), 0.001, 0.06);
+  EXPECT_NEAR(sk.Quantile(1.0), 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,179 @@
+#include "core/global_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ringdde {
+namespace {
+
+/// Hand-builds a summary for the arc (lo, hi] holding `keys`.
+LocalSummary MakeSummary(NodeAddr addr, double lo, double hi,
+                         std::vector<double> keys, int num_quantiles = 8) {
+  Node node(addr, RingId::FromUnit(hi));
+  node.set_predecessor(NodeEntry{addr + 1000, RingId::FromUnit(lo)});
+  node.InsertKeys(keys);
+  return ComputeLocalSummary(node, num_quantiles);
+}
+
+TEST(ReconstructTest, EmptyInputRejected) {
+  EXPECT_FALSE(ReconstructGlobalCdf({}).ok());
+}
+
+TEST(ReconstructTest, FullCoverageUniformDataIsExact) {
+  // Four peers tile [0,1) with uniform data: reconstruction must be the
+  // uniform CDF and the exact total.
+  std::vector<LocalSummary> ss;
+  int addr = 1;
+  for (double lo = 0.0; lo < 0.99; lo += 0.25) {
+    std::vector<double> keys;
+    for (int i = 0; i < 100; ++i) keys.push_back(lo + 0.25 * (i + 0.5) / 100);
+    ss.push_back(MakeSummary(addr++, lo, lo + 0.25, keys));
+  }
+  auto r = ReconstructGlobalCdf(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimated_total, 400.0, 1e-6);
+  EXPECT_NEAR(r->covered_fraction, 1.0, 1e-9);
+  EXPECT_EQ(r->segment_count, 4u);
+  for (double x : {0.1, 0.35, 0.5, 0.77, 0.95}) {
+    EXPECT_NEAR(r->cdf.Evaluate(x), x, 0.02) << "x=" << x;
+  }
+}
+
+TEST(ReconstructTest, GapFilledFromNeighborDensities) {
+  // Two probed arcs at densities 100 and 300 items/unit around an unprobed
+  // middle gap: neighbor interpolation fills the gap at density 200.
+  std::vector<double> left_keys, right_keys;
+  for (int i = 0; i < 20; ++i) left_keys.push_back(0.0 + 0.2 * (i + 0.5) / 20);
+  for (int i = 0; i < 60; ++i) right_keys.push_back(0.8 + 0.2 * (i + 0.5) / 60);
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.0, 0.2, left_keys),
+                               MakeSummary(2, 0.8, 1.0, right_keys)};
+  ReconstructionOptions opts;
+  opts.gap_fill = GapFillPolicy::kNeighborInterpolation;
+  auto r = ReconstructGlobalCdf(ss, opts);
+  ASSERT_TRUE(r.ok());
+  // total = 20 + 60 + 0.6 * (100+300)/2 = 200.
+  EXPECT_NEAR(r->estimated_total, 200.0, 1e-6);
+}
+
+TEST(ReconstructTest, GlobalMeanGapFill) {
+  std::vector<double> keys;
+  for (int i = 0; i < 50; ++i) keys.push_back(0.4 + 0.2 * (i + 0.5) / 50);
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.4, 0.6, keys)};
+  ReconstructionOptions opts;
+  opts.gap_fill = GapFillPolicy::kGlobalMean;
+  auto r = ReconstructGlobalCdf(ss, opts);
+  ASSERT_TRUE(r.ok());
+  // Global density 250/unit spread everywhere: total = 250.
+  EXPECT_NEAR(r->estimated_total, 250.0, 1e-6);
+  EXPECT_NEAR(r->covered_fraction, 0.2, 1e-9);
+}
+
+TEST(ReconstructTest, ZeroGapFillCountsOnlyProbedMass) {
+  std::vector<double> keys;
+  for (int i = 0; i < 50; ++i) keys.push_back(0.4 + 0.2 * (i + 0.5) / 50);
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.4, 0.6, keys)};
+  ReconstructionOptions opts;
+  opts.gap_fill = GapFillPolicy::kZero;
+  auto r = ReconstructGlobalCdf(ss, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimated_total, 50.0, 1e-6);
+}
+
+TEST(ReconstructTest, CdfIsAlwaysMonotoneNormalized) {
+  std::vector<LocalSummary> ss{
+      MakeSummary(1, 0.1, 0.3, {0.15, 0.2, 0.25}),
+      MakeSummary(2, 0.5, 0.7, {0.55, 0.6}),
+  };
+  auto r = ReconstructGlobalCdf(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cdf.IsNormalized());
+  double prev = -1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double f = r->cdf.Evaluate(i / 200.0);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+}
+
+TEST(ReconstructTest, WrappedArcSplitsAcrossBoundary) {
+  // One peer owns (0.9, 0.1]: keys on both sides of the wrap.
+  std::vector<double> keys{0.92, 0.95, 0.98, 0.02, 0.05};
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.9, 0.1, keys)};
+  ReconstructionOptions opts;
+  opts.gap_fill = GapFillPolicy::kZero;
+  auto r = ReconstructGlobalCdf(ss, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimated_total, 5.0, 0.5);
+  EXPECT_NEAR(r->covered_fraction, 0.2, 1e-6);
+  // 2 of 5 keys lie below 0.1; the quantile interpolation of the split is
+  // coarse (8 knots over 5 keys), so allow a wide band around 0.4.
+  const double f_low = r->cdf.Evaluate(0.1);
+  EXPECT_GT(f_low, 0.1);
+  EXPECT_LT(f_low, 0.7);
+  // The arc's two halves bracket an empty middle: F is flat across it.
+  EXPECT_NEAR(r->cdf.Evaluate(0.89), f_low, 1e-9);
+  EXPECT_NEAR(r->cdf.Evaluate(0.999), 1.0, 0.01);
+}
+
+TEST(ReconstructTest, AllEmptyPeersYieldUniformFallback) {
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.0, 0.5, {}),
+                               MakeSummary(2, 0.5, 1.0, {})};
+  auto r = ReconstructGlobalCdf(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimated_total, 0.0);
+  EXPECT_NEAR(r->cdf.Evaluate(0.3), 0.3, 1e-9);
+}
+
+TEST(ReconstructTest, QuantileKnotsShapeWithinArc) {
+  // One arc covering everything with all mass bunched at [0.4, 0.5].
+  std::vector<double> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(0.4 + 0.1 * (i + 0.5) / 200);
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.0, 1.0, keys, 16)};
+  ReconstructionOptions with_knots;
+  with_knots.use_quantile_knots = true;
+  auto shaped = ReconstructGlobalCdf(ss, with_knots);
+  ASSERT_TRUE(shaped.ok());
+  // With shape knots the CDF jumps across [0.4, 0.5].
+  EXPECT_LT(shaped->cdf.Evaluate(0.39), 0.1);
+  EXPECT_GT(shaped->cdf.Evaluate(0.51), 0.9);
+
+  ReconstructionOptions no_knots;
+  no_knots.use_quantile_knots = false;
+  auto flat = ReconstructGlobalCdf(ss, no_knots);
+  ASSERT_TRUE(flat.ok());
+  // Without them the arc is one linear ramp: F(0.39) ~ 0.39.
+  EXPECT_NEAR(flat->cdf.Evaluate(0.39), 0.39, 0.02);
+}
+
+TEST(ReconstructTest, OverlappingStaleArcsAreClipped) {
+  // Two summaries claim overlapping arcs (stale predecessor pointers).
+  std::vector<double> k1, k2;
+  for (int i = 0; i < 40; ++i) k1.push_back(0.2 + 0.2 * (i + 0.5) / 40);
+  for (int i = 0; i < 40; ++i) k2.push_back(0.3 + 0.2 * (i + 0.5) / 40);
+  std::vector<LocalSummary> ss{MakeSummary(1, 0.2, 0.4, k1),
+                               MakeSummary(2, 0.3, 0.5, k2)};
+  ReconstructionOptions opts;
+  opts.gap_fill = GapFillPolicy::kZero;
+  auto r = ReconstructGlobalCdf(ss, opts);
+  ASSERT_TRUE(r.ok());
+  // Coverage is the union [0.2, 0.5], not the sum of widths.
+  EXPECT_NEAR(r->covered_fraction, 0.3, 1e-6);
+  // Second arc's overlap half is clipped: total = 40 + ~20.
+  EXPECT_NEAR(r->estimated_total, 60.0, 4.0);
+}
+
+TEST(ReconstructTest, SingleNodeFullRing) {
+  std::vector<double> keys{0.1, 0.5, 0.9};
+  Node node(1, RingId::FromUnit(0.3));
+  node.set_predecessor(NodeEntry{1, RingId::FromUnit(0.3)});  // self = all
+  node.InsertKeys(keys);
+  const LocalSummary s = ComputeLocalSummary(node, 4);
+  auto r = ReconstructGlobalCdf({s});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimated_total, 3.0, 1e-9);
+  EXPECT_NEAR(r->covered_fraction, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ringdde

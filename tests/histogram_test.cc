@@ -1,0 +1,156 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+TEST(EquiWidthHistogramTest, AddAndTotalMass) {
+  EquiWidthHistogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.1, 2.0);
+  h.Add(0.9);
+  EXPECT_DOUBLE_EQ(h.TotalMass(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_masses()[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_masses()[3], 1.0);
+}
+
+TEST(EquiWidthHistogramTest, OutOfRangeClampsToEdgeBins) {
+  EquiWidthHistogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.bin_masses()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_masses()[3], 1.0);
+}
+
+TEST(EquiWidthHistogramTest, UpperBoundGoesToLastBin) {
+  EquiWidthHistogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.bin_masses()[3], 1.0);
+}
+
+TEST(EquiWidthHistogramTest, PdfNormalized) {
+  EquiWidthHistogram h(0.0, 1.0, 2);
+  h.Add(0.25);
+  h.Add(0.25);
+  h.Add(0.75);
+  // Bin width 0.5; bin 0 has 2/3 of the mass: pdf = (2/3)/0.5 = 4/3.
+  EXPECT_NEAR(h.PdfAt(0.25), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.PdfAt(0.75), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.PdfAt(-0.1), 0.0);
+}
+
+TEST(EquiWidthHistogramTest, CdfLinearWithinBins) {
+  EquiWidthHistogram h(0.0, 1.0, 2);
+  h.Add(0.25);
+  h.Add(0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.75), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1.0), 1.0);
+}
+
+TEST(EquiWidthHistogramTest, EmptyHistogramSafeDefaults) {
+  EquiWidthHistogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.PdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.5), 0.0);
+  EXPECT_FALSE(h.ToCdf().ok());
+}
+
+TEST(EquiWidthHistogramTest, MergeRequiresSameGeometry) {
+  EquiWidthHistogram a(0.0, 1.0, 4);
+  EquiWidthHistogram b(0.0, 1.0, 8);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+  EquiWidthHistogram c(0.0, 0.5, 4);
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+TEST(EquiWidthHistogramTest, MergeAddsBinwise) {
+  EquiWidthHistogram a(0.0, 1.0, 2);
+  EquiWidthHistogram b(0.0, 1.0, 2);
+  a.Add(0.25);
+  b.Add(0.75, 3.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.bin_masses()[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.bin_masses()[1], 3.0);
+}
+
+TEST(EquiWidthHistogramTest, ScaleMultiplies) {
+  EquiWidthHistogram h(0.0, 1.0, 2);
+  h.Add(0.25, 4.0);
+  h.Scale(0.5);
+  EXPECT_DOUBLE_EQ(h.TotalMass(), 2.0);
+}
+
+TEST(EquiWidthHistogramTest, ToCdfMatchesCdfAt) {
+  Rng rng(3);
+  EquiWidthHistogram h(0.0, 1.0, 32);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.UniformDouble() * 0.7);
+  auto cdf = h.ToCdf();
+  ASSERT_TRUE(cdf.ok());
+  for (double x : {0.1, 0.3, 0.5, 0.69, 0.9}) {
+    EXPECT_NEAR(cdf->Evaluate(x), h.CdfAt(x), 1e-9);
+  }
+}
+
+TEST(EquiWidthHistogramTest, EncodedBytesScalesWithBins) {
+  EquiWidthHistogram h(0.0, 1.0, 64);
+  EXPECT_EQ(h.EncodedBytes(), 512u);
+}
+
+TEST(EquiDepthHistogramTest, BuildValidation) {
+  EXPECT_FALSE(EquiDepthHistogram::Build({}, 4).ok());
+  EXPECT_FALSE(EquiDepthHistogram::Build({1.0}, 0).ok());
+  EXPECT_TRUE(EquiDepthHistogram::Build({1.0, 2.0}, 2).ok());
+}
+
+TEST(EquiDepthHistogramTest, BoundariesAreQuantiles) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i / 100.0);
+  auto h = EquiDepthHistogram::Build(xs, 4);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->buckets(), 4u);
+  EXPECT_NEAR(h->boundaries()[0], 0.0, 1e-9);
+  EXPECT_NEAR(h->boundaries()[1], 0.25, 1e-9);
+  EXPECT_NEAR(h->boundaries()[2], 0.5, 1e-9);
+  EXPECT_NEAR(h->boundaries()[4], 1.0, 1e-9);
+}
+
+TEST(EquiDepthHistogramTest, SelectivityUniformData) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.UniformDouble());
+  auto h = EquiDepthHistogram::Build(xs, 16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateSelectivity(0.2, 0.6), 0.4, 0.02);
+  EXPECT_NEAR(h->EstimateSelectivity(0.6, 0.2), 0.4, 0.02);  // swapped args
+  EXPECT_NEAR(h->EstimateSelectivity(0.0, 1.0), 1.0, 1e-9);
+}
+
+TEST(EquiDepthHistogramTest, SkewedDataBoundariesFollowMass) {
+  Rng rng(7);
+  TruncatedExponentialDistribution d(8.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(d.Sample(rng));
+  auto h = EquiDepthHistogram::Build(xs, 8);
+  ASSERT_TRUE(h.ok());
+  // Median boundary should be near the true median, far below 0.5.
+  EXPECT_NEAR(h->boundaries()[4], d.Quantile(0.5), 0.01);
+  EXPECT_LT(h->boundaries()[4], 0.2);
+}
+
+TEST(EquiDepthHistogramTest, HeavyDuplicatesStillWellFormed) {
+  std::vector<double> xs(100, 0.5);
+  xs.push_back(0.9);
+  auto h = EquiDepthHistogram::Build(xs, 4);
+  ASSERT_TRUE(h.ok());
+  const auto& b = h->boundaries();
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,119 @@
+#include "common/id.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ringdde {
+namespace {
+
+TEST(RingIdTest, ToUnitEndpoints) {
+  EXPECT_DOUBLE_EQ(RingId(0).ToUnit(), 0.0);
+  EXPECT_LT(RingId(UINT64_MAX).ToUnit(), 1.0);
+  EXPECT_GT(RingId(UINT64_MAX).ToUnit(), 0.999999);
+}
+
+TEST(RingIdTest, FromUnitRoundTrip) {
+  for (double u : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(RingId::FromUnit(u).ToUnit(), u, 1e-12);
+  }
+}
+
+TEST(RingIdTest, FromUnitWrapsNegativeAndOverflow) {
+  EXPECT_NEAR(RingId::FromUnit(-0.25).ToUnit(), 0.75, 1e-12);
+  EXPECT_NEAR(RingId::FromUnit(1.25).ToUnit(), 0.25, 1e-12);
+  EXPECT_EQ(RingId::FromUnit(1.0).value, 0u);  // 1.0 wraps to 0
+}
+
+TEST(RingIdTest, FromUnitMonotoneWithinUnit) {
+  double prev = -1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = i / 1000.0;
+    const double v = RingId::FromUnit(u).ToUnit();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RingIdTest, WrappingArithmetic) {
+  RingId max_id(UINT64_MAX);
+  EXPECT_EQ((max_id + 1).value, 0u);
+  EXPECT_EQ((RingId(0) - 1).value, UINT64_MAX);
+}
+
+TEST(RingIdTest, ToStringHexPadded) {
+  EXPECT_EQ(RingId(0).ToString(), "0000000000000000");
+  EXPECT_EQ(RingId(0xABCD).ToString(), "000000000000abcd");
+}
+
+TEST(ClockwiseDistanceTest, BasicAndWrap) {
+  EXPECT_EQ(ClockwiseDistance(RingId(10), RingId(15)), 5u);
+  EXPECT_EQ(ClockwiseDistance(RingId(15), RingId(10)), UINT64_MAX - 4);
+  EXPECT_EQ(ClockwiseDistance(RingId(7), RingId(7)), 0u);
+}
+
+TEST(ArcTest, OpenClosedMembership) {
+  const RingId a(100), b(200);
+  EXPECT_FALSE(InArcOpenClosed(RingId(100), a, b));  // lower end exclusive
+  EXPECT_TRUE(InArcOpenClosed(RingId(101), a, b));
+  EXPECT_TRUE(InArcOpenClosed(RingId(200), a, b));  // upper end inclusive
+  EXPECT_FALSE(InArcOpenClosed(RingId(201), a, b));
+  EXPECT_FALSE(InArcOpenClosed(RingId(50), a, b));
+}
+
+TEST(ArcTest, OpenClosedWrapsAroundZero) {
+  const RingId a(UINT64_MAX - 5), b(5);
+  EXPECT_TRUE(InArcOpenClosed(RingId(UINT64_MAX), a, b));
+  EXPECT_TRUE(InArcOpenClosed(RingId(0), a, b));
+  EXPECT_TRUE(InArcOpenClosed(RingId(5), a, b));
+  EXPECT_FALSE(InArcOpenClosed(RingId(6), a, b));
+  EXPECT_FALSE(InArcOpenClosed(RingId(UINT64_MAX - 5), a, b));
+}
+
+TEST(ArcTest, DegenerateArcIsFullRing) {
+  const RingId a(42);
+  EXPECT_TRUE(InArcOpenClosed(RingId(0), a, a));
+  EXPECT_TRUE(InArcOpenClosed(a, a, a));
+  EXPECT_TRUE(InArcClosedOpen(RingId(99), a, a));
+}
+
+TEST(ArcTest, ClosedOpenMembership) {
+  const RingId a(100), b(200);
+  EXPECT_TRUE(InArcClosedOpen(RingId(100), a, b));
+  EXPECT_FALSE(InArcClosedOpen(RingId(200), a, b));
+  EXPECT_TRUE(InArcClosedOpen(RingId(150), a, b));
+}
+
+TEST(ArcTest, OpenOpenMembership) {
+  const RingId a(100), b(200);
+  EXPECT_FALSE(InArcOpenOpen(RingId(100), a, b));
+  EXPECT_FALSE(InArcOpenOpen(RingId(200), a, b));
+  EXPECT_TRUE(InArcOpenOpen(RingId(150), a, b));
+  // Degenerate: full ring minus the point itself.
+  EXPECT_TRUE(InArcOpenOpen(RingId(5), a, a));
+  EXPECT_FALSE(InArcOpenOpen(a, a, a));
+}
+
+TEST(ArcFractionTest, Fractions) {
+  EXPECT_DOUBLE_EQ(ArcFraction(RingId(0), RingId(0)), 1.0);
+  const RingId half = RingId::FromUnit(0.5);
+  EXPECT_NEAR(ArcFraction(RingId(0), half), 0.5, 1e-12);
+  EXPECT_NEAR(ArcFraction(half, RingId(0)), 0.5, 1e-12);  // wrap
+}
+
+TEST(ArcFractionTest, QuarterWrap) {
+  const RingId a = RingId::FromUnit(0.9);
+  const RingId b = RingId::FromUnit(0.1);
+  EXPECT_NEAR(ArcFraction(a, b), 0.2, 1e-9);
+}
+
+TEST(HashToRingTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashToRing(1).value, HashToRing(1).value);
+  EXPECT_NE(HashToRing(1).value, HashToRing(2).value);
+  // Adjacent inputs land far apart (avalanche).
+  const uint64_t d = ClockwiseDistance(HashToRing(1), HashToRing(2));
+  EXPECT_GT(d, uint64_t{1} << 32);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,173 @@
+// End-to-end scenarios exercising the whole stack together: overlay +
+// workload + estimator + baselines + applications, including under churn.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/selectivity.h"
+#include "baselines/tree_aggregation.h"
+#include "core/density_estimator.h"
+#include "core/maintenance.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/churn.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnEveryCanonicalWorkload) {
+  for (const auto& dist : StandardBenchmarkDistributions()) {
+    Network net;
+    ChordRing ring(&net);
+    ASSERT_TRUE(ring.CreateNetwork(1024).ok());
+    Rng rng(11);
+    ring.InsertDatasetBulk(GenerateDataset(*dist, 100000, rng).keys);
+
+    DdeOptions opts;
+    opts.num_probes = 384;
+    DistributionFreeEstimator est(&ring, opts);
+    auto q = ring.RandomAliveNode(rng);
+    ASSERT_TRUE(q.ok());
+    auto e = est.Estimate(*q);
+    ASSERT_TRUE(e.ok()) << dist->Name();
+    const AccuracyReport r = CompareCdfToTruth(e->cdf, *dist);
+    EXPECT_LT(r.ks, 0.05) << dist->Name();
+    EXPECT_NEAR(e->estimated_total_items, 100000.0, 15000.0)
+        << dist->Name();
+  }
+}
+
+TEST(IntegrationTest, EstimationKeepsWorkingDuringActiveChurn) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(512).ok());
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Rng rng(13);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 50000, rng).keys);
+
+  ChurnOptions copts;
+  copts.mean_session_seconds = 60.0;
+  copts.stabilize_interval_seconds = 15.0;
+  ChurnProcess churn(&ring, copts);
+  churn.Start();
+
+  DdeOptions opts;
+  opts.num_probes = 192;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    net.events().RunUntil((epoch + 1) * 60.0);
+    opts.seed = 1000 + epoch;
+    DistributionFreeEstimator est(&ring, opts);
+    auto q = ring.RandomAliveNode(rng);
+    ASSERT_TRUE(q.ok());
+    auto e = est.Estimate(*q);
+    ASSERT_TRUE(e.ok()) << "epoch " << epoch << ": "
+                        << e.status().ToString();
+    EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.12)
+        << "epoch " << epoch;
+  }
+  EXPECT_GT(churn.joins() + churn.leaves() + churn.crashes(), 20u);
+}
+
+TEST(IntegrationTest, DdeBeatsTreeAggregationOnCost) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(1024).ok());
+  UniformDistribution dist;
+  Rng rng(17);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 50000, rng).keys);
+
+  DdeOptions opts;
+  opts.num_probes = 64;
+  DistributionFreeEstimator est(&ring, opts);
+  auto dde = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(dde.ok());
+
+  TreeAggregator tree(&ring);
+  auto exact = tree.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(exact.ok());
+
+  // The trade the paper sells: a fraction of the cost for a modest
+  // accuracy loss.
+  EXPECT_LT(dde->cost.messages, exact->cost.messages / 2);
+  EXPECT_LT(CompareCdfToTruth(dde->cdf, dist).ks, 0.05);
+}
+
+TEST(IntegrationTest, QuerierLocationDoesNotMatter) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(512).ok());
+  TruncatedExponentialDistribution dist(4.0);
+  Rng rng(19);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 50000, rng).keys);
+
+  const auto addrs = ring.AliveAddrs();
+  for (NodeAddr q : {addrs[0], addrs[100], addrs[511]}) {
+    DdeOptions opts;
+    opts.num_probes = 256;
+    opts.seed = q;  // independent probe randomness per querier
+    DistributionFreeEstimator est(&ring, opts);
+    auto e = est.Estimate(q);
+    ASSERT_TRUE(e.ok());
+    EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.05);
+  }
+}
+
+TEST(IntegrationTest, DataUpdatesReflectedAfterRefresh) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(256).ok());
+  Rng rng(23);
+  // Phase 1: left-heavy data.
+  TruncatedNormalDistribution left(0.25, 0.08);
+  ring.InsertDatasetBulk(GenerateDataset(left, 30000, rng).keys);
+
+  DdeOptions opts;
+  opts.num_probes = 192;
+  MaintenanceOptions mopts;
+  mopts.refresh_period_seconds = 30.0;
+  EstimateMaintainer maintainer(&ring, opts, mopts);
+  ASSERT_TRUE(maintainer.Start(ring.AliveAddrs()[0]).ok());
+  ASSERT_TRUE(maintainer.current().has_value());
+  EXPECT_LT(maintainer.current()->Cdf(0.5) - 1.0, 0.0);
+  EXPECT_GT(maintainer.current()->Cdf(0.5), 0.9);  // almost all mass left
+
+  // Phase 2: a flood of right-heavy data arrives.
+  TruncatedNormalDistribution right(0.75, 0.08);
+  ring.InsertDatasetBulk(GenerateDataset(right, 90000, rng).keys);
+  net.events().RunUntil(65.0);  // two refreshes later
+
+  ASSERT_TRUE(maintainer.current().has_value());
+  // Now ~75% of the data is right of 0.5.
+  EXPECT_NEAR(maintainer.current()->Cdf(0.5), 0.25, 0.06);
+  EXPECT_NEAR(maintainer.current()->estimated_total_items, 120000.0,
+              18000.0);
+}
+
+TEST(IntegrationTest, SelectivityAppUnderChurn) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(256).ok());
+  GaussianMixtureDistribution dist({{0.6, 0.3, 0.07}, {0.4, 0.8, 0.05}});
+  Rng rng(29);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 40000, rng).keys);
+
+  ChurnOptions copts;
+  copts.mean_session_seconds = 120.0;
+  ChurnProcess churn(&ring, copts);
+  churn.Start();
+  net.events().RunUntil(120.0);
+
+  DdeOptions opts;
+  opts.num_probes = 192;
+  DistributionFreeEstimator est(&ring, opts);
+  auto q = ring.RandomAliveNode(rng);
+  auto e = est.Estimate(*q);
+  ASSERT_TRUE(e.ok());
+  const auto queries = GenerateRangeQueries(100, 0.1, rng);
+  const SelectivityEvalResult r = EvaluateSelectivity(e->cdf, ring, queries);
+  EXPECT_LT(r.mean_abs_error, 0.03);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,94 @@
+#include "core/inversion_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ringdde {
+namespace {
+
+TEST(InversionSamplerTest, UniformCdfGivesUniformSamples) {
+  PiecewiseLinearCdf cdf;  // default uniform
+  InversionSampler sampler(&cdf);
+  Rng rng(1);
+  const auto xs = sampler.SampleMany(20000, rng);
+  double sum = 0.0;
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / xs.size(), 0.5, 0.01);
+}
+
+TEST(InversionSamplerTest, SamplesFollowTheCdf) {
+  // CDF with 80% of mass in [0, 0.2].
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.2, 0.8}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  InversionSampler sampler(&*cdf);
+  Rng rng(2);
+  const auto xs = sampler.SampleMany(20000, rng);
+  const double frac_low =
+      static_cast<double>(std::count_if(xs.begin(), xs.end(),
+                                        [](double x) { return x <= 0.2; })) /
+      xs.size();
+  EXPECT_NEAR(frac_low, 0.8, 0.01);
+}
+
+TEST(InversionSamplerTest, StratifiedHasLowerDiscrepancy) {
+  PiecewiseLinearCdf cdf;
+  InversionSampler sampler(&cdf);
+  Rng rng(3);
+  const size_t k = 1000;
+  auto strat = sampler.SampleStratified(k, rng);
+  std::sort(strat.begin(), strat.end());
+  double ks_strat = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    ks_strat = std::max(
+        ks_strat, std::fabs((i + 1.0) / k - strat[i]));
+  }
+  // One point per stratum: discrepancy bounded by 1/k (plus epsilon),
+  // far below the ~1/sqrt(k) of i.i.d. draws.
+  EXPECT_LT(ks_strat, 2.5 / k + 1e-9);
+}
+
+TEST(InversionSamplerTest, StratifiedCoversEveryStratum) {
+  PiecewiseLinearCdf cdf;
+  InversionSampler sampler(&cdf);
+  Rng rng(4);
+  const auto xs = sampler.SampleStratified(10, rng);
+  ASSERT_EQ(xs.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(xs[i], i / 10.0 - 1e-12);
+    EXPECT_LE(xs[i], (i + 1) / 10.0 + 1e-12);
+  }
+}
+
+TEST(InversionSamplerTest, EvenQuantilesDeterministic) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  InversionSampler sampler(&*cdf);
+  const auto qs = sampler.EvenQuantiles(4);
+  ASSERT_EQ(qs.size(), 4u);
+  EXPECT_NEAR(qs[0], 0.125, 1e-12);
+  EXPECT_NEAR(qs[3], 0.875, 1e-12);
+  EXPECT_EQ(sampler.EvenQuantiles(4), qs);  // no randomness
+}
+
+TEST(InversionSamplerTest, AtomicMassSampledAtAtom) {
+  // Near-vertical ramp at 0.5 carrying all mass.
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.4999999, 0.0}, {0.5000001, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  InversionSampler sampler(&*cdf);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(sampler.Sample(rng), 0.5, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace ringdde

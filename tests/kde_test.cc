@@ -1,0 +1,121 @@
+#include "stats/kde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+TEST(KdeTest, BuildRejectsEmpty) {
+  EXPECT_FALSE(KernelDensityEstimator::Build({}).ok());
+}
+
+TEST(KdeTest, AutoBandwidthIsPositive) {
+  auto kde = KernelDensityEstimator::Build({0.1, 0.5, 0.9});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0.0);
+}
+
+TEST(KdeTest, ExplicitBandwidthRespected) {
+  auto kde = KernelDensityEstimator::Build({0.5}, KernelType::kGaussian, 0.2);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->bandwidth(), 0.2);
+}
+
+TEST(KdeTest, SingleSampleGaussianPeaksAtSample) {
+  auto kde = KernelDensityEstimator::Build({0.5}, KernelType::kGaussian, 0.1);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Pdf(0.5), kde->Pdf(0.4));
+  EXPECT_GT(kde->Pdf(0.5), kde->Pdf(0.6));
+  EXPECT_NEAR(kde->Cdf(0.5), 0.5, 1e-9);
+}
+
+TEST(KdeTest, PdfIntegratesToOneGaussian) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(0.3 + 0.1 * rng.Normal());
+  auto kde = KernelDensityEstimator::Build(xs, KernelType::kGaussian);
+  ASSERT_TRUE(kde.ok());
+  double integral = 0.0;
+  const int grid = 4000;
+  for (int i = 0; i < grid; ++i) {
+    integral += kde->Pdf(-1.0 + 3.0 * (i + 0.5) / grid) * 3.0 / grid;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, PdfIntegratesToOneEpanechnikov) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.UniformDouble());
+  auto kde = KernelDensityEstimator::Build(xs, KernelType::kEpanechnikov);
+  ASSERT_TRUE(kde.ok());
+  double integral = 0.0;
+  const int grid = 4000;
+  for (int i = 0; i < grid; ++i) {
+    integral += kde->Pdf(-0.5 + 2.0 * (i + 0.5) / grid) * 2.0 / grid;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, CdfMonotoneZeroToOne) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.UniformDouble());
+  for (KernelType k : {KernelType::kGaussian, KernelType::kEpanechnikov}) {
+    auto kde = KernelDensityEstimator::Build(xs, k);
+    ASSERT_TRUE(kde.ok());
+    double prev = -1.0;
+    for (int i = -10; i <= 110; ++i) {
+      const double f = kde->Cdf(i / 100.0);
+      EXPECT_GE(f, prev - 1e-12);
+      prev = f;
+    }
+    EXPECT_NEAR(kde->Cdf(-0.5), 0.0, 1e-6);
+    EXPECT_NEAR(kde->Cdf(1.5), 1.0, 1e-6);
+  }
+}
+
+TEST(KdeTest, EpanechnikovCompactSupport) {
+  auto kde =
+      KernelDensityEstimator::Build({0.5}, KernelType::kEpanechnikov, 0.1);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->Pdf(0.39), 0.0);
+  EXPECT_DOUBLE_EQ(kde->Pdf(0.61), 0.0);
+  EXPECT_GT(kde->Pdf(0.45), 0.0);
+}
+
+TEST(KdeTest, RecoversBimodalShape) {
+  GaussianMixtureDistribution truth({{0.5, 0.3, 0.04}, {0.5, 0.7, 0.04}});
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(truth.Sample(rng));
+  auto kde = KernelDensityEstimator::Build(xs);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Pdf(0.3), kde->Pdf(0.5) * 1.5);
+  EXPECT_GT(kde->Pdf(0.7), kde->Pdf(0.5) * 1.5);
+}
+
+TEST(KdeTest, SilvermanShrinksWithSampleSize) {
+  Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 100; ++i) small.push_back(rng.UniformDouble());
+  large = small;
+  for (int i = 0; i < 9900; ++i) large.push_back(rng.UniformDouble());
+  EXPECT_GT(KernelDensityEstimator::SilvermanBandwidth(small),
+            KernelDensityEstimator::SilvermanBandwidth(large));
+}
+
+TEST(KdeTest, DegenerateSampleStillValid) {
+  auto kde = KernelDensityEstimator::Build({0.5, 0.5, 0.5});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0.0);
+  EXPECT_TRUE(std::isfinite(kde->Pdf(0.5)));
+}
+
+}  // namespace
+}  // namespace ringdde

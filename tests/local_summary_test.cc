@@ -1,0 +1,139 @@
+#include "core/local_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+Node MakeNode(double arc_lo, double arc_hi, const std::vector<double>& keys) {
+  Node node(1, RingId::FromUnit(arc_hi));
+  node.set_predecessor(NodeEntry{2, RingId::FromUnit(arc_lo)});
+  node.InsertKeys(keys);
+  return node;
+}
+
+TEST(LocalSummaryTest, ComputeCapturesArcAndCount) {
+  Node node = MakeNode(0.2, 0.4, {0.25, 0.3, 0.35});
+  const LocalSummary s = ComputeLocalSummary(node, 4);
+  EXPECT_EQ(s.addr, 1u);
+  EXPECT_EQ(s.item_count, 3u);
+  EXPECT_NEAR(s.ArcWidth(), 0.2, 1e-9);
+  ASSERT_EQ(s.quantiles.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.quantiles.front(), 0.25);  // local min
+  EXPECT_DOUBLE_EQ(s.quantiles.back(), 0.35);   // local max
+}
+
+TEST(LocalSummaryTest, EmptyNodeHasNoQuantiles) {
+  Node node = MakeNode(0.2, 0.4, {});
+  const LocalSummary s = ComputeLocalSummary(node, 8);
+  EXPECT_EQ(s.item_count, 0u);
+  EXPECT_TRUE(s.quantiles.empty());
+  EXPECT_DOUBLE_EQ(s.Density(), 0.0);
+}
+
+TEST(LocalSummaryTest, DensityIsCountOverWidth) {
+  Node node = MakeNode(0.0, 0.5, {0.1, 0.2, 0.3, 0.4});
+  const LocalSummary s = ComputeLocalSummary(node, 2);
+  EXPECT_NEAR(s.Density(), 8.0, 1e-6);  // 4 items / 0.5 width
+}
+
+TEST(LocalSummaryTest, QuantilesAscending) {
+  Rng rng(1);
+  std::vector<double> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(0.2 + 0.2 * rng.UniformDouble());
+  Node node = MakeNode(0.2, 0.4, keys);
+  const LocalSummary s = ComputeLocalSummary(node, 16);
+  for (size_t i = 1; i < s.quantiles.size(); ++i) {
+    EXPECT_LE(s.quantiles[i - 1], s.quantiles[i]);
+  }
+}
+
+TEST(LocalSummaryTest, InterpolatedRankEndpoints) {
+  Node node = MakeNode(0.0, 1.0, {0.1, 0.2, 0.3, 0.4, 0.5});
+  const LocalSummary s = ComputeLocalSummary(node, 5);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.9), 5.0);
+}
+
+TEST(LocalSummaryTest, InterpolatedRankTracksTrueRank) {
+  Rng rng(2);
+  std::vector<double> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.UniformDouble());
+  Node node = MakeNode(0.0, 1.0, keys);
+  const LocalSummary s = ComputeLocalSummary(node, 16);
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double true_rank = static_cast<double>(node.RankOf(x));
+    // Interpolation through 16 quantiles: error bounded by ~c/q.
+    EXPECT_NEAR(s.InterpolatedRank(x), true_rank, 1000.0 / 15.0 + 10.0);
+  }
+}
+
+TEST(LocalSummaryTest, InterpolatedRankEmpty) {
+  Node node = MakeNode(0.0, 1.0, {});
+  const LocalSummary s = ComputeLocalSummary(node, 4);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.5), 0.0);
+}
+
+TEST(LocalSummaryTest, SingleItemSummary) {
+  Node node = MakeNode(0.0, 1.0, {0.6});
+  const LocalSummary s = ComputeLocalSummary(node, 4);
+  EXPECT_EQ(s.item_count, 1u);
+  // All quantiles collapse onto the single key.
+  for (double q : s.quantiles) EXPECT_DOUBLE_EQ(q, 0.6);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.59), 0.0);
+  EXPECT_DOUBLE_EQ(s.InterpolatedRank(0.6), 1.0);
+}
+
+TEST(LocalSummaryTest, EncodedBytesFormula) {
+  Node node = MakeNode(0.0, 0.5, {0.1, 0.2});
+  const LocalSummary s = ComputeLocalSummary(node, 8);
+  EXPECT_EQ(s.EncodedBytes(), 24u + 8u * 8u);
+}
+
+TEST(LocalSummaryTest, SketchedSummaryApproximatesExact) {
+  Rng rng(7);
+  std::vector<double> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.UniformDouble());
+  Node node = MakeNode(0.0, 1.0, keys);
+  const LocalSummary exact = ComputeLocalSummary(node, 8);
+  const LocalSummary sketched =
+      ComputeLocalSummarySketched(node, 8, /*sketch_epsilon=*/0.01);
+  ASSERT_EQ(sketched.quantiles.size(), exact.quantiles.size());
+  EXPECT_EQ(sketched.item_count, exact.item_count);
+  for (size_t i = 0; i < exact.quantiles.size(); ++i) {
+    // Uniform keys: rank error eps*n translates ~1:1 into value error.
+    EXPECT_NEAR(sketched.quantiles[i], exact.quantiles[i], 0.05) << i;
+  }
+}
+
+TEST(LocalSummaryTest, SketchedSummaryMonotoneQuantiles) {
+  Rng rng(9);
+  std::vector<double> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(rng.Normal(0.5, 0.1));
+  Node node = MakeNode(0.0, 1.0, keys);
+  const LocalSummary s = ComputeLocalSummarySketched(node, 16, 0.05);
+  for (size_t i = 1; i < s.quantiles.size(); ++i) {
+    EXPECT_LE(s.quantiles[i - 1], s.quantiles[i]);
+  }
+}
+
+TEST(LocalSummaryTest, SketchedEmptyNode) {
+  Node node = MakeNode(0.2, 0.4, {});
+  const LocalSummary s = ComputeLocalSummarySketched(node, 8, 0.02);
+  EXPECT_EQ(s.item_count, 0u);
+  EXPECT_TRUE(s.quantiles.empty());
+}
+
+TEST(LocalSummaryTest, WrappedArcWidth) {
+  // Arc (0.9, 0.1]: wraps the domain boundary; width 0.2.
+  Node node = MakeNode(0.9, 0.1, {0.95, 0.05});
+  const LocalSummary s = ComputeLocalSummary(node, 2);
+  EXPECT_NEAR(s.ArcWidth(), 0.2, 1e-9);
+  EXPECT_NEAR(s.Density(), 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ringdde

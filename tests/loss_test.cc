@@ -1,0 +1,104 @@
+// Failure injection: the lossy-channel model and the protocols on top.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+#include "sim/network.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+TEST(LossyNetworkTest, ZeroLossIsOneAttemptPerSend) {
+  Network net;
+  for (int i = 0; i < 100; ++i) net.Send(1, 2, 8);
+  EXPECT_EQ(net.counters().messages, 100u);
+  EXPECT_EQ(net.lost_messages(), 0u);
+}
+
+TEST(LossyNetworkTest, RetransmissionsTrackLossRate) {
+  NetworkOptions opts;
+  opts.loss_probability = 0.5;
+  Network net(opts);
+  const int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) net.Send(1, 2, 8);
+  // Geometric attempts with p=0.5: mean 2 attempts per logical send.
+  const double attempts_per_send =
+      static_cast<double>(net.counters().messages) / kSends;
+  EXPECT_NEAR(attempts_per_send, 2.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(net.lost_messages()),
+              static_cast<double>(net.counters().messages - kSends), 1e-9);
+}
+
+TEST(LossyNetworkTest, LossAddsTimeoutLatency) {
+  NetworkOptions opts;
+  opts.loss_probability = 0.5;
+  opts.retransmit_timeout_seconds = 1.0;
+  opts.latency = std::make_shared<ConstantLatency>(0.01);
+  Network net(opts);
+  double total = 0.0;
+  for (int i = 0; i < 5000; ++i) total += net.Send(1, 2, 8);
+  // Mean delivery latency = 0.01 + E[#losses] * 1.0 = 0.01 + 1.0.
+  EXPECT_NEAR(total / 5000.0, 1.01, 0.15);
+}
+
+TEST(LossyNetworkTest, CertainLossIsClampedNotInfinite) {
+  NetworkOptions opts;
+  opts.loss_probability = 1.0;  // clamped to 0.99 internally
+  Network net(opts);
+  const double latency = net.Send(1, 2, 8);  // must terminate
+  EXPECT_GT(latency, 0.0);
+}
+
+TEST(LossyNetworkTest, EstimationSurvivesHeavyLoss) {
+  NetworkOptions nopts;
+  nopts.loss_probability = 0.2;
+  Network net(nopts);
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(512).ok());
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Rng rng(1);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 50000, rng).keys);
+
+  DdeOptions opts;
+  opts.num_probes = 192;
+  DistributionFreeEstimator est(&ring, opts);
+  auto e = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(e.ok());
+  // Accuracy is untouched (reliable delivery), only cost inflates ~1/(1-p).
+  EXPECT_LT(CompareCdfToTruth(e->cdf, dist).ks, 0.05);
+  EXPECT_GT(net.lost_messages(), 0u);
+}
+
+TEST(LossyNetworkTest, CostInflatesByLossFactor) {
+  uint64_t msgs[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    NetworkOptions nopts;
+    nopts.loss_probability = mode == 0 ? 0.0 : 0.25;
+    nopts.seed = 9;
+    Network net(nopts);
+    ChordRing ring(&net);
+    ASSERT_TRUE(ring.CreateNetwork(256).ok());
+    Rng rng(2);
+    UniformDistribution dist;
+    ring.InsertDatasetBulk(GenerateDataset(dist, 20000, rng).keys);
+    DdeOptions opts;
+    opts.num_probes = 128;
+    DistributionFreeEstimator est(&ring, opts);
+    auto e = est.Estimate(ring.AliveAddrs()[0]);
+    ASSERT_TRUE(e.ok());
+    msgs[mode] = e->cost.messages;
+  }
+  // Expected inflation 1/(1-0.25) = 1.33x.
+  const double ratio =
+      static_cast<double>(msgs[1]) / static_cast<double>(msgs[0]);
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,133 @@
+#include "core/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/churn.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void Build(size_t n = 256) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    dist_ = std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
+    Rng rng(1);
+    const Dataset ds = GenerateDataset(*dist_, 50000, rng);
+    ring_->InsertDatasetBulk(ds.keys);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  std::unique_ptr<Distribution> dist_;
+};
+
+TEST_F(MaintenanceTest, StartRunsInitialEstimate) {
+  Build();
+  DdeOptions opts;
+  opts.num_probes = 64;
+  EstimateMaintainer m(ring_.get(), opts);
+  ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+  ASSERT_TRUE(m.current().has_value());
+  EXPECT_EQ(m.refreshes(), 1u);
+  EXPECT_DOUBLE_EQ(m.StalenessSeconds(), 0.0);
+}
+
+TEST_F(MaintenanceTest, DoubleStartRejected) {
+  Build();
+  EstimateMaintainer m(ring_.get(), DdeOptions{});
+  ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+  EXPECT_EQ(m.Start(ring_->AliveAddrs()[1]).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaintenanceTest, DeadOwnerRejectedAtStart) {
+  Build();
+  const NodeAddr victim = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EstimateMaintainer m(ring_.get(), DdeOptions{});
+  EXPECT_TRUE(m.Start(victim).IsInvalidArgument());
+}
+
+TEST_F(MaintenanceTest, PeriodicRefreshKeepsStalenessBounded) {
+  Build();
+  DdeOptions opts;
+  opts.num_probes = 32;
+  MaintenanceOptions mopts;
+  mopts.refresh_period_seconds = 10.0;
+  EstimateMaintainer m(ring_.get(), opts, mopts);
+  ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+  net_->events().RunUntil(100.0);
+  EXPECT_GE(m.refreshes(), 10u);
+  EXPECT_LE(m.StalenessSeconds(), 10.0 + 1e-9);
+}
+
+TEST_F(MaintenanceTest, IncrementalRefreshCostsLess) {
+  Build();
+  DdeOptions opts;
+  opts.num_probes = 128;
+
+  MaintenanceOptions full;
+  full.refresh_period_seconds = 10.0;
+  full.incremental = false;
+
+  MaintenanceOptions inc = full;
+  inc.incremental = true;
+  inc.incremental_fraction = 0.25;
+
+  uint64_t cost_full = 0, cost_inc = 0;
+  for (int mode = 0; mode < 2; ++mode) {
+    Build();
+    EstimateMaintainer m(ring_.get(), opts, mode == 0 ? full : inc);
+    ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+    const uint64_t before = net_->counters().messages;
+    net_->events().RunUntil(100.0);
+    const uint64_t spent = net_->counters().messages - before;
+    (mode == 0 ? cost_full : cost_inc) = spent;
+  }
+  EXPECT_LT(cost_inc, cost_full / 2);
+}
+
+TEST_F(MaintenanceTest, IncrementalStaysAccurateOnStaticData) {
+  Build();
+  DdeOptions opts;
+  opts.num_probes = 128;
+  MaintenanceOptions mopts;
+  mopts.refresh_period_seconds = 10.0;
+  mopts.incremental = true;
+  EstimateMaintainer m(ring_.get(), opts, mopts);
+  ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+  net_->events().RunUntil(100.0);
+  ASSERT_TRUE(m.current().has_value());
+  EXPECT_LT(CompareCdfToTruth(m.current()->cdf, *dist_).ks, 0.08);
+}
+
+TEST_F(MaintenanceTest, SurvivesChurnAndMigratesOwner) {
+  Build();
+  ChurnOptions copts;
+  copts.mean_session_seconds = 50.0;
+  ChurnProcess churn(ring_.get(), copts);
+  churn.Start();
+
+  DdeOptions opts;
+  opts.num_probes = 48;
+  MaintenanceOptions mopts;
+  mopts.refresh_period_seconds = 20.0;
+  EstimateMaintainer m(ring_.get(), opts, mopts);
+  ASSERT_TRUE(m.Start(ring_->AliveAddrs()[0]).ok());
+  net_->events().RunUntil(500.0);
+  // Many refreshes happened despite the original owner likely departing.
+  EXPECT_GE(m.refreshes(), 20u);
+  ASSERT_TRUE(m.current().has_value());
+  EXPECT_LT(CompareCdfToTruth(m.current()->cdf, *dist_).ks, 0.15);
+}
+
+}  // namespace
+}  // namespace ringdde

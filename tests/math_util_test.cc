@@ -1,0 +1,115 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ringdde {
+namespace {
+
+TEST(KahanSumTest, CompensatesSmallIncrements) {
+  KahanSum acc;
+  acc.Add(1.0);
+  for (int i = 0; i < 1000000; ++i) acc.Add(1e-16);
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-10, 1e-13);
+}
+
+TEST(KahanSumTest, ResetClears) {
+  KahanSum acc;
+  acc.Add(5.0);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanVarianceTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(LerpClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.75), 7.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(UpperIndexTest, FindsLastLeq) {
+  std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_EQ(UpperIndex(xs, 0.5), -1);
+  EXPECT_EQ(UpperIndex(xs, 1.0), 0);
+  EXPECT_EQ(UpperIndex(xs, 4.0), 1);
+  EXPECT_EQ(UpperIndex(xs, 9.0), 2);
+}
+
+TEST(Log1pExpTest, StableAcrossRange) {
+  EXPECT_NEAR(Log1pExp(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Log1pExp(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(Log1pExp(-100.0), std::exp(-100.0), 1e-40);
+}
+
+TEST(ApproxEqualTest, RelativeTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0));
+}
+
+TEST(NormalCdfTest, KnownPoints) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StandardNormalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(NormalPdfTest, PeakValue) {
+  EXPECT_NEAR(StandardNormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(StandardNormalPdf(1.0), 0.24197072451914337, 1e-12);
+}
+
+TEST(InverseNormalCdfTest, RoundTripsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double z = InverseStandardNormalCdf(p);
+    EXPECT_NEAR(StandardNormalCdf(z), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, Symmetry) {
+  EXPECT_NEAR(InverseStandardNormalCdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(InverseStandardNormalCdf(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(InverseStandardNormalCdf(0.3),
+              -InverseStandardNormalCdf(0.7), 1e-10);
+}
+
+TEST(SumPreciseTest, MatchesKahan) {
+  std::vector<double> xs(100000, 0.1);
+  EXPECT_NEAR(SumPrecise(xs), 10000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ringdde

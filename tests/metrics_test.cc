@@ -1,0 +1,116 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ringdde {
+namespace {
+
+TEST(SupDistanceTest, IdenticalFunctionsZero) {
+  RealFn f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(SupDistance(f, f, 0.0, 1.0), 0.0);
+}
+
+TEST(SupDistanceTest, ConstantOffset) {
+  RealFn f = [](double x) { return x; };
+  RealFn g = [](double x) { return x + 0.3; };
+  EXPECT_NEAR(SupDistance(f, g, 0.0, 1.0), 0.3, 1e-12);
+}
+
+TEST(SupDistanceTest, ExtraPointsCatchNarrowSpikes) {
+  RealFn f = [](double) { return 0.0; };
+  // A spike exactly between grid points of a coarse grid.
+  RealFn g = [](double x) { return std::fabs(x - 0.500001) < 1e-7 ? 5.0 : 0.0; };
+  EXPECT_LT(SupDistance(f, g, 0.0, 1.0, 10), 1.0);
+  EXPECT_NEAR(SupDistance(f, g, 0.0, 1.0, 10, {0.500001}), 5.0, 1e-9);
+}
+
+TEST(L1DistanceTest, KnownIntegral) {
+  RealFn f = [](double) { return 0.0; };
+  RealFn g = [](double x) { return x; };
+  EXPECT_NEAR(L1Distance(f, g, 0.0, 1.0), 0.5, 1e-6);
+}
+
+TEST(L2DistanceTest, KnownIntegral) {
+  RealFn f = [](double) { return 0.0; };
+  RealFn g = [](double) { return 2.0; };
+  EXPECT_NEAR(L2Distance(f, g, 0.0, 1.0), 2.0, 1e-9);
+  RealFn h = [](double x) { return x; };
+  EXPECT_NEAR(L2Distance(f, h, 0.0, 1.0), std::sqrt(1.0 / 3.0), 1e-6);
+}
+
+TEST(KlDivergenceTest, IdenticalIsZero) {
+  RealFn p = [](double) { return 1.0; };
+  EXPECT_NEAR(KlDivergence(p, p, 0.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(KlDivergenceTest, PositiveForDifferentDensities) {
+  RealFn p = [](double) { return 1.0; };
+  RealFn q = [](double x) { return x < 0.5 ? 1.5 : 0.5; };
+  EXPECT_GT(KlDivergence(p, q, 0.0, 1.0), 0.01);
+}
+
+TEST(KlDivergenceTest, FloorPreventsInfinity) {
+  RealFn p = [](double) { return 1.0; };
+  RealFn q = [](double) { return 0.0; };  // zero-mass estimate
+  const double kl = KlDivergence(p, q, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 1.0);
+}
+
+TEST(CompareCdfToTruthTest, PerfectEstimateScoresZero) {
+  UniformDistribution truth;
+  auto est = PiecewiseLinearCdf::FromKnots({{0.0, 0.0}, {1.0, 1.0}});
+  ASSERT_TRUE(est.ok());
+  const AccuracyReport r = CompareCdfToTruth(*est, truth);
+  EXPECT_NEAR(r.ks, 0.0, 1e-9);
+  EXPECT_NEAR(r.l1_cdf, 0.0, 1e-9);
+  EXPECT_NEAR(r.l2_cdf, 0.0, 1e-9);
+  EXPECT_NEAR(r.l1_pdf, 0.0, 1e-6);
+}
+
+TEST(CompareCdfToTruthTest, KnownErrorMagnitude) {
+  UniformDistribution truth;
+  // Estimate: all mass in [0, 0.5] -> F(x) = 2x there, 1 beyond.
+  auto est = PiecewiseLinearCdf::FromKnots({{0.0, 0.0}, {0.5, 1.0}});
+  ASSERT_TRUE(est.ok());
+  const AccuracyReport r = CompareCdfToTruth(*est, truth);
+  EXPECT_NEAR(r.ks, 0.5, 1e-6);  // at x = 0.5
+  EXPECT_GT(r.l1_cdf, 0.1);
+}
+
+TEST(CompareCdfToTruthTest, KsUsesKnotRefinement) {
+  UniformDistribution truth;
+  // Narrow jump at 0.5 that a coarse grid would straddle.
+  auto est = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.4999999, 0.5}, {0.5000001, 0.9}, {1.0, 1.0}});
+  ASSERT_TRUE(est.ok());
+  const AccuracyReport r = CompareCdfToTruth(*est, truth, /*grid=*/64);
+  EXPECT_GT(r.ks, 0.35);
+}
+
+TEST(MeanReportTest, AveragesFieldwise) {
+  AccuracyReport a{0.2, 0.1, 0.3, 0.4};
+  AccuracyReport b{0.4, 0.3, 0.5, 0.6};
+  const AccuracyReport m = MeanReport({a, b});
+  EXPECT_DOUBLE_EQ(m.ks, 0.3);
+  EXPECT_DOUBLE_EQ(m.l1_cdf, 0.2);
+  EXPECT_DOUBLE_EQ(m.l2_cdf, 0.4);
+  EXPECT_DOUBLE_EQ(m.l1_pdf, 0.5);
+}
+
+TEST(MeanReportTest, EmptyIsZero) {
+  const AccuracyReport m = MeanReport({});
+  EXPECT_DOUBLE_EQ(m.ks, 0.0);
+}
+
+TEST(AccuracyReportTest, ToStringContainsMetrics) {
+  AccuracyReport r{0.1, 0.2, 0.3, 0.4};
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("ks=0.1"), std::string::npos);
+  EXPECT_NE(s.find("l1_pdf=0.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,115 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/counters.h"
+#include "sim/latency_model.h"
+
+namespace ringdde {
+namespace {
+
+TEST(CountersTest, StartZeroAndAccumulate) {
+  CostCounters c;
+  EXPECT_EQ(c.messages, 0u);
+  c += CostCounters{3, 2, 100, 0.5};
+  c += CostCounters{1, 1, 50, 0.25};
+  EXPECT_EQ(c.messages, 4u);
+  EXPECT_EQ(c.hops, 3u);
+  EXPECT_EQ(c.bytes, 150u);
+  EXPECT_DOUBLE_EQ(c.latency_sum, 0.75);
+}
+
+TEST(CountersTest, SubtractionGivesDelta) {
+  CostCounters a{10, 5, 1000, 2.0};
+  CostCounters b{4, 2, 300, 0.5};
+  CostCounters d = a - b;
+  EXPECT_EQ(d.messages, 6u);
+  EXPECT_EQ(d.bytes, 700u);
+}
+
+TEST(CostScopeTest, CapturesOnlyScopedCost) {
+  Network net;
+  net.Send(1, 2, 10);
+  CostScope scope(net.counters());
+  net.Send(1, 2, 10);
+  net.Send(2, 1, 10);
+  EXPECT_EQ(scope.Delta().messages, 2u);
+}
+
+TEST(NetworkTest, SendCountsMessageHopsBytes) {
+  NetworkOptions opts;
+  opts.latency = std::make_shared<ConstantLatency>(0.1);
+  opts.header_bytes = 40;
+  Network net(opts);
+  const double lat = net.Send(1, 2, 60, 3);
+  EXPECT_DOUBLE_EQ(lat, 0.1);
+  EXPECT_EQ(net.counters().messages, 1u);
+  EXPECT_EQ(net.counters().hops, 3u);
+  EXPECT_EQ(net.counters().bytes, 100u);
+  EXPECT_DOUBLE_EQ(net.counters().latency_sum, 0.1);
+}
+
+TEST(NetworkTest, ResetCountersClears) {
+  Network net;
+  net.Send(1, 2, 5);
+  net.ResetCounters();
+  EXPECT_EQ(net.counters().messages, 0u);
+}
+
+TEST(NetworkTest, DefaultLatencyModelInstalled) {
+  Network net;
+  EXPECT_GT(net.latency_model().Mean(), 0.0);
+}
+
+TEST(LatencyModelTest, ConstantIsConstant) {
+  ConstantLatency m(0.07);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.Sample(rng, 1, 2), 0.07);
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.07);
+}
+
+TEST(LatencyModelTest, UniformStaysInRange) {
+  UniformLatency m(0.01, 0.05);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double l = m.Sample(rng, 1, 2);
+    EXPECT_GE(l, 0.01);
+    EXPECT_LT(l, 0.05);
+  }
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.03);
+}
+
+TEST(LatencyModelTest, LogNormalMedianAndMean) {
+  LogNormalLatency m(0.05, 0.5);
+  Rng rng(3);
+  int below = 0;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double l = m.Sample(rng, 1, 2);
+    EXPECT_GT(l, 0.0);
+    if (l < 0.05) ++below;
+    sum += l;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);  // median
+  EXPECT_NEAR(sum / n, m.Mean(), 0.005);
+}
+
+TEST(NetworkTest, EventQueueSharedClock) {
+  Network net;
+  net.events().ScheduleAt(9.0, [] {});
+  net.events().RunAll();
+  EXPECT_DOUBLE_EQ(net.Now(), 9.0);
+}
+
+TEST(CountersTest, ToStringContainsFields) {
+  CostCounters c{1, 2, 3, 0.5};
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("messages=1"), std::string::npos);
+  EXPECT_NE(s.find("bytes=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,201 @@
+#include "stats/piecewise_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ringdde {
+namespace {
+
+using Knot = PiecewiseLinearCdf::Knot;
+
+TEST(PiecewiseCdfTest, DefaultIsUniform) {
+  PiecewiseLinearCdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.Evaluate(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Inverse(0.7), 0.7);
+  EXPECT_DOUBLE_EQ(cdf.DensityAt(0.5), 1.0);
+}
+
+TEST(PiecewiseCdfTest, FromKnotsValidates) {
+  EXPECT_FALSE(PiecewiseLinearCdf::FromKnots({{0.0, 0.0}}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearCdf::FromKnots({{0.5, 0.0}, {0.5, 1.0}}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearCdf::FromKnots({{0.0, 0.5}, {1.0, 0.2}}).ok());
+  EXPECT_FALSE(
+      PiecewiseLinearCdf::FromKnots({{0.0, -0.5}, {1.0, 1.0}}).ok());
+  EXPECT_TRUE(
+      PiecewiseLinearCdf::FromKnots({{0.0, 0.0}, {1.0, 1.0}}).ok());
+}
+
+TEST(PiecewiseCdfTest, EvaluateInterpolatesAndClamps) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.2, 0.0}, {0.4, 0.5}, {0.8, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.3), 0.25);  // mid segment 1
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.4), 0.5);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.6), 0.75);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.9), 1.0);   // clamp right
+}
+
+TEST(PiecewiseCdfTest, InverseInterpolates) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.2, 0.0}, {0.4, 0.5}, {0.8, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->Inverse(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf->Inverse(0.25), 0.3);
+  EXPECT_DOUBLE_EQ(cdf->Inverse(0.5), 0.4);
+  EXPECT_DOUBLE_EQ(cdf->Inverse(1.0), 0.8);
+}
+
+TEST(PiecewiseCdfTest, InverseOfFlatSegmentIsLeftmost) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.4, 0.5}, {0.6, 0.5}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->Inverse(0.5), 0.4);
+}
+
+TEST(PiecewiseCdfTest, EvaluateInverseRoundTrip) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.3, 0.2}, {0.5, 0.9}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  for (double p : {0.05, 0.2, 0.5, 0.85, 0.95}) {
+    EXPECT_NEAR(cdf->Evaluate(cdf->Inverse(p)), p, 1e-12);
+  }
+}
+
+TEST(PiecewiseCdfTest, DensityIsSegmentSlope) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.5, 0.25}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(1.1), 0.0);
+}
+
+TEST(PiecewiseCdfTest, DensityAtKnotEndpoints) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.5, 0.25}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(0.0), 0.5);   // first segment
+  EXPECT_DOUBLE_EQ(cdf->DensityAt(1.0), 1.5);   // last segment
+}
+
+TEST(PiecewiseCdfTest, FromSamplesSpansZeroToOne) {
+  auto cdf = PiecewiseLinearCdf::FromSamples({0.5, 0.1, 0.9, 0.3});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.95), 1.0);
+  EXPECT_TRUE(cdf->IsNormalized());
+}
+
+TEST(PiecewiseCdfTest, FromSamplesHandlesDuplicates) {
+  auto cdf = PiecewiseLinearCdf::FromSamples({0.5, 0.5, 0.5, 0.9});
+  ASSERT_TRUE(cdf.ok());
+  // F(0.5) = 0.75 (3 of 4 samples), then a linear ramp to F(0.9) = 1:
+  // Evaluate(0.7) interpolates halfway.
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.7), 0.875);
+}
+
+TEST(PiecewiseCdfTest, FromSamplesAllIdentical) {
+  auto cdf = PiecewiseLinearCdf::FromSamples({0.4, 0.4, 0.4});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.39), 0.0);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.41), 1.0);
+}
+
+TEST(PiecewiseCdfTest, FromSamplesNeedsTwo) {
+  EXPECT_FALSE(PiecewiseLinearCdf::FromSamples({0.5}).ok());
+  EXPECT_FALSE(PiecewiseLinearCdf::FromSamples({}).ok());
+}
+
+TEST(PiecewiseCdfTest, FromSamplesApproximatesTrueCdf) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.UniformDouble());
+  auto cdf = PiecewiseLinearCdf::FromSamples(xs);
+  ASSERT_TRUE(cdf.ok());
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(cdf->Evaluate(x), x, 0.02);
+  }
+}
+
+TEST(PiecewiseCdfTest, MakeMonotoneSortsClampsAndDedupes) {
+  std::vector<Knot> knots{{0.5, 0.9}, {0.2, 0.3}, {0.5, 0.4},
+                          {0.8, 0.2}, {1.0, 1.4}};
+  PiecewiseLinearCdf::MakeMonotone(knots);
+  ASSERT_EQ(knots.size(), 4u);
+  // Sorted x, duplicate 0.5 merged with max f, running max applied.
+  EXPECT_DOUBLE_EQ(knots[0].x, 0.2);
+  EXPECT_DOUBLE_EQ(knots[1].x, 0.5);
+  EXPECT_DOUBLE_EQ(knots[1].f, 0.9);
+  EXPECT_DOUBLE_EQ(knots[2].f, 0.9);  // 0.2 raised by running max
+  EXPECT_DOUBLE_EQ(knots[3].f, 1.0);  // clamped
+  EXPECT_TRUE(PiecewiseLinearCdf::FromKnots(knots).ok());
+}
+
+TEST(PiecewiseCdfTest, NormalizeRescales) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.2}, {0.5, 0.4}, {1.0, 0.6}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_FALSE(cdf->IsNormalized());
+  cdf->Normalize();
+  EXPECT_TRUE(cdf->IsNormalized());
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.5), 0.5);
+}
+
+TEST(PiecewiseCdfTest, NormalizeDegenerateIsNoop) {
+  auto cdf = PiecewiseLinearCdf::FromKnots({{0.0, 0.5}, {1.0, 0.5}});
+  ASSERT_TRUE(cdf.ok());
+  cdf->Normalize();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.5), 0.5);
+}
+
+TEST(PiecewiseCdfTest, ResampledApproximatesOriginal) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Normal(0.5, 0.1));
+  auto cdf = PiecewiseLinearCdf::FromSamples(xs);
+  ASSERT_TRUE(cdf.ok());
+  const PiecewiseLinearCdf small = cdf->Resampled(64);
+  EXPECT_LE(small.knots().size(), 64u);
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    EXPECT_NEAR(small.Evaluate(x), cdf->Evaluate(x), 0.02) << x;
+  }
+}
+
+TEST(PiecewiseCdfTest, ResampledIsNoopWhenAlreadySmall) {
+  auto cdf = PiecewiseLinearCdf::FromKnots({{0.0, 0.0}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf->Resampled(64).knots().size(), 2u);
+}
+
+TEST(PiecewiseCdfTest, ResampledKeepsEndpoints) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.UniformDouble(0.2, 0.8));
+  auto cdf = PiecewiseLinearCdf::FromSamples(xs);
+  ASSERT_TRUE(cdf.ok());
+  const PiecewiseLinearCdf small = cdf->Resampled(16);
+  EXPECT_DOUBLE_EQ(small.Evaluate(small.x_min()), 0.0);
+  EXPECT_DOUBLE_EQ(small.Evaluate(1.0), 1.0);
+  EXPECT_NEAR(small.x_min(), cdf->x_min(), 1e-9);
+  EXPECT_NEAR(small.x_max(), cdf->x_max(), 1e-9);
+}
+
+TEST(PiecewiseCdfTest, XMinMaxExposed) {
+  auto cdf =
+      PiecewiseLinearCdf::FromKnots({{0.1, 0.0}, {0.9, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->x_min(), 0.1);
+  EXPECT_DOUBLE_EQ(cdf->x_max(), 0.9);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,117 @@
+#include "core/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace ringdde {
+namespace {
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(128).ok());
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+    }
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(ProbeTest, ProbeReachesOwner) {
+  CdfProber prober(ring_.get());
+  const NodeAddr querier = ring_->AliveAddrs()[0];
+  const RingId target(0x8000000000000000ULL);
+  Result<LocalSummary> s = prober.Probe(querier, target);
+  ASSERT_TRUE(s.ok());
+  Result<NodeAddr> oracle = ring_->OracleOwner(target);
+  EXPECT_EQ(s->addr, *oracle);
+  EXPECT_TRUE(InArcOpenClosed(target, s->arc_lo, s->arc_hi));
+}
+
+TEST_F(ProbeTest, ProbeChargesLookupPlusSummary) {
+  CdfProber prober(ring_.get());
+  const NodeAddr querier = ring_->AliveAddrs()[0];
+  CostScope scope(net_->counters());
+  ASSERT_TRUE(prober.Probe(querier, RingId(42)).ok());
+  const CostCounters d = scope.Delta();
+  EXPECT_GE(d.messages, 2u);  // at minimum the summary round trip
+  EXPECT_GT(d.bytes, 0u);
+}
+
+TEST_F(ProbeTest, ProbeUniformDedupesOwners) {
+  CdfProber prober(ring_.get());
+  Rng rng(2);
+  std::vector<LocalSummary> out;
+  // Far more probes than peers: every peer fetched at most once.
+  prober.ProbeUniform(ring_->AliveAddrs()[0], 2000, rng, &out);
+  EXPECT_LE(out.size(), 128u);
+  EXPECT_GT(out.size(), 100u);
+  std::set<NodeAddr> owners;
+  for (const auto& s : out) owners.insert(s.addr);
+  EXPECT_EQ(owners.size(), out.size());
+}
+
+TEST_F(ProbeTest, ProbeTargetsSkipsCoveredArcs) {
+  CdfProber prober(ring_.get());
+  const NodeAddr querier = ring_->AliveAddrs()[0];
+  std::vector<LocalSummary> out;
+  const RingId target(0x1234567890ABCDEFULL);
+  prober.ProbeTargets(querier, {target}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  // Probing the same position again must not spend messages.
+  CostScope scope(net_->counters());
+  prober.ProbeTargets(querier, {target}, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(scope.Delta().messages, 0u);
+}
+
+TEST_F(ProbeTest, SummariesCarryConfiguredQuantiles) {
+  CdfProber prober(ring_.get(), ProbeOptions{12});
+  Rng rng(3);
+  std::vector<LocalSummary> out;
+  prober.ProbeUniform(ring_->AliveAddrs()[0], 20, rng, &out);
+  ASSERT_FALSE(out.empty());
+  for (const auto& s : out) {
+    if (s.item_count > 0) {
+      EXPECT_EQ(s.quantiles.size(), 12u);
+    }
+  }
+}
+
+TEST_F(ProbeTest, DeadQuerierRejected) {
+  CdfProber prober(ring_.get());
+  const NodeAddr victim = ring_->AliveAddrs()[1];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  Result<LocalSummary> s = prober.Probe(victim, RingId(1));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ProbeTest, FailedProbesCounted) {
+  CdfProber prober(ring_.get());
+  const NodeAddr victim = ring_->AliveAddrs()[1];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EXPECT_FALSE(prober.Probe(victim, RingId(1)).ok());
+  EXPECT_EQ(prober.failed_probes(), 1u);
+}
+
+TEST_F(ProbeTest, SummariesTileWithoutOverlapWhenStable) {
+  CdfProber prober(ring_.get());
+  Rng rng(5);
+  std::vector<LocalSummary> out;
+  prober.ProbeUniform(ring_->AliveAddrs()[0], 5000, rng, &out);
+  // With (nearly) all peers probed, total arc width approaches 1.
+  double width = 0.0;
+  for (const auto& s : out) width += s.ArcWidth();
+  EXPECT_GT(width, 0.95);
+  EXPECT_LE(width, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,162 @@
+// Parameterized property sweeps: invariants that must hold across the whole
+// (distribution x network size x probe budget) grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "stats/bounds.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+std::unique_ptr<Distribution> MakeDist(const std::string& kind) {
+  if (kind == "uniform") return std::make_unique<UniformDistribution>();
+  if (kind == "normal") {
+    return std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
+  }
+  if (kind == "zipf") return std::make_unique<ZipfDistribution>(500, 0.9);
+  if (kind == "exp") {
+    return std::make_unique<TruncatedExponentialDistribution>(5.0);
+  }
+  return std::make_unique<UniformDistribution>();
+}
+
+// (distribution kind, network size, probe budget)
+using EstimatorGridParam = std::tuple<std::string, size_t, size_t>;
+
+class EstimatorGridTest
+    : public ::testing::TestWithParam<EstimatorGridParam> {
+ protected:
+  void SetUp() override {
+    const auto& [kind, n, m] = GetParam();
+    dist_ = MakeDist(kind);
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(n * 31 + m);
+    ring_->InsertDatasetBulk(GenerateDataset(*dist_, 50000, rng).keys);
+
+    DdeOptions opts;
+    opts.num_probes = m;
+    opts.seed = m * 7 + n;
+    DistributionFreeEstimator est(ring_.get(), opts);
+    auto e = est.Estimate(ring_->AliveAddrs()[0]);
+    ASSERT_TRUE(e.ok());
+    estimate_ = std::move(*e);
+  }
+
+  std::unique_ptr<Distribution> dist_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  DensityEstimate estimate_;
+};
+
+TEST_P(EstimatorGridTest, CdfIsMonotoneAndNormalized) {
+  EXPECT_TRUE(estimate_.cdf.IsNormalized());
+  double prev = -1.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double f = estimate_.cdf.Evaluate(i / 500.0);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_GE(f, -1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+    prev = f;
+  }
+}
+
+TEST_P(EstimatorGridTest, TotalEstimateWithinTwentyPercent) {
+  EXPECT_NEAR(estimate_.estimated_total_items, 50000.0, 10000.0);
+}
+
+TEST_P(EstimatorGridTest, InversionRoundTripHolds) {
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = estimate_.Quantile(p);
+    EXPECT_NEAR(estimate_.Cdf(x), p, 1e-6);
+  }
+}
+
+TEST_P(EstimatorGridTest, AccuracyWithinEmpiricalEnvelope) {
+  const auto& [kind, n, m] = GetParam();
+  const double ks = CompareCdfToTruth(estimate_.cdf, *dist_).ks;
+  // Loose envelope: within 6x the idealized DKW epsilon at delta=0.05,
+  // which absorbs gap-interpolation error across this whole grid. The
+  // tight per-configuration numbers live in EXPERIMENTS.md (E1).
+  const double envelope = 6.0 * DkwEpsilon(m, 0.05);
+  EXPECT_LT(ks, std::max(envelope, 0.25))
+      << kind << " n=" << n << " m=" << m;
+}
+
+TEST_P(EstimatorGridTest, CoverageAndPeersBookkeeping) {
+  const auto& [kind, n, m] = GetParam();
+  EXPECT_GT(estimate_.peers_probed, 0u);
+  EXPECT_LE(estimate_.peers_probed, std::min(n, m * 2));
+  EXPECT_GT(estimate_.covered_fraction, 0.0);
+  EXPECT_LE(estimate_.covered_fraction, 1.0 + 1e-9);
+}
+
+TEST_P(EstimatorGridTest, CostWithinTheoryFactor) {
+  const auto& [kind, n, m] = GetParam();
+  // Iterative routing with warm finger tables: messages per probe within
+  // a small constant of 2*E[hops] + 2.
+  const double expected = 2.0 * (0.5 * std::log2(double(n))) + 2.0;
+  const double actual = static_cast<double>(estimate_.cost.messages) /
+                        static_cast<double>(m);
+  EXPECT_LT(actual, expected * 2.5) << "n=" << n << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorGridTest,
+    ::testing::Combine(
+        ::testing::Values(std::string("uniform"), std::string("normal"),
+                          std::string("zipf"), std::string("exp")),
+        ::testing::Values<size_t>(256, 1024),
+        ::testing::Values<size_t>(64, 256)),
+    [](const ::testing::TestParamInfo<EstimatorGridParam>& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Monotone-improvement property: averaged over seeds, accuracy improves
+// as the probe budget grows, for every distribution.
+// ---------------------------------------------------------------------------
+
+class BudgetMonotonicityTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BudgetMonotonicityTest, ErrorShrinksWithBudget) {
+  auto dist = MakeDist(GetParam());
+  double err_small = 0.0, err_large = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Network net;
+    ChordRing ring(&net);
+    ASSERT_TRUE(ring.CreateNetwork(1024).ok());
+    Rng rng(seed);
+    ring.InsertDatasetBulk(GenerateDataset(*dist, 50000, rng).keys);
+    for (size_t m : {32, 512}) {
+      DdeOptions opts;
+      opts.num_probes = m;
+      opts.seed = seed * 1000 + m;
+      DistributionFreeEstimator est(&ring, opts);
+      auto e = est.Estimate(ring.AliveAddrs()[0]);
+      ASSERT_TRUE(e.ok());
+      const double ks = CompareCdfToTruth(e->cdf, *dist).ks;
+      (m == 32 ? err_small : err_large) += ks;
+    }
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, BudgetMonotonicityTest,
+                         ::testing::Values("uniform", "normal", "zipf",
+                                           "exp"));
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,181 @@
+#include "ring/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, uint32_t factor, size_t items = 10000) {
+    net_ = std::make_unique<Network>();
+    RingOptions ropts;
+    ropts.durable_data = false;  // replication is the only safety net
+    ring_ = std::make_unique<ChordRing>(net_.get(), ropts);
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+    Rng rng(1);
+    UniformDistribution dist;
+    ring_->InsertDatasetBulk(GenerateDataset(dist, items, rng).keys);
+    ReplicationOptions opts;
+    opts.replication_factor = factor;
+    repl_ = std::make_unique<ReplicationManager>(ring_.get(), opts);
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  std::unique_ptr<ReplicationManager> repl_;
+};
+
+TEST_F(ReplicationTest, FullSyncPlacesReplicasOnSuccessors) {
+  Build(32, 2);
+  repl_->FullSync();
+  for (NodeAddr addr : ring_->AliveAddrs()) {
+    const Node* node = ring_->GetNode(addr);
+    // Each node's keys should be mirrored on its first 2 alive successors.
+    uint32_t holders = 0;
+    for (const NodeEntry& e : node->successors()) {
+      const Node* succ = ring_->GetNode(e.addr);
+      if (succ != nullptr && succ->HasReplica(addr)) ++holders;
+    }
+    EXPECT_GE(holders, 2u);
+  }
+}
+
+TEST_F(ReplicationTest, FullSyncChargesMessages) {
+  Build(32, 2);
+  const uint64_t before = net_->counters().messages;
+  repl_->FullSync();
+  // One message per (node, replica target): 32 * 2.
+  EXPECT_EQ(net_->counters().messages - before, 64u);
+  EXPECT_GT(net_->counters().bytes, 10000u * 8u * 2u);  // all keys, twice
+}
+
+TEST_F(ReplicationTest, CrashRecoveryPreservesData) {
+  Build(32, 2);
+  repl_->FullSync();
+  const uint64_t before = ring_->TotalItems();
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    Result<NodeAddr> victim = ring_->RandomAliveNode(rng);
+    Result<uint64_t> recovered = repl_->CrashWithRecovery(*victim);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // Maintenance between failures: successor lists are repaired and
+    // degraded replica placements re-pushed, as the background cycle
+    // would between well-spaced crashes.
+    ring_->StabilizeAll();
+    repl_->IncrementalSync();
+  }
+  EXPECT_EQ(ring_->TotalItems(), before);
+  EXPECT_EQ(repl_->keys_lost(), 0u);
+  EXPECT_GT(repl_->keys_recovered(), 0u);
+}
+
+TEST_F(ReplicationTest, WithoutSyncDataIsLost) {
+  Build(32, 2);
+  // No FullSync: no replicas anywhere.
+  NodeAddr victim = 0;
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    if (ring_->GetNode(a)->item_count() > 0) {
+      victim = a;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  const uint64_t victim_items = ring_->GetNode(victim)->item_count();
+  const uint64_t before = ring_->TotalItems();
+  Result<uint64_t> recovered = repl_->CrashWithRecovery(victim);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, 0u);
+  EXPECT_EQ(repl_->keys_lost(), victim_items);
+  EXPECT_EQ(ring_->TotalItems(), before - victim_items);
+}
+
+TEST_F(ReplicationTest, StaleReplicaLosesOnlyTheDelta) {
+  Build(32, 1);
+  repl_->FullSync();
+  // New data arrives at one node AFTER the sync.
+  NodeAddr victim = ring_->AliveAddrs()[5];
+  Node* node = ring_->GetNode(victim);
+  const uint64_t synced_count = node->item_count();
+  // Insert 10 keys directly into the victim's arc.
+  const double arc_hi = node->id().ToUnit();
+  for (int i = 1; i <= 10; ++i) {
+    node->InsertKey(arc_hi);  // guaranteed in its own arc (position id)
+  }
+  Result<uint64_t> recovered = repl_->CrashWithRecovery(victim);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, synced_count);
+  EXPECT_EQ(repl_->keys_lost(), 10u);
+}
+
+TEST_F(ReplicationTest, IncrementalSyncSkipsUnchangedNodes) {
+  Build(32, 2);
+  repl_->FullSync();
+  // Nothing changed: incremental ships nothing.
+  EXPECT_EQ(repl_->IncrementalSync(), 0u);
+  // Change one node; only that node re-pushes.
+  Node* node = ring_->GetNode(ring_->AliveAddrs()[3]);
+  node->InsertKey(node->id().ToUnit());
+  const uint64_t shipped = repl_->IncrementalSync();
+  EXPECT_EQ(shipped, node->item_count());
+}
+
+TEST_F(ReplicationTest, RecoveryCostsMessagesOnlyWhenRemote) {
+  Build(32, 1);
+  repl_->FullSync();
+  // With factor 1 the replica sits exactly on the successor, which is also
+  // the new owner: promotion is local, only re-protection costs a message.
+  Rng rng(5);
+  Result<NodeAddr> victim = ring_->RandomAliveNode(rng);
+  const uint64_t before = net_->counters().messages;
+  ASSERT_TRUE(repl_->CrashWithRecovery(*victim).ok());
+  const uint64_t spent = net_->counters().messages - before;
+  EXPECT_GE(spent, 1u);  // the re-protect push
+  EXPECT_LE(spent, 3u);
+}
+
+TEST_F(ReplicationTest, RefusesDurableDataRings) {
+  Network net;
+  ChordRing ring(&net);  // durable_data defaults to true
+  ASSERT_TRUE(ring.CreateNetwork(8).ok());
+  ReplicationManager repl(&ring);
+  EXPECT_EQ(repl.CrashWithRecovery(ring.AliveAddrs()[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicationTest, CrashOfDeadNodeRejected) {
+  Build(8, 1);
+  NodeAddr victim = ring_->AliveAddrs()[1];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EXPECT_TRUE(repl_->CrashWithRecovery(victim).status().IsNotFound());
+}
+
+TEST_F(ReplicationTest, StartRunsPeriodicSyncs) {
+  Build(16, 2);
+  repl_->Start();
+  const uint64_t after_full = repl_->syncs();
+  EXPECT_EQ(after_full, 1u);
+  net_->events().RunUntil(100.0);  // default period 30s: ~3 more cycles
+  EXPECT_GE(repl_->syncs(), 3u);
+}
+
+TEST_F(ReplicationTest, ReplicaStoreInvisibleToPrimaries) {
+  Build(16, 2);
+  const uint64_t total_before = ring_->TotalItems();
+  repl_->FullSync();
+  EXPECT_EQ(ring_->TotalItems(), total_before);
+  // But replicas exist.
+  size_t replica_keys = 0;
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    replica_keys += ring_->GetNode(a)->replica_key_count();
+  }
+  EXPECT_EQ(replica_keys, total_before * 2);
+}
+
+}  // namespace
+}  // namespace ringdde

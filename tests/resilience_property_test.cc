@@ -1,0 +1,116 @@
+// Parameterized resilience sweeps: the estimator's invariants must hold
+// across the (churn x loss x replication) adversity grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/churn.h"
+#include "ring/replication.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+// (mean session seconds [0 = static], loss probability, replication factor
+// [0 = oracle durability]).
+using ResilienceParam = std::tuple<double, double, uint32_t>;
+
+class ResilienceTest : public ::testing::TestWithParam<ResilienceParam> {
+ protected:
+  void SetUp() override {
+    const auto& [session, loss, factor] = GetParam();
+    NetworkOptions nopts;
+    nopts.loss_probability = loss;
+    nopts.seed = 99;
+    net_ = std::make_unique<Network>(nopts);
+    RingOptions ropts;
+    ropts.durable_data = factor == 0;
+    ring_ = std::make_unique<ChordRing>(net_.get(), ropts);
+    ASSERT_TRUE(ring_->CreateNetwork(512).ok());
+    dist_ = std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
+    Rng rng(3);
+    ring_->InsertDatasetBulk(GenerateDataset(*dist_, 50000, rng).keys);
+
+    if (factor > 0) {
+      ReplicationOptions opts;
+      opts.replication_factor = factor;
+      repl_ = std::make_unique<ReplicationManager>(ring_.get(), opts);
+      repl_->Start();
+    }
+    if (session > 0.0) {
+      ChurnOptions copts;
+      copts.mean_session_seconds = session;
+      copts.stabilize_interval_seconds = 20.0;
+      // Replication rings handle crashes via the manager, so churn uses
+      // graceful departures there; oracle-durable rings take crashes too.
+      copts.graceful_fraction = factor > 0 ? 1.0 : 0.5;
+      churn_ = std::make_unique<ChurnProcess>(ring_.get(), copts);
+      churn_->Start();
+      net_->events().RunUntil(240.0);
+    }
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+  std::unique_ptr<Distribution> dist_;
+  std::unique_ptr<ReplicationManager> repl_;
+  std::unique_ptr<ChurnProcess> churn_;
+};
+
+TEST_P(ResilienceTest, DataIsConserved) {
+  EXPECT_EQ(ring_->TotalItems(), 50000u);
+}
+
+TEST_P(ResilienceTest, EstimationSucceedsAndIsSane) {
+  DdeOptions opts;
+  opts.num_probes = 192;
+  opts.seed = 11;
+  DistributionFreeEstimator est(ring_.get(), opts);
+  Rng rng(13);
+  auto e = est.Estimate(*ring_->RandomAliveNode(rng));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_TRUE(e->cdf.IsNormalized());
+  EXPECT_LT(CompareCdfToTruth(e->cdf, *dist_).ks, 0.12);
+  EXPECT_NEAR(e->estimated_total_items, 50000.0, 12000.0);
+}
+
+TEST_P(ResilienceTest, LossOnlyInflatesCostNeverBreaksAccuracy) {
+  const auto& [session, loss, factor] = GetParam();
+  DdeOptions opts;
+  opts.num_probes = 128;
+  opts.seed = 17;
+  DistributionFreeEstimator est(ring_.get(), opts);
+  Rng rng(19);
+  auto e = est.Estimate(*ring_->RandomAliveNode(rng));
+  ASSERT_TRUE(e.ok());
+  if (loss > 0.0) {
+    EXPECT_GT(net_->lost_messages(), 0u);
+  } else {
+    EXPECT_EQ(net_->lost_messages(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ResilienceTest,
+    ::testing::Values(ResilienceParam{0.0, 0.0, 0},
+                      ResilienceParam{0.0, 0.2, 0},
+                      ResilienceParam{600.0, 0.0, 0},
+                      ResilienceParam{600.0, 0.1, 0},
+                      ResilienceParam{0.0, 0.0, 2},
+                      ResilienceParam{600.0, 0.1, 2}),
+    [](const ::testing::TestParamInfo<ResilienceParam>& info) {
+      const double session = std::get<0>(info.param);
+      const double loss = std::get<1>(info.param);
+      const uint32_t factor = std::get<2>(info.param);
+      std::string name = session > 0 ? "churn" : "static";
+      name += loss > 0 ? "_lossy" : "_clean";
+      name += factor > 0 ? "_repl" : "_oracle";
+      return name;
+    });
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,91 @@
+#include "ring/ring_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/math_util.h"
+
+namespace ringdde {
+namespace {
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_NEAR(GiniCoefficient(v), 0.99, 1e-9);  // (n-1)/n
+}
+
+TEST(GiniTest, KnownTwoValueCase) {
+  // {1, 3}: gini = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(GiniTest, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+}
+
+class RingStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(200).ok());
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+    }
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(RingStatsTest, ArcsSumToOne) {
+  const auto arcs = NodeArcs(*ring_);
+  ASSERT_EQ(arcs.size(), 200u);
+  EXPECT_NEAR(SumPrecise(arcs), 1.0, 1e-9);
+  for (double a : arcs) EXPECT_GT(a, 0.0);
+}
+
+TEST_F(RingStatsTest, LoadsSumToTotalItems) {
+  const auto loads = NodeLoads(*ring_);
+  uint64_t total = 0;
+  for (uint64_t l : loads) total += l;
+  EXPECT_EQ(total, ring_->TotalItems());
+}
+
+TEST_F(RingStatsTest, SummaryFieldsConsistent) {
+  const RingStatsSummary s = ComputeRingStats(*ring_);
+  EXPECT_EQ(s.alive_nodes, 200u);
+  EXPECT_EQ(s.total_items, 10000u);
+  EXPECT_NEAR(s.mean_arc, 1.0 / 200.0, 1e-12);
+  EXPECT_LE(s.min_arc, s.mean_arc);
+  EXPECT_GE(s.max_arc, s.mean_arc);
+  EXPECT_NEAR(s.mean_load, 50.0, 1e-9);
+  EXPECT_LE(s.min_load, 50u);
+  EXPECT_GE(s.max_load, 50u);
+  // Uniform data over exponential-ish arcs: substantial but bounded
+  // imbalance.
+  EXPECT_GT(s.load_gini, 0.2);
+  EXPECT_LT(s.load_gini, 0.8);
+}
+
+TEST_F(RingStatsTest, SingleNodeDegenerates) {
+  Network net;
+  ChordRing lone(&net);
+  ASSERT_TRUE(lone.CreateNetwork(1).ok());
+  const auto arcs = NodeArcs(lone);
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_DOUBLE_EQ(arcs[0], 1.0);
+  const RingStatsSummary s = ComputeRingStats(lone);
+  EXPECT_EQ(s.alive_nodes, 1u);
+  EXPECT_DOUBLE_EQ(s.load_gini, 0.0);
+}
+
+}  // namespace
+}  // namespace ringdde

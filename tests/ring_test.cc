@@ -1,0 +1,349 @@
+#include "ring/chord_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ring/node.h"
+#include "sim/network.h"
+
+namespace ringdde {
+namespace {
+
+class RingTest : public ::testing::Test {
+ protected:
+  void Build(size_t n, RingOptions opts = {}) {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get(), opts);
+    ASSERT_TRUE(ring_->CreateNetwork(n).ok());
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(RingTest, CreateNetworkPopulatesAliveNodes) {
+  Build(64);
+  EXPECT_EQ(ring_->AliveCount(), 64u);
+  EXPECT_EQ(ring_->AliveAddrs().size(), 64u);
+  for (NodeAddr a : ring_->AliveAddrs()) EXPECT_TRUE(ring_->IsAlive(a));
+}
+
+TEST_F(RingTest, CreateRejectsZeroAndDoubleCreate) {
+  net_ = std::make_unique<Network>();
+  ring_ = std::make_unique<ChordRing>(net_.get());
+  EXPECT_TRUE(ring_->CreateNetwork(0).IsInvalidArgument());
+  ASSERT_TRUE(ring_->CreateNetwork(4).ok());
+  EXPECT_EQ(ring_->CreateNetwork(4).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RingTest, SuccessorListsAreConsistentAfterStabilize) {
+  Build(32);
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    const Node* node = ring_->GetNode(a);
+    ASSERT_FALSE(node->successors().empty());
+    // Successor 0 is the next node clockwise per the oracle.
+    Result<NodeAddr> owner = ring_->OracleOwner(node->id() + 1);
+    ASSERT_TRUE(owner.ok());
+    EXPECT_EQ(node->successors()[0].addr, *owner);
+  }
+}
+
+TEST_F(RingTest, PredecessorSuccessorInverse) {
+  Build(32);
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    const Node* node = ring_->GetNode(a);
+    const Node* succ = ring_->GetNode(node->successors()[0].addr);
+    EXPECT_EQ(succ->predecessor().addr, a);
+  }
+}
+
+TEST_F(RingTest, ArcsTileTheRing) {
+  Build(100);
+  double total = 0.0;
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    total += ring_->GetNode(a)->OwnedArcFraction();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(RingTest, OracleOwnerMatchesArcMembership) {
+  Build(50);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const RingId target(rng.NextU64());
+    Result<NodeAddr> owner = ring_->OracleOwner(target);
+    ASSERT_TRUE(owner.ok());
+    EXPECT_TRUE(ring_->GetNode(*owner)->Owns(target));
+  }
+}
+
+TEST_F(RingTest, LookupAgreesWithOracle) {
+  Build(128);
+  Rng rng(7);
+  const auto addrs = ring_->AliveAddrs();
+  for (int i = 0; i < 200; ++i) {
+    const NodeAddr from = addrs[rng.UniformU64(addrs.size())];
+    const RingId target(rng.NextU64());
+    Result<NodeAddr> routed = ring_->Lookup(from, target);
+    Result<NodeAddr> oracle = ring_->OracleOwner(target);
+    ASSERT_TRUE(routed.ok());
+    EXPECT_EQ(*routed, *oracle);
+  }
+}
+
+TEST_F(RingTest, LookupHopsAreLogarithmic) {
+  Build(1024);
+  Rng rng(11);
+  const auto addrs = ring_->AliveAddrs();
+  CostScope scope(net_->counters());
+  const int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    const NodeAddr from = addrs[rng.UniformU64(addrs.size())];
+    ASSERT_TRUE(ring_->Lookup(from, RingId(rng.NextU64())).ok());
+  }
+  const double mean_hops =
+      static_cast<double>(scope.Delta().hops) / kLookups;
+  // Theory: ~0.5*log2(1024) = 5; allow generous slack both ways.
+  EXPECT_GT(mean_hops, 2.0);
+  EXPECT_LT(mean_hops, 10.0);
+}
+
+TEST_F(RingTest, LookupChargesMessages) {
+  Build(64);
+  const uint64_t before = net_->counters().messages;
+  ASSERT_TRUE(ring_->Lookup(ring_->AliveAddrs()[0], RingId(12345)).ok());
+  EXPECT_GT(net_->counters().messages, before);
+}
+
+TEST_F(RingTest, LookupFromDeadNodeRejected) {
+  Build(8);
+  const NodeAddr victim = ring_->AliveAddrs()[3];
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EXPECT_TRUE(
+      ring_->Lookup(victim, RingId(1)).status().IsInvalidArgument());
+}
+
+TEST_F(RingTest, SingleNodeOwnsEverything) {
+  Build(1);
+  const NodeAddr only = ring_->AliveAddrs()[0];
+  Result<NodeAddr> owner = ring_->Lookup(only, RingId(0xDEADBEEF));
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, only);
+  EXPECT_DOUBLE_EQ(ring_->GetNode(only)->OwnedArcFraction(), 1.0);
+}
+
+TEST_F(RingTest, BulkInsertRoutesToOwner) {
+  Build(32);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  EXPECT_EQ(ring_->TotalItems(), 500u);
+  // Every key sits on the node owning its ring position.
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    const Node* node = ring_->GetNode(a);
+    for (double k : node->keys()) {
+      EXPECT_TRUE(node->Owns(RingId::FromUnit(k)));
+    }
+  }
+}
+
+TEST_F(RingTest, RoutedInsertAlsoLandsOnOwner) {
+  Build(32);
+  const NodeAddr from = ring_->AliveAddrs()[0];
+  ASSERT_TRUE(ring_->InsertKeyRouted(from, 0.37).ok());
+  Result<NodeAddr> owner = ring_->OracleOwner(RingId::FromUnit(0.37));
+  EXPECT_EQ(ring_->GetNode(*owner)->item_count(), 1u);
+}
+
+TEST_F(RingTest, JoinSplitsArcAndMovesData) {
+  Build(16);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  const uint64_t items_before = ring_->TotalItems();
+  Result<NodeAddr> fresh = ring_->Join(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(ring_->AliveCount(), 17u);
+  EXPECT_EQ(ring_->TotalItems(), items_before);  // data conserved
+  // The new node owns its keys.
+  const Node* node = ring_->GetNode(*fresh);
+  for (double k : node->keys()) {
+    EXPECT_TRUE(node->Owns(RingId::FromUnit(k)));
+  }
+}
+
+TEST_F(RingTest, JoinedNodeIsRoutable) {
+  Build(16);
+  Result<NodeAddr> fresh = ring_->Join(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(fresh.ok());
+  const Node* node = ring_->GetNode(*fresh);
+  // Lookup of the new node's own id must reach it (ring invariant holds
+  // right after join even before global stabilization).
+  Result<NodeAddr> owner =
+      ring_->Lookup(ring_->AliveAddrs()[5], node->id());
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, *fresh);
+}
+
+TEST_F(RingTest, GracefulLeaveHandsDataToSuccessor) {
+  Build(16);
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  const uint64_t before = ring_->TotalItems();
+  const NodeAddr victim = ring_->AliveAddrs()[7];
+  ASSERT_TRUE(ring_->Leave(victim).ok());
+  EXPECT_FALSE(ring_->IsAlive(victim));
+  EXPECT_EQ(ring_->AliveCount(), 15u);
+  EXPECT_EQ(ring_->TotalItems(), before);
+}
+
+TEST_F(RingTest, CrashWithDurableDataPreservesItems) {
+  RingOptions opts;
+  opts.durable_data = true;
+  Build(16, opts);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  const uint64_t before = ring_->TotalItems();
+  ASSERT_TRUE(ring_->Crash(ring_->AliveAddrs()[3]).ok());
+  EXPECT_EQ(ring_->TotalItems(), before);
+}
+
+TEST_F(RingTest, CrashWithoutDurabilityLosesItems) {
+  RingOptions opts;
+  opts.durable_data = false;
+  Build(16, opts);
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring_->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  // Find a victim that actually stores something.
+  NodeAddr victim = 0;
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    if (ring_->GetNode(a)->item_count() > 0) {
+      victim = a;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  const uint64_t before = ring_->TotalItems();
+  ASSERT_TRUE(ring_->Crash(victim).ok());
+  EXPECT_LT(ring_->TotalItems(), before);
+}
+
+TEST_F(RingTest, LastNodeCannotDepart) {
+  Build(1);
+  const NodeAddr only = ring_->AliveAddrs()[0];
+  EXPECT_EQ(ring_->Leave(only).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ring_->Crash(only).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RingTest, DepartedNodeCannotDepartAgain) {
+  Build(4);
+  const NodeAddr victim = ring_->AliveAddrs()[1];
+  ASSERT_TRUE(ring_->Leave(victim).ok());
+  EXPECT_TRUE(ring_->Leave(victim).IsNotFound());
+  EXPECT_TRUE(ring_->Crash(victim).IsNotFound());
+}
+
+TEST_F(RingTest, RoutingSurvivesCrashesViaSuccessorLists) {
+  Build(256);
+  Rng rng(31);
+  // Crash 20% without any stabilization.
+  auto addrs = ring_->AliveAddrs();
+  rng.Shuffle(addrs);
+  for (size_t i = 0; i < 51; ++i) {
+    ASSERT_TRUE(ring_->Crash(addrs[i]).ok());
+  }
+  const auto alive = ring_->AliveAddrs();
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const NodeAddr from = alive[rng.UniformU64(alive.size())];
+    Result<NodeAddr> owner = ring_->Lookup(from, RingId(rng.NextU64()));
+    if (owner.ok()) {
+      ++successes;
+      EXPECT_TRUE(ring_->IsAlive(*owner));
+    }
+  }
+  // Successor lists (size 8) tolerate far more than 20% random failures.
+  EXPECT_EQ(successes, 100);
+}
+
+TEST_F(RingTest, StabilizeRepairsPointersAfterChurnBurst) {
+  Build(128);
+  Rng rng(37);
+  for (int i = 0; i < 20; ++i) {
+    // Random victims: crashing 20 CONSECUTIVE ids would legitimately defeat
+    // an 8-deep successor list, which is not what this test is about.
+    Result<NodeAddr> victim = ring_->RandomAliveNode(rng);
+    ASSERT_TRUE(ring_->Crash(*victim).ok());
+    Result<NodeAddr> bootstrap = ring_->RandomAliveNode(rng);
+    ASSERT_TRUE(ring_->Join(*bootstrap).ok());
+  }
+  ring_->StabilizeAll();
+  for (NodeAddr a : ring_->AliveAddrs()) {
+    const Node* node = ring_->GetNode(a);
+    Result<NodeAddr> succ = ring_->OracleOwner(node->id() + 1);
+    EXPECT_EQ(node->successors()[0].addr, *succ);
+    EXPECT_TRUE(ring_->IsAlive(node->predecessor().addr));
+  }
+}
+
+TEST_F(RingTest, RandomAliveNodeReturnsAliveAddrs) {
+  Build(16);
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    Result<NodeAddr> a = ring_->RandomAliveNode(rng);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(ring_->IsAlive(*a));
+  }
+}
+
+TEST(NodeTest, RankAndQuantiles) {
+  Node node(1, RingId(0));
+  node.InsertKeys({0.5, 0.1, 0.3, 0.9, 0.7});
+  EXPECT_EQ(node.item_count(), 5u);
+  EXPECT_EQ(node.RankOf(0.0), 0u);
+  EXPECT_EQ(node.RankOf(0.4), 2u);
+  EXPECT_EQ(node.RankOf(1.0), 5u);
+  EXPECT_DOUBLE_EQ(node.LocalQuantile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(node.LocalQuantile(1.0), 0.9);
+  EXPECT_DOUBLE_EQ(node.LocalQuantile(0.5), 0.5);
+}
+
+TEST(NodeTest, EraseKeyRemovesSingleOccurrence) {
+  Node node(1, RingId(0));
+  node.InsertKey(0.5);
+  node.InsertKey(0.5);
+  EXPECT_TRUE(node.EraseKey(0.5));
+  EXPECT_EQ(node.item_count(), 1u);
+  EXPECT_TRUE(node.EraseKey(0.5));
+  EXPECT_FALSE(node.EraseKey(0.5));
+}
+
+TEST(NodeTest, ExtractKeysInArcMovesExactlyTheArc) {
+  Node node(1, RingId(0));
+  node.InsertKeys({0.1, 0.2, 0.3, 0.4, 0.5});
+  const auto moved = node.ExtractKeysInArc(RingId::FromUnit(0.15),
+                                           RingId::FromUnit(0.35));
+  EXPECT_EQ(moved.size(), 2u);  // 0.2 and 0.3
+  EXPECT_EQ(node.item_count(), 3u);
+}
+
+TEST(NodeTest, EvenQuantilesAscending) {
+  Node node(1, RingId(0));
+  for (int i = 0; i < 100; ++i) node.InsertKey(i / 100.0);
+  const auto qs = node.EvenQuantiles(9);
+  ASSERT_EQ(qs.size(), 9u);
+  for (size_t i = 1; i < qs.size(); ++i) EXPECT_LE(qs[i - 1], qs[i]);
+}
+
+}  // namespace
+}  // namespace ringdde

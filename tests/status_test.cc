@@ -1,0 +1,100 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ringdde {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad m");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad m");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad m");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_FALSE(Status::Internal("x").IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(3);
+  EXPECT_EQ(r.value_or(-1), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r->push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto inner = []() { return Status::TimedOut("slow"); };
+  auto outer = [&]() -> Status {
+    RINGDDE_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsTimedOut());
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    RINGDDE_RETURN_IF_ERROR(inner());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ringdde

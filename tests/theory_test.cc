@@ -1,0 +1,48 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/bounds.h"
+
+namespace ringdde {
+namespace {
+
+TEST(TheoryTest, RecommendedProbesMatchesDkw) {
+  EXPECT_EQ(RecommendedProbeCount(0.05, 0.05),
+            DkwRequiredSamples(0.05, 0.05));
+}
+
+TEST(TheoryTest, EpsilonShrinksWithBudget) {
+  EXPECT_GT(ProbeCountEpsilon(100, 0.05), ProbeCountEpsilon(1000, 0.05));
+}
+
+TEST(TheoryTest, LookupHopsHalfLog) {
+  EXPECT_DOUBLE_EQ(ExpectedLookupHops(1024), 5.0);
+  EXPECT_DOUBLE_EQ(ExpectedLookupHops(1), 0.0);
+}
+
+TEST(TheoryTest, EstimationMessagesLinearInProbes) {
+  const double m1 = ExpectedEstimationMessages(100, 1024);
+  const double m2 = ExpectedEstimationMessages(200, 1024);
+  EXPECT_NEAR(m2 / m1, 2.0, 1e-12);
+  // Per probe: 2*5 routing + 2 summary = 12 messages at n=1024.
+  EXPECT_DOUBLE_EQ(m1, 1200.0);
+}
+
+TEST(TheoryTest, DistinctPeersSaturatesAtN) {
+  EXPECT_NEAR(ExpectedDistinctPeers(10, 1000), 10.0, 0.1);
+  EXPECT_NEAR(ExpectedDistinctPeers(100000, 100), 100.0, 1e-6);
+  EXPECT_LT(ExpectedDistinctPeers(1000, 1000), 1000.0);
+}
+
+TEST(TheoryTest, CoverageBetweenZeroAndOne) {
+  for (size_t m : {1u, 10u, 100u, 10000u}) {
+    const double c = ExpectedCoverage(m, 500);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  EXPECT_LT(ExpectedCoverage(10, 1000), ExpectedCoverage(100, 1000));
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,0 +1,151 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/distribution.h"
+
+namespace ringdde {
+namespace {
+
+LocalSummary MakeSummary() {
+  Node node(42, RingId::FromUnit(0.6));
+  node.set_predecessor(NodeEntry{43, RingId::FromUnit(0.4)});
+  node.InsertKeys({0.45, 0.5, 0.55, 0.58});
+  return ComputeLocalSummary(node, 6);
+}
+
+TEST(WireTest, LocalSummaryRoundTrips) {
+  const LocalSummary original = MakeSummary();
+  Encoder enc;
+  EncodeLocalSummary(original, &enc);
+  EXPECT_EQ(enc.size(), EncodedSummarySize(original));
+  Decoder dec(enc.buffer());
+  Result<LocalSummary> decoded = DecodeLocalSummary(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->addr, original.addr);
+  EXPECT_EQ(decoded->arc_lo, original.arc_lo);
+  EXPECT_EQ(decoded->arc_hi, original.arc_hi);
+  EXPECT_EQ(decoded->item_count, original.item_count);
+  EXPECT_EQ(decoded->quantiles, original.quantiles);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(WireTest, EmptySummaryRoundTrips) {
+  Node node(1, RingId(100));
+  node.set_predecessor(NodeEntry{2, RingId(50)});
+  const LocalSummary original = ComputeLocalSummary(node, 4);
+  Encoder enc;
+  EncodeLocalSummary(original, &enc);
+  Decoder dec(enc.buffer());
+  Result<LocalSummary> decoded = DecodeLocalSummary(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->item_count, 0u);
+  EXPECT_TRUE(decoded->quantiles.empty());
+}
+
+TEST(WireTest, SummaryWrongTagRejected) {
+  Encoder enc;
+  enc.PutU8(0x00);
+  Decoder dec(enc.buffer());
+  EXPECT_TRUE(DecodeLocalSummary(&dec).status().IsInvalidArgument());
+}
+
+TEST(WireTest, SummaryTruncationRejected) {
+  Encoder enc;
+  EncodeLocalSummary(MakeSummary(), &enc);
+  for (size_t len = 0; len < enc.size(); len += 3) {
+    Decoder dec(enc.buffer().data(), len);
+    EXPECT_FALSE(DecodeLocalSummary(&dec).ok()) << "len=" << len;
+  }
+}
+
+TEST(WireTest, SummaryNonAscendingQuantilesRejected) {
+  Encoder enc;
+  enc.PutU8(0x51);          // tag
+  enc.PutVarint64(1);       // addr
+  enc.PutFixed64(0);        // arc_lo
+  enc.PutFixed64(100);      // arc_hi
+  enc.PutVarint64(2);       // count
+  enc.PutVarint64(2);       // 2 quantiles, descending
+  enc.PutDouble(0.9);
+  enc.PutDouble(0.1);
+  Decoder dec(enc.buffer());
+  EXPECT_TRUE(DecodeLocalSummary(&dec).status().IsInvalidArgument());
+}
+
+TEST(WireTest, SummaryHugeQuantileCountRejected) {
+  Encoder enc;
+  enc.PutU8(0x51);
+  enc.PutVarint64(1);
+  enc.PutFixed64(0);
+  enc.PutFixed64(100);
+  enc.PutVarint64(2);
+  enc.PutVarint64(1u << 30);  // absurd count, no payload behind it
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(DecodeLocalSummary(&dec).ok());
+}
+
+TEST(WireTest, PiecewiseCdfRoundTrips) {
+  auto cdf = PiecewiseLinearCdf::FromKnots(
+      {{0.0, 0.0}, {0.3, 0.4}, {0.7, 0.8}, {1.0, 1.0}});
+  ASSERT_TRUE(cdf.ok());
+  Encoder enc;
+  EncodePiecewiseCdf(*cdf, &enc);
+  Decoder dec(enc.buffer());
+  Result<PiecewiseLinearCdf> decoded = DecodePiecewiseCdf(&dec);
+  ASSERT_TRUE(decoded.ok());
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(decoded->Evaluate(x), cdf->Evaluate(x));
+  }
+}
+
+TEST(WireTest, CorruptCdfKnotsRejected) {
+  Encoder enc;
+  enc.PutU8(0x52);
+  enc.PutVarint64(2);
+  enc.PutDouble(0.5);  // x
+  enc.PutDouble(0.9);  // f
+  enc.PutDouble(0.2);  // x DECREASES -> invalid
+  enc.PutDouble(1.0);
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(DecodePiecewiseCdf(&dec).ok());
+}
+
+TEST(WireTest, DensityEstimateRoundTripsEndToEnd) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(256).ok());
+  TruncatedNormalDistribution dist(0.5, 0.15);
+  Rng rng(1);
+  ring.InsertDatasetBulk(GenerateDataset(dist, 20000, rng).keys);
+  DistributionFreeEstimator est(&ring, DdeOptions{});
+  auto original = est.Estimate(ring.AliveAddrs()[0]);
+  ASSERT_TRUE(original.ok());
+
+  Encoder enc;
+  EncodeDensityEstimate(*original, &enc);
+  Decoder dec(enc.buffer());
+  Result<DensityEstimate> decoded = DecodeDensityEstimate(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_DOUBLE_EQ(decoded->estimated_total_items,
+                   original->estimated_total_items);
+  EXPECT_EQ(decoded->peers_probed, original->peers_probed);
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_DOUBLE_EQ(decoded->Cdf(x), original->Cdf(x));
+  }
+}
+
+TEST(WireTest, EstimateWithNegativeTotalRejected) {
+  DensityEstimate e;
+  e.estimated_total_items = -5.0;
+  Encoder enc;
+  EncodeDensityEstimate(e, &enc);
+  Decoder dec(enc.buffer());
+  EXPECT_TRUE(DecodeDensityEstimate(&dec).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ringdde

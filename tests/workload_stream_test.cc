@@ -1,0 +1,125 @@
+#include "core/workload_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/maintenance.h"
+#include "data/dataset.h"
+#include "stats/metrics.h"
+
+namespace ringdde {
+namespace {
+
+class WorkloadStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>();
+    ring_ = std::make_unique<ChordRing>(net_.get());
+    ASSERT_TRUE(ring_->CreateNetwork(256).ok());
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ChordRing> ring_;
+};
+
+TEST_F(WorkloadStreamTest, InsertRateMatchesPoissonExpectation) {
+  WorkloadStreamOptions opts;
+  opts.inserts_per_second = 100.0;
+  WorkloadStream stream(ring_.get(),
+                        std::make_unique<UniformDistribution>(), opts);
+  stream.Start();
+  net_->events().RunUntil(100.0);
+  // 100/s for 100s: ~10000 +- a few percent.
+  EXPECT_NEAR(static_cast<double>(stream.inserts()), 10000.0, 500.0);
+  EXPECT_EQ(ring_->TotalItems(), stream.inserts());
+}
+
+TEST_F(WorkloadStreamTest, BalancedRatesKeepSizeStationary) {
+  Rng rng(1);
+  UniformDistribution dist;
+  const Dataset ds = GenerateDataset(dist, 10000, rng);
+  ring_->InsertDatasetBulk(ds.keys);
+
+  WorkloadStreamOptions opts;
+  opts.inserts_per_second = 50.0;
+  opts.deletes_per_second = 50.0;
+  WorkloadStream stream(ring_.get(),
+                        std::make_unique<UniformDistribution>(), opts);
+  stream.TrackExistingKeys(ds.keys);
+  stream.Start();
+  net_->events().RunUntil(200.0);
+  EXPECT_GT(stream.deletes(), 5000u);
+  EXPECT_NEAR(static_cast<double>(ring_->TotalItems()), 10000.0, 600.0);
+  EXPECT_EQ(ring_->TotalItems(), stream.live_keys());
+}
+
+TEST_F(WorkloadStreamTest, DeletesRemoveRealKeys) {
+  Rng rng(2);
+  UniformDistribution dist;
+  const Dataset ds = GenerateDataset(dist, 1000, rng);
+  ring_->InsertDatasetBulk(ds.keys);
+  WorkloadStreamOptions opts;
+  opts.inserts_per_second = 0.0;
+  opts.deletes_per_second = 100.0;
+  WorkloadStream stream(ring_.get(),
+                        std::make_unique<UniformDistribution>(), opts);
+  stream.TrackExistingKeys(ds.keys);
+  stream.Start();
+  net_->events().RunUntil(5.0);
+  EXPECT_EQ(ring_->TotalItems(), 1000u - stream.deletes());
+}
+
+TEST_F(WorkloadStreamTest, DistributionDriftIsTrackedByMaintenance) {
+  // Start left-heavy; stream churns the data toward right-heavy while a
+  // maintainer refreshes. The estimate must follow the drift.
+  Rng rng(3);
+  TruncatedNormalDistribution left(0.25, 0.06);
+  const Dataset ds = GenerateDataset(left, 20000, rng);
+  ring_->InsertDatasetBulk(ds.keys);
+
+  WorkloadStreamOptions opts;
+  opts.inserts_per_second = 400.0;
+  opts.deletes_per_second = 400.0;
+  WorkloadStream stream(
+      ring_.get(), std::make_unique<TruncatedNormalDistribution>(0.25, 0.06),
+      opts);
+  stream.TrackExistingKeys(ds.keys);
+  stream.Start();
+
+  DdeOptions dopts;
+  dopts.num_probes = 128;
+  MaintenanceOptions mopts;
+  mopts.refresh_period_seconds = 20.0;
+  EstimateMaintainer maintainer(ring_.get(), dopts, mopts);
+  ASSERT_TRUE(maintainer.Start(ring_->AliveAddrs()[0]).ok());
+
+  net_->events().RunUntil(30.0);
+  ASSERT_TRUE(maintainer.current().has_value());
+  const double median_before = maintainer.current()->Quantile(0.5);
+  EXPECT_NEAR(median_before, 0.25, 0.05);
+
+  // Drift: new inserts now land right-heavy; deletes erode the old mass.
+  stream.SetInsertDistribution(
+      std::make_unique<TruncatedNormalDistribution>(0.8, 0.05));
+  net_->events().RunUntil(130.0);  // ~40k updates over a 20k dataset
+  ASSERT_TRUE(maintainer.current().has_value());
+  const double median_after = maintainer.current()->Quantile(0.5);
+  EXPECT_GT(median_after, 0.5);  // majority of mass has moved right
+}
+
+TEST_F(WorkloadStreamTest, EraseBulkAndRoutedWork) {
+  ASSERT_TRUE(ring_->InsertKeyBulk(0.42).ok());
+  EXPECT_TRUE(ring_->EraseKeyBulk(0.42).ok());
+  EXPECT_TRUE(ring_->EraseKeyBulk(0.42).IsNotFound());
+
+  ASSERT_TRUE(ring_->InsertKeyBulk(0.77).ok());
+  const NodeAddr from = ring_->AliveAddrs()[0];
+  const uint64_t msgs = net_->counters().messages;
+  EXPECT_TRUE(ring_->EraseKeyRouted(from, 0.77).ok());
+  EXPECT_GT(net_->counters().messages, msgs);
+  EXPECT_EQ(ring_->TotalItems(), 0u);
+}
+
+}  // namespace
+}  // namespace ringdde

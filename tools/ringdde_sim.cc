@@ -1,0 +1,257 @@
+// ringdde_sim — command-line scenario driver.
+//
+// Builds a ring, loads a workload, optionally churns it, runs the
+// estimator (fixed-budget or adaptive), and reports accuracy, cost, and
+// application-level results, as a table or as JSON for scripting.
+//
+//   ringdde_sim --peers=4096 --items=200000 --dist=zipf --zipf-theta=0.9
+//               --probes=256 --churn-session=600 --duration=300 --json
+//   (one line; wrapped here for width)
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/density_mining.h"
+#include "apps/load_balance.h"
+#include "apps/selectivity.h"
+#include "core/density_estimator.h"
+#include "data/dataset.h"
+#include "data/distribution.h"
+#include "ring/churn.h"
+#include "ring/chord_ring.h"
+#include "ring/ring_stats.h"
+#include "sim/network.h"
+#include "stats/metrics.h"
+
+namespace {
+
+using namespace ringdde;
+
+struct Flags {
+  size_t peers = 1024;
+  size_t items = 100000;
+  std::string dist = "normal";
+  double zipf_theta = 0.9;
+  double normal_sigma = 0.15;
+  size_t probes = 256;
+  bool adaptive = false;
+  double churn_session = 0.0;  // 0 = static network
+  double duration = 300.0;     // churn warm-up, virtual seconds
+  double loss = 0.0;
+  uint64_t seed = 42;
+  bool json = false;
+  bool help = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--peers", &v)) {
+      f.peers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--items", &v)) {
+      f.items = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--dist", &v)) {
+      f.dist = v;
+    } else if (ParseFlag(argv[i], "--zipf-theta", &v)) {
+      f.zipf_theta = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--normal-sigma", &v)) {
+      f.normal_sigma = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--probes", &v)) {
+      f.probes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      f.adaptive = true;
+    } else if (ParseFlag(argv[i], "--churn-session", &v)) {
+      f.churn_session = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--duration", &v)) {
+      f.duration = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--loss", &v)) {
+      f.loss = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      f.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      f.json = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      f.help = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+void PrintHelp() {
+  std::printf(
+      "ringdde_sim — run one density-estimation scenario\n\n"
+      "  --peers=N           ring size (default 1024)\n"
+      "  --items=N           dataset size (default 100000)\n"
+      "  --dist=KIND         uniform|normal|zipf|exp|mixture (default "
+      "normal)\n"
+      "  --zipf-theta=T      Zipf skew (default 0.9)\n"
+      "  --normal-sigma=S    Normal stddev (default 0.15)\n"
+      "  --probes=M          probe budget (default 256)\n"
+      "  --adaptive          self-tuning budget instead of fixed M\n"
+      "  --churn-session=S   mean peer session seconds; 0 = static\n"
+      "  --duration=S        churn warm-up before estimating (default "
+      "300)\n"
+      "  --loss=P            per-message loss probability (default 0)\n"
+      "  --seed=N            master seed (default 42)\n"
+      "  --json              machine-readable output\n");
+}
+
+std::unique_ptr<Distribution> MakeDist(const Flags& f) {
+  if (f.dist == "uniform") return std::make_unique<UniformDistribution>();
+  if (f.dist == "normal") {
+    return std::make_unique<TruncatedNormalDistribution>(0.5,
+                                                         f.normal_sigma);
+  }
+  if (f.dist == "zipf") {
+    return std::make_unique<ZipfDistribution>(1000, f.zipf_theta);
+  }
+  if (f.dist == "exp") {
+    return std::make_unique<TruncatedExponentialDistribution>(5.0);
+  }
+  if (f.dist == "mixture") {
+    return std::make_unique<GaussianMixtureDistribution>(
+        std::vector<GaussianMixtureDistribution::Component>{
+            {0.4, 0.2, 0.05}, {0.35, 0.55, 0.08}, {0.25, 0.85, 0.04}},
+        "Mixture3");
+  }
+  std::fprintf(stderr, "unknown --dist=%s\n", f.dist.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (flags.help) {
+    PrintHelp();
+    return 0;
+  }
+
+  NetworkOptions nopts;
+  nopts.loss_probability = flags.loss;
+  nopts.seed = flags.seed ^ 0xFEED;
+  Network network(nopts);
+  RingOptions ropts;
+  ropts.seed = flags.seed;
+  ChordRing ring(&network, ropts);
+  if (Status s = ring.CreateNetwork(flags.peers); !s.ok()) {
+    std::fprintf(stderr, "create: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto dist = MakeDist(flags);
+  Rng rng(flags.seed ^ 0xDA7A);
+  ring.InsertDatasetBulk(GenerateDataset(*dist, flags.items, rng).keys);
+
+  std::unique_ptr<ChurnProcess> churn;
+  if (flags.churn_session > 0.0) {
+    ChurnOptions copts;
+    copts.mean_session_seconds = flags.churn_session;
+    copts.seed = flags.seed ^ 0xC4;
+    churn = std::make_unique<ChurnProcess>(&ring, copts);
+    churn->Start();
+    network.events().RunUntil(flags.duration);
+  }
+
+  DdeOptions dopts;
+  dopts.num_probes = flags.probes;
+  dopts.seed = flags.seed ^ 0xE5;
+  DistributionFreeEstimator estimator(&ring, dopts);
+  Result<NodeAddr> querier = ring.RandomAliveNode(rng);
+  if (!querier.ok()) return 1;
+  Result<DensityEstimate> estimate =
+      flags.adaptive ? estimator.EstimateAdaptive(*querier, AdaptiveOptions{})
+                     : estimator.Estimate(*querier);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "estimate: %s\n",
+                 estimate.status().ToString().c_str());
+    return 1;
+  }
+
+  const AccuracyReport acc = CompareCdfToTruth(estimate->cdf, *dist);
+  const RingStatsSummary rs = ComputeRingStats(ring);
+  const LoadBalanceReport lb_exact = ExactLoadBalance(ring);
+  const LoadBalanceReport lb_pred = PredictLoadBalance(
+      ring, estimate->cdf, estimate->estimated_total_items);
+  Rng qrng(flags.seed ^ 0x7);
+  const SelectivityEvalResult sel = EvaluateSelectivity(
+      estimate->cdf, ring, GenerateRangeQueries(200, 0.1, qrng));
+  auto modes = DetectModes(*estimate);
+
+  if (flags.json) {
+    std::printf("{\n");
+    std::printf("  \"peers\": %zu,\n", ring.AliveCount());
+    std::printf("  \"items\": %llu,\n",
+                (unsigned long long)ring.TotalItems());
+    std::printf("  \"workload\": \"%s\",\n", dist->Name().c_str());
+    std::printf("  \"ks\": %.6f,\n", acc.ks);
+    std::printf("  \"l1_cdf\": %.6f,\n", acc.l1_cdf);
+    std::printf("  \"estimated_total\": %.1f,\n",
+                estimate->estimated_total_items);
+    std::printf("  \"peers_probed\": %zu,\n", estimate->peers_probed);
+    std::printf("  \"messages\": %llu,\n",
+                (unsigned long long)estimate->cost.messages);
+    std::printf("  \"bytes\": %llu,\n",
+                (unsigned long long)estimate->cost.bytes);
+    std::printf("  \"failed_probes\": %llu,\n",
+                (unsigned long long)estimate->failed_probes);
+    std::printf("  \"selectivity_mean_abs_err\": %.6f,\n",
+                sel.mean_abs_error);
+    std::printf("  \"load_gini_exact\": %.4f,\n", lb_exact.gini);
+    std::printf("  \"load_gini_predicted\": %.4f,\n", lb_pred.gini);
+    std::printf("  \"modes\": %zu\n", modes.ok() ? modes->size() : 0);
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("workload           : %s, %llu items on %zu peers\n",
+              dist->Name().c_str(), (unsigned long long)ring.TotalItems(),
+              ring.AliveCount());
+  if (churn) {
+    std::printf("churn              : %llu events over %.0fs (session "
+                "%.0fs)\n",
+                (unsigned long long)(churn->joins() + churn->leaves() +
+                                     churn->crashes()),
+                flags.duration, flags.churn_session);
+  }
+  std::printf("estimator          : %s, %zu peers probed, %llu messages "
+              "(%.1f KiB)\n",
+              flags.adaptive ? "adaptive" : "fixed budget",
+              estimate->peers_probed,
+              (unsigned long long)estimate->cost.messages,
+              estimate->cost.bytes / 1024.0);
+  std::printf("accuracy           : KS %.4f, L1 %.4f, N̂ %.0f\n", acc.ks,
+              acc.l1_cdf, estimate->estimated_total_items);
+  std::printf("selectivity (200q) : mean |err| %.4f, p95 %.4f\n",
+              sel.mean_abs_error, sel.p95_abs_error);
+  std::printf("load balance       : gini exact %.3f vs predicted %.3f "
+              "(max/avg %.1f vs %.1f)\n",
+              lb_exact.gini, lb_pred.gini, lb_exact.max_over_avg,
+              lb_pred.max_over_avg);
+  std::printf("ring               : mean load %.1f, load gini %.3f\n",
+              rs.mean_load, rs.load_gini);
+  if (modes.ok()) {
+    std::printf("density modes      : %zu\n", modes->size());
+    for (const DensityMode& m : *modes) {
+      std::printf("  %s\n", m.ToString().c_str());
+    }
+  }
+  return 0;
+}

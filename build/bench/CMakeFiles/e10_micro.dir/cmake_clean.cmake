@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_micro.dir/e10_micro.cc.o"
+  "CMakeFiles/e10_micro.dir/e10_micro.cc.o.d"
+  "e10_micro"
+  "e10_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_ablation.dir/e11_ablation.cc.o"
+  "CMakeFiles/e11_ablation.dir/e11_ablation.cc.o.d"
+  "e11_ablation"
+  "e11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

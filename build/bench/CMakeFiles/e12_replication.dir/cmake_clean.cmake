@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_replication.dir/e12_replication.cc.o"
+  "CMakeFiles/e12_replication.dir/e12_replication.cc.o.d"
+  "e12_replication"
+  "e12_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

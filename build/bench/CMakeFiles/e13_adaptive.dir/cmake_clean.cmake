@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_adaptive.dir/e13_adaptive.cc.o"
+  "CMakeFiles/e13_adaptive.dir/e13_adaptive.cc.o.d"
+  "e13_adaptive"
+  "e13_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

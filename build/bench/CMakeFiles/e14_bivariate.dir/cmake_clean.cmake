@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_bivariate.dir/e14_bivariate.cc.o"
+  "CMakeFiles/e14_bivariate.dir/e14_bivariate.cc.o.d"
+  "e14_bivariate"
+  "e14_bivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_bivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

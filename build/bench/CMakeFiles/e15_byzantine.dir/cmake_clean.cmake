@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_byzantine.dir/e15_byzantine.cc.o"
+  "CMakeFiles/e15_byzantine.dir/e15_byzantine.cc.o.d"
+  "e15_byzantine"
+  "e15_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

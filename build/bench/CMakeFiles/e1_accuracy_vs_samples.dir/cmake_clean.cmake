@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_accuracy_vs_samples.dir/e1_accuracy_vs_samples.cc.o"
+  "CMakeFiles/e1_accuracy_vs_samples.dir/e1_accuracy_vs_samples.cc.o.d"
+  "e1_accuracy_vs_samples"
+  "e1_accuracy_vs_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_accuracy_vs_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e1_accuracy_vs_samples.
+# This may be replaced when dependencies are built.

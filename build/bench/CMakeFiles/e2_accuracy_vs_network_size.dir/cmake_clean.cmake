@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_accuracy_vs_network_size.dir/e2_accuracy_vs_network_size.cc.o"
+  "CMakeFiles/e2_accuracy_vs_network_size.dir/e2_accuracy_vs_network_size.cc.o.d"
+  "e2_accuracy_vs_network_size"
+  "e2_accuracy_vs_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_accuracy_vs_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_accuracy_vs_skew.dir/e3_accuracy_vs_skew.cc.o"
+  "CMakeFiles/e3_accuracy_vs_skew.dir/e3_accuracy_vs_skew.cc.o.d"
+  "e3_accuracy_vs_skew"
+  "e3_accuracy_vs_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_accuracy_vs_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_cost.dir/e4_cost.cc.o"
+  "CMakeFiles/e4_cost.dir/e4_cost.cc.o.d"
+  "e4_cost"
+  "e4_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_churn.dir/e5_churn.cc.o"
+  "CMakeFiles/e5_churn.dir/e5_churn.cc.o.d"
+  "e5_churn"
+  "e5_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

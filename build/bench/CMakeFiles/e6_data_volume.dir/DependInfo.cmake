@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e6_data_volume.cc" "bench/CMakeFiles/e6_data_volume.dir/e6_data_volume.cc.o" "gcc" "bench/CMakeFiles/e6_data_volume.dir/e6_data_volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ringdde_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_data_volume.dir/e6_data_volume.cc.o"
+  "CMakeFiles/e6_data_volume.dir/e6_data_volume.cc.o.d"
+  "e6_data_volume"
+  "e6_data_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_data_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_gossip_convergence.dir/e7_gossip_convergence.cc.o"
+  "CMakeFiles/e7_gossip_convergence.dir/e7_gossip_convergence.cc.o.d"
+  "e7_gossip_convergence"
+  "e7_gossip_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_gossip_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_selectivity.dir/e8_selectivity.cc.o"
+  "CMakeFiles/e8_selectivity.dir/e8_selectivity.cc.o.d"
+  "e8_selectivity"
+  "e8_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

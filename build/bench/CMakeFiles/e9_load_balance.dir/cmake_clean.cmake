@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_load_balance.dir/e9_load_balance.cc.o"
+  "CMakeFiles/e9_load_balance.dir/e9_load_balance.cc.o.d"
+  "e9_load_balance"
+  "e9_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ringdde_bench_util.dir/bench_util.cc.o.d"
+  "libringdde_bench_util.a"
+  "libringdde_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringdde_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mining_demo.dir/data_mining_demo.cpp.o"
+  "CMakeFiles/data_mining_demo.dir/data_mining_demo.cpp.o.d"
+  "data_mining_demo"
+  "data_mining_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mining_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

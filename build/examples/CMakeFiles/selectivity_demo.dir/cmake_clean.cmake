@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_demo.dir/selectivity_demo.cpp.o"
+  "CMakeFiles/selectivity_demo.dir/selectivity_demo.cpp.o.d"
+  "selectivity_demo"
+  "selectivity_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

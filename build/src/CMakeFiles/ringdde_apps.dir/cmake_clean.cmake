@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_apps.dir/apps/density_mining.cc.o"
+  "CMakeFiles/ringdde_apps.dir/apps/density_mining.cc.o.d"
+  "CMakeFiles/ringdde_apps.dir/apps/equidepth_partitioner.cc.o"
+  "CMakeFiles/ringdde_apps.dir/apps/equidepth_partitioner.cc.o.d"
+  "CMakeFiles/ringdde_apps.dir/apps/load_balance.cc.o"
+  "CMakeFiles/ringdde_apps.dir/apps/load_balance.cc.o.d"
+  "CMakeFiles/ringdde_apps.dir/apps/selectivity.cc.o"
+  "CMakeFiles/ringdde_apps.dir/apps/selectivity.cc.o.d"
+  "libringdde_apps.a"
+  "libringdde_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gossip_histogram.cc" "src/CMakeFiles/ringdde_baselines.dir/baselines/gossip_histogram.cc.o" "gcc" "src/CMakeFiles/ringdde_baselines.dir/baselines/gossip_histogram.cc.o.d"
+  "/root/repo/src/baselines/parametric.cc" "src/CMakeFiles/ringdde_baselines.dir/baselines/parametric.cc.o" "gcc" "src/CMakeFiles/ringdde_baselines.dir/baselines/parametric.cc.o.d"
+  "/root/repo/src/baselines/random_walk_sampler.cc" "src/CMakeFiles/ringdde_baselines.dir/baselines/random_walk_sampler.cc.o" "gcc" "src/CMakeFiles/ringdde_baselines.dir/baselines/random_walk_sampler.cc.o.d"
+  "/root/repo/src/baselines/tree_aggregation.cc" "src/CMakeFiles/ringdde_baselines.dir/baselines/tree_aggregation.cc.o" "gcc" "src/CMakeFiles/ringdde_baselines.dir/baselines/tree_aggregation.cc.o.d"
+  "/root/repo/src/baselines/uniform_peer_sampler.cc" "src/CMakeFiles/ringdde_baselines.dir/baselines/uniform_peer_sampler.cc.o" "gcc" "src/CMakeFiles/ringdde_baselines.dir/baselines/uniform_peer_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

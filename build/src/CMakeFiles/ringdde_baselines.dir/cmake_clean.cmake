@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_baselines.dir/baselines/gossip_histogram.cc.o"
+  "CMakeFiles/ringdde_baselines.dir/baselines/gossip_histogram.cc.o.d"
+  "CMakeFiles/ringdde_baselines.dir/baselines/parametric.cc.o"
+  "CMakeFiles/ringdde_baselines.dir/baselines/parametric.cc.o.d"
+  "CMakeFiles/ringdde_baselines.dir/baselines/random_walk_sampler.cc.o"
+  "CMakeFiles/ringdde_baselines.dir/baselines/random_walk_sampler.cc.o.d"
+  "CMakeFiles/ringdde_baselines.dir/baselines/tree_aggregation.cc.o"
+  "CMakeFiles/ringdde_baselines.dir/baselines/tree_aggregation.cc.o.d"
+  "CMakeFiles/ringdde_baselines.dir/baselines/uniform_peer_sampler.cc.o"
+  "CMakeFiles/ringdde_baselines.dir/baselines/uniform_peer_sampler.cc.o.d"
+  "libringdde_baselines.a"
+  "libringdde_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_common.dir/common/codec.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/codec.cc.o.d"
+  "CMakeFiles/ringdde_common.dir/common/id.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/id.cc.o.d"
+  "CMakeFiles/ringdde_common.dir/common/logging.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ringdde_common.dir/common/math_util.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/math_util.cc.o.d"
+  "CMakeFiles/ringdde_common.dir/common/rng.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ringdde_common.dir/common/status.cc.o"
+  "CMakeFiles/ringdde_common.dir/common/status.cc.o.d"
+  "libringdde_common.a"
+  "libringdde_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bivariate.cc" "src/CMakeFiles/ringdde_core.dir/core/bivariate.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/bivariate.cc.o.d"
+  "/root/repo/src/core/density_estimator.cc" "src/CMakeFiles/ringdde_core.dir/core/density_estimator.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/density_estimator.cc.o.d"
+  "/root/repo/src/core/dissemination.cc" "src/CMakeFiles/ringdde_core.dir/core/dissemination.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/dissemination.cc.o.d"
+  "/root/repo/src/core/global_cdf.cc" "src/CMakeFiles/ringdde_core.dir/core/global_cdf.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/global_cdf.cc.o.d"
+  "/root/repo/src/core/inversion_sampler.cc" "src/CMakeFiles/ringdde_core.dir/core/inversion_sampler.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/inversion_sampler.cc.o.d"
+  "/root/repo/src/core/local_summary.cc" "src/CMakeFiles/ringdde_core.dir/core/local_summary.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/local_summary.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/CMakeFiles/ringdde_core.dir/core/maintenance.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/maintenance.cc.o.d"
+  "/root/repo/src/core/probe.cc" "src/CMakeFiles/ringdde_core.dir/core/probe.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/probe.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/CMakeFiles/ringdde_core.dir/core/theory.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/theory.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/CMakeFiles/ringdde_core.dir/core/wire.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/wire.cc.o.d"
+  "/root/repo/src/core/workload_stream.cc" "src/CMakeFiles/ringdde_core.dir/core/workload_stream.cc.o" "gcc" "src/CMakeFiles/ringdde_core.dir/core/workload_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

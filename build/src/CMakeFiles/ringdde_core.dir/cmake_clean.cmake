@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_core.dir/core/bivariate.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/bivariate.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/density_estimator.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/density_estimator.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/dissemination.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/dissemination.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/global_cdf.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/global_cdf.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/inversion_sampler.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/inversion_sampler.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/local_summary.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/local_summary.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/maintenance.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/maintenance.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/probe.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/probe.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/theory.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/theory.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/wire.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/wire.cc.o.d"
+  "CMakeFiles/ringdde_core.dir/core/workload_stream.cc.o"
+  "CMakeFiles/ringdde_core.dir/core/workload_stream.cc.o.d"
+  "libringdde_core.a"
+  "libringdde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_data.dir/data/dataset.cc.o"
+  "CMakeFiles/ringdde_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/ringdde_data.dir/data/distribution.cc.o"
+  "CMakeFiles/ringdde_data.dir/data/distribution.cc.o.d"
+  "CMakeFiles/ringdde_data.dir/data/placement.cc.o"
+  "CMakeFiles/ringdde_data.dir/data/placement.cc.o.d"
+  "libringdde_data.a"
+  "libringdde_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

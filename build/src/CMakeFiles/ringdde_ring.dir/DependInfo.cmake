@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/chord_ring.cc" "src/CMakeFiles/ringdde_ring.dir/ring/chord_ring.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/chord_ring.cc.o.d"
+  "/root/repo/src/ring/churn.cc" "src/CMakeFiles/ringdde_ring.dir/ring/churn.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/churn.cc.o.d"
+  "/root/repo/src/ring/finger_table.cc" "src/CMakeFiles/ringdde_ring.dir/ring/finger_table.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/finger_table.cc.o.d"
+  "/root/repo/src/ring/node.cc" "src/CMakeFiles/ringdde_ring.dir/ring/node.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/node.cc.o.d"
+  "/root/repo/src/ring/replication.cc" "src/CMakeFiles/ringdde_ring.dir/ring/replication.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/replication.cc.o.d"
+  "/root/repo/src/ring/ring_stats.cc" "src/CMakeFiles/ringdde_ring.dir/ring/ring_stats.cc.o" "gcc" "src/CMakeFiles/ringdde_ring.dir/ring/ring_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_ring.dir/ring/chord_ring.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/chord_ring.cc.o.d"
+  "CMakeFiles/ringdde_ring.dir/ring/churn.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/churn.cc.o.d"
+  "CMakeFiles/ringdde_ring.dir/ring/finger_table.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/finger_table.cc.o.d"
+  "CMakeFiles/ringdde_ring.dir/ring/node.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/node.cc.o.d"
+  "CMakeFiles/ringdde_ring.dir/ring/replication.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/replication.cc.o.d"
+  "CMakeFiles/ringdde_ring.dir/ring/ring_stats.cc.o"
+  "CMakeFiles/ringdde_ring.dir/ring/ring_stats.cc.o.d"
+  "libringdde_ring.a"
+  "libringdde_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

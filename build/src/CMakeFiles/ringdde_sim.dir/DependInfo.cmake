@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/counters.cc" "src/CMakeFiles/ringdde_sim.dir/sim/counters.cc.o" "gcc" "src/CMakeFiles/ringdde_sim.dir/sim/counters.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/ringdde_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/ringdde_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "src/CMakeFiles/ringdde_sim.dir/sim/latency_model.cc.o" "gcc" "src/CMakeFiles/ringdde_sim.dir/sim/latency_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/ringdde_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/ringdde_sim.dir/sim/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_sim.dir/sim/counters.cc.o"
+  "CMakeFiles/ringdde_sim.dir/sim/counters.cc.o.d"
+  "CMakeFiles/ringdde_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ringdde_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/ringdde_sim.dir/sim/latency_model.cc.o"
+  "CMakeFiles/ringdde_sim.dir/sim/latency_model.cc.o.d"
+  "CMakeFiles/ringdde_sim.dir/sim/network.cc.o"
+  "CMakeFiles/ringdde_sim.dir/sim/network.cc.o.d"
+  "libringdde_sim.a"
+  "libringdde_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

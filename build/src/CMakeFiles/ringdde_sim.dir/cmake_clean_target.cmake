@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringdde_sim.a"
+)

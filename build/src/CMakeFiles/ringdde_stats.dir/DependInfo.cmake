@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bounds.cc" "src/CMakeFiles/ringdde_stats.dir/stats/bounds.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/bounds.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/CMakeFiles/ringdde_stats.dir/stats/ecdf.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/ecdf.cc.o.d"
+  "/root/repo/src/stats/gk_sketch.cc" "src/CMakeFiles/ringdde_stats.dir/stats/gk_sketch.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/gk_sketch.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/ringdde_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/CMakeFiles/ringdde_stats.dir/stats/kde.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/kde.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/CMakeFiles/ringdde_stats.dir/stats/metrics.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/metrics.cc.o.d"
+  "/root/repo/src/stats/piecewise_cdf.cc" "src/CMakeFiles/ringdde_stats.dir/stats/piecewise_cdf.cc.o" "gcc" "src/CMakeFiles/ringdde_stats.dir/stats/piecewise_cdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_stats.dir/stats/bounds.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/bounds.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/ecdf.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/ecdf.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/gk_sketch.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/gk_sketch.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/kde.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/kde.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/metrics.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/metrics.cc.o.d"
+  "CMakeFiles/ringdde_stats.dir/stats/piecewise_cdf.cc.o"
+  "CMakeFiles/ringdde_stats.dir/stats/piecewise_cdf.cc.o.d"
+  "libringdde_stats.a"
+  "libringdde_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

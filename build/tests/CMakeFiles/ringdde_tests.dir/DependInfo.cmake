@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_test.cc" "tests/CMakeFiles/ringdde_tests.dir/adaptive_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/adaptive_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/ringdde_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/ringdde_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/bivariate_test.cc" "tests/CMakeFiles/ringdde_tests.dir/bivariate_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/bivariate_test.cc.o.d"
+  "/root/repo/tests/bounds_test.cc" "tests/CMakeFiles/ringdde_tests.dir/bounds_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/bounds_test.cc.o.d"
+  "/root/repo/tests/byzantine_test.cc" "tests/CMakeFiles/ringdde_tests.dir/byzantine_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/byzantine_test.cc.o.d"
+  "/root/repo/tests/churn_test.cc" "tests/CMakeFiles/ringdde_tests.dir/churn_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/churn_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/ringdde_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/dataset_placement_test.cc" "tests/CMakeFiles/ringdde_tests.dir/dataset_placement_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/dataset_placement_test.cc.o.d"
+  "/root/repo/tests/density_estimator_test.cc" "tests/CMakeFiles/ringdde_tests.dir/density_estimator_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/density_estimator_test.cc.o.d"
+  "/root/repo/tests/density_mining_test.cc" "tests/CMakeFiles/ringdde_tests.dir/density_mining_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/density_mining_test.cc.o.d"
+  "/root/repo/tests/dissemination_test.cc" "tests/CMakeFiles/ringdde_tests.dir/dissemination_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/dissemination_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "tests/CMakeFiles/ringdde_tests.dir/distribution_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/distribution_test.cc.o.d"
+  "/root/repo/tests/ecdf_test.cc" "tests/CMakeFiles/ringdde_tests.dir/ecdf_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/ecdf_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/ringdde_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/ringdde_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/gk_sketch_test.cc" "tests/CMakeFiles/ringdde_tests.dir/gk_sketch_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/gk_sketch_test.cc.o.d"
+  "/root/repo/tests/global_cdf_test.cc" "tests/CMakeFiles/ringdde_tests.dir/global_cdf_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/global_cdf_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/ringdde_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/id_test.cc" "tests/CMakeFiles/ringdde_tests.dir/id_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/id_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ringdde_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/inversion_sampler_test.cc" "tests/CMakeFiles/ringdde_tests.dir/inversion_sampler_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/inversion_sampler_test.cc.o.d"
+  "/root/repo/tests/kde_test.cc" "tests/CMakeFiles/ringdde_tests.dir/kde_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/kde_test.cc.o.d"
+  "/root/repo/tests/local_summary_test.cc" "tests/CMakeFiles/ringdde_tests.dir/local_summary_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/local_summary_test.cc.o.d"
+  "/root/repo/tests/loss_test.cc" "tests/CMakeFiles/ringdde_tests.dir/loss_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/loss_test.cc.o.d"
+  "/root/repo/tests/maintenance_test.cc" "tests/CMakeFiles/ringdde_tests.dir/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/maintenance_test.cc.o.d"
+  "/root/repo/tests/math_util_test.cc" "tests/CMakeFiles/ringdde_tests.dir/math_util_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/math_util_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/ringdde_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/ringdde_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/piecewise_cdf_test.cc" "tests/CMakeFiles/ringdde_tests.dir/piecewise_cdf_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/piecewise_cdf_test.cc.o.d"
+  "/root/repo/tests/probe_test.cc" "tests/CMakeFiles/ringdde_tests.dir/probe_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/probe_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ringdde_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/ringdde_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/resilience_property_test.cc" "tests/CMakeFiles/ringdde_tests.dir/resilience_property_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/resilience_property_test.cc.o.d"
+  "/root/repo/tests/ring_stats_test.cc" "tests/CMakeFiles/ringdde_tests.dir/ring_stats_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/ring_stats_test.cc.o.d"
+  "/root/repo/tests/ring_test.cc" "tests/CMakeFiles/ringdde_tests.dir/ring_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/ring_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/ringdde_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/ringdde_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/theory_test.cc" "tests/CMakeFiles/ringdde_tests.dir/theory_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/theory_test.cc.o.d"
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/ringdde_tests.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/wire_test.cc.o.d"
+  "/root/repo/tests/workload_stream_test.cc" "tests/CMakeFiles/ringdde_tests.dir/workload_stream_test.cc.o" "gcc" "tests/CMakeFiles/ringdde_tests.dir/workload_stream_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringdde_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringdde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

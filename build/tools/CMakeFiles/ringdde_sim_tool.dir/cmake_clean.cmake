@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringdde_sim_tool.dir/ringdde_sim.cc.o"
+  "CMakeFiles/ringdde_sim_tool.dir/ringdde_sim.cc.o.d"
+  "ringdde_sim"
+  "ringdde_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringdde_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

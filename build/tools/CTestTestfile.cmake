@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ringdde_sim_table "/root/repo/build/tools/ringdde_sim" "--peers=128" "--items=5000" "--dist=zipf" "--probes=64")
+set_tests_properties(ringdde_sim_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringdde_sim_json "/root/repo/build/tools/ringdde_sim" "--peers=128" "--items=5000" "--dist=mixture" "--probes=64" "--adaptive" "--json")
+set_tests_properties(ringdde_sim_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringdde_sim_churn_loss "/root/repo/build/tools/ringdde_sim" "--peers=128" "--items=5000" "--dist=normal" "--probes=64" "--churn-session=300" "--duration=120" "--loss=0.1")
+set_tests_properties(ringdde_sim_churn_loss PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,124 @@
+#include "bench_reporter.h"
+
+#include <cstdio>
+
+#include "common/thread_pool.h"
+
+namespace ringdde::bench {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal. Table cells are
+/// printf-formatted numbers and short labels, so only the basics matter.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteStringArray(std::FILE* f, const std::vector<std::string>& v) {
+  std::fputc('[', f);
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "", JsonEscape(v[i]).c_str());
+  }
+  std::fputc(']', f);
+}
+
+}  // namespace
+
+BenchReporter& BenchReporter::Global() {
+  static BenchReporter* reporter = new BenchReporter();
+  return *reporter;
+}
+
+void BenchReporter::SetExperiment(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  experiment_ = std::move(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void BenchReporter::RecordTable(std::string title,
+                                std::vector<std::string> columns,
+                                std::vector<std::vector<std::string>> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.push_back(
+      TableData{std::move(title), std::move(columns), std::move(rows)});
+}
+
+void BenchReporter::AddCost(uint64_t messages, uint64_t bytes) {
+  messages_.fetch_add(messages, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+bool BenchReporter::WriteJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (experiment_.empty()) return false;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::string path = "BENCH_" + experiment_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n",
+               JsonEscape(experiment_).c_str());
+  std::fprintf(f, "  \"threads\": %zu,\n", ThreadPool::Global().concurrency());
+  std::fprintf(f, "  \"wall_clock_ms\": %.3f,\n", wall_ms);
+  std::fprintf(f, "  \"counters\": {\"messages\": %llu, \"bytes\": %llu},\n",
+               static_cast<unsigned long long>(messages_.load()),
+               static_cast<unsigned long long>(bytes_.load()));
+  std::fprintf(f, "  \"tables\": [");
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const TableData& td = tables_[t];
+    std::fprintf(f, "%s\n    {\"title\": \"%s\",\n     \"columns\": ",
+                 t ? "," : "", JsonEscape(td.title).c_str());
+    WriteStringArray(f, td.columns);
+    std::fprintf(f, ",\n     \"rows\": [");
+    for (size_t r = 0; r < td.rows.size(); ++r) {
+      std::fprintf(f, "%s\n       ", r ? "," : "");
+      WriteStringArray(f, td.rows[r]);
+    }
+    std::fprintf(f, "%s]}", td.rows.empty() ? "" : "\n     ");
+  }
+  std::fprintf(f, "%s]\n}\n", tables_.empty() ? "" : "\n  ");
+  const bool ok = std::fclose(f) == 0;
+  // stderr, so stdout tables stay bit-identical across thread counts.
+  std::fprintf(stderr, "wrote %s (%.0f ms, %zu threads)\n", path.c_str(),
+               wall_ms, ThreadPool::Global().concurrency());
+  return ok;
+}
+
+BenchRun::BenchRun(std::string experiment) {
+  BenchReporter::Global().SetExperiment(std::move(experiment));
+}
+
+BenchRun::~BenchRun() { BenchReporter::Global().WriteJson(); }
+
+}  // namespace ringdde::bench

@@ -1,0 +1,87 @@
+#ifndef RINGDDE_BENCH_BENCH_REPORTER_H_
+#define RINGDDE_BENCH_BENCH_REPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ringdde::bench {
+
+/// Collects everything one benchmark binary produced — its tables, the
+/// aggregate communication-cost counters of every estimation run, the
+/// wall-clock time, and the thread count — and writes it as
+/// `BENCH_<experiment>.json` next to the process's working directory, so
+/// each experiment leaves a machine-readable perf trajectory alongside its
+/// human-readable text tables.
+///
+/// Schema:
+/// {
+///   "experiment": "e1_accuracy_vs_samples",
+///   "threads": 8,
+///   "wall_clock_ms": 1234.5,
+///   "counters": {"messages": 123, "bytes": 456},
+///   "tables": [
+///     {"title": "...", "columns": ["a", "b"], "rows": [["1", "2"]]}
+///   ]
+/// }
+///
+/// All recording entry points are thread-safe: trial tasks running on the
+/// pool add their cost counters concurrently; tables are registered from
+/// the main thread when they are printed.
+class BenchReporter {
+ public:
+  /// Process-wide instance used by bench_util and the Table printer.
+  static BenchReporter& Global();
+
+  /// Names the experiment and starts the wall clock. Without a call to
+  /// SetExperiment, WriteJson is a no-op (library users outside the bench
+  /// binaries never accidentally drop files).
+  void SetExperiment(std::string name);
+
+  /// Registers one finished table (title, column names, row cells).
+  void RecordTable(std::string title, std::vector<std::string> columns,
+                   std::vector<std::vector<std::string>> rows);
+
+  /// Adds one estimation run's communication cost to the process totals.
+  void AddCost(uint64_t messages, uint64_t bytes);
+
+  /// Writes BENCH_<experiment>.json into the current directory. Returns
+  /// false (after printing a warning) if the file cannot be written.
+  bool WriteJson();
+
+  uint64_t total_messages() const { return messages_.load(); }
+  uint64_t total_bytes() const { return bytes_.load(); }
+
+ private:
+  struct TableData {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::mutex mu_;
+  std::string experiment_;
+  std::vector<TableData> tables_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+/// RAII wrapper for a bench binary's main(): names the experiment on entry
+/// and writes the JSON report on scope exit.
+///
+///   int main() {
+///     ringdde::bench::BenchRun run("e1_accuracy_vs_samples");
+///     ...
+///   }
+struct BenchRun {
+  explicit BenchRun(std::string experiment);
+  ~BenchRun();
+};
+
+}  // namespace ringdde::bench
+
+#endif  // RINGDDE_BENCH_BENCH_REPORTER_H_

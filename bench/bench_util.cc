@@ -19,10 +19,16 @@ std::unique_ptr<Env> BuildEnv(size_t n, std::unique_ptr<Distribution> dist,
   }
   env->dist = std::move(dist);
   env->items = items;
+  env->peers = n;
+  env->seed = seed;
   Rng rng(seed ^ 0xDA7A);
   env->ring->InsertDatasetBulk(
       GenerateDataset(*env->dist, items, rng).keys);
   return env;
+}
+
+std::unique_ptr<Env> Env::Replicate() const {
+  return BuildEnv(peers, dist->Clone(), items, seed);
 }
 
 DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed) {
@@ -41,25 +47,72 @@ DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed) {
                  est.status().ToString().c_str());
     std::abort();
   }
+  BenchReporter::Global().AddCost(est->cost.messages, est->cost.bytes);
   return std::move(*est);
 }
 
+namespace {
+
+/// Everything RepeatDde needs from one trial, gathered before reduction.
+struct TrialOutcome {
+  AccuracyReport accuracy;
+  CostCounters cost;
+  size_t peers_probed = 0;
+  double total_error = 0.0;
+};
+
+TrialOutcome RunTrial(Env& env, const DdeOptions& options, uint64_t seed) {
+  TrialOutcome out;
+  const DensityEstimate e = RunDde(env, options, seed);
+  out.accuracy = CompareCdfToTruth(e.cdf, *env.dist);
+  out.cost = e.cost;
+  out.peers_probed = e.peers_probed;
+  const double n_true = static_cast<double>(env.ring->TotalItems());
+  if (n_true > 0) {
+    out.total_error = std::abs(e.estimated_total_items - n_true) / n_true;
+  }
+  return out;
+}
+
+}  // namespace
+
 RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
-                         uint64_t seed_base) {
+                         uint64_t seed_base, ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  std::vector<TrialOutcome> trials(static_cast<size_t>(reps));
+  const auto trial_seed = [seed_base](int r) {
+    // Keep the historical arithmetic seed schedule so tables match runs of
+    // earlier revisions rep for rep.
+    return seed_base + static_cast<uint64_t>(r) * 7919;
+  };
+  if (p.worker_count() == 0 || reps <= 1 || ThreadPool::InWorker()) {
+    // Serial path: trials share `env` directly. Trials are independent —
+    // estimation only reads ring state and charges the (unreported
+    // per-trial) shared counters — so this equals the parallel path.
+    for (int r = 0; r < reps; ++r) {
+      trials[static_cast<size_t>(r)] = RunTrial(env, options, trial_seed(r));
+    }
+  } else {
+    // Parallel path: each trial runs against a private deterministic
+    // replica of the deployment, so no simulator state is shared between
+    // threads and every trial sees exactly the state a serial run would.
+    p.ParallelFor(0, static_cast<size_t>(reps), [&](size_t r) {
+      std::unique_ptr<Env> replica = env.Replicate();
+      trials[r] = RunTrial(*replica, options, trial_seed(static_cast<int>(r)));
+    });
+  }
+
+  // Reduce in trial order — identical arithmetic for every thread count.
   RepeatedResult out;
   std::vector<AccuracyReport> reports;
-  for (int r = 0; r < reps; ++r) {
-    const DensityEstimate e = RunDde(env, options, seed_base + r * 7919);
-    reports.push_back(CompareCdfToTruth(e.cdf, *env.dist));
-    out.mean_messages += static_cast<double>(e.cost.messages);
-    out.mean_hops += static_cast<double>(e.cost.hops);
-    out.mean_bytes += static_cast<double>(e.cost.bytes);
-    out.mean_peers += static_cast<double>(e.peers_probed);
-    const double n_true = static_cast<double>(env.ring->TotalItems());
-    if (n_true > 0) {
-      out.mean_total_error +=
-          std::abs(e.estimated_total_items - n_true) / n_true;
-    }
+  reports.reserve(trials.size());
+  for (const TrialOutcome& t : trials) {
+    reports.push_back(t.accuracy);
+    out.mean_messages += static_cast<double>(t.cost.messages);
+    out.mean_hops += static_cast<double>(t.cost.hops);
+    out.mean_bytes += static_cast<double>(t.cost.bytes);
+    out.mean_peers += static_cast<double>(t.peers_probed);
+    out.mean_total_error += t.total_error;
   }
   const double r = static_cast<double>(reps);
   out.accuracy = MeanReport(reports);
@@ -71,11 +124,32 @@ RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
   return out;
 }
 
+Env& RowEnv(Env& base, std::unique_ptr<Env>& storage) {
+  if (ThreadPool::Global().worker_count() == 0) return base;
+  storage = base.Replicate();
+  return *storage;
+}
+
+bool SmokeMode() {
+  static const bool smoke = std::getenv("RINGDDE_SMOKE") != nullptr;
+  return smoke;
+}
+
+size_t Scaled(size_t full, size_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+int ScaledInt(int full, int smoke) { return SmokeMode() ? smoke : full; }
+
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
 
 void Table::AddRow(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
+}
+
+void Table::AddRows(std::vector<std::vector<std::string>> rows) {
+  for (auto& row : rows) rows_.push_back(std::move(row));
 }
 
 void Table::Print() const {
@@ -99,15 +173,27 @@ void Table::Print() const {
   print_row(columns_);
   for (const auto& row : rows_) print_row(row);
   std::printf("\n");
+  BenchReporter::Global().RecordTable(title_, columns_, rows_);
 }
 
 std::string Fmt(const char* fmt, ...) {
-  char buf[256];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_list sized;
+  va_copy(sized, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, sized);
+  va_end(sized);
+  if (needed < 0) {
+    va_end(args);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  // C++11 strings are contiguous and writable through &out[0]; vsnprintf
+  // writes the terminating NUL into the byte past `needed`, which data()
+  // guarantees to exist.
+  std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt, args);
   va_end(args);
-  return std::string(buf);
+  return out;
 }
 
 }  // namespace ringdde::bench

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_reporter.h"
+#include "common/thread_pool.h"
 #include "core/density_estimator.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
@@ -16,11 +18,26 @@
 namespace ringdde::bench {
 
 /// One simulated deployment: network fabric + overlay + workload truth.
+///
+/// An Env is deterministic in its build recipe (peers, distribution,
+/// items, seed): Replicate() rebuilds an independent, bit-identical copy,
+/// which is how concurrent trials get private deployments without sharing
+/// mutable simulator state (network counters, latency streams, lazily
+/// sorted node stores) across threads.
 struct Env {
   std::unique_ptr<Network> net;
   std::unique_ptr<ChordRing> ring;
   std::unique_ptr<Distribution> dist;
   size_t items = 0;
+
+  // Build recipe, kept for Replicate().
+  size_t peers = 0;
+  uint64_t seed = 0;
+
+  /// Rebuilds an independent deployment from the same recipe. The replica
+  /// is bit-identical: same node ids, same routing state, same key
+  /// placement, fresh (zeroed) cost counters.
+  std::unique_ptr<Env> Replicate() const;
 };
 
 /// Builds an n-peer ring loaded with `items` draws from `dist`.
@@ -41,11 +58,50 @@ struct RepeatedResult {
   double mean_peers = 0.0;
 };
 
+/// Runs `reps` independent DDE trials and averages them. Trials run
+/// concurrently on `pool` (default: the global pool), each against its own
+/// Env replica; per-trial seeds depend only on (seed_base, trial index)
+/// and the reduction is performed in trial order, so the result is
+/// bit-identical for every thread count. Calls from inside a pool worker
+/// (e.g. from a ParallelRows row task) degrade to the serial path against
+/// the given env directly.
 RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
-                         uint64_t seed_base);
+                         uint64_t seed_base, ThreadPool* pool = nullptr);
+
+/// Runs `count` independent row tasks — `fn(row_index) -> RowT` — on the
+/// pool and returns the results in row order. Row tasks must not share
+/// mutable simulator state: build (or Replicate()) a private Env inside
+/// the task. Determinism contract: fn is a pure function of its index, so
+/// the returned vector (and any table built from it) is identical for
+/// every thread count.
+template <typename RowT, typename Fn>
+std::vector<RowT> ParallelRows(size_t count, Fn&& fn,
+                               ThreadPool* pool = nullptr) {
+  std::vector<RowT> rows(count);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  p.ParallelFor(0, count, [&](size_t i) { rows[i] = fn(i); });
+  return rows;
+}
+
+/// The Env a ParallelRows row task should run against: `base` itself when
+/// the global pool is serial (no concurrent rows possible, no replica
+/// cost), otherwise a private replica parked in `storage`. Either way the
+/// row sees bit-identical deployment state.
+Env& RowEnv(Env& base, std::unique_ptr<Env>& storage);
+
+/// True when RINGDDE_SMOKE is set in the environment: bench binaries then
+/// shrink to seconds-scale parameters so ctest can exercise every code
+/// path (parallel rows, replicas, the JSON reporter) on every build.
+bool SmokeMode();
+
+/// `full` normally, `smoke` under RINGDDE_SMOKE.
+size_t Scaled(size_t full, size_t smoke);
+int ScaledInt(int full, int smoke);
 
 /// Aligned table printer: emits a `# title` line, a header row, then rows,
-/// tab-separated (easy to grep/plot, readable in a terminal).
+/// tab-separated (easy to grep/plot, readable in a terminal). Print() also
+/// registers the table with BenchReporter::Global() so it lands in the
+/// experiment's BENCH_*.json.
 class Table {
  public:
   Table(std::string title, std::vector<std::string> columns);
@@ -53,7 +109,11 @@ class Table {
   /// Adds one row; cells are pre-formatted strings.
   void AddRow(std::vector<std::string> cells);
 
-  /// Prints header + rows to stdout.
+  /// Adds many pre-built rows in order (the ParallelRows hand-off).
+  void AddRows(std::vector<std::vector<std::string>> rows);
+
+  /// Prints header + rows to stdout and records the table in the global
+  /// BenchReporter.
   void Print() const;
 
  private:
@@ -62,8 +122,8 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// printf-style helper returning std::string.
-std::string Fmt(const char* fmt, ...);
+/// printf-style helper returning std::string; no length limit.
+std::string Fmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 }  // namespace ringdde::bench
 

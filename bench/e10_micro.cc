@@ -142,4 +142,14 @@ BENCHMARK(BM_NodeJoin);
 }  // namespace
 }  // namespace ringdde::bench
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run is wrapped in a BenchRun: the
+// google-benchmark output stays on stdout and the wall clock / cost
+// counters land in BENCH_e10_micro.json like every other experiment.
+int main(int argc, char** argv) {
+  ringdde::bench::BenchRun run("e10_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,10 @@
 // (4) local summary resolution.
 // Workload: Zipf(1000, 0.9) on 4096 peers — skewed enough that each knob
 // visibly matters.
+//
+// All sub-tables ablate independent knobs against the same deployment
+// recipe, so their rows run concurrently on the global thread pool
+// against private Env replicas.
 #include <memory>
 
 #include "bench_util.h"
@@ -14,114 +18,147 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 4096;
-constexpr size_t kItems = 200000;
-constexpr int kReps = 5;
-
 void Run() {
+  const size_t kPeers = Scaled(4096, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const int kReps = ScaledInt(5, 2);
+
   auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
                       kItems, 301);
 
   Table gaps("E11a gap-fill policy (m=128)",
              {"policy", "ks", "l1_cdf", "total_rel_err"});
-  for (auto [name, policy] :
-       std::vector<std::pair<const char*, GapFillPolicy>>{
-           {"neighbor", GapFillPolicy::kNeighborInterpolation},
-           {"global_mean", GapFillPolicy::kGlobalMean},
-           {"zero", GapFillPolicy::kZero}}) {
-    DdeOptions opts;
-    opts.num_probes = 128;
-    opts.reconstruction.gap_fill = policy;
-    const RepeatedResult r = RepeatDde(*env, opts, kReps, 11);
-    gaps.AddRow({name, Fmt("%.4f", r.accuracy.ks),
-                 Fmt("%.4f", r.accuracy.l1_cdf),
-                 Fmt("%.3f", r.mean_total_error)});
-  }
+  const std::vector<std::pair<const char*, GapFillPolicy>> policies{
+      {"neighbor", GapFillPolicy::kNeighborInterpolation},
+      {"global_mean", GapFillPolicy::kGlobalMean},
+      {"zero", GapFillPolicy::kZero}};
+  gaps.AddRows(ParallelRows<std::vector<std::string>>(
+      policies.size(), [&](size_t row) {
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        DdeOptions opts;
+        opts.num_probes = 128;
+        opts.reconstruction.gap_fill = policies[row].second;
+        const RepeatedResult r = RepeatDde(e, opts, kReps, 11);
+        return std::vector<std::string>{
+            policies[row].first, Fmt("%.4f", r.accuracy.ks),
+            Fmt("%.4f", r.accuracy.l1_cdf),
+            Fmt("%.3f", r.mean_total_error)};
+      }));
   gaps.Print();
 
   Table knots("E11b within-arc quantile shape knots (m=128)",
               {"shape_knots", "ks", "l1_cdf"});
-  for (bool use : {true, false}) {
+  knots.AddRows(ParallelRows<std::vector<std::string>>(2, [&](size_t row) {
+    const bool use = row == 0;
+    std::unique_ptr<Env> storage;
+    Env& e = RowEnv(*env, storage);
     DdeOptions opts;
     opts.num_probes = 128;
     opts.reconstruction.use_quantile_knots = use;
-    const RepeatedResult r = RepeatDde(*env, opts, kReps, 13);
-    knots.AddRow({use ? "on" : "off", Fmt("%.4f", r.accuracy.ks),
-                  Fmt("%.4f", r.accuracy.l1_cdf)});
-  }
+    const RepeatedResult r = RepeatDde(e, opts, kReps, 13);
+    return std::vector<std::string>{use ? "on" : "off",
+                                    Fmt("%.4f", r.accuracy.ks),
+                                    Fmt("%.4f", r.accuracy.l1_cdf)};
+  }));
   knots.Print();
 
   Table rounds("E11c inversion-guided refinement rounds (m=128 total)",
                {"rounds", "ks", "l1_cdf", "msgs"});
-  for (int rr : {1, 2, 4}) {
-    DdeOptions opts;
-    opts.num_probes = 128;
-    opts.refinement_rounds = rr;
-    const RepeatedResult r = RepeatDde(*env, opts, kReps, 17);
-    rounds.AddRow({Fmt("%d", rr), Fmt("%.4f", r.accuracy.ks),
-                   Fmt("%.4f", r.accuracy.l1_cdf),
-                   Fmt("%.0f", r.mean_messages)});
-  }
+  const std::vector<int> refine_rounds{1, 2, 4};
+  rounds.AddRows(ParallelRows<std::vector<std::string>>(
+      refine_rounds.size(), [&](size_t row) {
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        DdeOptions opts;
+        opts.num_probes = 128;
+        opts.refinement_rounds = refine_rounds[row];
+        const RepeatedResult r = RepeatDde(e, opts, kReps, 17);
+        return std::vector<std::string>{
+            Fmt("%d", refine_rounds[row]), Fmt("%.4f", r.accuracy.ks),
+            Fmt("%.4f", r.accuracy.l1_cdf), Fmt("%.0f", r.mean_messages)};
+      }));
   rounds.Print();
 
   Table quantiles("E11d local summary resolution (m=128)",
                   {"quantiles", "ks", "kbytes"});
-  for (int q : {2, 4, 8, 16, 32}) {
-    DdeOptions opts;
-    opts.num_probes = 128;
-    opts.local_quantiles = q;
-    const RepeatedResult r = RepeatDde(*env, opts, kReps, 19);
-    quantiles.AddRow({Fmt("%d", q), Fmt("%.4f", r.accuracy.ks),
-                      Fmt("%.1f", r.mean_bytes / 1024.0)});
-  }
+  const std::vector<int> resolutions{2, 4, 8, 16, 32};
+  quantiles.AddRows(ParallelRows<std::vector<std::string>>(
+      resolutions.size(), [&](size_t row) {
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        DdeOptions opts;
+        opts.num_probes = 128;
+        opts.local_quantiles = resolutions[row];
+        const RepeatedResult r = RepeatDde(e, opts, kReps, 19);
+        return std::vector<std::string>{Fmt("%d", resolutions[row]),
+                                        Fmt("%.4f", r.accuracy.ks),
+                                        Fmt("%.1f", r.mean_bytes / 1024.0)};
+      }));
   quantiles.Print();
 
   // E11e: resolving covered probe targets locally is free accuracy-wise on
-  // a stable ring but trusts possibly-stale arcs under churn.
-  Table covered("E11e covered-target local resolution (m=256, n=1024, "
-                "Normal(0.5,0.15), mean session 60s)",
+  // a stable ring but trusts possibly-stale arcs under churn. Each cell is
+  // a self-contained deployment (the churned ones mutate their ring).
+  const size_t kChurnPeers = Scaled(1024, 128);
+  const size_t kChurnItems = Scaled(100000, 4000);
+  Table covered(Fmt("E11e covered-target local resolution (m=256, n=%zu, "
+                    "Normal(0.5,0.15), mean session 60s)",
+                    kChurnPeers),
                 {"network", "resolve_covered", "ks", "msgs",
                  "peers_probed"});
-  for (bool churned : {false, true}) {
-    for (bool resolve : {true, false}) {
-      auto env2 = BuildEnv(
-          1024, std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
-          100000, 401);
-      if (churned) {
-        ChurnOptions copts;
-        copts.mean_session_seconds = 60.0;
-        copts.stabilize_interval_seconds = 30.0;
-        ChurnProcess churn(env2->ring.get(), copts);
-        churn.Start();
-        env2->net->events().RunUntil(300.0);
-      }
-      DdeOptions opts;
-      opts.num_probes = 256;
-      opts.resolve_covered_locally = resolve;
-      const DensityEstimate e = RunDde(*env2, opts, 23);
-      covered.AddRow({churned ? "churning" : "stable",
-                      resolve ? "on" : "off",
-                      Fmt("%.4f", CompareCdfToTruth(e.cdf, *env2->dist).ks),
-                      Fmt("%llu", (unsigned long long)e.cost.messages),
-                      Fmt("%zu", e.peers_probed)});
-    }
-  }
+  struct CoveredCase {
+    bool churned;
+    bool resolve;
+  };
+  const std::vector<CoveredCase> cases{
+      {false, true}, {false, false}, {true, true}, {true, false}};
+  covered.AddRows(ParallelRows<std::vector<std::string>>(
+      cases.size(), [&](size_t row) {
+        const auto [churned, resolve] = cases[row];
+        auto env2 = BuildEnv(
+            kChurnPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kChurnItems, 401);
+        if (churned) {
+          ChurnOptions copts;
+          copts.mean_session_seconds = 60.0;
+          copts.stabilize_interval_seconds = 30.0;
+          ChurnProcess churn(env2->ring.get(), copts);
+          churn.Start();
+          env2->net->events().RunUntil(300.0);
+        }
+        DdeOptions opts;
+        opts.num_probes = 256;
+        opts.resolve_covered_locally = resolve;
+        const DensityEstimate e = RunDde(*env2, opts, 23);
+        return std::vector<std::string>{
+            churned ? "churning" : "stable", resolve ? "on" : "off",
+            Fmt("%.4f", CompareCdfToTruth(e.cdf, *env2->dist).ks),
+            Fmt("%llu", (unsigned long long)e.cost.messages),
+            Fmt("%zu", e.peers_probed)};
+      }));
   covered.Print();
 
   // E11f: exact order-statistic summaries vs GK ε-sketch summaries.
-  Table sketch("E11f summary source (m=256, Zipf(1000,0.9), n=4096)",
+  Table sketch(Fmt("E11f summary source (m=256, Zipf(1000,0.9), n=%zu)",
+                   kPeers),
                {"summary_source", "ks", "l1_cdf"});
-  for (double eps : {-1.0, 0.005, 0.02, 0.1}) {
-    DdeOptions opts;
-    opts.num_probes = 256;
-    opts.use_sketch_summaries = eps > 0.0;
-    if (eps > 0.0) opts.sketch_epsilon = eps;
-    const RepeatedResult r = RepeatDde(*env, opts, kReps, 29);
-    sketch.AddRow({eps > 0.0 ? Fmt("gk eps=%.3f", eps)
-                             : std::string("exact"),
-                   Fmt("%.4f", r.accuracy.ks),
-                   Fmt("%.4f", r.accuracy.l1_cdf)});
-  }
+  const std::vector<double> epsilons{-1.0, 0.005, 0.02, 0.1};
+  sketch.AddRows(ParallelRows<std::vector<std::string>>(
+      epsilons.size(), [&](size_t row) {
+        const double eps = epsilons[row];
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        DdeOptions opts;
+        opts.num_probes = 256;
+        opts.use_sketch_summaries = eps > 0.0;
+        if (eps > 0.0) opts.sketch_epsilon = eps;
+        const RepeatedResult r = RepeatDde(e, opts, kReps, 29);
+        return std::vector<std::string>{
+            eps > 0.0 ? Fmt("gk eps=%.3f", eps) : std::string("exact"),
+            Fmt("%.4f", r.accuracy.ks), Fmt("%.4f", r.accuracy.l1_cdf)};
+      }));
   sketch.Print();
 }
 
@@ -129,6 +166,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e11_ablation");
   ringdde::bench::Run();
   return 0;
 }

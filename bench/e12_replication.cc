@@ -6,6 +6,10 @@
 // Sweep replication factor x maintenance cadence over a fixed crash/join
 // schedule and report key survival, recovery+sync traffic, and the
 // estimator's post-churn accuracy.
+//
+// Every scenario is a fully self-contained simulation (own network, own
+// ring, own crash schedule), so the rows run concurrently on the global
+// thread pool.
 #include <memory>
 
 #include "bench_util.h"
@@ -14,10 +18,6 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 512;
-constexpr size_t kItems = 100000;
-constexpr int kCrashes = 100;
-
 struct Scenario {
   const char* label;
   uint32_t factor;      // 0 = no replication
@@ -25,70 +25,82 @@ struct Scenario {
 };
 
 void Run() {
+  const size_t kPeers = Scaled(512, 96);
+  const size_t kItems = Scaled(100000, 4000);
+  const int kCrashes = ScaledInt(100, 12);
+
   Table table(Fmt("E12 data survival under %d crash/join pairs — n=%zu, "
                   "N=%zu, durable_data=off",
                   kCrashes, kPeers, kItems),
               {"scenario", "survived", "lost", "recovered", "repl_msgs",
                "repl_MB", "post_ks"});
 
-  for (const Scenario& sc :
-       {Scenario{"none", 0, 1}, Scenario{"r=1 tight", 1, 1},
-        Scenario{"r=1 lazy", 1, 10}, Scenario{"r=2 tight", 2, 1},
-        Scenario{"r=2 lazy", 2, 10}, Scenario{"r=4 tight", 4, 1}}) {
-    auto net = std::make_unique<Network>();
-    RingOptions ropts;
-    ropts.durable_data = false;
-    ChordRing ring(net.get(), ropts);
-    if (!ring.CreateNetwork(kPeers).ok()) return;
-    auto dist = std::make_unique<ZipfDistribution>(1000, 0.9);
-    Rng rng(271);
-    ring.InsertDatasetBulk(GenerateDataset(*dist, kItems, rng).keys);
+  const std::vector<Scenario> scenarios{
+      Scenario{"none", 0, 1},      Scenario{"r=1 tight", 1, 1},
+      Scenario{"r=1 lazy", 1, 10}, Scenario{"r=2 tight", 2, 1},
+      Scenario{"r=2 lazy", 2, 10}, Scenario{"r=4 tight", 4, 1}};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      scenarios.size(), [&](size_t row) {
+        const Scenario& sc = scenarios[row];
+        auto net = std::make_unique<Network>();
+        RingOptions ropts;
+        ropts.durable_data = false;
+        ChordRing ring(net.get(), ropts);
+        if (!ring.CreateNetwork(kPeers).ok()) {
+          return std::vector<std::string>{sc.label, "-", "-", "-", "-",
+                                          "-", "-"};
+        }
+        auto dist = std::make_unique<ZipfDistribution>(1000, 0.9);
+        Rng rng(271);
+        ring.InsertDatasetBulk(GenerateDataset(*dist, kItems, rng).keys);
 
-    std::unique_ptr<ReplicationManager> repl;
-    const uint64_t msgs_before = net->counters().messages;
-    const uint64_t bytes_before = net->counters().bytes;
-    if (sc.factor > 0) {
-      ReplicationOptions opts;
-      opts.replication_factor = sc.factor;
-      repl = std::make_unique<ReplicationManager>(&ring, opts);
-      repl->FullSync();
-    }
+        std::unique_ptr<ReplicationManager> repl;
+        const uint64_t msgs_before = net->counters().messages;
+        const uint64_t bytes_before = net->counters().bytes;
+        if (sc.factor > 0) {
+          ReplicationOptions opts;
+          opts.replication_factor = sc.factor;
+          repl = std::make_unique<ReplicationManager>(&ring, opts);
+          repl->FullSync();
+        }
 
-    Rng crng(31);
-    for (int i = 0; i < kCrashes; ++i) {
-      Result<NodeAddr> victim = ring.RandomAliveNode(crng);
-      if (sc.factor > 0) {
-        (void)repl->CrashWithRecovery(*victim);
-      } else {
-        (void)ring.Crash(*victim);
-      }
-      Result<NodeAddr> bootstrap = ring.RandomAliveNode(crng);
-      (void)ring.Join(*bootstrap);
-      if ((i + 1) % sc.maintain_every == 0) {
-        ring.StabilizeAll();
-        if (repl) repl->IncrementalSync();
-      }
-    }
-    const uint64_t repl_msgs = net->counters().messages - msgs_before;
-    const uint64_t repl_bytes = net->counters().bytes - bytes_before;
+        Rng crng(31);
+        for (int i = 0; i < kCrashes; ++i) {
+          Result<NodeAddr> victim = ring.RandomAliveNode(crng);
+          if (sc.factor > 0) {
+            (void)repl->CrashWithRecovery(*victim);
+          } else {
+            (void)ring.Crash(*victim);
+          }
+          Result<NodeAddr> bootstrap = ring.RandomAliveNode(crng);
+          (void)ring.Join(*bootstrap);
+          if ((i + 1) % sc.maintain_every == 0) {
+            ring.StabilizeAll();
+            if (repl) repl->IncrementalSync();
+          }
+        }
+        const uint64_t repl_msgs = net->counters().messages - msgs_before;
+        const uint64_t repl_bytes = net->counters().bytes - bytes_before;
 
-    // How well can the surviving data still be estimated?
-    DdeOptions dopts;
-    dopts.num_probes = 256;
-    dopts.seed = 5;
-    DistributionFreeEstimator est(&ring, dopts);
-    auto e = est.Estimate(*ring.RandomAliveNode(crng));
-    const double ks =
-        e.ok() ? CompareCdfToTruth(e->cdf, *dist).ks : 1.0;
+        // How well can the surviving data still be estimated?
+        DdeOptions dopts;
+        dopts.num_probes = 256;
+        dopts.seed = 5;
+        DistributionFreeEstimator est(&ring, dopts);
+        auto e = est.Estimate(*ring.RandomAliveNode(crng));
+        const double ks = e.ok() ? CompareCdfToTruth(e->cdf, *dist).ks : 1.0;
 
-    table.AddRow(
-        {sc.label, Fmt("%.1f%%", 100.0 * ring.TotalItems() / kItems),
-         Fmt("%llu", (unsigned long long)(repl ? repl->keys_lost()
-                                               : kItems - ring.TotalItems())),
-         Fmt("%llu", (unsigned long long)(repl ? repl->keys_recovered() : 0)),
-         Fmt("%llu", (unsigned long long)repl_msgs),
-         Fmt("%.1f", repl_bytes / (1024.0 * 1024.0)), Fmt("%.4f", ks)});
-  }
+        return std::vector<std::string>{
+            sc.label,
+            Fmt("%.1f%%", 100.0 * double(ring.TotalItems()) / double(kItems)),
+            Fmt("%llu",
+                (unsigned long long)(repl ? repl->keys_lost()
+                                          : kItems - ring.TotalItems())),
+            Fmt("%llu",
+                (unsigned long long)(repl ? repl->keys_recovered() : 0)),
+            Fmt("%llu", (unsigned long long)repl_msgs),
+            Fmt("%.1f", repl_bytes / (1024.0 * 1024.0)), Fmt("%.4f", ks)};
+      }));
   table.Print();
 }
 
@@ -96,6 +108,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e12_replication");
   ringdde::bench::Run();
   return 0;
 }

@@ -5,6 +5,9 @@
 // reconstructions agree. This table shows it spending its budget where the
 // data is hard: roughly the same accuracy everywhere, with the message
 // bill scaling with the workload's difficulty instead of a worst-case m.
+//
+// Workloads are independent deployments; each runs as one concurrent row
+// task contributing its fixed + adaptive rows.
 #include <memory>
 
 #include "bench_util.h"
@@ -12,42 +15,50 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 2048;
-constexpr size_t kItems = 200000;
-
 void Run() {
+  const size_t kPeers = Scaled(2048, 128);
+  const size_t kItems = Scaled(200000, 5000);
+
   Table table(Fmt("E13 adaptive vs fixed budget — n=%zu, N=%zu, "
                   "tolerance=0.01",
                   kPeers, kItems),
               {"workload", "mode", "ks", "messages", "peers"});
-  for (auto& dist : StandardBenchmarkDistributions()) {
-    const std::string name = dist->Name();
-    auto env = BuildEnv(kPeers, std::move(dist), kItems, 501);
-    {
-      DdeOptions opts;
-      opts.num_probes = 256;
-      opts.seed = 61;
-      const DensityEstimate e = RunDde(*env, opts, 61);
-      table.AddRow({name, "fixed m=256",
-                    Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
-                    Fmt("%llu", (unsigned long long)e.cost.messages),
-                    Fmt("%zu", e.peers_probed)});
-    }
-    {
-      DdeOptions opts;
-      opts.seed = 62;
-      DistributionFreeEstimator est(env->ring.get(), opts);
-      Rng rng(63);
-      AdaptiveOptions aopts;
-      auto e = est.EstimateAdaptive(*env->ring->RandomAliveNode(rng),
-                                    aopts);
-      if (!e.ok()) continue;
-      table.AddRow({name, "adaptive",
-                    Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
-                    Fmt("%llu", (unsigned long long)e->cost.messages),
-                    Fmt("%zu", e->peers_probed)});
-    }
-  }
+  auto dists = StandardBenchmarkDistributions();
+  const auto groups = ParallelRows<std::vector<std::vector<std::string>>>(
+      dists.size(), [&](size_t w) {
+        const std::string name = dists[w]->Name();
+        auto env = BuildEnv(kPeers, std::move(dists[w]), kItems, 501);
+        std::vector<std::vector<std::string>> rows;
+        {
+          DdeOptions opts;
+          opts.num_probes = 256;
+          opts.seed = 61;
+          const DensityEstimate e = RunDde(*env, opts, 61);
+          rows.push_back(
+              {name, "fixed m=256",
+               Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
+               Fmt("%llu", (unsigned long long)e.cost.messages),
+               Fmt("%zu", e.peers_probed)});
+        }
+        {
+          DdeOptions opts;
+          opts.seed = 62;
+          DistributionFreeEstimator est(env->ring.get(), opts);
+          Rng rng(63);
+          AdaptiveOptions aopts;
+          auto e = est.EstimateAdaptive(*env->ring->RandomAliveNode(rng),
+                                        aopts);
+          if (e.ok()) {
+            rows.push_back(
+                {name, "adaptive",
+                 Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
+                 Fmt("%llu", (unsigned long long)e->cost.messages),
+                 Fmt("%zu", e->peers_probed)});
+          }
+        }
+        return rows;
+      });
+  for (const auto& g : groups) table.AddRows(g);
   table.Print();
 }
 
@@ -55,6 +66,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e13_adaptive");
   ringdde::bench::Run();
   return 0;
 }

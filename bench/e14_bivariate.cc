@@ -5,6 +5,9 @@
 // per-arc y quantiles. The joint estimate captures x-y correlation that an
 // independence-assuming baseline (product of the two marginals — what a
 // system with two univariate estimates would compute) structurally cannot.
+//
+// Each correlation workload is a self-contained simulation and runs as a
+// concurrent row task on the global thread pool.
 #include <algorithm>
 #include <cmath>
 #include <memory>
@@ -15,9 +18,6 @@
 
 namespace ringdde::bench {
 namespace {
-
-constexpr size_t kPeers = 1024;
-constexpr size_t kItems = 100000;
 
 struct Workload {
   const char* name;
@@ -35,65 +35,76 @@ double InverseY(double x, Rng& rng) {
 }
 
 void Run() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const int kQueries = ScaledInt(200, 60);
+
   Table table(Fmt("E14 2D rectangle selectivity — n=%zu, N=%zu, m=256, "
-                  "200 random rectangles",
-                  kPeers, kItems),
+                  "%d random rectangles",
+                  kPeers, kItems, kQueries),
               {"correlation", "joint_mean_err", "joint_p95_err",
                "indep_mean_err", "indep_p95_err"});
 
-  for (const Workload& wl :
-       {Workload{"independent", IndependentY}, Workload{"y~x", LinearY},
-        Workload{"y~1-x", InverseY}}) {
-    Network net;
-    ChordRing ring(&net);
-    if (!ring.CreateNetwork(kPeers).ok()) return;
-    BivariateStore store(&ring);
-    UniformDistribution ux;
-    Rng rng(29);
-    std::vector<XY> items;
-    items.reserve(kItems);
-    for (size_t i = 0; i < kItems; ++i) {
-      XY item;
-      item.x = ux.Sample(rng);
-      item.y = wl.gen_y(item.x, rng);
-      items.push_back(item);
-    }
-    if (!store.BulkLoad(items).ok()) return;
+  const std::vector<Workload> workloads{Workload{"independent", IndependentY},
+                                        Workload{"y~x", LinearY},
+                                        Workload{"y~1-x", InverseY}};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      workloads.size(), [&](size_t row) {
+        const Workload& wl = workloads[row];
+        const std::vector<std::string> failed{wl.name, "-", "-", "-", "-"};
+        Network net;
+        ChordRing ring(&net);
+        if (!ring.CreateNetwork(kPeers).ok()) return failed;
+        BivariateStore store(&ring);
+        UniformDistribution ux;
+        Rng rng(29);
+        std::vector<XY> items;
+        items.reserve(kItems);
+        for (size_t i = 0; i < kItems; ++i) {
+          XY item;
+          item.x = ux.Sample(rng);
+          item.y = wl.gen_y(item.x, rng);
+          items.push_back(item);
+        }
+        if (!store.BulkLoad(items).ok()) return failed;
 
-    BivariateOptions opts;
-    opts.num_probes = 256;
-    BivariateEstimator est(&ring, &store, opts);
-    auto e = est.Estimate(*ring.RandomAliveNode(rng));
-    if (!e.ok()) return;
+        BivariateOptions opts;
+        opts.num_probes = 256;
+        BivariateEstimator est(&ring, &store, opts);
+        auto e = est.Estimate(*ring.RandomAliveNode(rng));
+        if (!e.ok()) return failed;
 
-    // Independence baseline: product of the estimated x marginal and the
-    // GLOBAL y marginal (built from the same probes' y quantiles via the
-    // estimate itself at full width).
-    auto indep = [&](double x1, double x2, double y1, double y2) {
-      const double px = e->x_cdf().Evaluate(x2) - e->x_cdf().Evaluate(x1);
-      const double py = e->RectangleMass(0.0, 1.0, y1, y2);
-      return px * py;
-    };
+        // Independence baseline: product of the estimated x marginal and
+        // the GLOBAL y marginal (built from the same probes' y quantiles
+        // via the estimate itself at full width).
+        auto indep = [&](double x1, double x2, double y1, double y2) {
+          const double px =
+              e->x_cdf().Evaluate(x2) - e->x_cdf().Evaluate(x1);
+          const double py = e->RectangleMass(0.0, 1.0, y1, y2);
+          return px * py;
+        };
 
-    Rng qrng(31);
-    std::vector<double> joint_err, indep_err;
-    for (int q = 0; q < 200; ++q) {
-      const double x1 = qrng.UniformDouble(0.0, 0.75);
-      const double x2 = x1 + qrng.UniformDouble(0.05, 0.25);
-      const double y1 = qrng.UniformDouble(0.0, 0.75);
-      const double y2 = y1 + qrng.UniformDouble(0.05, 0.25);
-      const double exact =
-          static_cast<double>(store.ExactRectangleCount(x1, x2, y1, y2)) /
-          static_cast<double>(kItems);
-      joint_err.push_back(
-          std::fabs(e->RectangleMass(x1, x2, y1, y2) - exact));
-      indep_err.push_back(std::fabs(indep(x1, x2, y1, y2) - exact));
-    }
-    table.AddRow({wl.name, Fmt("%.4f", Mean(joint_err)),
-                  Fmt("%.4f", Quantile(joint_err, 0.95)),
-                  Fmt("%.4f", Mean(indep_err)),
-                  Fmt("%.4f", Quantile(indep_err, 0.95))});
-  }
+        Rng qrng(31);
+        std::vector<double> joint_err, indep_err;
+        for (int q = 0; q < kQueries; ++q) {
+          const double x1 = qrng.UniformDouble(0.0, 0.75);
+          const double x2 = x1 + qrng.UniformDouble(0.05, 0.25);
+          const double y1 = qrng.UniformDouble(0.0, 0.75);
+          const double y2 = y1 + qrng.UniformDouble(0.05, 0.25);
+          const double exact =
+              static_cast<double>(
+                  store.ExactRectangleCount(x1, x2, y1, y2)) /
+              static_cast<double>(kItems);
+          joint_err.push_back(
+              std::fabs(e->RectangleMass(x1, x2, y1, y2) - exact));
+          indep_err.push_back(std::fabs(indep(x1, x2, y1, y2) - exact));
+        }
+        return std::vector<std::string>{
+            wl.name, Fmt("%.4f", Mean(joint_err)),
+            Fmt("%.4f", Quantile(joint_err, 0.95)),
+            Fmt("%.4f", Mean(indep_err)),
+            Fmt("%.4f", Quantile(indep_err, 0.95))};
+      }));
   table.Print();
 }
 
@@ -101,6 +112,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e14_bivariate");
   ringdde::bench::Run();
   return 0;
 }

@@ -7,6 +7,10 @@
 // falls roughly as 1/sqrt(m) (DKW column), B1 flattens out on skewed data,
 // B2 tracks truth but at a bias floor, B5 only wins when the data really
 // is normal.
+//
+// Rows (one per probe budget) are independent trials and run concurrently
+// on the global thread pool, each against a private Env replica; see
+// bench_util.h for the determinism contract.
 #include <memory>
 
 #include "baselines/parametric.h"
@@ -18,10 +22,6 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 4096;
-constexpr size_t kItems = 200000;
-constexpr int kReps = 3;
-
 double MeanKs(const std::vector<double>& v) {
   double s = 0.0;
   for (double x : v) s += x;
@@ -29,6 +29,13 @@ double MeanKs(const std::vector<double>& v) {
 }
 
 void RunWorkload(std::unique_ptr<Distribution> dist) {
+  const size_t kPeers = Scaled(4096, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const int kReps = ScaledInt(3, 2);
+  const std::vector<size_t> budgets =
+      SmokeMode() ? std::vector<size_t>{16, 64}
+                  : std::vector<size_t>{16, 32, 64, 128, 256, 512, 1024};
+
   const std::string name = dist->Name();
   auto env = BuildEnv(kPeers, std::move(dist), kItems, /*seed=*/17);
 
@@ -38,48 +45,53 @@ void RunWorkload(std::unique_ptr<Distribution> dist) {
               {"m", "dde_ks", "dde_l1cdf", "dde_msgs", "b1_peer_ks",
                "b2_walk_ks", "b5_param_ks", "dkw_eps(d=.05)"});
 
-  for (size_t m : {16, 32, 64, 128, 256, 512, 1024}) {
-    DdeOptions opts;
-    opts.num_probes = m;
-    const RepeatedResult dde = RepeatDde(*env, opts, kReps, 1000 + m);
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      budgets.size(), [&](size_t row) {
+        const size_t m = budgets[row];
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
 
-    std::vector<double> b1_ks, b2_ks, b5_ks;
-    for (int r = 0; r < kReps; ++r) {
-      Rng rng(42 + r);
-      const NodeAddr q = *env->ring->RandomAliveNode(rng);
+        DdeOptions opts;
+        opts.num_probes = m;
+        const RepeatedResult dde = RepeatDde(e, opts, kReps, 1000 + m);
 
-      UniformPeerSamplerOptions b1o;
-      b1o.num_peers = m;
-      b1o.seed = 7 + r;
-      UniformPeerSampler b1(env->ring.get(), b1o);
-      if (auto e = b1.Estimate(q); e.ok()) {
-        b1_ks.push_back(CompareCdfToTruth(e->cdf, *env->dist).ks);
-      }
+        std::vector<double> b1_ks, b2_ks, b5_ks;
+        for (int r = 0; r < kReps; ++r) {
+          Rng rng(42 + r);
+          const NodeAddr q = *e.ring->RandomAliveNode(rng);
 
-      RandomWalkSamplerOptions b2o;
-      b2o.num_samples = m;
-      b2o.seed = 11 + r;
-      RandomWalkSampler b2(env->ring.get(), b2o);
-      if (auto e = b2.Estimate(q); e.ok()) {
-        b2_ks.push_back(CompareCdfToTruth(e->cdf, *env->dist).ks);
-      }
+          UniformPeerSamplerOptions b1o;
+          b1o.num_peers = m;
+          b1o.seed = 7 + r;
+          UniformPeerSampler b1(e.ring.get(), b1o);
+          if (auto est = b1.Estimate(q); est.ok()) {
+            b1_ks.push_back(CompareCdfToTruth(est->cdf, *e.dist).ks);
+          }
 
-      ParametricFitOptions b5o;
-      b5o.num_peers = m;
-      b5o.seed = 13 + r;
-      ParametricFitEstimator b5(env->ring.get(), b5o);
-      if (auto e = b5.Estimate(q); e.ok()) {
-        b5_ks.push_back(
-            CompareCdfToTruth(e->ToPiecewiseCdf(), *env->dist).ks);
-      }
-    }
+          RandomWalkSamplerOptions b2o;
+          b2o.num_samples = m;
+          b2o.seed = 11 + r;
+          RandomWalkSampler b2(e.ring.get(), b2o);
+          if (auto est = b2.Estimate(q); est.ok()) {
+            b2_ks.push_back(CompareCdfToTruth(est->cdf, *e.dist).ks);
+          }
 
-    table.AddRow({Fmt("%zu", m), Fmt("%.4f", dde.accuracy.ks),
-                  Fmt("%.4f", dde.accuracy.l1_cdf),
-                  Fmt("%.0f", dde.mean_messages), Fmt("%.4f", MeanKs(b1_ks)),
-                  Fmt("%.4f", MeanKs(b2_ks)), Fmt("%.4f", MeanKs(b5_ks)),
-                  Fmt("%.4f", DkwEpsilon(m, 0.05))});
-  }
+          ParametricFitOptions b5o;
+          b5o.num_peers = m;
+          b5o.seed = 13 + r;
+          ParametricFitEstimator b5(e.ring.get(), b5o);
+          if (auto est = b5.Estimate(q); est.ok()) {
+            b5_ks.push_back(
+                CompareCdfToTruth(est->ToPiecewiseCdf(), *e.dist).ks);
+          }
+        }
+
+        return std::vector<std::string>{
+            Fmt("%zu", m), Fmt("%.4f", dde.accuracy.ks),
+            Fmt("%.4f", dde.accuracy.l1_cdf), Fmt("%.0f", dde.mean_messages),
+            Fmt("%.4f", MeanKs(b1_ks)), Fmt("%.4f", MeanKs(b2_ks)),
+            Fmt("%.4f", MeanKs(b5_ks)), Fmt("%.4f", DkwEpsilon(m, 0.05))};
+      }));
   table.Print();
 }
 
@@ -87,6 +99,7 @@ void RunWorkload(std::unique_ptr<Distribution> dist) {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e1_accuracy_vs_samples");
   for (auto& dist : ringdde::StandardBenchmarkDistributions()) {
     ringdde::bench::RunWorkload(std::move(dist));
   }

@@ -4,44 +4,68 @@
 // as n grows because accuracy is governed by the number of CDF sample
 // points, not by n; (b) fixed sampling RATIO m=n/16 — error improves with
 // n. Message cost grows only logarithmically per probe (hops column).
+//
+// Each network size is an independent deployment, so the rows (which
+// dominate the runtime — the biggest ring is 64x the smallest) run
+// concurrently on the global thread pool.
 #include "bench_util.h"
 
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kItems = 200000;
-constexpr int kReps = 3;
+/// Both tables' cells for one network size.
+struct SizeRow {
+  std::vector<std::string> fixed_m;
+  std::vector<std::string> ratio_m;
+};
 
 void Run() {
-  Table fixed_m("E2a accuracy vs network size — fixed budget m=256, "
-                "Zipf(1000,0.9), N=200000",
+  const size_t kItems = Scaled(200000, 5000);
+  const int kReps = ScaledInt(3, 2);
+  const std::vector<size_t> sizes =
+      SmokeMode() ? std::vector<size_t>{256, 512}
+                  : std::vector<size_t>{256, 512, 1024, 2048, 4096, 8192,
+                                        16384};
+
+  Table fixed_m(Fmt("E2a accuracy vs network size — fixed budget m=256, "
+                    "Zipf(1000,0.9), N=%zu",
+                    kItems),
                 {"n", "ks", "l1_cdf", "msgs", "hops_per_probe",
                  "total_err"});
   Table ratio_m("E2b accuracy vs network size — fixed ratio m=n/16",
                 {"n", "m", "ks", "l1_cdf", "msgs"});
 
-  for (size_t n : {256, 512, 1024, 2048, 4096, 8192, 16384}) {
-    auto env = BuildEnv(n, std::make_unique<ZipfDistribution>(1000, 0.9),
-                        kItems, 23 + n);
-    {
-      DdeOptions opts;
-      opts.num_probes = 256;
-      const RepeatedResult r = RepeatDde(*env, opts, kReps, n);
-      fixed_m.AddRow({Fmt("%zu", n), Fmt("%.4f", r.accuracy.ks),
-                      Fmt("%.4f", r.accuracy.l1_cdf),
-                      Fmt("%.0f", r.mean_messages),
-                      Fmt("%.2f", r.mean_hops / 256.0),
-                      Fmt("%.3f", r.mean_total_error)});
-    }
-    {
-      DdeOptions opts;
-      opts.num_probes = std::max<size_t>(n / 16, 8);
-      const RepeatedResult r = RepeatDde(*env, opts, kReps, n * 3);
-      ratio_m.AddRow({Fmt("%zu", n), Fmt("%zu", opts.num_probes),
-                      Fmt("%.4f", r.accuracy.ks),
-                      Fmt("%.4f", r.accuracy.l1_cdf),
-                      Fmt("%.0f", r.mean_messages)});
-    }
+  const std::vector<SizeRow> rows = ParallelRows<SizeRow>(
+      sizes.size(), [&](size_t row) {
+        const size_t n = sizes[row];
+        auto env = BuildEnv(n, std::make_unique<ZipfDistribution>(1000, 0.9),
+                            kItems, 23 + n);
+        SizeRow out;
+        {
+          DdeOptions opts;
+          opts.num_probes = 256;
+          const RepeatedResult r = RepeatDde(*env, opts, kReps, n);
+          out.fixed_m = {Fmt("%zu", n), Fmt("%.4f", r.accuracy.ks),
+                         Fmt("%.4f", r.accuracy.l1_cdf),
+                         Fmt("%.0f", r.mean_messages),
+                         Fmt("%.2f", r.mean_hops / 256.0),
+                         Fmt("%.3f", r.mean_total_error)};
+        }
+        {
+          DdeOptions opts;
+          opts.num_probes = std::max<size_t>(n / 16, 8);
+          const RepeatedResult r = RepeatDde(*env, opts, kReps, n * 3);
+          out.ratio_m = {Fmt("%zu", n), Fmt("%zu", opts.num_probes),
+                         Fmt("%.4f", r.accuracy.ks),
+                         Fmt("%.4f", r.accuracy.l1_cdf),
+                         Fmt("%.0f", r.mean_messages)};
+        }
+        return out;
+      });
+
+  for (const SizeRow& r : rows) {
+    fixed_m.AddRow(r.fixed_m);
+    ratio_m.AddRow(r.ratio_m);
   }
   fixed_m.Print();
   ratio_m.Print();
@@ -51,6 +75,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e2_accuracy_vs_network_size");
   ringdde::bench::Run();
   return 0;
 }

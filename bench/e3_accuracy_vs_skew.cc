@@ -5,6 +5,9 @@
 // inversion-guided refinement, while item-sampling baselines degrade —
 // B1's equal-items-per-peer pooling collapses toward a uniform estimate
 // (error grows with skew) and B5's model misspecification explodes.
+//
+// Every skew level is an independent deployment; rows run concurrently on
+// the global thread pool.
 #include <memory>
 
 #include "baselines/parametric.h"
@@ -15,78 +18,92 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 2048;
-constexpr size_t kItems = 200000;
-constexpr size_t kBudget = 256;
-constexpr int kReps = 3;
-
 void Run() {
+  const size_t kPeers = Scaled(2048, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const size_t kBudget = Scaled(256, 64);
+  const int kReps = ScaledInt(3, 2);
+
   Table table(Fmt("E3 accuracy vs Zipf skew — n=%zu, m=%zu, N=%zu, %d reps",
                   kPeers, kBudget, kItems, kReps),
               {"theta", "dde_ks", "b1_peer_ks", "b2_walk_ks",
                "b5_param_ks"});
 
-  for (double theta : {0.0, 0.3, 0.6, 0.9, 1.2}) {
-    auto env =
-        BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, theta),
-                 kItems, 31 + static_cast<uint64_t>(theta * 100));
+  const std::vector<double> thetas =
+      SmokeMode() ? std::vector<double>{0.0, 0.9}
+                  : std::vector<double>{0.0, 0.3, 0.6, 0.9, 1.2};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      thetas.size(), [&](size_t row) {
+        const double theta = thetas[row];
+        auto env =
+            BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, theta),
+                     kItems, 31 + static_cast<uint64_t>(theta * 100));
 
-    DdeOptions opts;
-    opts.num_probes = kBudget;
-    const RepeatedResult dde = RepeatDde(*env, opts, kReps, 500);
+        DdeOptions opts;
+        opts.num_probes = kBudget;
+        const RepeatedResult dde = RepeatDde(*env, opts, kReps, 500);
 
-    double b1 = 0.0, b2 = 0.0, b5 = 0.0;
-    int b1n = 0, b2n = 0, b5n = 0;
-    for (int r = 0; r < kReps; ++r) {
-      Rng rng(42 + r);
-      const NodeAddr q = *env->ring->RandomAliveNode(rng);
+        double b1 = 0.0, b2 = 0.0, b5 = 0.0;
+        int b1n = 0, b2n = 0, b5n = 0;
+        for (int r = 0; r < kReps; ++r) {
+          Rng rng(42 + r);
+          const NodeAddr q = *env->ring->RandomAliveNode(rng);
 
-      UniformPeerSamplerOptions b1o;
-      b1o.num_peers = kBudget;
-      b1o.seed = 7 + r;
-      if (auto e = UniformPeerSampler(env->ring.get(), b1o).Estimate(q);
-          e.ok()) {
-        b1 += CompareCdfToTruth(e->cdf, *env->dist).ks;
-        ++b1n;
-      }
-      RandomWalkSamplerOptions b2o;
-      b2o.num_samples = kBudget;
-      b2o.seed = 11 + r;
-      if (auto e = RandomWalkSampler(env->ring.get(), b2o).Estimate(q);
-          e.ok()) {
-        b2 += CompareCdfToTruth(e->cdf, *env->dist).ks;
-        ++b2n;
-      }
-      ParametricFitOptions b5o;
-      b5o.num_peers = kBudget;
-      b5o.seed = 13 + r;
-      if (auto e = ParametricFitEstimator(env->ring.get(), b5o).Estimate(q);
-          e.ok()) {
-        b5 += CompareCdfToTruth(e->ToPiecewiseCdf(), *env->dist).ks;
-        ++b5n;
-      }
-    }
-    table.AddRow({Fmt("%.1f", theta), Fmt("%.4f", dde.accuracy.ks),
-                  Fmt("%.4f", b1n ? b1 / b1n : 0.0),
-                  Fmt("%.4f", b2n ? b2 / b2n : 0.0),
-                  Fmt("%.4f", b5n ? b5 / b5n : 0.0)});
-  }
+          UniformPeerSamplerOptions b1o;
+          b1o.num_peers = kBudget;
+          b1o.seed = 7 + r;
+          if (auto e = UniformPeerSampler(env->ring.get(), b1o).Estimate(q);
+              e.ok()) {
+            b1 += CompareCdfToTruth(e->cdf, *env->dist).ks;
+            ++b1n;
+          }
+          RandomWalkSamplerOptions b2o;
+          b2o.num_samples = kBudget;
+          b2o.seed = 11 + r;
+          if (auto e = RandomWalkSampler(env->ring.get(), b2o).Estimate(q);
+              e.ok()) {
+            b2 += CompareCdfToTruth(e->cdf, *env->dist).ks;
+            ++b2n;
+          }
+          ParametricFitOptions b5o;
+          b5o.num_peers = kBudget;
+          b5o.seed = 13 + r;
+          if (auto e =
+                  ParametricFitEstimator(env->ring.get(), b5o).Estimate(q);
+              e.ok()) {
+            b5 += CompareCdfToTruth(e->ToPiecewiseCdf(), *env->dist).ks;
+            ++b5n;
+          }
+        }
+        return std::vector<std::string>{
+            Fmt("%.1f", theta), Fmt("%.4f", dde.accuracy.ks),
+            Fmt("%.4f", b1n ? b1 / b1n : 0.0),
+            Fmt("%.4f", b2n ? b2 / b2n : 0.0),
+            Fmt("%.4f", b5n ? b5 / b5n : 0.0)};
+      }));
   table.Print();
 
   // Secondary sweep: narrowing normals (another skew axis).
   Table table2(Fmt("E3b accuracy vs Normal concentration — n=%zu, m=%zu",
                    kPeers, kBudget),
                {"sigma", "dde_ks", "dde_l1cdf"});
-  for (double sigma : {0.3, 0.15, 0.08, 0.04, 0.02}) {
-    auto env = BuildEnv(
-        kPeers, std::make_unique<TruncatedNormalDistribution>(0.5, sigma),
-        kItems, 57 + static_cast<uint64_t>(sigma * 1000));
-    DdeOptions opts;
-    opts.num_probes = kBudget;
-    const RepeatedResult dde = RepeatDde(*env, opts, kReps, 900);
-    table2.AddRow({Fmt("%.2f", sigma), Fmt("%.4f", dde.accuracy.ks),
-                   Fmt("%.4f", dde.accuracy.l1_cdf)});
-  }
+  const std::vector<double> sigmas =
+      SmokeMode() ? std::vector<double>{0.3, 0.04}
+                  : std::vector<double>{0.3, 0.15, 0.08, 0.04, 0.02};
+  table2.AddRows(ParallelRows<std::vector<std::string>>(
+      sigmas.size(), [&](size_t row) {
+        const double sigma = sigmas[row];
+        auto env = BuildEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, sigma),
+            kItems, 57 + static_cast<uint64_t>(sigma * 1000));
+        DdeOptions opts;
+        opts.num_probes = kBudget;
+        const RepeatedResult dde = RepeatDde(*env, opts, kReps, 900);
+        return std::vector<std::string>{Fmt("%.2f", sigma),
+                                        Fmt("%.4f", dde.accuracy.ks),
+                                        Fmt("%.4f", dde.accuracy.l1_cdf)};
+      }));
   table2.Print();
 }
 
@@ -94,6 +111,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e3_accuracy_vs_skew");
   ringdde::bench::Run();
   return 0;
 }

@@ -4,6 +4,10 @@
 // O(m log n) messages; random walks pay an order of magnitude more for
 // comparable sample counts; gossip pays n messages PER ROUND (but serves
 // every peer); the finger-tree convergecast pays ~2n for an exact answer.
+//
+// Each method row runs on the global thread pool against a private Env
+// replica (the querier is re-derived inside the row from the same seed, so
+// every replica picks the identical peer).
 #include <memory>
 
 #include "baselines/gossip_histogram.h"
@@ -16,133 +20,168 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 4096;
-constexpr size_t kItems = 200000;
+std::vector<std::string> CostRow(const std::string& method, double ks,
+                                 const CostCounters& c,
+                                 const char* serves) {
+  return {method, Fmt("%.4f", ks),
+          Fmt("%llu", (unsigned long long)c.messages),
+          Fmt("%llu", (unsigned long long)c.hops),
+          Fmt("%.1f", c.bytes / 1024.0), serves};
+}
 
 void Run() {
+  const size_t kPeers = Scaled(4096, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const size_t kBudgetLo = Scaled(256, 32);
+  const size_t kBudgetHi = Scaled(1024, 64);
+
   auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
                       kItems, 71);
-  Rng rng(5);
-  const NodeAddr q = *env->ring->RandomAliveNode(rng);
 
   Table table(Fmt("E4 cost per method — n=%zu, Zipf(1000,0.9), N=%zu",
                   kPeers, kItems),
               {"method", "ks", "messages", "hops", "kbytes",
                "serves"});
 
-  {
-    DdeOptions opts;
-    opts.num_probes = 256;
-    const DensityEstimate e = RunDde(*env, opts, 101);
-    table.AddRow({"DDE m=256", Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)e.cost.messages),
-                  Fmt("%llu", (unsigned long long)e.cost.hops),
-                  Fmt("%.1f", e.cost.bytes / 1024.0), "1 querier"});
-  }
-  {
-    DdeOptions opts;
-    opts.num_probes = 1024;
-    const DensityEstimate e = RunDde(*env, opts, 103);
-    table.AddRow({"DDE m=1024", Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)e.cost.messages),
-                  Fmt("%llu", (unsigned long long)e.cost.hops),
-                  Fmt("%.1f", e.cost.bytes / 1024.0), "1 querier"});
-  }
-  {
-    UniformPeerSamplerOptions o;
-    o.num_peers = 256;
-    auto e = UniformPeerSampler(env->ring.get(), o).Estimate(q);
-    table.AddRow({"B1 peers=256",
-                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)e->cost.messages),
-                  Fmt("%llu", (unsigned long long)e->cost.hops),
-                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
-  }
-  {
-    RandomWalkSamplerOptions o;
-    o.num_samples = 256;
-    auto e = RandomWalkSampler(env->ring.get(), o).Estimate(q);
-    table.AddRow({"B2 walks=256",
-                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)e->cost.messages),
-                  Fmt("%llu", (unsigned long long)e->cost.hops),
-                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
-  }
-  {
-    GossipHistogramAggregator gossip(env->ring.get());
-    gossip.Initialize();
-    CostScope scope(env->net->counters());
-    for (int r = 0; r < 30; ++r) gossip.Step();
-    Rng grng(9);
-    auto cdf = gossip.EstimateAtPeer(q);
-    const CostCounters c = scope.Delta();
-    table.AddRow({"B3 gossip r=30",
-                  Fmt("%.4f", CompareCdfToTruth(*cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)c.messages),
-                  Fmt("%llu", (unsigned long long)c.hops),
-                  Fmt("%.1f", c.bytes / 1024.0), "ALL peers"});
-  }
-  {
-    // 512 bins so the "exact" anchor is not limited by bin resolution on
-    // this heavily skewed workload (gossip above keeps the deployable
-    // 64-bin payload and pays for it in within-bin error).
-    TreeAggregationOptions topts;
-    topts.bins = 512;
-    TreeAggregator tree(env->ring.get(), topts);
-    auto e = tree.Estimate(q);
-    table.AddRow({"B4 tree exact",
-                  Fmt("%.4f", CompareCdfToTruth(e->cdf, *env->dist).ks),
-                  Fmt("%llu", (unsigned long long)e->cost.messages),
-                  Fmt("%llu", (unsigned long long)e->cost.hops),
-                  Fmt("%.1f", e->cost.bytes / 1024.0), "1 querier"});
-  }
+  table.AddRows(ParallelRows<std::vector<std::string>>(6, [&](size_t row) {
+    std::unique_ptr<Env> storage;
+    Env& e = RowEnv(*env, storage);
+    Rng rng(5);
+    const NodeAddr q = *e.ring->RandomAliveNode(rng);
+    switch (row) {
+      case 0: {
+        DdeOptions opts;
+        opts.num_probes = kBudgetLo;
+        const DensityEstimate est = RunDde(e, opts, 101);
+        return CostRow(Fmt("DDE m=%zu", kBudgetLo),
+                       CompareCdfToTruth(est.cdf, *e.dist).ks, est.cost,
+                       "1 querier");
+      }
+      case 1: {
+        DdeOptions opts;
+        opts.num_probes = kBudgetHi;
+        const DensityEstimate est = RunDde(e, opts, 103);
+        return CostRow(Fmt("DDE m=%zu", kBudgetHi),
+                       CompareCdfToTruth(est.cdf, *e.dist).ks, est.cost,
+                       "1 querier");
+      }
+      case 2: {
+        UniformPeerSamplerOptions o;
+        o.num_peers = kBudgetLo;
+        auto est = UniformPeerSampler(e.ring.get(), o).Estimate(q);
+        return CostRow(Fmt("B1 peers=%zu", kBudgetLo),
+                       CompareCdfToTruth(est->cdf, *e.dist).ks, est->cost,
+                       "1 querier");
+      }
+      case 3: {
+        RandomWalkSamplerOptions o;
+        o.num_samples = kBudgetLo;
+        auto est = RandomWalkSampler(e.ring.get(), o).Estimate(q);
+        return CostRow(Fmt("B2 walks=%zu", kBudgetLo),
+                       CompareCdfToTruth(est->cdf, *e.dist).ks, est->cost,
+                       "1 querier");
+      }
+      case 4: {
+        GossipHistogramAggregator gossip(e.ring.get());
+        gossip.Initialize();
+        CostScope scope(e.net->counters());
+        for (int r = 0; r < 30; ++r) gossip.Step();
+        auto cdf = gossip.EstimateAtPeer(q);
+        return CostRow("B3 gossip r=30",
+                       CompareCdfToTruth(*cdf, *e.dist).ks, scope.Delta(),
+                       "ALL peers");
+      }
+      default: {
+        // 512 bins so the "exact" anchor is not limited by bin resolution
+        // on this heavily skewed workload (gossip above keeps the
+        // deployable 64-bin payload and pays for it in within-bin error).
+        TreeAggregationOptions topts;
+        topts.bins = 512;
+        auto est = TreeAggregator(e.ring.get(), topts).Estimate(q);
+        return CostRow("B4 tree exact",
+                       CompareCdfToTruth(est->cdf, *e.dist).ks, est->cost,
+                       "1 querier");
+      }
+    }
+  }));
   table.Print();
 
-  // Cost scaling of DDE itself, against the analytic prediction.
+  // Cost scaling of DDE itself, against the analytic prediction. Every
+  // (n, m) cell is an independent deployment → independent row task.
   Table scaling("E4b DDE cost scaling vs theory (messages per run)",
                 {"n", "m", "measured", "theory_2mE[hops]+2m"});
-  for (size_t n : {1024, 4096, 16384}) {
-    auto env2 = BuildEnv(n, std::make_unique<UniformDistribution>(), 50000,
-                         n + 7);
-    for (size_t m : {64, 256}) {
-      DdeOptions opts;
-      opts.num_probes = m;
-      const RepeatedResult r = RepeatDde(*env2, opts, 3, n + m);
-      scaling.AddRow({Fmt("%zu", n), Fmt("%zu", m),
-                      Fmt("%.0f", r.mean_messages),
-                      Fmt("%.0f", ExpectedEstimationMessages(m, n))});
-    }
+  const std::vector<size_t> scale_n =
+      SmokeMode() ? std::vector<size_t>{256}
+                  : std::vector<size_t>{1024, 4096, 16384};
+  const std::vector<size_t> scale_m =
+      SmokeMode() ? std::vector<size_t>{16, 64}
+                  : std::vector<size_t>{64, 256};
+  struct Cell {
+    size_t n, m;
+  };
+  std::vector<Cell> cells;
+  for (size_t n : scale_n) {
+    for (size_t m : scale_m) cells.push_back({n, m});
   }
+  scaling.AddRows(ParallelRows<std::vector<std::string>>(
+      cells.size(), [&](size_t row) {
+        const auto [n, m] = cells[row];
+        auto env2 = BuildEnv(n, std::make_unique<UniformDistribution>(),
+                             Scaled(50000, 4000), n + 7);
+        DdeOptions opts;
+        opts.num_probes = m;
+        const RepeatedResult r = RepeatDde(*env2, opts, 3, n + m);
+        return std::vector<std::string>{
+            Fmt("%zu", n), Fmt("%zu", m), Fmt("%.0f", r.mean_messages),
+            Fmt("%.0f", ExpectedEstimationMessages(m, n))};
+      }));
   scaling.Print();
 
   // Lossy channels: reliable delivery inflates cost by ~1/(1-p) but leaves
-  // accuracy untouched.
-  Table lossy("E4c DDE under packet loss — n=1024, m=256",
+  // accuracy untouched. Each loss rate builds its own network → row task.
+  const size_t kLossyPeers = Scaled(1024, 128);
+  const size_t kLossyItems = Scaled(100000, 4000);
+  Table lossy(Fmt("E4c DDE under packet loss — n=%zu, m=%zu", kLossyPeers,
+                  kBudgetLo),
               {"loss_p", "ks", "messages", "lost", "mean_latency_ms"});
-  for (double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    NetworkOptions nopts;
-    nopts.loss_probability = p;
-    nopts.seed = 77;
-    auto net3 = std::make_unique<Network>(nopts);
-    ChordRing ring3(net3.get());
-    if (!ring3.CreateNetwork(1024).ok()) return;
-    Rng lrng(5);
-    auto dist3 = std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
-    ring3.InsertDatasetBulk(GenerateDataset(*dist3, 100000, lrng).keys);
-    DdeOptions opts;
-    opts.num_probes = 256;
-    opts.seed = 81;
-    DistributionFreeEstimator est3(&ring3, opts);
-    auto e = est3.Estimate(*ring3.RandomAliveNode(lrng));
-    if (!e.ok()) continue;
-    lossy.AddRow(
-        {Fmt("%.2f", p), Fmt("%.4f", CompareCdfToTruth(e->cdf, *dist3).ks),
-         Fmt("%llu", (unsigned long long)e->cost.messages),
-         Fmt("%llu", (unsigned long long)net3->lost_messages()),
-         Fmt("%.1f", e->cost.messages > 0
-                         ? 1000.0 * e->cost.latency_sum / e->cost.messages
-                         : 0.0)});
-  }
+  const std::vector<double> losses =
+      SmokeMode() ? std::vector<double>{0.0, 0.2}
+                  : std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.4};
+  lossy.AddRows(ParallelRows<std::vector<std::string>>(
+      losses.size(), [&](size_t row) {
+        const double p = losses[row];
+        NetworkOptions nopts;
+        nopts.loss_probability = p;
+        nopts.seed = 77;
+        auto net3 = std::make_unique<Network>(nopts);
+        ChordRing ring3(net3.get());
+        if (!ring3.CreateNetwork(kLossyPeers).ok()) {
+          return std::vector<std::string>{Fmt("%.2f", p), "-", "-", "-",
+                                          "-"};
+        }
+        Rng lrng(5);
+        auto dist3 =
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15);
+        ring3.InsertDatasetBulk(
+            GenerateDataset(*dist3, kLossyItems, lrng).keys);
+        DdeOptions opts;
+        opts.num_probes = kBudgetLo;
+        opts.seed = 81;
+        DistributionFreeEstimator est3(&ring3, opts);
+        auto e = est3.Estimate(*ring3.RandomAliveNode(lrng));
+        if (!e.ok()) {
+          return std::vector<std::string>{Fmt("%.2f", p), "-", "-", "-",
+                                          "-"};
+        }
+        return std::vector<std::string>{
+            Fmt("%.2f", p),
+            Fmt("%.4f", CompareCdfToTruth(e->cdf, *dist3).ks),
+            Fmt("%llu", (unsigned long long)e->cost.messages),
+            Fmt("%llu", (unsigned long long)net3->lost_messages()),
+            Fmt("%.1f", e->cost.messages > 0
+                            ? 1000.0 * e->cost.latency_sum / e->cost.messages
+                            : 0.0)};
+      }));
   lossy.Print();
 }
 
@@ -150,6 +189,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e4_cost");
   ringdde::bench::Run();
   return 0;
 }

@@ -5,6 +5,9 @@
 // successor-list fallback, and failed probes are skipped. (b) Maintenance
 // policies: periodic full re-estimation versus incremental partial
 // refresh — staleness/accuracy against message cost.
+//
+// Every churn rate / policy is a self-contained simulation (own network,
+// own churn process), so rows run concurrently on the global thread pool.
 #include <memory>
 
 #include "bench_util.h"
@@ -14,51 +17,61 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 1024;
-constexpr size_t kItems = 100000;
-
 void RunChurnAccuracy() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+
   Table table(Fmt("E5a one-shot accuracy under churn — n=%zu, m=256, "
                   "Normal(0.5,0.15), stabilize every 30s",
                   kPeers),
               {"mean_session_s", "churn_events", "ks", "failed_probes",
                "peers_probed", "msgs"});
 
-  for (double session : {1e9, 3600.0, 600.0, 120.0, 60.0}) {
-    auto env = BuildEnv(
-        kPeers, std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
-        kItems, 91 + static_cast<uint64_t>(session));
-    ChurnOptions copts;
-    copts.mean_session_seconds = session;
-    copts.stabilize_interval_seconds = 30.0;
-    copts.seed = 3;
-    ChurnProcess churn(env->ring.get(), copts);
-    churn.Start();
-    env->net->events().RunUntil(300.0);
+  const std::vector<double> sessions =
+      SmokeMode() ? std::vector<double>{1e9, 600.0}
+                  : std::vector<double>{1e9, 3600.0, 600.0, 120.0, 60.0};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      sessions.size(), [&](size_t row) {
+        const double session = sessions[row];
+        auto env = BuildEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kItems, 91 + static_cast<uint64_t>(session));
+        ChurnOptions copts;
+        copts.mean_session_seconds = session;
+        copts.stabilize_interval_seconds = 30.0;
+        copts.seed = 3;
+        ChurnProcess churn(env->ring.get(), copts);
+        churn.Start();
+        env->net->events().RunUntil(300.0);
 
-    DdeOptions opts;
-    opts.num_probes = 256;
-    opts.seed = 5;
-    DistributionFreeEstimator est(env->ring.get(), opts);
-    Rng rng(6);
-    CostScope scope(env->net->counters());
-    auto e = est.Estimate(*env->ring->RandomAliveNode(rng));
-    const double ks =
-        e.ok() ? CompareCdfToTruth(e->cdf, *env->dist).ks : 1.0;
-    table.AddRow(
-        {session > 1e8 ? std::string("inf") : Fmt("%.0f", session),
-         Fmt("%llu", (unsigned long long)(churn.joins() + churn.leaves() +
-                                          churn.crashes())),
-         Fmt("%.4f", ks),
-         Fmt("%llu",
-             (unsigned long long)(e.ok() ? e->failed_probes : 0)),
-         Fmt("%zu", e.ok() ? e->peers_probed : size_t{0}),
-         Fmt("%llu", (unsigned long long)scope.Delta().messages)});
-  }
+        DdeOptions opts;
+        opts.num_probes = 256;
+        opts.seed = 5;
+        DistributionFreeEstimator est(env->ring.get(), opts);
+        Rng rng(6);
+        CostScope scope(env->net->counters());
+        auto e = est.Estimate(*env->ring->RandomAliveNode(rng));
+        const double ks =
+            e.ok() ? CompareCdfToTruth(e->cdf, *env->dist).ks : 1.0;
+        return std::vector<std::string>{
+            session > 1e8 ? std::string("inf") : Fmt("%.0f", session),
+            Fmt("%llu", (unsigned long long)(churn.joins() + churn.leaves() +
+                                             churn.crashes())),
+            Fmt("%.4f", ks),
+            Fmt("%llu",
+                (unsigned long long)(e.ok() ? e->failed_probes : 0)),
+            Fmt("%zu", e.ok() ? e->peers_probed : size_t{0}),
+            Fmt("%llu", (unsigned long long)scope.Delta().messages)};
+      }));
   table.Print();
 }
 
 void RunRefreshPolicies() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const int kEpochs = ScaledInt(10, 3);
+
   Table table("E5b refresh policy under churn (session 600s, 600s run) — "
               "accuracy vs maintenance cost",
               {"policy", "period_s", "refreshes", "mean_ks", "staleness_s",
@@ -69,48 +82,55 @@ void RunRefreshPolicies() {
     double period;
     bool incremental;
   };
-  for (const PolicyCase& pc :
-       {PolicyCase{"full", 120.0, false}, PolicyCase{"full", 30.0, false},
-        PolicyCase{"incremental25%", 30.0, true}}) {
-    auto env = BuildEnv(
-        kPeers, std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
-        kItems, 131);
-    ChurnOptions copts;
-    copts.mean_session_seconds = 600.0;
-    copts.stabilize_interval_seconds = 30.0;
-    ChurnProcess churn(env->ring.get(), copts);
-    churn.Start();
+  const std::vector<PolicyCase> policies = {
+      PolicyCase{"full", 120.0, false}, PolicyCase{"full", 30.0, false},
+      PolicyCase{"incremental25%", 30.0, true}};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      policies.size(), [&](size_t row) {
+        const PolicyCase& pc = policies[row];
+        auto env = BuildEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kItems, 131);
+        ChurnOptions copts;
+        copts.mean_session_seconds = 600.0;
+        copts.stabilize_interval_seconds = 30.0;
+        ChurnProcess churn(env->ring.get(), copts);
+        churn.Start();
 
-    DdeOptions dopts;
-    dopts.num_probes = 256;
-    MaintenanceOptions mopts;
-    mopts.refresh_period_seconds = pc.period;
-    mopts.incremental = pc.incremental;
-    EstimateMaintainer maintainer(env->ring.get(), dopts, mopts);
-    Rng rng(7);
-    const uint64_t msgs_before = env->net->counters().messages;
-    (void)maintainer.Start(*env->ring->RandomAliveNode(rng));
+        DdeOptions dopts;
+        dopts.num_probes = 256;
+        MaintenanceOptions mopts;
+        mopts.refresh_period_seconds = pc.period;
+        mopts.incremental = pc.incremental;
+        EstimateMaintainer maintainer(env->ring.get(), dopts, mopts);
+        Rng rng(7);
+        const uint64_t msgs_before = env->net->counters().messages;
+        (void)maintainer.Start(*env->ring->RandomAliveNode(rng));
 
-    // Sample the maintained estimate every 60 virtual seconds.
-    double ks_sum = 0.0;
-    int ks_n = 0;
-    for (int epoch = 1; epoch <= 10; ++epoch) {
-      env->net->events().RunUntil(epoch * 60.0);
-      if (maintainer.current().has_value()) {
-        ks_sum += CompareCdfToTruth(maintainer.current()->cdf, *env->dist).ks;
-        ++ks_n;
-      }
-    }
-    // Churn traffic is charged to the same network; subtract an identical
-    // churn-only run? Simpler: report total incl. churn, comparable across
-    // policies because the churn process is seeded identically.
-    const uint64_t total = env->net->counters().messages - msgs_before;
-    table.AddRow({pc.name, Fmt("%.0f", pc.period),
-                  Fmt("%llu", (unsigned long long)maintainer.refreshes()),
-                  Fmt("%.4f", ks_n ? ks_sum / ks_n : 1.0),
-                  Fmt("%.0f", maintainer.StalenessSeconds()),
-                  Fmt("%llu", (unsigned long long)total)});
-  }
+        // Sample the maintained estimate every 60 virtual seconds.
+        double ks_sum = 0.0;
+        int ks_n = 0;
+        for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+          env->net->events().RunUntil(epoch * 60.0);
+          if (maintainer.current().has_value()) {
+            ks_sum +=
+                CompareCdfToTruth(maintainer.current()->cdf, *env->dist).ks;
+            ++ks_n;
+          }
+        }
+        // Churn traffic is charged to the same network; subtract an
+        // identical churn-only run? Simpler: report total incl. churn,
+        // comparable across policies because the churn process is seeded
+        // identically.
+        const uint64_t total = env->net->counters().messages - msgs_before;
+        return std::vector<std::string>{
+            pc.name, Fmt("%.0f", pc.period),
+            Fmt("%llu", (unsigned long long)maintainer.refreshes()),
+            Fmt("%.4f", ks_n ? ks_sum / ks_n : 1.0),
+            Fmt("%.0f", maintainer.StalenessSeconds()),
+            Fmt("%llu", (unsigned long long)total)};
+      }));
   table.Print();
 }
 
@@ -118,6 +138,7 @@ void RunRefreshPolicies() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e5_churn");
   ringdde::bench::RunChurnAccuracy();
   ringdde::bench::RunRefreshPolicies();
   return 0;

@@ -4,6 +4,9 @@
 // data sits behind it: KS stays flat from 10^4 to 10^6 items while the
 // per-probe payload stays constant (quantile summaries, not raw items).
 // The N̂ relative error also stays flat.
+//
+// Dataset sizes are independent deployments; rows (dominated by the
+// biggest builds) run concurrently on the global thread pool.
 #include <memory>
 
 #include "bench_util.h"
@@ -12,43 +15,69 @@ namespace ringdde::bench {
 namespace {
 
 void Run() {
-  Table table("E6 accuracy vs dataset size — n=2048 peers, m=256, "
-              "Mixture3 workload, 3 reps",
+  const size_t kPeers = Scaled(2048, 128);
+  const int kReps = ScaledInt(3, 2);
+
+  Table table(Fmt("E6 accuracy vs dataset size — n=%zu peers, m=256, "
+                  "Mixture3 workload, %d reps",
+                  kPeers, kReps),
               {"items", "items_per_peer", "ks", "l1_cdf", "total_rel_err",
                "probe_kbytes"});
-  for (size_t items : {10000, 50000, 100000, 500000, 1000000}) {
-    auto env = BuildEnv(
-        2048,
-        std::make_unique<GaussianMixtureDistribution>(
-            std::vector<GaussianMixtureDistribution::Component>{
-                {0.4, 0.2, 0.05}, {0.35, 0.55, 0.08}, {0.25, 0.85, 0.04}},
-            "Mixture3"),
-        items, 151 + items);
-    DdeOptions opts;
-    opts.num_probes = 256;
-    const RepeatedResult r = RepeatDde(*env, opts, 3, items);
-    table.AddRow({Fmt("%zu", items), Fmt("%.0f", items / 2048.0),
-                  Fmt("%.4f", r.accuracy.ks),
-                  Fmt("%.4f", r.accuracy.l1_cdf),
-                  Fmt("%.3f", r.mean_total_error),
-                  Fmt("%.1f", r.mean_bytes / 1024.0)});
-  }
+  const std::vector<size_t> volumes =
+      SmokeMode()
+          ? std::vector<size_t>{10000, 50000}
+          : std::vector<size_t>{10000, 50000, 100000, 500000, 1000000};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      volumes.size(), [&](size_t row) {
+        const size_t items = volumes[row];
+        auto env = BuildEnv(
+            kPeers,
+            std::make_unique<GaussianMixtureDistribution>(
+                std::vector<GaussianMixtureDistribution::Component>{
+                    {0.4, 0.2, 0.05},
+                    {0.35, 0.55, 0.08},
+                    {0.25, 0.85, 0.04}},
+                "Mixture3"),
+            items, 151 + items);
+        DdeOptions opts;
+        opts.num_probes = 256;
+        const RepeatedResult r = RepeatDde(*env, opts, kReps, items);
+        return std::vector<std::string>{
+            Fmt("%zu", items),
+            Fmt("%.0f", double(items) / double(kPeers)),
+            Fmt("%.4f", r.accuracy.ks),
+            Fmt("%.4f", r.accuracy.l1_cdf),
+            Fmt("%.3f", r.mean_total_error),
+            Fmt("%.1f", r.mean_bytes / 1024.0)};
+      }));
   table.Print();
 
   // Local-summary resolution interacts with volume: with more items per
-  // peer, within-arc shape matters more.
-  Table table2("E6b local quantile resolution at 10^6 items — n=2048, m=256",
+  // peer, within-arc shape matters more. One shared big deployment;
+  // resolution rows get private replicas.
+  const size_t kBigItems = Scaled(1000000, 20000);
+  Table table2(Fmt("E6b local quantile resolution at %zu items — n=%zu, "
+                   "m=256",
+                   kBigItems, kPeers),
                {"quantiles_per_probe", "ks", "probe_kbytes"});
-  auto env = BuildEnv(
-      2048, std::make_unique<ZipfDistribution>(1000, 0.9), 1000000, 161);
-  for (int q : {2, 4, 8, 16, 32}) {
-    DdeOptions opts;
-    opts.num_probes = 256;
-    opts.local_quantiles = q;
-    const RepeatedResult r = RepeatDde(*env, opts, 3, q);
-    table2.AddRow({Fmt("%d", q), Fmt("%.4f", r.accuracy.ks),
-                   Fmt("%.1f", r.mean_bytes / 1024.0)});
-  }
+  auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      kBigItems, 161);
+  const std::vector<int> resolutions =
+      SmokeMode() ? std::vector<int>{2, 16}
+                  : std::vector<int>{2, 4, 8, 16, 32};
+  table2.AddRows(ParallelRows<std::vector<std::string>>(
+      resolutions.size(), [&](size_t row) {
+        const int q = resolutions[row];
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        DdeOptions opts;
+        opts.num_probes = 256;
+        opts.local_quantiles = q;
+        const RepeatedResult r = RepeatDde(e, opts, kReps, q);
+        return std::vector<std::string>{Fmt("%d", q),
+                                        Fmt("%.4f", r.accuracy.ks),
+                                        Fmt("%.1f", r.mean_bytes / 1024.0)};
+      }));
   table2.Print();
 }
 
@@ -56,6 +85,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e6_data_volume");
   ringdde::bench::Run();
   return 0;
 }

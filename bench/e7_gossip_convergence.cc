@@ -5,6 +5,11 @@
 // achieves if handed the same CUMULATIVE message budget as probes. Shape:
 // for a single querier DDE reaches low error with a fraction of one gossip
 // round's traffic; gossip only amortizes when all n peers need estimates.
+//
+// The gossip rounds are inherently sequential, so phase 1 steps the
+// aggregator serially and records per-round state; phase 2 then runs the
+// independent DDE-at-equal-budget column concurrently, one Env replica
+// per round.
 #include <cmath>
 #include <memory>
 
@@ -15,10 +20,11 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 1024;
-constexpr size_t kItems = 100000;
-
 void Run() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const int kRounds = ScaledInt(12, 4);
+
   auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
                       kItems, 171);
   GossipHistogramAggregator gossip(env->ring.get());
@@ -29,71 +35,94 @@ void Run() {
               {"round", "gossip_mean_ks", "cum_msgs",
                "dde_ks_at_same_msgs", "dde_m"});
 
+  // Phase 1 (serial): the round r state depends on round r-1, and the
+  // disagreement probe shares one rng stream across rounds.
+  struct RoundState {
+    double gossip_ks = 0.0;
+    uint64_t cum_msgs = 0;
+  };
+  std::vector<RoundState> rounds(static_cast<size_t>(kRounds) + 1);
   Rng rng(3);
   uint64_t cum_msgs = 0;
+  for (int round = 0; round <= kRounds; ++round) {
+    if (round > 0) cum_msgs += gossip.Step();
+    rounds[static_cast<size_t>(round)] = {gossip.MeanDisagreement(64, rng),
+                                          cum_msgs};
+  }
+
+  // Phase 2 (parallel): each round's equal-budget DDE run is independent.
   // Average hops per lookup ~ 0.5 log2 n; messages per probe ~ 2 hops + 2.
   const double per_probe = std::log2(double(kPeers)) + 2.0;
-  for (int round = 0; round <= 12; ++round) {
-    if (round > 0) cum_msgs += gossip.Step();
-    const double gks = gossip.MeanDisagreement(64, rng);
-
-    std::string dde_ks = "-";
-    std::string dde_m = "-";
-    if (cum_msgs > 0) {
-      const size_t m = std::max<size_t>(
-          4, static_cast<size_t>(double(cum_msgs) / per_probe));
-      DdeOptions opts;
-      opts.num_probes = std::min<size_t>(m, 4096);
-      const RepeatedResult r = RepeatDde(*env, opts, 2, 700 + round);
-      dde_ks = Fmt("%.4f", r.accuracy.ks);
-      dde_m = Fmt("%zu", opts.num_probes);
-    }
-    table.AddRow({Fmt("%d", round), Fmt("%.4f", gks),
-                  Fmt("%llu", (unsigned long long)cum_msgs), dde_ks,
-                  dde_m});
-  }
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      rounds.size(), [&](size_t row) {
+        const RoundState& rs = rounds[row];
+        std::string dde_ks = "-";
+        std::string dde_m = "-";
+        if (rs.cum_msgs > 0) {
+          std::unique_ptr<Env> storage;
+          Env& e = RowEnv(*env, storage);
+          const size_t m = std::max<size_t>(
+              4, static_cast<size_t>(double(rs.cum_msgs) / per_probe));
+          DdeOptions opts;
+          opts.num_probes = std::min<size_t>(m, 4096);
+          const RepeatedResult r =
+              RepeatDde(e, opts, 2, 700 + static_cast<uint64_t>(row));
+          dde_ks = Fmt("%.4f", r.accuracy.ks);
+          dde_m = Fmt("%zu", opts.num_probes);
+        }
+        return std::vector<std::string>{
+            Fmt("%zu", row), Fmt("%.4f", rs.gossip_ks),
+            Fmt("%llu", (unsigned long long)rs.cum_msgs), dde_ks, dde_m};
+      }));
   table.Print();
 
   // Serving ALL peers: probe once + broadcast the estimate over the finger
-  // tree versus gossiping until convergence.
+  // tree versus gossiping until convergence. Three self-contained
+  // strategies → three concurrent rows on private replicas.
+  const int kGossipRounds = ScaledInt(40, 8);
   Table all_peers(Fmt("E7b serve-every-peer strategies — n=%zu", kPeers),
                   {"strategy", "peer_mean_ks", "holders", "total_msgs",
                    "total_MB"});
-  for (size_t shipped_knots : {size_t{0}, size_t{128}}) {
-    CostScope scope(env->net->counters());
-    DdeOptions opts;
-    opts.num_probes = 256;
-    DensityEstimate e = RunDde(*env, opts, 909);
-    std::string label = "DDE m=256 + broadcast (full)";
-    if (shipped_knots > 0) {
-      // Downsample the CDF before shipping: ~1/knots CDF error for a
-      // fraction of the bytes.
-      e.cdf = e.cdf.Resampled(shipped_knots);
-      label = Fmt("DDE m=256 + broadcast (%zu knots)", shipped_knots);
-    }
-    EstimateDisseminator diss(env->ring.get());
-    Rng drng(11);
-    auto holders = diss.Broadcast(*env->ring->RandomAliveNode(drng), e);
-    const CostCounters c = scope.Delta();
-    all_peers.AddRow(
-        {label, Fmt("%.4f", CompareCdfToTruth(e.cdf, *env->dist).ks),
-         Fmt("%zu", holders.value_or(0)),
-         Fmt("%llu", (unsigned long long)c.messages),
-         Fmt("%.1f", c.bytes / (1024.0 * 1024.0))});
-  }
-  {
-    GossipHistogramAggregator gossip2(env->ring.get());
-    gossip2.Initialize();
-    CostScope scope(env->net->counters());
-    for (int r = 0; r < 40; ++r) gossip2.Step();
-    Rng grng(12);
-    const CostCounters c = scope.Delta();
-    all_peers.AddRow({"gossip 40 rounds",
-                      Fmt("%.4f", gossip2.MeanDisagreement(64, grng)),
-                      Fmt("%zu", env->ring->AliveCount()),
-                      Fmt("%llu", (unsigned long long)c.messages),
-                      Fmt("%.1f", c.bytes / (1024.0 * 1024.0))});
-  }
+  all_peers.AddRows(ParallelRows<std::vector<std::string>>(
+      3, [&](size_t row) {
+        std::unique_ptr<Env> storage;
+        Env& e = RowEnv(*env, storage);
+        if (row < 2) {
+          const size_t shipped_knots = row == 0 ? 0 : 128;
+          CostScope scope(e.net->counters());
+          DdeOptions opts;
+          opts.num_probes = 256;
+          DensityEstimate est = RunDde(e, opts, 909);
+          std::string label = "DDE m=256 + broadcast (full)";
+          if (shipped_knots > 0) {
+            // Downsample the CDF before shipping: ~1/knots CDF error for a
+            // fraction of the bytes.
+            est.cdf = est.cdf.Resampled(shipped_knots);
+            label = Fmt("DDE m=256 + broadcast (%zu knots)", shipped_knots);
+          }
+          EstimateDisseminator diss(e.ring.get());
+          Rng drng(11);
+          auto holders = diss.Broadcast(*e.ring->RandomAliveNode(drng), est);
+          const CostCounters c = scope.Delta();
+          return std::vector<std::string>{
+              label, Fmt("%.4f", CompareCdfToTruth(est.cdf, *e.dist).ks),
+              Fmt("%zu", holders.value_or(0)),
+              Fmt("%llu", (unsigned long long)c.messages),
+              Fmt("%.1f", c.bytes / (1024.0 * 1024.0))};
+        }
+        GossipHistogramAggregator gossip2(e.ring.get());
+        gossip2.Initialize();
+        CostScope scope(e.net->counters());
+        for (int r = 0; r < kGossipRounds; ++r) gossip2.Step();
+        Rng grng(12);
+        const CostCounters c = scope.Delta();
+        return std::vector<std::string>{
+            Fmt("gossip %d rounds", kGossipRounds),
+            Fmt("%.4f", gossip2.MeanDisagreement(64, grng)),
+            Fmt("%zu", e.ring->AliveCount()),
+            Fmt("%llu", (unsigned long long)c.messages),
+            Fmt("%.1f", c.bytes / (1024.0 * 1024.0))};
+      }));
   all_peers.Print();
 }
 
@@ -101,6 +130,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e7_gossip_convergence");
   ringdde::bench::Run();
   return 0;
 }

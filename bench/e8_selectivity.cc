@@ -3,7 +3,10 @@
 // The query-processing application from the paper's motivation. A peer
 // estimates once, then answers arbitrary range-selectivity questions
 // locally. Rows report mean / p95 absolute selectivity error over a
-// 500-query workload, per workload distribution and per method.
+// range-query workload, per workload distribution and per method.
+//
+// Workloads are independent deployments and run concurrently on the
+// global thread pool; each contributes its three method rows.
 #include <memory>
 
 #include "apps/selectivity.h"
@@ -14,60 +17,67 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 2048;
-constexpr size_t kItems = 200000;
-
 void Run() {
-  Table table(Fmt("E8 selectivity estimation error — n=%zu, N=%zu, 500 "
+  const size_t kPeers = Scaled(2048, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const size_t kQueries = Scaled(500, 100);
+
+  Table table(Fmt("E8 selectivity estimation error — n=%zu, N=%zu, %zu "
                   "range queries (mean width 0.1), m=256",
-                  kPeers, kItems),
+                  kPeers, kItems, kQueries),
               {"workload", "method", "mean_abs_err", "p95_abs_err",
                "mean_rel_err"});
 
-  for (auto& dist : StandardBenchmarkDistributions()) {
-    const std::string name = dist->Name();
-    auto env = BuildEnv(kPeers, std::move(dist), kItems, 181);
-    Rng wrng(9);
-    const auto queries = GenerateRangeQueries(500, 0.1, wrng);
-    Rng rng(10);
-    const NodeAddr q = *env->ring->RandomAliveNode(rng);
+  auto dists = StandardBenchmarkDistributions();
+  const auto groups = ParallelRows<std::vector<std::vector<std::string>>>(
+      dists.size(), [&](size_t w) {
+        const std::string name = dists[w]->Name();
+        auto env = BuildEnv(kPeers, std::move(dists[w]), kItems, 181);
+        Rng wrng(9);
+        const auto queries = GenerateRangeQueries(kQueries, 0.1, wrng);
+        Rng rng(10);
+        const NodeAddr q = *env->ring->RandomAliveNode(rng);
 
-    {
-      DdeOptions opts;
-      opts.num_probes = 256;
-      const DensityEstimate e = RunDde(*env, opts, 301);
-      const auto r = EvaluateSelectivity(e.cdf, *env->ring, queries);
-      table.AddRow({name, "DDE", Fmt("%.4f", r.mean_abs_error),
-                    Fmt("%.4f", r.p95_abs_error),
-                    Fmt("%.3f", r.mean_rel_error)});
-    }
-    {
-      UniformPeerSamplerOptions o;
-      o.num_peers = 256;
-      auto e = UniformPeerSampler(env->ring.get(), o).Estimate(q);
-      if (e.ok()) {
-        const auto r = EvaluateSelectivity(e->cdf, *env->ring, queries);
-        table.AddRow({name, "B1-peers", Fmt("%.4f", r.mean_abs_error),
-                      Fmt("%.4f", r.p95_abs_error),
-                      Fmt("%.3f", r.mean_rel_error)});
-      }
-    }
-    {
-      ParametricFitOptions o;
-      o.num_peers = 256;
-      auto e = ParametricFitEstimator(env->ring.get(), o).Estimate(q);
-      if (e.ok()) {
-        const PiecewiseLinearCdf cdf = e->ToPiecewiseCdf();
-        const auto r = EvaluateSelectivity(cdf, *env->ring, queries);
-        table.AddRow({name, "B5-param", Fmt("%.4f", r.mean_abs_error),
-                      Fmt("%.4f", r.p95_abs_error),
-                      Fmt("%.3f", r.mean_rel_error)});
-      }
-    }
-  }
+        std::vector<std::vector<std::string>> rows;
+        {
+          DdeOptions opts;
+          opts.num_probes = 256;
+          const DensityEstimate e = RunDde(*env, opts, 301);
+          const auto r = EvaluateSelectivity(e.cdf, *env->ring, queries);
+          rows.push_back({name, "DDE", Fmt("%.4f", r.mean_abs_error),
+                          Fmt("%.4f", r.p95_abs_error),
+                          Fmt("%.3f", r.mean_rel_error)});
+        }
+        {
+          UniformPeerSamplerOptions o;
+          o.num_peers = 256;
+          auto e = UniformPeerSampler(env->ring.get(), o).Estimate(q);
+          if (e.ok()) {
+            const auto r = EvaluateSelectivity(e->cdf, *env->ring, queries);
+            rows.push_back({name, "B1-peers", Fmt("%.4f", r.mean_abs_error),
+                            Fmt("%.4f", r.p95_abs_error),
+                            Fmt("%.3f", r.mean_rel_error)});
+          }
+        }
+        {
+          ParametricFitOptions o;
+          o.num_peers = 256;
+          auto e = ParametricFitEstimator(env->ring.get(), o).Estimate(q);
+          if (e.ok()) {
+            const PiecewiseLinearCdf cdf = e->ToPiecewiseCdf();
+            const auto r = EvaluateSelectivity(cdf, *env->ring, queries);
+            rows.push_back({name, "B5-param", Fmt("%.4f", r.mean_abs_error),
+                            Fmt("%.4f", r.p95_abs_error),
+                            Fmt("%.3f", r.mean_rel_error)});
+          }
+        }
+        return rows;
+      });
+  for (const auto& g : groups) table.AddRows(g);
   table.Print();
 
-  // Query-width sensitivity for DDE.
+  // Query-width sensitivity for DDE: one deployment, one estimate, five
+  // local evaluations — cheap, stays serial.
   Table table2("E8b DDE selectivity error vs query width — Zipf(1000,0.9)",
                {"mean_width", "mean_abs_err", "p95_abs_err"});
   auto env = BuildEnv(kPeers, std::make_unique<ZipfDistribution>(1000, 0.9),
@@ -77,7 +87,7 @@ void Run() {
   const DensityEstimate e = RunDde(*env, opts, 401);
   for (double width : {0.01, 0.05, 0.1, 0.25, 0.5}) {
     Rng wrng(static_cast<uint64_t>(width * 1000));
-    const auto queries = GenerateRangeQueries(500, width, wrng);
+    const auto queries = GenerateRangeQueries(kQueries, width, wrng);
     const auto r = EvaluateSelectivity(e.cdf, *env->ring, queries);
     table2.AddRow({Fmt("%.2f", width), Fmt("%.4f", r.mean_abs_error),
                    Fmt("%.4f", r.p95_abs_error)});
@@ -89,6 +99,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e8_selectivity");
   ringdde::bench::Run();
   return 0;
 }

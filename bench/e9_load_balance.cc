@@ -4,6 +4,9 @@
 // density estimate plus the membership's arcs (no load collection). Rows
 // compare predicted vs exact imbalance statistics, and the equi-depth
 // partition advisor's quality against naive equal-width splits.
+//
+// Each workload is an independent deployment; both tables' rows run
+// concurrently on the global thread pool.
 #include <memory>
 
 #include "apps/equidepth_partitioner.h"
@@ -13,31 +16,33 @@
 namespace ringdde::bench {
 namespace {
 
-constexpr size_t kPeers = 2048;
-constexpr size_t kItems = 200000;
-
 void Run() {
+  const size_t kPeers = Scaled(2048, 128);
+  const size_t kItems = Scaled(200000, 5000);
+
   Table table(Fmt("E9a predicted vs exact load balance — n=%zu, N=%zu, "
                   "m=256",
                   kPeers, kItems),
               {"workload", "gini_exact", "gini_pred", "max/avg_exact",
                "max/avg_pred", "per_peer_err"});
 
-  for (auto& dist : StandardBenchmarkDistributions()) {
-    const std::string name = dist->Name();
-    auto env = BuildEnv(kPeers, std::move(dist), kItems, 201);
-    DdeOptions opts;
-    opts.num_probes = 256;
-    const DensityEstimate e = RunDde(*env, opts, 501);
-    const LoadBalanceReport exact = ExactLoadBalance(*env->ring);
-    const LoadBalanceReport pred =
-        PredictLoadBalance(*env->ring, e.cdf, e.estimated_total_items);
-    table.AddRow(
-        {name, Fmt("%.3f", exact.gini), Fmt("%.3f", pred.gini),
-         Fmt("%.2f", exact.max_over_avg), Fmt("%.2f", pred.max_over_avg),
-         Fmt("%.3f", MeanLoadPredictionError(*env->ring, e.cdf,
-                                             e.estimated_total_items))});
-  }
+  auto dists_a = StandardBenchmarkDistributions();
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      dists_a.size(), [&](size_t w) {
+        const std::string name = dists_a[w]->Name();
+        auto env = BuildEnv(kPeers, std::move(dists_a[w]), kItems, 201);
+        DdeOptions opts;
+        opts.num_probes = 256;
+        const DensityEstimate e = RunDde(*env, opts, 501);
+        const LoadBalanceReport exact = ExactLoadBalance(*env->ring);
+        const LoadBalanceReport pred =
+            PredictLoadBalance(*env->ring, e.cdf, e.estimated_total_items);
+        return std::vector<std::string>{
+            name, Fmt("%.3f", exact.gini), Fmt("%.3f", pred.gini),
+            Fmt("%.2f", exact.max_over_avg), Fmt("%.2f", pred.max_over_avg),
+            Fmt("%.3f", MeanLoadPredictionError(*env->ring, e.cdf,
+                                                e.estimated_total_items))};
+      }));
   table.Print();
 
   Table table2(
@@ -45,24 +50,25 @@ void Run() {
       "0.0625, m=256",
       {"workload", "dde_max_share", "dde_imbalance", "equalwidth_max_share",
        "equalwidth_imbalance"});
-  for (auto& dist : StandardBenchmarkDistributions()) {
-    const std::string name = dist->Name();
-    auto env = BuildEnv(kPeers, std::move(dist), kItems, 211);
-    DdeOptions opts;
-    opts.num_probes = 256;
-    const DensityEstimate e = RunDde(*env, opts, 601);
-    const auto bounds = ProposePartitionBoundaries(e.cdf, 16);
-    const PartitionQuality dde_q =
-        EvaluatePartitionShares(MeasurePartitionShares(*env->ring, bounds));
-    std::vector<double> naive;
-    for (int i = 1; i < 16; ++i) naive.push_back(i / 16.0);
-    const PartitionQuality naive_q = EvaluatePartitionShares(
-        MeasurePartitionShares(*env->ring, naive));
-    table2.AddRow({name, Fmt("%.4f", dde_q.max_share),
-                   Fmt("%.2f", dde_q.imbalance),
-                   Fmt("%.4f", naive_q.max_share),
-                   Fmt("%.2f", naive_q.imbalance)});
-  }
+  auto dists_b = StandardBenchmarkDistributions();
+  table2.AddRows(ParallelRows<std::vector<std::string>>(
+      dists_b.size(), [&](size_t w) {
+        const std::string name = dists_b[w]->Name();
+        auto env = BuildEnv(kPeers, std::move(dists_b[w]), kItems, 211);
+        DdeOptions opts;
+        opts.num_probes = 256;
+        const DensityEstimate e = RunDde(*env, opts, 601);
+        const auto bounds = ProposePartitionBoundaries(e.cdf, 16);
+        const PartitionQuality dde_q = EvaluatePartitionShares(
+            MeasurePartitionShares(*env->ring, bounds));
+        std::vector<double> naive;
+        for (int i = 1; i < 16; ++i) naive.push_back(i / 16.0);
+        const PartitionQuality naive_q = EvaluatePartitionShares(
+            MeasurePartitionShares(*env->ring, naive));
+        return std::vector<std::string>{
+            name, Fmt("%.4f", dde_q.max_share), Fmt("%.2f", dde_q.imbalance),
+            Fmt("%.4f", naive_q.max_share), Fmt("%.2f", naive_q.imbalance)};
+      }));
   table2.Print();
 }
 
@@ -70,6 +76,7 @@ void Run() {
 }  // namespace ringdde::bench
 
 int main() {
+  ringdde::bench::BenchRun run("e9_load_balance");
   ringdde::bench::Run();
   return 0;
 }

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+/// Shared state of one ParallelFor call. Runner jobs (and the caller)
+/// claim indices from `next` until it passes `end`; the last runner to
+/// finish signals `done`.
+struct ThreadPool::ForLoop {
+  const std::function<void(size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t active_runners = 0;
+  std::exception_ptr first_error;
+
+  void Run() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        // Abandon the un-started tail; in-flight indices finish normally.
+        next.store(end, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerMain() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  // Serial fast path: no workers, a single index, or a nested call from a
+  // worker thread (outer parallelism already owns the pool).
+  if (threads_.empty() || n == 1 || InWorker()) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Shift to [0, n) internally so `next` can start at 0.
+  const std::function<void(size_t)> shifted = [&](size_t i) {
+    body(begin + i);
+  };
+  auto loop = std::make_shared<ForLoop>();
+  loop->body = &shifted;
+  loop->end = n;
+
+  const size_t runners = std::min(threads_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loop->active_runners = runners;
+    for (size_t r = 0; r < runners; ++r) {
+      queue_.push_back([loop] {
+        loop->Run();
+        std::lock_guard<std::mutex> l(loop->mu);
+        if (--loop->active_runners == 0) loop->done.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  loop->Run();  // the caller participates
+
+  std::unique_lock<std::mutex> lock(loop->mu);
+  loop->done.wait(lock, [&] { return loop->active_runners == 0; });
+  if (loop->first_error) std::rethrow_exception(loop->first_error);
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+size_t ThreadPool::DefaultConcurrency() {
+  if (const char* env = std::getenv("RINGDDE_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultConcurrency() - 1);
+  return *pool;
+}
+
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index) {
+  // Mix the base first so adjacent task indices of adjacent base seeds do
+  // not collide (SplitMix64 is a bijection; xor of two mixes is not).
+  return SplitMix64(SplitMix64(base_seed) + 0x9E3779B97F4A7C15ULL * (task_index + 1));
+}
+
+}  // namespace ringdde

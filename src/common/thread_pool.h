@@ -1,0 +1,86 @@
+#ifndef RINGDDE_COMMON_THREAD_POOL_H_
+#define RINGDDE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ringdde {
+
+/// Fixed-size worker pool for embarrassingly parallel simulation work
+/// (independent benchmark trials, workload rows).
+///
+/// Design constraints, in order:
+///  1. *Determinism*: ParallelFor guarantees each index runs exactly once
+///     and callers store results by index, so reductions are performed in
+///     index order and the output is bit-identical for every thread count
+///     (including 1). Randomness is never shared across tasks — each task
+///     derives its own seed with DeriveTaskSeed().
+///  2. *No nested oversubscription*: a ParallelFor issued from inside a
+///     worker thread runs inline on that worker (sequentially). Outer
+///     parallelism wins; inner loops degrade to serial instead of
+///     deadlocking on a saturated queue.
+///  3. *Caller participation*: the submitting thread works on the loop too,
+///     so a pool of W workers gives W+1-way parallelism and `ThreadPool(0)`
+///     degenerates to a plain serial loop.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is valid: everything runs on the caller.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool threads (excluding the participating caller).
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Parallelism degree ParallelFor actually uses (workers + caller).
+  size_t concurrency() const { return threads_.size() + 1; }
+
+  /// Applies `body` to every index in [begin, end), spread over the pool
+  /// plus the calling thread. Blocks until all indices finish. If any body
+  /// throws, the remaining un-started indices are abandoned and the first
+  /// exception is rethrown on the caller after the in-flight ones drain.
+  /// Reentrant calls from worker threads run inline (see class comment).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool InWorker();
+
+  /// The process-wide pool used by benchmarks and tools. Sized by the
+  /// RINGDDE_THREADS environment variable when set (>= 1, counting the
+  /// caller), otherwise by std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+  /// Thread count Global() would use (RINGDDE_THREADS or hardware).
+  static size_t DefaultConcurrency();
+
+ private:
+  struct ForLoop;
+
+  void WorkerMain();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Derives the seed of task `task_index` within a run seeded by
+/// `base_seed`. Two SplitMix64 mixing steps keep the per-task streams
+/// statistically independent of one another and of the base stream, and
+/// the derivation depends only on (base_seed, task_index) — never on
+/// scheduling — so parallel runs reproduce serial ones exactly.
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_THREAD_POOL_H_

@@ -39,6 +39,11 @@ class Distribution {
 
   /// Short human-readable name used in experiment tables.
   virtual std::string Name() const = 0;
+
+  /// Deep copy with identical parameters (and therefore an identical
+  /// Sample() stream for a given Rng). Lets deployments be replicated
+  /// across threads without sharing the prototype object.
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
 };
 
 /// Uniform over [lo, hi] ⊆ [0,1].
@@ -52,6 +57,9 @@ class UniformDistribution : public Distribution {
   double support_lo() const override { return lo_; }
   double support_hi() const override { return hi_; }
   std::string Name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<UniformDistribution>(*this);
+  }
 
  private:
   double lo_, hi_;
@@ -66,6 +74,9 @@ class TruncatedNormalDistribution : public Distribution {
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   std::string Name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<TruncatedNormalDistribution>(*this);
+  }
 
  private:
   double mean_, stddev_;
@@ -82,6 +93,9 @@ class TruncatedExponentialDistribution : public Distribution {
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   std::string Name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<TruncatedExponentialDistribution>(*this);
+  }
 
  private:
   double rate_;
@@ -98,6 +112,9 @@ class BoundedParetoDistribution : public Distribution {
   double Quantile(double p) const override;
   double support_lo() const override { return lo_; }
   std::string Name() const override;
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<BoundedParetoDistribution>(*this);
+  }
 
  private:
   double alpha_, lo_;
@@ -115,6 +132,9 @@ class PiecewiseConstantDistribution : public Distribution {
   double Cdf(double x) const override;
   double Quantile(double p) const override;
   std::string Name() const override { return name_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<PiecewiseConstantDistribution>(*this);
+  }
 
   size_t num_bins() const { return masses_.size(); }
   const std::vector<double>& masses() const { return masses_; }
@@ -134,6 +154,9 @@ class ZipfDistribution : public PiecewiseConstantDistribution {
  public:
   ZipfDistribution(size_t num_values, double theta);
   double theta() const { return theta_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<ZipfDistribution>(*this);
+  }
 
  private:
   static std::vector<double> ZipfMasses(size_t num_values, double theta);
@@ -155,6 +178,9 @@ class GaussianMixtureDistribution : public Distribution {
   double Pdf(double x) const override;
   double Cdf(double x) const override;
   std::string Name() const override { return name_; }
+  std::unique_ptr<Distribution> Clone() const override {
+    return std::make_unique<GaussianMixtureDistribution>(*this);
+  }
 
  private:
   std::vector<Component> components_;  // weights normalized

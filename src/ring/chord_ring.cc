@@ -50,15 +50,39 @@ Status ChordRing::InsertKeyBulk(double key01) {
 }
 
 void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01) {
-  // Group by owner to amortize the per-node sorted-insert cost.
-  std::unordered_map<NodeAddr, std::vector<double>> by_owner;
-  for (double k : keys01) {
-    Result<NodeAddr> owner = OracleOwner(RingId::FromUnit(k));
-    if (!owner.ok()) return;  // empty ring: nothing to load into
-    by_owner[*owner].push_back(k);
-  }
-  for (auto& [addr, keys] : by_owner) {
-    GetNode(addr)->InsertKeys(keys);
+  if (index_.empty() || keys01.empty()) return;
+  // Sort once, then sweep the sorted keys against the sorted node arcs:
+  // FromUnit is monotone on [0,1), so consecutive keys land on the same or
+  // a later arc and each node receives one pre-sorted contiguous slice —
+  // O(N log N + N + n) instead of a map lookup plus hash churn per key.
+  std::vector<double> sorted(keys01);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  auto it = index_.begin();
+  uint64_t last_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t pos = RingId::FromUnit(sorted[i]).value;
+    if (pos < last_pos) {
+      // Wrapped position (key outside [0,1) reduced mod 1): restart the
+      // sweep cursor. Rare, so the extra lookup is irrelevant.
+      it = index_.lower_bound(pos);
+    } else {
+      while (it != index_.end() && it->first < pos) ++it;
+    }
+    last_pos = pos;
+    // Owner of pos: first id at or after it, wrapping to the smallest id.
+    Node* owner = GetNode(it == index_.end() ? index_.begin()->second
+                                             : it->second);
+    const uint64_t hi = it == index_.end() ? UINT64_MAX : it->first;
+    size_t j = i + 1;
+    while (j < n) {
+      const uint64_t p = RingId::FromUnit(sorted[j]).value;
+      if (p < pos || p > hi) break;
+      ++j;
+    }
+    owner->InsertSortedKeys(sorted.data() + i, sorted.data() + j);
+    i = j;
   }
 }
 

@@ -23,6 +23,21 @@ void Node::InsertKeys(const std::vector<double>& keys) {
   sorted_ = false;
 }
 
+void Node::InsertSortedKeys(const double* first, const double* last) {
+  if (first == last) return;
+  if (keys_.empty()) {
+    keys_.assign(first, last);
+    sorted_ = true;
+    return;
+  }
+  EnsureSorted();
+  const size_t mid = keys_.size();
+  keys_.insert(keys_.end(), first, last);
+  std::inplace_merge(keys_.begin(),
+                     keys_.begin() + static_cast<ptrdiff_t>(mid),
+                     keys_.end());
+}
+
 bool Node::EraseKey(double key) {
   EnsureSorted();
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);

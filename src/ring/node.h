@@ -58,6 +58,12 @@ class Node {
   /// Bulk-inserts keys; cheaper than repeated InsertKey.
   void InsertKeys(const std::vector<double>& keys);
 
+  /// Bulk-inserts an already ascending-sorted slice [first, last). The
+  /// store stays sorted (assignment when empty, in-place merge otherwise)
+  /// instead of being re-sorted from scratch on the next read — the fast
+  /// path behind ChordRing::InsertDatasetBulk's sorted owner sweep.
+  void InsertSortedKeys(const double* first, const double* last);
+
   /// Removes one occurrence; returns false if absent.
   bool EraseKey(double key);
 

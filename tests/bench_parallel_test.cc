@@ -1,0 +1,114 @@
+// Regression tests for the parallel benchmark harness: the bulk-placement
+// fast path, Env replication, and the parallel-equals-serial contract of
+// RepeatDde / ParallelRows.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gtest/gtest.h"
+
+namespace ringdde::bench {
+namespace {
+
+TEST(BulkPlacementTest, SweepMatchesPerKeyInsertion) {
+  Network net1, net2;
+  RingOptions ropts;
+  ropts.seed = 99;
+  ChordRing ring1(&net1, ropts);
+  ChordRing ring2(&net2, ropts);
+  ASSERT_TRUE(ring1.CreateNetwork(64).ok());
+  ASSERT_TRUE(ring2.CreateNetwork(64).ok());
+
+  ZipfDistribution dist(1000, 0.9);
+  Rng rng(123);
+  std::vector<double> keys = GenerateDataset(dist, 20000, rng).keys;
+  // Edge positions and duplicates must land identically too.
+  keys.push_back(0.0);
+  keys.push_back(keys[0]);
+  keys.push_back(0.9999999);
+
+  ring1.InsertDatasetBulk(keys);
+  for (double k : keys) ASSERT_TRUE(ring2.InsertKeyBulk(k).ok());
+
+  ASSERT_EQ(ring1.TotalItems(), ring2.TotalItems());
+  const std::vector<NodeAddr> addrs = ring1.AliveAddrs();
+  ASSERT_EQ(addrs, ring2.AliveAddrs());
+  for (NodeAddr a : addrs) {
+    const Node* n1 = ring1.GetNode(a);
+    const Node* n2 = ring2.GetNode(a);
+    ASSERT_NE(n1, nullptr);
+    ASSERT_NE(n2, nullptr);
+    EXPECT_EQ(n1->keys(), n2->keys()) << "node " << a;
+  }
+}
+
+TEST(BulkPlacementTest, EmptyDatasetIsANoOp) {
+  Network net;
+  ChordRing ring(&net);
+  ASSERT_TRUE(ring.CreateNetwork(8).ok());
+  ring.InsertDatasetBulk({});
+  EXPECT_EQ(ring.TotalItems(), 0u);
+}
+
+TEST(EnvReplicateTest, ReplicaIsBitIdentical) {
+  auto env = BuildEnv(128, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      5000, /*seed=*/7);
+  auto replica = env->Replicate();
+
+  EXPECT_EQ(env->ring->TotalItems(), replica->ring->TotalItems());
+  const std::vector<NodeAddr> addrs = env->ring->AliveAddrs();
+  ASSERT_EQ(addrs, replica->ring->AliveAddrs());
+  for (NodeAddr a : addrs) {
+    const Node* n1 = env->ring->GetNode(a);
+    const Node* n2 = replica->ring->GetNode(a);
+    ASSERT_NE(n1, nullptr);
+    ASSERT_NE(n2, nullptr);
+    EXPECT_EQ(n1->keys(), n2->keys()) << "node " << a;
+  }
+  EXPECT_EQ(env->dist->Name(), replica->dist->Name());
+}
+
+TEST(RepeatDdeTest, ParallelEqualsSerialBitForBit) {
+  DdeOptions opts;
+  opts.num_probes = 64;
+  constexpr int kReps = 4;
+  constexpr uint64_t kSeedBase = 1000;
+
+  auto env_serial =
+      BuildEnv(128, std::make_unique<ZipfDistribution>(1000, 0.9), 5000,
+               /*seed=*/17);
+  auto env_parallel = env_serial->Replicate();
+
+  ThreadPool serial(0);
+  ThreadPool parallel(3);
+  const RepeatedResult s =
+      RepeatDde(*env_serial, opts, kReps, kSeedBase, &serial);
+  const RepeatedResult p =
+      RepeatDde(*env_parallel, opts, kReps, kSeedBase, &parallel);
+
+  // Exact equality, not near-equality: the parallel engine must reproduce
+  // the serial tables bit for bit.
+  EXPECT_EQ(s.accuracy.ks, p.accuracy.ks);
+  EXPECT_EQ(s.accuracy.l1_cdf, p.accuracy.l1_cdf);
+  EXPECT_EQ(s.accuracy.l2_cdf, p.accuracy.l2_cdf);
+  EXPECT_EQ(s.accuracy.l1_pdf, p.accuracy.l1_pdf);
+  EXPECT_EQ(s.mean_messages, p.mean_messages);
+  EXPECT_EQ(s.mean_hops, p.mean_hops);
+  EXPECT_EQ(s.mean_bytes, p.mean_bytes);
+  EXPECT_EQ(s.mean_total_error, p.mean_total_error);
+  EXPECT_EQ(s.mean_peers, p.mean_peers);
+}
+
+TEST(ParallelRowsTest, ResultsArriveInRowOrder) {
+  ThreadPool pool(3);
+  const std::vector<std::string> rows = ParallelRows<std::string>(
+      64, [](size_t i) { return "row-" + std::to_string(i); }, &pool);
+  ASSERT_EQ(rows.size(), 64u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], "row-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace ringdde::bench

@@ -8,16 +8,25 @@
 //               --probes=256 --churn-session=600 --duration=300 --json
 //   (one line; wrapped here for width)
 //
+// With --reps=N the whole scenario (including churn warm-up) is rebuilt
+// and re-run N times with per-trial derived seeds; trials run concurrently
+// on the RINGDDE_THREADS-sized pool and the report aggregates them. The
+// aggregate is bit-identical for every thread count.
+//
 // Run with --help for the full flag list.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/density_mining.h"
 #include "apps/load_balance.h"
 #include "apps/selectivity.h"
+#include "common/thread_pool.h"
 #include "core/density_estimator.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
@@ -43,6 +52,7 @@ struct Flags {
   double duration = 300.0;     // churn warm-up, virtual seconds
   double loss = 0.0;
   uint64_t seed = 42;
+  int reps = 1;
   bool json = false;
   bool help = false;
 };
@@ -82,6 +92,12 @@ Flags ParseFlags(int argc, char** argv) {
       f.loss = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       f.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--reps", &v)) {
+      f.reps = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+      if (f.reps < 1) {
+        std::fprintf(stderr, "--reps must be >= 1\n");
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--json") == 0) {
       f.json = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
@@ -111,6 +127,11 @@ void PrintHelp() {
       "300)\n"
       "  --loss=P            per-message loss probability (default 0)\n"
       "  --seed=N            master seed (default 42)\n"
+      "  --reps=N            independent trials (default 1); each trial\n"
+      "                      rebuilds the scenario with a seed derived\n"
+      "                      from --seed, trials run concurrently on\n"
+      "                      RINGDDE_THREADS workers, and the report\n"
+      "                      aggregates them\n"
       "  --json              machine-readable output\n");
 }
 
@@ -136,82 +157,144 @@ std::unique_ptr<Distribution> MakeDist(const Flags& f) {
   std::exit(2);
 }
 
-}  // namespace
+/// One fully built and estimated scenario. Heavy state is kept so the
+/// single-trial report can dig into it; the multi-trial path extracts a
+/// TrialSummary and drops it.
+struct Scenario {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<ChordRing> ring;
+  std::unique_ptr<Distribution> dist;
+  std::unique_ptr<ChurnProcess> churn;
+  std::optional<DensityEstimate> estimate;
+  std::string error;  // non-empty when the build or estimate failed
+};
 
-int main(int argc, char** argv) {
-  const Flags flags = ParseFlags(argc, argv);
-  if (flags.help) {
-    PrintHelp();
-    return 0;
-  }
-
+/// Builds the flags' scenario from `seed` and runs one estimation. The
+/// whole construction depends only on (flags, seed), which is what makes
+/// --reps runs reproducible at any thread count.
+Scenario RunScenario(const Flags& flags, uint64_t seed) {
+  Scenario sc;
   NetworkOptions nopts;
   nopts.loss_probability = flags.loss;
-  nopts.seed = flags.seed ^ 0xFEED;
-  Network network(nopts);
+  nopts.seed = seed ^ 0xFEED;
+  sc.net = std::make_unique<Network>(nopts);
   RingOptions ropts;
-  ropts.seed = flags.seed;
-  ChordRing ring(&network, ropts);
-  if (Status s = ring.CreateNetwork(flags.peers); !s.ok()) {
-    std::fprintf(stderr, "create: %s\n", s.ToString().c_str());
-    return 1;
+  ropts.seed = seed;
+  sc.ring = std::make_unique<ChordRing>(sc.net.get(), ropts);
+  if (Status s = sc.ring->CreateNetwork(flags.peers); !s.ok()) {
+    sc.error = "create: " + s.ToString();
+    return sc;
   }
-  auto dist = MakeDist(flags);
-  Rng rng(flags.seed ^ 0xDA7A);
-  ring.InsertDatasetBulk(GenerateDataset(*dist, flags.items, rng).keys);
+  sc.dist = MakeDist(flags);
+  Rng rng(seed ^ 0xDA7A);
+  sc.ring->InsertDatasetBulk(
+      GenerateDataset(*sc.dist, flags.items, rng).keys);
 
-  std::unique_ptr<ChurnProcess> churn;
   if (flags.churn_session > 0.0) {
     ChurnOptions copts;
     copts.mean_session_seconds = flags.churn_session;
-    copts.seed = flags.seed ^ 0xC4;
-    churn = std::make_unique<ChurnProcess>(&ring, copts);
-    churn->Start();
-    network.events().RunUntil(flags.duration);
+    copts.seed = seed ^ 0xC4;
+    sc.churn = std::make_unique<ChurnProcess>(sc.ring.get(), copts);
+    sc.churn->Start();
+    sc.net->events().RunUntil(flags.duration);
   }
 
   DdeOptions dopts;
   dopts.num_probes = flags.probes;
-  dopts.seed = flags.seed ^ 0xE5;
-  DistributionFreeEstimator estimator(&ring, dopts);
-  Result<NodeAddr> querier = ring.RandomAliveNode(rng);
-  if (!querier.ok()) return 1;
+  dopts.seed = seed ^ 0xE5;
+  DistributionFreeEstimator estimator(sc.ring.get(), dopts);
+  Result<NodeAddr> querier = sc.ring->RandomAliveNode(rng);
+  if (!querier.ok()) {
+    sc.error = "no alive querier";
+    return sc;
+  }
   Result<DensityEstimate> estimate =
-      flags.adaptive ? estimator.EstimateAdaptive(*querier, AdaptiveOptions{})
-                     : estimator.Estimate(*querier);
+      flags.adaptive
+          ? estimator.EstimateAdaptive(*querier, AdaptiveOptions{})
+          : estimator.Estimate(*querier);
   if (!estimate.ok()) {
-    std::fprintf(stderr, "estimate: %s\n",
-                 estimate.status().ToString().c_str());
+    sc.error = "estimate: " + estimate.status().ToString();
+    return sc;
+  }
+  sc.estimate = std::move(*estimate);
+  return sc;
+}
+
+/// The numbers the aggregate --reps report is built from.
+struct TrialSummary {
+  bool ok = false;
+  uint64_t seed = 0;
+  double ks = 0.0;
+  double l1_cdf = 0.0;
+  double estimated_total = 0.0;
+  double peers_probed = 0.0;
+  double messages = 0.0;
+  double bytes = 0.0;
+  double failed_probes = 0.0;
+  double sel_mean_abs_err = 0.0;
+  double gini_exact = 0.0;
+  double gini_pred = 0.0;
+};
+
+TrialSummary Summarize(const Flags& flags, uint64_t seed,
+                       const Scenario& sc) {
+  TrialSummary t;
+  t.seed = seed;
+  if (!sc.error.empty()) return t;
+  const DensityEstimate& e = *sc.estimate;
+  const AccuracyReport acc = CompareCdfToTruth(e.cdf, *sc.dist);
+  t.ok = true;
+  t.ks = acc.ks;
+  t.l1_cdf = acc.l1_cdf;
+  t.estimated_total = e.estimated_total_items;
+  t.peers_probed = static_cast<double>(e.peers_probed);
+  t.messages = static_cast<double>(e.cost.messages);
+  t.bytes = static_cast<double>(e.cost.bytes);
+  t.failed_probes = static_cast<double>(e.failed_probes);
+  Rng qrng(flags.seed ^ 0x7);
+  t.sel_mean_abs_err =
+      EvaluateSelectivity(e.cdf, *sc.ring, GenerateRangeQueries(200, 0.1, qrng))
+          .mean_abs_error;
+  t.gini_exact = ExactLoadBalance(*sc.ring).gini;
+  t.gini_pred =
+      PredictLoadBalance(*sc.ring, e.cdf, e.estimated_total_items).gini;
+  return t;
+}
+
+int RunSingle(const Flags& flags) {
+  const Scenario sc = RunScenario(flags, flags.seed);
+  if (!sc.error.empty()) {
+    std::fprintf(stderr, "%s\n", sc.error.c_str());
     return 1;
   }
-
-  const AccuracyReport acc = CompareCdfToTruth(estimate->cdf, *dist);
-  const RingStatsSummary rs = ComputeRingStats(ring);
-  const LoadBalanceReport lb_exact = ExactLoadBalance(ring);
+  const DensityEstimate& estimate = *sc.estimate;
+  const AccuracyReport acc = CompareCdfToTruth(estimate.cdf, *sc.dist);
+  const RingStatsSummary rs = ComputeRingStats(*sc.ring);
+  const LoadBalanceReport lb_exact = ExactLoadBalance(*sc.ring);
   const LoadBalanceReport lb_pred = PredictLoadBalance(
-      ring, estimate->cdf, estimate->estimated_total_items);
+      *sc.ring, estimate.cdf, estimate.estimated_total_items);
   Rng qrng(flags.seed ^ 0x7);
   const SelectivityEvalResult sel = EvaluateSelectivity(
-      estimate->cdf, ring, GenerateRangeQueries(200, 0.1, qrng));
-  auto modes = DetectModes(*estimate);
+      estimate.cdf, *sc.ring, GenerateRangeQueries(200, 0.1, qrng));
+  auto modes = DetectModes(estimate);
 
   if (flags.json) {
     std::printf("{\n");
-    std::printf("  \"peers\": %zu,\n", ring.AliveCount());
+    std::printf("  \"peers\": %zu,\n", sc.ring->AliveCount());
     std::printf("  \"items\": %llu,\n",
-                (unsigned long long)ring.TotalItems());
-    std::printf("  \"workload\": \"%s\",\n", dist->Name().c_str());
+                (unsigned long long)sc.ring->TotalItems());
+    std::printf("  \"workload\": \"%s\",\n", sc.dist->Name().c_str());
     std::printf("  \"ks\": %.6f,\n", acc.ks);
     std::printf("  \"l1_cdf\": %.6f,\n", acc.l1_cdf);
     std::printf("  \"estimated_total\": %.1f,\n",
-                estimate->estimated_total_items);
-    std::printf("  \"peers_probed\": %zu,\n", estimate->peers_probed);
+                estimate.estimated_total_items);
+    std::printf("  \"peers_probed\": %zu,\n", estimate.peers_probed);
     std::printf("  \"messages\": %llu,\n",
-                (unsigned long long)estimate->cost.messages);
+                (unsigned long long)estimate.cost.messages);
     std::printf("  \"bytes\": %llu,\n",
-                (unsigned long long)estimate->cost.bytes);
+                (unsigned long long)estimate.cost.bytes);
     std::printf("  \"failed_probes\": %llu,\n",
-                (unsigned long long)estimate->failed_probes);
+                (unsigned long long)estimate.failed_probes);
     std::printf("  \"selectivity_mean_abs_err\": %.6f,\n",
                 sel.mean_abs_error);
     std::printf("  \"load_gini_exact\": %.4f,\n", lb_exact.gini);
@@ -222,23 +305,24 @@ int main(int argc, char** argv) {
   }
 
   std::printf("workload           : %s, %llu items on %zu peers\n",
-              dist->Name().c_str(), (unsigned long long)ring.TotalItems(),
-              ring.AliveCount());
-  if (churn) {
+              sc.dist->Name().c_str(),
+              (unsigned long long)sc.ring->TotalItems(),
+              sc.ring->AliveCount());
+  if (sc.churn) {
     std::printf("churn              : %llu events over %.0fs (session "
                 "%.0fs)\n",
-                (unsigned long long)(churn->joins() + churn->leaves() +
-                                     churn->crashes()),
+                (unsigned long long)(sc.churn->joins() + sc.churn->leaves() +
+                                     sc.churn->crashes()),
                 flags.duration, flags.churn_session);
   }
   std::printf("estimator          : %s, %zu peers probed, %llu messages "
               "(%.1f KiB)\n",
               flags.adaptive ? "adaptive" : "fixed budget",
-              estimate->peers_probed,
-              (unsigned long long)estimate->cost.messages,
-              estimate->cost.bytes / 1024.0);
+              estimate.peers_probed,
+              (unsigned long long)estimate.cost.messages,
+              estimate.cost.bytes / 1024.0);
   std::printf("accuracy           : KS %.4f, L1 %.4f, N̂ %.0f\n", acc.ks,
-              acc.l1_cdf, estimate->estimated_total_items);
+              acc.l1_cdf, estimate.estimated_total_items);
   std::printf("selectivity (200q) : mean |err| %.4f, p95 %.4f\n",
               sel.mean_abs_error, sel.p95_abs_error);
   std::printf("load balance       : gini exact %.3f vs predicted %.3f "
@@ -254,4 +338,103 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int RunRepeated(const Flags& flags) {
+  // Trial 0 reuses the master seed (so its numbers match a --reps=1 run of
+  // the same flags); later trials derive statistically independent seeds.
+  const auto trial_seed = [&](size_t i) {
+    return i == 0 ? flags.seed : DeriveTaskSeed(flags.seed, i);
+  };
+  std::vector<TrialSummary> trials(static_cast<size_t>(flags.reps));
+  ThreadPool::Global().ParallelFor(
+      0, trials.size(), [&](size_t i) {
+        trials[i] = Summarize(flags, trial_seed(i),
+                              RunScenario(flags, trial_seed(i)));
+      });
+
+  // Aggregate in trial order — identical arithmetic at any thread count.
+  TrialSummary sum;
+  double ks_min = 1.0, ks_max = 0.0;
+  int ok = 0;
+  for (const TrialSummary& t : trials) {
+    if (!t.ok) continue;
+    ++ok;
+    sum.ks += t.ks;
+    sum.l1_cdf += t.l1_cdf;
+    sum.estimated_total += t.estimated_total;
+    sum.peers_probed += t.peers_probed;
+    sum.messages += t.messages;
+    sum.bytes += t.bytes;
+    sum.failed_probes += t.failed_probes;
+    sum.sel_mean_abs_err += t.sel_mean_abs_err;
+    sum.gini_exact += t.gini_exact;
+    sum.gini_pred += t.gini_pred;
+    ks_min = std::min(ks_min, t.ks);
+    ks_max = std::max(ks_max, t.ks);
+  }
+  if (ok == 0) {
+    std::fprintf(stderr, "all %d trials failed\n", flags.reps);
+    return 1;
+  }
+  const double n = static_cast<double>(ok);
+
+  if (flags.json) {
+    std::printf("{\n");
+    std::printf("  \"reps\": %d,\n", flags.reps);
+    std::printf("  \"ok_trials\": %d,\n", ok);
+    std::printf("  \"ks_mean\": %.6f,\n", sum.ks / n);
+    std::printf("  \"ks_min\": %.6f,\n", ks_min);
+    std::printf("  \"ks_max\": %.6f,\n", ks_max);
+    std::printf("  \"l1_cdf_mean\": %.6f,\n", sum.l1_cdf / n);
+    std::printf("  \"estimated_total_mean\": %.1f,\n",
+                sum.estimated_total / n);
+    std::printf("  \"peers_probed_mean\": %.1f,\n", sum.peers_probed / n);
+    std::printf("  \"messages_mean\": %.1f,\n", sum.messages / n);
+    std::printf("  \"bytes_mean\": %.1f,\n", sum.bytes / n);
+    std::printf("  \"failed_probes_mean\": %.2f,\n",
+                sum.failed_probes / n);
+    std::printf("  \"selectivity_mean_abs_err\": %.6f,\n",
+                sum.sel_mean_abs_err / n);
+    std::printf("  \"load_gini_exact_mean\": %.4f,\n", sum.gini_exact / n);
+    std::printf("  \"load_gini_predicted_mean\": %.4f,\n",
+                sum.gini_pred / n);
+    std::printf("  \"trials\": [");
+    for (size_t i = 0; i < trials.size(); ++i) {
+      std::printf("%s\n    {\"seed\": %llu, \"ok\": %s, \"ks\": %.6f}",
+                  i ? "," : "", (unsigned long long)trials[i].seed,
+                  trials[i].ok ? "true" : "false", trials[i].ks);
+    }
+    std::printf("\n  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("reps               : %d trials (%d ok), seeds derived from "
+              "%llu\n",
+              flags.reps, ok, (unsigned long long)flags.seed);
+  std::printf("accuracy           : KS mean %.4f [%.4f, %.4f], L1 mean "
+              "%.4f, N̂ mean %.0f\n",
+              sum.ks / n, ks_min, ks_max, sum.l1_cdf / n,
+              sum.estimated_total / n);
+  std::printf("cost               : mean %.0f messages (%.1f KiB), %.1f "
+              "peers probed, %.2f failed probes\n",
+              sum.messages / n, sum.bytes / n / 1024.0,
+              sum.peers_probed / n, sum.failed_probes / n);
+  std::printf("selectivity (200q) : mean |err| %.4f\n",
+              sum.sel_mean_abs_err / n);
+  std::printf("load balance       : gini exact %.3f vs predicted %.3f "
+              "(means)\n",
+              sum.gini_exact / n, sum.gini_pred / n);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (flags.help) {
+    PrintHelp();
+    return 0;
+  }
+  return flags.reps == 1 ? RunSingle(flags) : RunRepeated(flags);
 }

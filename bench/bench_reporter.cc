@@ -74,6 +74,17 @@ void BenchReporter::AddCost(uint64_t messages, uint64_t bytes) {
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void BenchReporter::RecordCounter(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, v] : named_counters_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  named_counters_.emplace_back(name, value);
+}
+
 bool BenchReporter::WriteJson() {
   std::lock_guard<std::mutex> lock(mu_);
   if (experiment_.empty()) return false;
@@ -91,9 +102,13 @@ bool BenchReporter::WriteJson() {
                JsonEscape(experiment_).c_str());
   std::fprintf(f, "  \"threads\": %zu,\n", ThreadPool::Global().concurrency());
   std::fprintf(f, "  \"wall_clock_ms\": %.3f,\n", wall_ms);
-  std::fprintf(f, "  \"counters\": {\"messages\": %llu, \"bytes\": %llu},\n",
+  std::fprintf(f, "  \"counters\": {\"messages\": %llu, \"bytes\": %llu",
                static_cast<unsigned long long>(messages_.load()),
                static_cast<unsigned long long>(bytes_.load()));
+  for (const auto& [name, value] : named_counters_) {
+    std::fprintf(f, ", \"%s\": %.3f", JsonEscape(name).c_str(), value);
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f, "  \"tables\": [");
   for (size_t t = 0; t < tables_.size(); ++t) {
     const TableData& td = tables_[t];

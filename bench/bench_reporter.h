@@ -48,6 +48,11 @@ class BenchReporter {
   /// Adds one estimation run's communication cost to the process totals.
   void AddCost(uint64_t messages, uint64_t bytes);
 
+  /// Records one named scalar counter into the JSON "counters" object
+  /// (e.g. a microbenchmark's measured microseconds). Re-recording a name
+  /// overwrites its value; emission preserves first-recorded order.
+  void RecordCounter(const std::string& name, double value);
+
   /// Writes BENCH_<experiment>.json into the current directory. Returns
   /// false (after printing a warning) if the file cannot be written.
   bool WriteJson();
@@ -65,6 +70,7 @@ class BenchReporter {
   std::mutex mu_;
   std::string experiment_;
   std::vector<TableData> tables_;
+  std::vector<std::pair<std::string, double>> named_counters_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_{0};

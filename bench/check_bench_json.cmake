@@ -1,0 +1,25 @@
+# Schema check for the machine-readable perf reports: every BENCH_*.json in
+# BENCH_DIR must parse as JSON and carry the {experiment, threads,
+# wall_clock_ms} keys the perf-trajectory tooling relies on.
+#
+# Usage: cmake -DBENCH_DIR=<dir> -P check_bench_json.cmake
+# Requires CMake >= 3.19 for string(JSON); the caller gates on that.
+if(NOT DEFINED BENCH_DIR)
+  message(FATAL_ERROR "BENCH_DIR not set")
+endif()
+
+file(GLOB reports "${BENCH_DIR}/BENCH_*.json")
+if(reports STREQUAL "")
+  message(FATAL_ERROR "no BENCH_*.json files found in ${BENCH_DIR}")
+endif()
+
+foreach(report ${reports})
+  file(READ "${report}" contents)
+  foreach(key experiment threads wall_clock_ms)
+    string(JSON value ERROR_VARIABLE err GET "${contents}" ${key})
+    if(NOT err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "${report}: missing or unreadable '${key}': ${err}")
+    endif()
+  endforeach()
+  message(STATUS "${report}: schema OK")
+endforeach()

@@ -67,13 +67,16 @@ Result<std::vector<DensityMode>> DetectModes(
   // Assemble modes and merge sub-threshold bumps into the neighbor across
   // their LOWER valley (so noise attaches to the structure it leaks from).
   std::vector<DensityMode> modes;
+  // Cuts ascend, so each bound stream walks one monotone segment cursor.
+  PiecewiseLinearCdf::Cursor lo_cursor(estimate.cdf);
+  PiecewiseLinearCdf::Cursor hi_cursor(estimate.cdf);
   for (size_t s = 0; s + 1 < cuts.size(); ++s) {
     DensityMode m;
     m.lo = cuts[s];
     m.hi = cuts[s + 1];
     m.center = static_cast<double>(peaks[s]) / g;
     m.peak_density = pdf[static_cast<size_t>(peaks[s])];
-    m.mass = estimate.cdf.Evaluate(m.hi) - estimate.cdf.Evaluate(m.lo);
+    m.mass = hi_cursor.Evaluate(m.hi) - lo_cursor.Evaluate(m.lo);
     modes.push_back(m);
   }
   bool merged = true;
@@ -118,12 +121,16 @@ std::vector<RangeMass> HeaviestRanges(const PiecewiseLinearCdf& cdf,
                                       double width, size_t k, int grid) {
   std::vector<RangeMass> candidates;
   candidates.reserve(static_cast<size_t>(grid) + 1);
+  // Both window bounds ascend with i: one segment cursor per stream turns
+  // the scan into a single O(grid + knots) sweep.
+  PiecewiseLinearCdf::Cursor lo_cursor(cdf);
+  PiecewiseLinearCdf::Cursor hi_cursor(cdf);
   for (int i = 0; i <= grid; ++i) {
     const double lo = static_cast<double>(i) / grid * (1.0 - width);
     RangeMass r;
     r.lo = lo;
     r.hi = lo + width;
-    r.mass = cdf.Evaluate(r.hi) - cdf.Evaluate(r.lo);
+    r.mass = hi_cursor.Evaluate(r.hi) - lo_cursor.Evaluate(r.lo);
     candidates.push_back(r);
   }
   std::sort(candidates.begin(), candidates.end(),

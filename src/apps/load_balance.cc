@@ -50,19 +50,24 @@ std::vector<double> PredictNodeLoads(const ChordRing& ring,
     loads.push_back(estimated_total);
     return loads;
   }
-  uint64_t prev = index.rbegin()->first;
-  for (const auto& [id, addr] : index) {
-    const double lo = RingId(prev).ToUnit();
-    const double hi = RingId(id).ToUnit();
+  // Arc boundaries ascend with the node ids, so one sorted cursor sweep
+  // evaluates every boundary; node i's arc is (boundary i-1, boundary i]
+  // with node 0 wrapping from the last boundary.
+  std::vector<double> units;
+  units.reserve(index.size());
+  for (const auto& [id, addr] : index) units.push_back(RingId(id).ToUnit());
+  const std::vector<double> f = cdf.EvaluateSorted(units);
+  for (size_t i = 0; i < units.size(); ++i) {
+    const double lo = i == 0 ? units.back() : units[i - 1];
+    const double f_lo = i == 0 ? f.back() : f[i - 1];
     double frac;
-    if (lo <= hi) {
-      frac = cdf.Evaluate(hi) - cdf.Evaluate(lo);
+    if (lo <= units[i]) {
+      frac = f[i] - f_lo;
     } else {
       // Arc wraps the domain boundary: mass above lo plus mass below hi.
-      frac = (1.0 - cdf.Evaluate(lo)) + cdf.Evaluate(hi);
+      frac = (1.0 - f_lo) + f[i];
     }
     loads.push_back(std::max(frac, 0.0) * estimated_total);
-    prev = id;
   }
   return loads;
 }

@@ -85,11 +85,8 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
     if (!recon.ok()) return recon.status();
 
     if (have_previous) {
-      const PiecewiseLinearCdf& cur = recon->cdf;
-      const double movement = SupDistance(
-          [&](double x) { return cur.Evaluate(x); },
-          [&](double x) { return previous.Evaluate(x); }, 0.0, 1.0,
-          /*grid=*/512);
+      const double movement =
+          SupDistanceCdf(recon->cdf, previous, 0.0, 1.0, /*grid=*/512);
       calm_batches = movement <= adaptive.tolerance ? calm_batches + 1 : 0;
       if (calm_batches >= adaptive.patience) break;
     }

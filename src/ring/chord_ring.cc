@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ringdde {
 
@@ -31,6 +32,7 @@ Status ChordRing::CreateNetwork(size_t n) {
     nodes_.emplace(addr, std::make_unique<Node>(addr, id));
     index_.emplace(id.value, addr);
   }
+  InvalidateAliveCache();
   StabilizeAll();
   return Status::OK();
 }
@@ -183,6 +185,7 @@ Result<NodeAddr> ChordRing::Join(NodeAddr bootstrap) {
 
   index_.emplace(id.value, addr);
   nodes_.emplace(addr, std::move(node));
+  InvalidateAliveCache();
   return addr;
 }
 
@@ -195,6 +198,7 @@ Status ChordRing::Leave(NodeAddr addr) {
     return Status::FailedPrecondition("last node cannot leave");
   }
   index_.erase(node->id().value);
+  InvalidateAliveCache();
   node->set_alive(false);
 
   Result<NodeAddr> succ_addr = OracleOwner(node->id());
@@ -233,6 +237,7 @@ Status ChordRing::Crash(NodeAddr addr) {
     return Status::FailedPrecondition("last node cannot crash");
   }
   index_.erase(node->id().value);
+  InvalidateAliveCache();
   node->set_alive(false);
 
   if (options_.durable_data) {
@@ -329,8 +334,118 @@ void ChordRing::StabilizeNode(NodeAddr addr) {
   }
 }
 
-void ChordRing::StabilizeAll() {
-  for (const auto& [id, addr] : index_) StabilizeNode(addr);
+void ChordRing::StabilizeRange(const MembershipSnapshot& snap, size_t begin,
+                               size_t end) {
+  const size_t n = snap.ids.size();
+  const size_t want = std::min<size_t>(options_.successor_list_size,
+                                       n > 0 ? n - 1 : 0);
+  std::vector<NodeEntry> succ_buf;
+  succ_buf.reserve(want);
+
+  // Finger cursors. u[k] is the rank of finger k's current owner in the
+  // *virtually doubled* id array — value(u) = ids[u] for u < n and
+  // ids[u - n] + 2^64 for u >= n — which linearizes the circular
+  // lower_bound-with-wrap: the owner of target id + 2^k is the first rank
+  // whose value reaches the (unwrapped, 65-bit) target. Within the range,
+  // ids[pos] grows with pos, so every target grows too and each cursor
+  // only ever moves forward: one binary search seeds it, then advancing it
+  // across all nodes of the range costs amortized O(1) per node per
+  // finger. The uint64 comparisons below encode the 65-bit compare via
+  // `big` (true iff the target overflowed, i.e. its true value >= 2^64):
+  // a first-lap value is >= the target iff !big && ids[u] >= t, a
+  // second-lap value iff big ? ids[u - n] >= t : true.
+  size_t u[FingerTable::kBits];
+  {
+    const uint64_t id0 = snap.ids[begin];
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      const uint64_t t = FingerTable::FingerStart(RingId(id0), k).value;
+      const bool big = t < id0;  // id0 + 2^k wrapped past 2^64
+      if (big) {
+        // All first-lap values are below the target: search the high lap.
+        // A wrapped target always has ids[n-1] >= t, so the search lands.
+        size_t lo = n;
+        size_t hi = 2 * n;
+        while (lo < hi) {
+          const size_t mid = lo + (hi - lo) / 2;
+          if (snap.ids[mid - n] < t) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        u[k] = lo;
+      } else {
+        u[k] = static_cast<size_t>(
+            std::lower_bound(snap.ids.begin(), snap.ids.end(), t) -
+            snap.ids.begin());  // == n means wrap to ids[0] (rank n)
+      }
+    }
+  }
+
+  for (size_t pos = begin; pos < end; ++pos) {
+    Node* node = snap.nodes[pos];
+    const RingId id(snap.ids[pos]);
+
+    if (n == 1) {
+      node->set_successors({NodeEntry{node->addr(), id}});
+      node->set_predecessor(NodeEntry{node->addr(), id});
+    } else {
+      // Successor list: the next `want` peers clockwise from our position.
+      succ_buf.clear();
+      for (size_t step = 1; step <= want; ++step) {
+        size_t j = pos + step;
+        if (j >= n) j -= n;
+        succ_buf.push_back(NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
+      }
+      node->assign_successors(succ_buf.data(), succ_buf.size());
+
+      // Predecessor: the previous snapshot entry, wrapping.
+      const size_t j = pos == 0 ? n - 1 : pos - 1;
+      node->set_predecessor(NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
+    }
+
+    // fix_fingers: finger k = successor(id + 2^k), read off the cursors.
+    FingerTable& fingers = node->fingers();
+    const uint64_t self = snap.ids[pos];
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      const uint64_t t = FingerTable::FingerStart(id, k).value;
+      const bool big = t < self;
+      size_t uk = u[k];
+      while (uk < n ? (big || snap.ids[uk] < t)
+                    : (uk < 2 * n && big && snap.ids[uk - n] < t)) {
+        ++uk;
+      }
+      assert(uk < 2 * n && "finger target past the doubled id array");
+      u[k] = uk;
+      const size_t j = uk >= n ? uk - n : uk;
+      fingers.Set(k, NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
+    }
+  }
+}
+
+void ChordRing::StabilizeAll(ThreadPool* pool) {
+  // One flat sorted snapshot of the membership, shared read-only by every
+  // chunk. Each node's new state depends only on the snapshot and its own
+  // position, and the chunk grid depends only on n — never on the pool —
+  // so serial and parallel runs produce byte-identical routing state.
+  const size_t n = index_.size();
+  if (n == 0) return;
+  MembershipSnapshot snap;
+  snap.ids.reserve(n);
+  snap.addrs.reserve(n);
+  snap.nodes.reserve(n);
+  for (const auto& [id, addr] : index_) {
+    snap.ids.push_back(id);
+    snap.addrs.push_back(addr);
+    snap.nodes.push_back(GetNode(addr));
+  }
+  constexpr size_t kChunk = 512;
+  const size_t chunks = (n + kChunk - 1) / kChunk;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  p.ParallelFor(0, chunks, [&](size_t c) {
+    const size_t chunk_begin = c * kChunk;
+    StabilizeRange(snap, chunk_begin, std::min(chunk_begin + kChunk, n));
+  });
 }
 
 Node* ChordRing::GetNode(NodeAddr addr) {
@@ -348,20 +463,27 @@ bool ChordRing::IsAlive(NodeAddr addr) const {
   return n != nullptr && n->alive();
 }
 
+void ChordRing::EnsureAliveCache() const {
+  if (alive_cache_valid_) return;
+  alive_cache_.clear();
+  alive_cache_.reserve(index_.size());
+  for (const auto& [id, addr] : index_) alive_cache_.push_back(addr);
+  alive_cache_valid_ = true;
+}
+
 std::vector<NodeAddr> ChordRing::AliveAddrs() const {
-  std::vector<NodeAddr> out;
-  out.reserve(index_.size());
-  for (const auto& [id, addr] : index_) out.push_back(addr);
-  return out;
+  EnsureAliveCache();
+  return alive_cache_;
 }
 
 Result<NodeAddr> ChordRing::RandomAliveNode(Rng& rng) const {
   if (index_.empty()) return Status::NotFound("ring is empty");
-  // index_ iteration order is deterministic; pick the k-th entry.
-  uint64_t k = rng.UniformU64(index_.size());
-  auto it = index_.begin();
-  std::advance(it, static_cast<ptrdiff_t>(k));
-  return it->second;
+  // The cache holds index_'s values in iteration (ascending-id) order, so
+  // picking the k-th element selects exactly the node the old O(n)
+  // std::advance walk selected.
+  EnsureAliveCache();
+  const uint64_t k = rng.UniformU64(alive_cache_.size());
+  return alive_cache_[static_cast<size_t>(k)];
 }
 
 uint64_t ChordRing::TotalItems() const {

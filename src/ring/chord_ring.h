@@ -14,6 +14,8 @@
 
 namespace ringdde {
 
+class ThreadPool;
+
 /// Tuning knobs of the overlay simulation.
 struct RingOptions {
   /// Length of each node's successor list (Chord recommends O(log n); the
@@ -109,10 +111,22 @@ class ChordRing {
 
   /// Refreshes one node's successor list, predecessor, and fingers to
   /// ground truth (models a completed stabilize + fix_fingers cycle).
+  /// Incremental path: walks `index_` directly, the right trade-off when
+  /// churn repairs one node at a time.
   void StabilizeNode(NodeAddr addr);
 
-  /// Stabilizes every alive node.
-  void StabilizeAll();
+  /// Stabilizes every alive node. Builds one flat sorted (id, addr, Node*)
+  /// snapshot of `index_` and sweeps it in fixed-size contiguous chunks:
+  /// within a chunk the kBits finger targets grow monotonically with the
+  /// node position, so each finger's owner is tracked by a forward-only
+  /// cursor over the id array — one binary search to seed it per chunk,
+  /// then amortized O(1) advancement per node — making the whole sweep
+  /// O(n·(s + kBits)) instead of the per-node std::map range walks of
+  /// repeated StabilizeNode calls. Chunks run on `pool` (default: the
+  /// global pool); the chunk grid depends only on n and every node's state
+  /// is a pure function of the read-only snapshot, so the resulting
+  /// routing state is byte-identical to a serial sweep at any thread count.
+  void StabilizeAll(ThreadPool* pool = nullptr);
 
   // --- Introspection ------------------------------------------------------
 
@@ -136,6 +150,22 @@ class ChordRing {
   Rng& rng() { return rng_; }
 
  private:
+  /// Flat sorted view of `index_` (ids ascending; addrs and Node pointers
+  /// parallel): the read-only input of one StabilizeAll sweep. Contiguous
+  /// arrays make the finger-cursor walks cache-friendly and safely
+  /// shareable across worker threads.
+  struct MembershipSnapshot {
+    std::vector<uint64_t> ids;
+    std::vector<NodeAddr> addrs;
+    std::vector<Node*> nodes;
+  };
+
+  /// Refreshes the nodes at snapshot positions [begin, end) from the
+  /// snapshot, carrying the finger cursors forward across the range.
+  /// Produces exactly the state StabilizeNode derives from `index_`.
+  void StabilizeRange(const MembershipSnapshot& snap, size_t begin,
+                      size_t end);
+
   /// Picks a fresh never-used ring id.
   RingId NewUniqueId();
 
@@ -155,10 +185,24 @@ class ChordRing {
   RingOptions options_;
   Rng rng_;
 
+  /// Rebuilds `alive_cache_` from `index_` if a membership change
+  /// invalidated it.
+  void EnsureAliveCache() const;
+  /// Marks the cached alive-address vector stale (any index_ mutation).
+  void InvalidateAliveCache() { alive_cache_valid_ = false; }
+
   std::unordered_map<NodeAddr, std::unique_ptr<Node>> nodes_;  // incl. dead
   std::map<uint64_t, NodeAddr> index_;  // alive nodes by ring id
   std::unordered_set<uint64_t> used_ids_;
   NodeAddr next_addr_ = 1;
+
+  // Flat copy of index_ values (addresses in ascending-id order), rebuilt
+  // lazily after membership changes so RandomAliveNode/AliveAddrs stop
+  // paying an O(n) map walk per query. Not synchronized: concurrent
+  // readers must ensure the cache is warm (StabilizeAll and the bench
+  // drivers touch it from the owning thread before fanning out).
+  mutable std::vector<NodeAddr> alive_cache_;
+  mutable bool alive_cache_valid_ = false;
 };
 
 }  // namespace ringdde

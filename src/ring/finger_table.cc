@@ -2,16 +2,6 @@
 
 namespace ringdde {
 
-RingId FingerTable::FingerStart(RingId self, int k) {
-  return self + (uint64_t{1} << k);
-}
-
-void FingerTable::Set(int k, NodeEntry entry) { fingers_[k] = entry; }
-
-const std::optional<NodeEntry>& FingerTable::Get(int k) const {
-  return fingers_[k];
-}
-
 void FingerTable::Clear() {
   for (auto& f : fingers_) f.reset();
 }

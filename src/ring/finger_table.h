@@ -33,10 +33,14 @@ class FingerTable {
   using AlivePredicate = std::function<bool(NodeAddr)>;
 
   /// The ring position finger k should cover for a node with id `self`.
-  static RingId FingerStart(RingId self, int k);
+  /// Inline: stabilization sweeps compute it kBits times per node.
+  static RingId FingerStart(RingId self, int k) {
+    return self + (uint64_t{1} << k);
+  }
 
-  void Set(int k, NodeEntry entry);
-  const std::optional<NodeEntry>& Get(int k) const;
+  /// Inline for the same reason: kBits stores per stabilized node.
+  void Set(int k, NodeEntry entry) { fingers_[k] = entry; }
+  const std::optional<NodeEntry>& Get(int k) const { return fingers_[k]; }
   void Clear();
 
   /// Closest finger strictly inside the open arc (self, target) that passes

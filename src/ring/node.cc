@@ -48,17 +48,28 @@ bool Node::EraseKey(double key) {
 
 std::vector<double> Node::ExtractKeysInArc(RingId from, RingId to) {
   EnsureSorted();
+  if (from == to) {
+    // Full-ring arc (the leave/crash handover): everything moves, so the
+    // store itself is the result — no copying at all.
+    std::vector<double> moved = std::move(keys_);
+    keys_.clear();
+    return moved;
+  }
+  // Single partition pass: matching keys append to `moved` (reserved up
+  // front so it never reallocates), the rest compact in place — no `kept`
+  // side buffer and no element-by-element vector growth. Both outputs stay
+  // sorted because the pass is stable.
   std::vector<double> moved;
-  std::vector<double> kept;
-  kept.reserve(keys_.size());
+  moved.reserve(keys_.size());
+  auto kept_end = keys_.begin();
   for (double k : keys_) {
     if (InArcOpenClosed(RingId::FromUnit(k), from, to)) {
       moved.push_back(k);
     } else {
-      kept.push_back(k);
+      *kept_end++ = k;
     }
   }
-  keys_ = std::move(kept);
+  keys_.erase(kept_end, keys_.end());
   return moved;
 }
 

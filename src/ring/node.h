@@ -38,6 +38,12 @@ class Node {
     successors_ = std::move(succ);
   }
 
+  /// Overwrites the successor list in place, reusing its capacity (the
+  /// allocation-free path for repeated stabilization sweeps).
+  void assign_successors(const NodeEntry* entries, size_t count) {
+    successors_.assign(entries, entries + count);
+  }
+
   FingerTable& fingers() { return fingers_; }
   const FingerTable& fingers() const { return fingers_; }
 

@@ -33,6 +33,15 @@ double L2Distance(const RealFn& f, const RealFn& g, double lo, double hi,
 double KlDivergence(const RealFn& p, const RealFn& q, double lo, double hi,
                     int grid = 2048, double floor_eps = 1e-9);
 
+/// sup |a - b| between two piecewise-linear CDFs over `grid` evenly spaced
+/// points in [lo, hi]. Same evaluation points and arithmetic as SupDistance
+/// on wrapped lambdas — the result is bit-identical — but both functions are
+/// walked with monotone segment cursors instead of a binary search per
+/// point. This is the convergence-movement kernel of the adaptive
+/// estimator's stitching loop.
+double SupDistanceCdf(const PiecewiseLinearCdf& a, const PiecewiseLinearCdf& b,
+                      double lo, double hi, int grid = 2048);
+
 /// The standard accuracy bundle every experiment reports.
 struct AccuracyReport {
   double ks = 0.0;      ///< Kolmogorov–Smirnov: sup |F̂ - F|

@@ -1,6 +1,7 @@
 #include "stats/piecewise_cdf.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "common/math_util.h"
@@ -77,6 +78,46 @@ void PiecewiseLinearCdf::MakeMonotone(std::vector<Knot>& knots) {
     k.f = run;
   }
   knots = std::move(merged);
+}
+
+double PiecewiseLinearCdf::Cursor::Evaluate(double x) {
+  const std::vector<Knot>& k = *knots_;
+  if (x <= k.front().x) return k.front().f;
+  if (x >= k.back().x) return k.back().f;
+  AdvanceTo(x);
+  const Knot& hi = k[seg_];
+  const Knot& lo = k[seg_ - 1];
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return Lerp(lo.f, hi.f, t);
+}
+
+double PiecewiseLinearCdf::Cursor::DensityAt(double x) {
+  const std::vector<Knot>& k = *knots_;
+  if (x < k.front().x || x > k.back().x) return 0.0;
+  AdvanceTo(x);
+  const Knot& hi = k[seg_];
+  const Knot& lo = k[seg_ - 1];
+  return (hi.f - lo.f) / (hi.x - lo.x);
+}
+
+std::vector<double> PiecewiseLinearCdf::EvaluateSorted(
+    const std::vector<double>& xs) const {
+  assert(std::is_sorted(xs.begin(), xs.end()));
+  std::vector<double> out;
+  out.reserve(xs.size());
+  Cursor cursor(*this);
+  for (double x : xs) out.push_back(cursor.Evaluate(x));
+  return out;
+}
+
+std::vector<double> PiecewiseLinearCdf::DensityAtSorted(
+    const std::vector<double>& xs) const {
+  assert(std::is_sorted(xs.begin(), xs.end()));
+  std::vector<double> out;
+  out.reserve(xs.size());
+  Cursor cursor(*this);
+  for (double x : xs) out.push_back(cursor.DensityAt(x));
+  return out;
 }
 
 double PiecewiseLinearCdf::Evaluate(double x) const {

@@ -59,6 +59,51 @@ class PiecewiseLinearCdf {
   /// No-op on an already-normalized or degenerate (flat) function.
   void Normalize();
 
+  /// Monotone segment cursor for batch evaluation.
+  ///
+  /// Callers that evaluate the CDF at an ascending sequence of abscissae
+  /// (metric sweeps, range-mass scans, sorted query batches) pay one
+  /// binary search per point through Evaluate()/DensityAt(). A Cursor
+  /// instead remembers the segment the previous query landed in and only
+  /// walks forward, so a whole sorted sweep costs O(grid + knots) segment
+  /// advances in total. Results are bit-identical to the scalar methods:
+  /// the cursor selects the same segment and applies the same arithmetic.
+  ///
+  /// Queries must be nondecreasing across *all* calls on one cursor
+  /// (Evaluate and DensityAt share the position). The cursor must not
+  /// outlive the PiecewiseLinearCdf, and knot mutations invalidate it.
+  class Cursor {
+   public:
+    explicit Cursor(const PiecewiseLinearCdf& cdf) : knots_(&cdf.knots_) {}
+
+    /// F(x); same clamping contract as PiecewiseLinearCdf::Evaluate.
+    double Evaluate(double x);
+
+    /// Implied density at x; same contract as
+    /// PiecewiseLinearCdf::DensityAt.
+    double DensityAt(double x);
+
+   private:
+    /// Advances so seg_ indexes the upper knot of the segment that the
+    /// scalar methods' upper_bound would select for x (clamped to the
+    /// last segment).
+    void AdvanceTo(double x) {
+      const std::vector<Knot>& k = *knots_;
+      while (seg_ + 1 < k.size() && k[seg_].x <= x) ++seg_;
+    }
+
+    const std::vector<Knot>* knots_;
+    size_t seg_ = 1;  // index of the current segment's upper knot
+  };
+
+  /// Batch F(x) over an ascending query vector; element i equals
+  /// Evaluate(xs[i]) exactly. Asserts (debug) on unsorted input.
+  std::vector<double> EvaluateSorted(const std::vector<double>& xs) const;
+
+  /// Batch DensityAt over an ascending query vector; element i equals
+  /// DensityAt(xs[i]) exactly.
+  std::vector<double> DensityAtSorted(const std::vector<double>& xs) const;
+
   /// A compact approximation with at most `max_knots` knots, placed at
   /// evenly spaced probability levels (mass-adaptive: steep regions keep
   /// more x-resolution). Used to cheapen estimate shipping; max error is

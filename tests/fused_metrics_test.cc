@@ -1,0 +1,234 @@
+// Golden-equivalence and property tests for the fused accuracy-metric
+// kernels (stats/metrics.cc) and the sorted-batch cursor primitives of
+// PiecewiseLinearCdf.
+//
+// The fused CompareCdfToTruth sweep replaced five independent passes; these
+// tests pin it against a deliberately naive per-metric reference
+// implementation, and pin EvaluateSorted/DensityAtSorted against the scalar
+// Evaluate/DensityAt — the latter bit-exactly, on adversarial query sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "stats/metrics.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+namespace {
+
+// A straightforward, unfused AccuracyReport: one loop per metric, scalar
+// Evaluate/DensityAt per point, plain double accumulation. Deliberately
+// written with none of the production kernel's structure so a shared bug is
+// implausible.
+AccuracyReport ReferenceReport(const PiecewiseLinearCdf& estimate,
+                               const Distribution& truth, int grid) {
+  AccuracyReport r;
+  auto grid_x = [&](int i) {
+    return Lerp(0.0, 1.0, static_cast<double>(i) / grid);
+  };
+
+  for (int i = 0; i <= grid; ++i) {
+    const double x = grid_x(i);
+    r.ks = std::max(r.ks, std::fabs(estimate.Evaluate(x) - truth.Cdf(x)));
+  }
+  for (const auto& k : estimate.knots()) {
+    if (k.x < 0.0 || k.x > 1.0) continue;
+    r.ks = std::max(r.ks, std::fabs(estimate.Evaluate(k.x) - truth.Cdf(k.x)));
+  }
+
+  const double h = 1.0 / grid;
+  double l1 = 0.0, l2 = 0.0, l1p = 0.0;
+  for (int i = 0; i < grid; ++i) {
+    const double a = grid_x(i);
+    const double b = grid_x(i + 1);
+    const double da = estimate.Evaluate(a) - truth.Cdf(a);
+    const double db = estimate.Evaluate(b) - truth.Cdf(b);
+    l1 += 0.5 * (std::fabs(da) + std::fabs(db)) * h;
+    l2 += 0.5 * (da * da + db * db) * h;
+    l1p += 0.5 *
+           (std::fabs(estimate.DensityAt(a) - truth.Pdf(a)) +
+            std::fabs(estimate.DensityAt(b) - truth.Pdf(b))) *
+           h;
+  }
+  r.l1_cdf = l1;
+  r.l2_cdf = std::sqrt(l2);
+  r.l1_pdf = l1p;
+  return r;
+}
+
+PiecewiseLinearCdf EstimateOf(const Distribution& dist, size_t samples,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) xs.push_back(dist.Sample(rng));
+  auto cdf = PiecewiseLinearCdf::FromSamples(std::move(xs));
+  EXPECT_TRUE(cdf.ok());
+  return cdf.value();
+}
+
+void ExpectReportsNear(const AccuracyReport& got, const AccuracyReport& want) {
+  EXPECT_NEAR(got.ks, want.ks, 1e-9);
+  EXPECT_NEAR(got.l1_cdf, want.l1_cdf, 1e-9);
+  EXPECT_NEAR(got.l2_cdf, want.l2_cdf, 1e-9);
+  EXPECT_NEAR(got.l1_pdf, want.l1_pdf, 1e-9);
+}
+
+TEST(FusedMetricsTest, MatchesReferenceOnUniform) {
+  const UniformDistribution truth;
+  const PiecewiseLinearCdf est = EstimateOf(truth, 300, 1);
+  for (int grid : {64, 257, 2048}) {
+    ExpectReportsNear(CompareCdfToTruth(est, truth, grid),
+                      ReferenceReport(est, truth, grid));
+  }
+}
+
+TEST(FusedMetricsTest, MatchesReferenceOnNormal) {
+  const TruncatedNormalDistribution truth(0.4, 0.12);
+  const PiecewiseLinearCdf est =
+      EstimateOf(truth, 1024, 2).Resampled(256);
+  for (int grid : {64, 257, 2048}) {
+    ExpectReportsNear(CompareCdfToTruth(est, truth, grid),
+                      ReferenceReport(est, truth, grid));
+  }
+}
+
+TEST(FusedMetricsTest, MatchesReferenceOnZipf) {
+  const ZipfDistribution truth(1000, 0.9);
+  const PiecewiseLinearCdf est = EstimateOf(truth, 2048, 3).Resampled(300);
+  for (int grid : {64, 257, 2048}) {
+    ExpectReportsNear(CompareCdfToTruth(est, truth, grid),
+                      ReferenceReport(est, truth, grid));
+  }
+}
+
+TEST(FusedMetricsTest, BitIdenticalToLegacyShapedPasses) {
+  // Stronger than 1e-9: against the exact legacy pass shapes (SupDistance
+  // with knot refinement, Kahan-summed L1/L2 trapezoids) the fused report
+  // must be bit-identical — the experiments' stdout depends on it.
+  const TruncatedNormalDistribution truth(0.5, 0.15);
+  const PiecewiseLinearCdf est = EstimateOf(truth, 1024, 4).Resampled(256);
+  const int grid = 2048;
+  const RealFn est_cdf = [&](double x) { return est.Evaluate(x); };
+  const RealFn est_pdf = [&](double x) { return est.DensityAt(x); };
+  const RealFn true_cdf = [&](double x) { return truth.Cdf(x); };
+  const RealFn true_pdf = [&](double x) { return truth.Pdf(x); };
+  std::vector<double> knot_xs;
+  for (const auto& k : est.knots()) knot_xs.push_back(k.x);
+
+  const AccuracyReport fused = CompareCdfToTruth(est, truth, grid);
+  EXPECT_EQ(fused.ks, SupDistance(est_cdf, true_cdf, 0.0, 1.0, grid, knot_xs));
+  EXPECT_EQ(fused.l1_cdf, L1Distance(est_cdf, true_cdf, 0.0, 1.0, grid));
+  EXPECT_EQ(fused.l2_cdf, L2Distance(est_cdf, true_cdf, 0.0, 1.0, grid));
+  EXPECT_EQ(fused.l1_pdf, L1Distance(est_pdf, true_pdf, 0.0, 1.0, grid));
+}
+
+TEST(FusedMetricsTest, SupDistanceCdfMatchesLambdaSupDistance) {
+  const PiecewiseLinearCdf a = EstimateOf(UniformDistribution(), 200, 5);
+  const PiecewiseLinearCdf b =
+      EstimateOf(TruncatedNormalDistribution(0.5, 0.2), 200, 6);
+  const RealFn fa = [&](double x) { return a.Evaluate(x); };
+  const RealFn fb = [&](double x) { return b.Evaluate(x); };
+  for (int grid : {16, 512, 2048}) {
+    EXPECT_EQ(SupDistanceCdf(a, b, 0.0, 1.0, grid),
+              SupDistance(fa, fb, 0.0, 1.0, grid));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property: the sorted-batch cursor primitives agree bit-exactly
+// with the scalar binary-search path on any nondecreasing query vector.
+// ---------------------------------------------------------------------------
+
+PiecewiseLinearCdf RandomCdf(Rng& rng) {
+  const size_t n = 2 + rng.UniformU64(40);
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  knots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Positions intentionally include values outside [0, 1].
+    knots.push_back({rng.UniformDouble() * 1.6 - 0.3, rng.UniformDouble()});
+  }
+  PiecewiseLinearCdf::MakeMonotone(knots);
+  if (knots.size() < 2) knots.push_back({knots.back().x + 0.5, 1.0});
+  auto cdf = PiecewiseLinearCdf::FromKnots(std::move(knots));
+  EXPECT_TRUE(cdf.ok());
+  return cdf.value();
+}
+
+std::vector<double> RandomSortedQueries(const PiecewiseLinearCdf& cdf,
+                                        Rng& rng) {
+  std::vector<double> xs;
+  const size_t m = rng.UniformU64(200);
+  xs.reserve(m + cdf.knots().size() + 8);
+  for (size_t i = 0; i < m; ++i) {
+    xs.push_back(rng.UniformDouble() * 2.0 - 0.5);  // spills out of range
+  }
+  // Adversarial abscissae: exact knot positions (segment-boundary ties),
+  // duplicates, and the extreme clamp points.
+  for (const auto& k : cdf.knots()) {
+    if (rng.UniformDouble() < 0.5) xs.push_back(k.x);
+    if (rng.UniformDouble() < 0.25) xs.push_back(k.x);
+  }
+  xs.push_back(cdf.knots().front().x);
+  xs.push_back(cdf.knots().back().x);
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+TEST(SortedBatchTest, EvaluateSortedMatchesScalarExactly) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PiecewiseLinearCdf cdf = RandomCdf(rng);
+    const std::vector<double> xs = RandomSortedQueries(cdf, rng);
+    const std::vector<double> batch = cdf.EvaluateSorted(xs);
+    ASSERT_EQ(batch.size(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], cdf.Evaluate(xs[i]))
+          << "trial " << trial << " x=" << xs[i];
+    }
+  }
+}
+
+TEST(SortedBatchTest, DensityAtSortedMatchesScalarExactly) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PiecewiseLinearCdf cdf = RandomCdf(rng);
+    const std::vector<double> xs = RandomSortedQueries(cdf, rng);
+    const std::vector<double> batch = cdf.DensityAtSorted(xs);
+    ASSERT_EQ(batch.size(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], cdf.DensityAt(xs[i]))
+          << "trial " << trial << " x=" << xs[i];
+    }
+  }
+}
+
+TEST(SortedBatchTest, InterleavedCursorMatchesScalars) {
+  // The fused report walks one cursor with alternating Evaluate/DensityAt
+  // calls at nondecreasing x; both must stay exact under interleaving.
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PiecewiseLinearCdf cdf = RandomCdf(rng);
+    const std::vector<double> xs = RandomSortedQueries(cdf, rng);
+    PiecewiseLinearCdf::Cursor cursor(cdf);
+    for (double x : xs) {
+      EXPECT_EQ(cursor.Evaluate(x), cdf.Evaluate(x));
+      EXPECT_EQ(cursor.DensityAt(x), cdf.DensityAt(x));
+    }
+  }
+}
+
+TEST(SortedBatchTest, EmptyQueryVector) {
+  const PiecewiseLinearCdf cdf;
+  EXPECT_TRUE(cdf.EvaluateSorted({}).empty());
+  EXPECT_TRUE(cdf.DensityAtSorted({}).empty());
+}
+
+}  // namespace
+}  // namespace ringdde

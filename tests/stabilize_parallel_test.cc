@@ -1,0 +1,163 @@
+// StabilizeAll determinism: the snapshot-based chunked sweep must produce
+// routing state byte-identical to the legacy per-node StabilizeNode path,
+// at every thread count, including on rings carrying dead nodes and fresh
+// joins that have not been stabilized yet.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ring/chord_ring.h"
+#include "ring/finger_table.h"
+#include "ring/node.h"
+#include "sim/network.h"
+
+namespace ringdde {
+namespace {
+
+/// Everything StabilizeNode is allowed to touch, for every node ever
+/// created (dead nodes must stay bit-for-bit untouched).
+struct NodeRouting {
+  bool alive = false;
+  std::vector<NodeEntry> successors;
+  NodeEntry predecessor;
+  std::vector<std::optional<NodeEntry>> fingers;
+
+  bool operator==(const NodeRouting&) const = default;
+};
+
+struct Deployment {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<ChordRing> ring;
+  NodeAddr max_addr = 0;
+};
+
+/// Builds a ring and churns it with a deterministic op sequence: every call
+/// with the same parameters yields bit-identical membership and (stale)
+/// routing state. `peers` > 512 exercises the multi-chunk sweep path.
+Deployment BuildChurnedRing(size_t peers, uint64_t ring_seed) {
+  Deployment d;
+  d.net = std::make_unique<Network>();
+  RingOptions opts;
+  opts.seed = ring_seed;
+  d.ring = std::make_unique<ChordRing>(d.net.get(), opts);
+  EXPECT_TRUE(d.ring->CreateNetwork(peers).ok());
+  d.max_addr = peers;
+
+  Rng churn(424242);
+  // Crashes first: dead nodes whose neighbors have not re-stabilized.
+  for (int i = 0; i < 12; ++i) {
+    const auto alive = d.ring->AliveAddrs();
+    EXPECT_TRUE(d.ring->Crash(alive[churn.UniformU64(alive.size())]).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto alive = d.ring->AliveAddrs();
+    EXPECT_TRUE(d.ring->Leave(alive[churn.UniformU64(alive.size())]).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto alive = d.ring->AliveAddrs();
+    auto added = d.ring->Join(alive[churn.UniformU64(alive.size())]);
+    EXPECT_TRUE(added.ok());
+    d.max_addr = std::max(d.max_addr, *added);
+  }
+  return d;
+}
+
+std::map<NodeAddr, NodeRouting> CaptureRouting(const Deployment& d) {
+  std::map<NodeAddr, NodeRouting> out;
+  for (NodeAddr a = 1; a <= d.max_addr; ++a) {
+    const Node* node = d.ring->GetNode(a);
+    if (node == nullptr) {
+      ADD_FAILURE() << "missing node at addr " << a;
+      continue;
+    }
+    NodeRouting r;
+    r.alive = node->alive();
+    r.successors = node->successors();
+    r.predecessor = node->predecessor();
+    r.fingers.reserve(FingerTable::kBits);
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      r.fingers.push_back(node->fingers().Get(k));
+    }
+    out[a] = std::move(r);
+  }
+  return out;
+}
+
+void ExpectSameRouting(const std::map<NodeAddr, NodeRouting>& got,
+                       const std::map<NodeAddr, NodeRouting>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [addr, want_r] : want) {
+    const auto it = got.find(addr);
+    ASSERT_NE(it, got.end()) << "addr " << addr;
+    EXPECT_EQ(it->second, want_r) << "routing state differs at addr " << addr;
+  }
+}
+
+class StabilizeParallelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StabilizeParallelTest, MatchesLegacySerialSweep) {
+  const size_t workers = GetParam();
+  const size_t peers = 600;  // > one 512-node chunk after churn
+  const uint64_t seed = 11;
+
+  // Reference: the legacy incremental path, one StabilizeNode per alive
+  // node against the same churned membership.
+  Deployment legacy = BuildChurnedRing(peers, seed);
+  for (NodeAddr a : legacy.ring->AliveAddrs()) legacy.ring->StabilizeNode(a);
+  const auto want = CaptureRouting(legacy);
+
+  Deployment snap = BuildChurnedRing(peers, seed);
+  ThreadPool pool(workers);
+  snap.ring->StabilizeAll(&pool);
+  const auto got = CaptureRouting(snap);
+
+  ExpectSameRouting(got, want);
+}
+
+// Worker counts 0/3/15 = thread counts 1/4/16 (the caller participates).
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, StabilizeParallelTest,
+                         ::testing::Values<size_t>(0, 3, 15));
+
+TEST(StabilizeAllTest, TinyRingsMatchLegacy) {
+  for (size_t n : {1u, 2u, 3u, 9u}) {
+    Network net_a, net_b;
+    RingOptions opts;
+    opts.seed = 5;
+    ChordRing a(&net_a, opts);
+    ChordRing b(&net_b, opts);
+    ASSERT_TRUE(a.CreateNetwork(n).ok());
+    ASSERT_TRUE(b.CreateNetwork(n).ok());
+    for (NodeAddr addr : a.AliveAddrs()) a.StabilizeNode(addr);
+    ThreadPool pool(2);
+    b.StabilizeAll(&pool);
+    for (NodeAddr addr = 1; addr <= n; ++addr) {
+      const Node* na = a.GetNode(addr);
+      const Node* nb = b.GetNode(addr);
+      ASSERT_NE(na, nullptr);
+      ASSERT_NE(nb, nullptr);
+      EXPECT_EQ(na->successors(), nb->successors()) << "n=" << n;
+      EXPECT_EQ(na->predecessor(), nb->predecessor()) << "n=" << n;
+      for (int k = 0; k < FingerTable::kBits; ++k) {
+        EXPECT_EQ(na->fingers().Get(k), nb->fingers().Get(k))
+            << "n=" << n << " finger " << k;
+      }
+    }
+  }
+}
+
+TEST(StabilizeAllTest, RepeatedSweepsAreIdempotent) {
+  Deployment d = BuildChurnedRing(600, 13);
+  ThreadPool pool(3);
+  d.ring->StabilizeAll(&pool);
+  const auto first = CaptureRouting(d);
+  d.ring->StabilizeAll(&pool);
+  ExpectSameRouting(CaptureRouting(d), first);
+}
+
+}  // namespace
+}  // namespace ringdde

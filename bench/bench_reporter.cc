@@ -74,6 +74,14 @@ void BenchReporter::AddCost(uint64_t messages, uint64_t bytes) {
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void BenchReporter::AddFailureStats(uint64_t failed_probes, uint64_t retries,
+                                    uint64_t timeouts) {
+  failed_probes_.fetch_add(failed_probes, std::memory_order_relaxed);
+  retries_.fetch_add(retries, std::memory_order_relaxed);
+  timeouts_.fetch_add(timeouts, std::memory_order_relaxed);
+  has_failure_stats_.store(true, std::memory_order_relaxed);
+}
+
 void BenchReporter::RecordCounter(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [n, v] : named_counters_) {
@@ -105,6 +113,14 @@ bool BenchReporter::WriteJson() {
   std::fprintf(f, "  \"counters\": {\"messages\": %llu, \"bytes\": %llu",
                static_cast<unsigned long long>(messages_.load()),
                static_cast<unsigned long long>(bytes_.load()));
+  if (has_failure_stats_.load()) {
+    std::fprintf(f,
+                 ", \"failed_probes\": %llu, \"retries\": %llu"
+                 ", \"timeouts\": %llu",
+                 static_cast<unsigned long long>(failed_probes_.load()),
+                 static_cast<unsigned long long>(retries_.load()),
+                 static_cast<unsigned long long>(timeouts_.load()));
+  }
   for (const auto& [name, value] : named_counters_) {
     std::fprintf(f, ", \"%s\": %.3f", JsonEscape(name).c_str(), value);
   }

@@ -48,6 +48,14 @@ class BenchReporter {
   /// Adds one estimation run's communication cost to the process totals.
   void AddCost(uint64_t messages, uint64_t bytes);
 
+  /// Adds one estimation run's fault-tolerance stats to the process totals.
+  /// The "failed_probes"/"retries"/"timeouts" counters appear in the JSON
+  /// only once this has been called at least once (even with all zeros), so
+  /// fault-free benchmarks keep their pre-fault-layer byte-identical
+  /// reports.
+  void AddFailureStats(uint64_t failed_probes, uint64_t retries,
+                       uint64_t timeouts);
+
   /// Records one named scalar counter into the JSON "counters" object
   /// (e.g. a microbenchmark's measured microseconds). Re-recording a name
   /// overwrites its value; emission preserves first-recorded order.
@@ -74,6 +82,10 @@ class BenchReporter {
   std::chrono::steady_clock::time_point start_;
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> failed_probes_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<bool> has_failure_stats_{false};
 };
 
 /// RAII wrapper for a bench binary's main(): names the experiment on entry

@@ -48,6 +48,13 @@ DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed) {
     std::abort();
   }
   BenchReporter::Global().AddCost(est->cost.messages, est->cost.bytes);
+  // Forward failure stats only when something actually failed: a fault-free
+  // run must leave the reporter untouched so its JSON stays byte-identical
+  // to pre-fault-layer builds.
+  if (est->failed_probes != 0 || est->retries != 0 || est->timeouts != 0) {
+    BenchReporter::Global().AddFailureStats(est->failed_probes, est->retries,
+                                            est->timeouts);
+  }
   return std::move(*est);
 }
 

@@ -1,6 +1,9 @@
 # Schema check for the machine-readable perf reports: every BENCH_*.json in
 # BENCH_DIR must parse as JSON and carry the {experiment, threads,
-# wall_clock_ms} keys the perf-trajectory tooling relies on.
+# wall_clock_ms} keys the perf-trajectory tooling relies on. The
+# fault-tolerance experiment must additionally report its failure counters
+# (counters.failed_probes / retries / timeouts) — the fault layer's
+# observability contract.
 #
 # Usage: cmake -DBENCH_DIR=<dir> -P check_bench_json.cmake
 # Requires CMake >= 3.19 for string(JSON); the caller gates on that.
@@ -21,5 +24,14 @@ foreach(report ${reports})
       message(FATAL_ERROR "${report}: missing or unreadable '${key}': ${err}")
     endif()
   endforeach()
+  if(report MATCHES "BENCH_e16_fault_tolerance\\.json$")
+    foreach(key failed_probes retries timeouts)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

@@ -1,0 +1,192 @@
+// E16 — Fault tolerance: estimation accuracy and cost under injected
+// faults (message drops, fail-stop crashes).
+//
+// (a) Drop-rate × crash-rate sweep at a fixed probe budget: the estimator
+// degrades gracefully — it reconstructs from the m' < m probes that
+// succeeded, widens its DKW bound accordingly (ConfidenceEpsilon), and
+// reports how many probes failed, how many retries the RetryPolicy spent,
+// and how many send attempts timed out. (b) Convergence under a harsh
+// fixed fault mix: KS still falls as the probe budget m grows, i.e. faults
+// cost accuracy per probe but not the distribution-free guarantee itself.
+//
+// Every row is a self-contained deployment (own Network with its own
+// FaultInjector), so rows run concurrently on the global thread pool and
+// the realized fault schedule is a pure function of the row's seeds.
+#include <memory>
+
+#include "bench_util.h"
+#include "sim/fault_injector.h"
+
+namespace ringdde::bench {
+namespace {
+
+/// BuildEnv with a fault plan attached to the network fabric. Mirrors the
+/// BuildEnv recipe exactly (same ring seed, same dataset stream), so a row
+/// with an all-zero FaultOptions reproduces the fault-free deployment.
+std::unique_ptr<Env> BuildFaultEnv(size_t n,
+                                   std::unique_ptr<Distribution> dist,
+                                   size_t items, uint64_t seed,
+                                   const FaultOptions& fopts) {
+  auto env = std::make_unique<Env>();
+  NetworkOptions nopts;
+  nopts.faults = std::make_shared<FaultInjector>(fopts);
+  env->net = std::make_unique<Network>(nopts);
+  RingOptions ropts;
+  ropts.seed = seed;
+  env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+  Status s = env->ring->CreateNetwork(n);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildFaultEnv failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  env->dist = std::move(dist);
+  env->items = items;
+  env->peers = n;
+  env->seed = seed;
+  Rng rng(seed ^ 0xDA7A);
+  env->ring->InsertDatasetBulk(GenerateDataset(*env->dist, items, rng).keys);
+  return env;
+}
+
+/// The retry schedule every faulted estimation in this experiment uses:
+/// up to 4 attempts, 50 ms initial backoff doubling to 2 s, 10% jitter.
+RetryPolicy BenchRetryPolicy() {
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  return retry;
+}
+
+void RunFaultSweep() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const size_t kProbes = Scaled(256, 64);
+
+  Table table(
+      Fmt("E16a accuracy under faults — n=%zu, m=%zu, Normal(0.5,0.15), "
+          "retry<=4",
+          kPeers, kProbes),
+      {"drop", "crash", "ks", "eps_dkw", "ok_probes", "failed_probes",
+       "retries", "timeouts", "msgs"});
+
+  struct FaultCase {
+    double drop;
+    double crash;
+  };
+  const std::vector<FaultCase> cases =
+      SmokeMode() ? std::vector<FaultCase>{{0.0, 0.0}, {0.2, 0.05}}
+                  : std::vector<FaultCase>{{0.0, 0.0},  {0.05, 0.0},
+                                           {0.1, 0.0},  {0.2, 0.0},
+                                           {0.0, 0.05}, {0.0, 0.1},
+                                           {0.2, 0.05}, {0.3, 0.1}};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      cases.size(), [&](size_t row) {
+        const FaultCase& fc = cases[row];
+        FaultOptions fopts;
+        fopts.drop_probability = fc.drop;
+        fopts.crash_probability = fc.crash;
+        fopts.seed = 0xFA17 + row;
+        auto env = BuildFaultEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kItems, 161, fopts);
+
+        DdeOptions opts;
+        opts.num_probes = kProbes;
+        opts.seed = 163;
+        opts.retry = BenchRetryPolicy();
+        DistributionFreeEstimator est(env->ring.get(), opts);
+        Rng rng(167);
+        auto e = est.Estimate(*env->ring->RandomAliveNode(rng));
+        if (!e.ok()) {
+          // Total outage (possible at extreme rates): report the vacuous
+          // bound so the row stays comparable.
+          return std::vector<std::string>{
+              Fmt("%.2f", fc.drop), Fmt("%.2f", fc.crash), "1.0000",
+              "1.0000", "0",        "-",                   "-",
+              "-",                  "-"};
+        }
+        BenchReporter::Global().AddFailureStats(e->failed_probes, e->retries,
+                                                e->timeouts);
+        const double ks = CompareCdfToTruth(e->cdf, *env->dist).ks;
+        const size_t ok_probes =
+            e->probes_requested - static_cast<size_t>(e->failed_probes);
+        return std::vector<std::string>{
+            Fmt("%.2f", fc.drop),
+            Fmt("%.2f", fc.crash),
+            Fmt("%.4f", ks),
+            Fmt("%.4f", e->ConfidenceEpsilon()),
+            Fmt("%zu", ok_probes),
+            Fmt("%llu", (unsigned long long)e->failed_probes),
+            Fmt("%llu", (unsigned long long)e->retries),
+            Fmt("%llu", (unsigned long long)e->timeouts),
+            Fmt("%llu", (unsigned long long)e->cost.messages)};
+      }));
+  table.Print();
+}
+
+void RunConvergenceUnderFaults() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+
+  Table table(Fmt("E16b convergence under faults — n=%zu, drop=0.20, "
+                  "crash=0.05, KS vs probe budget",
+                  kPeers),
+              {"m", "ks", "eps_dkw", "ok_probes", "failed_probes",
+               "retries", "msgs"});
+
+  const std::vector<size_t> budgets =
+      SmokeMode() ? std::vector<size_t>{32, 64}
+                  : std::vector<size_t>{32, 64, 128, 256, 512, 1024};
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      budgets.size(), [&](size_t row) {
+        const size_t m = budgets[row];
+        FaultOptions fopts;
+        fopts.drop_probability = 0.2;
+        fopts.crash_probability = 0.05;
+        fopts.seed = 0xFA17;
+        auto env = BuildFaultEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kItems, 171, fopts);
+
+        DdeOptions opts;
+        opts.num_probes = m;
+        opts.seed = 173 + m;
+        opts.retry = BenchRetryPolicy();
+        DistributionFreeEstimator est(env->ring.get(), opts);
+        Rng rng(179);
+        auto e = est.Estimate(*env->ring->RandomAliveNode(rng));
+        if (!e.ok()) {
+          return std::vector<std::string>{Fmt("%zu", m), "1.0000", "1.0000",
+                                          "0",           "-",      "-",
+                                          "-"};
+        }
+        BenchReporter::Global().AddFailureStats(e->failed_probes, e->retries,
+                                                e->timeouts);
+        const double ks = CompareCdfToTruth(e->cdf, *env->dist).ks;
+        const size_t ok_probes =
+            e->probes_requested - static_cast<size_t>(e->failed_probes);
+        return std::vector<std::string>{
+            Fmt("%zu", m),
+            Fmt("%.4f", ks),
+            Fmt("%.4f", e->ConfidenceEpsilon()),
+            Fmt("%zu", ok_probes),
+            Fmt("%llu", (unsigned long long)e->failed_probes),
+            Fmt("%llu", (unsigned long long)e->retries),
+            Fmt("%llu", (unsigned long long)e->cost.messages)};
+      }));
+  table.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::BenchRun run("e16_fault_tolerance");
+  // Register the failure counters up front: BENCH_e16_fault_tolerance.json
+  // must carry them even if a (smoke) run happens to realize zero faults.
+  ringdde::bench::BenchReporter::Global().AddFailureStats(0, 0, 0);
+  ringdde::bench::RunFaultSweep();
+  ringdde::bench::RunConvergenceUnderFaults();
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace ringdde {
+
+double RetryPolicy::BackoffSeconds(uint64_t task, int retry) const {
+  assert(retry >= 1);
+  double base = initial_backoff_seconds *
+                std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  base = std::min(base, max_backoff_seconds);
+  if (jitter_fraction <= 0.0) return base;
+  // Deterministic jitter: one hashed uniform per (seed, task, retry).
+  const uint64_t h =
+      DeriveTaskSeed(DeriveTaskSeed(seed, task), static_cast<uint64_t>(retry));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return base * (1.0 + jitter_fraction * (2.0 * u - 1.0));
+}
+
+}  // namespace ringdde

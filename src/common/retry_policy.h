@@ -1,0 +1,53 @@
+#ifndef RINGDDE_COMMON_RETRY_POLICY_H_
+#define RINGDDE_COMMON_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ringdde {
+
+/// Bounded-retry schedule with exponential backoff and deterministic
+/// jitter, shared by every protocol that retries over the fallible
+/// Network::TrySend path (probing, dissemination, maintenance).
+///
+/// The default policy is a SINGLE attempt with no backoff: retrying is
+/// strictly opt-in, so protocols configured without faults behave (and
+/// cost) exactly as before the fault layer existed.
+///
+/// Jitter is derived with DeriveTaskSeed from (seed, task, attempt) — a
+/// pure function, never a shared rng stream — so a retried run replays the
+/// identical backoff sequence at any thread count.
+struct RetryPolicy {
+  /// Total attempts per operation (1 = no retry). Must be >= 1.
+  int max_attempts = 1;
+
+  /// Backoff before the first retry; doubles (by `backoff_multiplier`) per
+  /// further retry, clamped at `max_backoff_seconds`.
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+
+  /// Multiplicative jitter half-width: the realized backoff is
+  /// base * (1 + jitter_fraction * (2u - 1)), u deterministic in [0, 1).
+  double jitter_fraction = 0.1;
+
+  /// Per-phase budget: once the cumulated backoff of one operation would
+  /// exceed this, the operation gives up with TimedOut instead of
+  /// sleeping further. Infinite by default.
+  double budget_seconds = std::numeric_limits<double>::infinity();
+
+  /// Seed of the jitter stream.
+  uint64_t seed = 0xB0FFULL;
+
+  /// Backoff (seconds) to wait before retry number `retry` (1-based: the
+  /// wait between attempt `retry` and attempt `retry + 1`) of operation
+  /// `task`. Pure function of (seed, task, retry).
+  double BackoffSeconds(uint64_t task, int retry) const;
+
+  /// True if a policy ever retries.
+  bool enabled() const { return max_attempts > 1; }
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_COMMON_RETRY_POLICY_H_

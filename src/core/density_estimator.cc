@@ -4,9 +4,18 @@
 #include <cassert>
 
 #include "core/inversion_sampler.h"
+#include "stats/bounds.h"
 #include "stats/metrics.h"
 
 namespace ringdde {
+
+double DensityEstimate::ConfidenceEpsilon(double delta) const {
+  const size_t succeeded =
+      probes_requested > failed_probes
+          ? probes_requested - static_cast<size_t>(failed_probes)
+          : 0;
+  return DkwEpsilonDegraded(probes_requested, succeeded, delta);
+}
 
 Result<KernelDensityEstimator> DensityEstimate::SmoothedPdf(
     size_t samples, KernelType kernel) const {
@@ -23,7 +32,7 @@ DistributionFreeEstimator::DistributionFreeEstimator(ChordRing* ring,
       prober_(ring, ProbeOptions{options.local_quantiles,
                                  options.resolve_covered_locally,
                                  options.use_sketch_summaries,
-                                 options.sketch_epsilon}),
+                                 options.sketch_epsilon, options.retry}),
       rng_(options.seed) {
   assert(ring != nullptr);
   assert(options_.num_probes > 0);
@@ -101,7 +110,10 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
   estimate.peers_probed = summaries.size();
   estimate.covered_fraction = recon->covered_fraction;
   estimate.cost = scope.Delta();
+  estimate.probes_requested = probes_spent;
   estimate.failed_probes = prober_.failed_probes() - failed_before;
+  estimate.retries = estimate.cost.retries;
+  estimate.timeouts = estimate.cost.timeouts;
   estimate.produced_at = ring_->network().Now();
   return estimate;
 }
@@ -151,7 +163,10 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
   estimate.peers_probed = carry_over->size();
   estimate.covered_fraction = recon->covered_fraction;
   estimate.cost = scope.Delta();
+  estimate.probes_requested = fresh_probes;
   estimate.failed_probes = prober_.failed_probes() - failed_before;
+  estimate.retries = estimate.cost.retries;
+  estimate.timeouts = estimate.cost.timeouts;
   estimate.produced_at = ring_->network().Now();
   return estimate;
 }

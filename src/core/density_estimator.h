@@ -42,6 +42,10 @@ struct DdeOptions {
 
   ReconstructionOptions reconstruction;
 
+  /// Retry schedule applied to every probe (see ProbeOptions::retry).
+  /// Default: single attempt, the historical skip-on-failure behavior.
+  RetryPolicy retry;
+
   /// Seed for probe-target randomness.
   uint64_t seed = 42;
 };
@@ -63,12 +67,31 @@ struct DensityEstimate {
   /// Communication cost of this estimation run only.
   CostCounters cost;
 
-  /// Probes lost to churn (routing failed or the owner died mid-probe)
-  /// during this run.
+  /// Fresh probe positions this run was asked to sample (m). Under faults
+  /// only m' = probes_requested - failed_probes of them produced a CDF
+  /// sample; the estimate is reconstructed from those m' and the reported
+  /// confidence bound widens accordingly (ConfidenceEpsilon()).
+  size_t probes_requested = 0;
+
+  /// Probes lost to churn or injected faults (routing failed, the owner
+  /// died or crashed mid-probe, or the retry budget ran out) this run.
   uint64_t failed_probes = 0;
+
+  /// Retry attempts spent recovering probes this run.
+  uint64_t retries = 0;
+
+  /// Send attempts this run observed as timed out (dropped, crashed or
+  /// hung destination, partition).
+  uint64_t timeouts = 0;
 
   /// Virtual time at which the estimate was produced.
   double produced_at = 0.0;
+
+  /// Distribution-free KS half-width at confidence 1 - delta, computed
+  /// from the probes that actually SUCCEEDED (m'), not the requested
+  /// budget — the honest, widened bound under degraded runs. 1.0 when
+  /// nothing succeeded.
+  double ConfidenceEpsilon(double delta = 0.05) const;
 
   /// Density at x implied by the piecewise-linear CDF (piecewise constant).
   double Pdf(double x) const { return cdf.DensityAt(x); }

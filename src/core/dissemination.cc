@@ -12,7 +12,9 @@ namespace {
 constexpr int kMaxDepth = 80;
 }  // namespace
 
-EstimateDisseminator::EstimateDisseminator(ChordRing* ring) : ring_(ring) {
+EstimateDisseminator::EstimateDisseminator(ChordRing* ring,
+                                           RetryPolicy retry)
+    : ring_(ring), retry_(retry) {
   assert(ring != nullptr);
 }
 
@@ -59,8 +61,30 @@ void EstimateDisseminator::Relay(NodeAddr coordinator, RingId until,
   for (size_t i = 0; i < children.size(); ++i) {
     const RingId bound =
         i + 1 < children.size() ? children[i + 1].id : until;
-    ring_->network().Send(coordinator, children[i].addr, payload.size(),
-                          /*hop_count=*/1);
+    // Fallible edge: retry per policy, then abandon the child's sub-arc.
+    const uint64_t task = edge_seq_++;
+    bool sent = false;
+    double waited = 0.0;
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        const double backoff = retry_.BackoffSeconds(task, attempt - 1);
+        if (waited + backoff > retry_.budget_seconds) break;
+        waited += backoff;
+        ring_->network().RecordRetry();
+        ring_->network().ChargeWait(backoff);
+      }
+      if (ring_->network()
+              .TrySend(coordinator, children[i].addr, payload.size(),
+                       /*hop_count=*/1)
+              .ok()) {
+        sent = true;
+        break;
+      }
+    }
+    if (!sent) {
+      ++failed_edges_;
+      continue;
+    }
     Relay(children[i].addr, bound, payload, depth + 1, delivered);
   }
 }

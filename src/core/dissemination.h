@@ -3,6 +3,7 @@
 
 #include <unordered_map>
 
+#include "common/retry_policy.h"
 #include "common/status.h"
 #include "core/density_estimator.h"
 #include "ring/chord_ring.h"
@@ -23,11 +24,18 @@ namespace ringdde {
 /// stand-in for each peer's application state).
 class EstimateDisseminator {
  public:
-  explicit EstimateDisseminator(ChordRing* ring);
+  /// `retry` governs re-attempts of failed tree edges under an attached
+  /// FaultInjector; the default single-attempt policy reproduces the
+  /// historical reliable-broadcast behavior exactly.
+  explicit EstimateDisseminator(ChordRing* ring, RetryPolicy retry = {});
 
   /// Broadcasts `estimate` from `origin` to every reachable alive peer.
   /// Returns the number of peers that received it (including the origin).
   /// Charges one message of the encoded estimate's size per tree edge.
+  /// Under faults, an edge whose retry budget is exhausted orphans its
+  /// whole sub-arc: delivery degrades gracefully (holder_count() < n)
+  /// instead of blocking — the dropped peers catch up at the next
+  /// broadcast.
   Result<size_t> Broadcast(NodeAddr origin, const DensityEstimate& estimate);
 
   /// The estimate a peer currently holds, if any. Decoded from the wire
@@ -40,12 +48,20 @@ class EstimateDisseminator {
   /// Drops all delivered estimates (e.g. before re-broadcasting).
   void Clear() { received_.clear(); }
 
+  /// Tree edges abandoned after exhausting the retry policy (their
+  /// sub-arcs went undelivered) since construction.
+  uint64_t failed_edges() const { return failed_edges_; }
+
  private:
   void Relay(NodeAddr coordinator, RingId until,
              const std::vector<uint8_t>& payload, int depth,
              size_t* delivered);
 
   ChordRing* ring_;
+  RetryPolicy retry_;
+  uint64_t failed_edges_ = 0;
+  /// Jitter task index, one per attempted tree edge.
+  uint64_t edge_seq_ = 0;
   std::unordered_map<NodeAddr, DensityEstimate> received_;
 };
 

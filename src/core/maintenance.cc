@@ -74,8 +74,26 @@ void EstimateMaintainer::Refresh() {
     fresh_probes = estimator_.options().num_probes;
   }
 
-  Result<DensityEstimate> est =
-      estimator_.EstimateWith(owner_, &summary_pool_, fresh_probes);
+  // Transient failures (crashed owners, exhausted probe budgets under
+  // faults) are retried with deterministic backoff; anything else fails
+  // the refresh immediately and waits for the next period.
+  const RetryPolicy& retry = options_.retry;
+  const uint64_t task = refresh_seq_++;
+  double waited = 0.0;
+  Result<DensityEstimate> est = Status::Internal("no refresh attempted");
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double backoff = retry.BackoffSeconds(task, attempt - 1);
+      if (waited + backoff > retry.budget_seconds) break;
+      waited += backoff;
+      ring_->network().RecordRetry();
+      ring_->network().ChargeWait(backoff);
+    }
+    est = estimator_.EstimateWith(owner_, &summary_pool_, fresh_probes);
+    if (est.ok()) break;
+    const Status& s = est.status();
+    if (!s.IsUnavailable() && !s.IsTimedOut()) break;
+  }
   if (est.ok()) {
     current_ = std::move(*est);
     ++refreshes_;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "core/density_estimator.h"
 
 namespace ringdde {
@@ -20,6 +21,11 @@ struct MaintenanceOptions {
 
   /// Fraction of the probe budget refreshed per period in incremental mode.
   double incremental_fraction = 0.25;
+
+  /// Re-attempt policy for a refresh whose estimation failed transiently
+  /// (Unavailable/TimedOut under faults). The default single attempt keeps
+  /// the historical fail-and-wait-for-next-period behavior.
+  RetryPolicy retry;
 };
 
 /// Keeps one peer's density estimate fresh under churn and data updates by
@@ -61,6 +67,8 @@ class EstimateMaintainer {
   std::vector<LocalSummary> summary_pool_;  // FIFO: oldest first
   uint64_t refreshes_ = 0;
   uint64_t failed_refreshes_ = 0;
+  /// Jitter task index, one per refresh invocation.
+  uint64_t refresh_seq_ = 0;
 };
 
 }  // namespace ringdde

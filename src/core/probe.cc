@@ -13,16 +13,22 @@ CdfProber::CdfProber(ChordRing* ring, ProbeOptions options)
   assert(options_.num_quantiles >= 2);
 }
 
-Result<LocalSummary> CdfProber::Probe(NodeAddr querier, RingId target) {
+namespace {
+
+/// Only transient failures are worth re-attempting; InvalidArgument (dead
+/// querier) or an empty ring will not heal with backoff.
+bool IsTransient(const Status& s) {
+  return s.IsUnavailable() || s.IsTimedOut();
+}
+
+}  // namespace
+
+Result<LocalSummary> CdfProber::ProbeOnce(NodeAddr querier, RingId target) {
   Result<NodeAddr> owner = ring_->Lookup(querier, target);
-  if (!owner.ok()) {
-    ++failed_probes_;
-    return owner.status();
-  }
+  if (!owner.ok()) return owner.status();
   Node* node = ring_->GetNode(*owner);
   if (node == nullptr || !node->alive()) {
     // The lookup's final answer went stale before we could contact it.
-    ++failed_probes_;
     return Status::Unavailable("probed owner died");
   }
   LocalSummary summary =
@@ -31,10 +37,42 @@ Result<LocalSummary> CdfProber::Probe(NodeAddr querier, RingId target) {
                                         options_.sketch_epsilon)
           : ComputeLocalSummary(*node, options_.num_quantiles);
   // Summary request + response, charged at the response's REAL wire size.
-  ring_->network().Send(querier, *owner, 16, /*hop_count=*/1);
-  ring_->network().Send(*owner, querier, EncodedSummarySize(summary),
-                        /*hop_count=*/0);
+  // Both legs are fallible: a fault-crashed owner or a dropped packet
+  // surfaces here as a non-ok Result instead of free retransmission.
+  Result<double> req = ring_->network().TrySend(querier, *owner, 16,
+                                                /*hop_count=*/1);
+  if (!req.ok()) return req.status();
+  Result<double> resp = ring_->network().TrySend(
+      *owner, querier, EncodedSummarySize(summary), /*hop_count=*/0);
+  if (!resp.ok()) return resp.status();
   return summary;
+}
+
+Result<LocalSummary> CdfProber::Probe(NodeAddr querier, RingId target) {
+  const RetryPolicy& retry = options_.retry;
+  const uint64_t task = probe_seq_++;
+  double waited = 0.0;
+  Status last = Status::Internal("probe made no attempt");
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double backoff = retry.BackoffSeconds(task, attempt - 1);
+      if (waited + backoff > retry.budget_seconds) {
+        last = Status::TimedOut("probe retry budget exhausted");
+        break;
+      }
+      waited += backoff;
+      ++retries_;
+      ring_->network().RecordRetry();
+      ring_->network().ChargeWait(backoff);
+    }
+    Result<LocalSummary> r = ProbeOnce(querier, target);
+    if (r.ok()) return r;
+    last = r.status();
+    if (!IsTransient(last)) break;
+  }
+  ++failed_probes_;
+  ring_->network().RecordFailedProbe();
+  return last;
 }
 
 void CdfProber::ProbeTargets(NodeAddr querier,

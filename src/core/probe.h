@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/local_summary.h"
@@ -30,18 +31,31 @@ struct ProbeOptions {
 
   /// Rank-error bound of the peer sketches when use_sketch_summaries.
   double sketch_epsilon = 0.02;
+
+  /// Retry schedule for transient probe failures (lookup Unavailable /
+  /// TimedOut, dropped summary exchange, crashed owner). The default is a
+  /// single attempt — exactly the historical skip-on-failure behavior —
+  /// so only fault-aware callers pay for retries. Backoff time is charged
+  /// to the network's latency_sum (the querier waits it out).
+  RetryPolicy retry;
 };
 
 /// The CDF-sampling primitive: route to the owner of a ring position and
 /// fetch its LocalSummary.
 ///
 /// Cost model per probe: one iterative lookup (charged by ChordRing) plus a
-/// summary request (16 bytes) and response (summary.EncodedBytes()).
+/// summary request (16 bytes) and response (summary.EncodedBytes()), both
+/// sent over the fallible Network::TrySend path. Under an attached
+/// FaultInjector either exchange can fail; the configured RetryPolicy then
+/// governs bounded re-attempts with deterministic backoff. A probe that
+/// exhausts its attempts (or its backoff budget) returns the last error
+/// and is counted in failed_probes().
 class CdfProber {
  public:
   CdfProber(ChordRing* ring, ProbeOptions options = {});
 
-  /// Probes the owner of `target` starting from `querier`.
+  /// Probes the owner of `target` starting from `querier`, retrying
+  /// transient failures per options().retry.
   Result<LocalSummary> Probe(NodeAddr querier, RingId target);
 
   /// Draws `m` ring positions uniformly at random and probes each; this is
@@ -58,14 +72,25 @@ class CdfProber {
 
   const ProbeOptions& options() const { return options_; }
 
-  /// Number of probes that failed (routing Unavailable/TimedOut) since
-  /// construction.
+  /// Number of probes that failed (routing Unavailable/TimedOut, crashed
+  /// owner, or exhausted retry budget) since construction.
   uint64_t failed_probes() const { return failed_probes_; }
 
+  /// Retry attempts spent recovering probes since construction.
+  uint64_t retries() const { return retries_; }
+
  private:
+  /// One full probe attempt: lookup, then summary request/response over
+  /// TrySend. No retrying at this level.
+  Result<LocalSummary> ProbeOnce(NodeAddr querier, RingId target);
+
   ChordRing* ring_;
   ProbeOptions options_;
   uint64_t failed_probes_ = 0;
+  uint64_t retries_ = 0;
+  /// Monotone probe id: the jitter stream's task index, so every probe's
+  /// backoff sequence is unique and reproducible.
+  uint64_t probe_seq_ = 0;
 };
 
 }  // namespace ringdde

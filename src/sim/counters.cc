@@ -5,12 +5,16 @@
 namespace ringdde {
 
 std::string CostCounters::ToString() const {
-  char buf[160];
+  char buf[240];
   std::snprintf(buf, sizeof(buf),
-                "messages=%llu hops=%llu bytes=%llu latency_sum=%.6f",
+                "messages=%llu hops=%llu bytes=%llu latency_sum=%.6f "
+                "timeouts=%llu retries=%llu failed_probes=%llu",
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(hops),
-                static_cast<unsigned long long>(bytes), latency_sum);
+                static_cast<unsigned long long>(bytes), latency_sum,
+                static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(failed_probes));
   return std::string(buf);
 }
 

@@ -19,17 +19,35 @@ struct CostCounters {
   uint64_t bytes = 0;
   double latency_sum = 0.0;
 
+  /// Failure-path accounting (all zero unless a FaultInjector is attached
+  /// or a protocol runs a retry loop): `timeouts` counts send attempts the
+  /// sender observed as lost (dropped, crashed/hung destination, active
+  /// partition), `retries` counts re-attempts protocols spent recovering,
+  /// and `failed_probes` counts probe operations that exhausted their
+  /// retry budget and returned an error.
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t failed_probes = 0;
+
   void Reset() { *this = CostCounters{}; }
 
   CostCounters operator-(const CostCounters& rhs) const {
-    return CostCounters{messages - rhs.messages, hops - rhs.hops,
-                        bytes - rhs.bytes, latency_sum - rhs.latency_sum};
+    return CostCounters{messages - rhs.messages,
+                        hops - rhs.hops,
+                        bytes - rhs.bytes,
+                        latency_sum - rhs.latency_sum,
+                        timeouts - rhs.timeouts,
+                        retries - rhs.retries,
+                        failed_probes - rhs.failed_probes};
   }
   CostCounters& operator+=(const CostCounters& rhs) {
     messages += rhs.messages;
     hops += rhs.hops;
     bytes += rhs.bytes;
     latency_sum += rhs.latency_sum;
+    timeouts += rhs.timeouts;
+    retries += rhs.retries;
+    failed_probes += rhs.failed_probes;
     return *this;
   }
 

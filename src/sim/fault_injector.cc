@@ -1,0 +1,115 @@
+#include "sim/fault_injector.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace ringdde {
+
+namespace {
+
+// Domain-separation salts: each query family draws from its own hash
+// stream so e.g. the drop decision of message k is independent of the
+// duplicate decision of message k and of node k's crash window.
+constexpr uint64_t kDropSalt = 0xD709ULL;
+constexpr uint64_t kDupSalt = 0xD0B1ULL;
+constexpr uint64_t kDelaySalt = 0xDE1AULL;
+constexpr uint64_t kCrashSalt = 0xC4A5ULL;
+constexpr uint64_t kHangSalt = 0x4A26ULL;
+constexpr uint64_t kSideSalt = 0x51DEULL;
+
+/// Uniform double in [0, 1) from 64 well-mixed bits.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Pure per-query uniform: mixes (seed ^ salt, index) through the same
+/// derivation the thread pool uses for task seeds, so fault streams are
+/// statistically independent of each other and of any simulation rng.
+double UnitHash(uint64_t seed, uint64_t salt, uint64_t index) {
+  return ToUnit(DeriveTaskSeed(seed ^ salt, index));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions options)
+    : options_(options) {
+  assert(options_.drop_probability >= 0.0 &&
+         options_.drop_probability <= 1.0);
+  assert(options_.duplicate_probability >= 0.0 &&
+         options_.duplicate_probability <= 1.0);
+  assert(options_.delay_probability >= 0.0 &&
+         options_.delay_probability <= 1.0);
+  assert(options_.crash_probability >= 0.0 &&
+         options_.crash_probability <= 1.0);
+  assert(options_.hang_probability >= 0.0 &&
+         options_.hang_probability <= 1.0);
+  assert(options_.minority_fraction >= 0.0 &&
+         options_.minority_fraction <= 1.0);
+}
+
+MessageFault FaultInjector::DecideMessage(uint64_t msg_seq) const {
+  MessageFault f;
+  const uint64_t seed = options_.seed;
+  if (options_.drop_probability > 0.0) {
+    f.drop = UnitHash(seed, kDropSalt, msg_seq) < options_.drop_probability;
+  }
+  if (options_.duplicate_probability > 0.0) {
+    f.duplicate =
+        UnitHash(seed, kDupSalt, msg_seq) < options_.duplicate_probability;
+  }
+  if (options_.delay_probability > 0.0 &&
+      UnitHash(seed, kDelaySalt, msg_seq) < options_.delay_probability) {
+    // Exponential delay by inversion from a second mixing step, so the
+    // selection bit and the magnitude stay independent.
+    const double u = UnitHash(seed, kDelaySalt + 1, msg_seq);
+    f.extra_delay_seconds =
+        -options_.delay_mean_seconds * std::log(1.0 - u);
+  }
+  return f;
+}
+
+bool FaultInjector::IsCrashed(uint64_t addr, double now) const {
+  if (options_.crash_probability <= 0.0) return false;
+  if (UnitHash(options_.seed, kCrashSalt, addr) >=
+      options_.crash_probability) {
+    return false;
+  }
+  const double start = options_.crash_start_max_seconds *
+                       UnitHash(options_.seed, kCrashSalt + 1, addr);
+  return now >= start && now - start < options_.crash_duration_seconds;
+}
+
+bool FaultInjector::IsHung(uint64_t addr, double now) const {
+  if (options_.hang_probability <= 0.0) return false;
+  if (UnitHash(options_.seed, kHangSalt, addr) >=
+      options_.hang_probability) {
+    return false;
+  }
+  const double start = options_.hang_start_max_seconds *
+                       UnitHash(options_.seed, kHangSalt + 1, addr);
+  return now >= start && now - start < options_.hang_duration_seconds;
+}
+
+bool FaultInjector::OnMinoritySide(uint64_t addr) const {
+  return UnitHash(options_.seed, kSideSalt, addr) <
+         options_.minority_fraction;
+}
+
+bool FaultInjector::IsPartitioned(uint64_t from, uint64_t to,
+                                  double now) const {
+  if (options_.partitions.empty()) return false;
+  bool active = false;
+  for (const PartitionWindow& w : options_.partitions) {
+    if (now >= w.start_seconds && now < w.end_seconds) {
+      active = true;
+      break;
+    }
+  }
+  if (!active) return false;
+  return OnMinoritySide(from) != OnMinoritySide(to);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,103 @@
+#ifndef RINGDDE_SIM_FAULT_INJECTOR_H_
+#define RINGDDE_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ringdde {
+
+/// A scheduled network split: while active, messages between the two sides
+/// are dropped (the sender observes a timeout). Sides are assigned per node
+/// by a deterministic hash of its address; `minority_fraction` of the nodes
+/// land on the minority side. Partitions heal exactly at `end_seconds`.
+struct PartitionWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Configuration of one deterministic fault plan.
+///
+/// Every probability selects faults by pure hashing (see FaultInjector), so
+/// the realized schedule is a function of (seed, message sequence number,
+/// node address, virtual time) only — never of thread count, scheduling, or
+/// evaluation order. Replaying the same simulation replays the same faults.
+struct FaultOptions {
+  /// Per-message fault probabilities, each decided independently.
+  double drop_probability = 0.0;       ///< message vanishes; sender times out
+  double duplicate_probability = 0.0;  ///< delivered twice (extra cost)
+  double delay_probability = 0.0;      ///< delivered late by an exp. delay
+  double delay_mean_seconds = 0.1;     ///< mean of the extra delay
+
+  /// Fraction of nodes that fail-stop during the run. A selected node is
+  /// unresponsive (every message to it times out) for the window
+  /// [crash_start, crash_start + crash_duration_seconds), where crash_start
+  /// is uniform in [0, crash_start_max_seconds]. The defaults make selected
+  /// nodes dead from t = 0 forever — the harshest setting.
+  double crash_probability = 0.0;
+  double crash_start_max_seconds = 0.0;
+  double crash_duration_seconds = kForever;
+
+  /// Fraction of nodes that hang (GC pause / overload): unresponsive during
+  /// their window but alive again afterwards.
+  double hang_probability = 0.0;
+  double hang_start_max_seconds = 0.0;
+  double hang_duration_seconds = 1.0;
+
+  /// Scheduled network splits; may overlap.
+  std::vector<PartitionWindow> partitions;
+  /// Fraction of nodes assigned to the partition's minority side.
+  double minority_fraction = 0.5;
+
+  /// Master seed; the whole plan derives from it.
+  uint64_t seed = 0xFA17;
+
+  static constexpr double kForever = 1e300;
+};
+
+/// The per-message verdict of the fault plan.
+struct MessageFault {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay_seconds = 0.0;
+};
+
+/// Deterministic fault oracle for one simulated deployment.
+///
+/// All queries are const and side-effect free: a decision is a pure hash of
+/// the plan seed and the query's identity (message sequence number or node
+/// address), via the same SplitMix64 derivation the thread pool uses for
+/// task seeds. Two consequences the tests pin down:
+///  - the schedule is byte-identical at any thread count and in any
+///    evaluation order (fault_injector_test), and
+///  - realized fault rates converge to the configured probabilities.
+///
+/// The injector never mutates ring or network state; it only answers
+/// "does THIS attempt fail?". Network::TrySend consults it per attempt.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options = {});
+
+  /// Fault verdict for the `msg_seq`-th message attempt of this network.
+  MessageFault DecideMessage(uint64_t msg_seq) const;
+
+  /// True if `addr` is inside its crash window at virtual time `now`.
+  bool IsCrashed(uint64_t addr, double now) const;
+
+  /// True if `addr` is inside its hang window at `now`.
+  bool IsHung(uint64_t addr, double now) const;
+
+  /// True if an active partition separates `from` and `to` at `now`.
+  bool IsPartitioned(uint64_t from, uint64_t to, double now) const;
+
+  /// True if `addr` is on the minority side of the (hash-assigned) split.
+  bool OnMinoritySide(uint64_t addr) const;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_FAULT_INJECTOR_H_

@@ -34,4 +34,55 @@ double Network::Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
   return total_latency;
 }
 
+Result<double> Network::TrySend(NodeAddr from, NodeAddr to,
+                                uint64_t payload_bytes, uint64_t hop_count) {
+  if (options_.faults == nullptr) {
+    // Zero-cost-off: identical code path, cost stream, and rng draws as a
+    // build without the fault layer.
+    return Send(from, to, payload_bytes, hop_count);
+  }
+  const FaultInjector& faults = *options_.faults;
+  const uint64_t seq = send_seq_++;
+  // Every attempt is charged whether or not it arrives: the sender put the
+  // bytes on the wire either way.
+  counters_.messages += 1;
+  counters_.bytes += payload_bytes + options_.header_bytes;
+  counters_.hops += hop_count;
+  const double now = Now();
+  if (faults.IsCrashed(to, now)) {
+    ++lost_messages_;
+    ++counters_.timeouts;
+    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    return Status::Unavailable("destination crashed");
+  }
+  if (faults.IsHung(to, now)) {
+    ++lost_messages_;
+    ++counters_.timeouts;
+    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    return Status::TimedOut("destination hung");
+  }
+  if (faults.IsPartitioned(from, to, now)) {
+    ++lost_messages_;
+    ++counters_.timeouts;
+    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    return Status::TimedOut("partition between endpoints");
+  }
+  const MessageFault fault = faults.DecideMessage(seq);
+  if (fault.drop) {
+    ++lost_messages_;
+    ++counters_.timeouts;
+    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    return Status::TimedOut("message dropped");
+  }
+  double latency =
+      options_.latency->Sample(rng_, from, to) + fault.extra_delay_seconds;
+  if (fault.duplicate) {
+    // The duplicate transits (and is charged) but carries no information.
+    counters_.messages += 1;
+    counters_.bytes += payload_bytes + options_.header_bytes;
+  }
+  counters_.latency_sum += latency;
+  return latency;
+}
+
 }  // namespace ringdde

@@ -4,8 +4,10 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "sim/counters.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injector.h"
 #include "sim/latency_model.h"
 
 namespace ringdde {
@@ -29,6 +31,10 @@ struct NetworkOptions {
   double retransmit_timeout_seconds = 0.2;
   /// Seed for the latency/loss sampling stream.
   uint64_t seed = 0xC0FFEE;
+  /// Deterministic fault plan consulted by TrySend(). Null (the default)
+  /// disables fault injection entirely: TrySend degenerates to Send and
+  /// every protocol behaves bit-identically to a fault-free build.
+  std::shared_ptr<FaultInjector> faults;
 };
 
 /// The message fabric shared by all peers of one simulated deployment.
@@ -51,12 +57,41 @@ class Network {
   double Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
               uint64_t hop_count = 1);
 
-  /// Messages lost (and retransmitted) since construction.
+  /// Fallible send: ONE delivery attempt judged by the attached
+  /// FaultInjector. A dropped message, a crashed or hung destination, or
+  /// an active partition costs the attempt plus one observed timeout
+  /// (counters().timeouts) and returns TimedOut/Unavailable — the caller
+  /// decides whether to retry (see common/retry_policy.h). Duplicated
+  /// messages charge an extra message/bytes; delayed ones inflate the
+  /// returned latency. Without an injector this is exactly Send(): same
+  /// cost, same rng stream, same return value, wrapped in an OK Result.
+  Result<double> TrySend(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+                         uint64_t hop_count = 1);
+
+  /// Records one protocol-level retry / failed probe into the counters
+  /// (kept here so CostScope deltas capture them alongside message cost).
+  void RecordRetry() { counters_.retries += 1; }
+  void RecordFailedProbe() { counters_.failed_probes += 1; }
+
+  /// Charges wall-clock the protocol spent waiting (retry backoff) to the
+  /// serial-latency accounting without sending anything.
+  void ChargeWait(double seconds) { counters_.latency_sum += seconds; }
+
+  /// Messages lost (and retransmitted or abandoned) since construction or
+  /// the last ResetCounters().
   uint64_t lost_messages() const { return lost_messages_; }
+
+  /// The attached fault plan, or null when fault injection is off.
+  const FaultInjector* fault_injector() const {
+    return options_.faults.get();
+  }
 
   /// Cumulative cost since construction (or the last ResetCounters()).
   const CostCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_.Reset(); }
+  void ResetCounters() {
+    counters_.Reset();
+    lost_messages_ = 0;
+  }
 
   EventQueue& events() { return events_; }
   const EventQueue& events() const { return events_; }
@@ -72,6 +107,10 @@ class Network {
   EventQueue events_;
   CostCounters counters_;
   uint64_t lost_messages_ = 0;
+  /// Sequence number of the next TrySend attempt — the message identity
+  /// the fault plan hashes. Never reset, so a deployment's fault schedule
+  /// is one continuous stream.
+  uint64_t send_seq_ = 0;
 };
 
 }  // namespace ringdde

@@ -25,6 +25,14 @@ double DkwConfidence(size_t m, double epsilon) {
   return tail >= 1.0 ? 0.0 : 1.0 - tail;
 }
 
+double DkwEpsilonDegraded(size_t requested, size_t succeeded, double delta) {
+  assert(succeeded <= requested);
+  (void)requested;
+  if (succeeded == 0) return 1.0;
+  const double eps = DkwEpsilon(succeeded, delta);
+  return eps > 1.0 ? 1.0 : eps;
+}
+
 size_t HoeffdingRequiredSamples(double epsilon, double delta, double range) {
   assert(range > 0.0);
   return DkwRequiredSamples(epsilon / range, delta);

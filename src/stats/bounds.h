@@ -27,6 +27,14 @@ double DkwEpsilon(size_t m, double delta);
 /// (clamped below at 0).
 double DkwConfidence(size_t m, double epsilon);
 
+/// The widened DKW epsilon of a DEGRADED probe run: of `requested` CDF
+/// samples only `succeeded` returned (timeouts, crashed owners, exhausted
+/// retry budgets), so the bound must be computed from the m' samples the
+/// estimator actually holds. Returns DkwEpsilon(succeeded, delta) clamped
+/// to 1.0, and exactly 1.0 (vacuous) when nothing succeeded. `succeeded`
+/// must not exceed `requested`.
+double DkwEpsilonDegraded(size_t requested, size_t succeeded, double delta);
+
 /// Hoeffding bound for estimating the mean of a [0, range]-valued quantity
 /// (e.g. the total item count from per-probe density observations):
 /// smallest m with 2 exp(-2 m (eps/range)^2) <= delta.

@@ -1,0 +1,197 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ringdde {
+namespace {
+
+FaultOptions BusyPlan(uint64_t seed) {
+  FaultOptions o;
+  o.drop_probability = 0.10;
+  o.duplicate_probability = 0.05;
+  o.delay_probability = 0.20;
+  o.delay_mean_seconds = 0.25;
+  o.crash_probability = 0.10;
+  o.hang_probability = 0.15;
+  o.hang_duration_seconds = 2.0;
+  o.partitions.push_back(PartitionWindow{10.0, 20.0});
+  o.seed = seed;
+  return o;
+}
+
+/// One message verdict flattened to comparable plain bytes.
+struct FlatFault {
+  uint8_t drop = 0;
+  uint8_t duplicate = 0;
+  double extra_delay_seconds = 0.0;
+
+  bool operator==(const FlatFault& other) const {
+    return drop == other.drop && duplicate == other.duplicate &&
+           extra_delay_seconds == other.extra_delay_seconds;
+  }
+};
+
+/// Evaluates the first `n` message verdicts of `plan` on `pool`, in an
+/// order the pool chooses. The result must not depend on that order.
+std::vector<FlatFault> Schedule(const FaultOptions& plan, size_t n,
+                                ThreadPool& pool) {
+  FaultInjector injector(plan);
+  std::vector<FlatFault> out(n);
+  pool.ParallelFor(0, n, [&](size_t i) {
+    const MessageFault f = injector.DecideMessage(i);
+    out[i] = FlatFault{static_cast<uint8_t>(f.drop),
+                       static_cast<uint8_t>(f.duplicate),
+                       f.extra_delay_seconds};
+  });
+  return out;
+}
+
+TEST(FaultInjectorTest, ScheduleIsIdenticalAtAnyThreadCount) {
+  const FaultOptions plan = BusyPlan(0xFA17);
+  const size_t kMessages = 20000;
+
+  ThreadPool serial(0);    // concurrency 1
+  ThreadPool quad(3);      // concurrency 4
+  ThreadPool sixteen(15);  // concurrency 16
+  const std::vector<FlatFault> s1 = Schedule(plan, kMessages, serial);
+  const std::vector<FlatFault> s4 = Schedule(plan, kMessages, quad);
+  const std::vector<FlatFault> s16 = Schedule(plan, kMessages, sixteen);
+
+  // Byte-identical: same drops, same duplicates, bit-equal delays.
+  ASSERT_EQ(s1.size(), s4.size());
+  ASSERT_EQ(s1.size(), s16.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    ASSERT_TRUE(s1[i] == s4[i]) << "message " << i;
+    ASSERT_TRUE(s1[i] == s16[i]) << "message " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanDifferentSeedDifferentPlan) {
+  ThreadPool serial(0);
+  const std::vector<FlatFault> a = Schedule(BusyPlan(7), 5000, serial);
+  const std::vector<FlatFault> b = Schedule(BusyPlan(7), 5000, serial);
+  const std::vector<FlatFault> c = Schedule(BusyPlan(8), 5000, serial);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FaultInjectorTest, MessageFaultRatesConvergeToProbabilities) {
+  const FaultOptions plan = BusyPlan(0xFA17);
+  FaultInjector injector(plan);
+  const size_t kMessages = 200000;
+  size_t drops = 0, dups = 0, delays = 0;
+  double delay_sum = 0.0;
+  for (size_t i = 0; i < kMessages; ++i) {
+    const MessageFault f = injector.DecideMessage(i);
+    drops += f.drop ? 1 : 0;
+    dups += f.duplicate ? 1 : 0;
+    if (f.extra_delay_seconds > 0.0) {
+      ++delays;
+      delay_sum += f.extra_delay_seconds;
+    }
+  }
+  const double n = static_cast<double>(kMessages);
+  EXPECT_NEAR(drops / n, plan.drop_probability, 0.005);
+  EXPECT_NEAR(dups / n, plan.duplicate_probability, 0.005);
+  EXPECT_NEAR(delays / n, plan.delay_probability, 0.005);
+  // Exponential delays with the configured mean.
+  EXPECT_NEAR(delay_sum / static_cast<double>(delays),
+              plan.delay_mean_seconds, 0.01);
+}
+
+TEST(FaultInjectorTest, NodeFaultRatesConvergeToProbabilities) {
+  const FaultOptions plan = BusyPlan(0xFA17);
+  FaultInjector injector(plan);
+  const size_t kNodes = 50000;
+  size_t crashed = 0, hung = 0;
+  for (uint64_t addr = 0; addr < kNodes; ++addr) {
+    // Defaults put crash windows at [0, forever) and hang windows at
+    // [0, hang_duration), so t inside the hang window sees both families.
+    crashed += injector.IsCrashed(addr, 1.0) ? 1 : 0;
+    hung += injector.IsHung(addr, 1.0) ? 1 : 0;
+  }
+  const double n = static_cast<double>(kNodes);
+  EXPECT_NEAR(crashed / n, plan.crash_probability, 0.01);
+  EXPECT_NEAR(hung / n, plan.hang_probability, 0.01);
+}
+
+TEST(FaultInjectorTest, CrashAndHangWindowsRespectTime) {
+  FaultOptions o;
+  o.crash_probability = 1.0;
+  o.crash_start_max_seconds = 0.0;
+  o.crash_duration_seconds = 5.0;
+  o.hang_probability = 1.0;
+  o.hang_start_max_seconds = 0.0;
+  o.hang_duration_seconds = 1.0;
+  FaultInjector injector(o);
+  EXPECT_TRUE(injector.IsCrashed(/*addr=*/1, /*now=*/0.0));
+  EXPECT_TRUE(injector.IsCrashed(1, 4.999));
+  EXPECT_FALSE(injector.IsCrashed(1, 5.0));  // window end is exclusive
+  EXPECT_TRUE(injector.IsHung(1, 0.5));
+  EXPECT_FALSE(injector.IsHung(1, 1.0));  // alive again after the pause
+}
+
+TEST(FaultInjectorTest, PartitionsHealOnSchedule) {
+  FaultOptions o;
+  o.partitions.push_back(PartitionWindow{10.0, 20.0});
+  o.minority_fraction = 0.5;
+  o.seed = 0xFA17;
+  FaultInjector injector(o);
+
+  // Find one node on each side of the hash-assigned split.
+  uint64_t minority = 0, majority = 0;
+  bool have_min = false, have_maj = false;
+  for (uint64_t addr = 0; addr < 1000 && !(have_min && have_maj); ++addr) {
+    if (injector.OnMinoritySide(addr)) {
+      minority = addr;
+      have_min = true;
+    } else {
+      majority = addr;
+      have_maj = true;
+    }
+  }
+  ASSERT_TRUE(have_min && have_maj);
+
+  // Split active exactly during [start, end): cross-side traffic fails,
+  // same-side traffic never does, and the partition heals at end_seconds.
+  EXPECT_FALSE(injector.IsPartitioned(minority, majority, 9.999));
+  EXPECT_TRUE(injector.IsPartitioned(minority, majority, 10.0));
+  EXPECT_TRUE(injector.IsPartitioned(majority, minority, 15.0));
+  EXPECT_FALSE(injector.IsPartitioned(minority, majority, 20.0));
+  EXPECT_FALSE(injector.IsPartitioned(minority, minority, 15.0));
+  EXPECT_FALSE(injector.IsPartitioned(majority, majority, 15.0));
+}
+
+TEST(FaultInjectorTest, MinoritySideFractionConverges) {
+  FaultOptions o;
+  o.partitions.push_back(PartitionWindow{0.0, 1.0});
+  o.minority_fraction = 0.25;
+  FaultInjector injector(o);
+  size_t minority = 0;
+  const size_t kNodes = 50000;
+  for (uint64_t addr = 0; addr < kNodes; ++addr) {
+    minority += injector.OnMinoritySide(addr) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(minority) / kNodes, 0.25, 0.01);
+}
+
+TEST(FaultInjectorTest, NullPlanIsFaultFree) {
+  FaultInjector injector{FaultOptions{}};
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const MessageFault f = injector.DecideMessage(i);
+    EXPECT_FALSE(f.drop);
+    EXPECT_FALSE(f.duplicate);
+    EXPECT_EQ(f.extra_delay_seconds, 0.0);
+    EXPECT_FALSE(injector.IsCrashed(i, 100.0));
+    EXPECT_FALSE(injector.IsHung(i, 100.0));
+    EXPECT_FALSE(injector.IsPartitioned(i, i + 1, 100.0));
+  }
+}
+
+}  // namespace
+}  // namespace ringdde

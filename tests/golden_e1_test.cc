@@ -1,0 +1,56 @@
+// Golden end-to-end regression: one tiny, fully pinned E1-style run.
+//
+// The whole stack — dataset generation, ring construction, probing over
+// the fallible TrySend path (with fault injection OFF), reconstruction,
+// and cost accounting — must reproduce these numbers bit-for-bit on every
+// platform, thread count, and future revision. A drift here means the
+// fault layer (or anything else) silently changed fault-free behavior,
+// which the zero-cost-off contract forbids.
+//
+// The golden values were captured from the first build of this test and
+// are locked at 1e-9; cost counters are integers and must match exactly.
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace ringdde::bench {
+namespace {
+
+TEST(GoldenE1Test, TinyRunIsBitStable) {
+  // n=256 peers, 10k items from TruncatedNormal(0.5, 0.15), m=64 probes.
+  auto env = BuildEnv(
+      256, std::make_unique<TruncatedNormalDistribution>(0.5, 0.15), 10000,
+      /*seed=*/42);
+
+  DdeOptions opts;
+  opts.num_probes = 64;
+  opts.seed = 7;
+  DistributionFreeEstimator estimator(env->ring.get(), opts);
+  Rng rng(9);
+  Result<NodeAddr> querier = env->ring->RandomAliveNode(rng);
+  ASSERT_TRUE(querier.ok());
+  Result<DensityEstimate> e = estimator.Estimate(*querier);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+
+  const AccuracyReport acc = CompareCdfToTruth(e->cdf, *env->dist);
+
+  // --- golden values ---
+  EXPECT_NEAR(acc.ks, 0.01765600967989589, 1e-9);
+  EXPECT_NEAR(acc.l1_cdf, 0.0044233961354768541, 1e-9);
+  EXPECT_NEAR(e->covered_fraction, 0.31584580304807031, 1e-9);
+  EXPECT_NEAR(e->estimated_total_items, 9902.8378935642831, 1e-9);
+  EXPECT_EQ(e->peers_probed, 51u);
+  EXPECT_EQ(e->cost.messages, 490u);
+  EXPECT_EQ(e->cost.hops, 245u);
+  EXPECT_EQ(e->cost.bytes, 49501u);
+
+  // Fault machinery must be invisible on this fault-free run.
+  EXPECT_EQ(e->failed_probes, 0u);
+  EXPECT_EQ(e->retries, 0u);
+  EXPECT_EQ(e->timeouts, 0u);
+  EXPECT_EQ(env->net->counters().timeouts, 0u);
+  EXPECT_EQ(env->net->lost_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace ringdde::bench

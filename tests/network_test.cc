@@ -52,10 +52,41 @@ TEST(NetworkTest, SendCountsMessageHopsBytes) {
 }
 
 TEST(NetworkTest, ResetCountersClears) {
-  Network net;
-  net.Send(1, 2, 5);
+  // Lossy fabric, so the send also bumps the loss/timeout accounting that
+  // ResetCounters must clear alongside the cost counters.
+  NetworkOptions opts;
+  opts.loss_probability = 0.9;
+  opts.seed = 3;
+  Network net(opts);
+  for (int i = 0; i < 20; ++i) net.Send(1, 2, 5);
+  ASSERT_GT(net.lost_messages(), 0u);
   net.ResetCounters();
   EXPECT_EQ(net.counters().messages, 0u);
+  EXPECT_EQ(net.counters().bytes, 0u);
+  EXPECT_EQ(net.lost_messages(), 0u);
+}
+
+TEST(NetworkTest, TrySendWithoutInjectorEqualsSend) {
+  // Two identically seeded fabrics: Send on one, TrySend on the other.
+  // The zero-cost-off contract: identical latencies drawn from the same
+  // rng stream, identical counters, ok() everywhere.
+  NetworkOptions opts;
+  opts.loss_probability = 0.1;
+  opts.seed = 17;
+  Network a(opts);
+  Network b(opts);
+  for (int i = 0; i < 200; ++i) {
+    const double sent = a.Send(1, 2, 64, 2);
+    Result<double> tried = b.TrySend(1, 2, 64, 2);
+    ASSERT_TRUE(tried.ok());
+    EXPECT_EQ(sent, *tried);
+  }
+  EXPECT_EQ(a.counters().messages, b.counters().messages);
+  EXPECT_EQ(a.counters().bytes, b.counters().bytes);
+  EXPECT_EQ(a.counters().hops, b.counters().hops);
+  EXPECT_EQ(a.counters().latency_sum, b.counters().latency_sum);
+  EXPECT_EQ(a.lost_messages(), b.lost_messages());
+  EXPECT_EQ(b.counters().timeouts, 0u);
 }
 
 TEST(NetworkTest, DefaultLatencyModelInstalled) {

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/retry_policy.h"
+#include "core/density_estimator.h"
+#include "core/probe.h"
+#include "sim/fault_injector.h"
+
+namespace ringdde {
+namespace {
+
+/// A ring whose network routes reliably but whose probe exchanges run
+/// against the given fault plan.
+struct FaultedDeployment {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<ChordRing> ring;
+};
+
+FaultedDeployment BuildFaulted(size_t peers, size_t items,
+                               const FaultOptions& faults,
+                               uint64_t ring_seed = 11) {
+  FaultedDeployment d;
+  NetworkOptions nopts;
+  nopts.faults = std::make_shared<FaultInjector>(faults);
+  d.net = std::make_unique<Network>(nopts);
+  RingOptions ropts;
+  ropts.seed = ring_seed;
+  d.ring = std::make_unique<ChordRing>(d.net.get(), ropts);
+  EXPECT_TRUE(d.ring->CreateNetwork(peers).ok());
+  Rng rng(ring_seed ^ 0xDA7A);
+  for (size_t i = 0; i < items; ++i) {
+    EXPECT_TRUE(d.ring->InsertKeyBulk(rng.UniformDouble()).ok());
+  }
+  return d;
+}
+
+TEST(ProbeFailureTest, CrashedOwnerYieldsNonOkResult) {
+  FaultOptions faults;
+  faults.crash_probability = 1.0;  // every destination is dead from t=0
+  FaultedDeployment d = BuildFaulted(64, 1000, faults);
+
+  CdfProber prober(d.ring.get());  // default policy: single attempt
+  const NodeAddr querier = d.ring->AliveAddrs()[0];
+  Result<LocalSummary> r =
+      prober.Probe(querier, RingId(0x8000000000000000ULL));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable() || r.status().IsTimedOut())
+      << r.status().ToString();
+  EXPECT_EQ(prober.failed_probes(), 1u);
+  EXPECT_EQ(d.net->counters().failed_probes, 1u);
+}
+
+TEST(ProbeFailureTest, RetryStopsAtAttemptCap) {
+  FaultOptions faults;
+  faults.crash_probability = 1.0;  // no retry can ever succeed
+  FaultedDeployment d = BuildFaulted(64, 1000, faults);
+
+  ProbeOptions popts;
+  popts.retry.max_attempts = 4;
+  CdfProber prober(d.ring.get(), popts);
+  const NodeAddr querier = d.ring->AliveAddrs()[0];
+  Result<LocalSummary> r =
+      prober.Probe(querier, RingId(0x4000000000000000ULL));
+  ASSERT_FALSE(r.ok());
+  // Exactly max_attempts - 1 retries were spent, then the probe failed.
+  EXPECT_EQ(prober.retries(), 3u);
+  EXPECT_EQ(prober.failed_probes(), 1u);
+  EXPECT_EQ(d.net->counters().retries, 3u);
+  EXPECT_EQ(d.net->counters().failed_probes, 1u);
+
+  // A second probe spends its own cap; totals accumulate.
+  (void)prober.Probe(querier, RingId(0xC000000000000000ULL));
+  EXPECT_EQ(prober.retries(), 6u);
+  EXPECT_EQ(prober.failed_probes(), 2u);
+}
+
+TEST(ProbeFailureTest, BackoffBudgetCapsWaitedTime) {
+  FaultOptions faults;
+  faults.crash_probability = 1.0;
+  FaultedDeployment d = BuildFaulted(64, 1000, faults);
+
+  ProbeOptions popts;
+  popts.retry.max_attempts = 100;
+  popts.retry.initial_backoff_seconds = 0.5;
+  popts.retry.budget_seconds = 1.0;  // allows the first retry only
+  CdfProber prober(d.ring.get(), popts);
+  const NodeAddr querier = d.ring->AliveAddrs()[0];
+  Result<LocalSummary> r =
+      prober.Probe(querier, RingId(0x8000000000000000ULL));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimedOut()) << r.status().ToString();
+  // initial=0.5 fits the 1.0s budget; the next backoff (~1.0s) does not.
+  EXPECT_EQ(prober.retries(), 1u);
+}
+
+TEST(RetryPolicyTest, BackoffSequenceIsDeterministic) {
+  RetryPolicy a;
+  a.max_attempts = 8;
+  a.seed = 0xB0FF;
+  RetryPolicy b = a;
+  for (uint64_t task = 0; task < 16; ++task) {
+    for (int k = 1; k < a.max_attempts; ++k) {
+      EXPECT_EQ(a.BackoffSeconds(task, k), b.BackoffSeconds(task, k));
+    }
+  }
+  // A different seed or task index yields a different jitter stream.
+  RetryPolicy c = a;
+  c.seed = 0xB0FF + 1;
+  EXPECT_NE(a.BackoffSeconds(0, 1), c.BackoffSeconds(0, 1));
+  EXPECT_NE(a.BackoffSeconds(0, 1), a.BackoffSeconds(1, 1));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBand) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.05;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_seconds = 2.0;
+  p.jitter_fraction = 0.1;
+  double base = p.initial_backoff_seconds;
+  for (int k = 1; k <= 10; ++k) {
+    const double backoff = p.BackoffSeconds(/*task=*/3, k);
+    EXPECT_GE(backoff, base * (1.0 - p.jitter_fraction) - 1e-12);
+    EXPECT_LE(backoff, base * (1.0 + p.jitter_fraction) + 1e-12);
+    base = std::min(base * p.backoff_multiplier, p.max_backoff_seconds);
+  }
+}
+
+// Property: under arbitrary drop/crash mixes the probing layer never
+// double-counts an owner (each summary's peer appears once) and every
+// estimate it does produce is a valid CDF — monotone, inside [0, 1].
+TEST(ProbeFailureTest, FaultedProbingKeepsOwnersUniqueAndCdfMonotone) {
+  int estimates_ok = 0;
+  for (uint64_t trial = 0; trial < 12; ++trial) {
+    FaultOptions faults;
+    faults.drop_probability = 0.30;
+    faults.crash_probability = 0.10;
+    faults.seed = 0xFA17 + trial;
+    FaultedDeployment d =
+        BuildFaulted(64, 2000, faults, /*ring_seed=*/11 + trial);
+
+    // Owners stay unique even when probes fail and get retried.
+    ProbeOptions popts;
+    popts.retry.max_attempts = 3;
+    CdfProber prober(d.ring.get(), popts);
+    const NodeAddr querier = d.ring->AliveAddrs()[0];
+    std::vector<LocalSummary> summaries;
+    Rng rng(23 + trial);
+    prober.ProbeUniform(querier, 48, rng, &summaries);
+    std::set<NodeAddr> owners;
+    for (const LocalSummary& s : summaries) {
+      EXPECT_TRUE(owners.insert(s.addr).second)
+          << "owner " << s.addr << " double-counted (trial " << trial
+          << ")";
+    }
+
+    // End-to-end: a degraded estimate is still a CDF.
+    DdeOptions dopts;
+    dopts.num_probes = 48;
+    dopts.seed = 31 + trial;
+    dopts.retry.max_attempts = 3;
+    DistributionFreeEstimator est(d.ring.get(), dopts);
+    Result<DensityEstimate> e = est.Estimate(querier);
+    if (!e.ok()) continue;  // total outage is legal under heavy faults
+    ++estimates_ok;
+    double prev = 0.0;
+    for (int g = 0; g <= 256; ++g) {
+      const double x = static_cast<double>(g) / 256.0;
+      const double v = e->cdf.Evaluate(x);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+      EXPECT_GE(v, prev - 1e-12) << "CDF not monotone at " << x;
+      prev = v;
+    }
+    EXPECT_EQ(e->cdf.Evaluate(1.0), 1.0);
+    // Degradation accounting is coherent.
+    EXPECT_LE(e->failed_probes, e->probes_requested);
+    EXPECT_GT(e->ConfidenceEpsilon(), 0.0);
+    EXPECT_LE(e->ConfidenceEpsilon(), 1.0);
+  }
+  // The mix is survivable: most trials must produce an estimate.
+  EXPECT_GE(estimates_ok, 8);
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -2,7 +2,9 @@
 #define RINGDDE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,86 @@ struct Env {
 std::unique_ptr<Env> BuildEnv(size_t n, std::unique_ptr<Distribution> dist,
                               size_t items, uint64_t seed);
 
+/// Process-wide count of Env::Replicate() calls (deployment rebuilds).
+/// The regression guard for the zero-copy trial engine: a read-only
+/// parallel RepeatDde must leave this unchanged.
+uint64_t ReplicateCalls();
+
+/// Returns a cached deployment for the recipe (n, dist, items, seed),
+/// building (and cache-warming via PrepareConcurrentReads) it on first
+/// use. Keyed by the distribution's parameter-carrying Name(), so two
+/// distributions compare equal iff they generate the same dataset.
+/// Cached deployments are SHARED — callers must treat them as read-only
+/// snapshots (run estimations, never Join/Leave/insert); a bench row that
+/// mutates must Replicate() or build privately instead.
+std::shared_ptr<Env> CachedDeployment(size_t n, const Distribution& dist,
+                                      size_t items, uint64_t seed);
+
+/// Drops all cached deployments (frees memory between experiments).
+void ClearDeploymentCache();
+
+/// Cache telemetry for BENCH_*.json counters.
+uint64_t DeploymentCacheHits();
+uint64_t DeploymentCacheMisses();
+
+/// A small pool of leased deployment replicas for MUTATING repeated
+/// workloads (churn rows, routed updates): at most one replica per
+/// concurrent lease is ever built, leases are returned to a free list,
+/// and a returned replica is rebuilt on its next Acquire() only if the
+/// leaseholder actually dirtied it (detected via ChordRing::mutation_epoch
+/// and the event clock) — "build once per worker, reset between trials"
+/// instead of one full rebuild per trial.
+class ReplicaPool {
+ public:
+  explicit ReplicaPool(const Env& base) : base_(&base) {}
+
+  /// RAII lease: hands the replica back to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ReplicaPool* pool, std::unique_ptr<Env> env, uint64_t clean_epoch,
+          double clean_now)
+        : pool_(pool),
+          env_(std::move(env)),
+          clean_epoch_(clean_epoch),
+          clean_now_(clean_now) {}
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    Env& env() { return *env_; }
+
+   private:
+    ReplicaPool* pool_;
+    std::unique_ptr<Env> env_;
+    uint64_t clean_epoch_;
+    double clean_now_;
+  };
+
+  /// Obtains a pristine replica: a pooled one if a clean lease was
+  /// returned, a rebuilt one if the returned lease was dirtied, a freshly
+  /// built one if the pool is empty. Thread-safe.
+  Lease Acquire();
+
+  /// Replicas built over the pool's lifetime (cache-efficiency telemetry).
+  uint64_t builds() const { return builds_; }
+
+ private:
+  friend class Lease;
+  struct Slot {
+    std::unique_ptr<Env> env;
+    uint64_t clean_epoch = 0;
+    double clean_now = 0.0;
+    bool dirty = false;
+  };
+  void Release(Slot slot);
+
+  const Env* base_;
+  std::mutex mu_;
+  std::vector<Slot> free_;
+  uint64_t builds_ = 0;
+};
+
 /// Runs one DDE estimation from a random querier; returns the estimate.
 /// Aborts the process on failure (benchmarks run on healthy rings).
 DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed);
@@ -59,14 +141,36 @@ struct RepeatedResult {
 };
 
 /// Runs `reps` independent DDE trials and averages them. Trials run
-/// concurrently on `pool` (default: the global pool), each against its own
-/// Env replica; per-trial seeds depend only on (seed_base, trial index)
-/// and the reduction is performed in trial order, so the result is
-/// bit-identical for every thread count. Calls from inside a pool worker
-/// (e.g. from a ParallelRows row task) degrade to the serial path against
-/// the given env directly.
+/// concurrently on `pool` (default: the global pool), ALL against the
+/// given env as one shared read-only snapshot — estimation charges only
+/// its per-query CostContext, so no replica deployments are built
+/// (ReplicateCalls() is unchanged). Per-trial seeds depend only on
+/// (seed_base, trial index) and the reduction is performed in trial
+/// order, so the result is bit-identical for every thread count and
+/// equal to the serial path. Calls from inside a pool worker (e.g. from
+/// a ParallelRows row task) degrade to the serial path.
 RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
                          uint64_t seed_base, ThreadPool* pool = nullptr);
+
+/// The pre-shared-snapshot trial engine: every parallel trial rebuilds a
+/// private Env replica. Kept as the bit-identity reference (the
+/// concurrency tests pin RepeatDde == RepeatDdeReplicated) and as the
+/// setup-cost baseline e17 measures against.
+RepeatedResult RepeatDdeReplicated(Env& env, DdeOptions options, int reps,
+                                   uint64_t seed_base,
+                                   ThreadPool* pool = nullptr);
+
+/// Repeated trials for MUTATING workloads: before each trial,
+/// `prepare(env, rep)` may mutate the leased deployment (churn, routed
+/// updates); the pool then lazily restores a pristine replica for the
+/// next leaseholder. Replicas are leased from `pool_of_replicas` —
+/// typically one build per concurrent worker rather than one per trial.
+/// Same seed schedule and trial-order reduction as RepeatDde.
+RepeatedResult RepeatDdeMutating(ReplicaPool& pool_of_replicas,
+                                 DdeOptions options, int reps,
+                                 uint64_t seed_base,
+                                 const std::function<void(Env&, int)>& prepare,
+                                 ThreadPool* pool = nullptr);
 
 /// Runs `count` independent row tasks — `fn(row_index) -> RowT` — on the
 /// pool and returns the results in row order. Row tasks must not share

@@ -33,5 +33,18 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The concurrent-query experiment must report both engines' throughput
+  # and per-trial setup cost — the shared-snapshot engine's observability
+  # contract (before/after evidence that the replica-build cost is gone).
+  if(report MATCHES "BENCH_e17_concurrent_queries\\.json$")
+    foreach(key setup_us_per_trial_replica setup_us_per_trial_shared
+                estimates_per_sec_shared estimates_per_sec_replica)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

@@ -1,0 +1,144 @@
+// E17 — Concurrent query throughput: shared-snapshot vs replicated trials.
+//
+// The estimation path is read-only on ring state and charges a per-query
+// CostContext, so RepeatDde runs every parallel trial against ONE shared
+// deployment. This experiment quantifies what that buys over the legacy
+// engine (RepeatDdeReplicated: one full deployment rebuild per trial):
+// estimates/sec versus thread count for both engines, and the per-trial
+// setup cost each pays. It also re-checks, at every measured thread
+// count, that both engines reproduce the serial trial outputs bit for bit
+// and that the shared engine performs zero Env::Replicate() calls — the
+// paper-facing numbers stay exact; only the wall clock moves.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench_util.h"
+
+namespace ringdde::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedSeconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+bool SameResult(const RepeatedResult& a, const RepeatedResult& b) {
+  return a.accuracy.ks == b.accuracy.ks &&
+         a.accuracy.l1_cdf == b.accuracy.l1_cdf &&
+         a.accuracy.l2_cdf == b.accuracy.l2_cdf &&
+         a.accuracy.l1_pdf == b.accuracy.l1_pdf &&
+         a.mean_messages == b.mean_messages && a.mean_hops == b.mean_hops &&
+         a.mean_bytes == b.mean_bytes &&
+         a.mean_total_error == b.mean_total_error &&
+         a.mean_peers == b.mean_peers;
+}
+
+void Run() {
+  const size_t kPeers = Scaled(2048, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const int kReps = ScaledInt(32, 6);
+  const uint64_t kSeedBase = 1700;
+
+  auto env = BuildEnv(kPeers,
+                      std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+                      kItems, 23);
+  DdeOptions opts;
+  opts.num_probes = Scaled(256, 32);
+
+  // Per-trial setup cost of each engine. The replica engine rebuilds the
+  // deployment before every trial; the shared engine warms the read caches
+  // once, amortized over all trials of the batch.
+  const Clock::time_point rep_begin = Clock::now();
+  { std::unique_ptr<Env> replica = env->Replicate(); }
+  const double replica_setup_us =
+      1e6 * ElapsedSeconds(rep_begin, Clock::now());
+  const Clock::time_point warm_begin = Clock::now();
+  env->ring->PrepareConcurrentReads();
+  const double shared_setup_us =
+      1e6 * ElapsedSeconds(warm_begin, Clock::now()) /
+      static_cast<double>(kReps);
+  BenchReporter::Global().RecordCounter("setup_us_per_trial_replica",
+                                        replica_setup_us);
+  BenchReporter::Global().RecordCounter("setup_us_per_trial_shared",
+                                        shared_setup_us);
+
+  // Serial reference outputs: both engines must reproduce these exactly at
+  // every thread count.
+  ThreadPool serial(0);
+  const RepeatedResult reference =
+      RepeatDde(*env, opts, kReps, kSeedBase, &serial);
+
+  Table table(Fmt("E17 concurrent queries — n=%zu, N=%zu, m=%zu, reps=%d",
+                  kPeers, kItems, opts.num_probes, kReps),
+              {"threads", "engine", "wall_ms", "est_per_sec",
+               "replicate_calls", "bit_identical"});
+
+  const std::vector<size_t> concurrency =
+      SmokeMode() ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 16};
+  double shared_eps_best = 0.0;
+  double replica_eps_best = 0.0;
+  for (size_t threads : concurrency) {
+    ThreadPool pool(threads - 1);
+
+    const uint64_t shared_replicates_before = ReplicateCalls();
+    Clock::time_point begin = Clock::now();
+    const RepeatedResult shared =
+        RepeatDde(*env, opts, kReps, kSeedBase, &pool);
+    const double shared_s = ElapsedSeconds(begin, Clock::now());
+    const uint64_t shared_replicates =
+        ReplicateCalls() - shared_replicates_before;
+    if (shared_replicates != 0) {
+      std::fprintf(stderr,
+                   "E17: shared engine replicated %llu deployments\n",
+                   (unsigned long long)shared_replicates);
+      std::abort();
+    }
+
+    const uint64_t replica_replicates_before = ReplicateCalls();
+    begin = Clock::now();
+    const RepeatedResult replicated =
+        RepeatDdeReplicated(*env, opts, kReps, kSeedBase, &pool);
+    const double replica_s = ElapsedSeconds(begin, Clock::now());
+    const uint64_t replica_replicates =
+        ReplicateCalls() - replica_replicates_before;
+
+    if (!SameResult(shared, reference) || !SameResult(replicated, reference)) {
+      std::fprintf(stderr, "E17: engines diverged at %zu threads\n", threads);
+      std::abort();
+    }
+    const double shared_eps = static_cast<double>(kReps) / shared_s;
+    const double replica_eps = static_cast<double>(kReps) / replica_s;
+    shared_eps_best = std::max(shared_eps_best, shared_eps);
+    replica_eps_best = std::max(replica_eps_best, replica_eps);
+
+    table.AddRow({Fmt("%zu", threads), "shared", Fmt("%.1f", 1e3 * shared_s),
+                  Fmt("%.1f", shared_eps), "0", "yes"});
+    table.AddRow({Fmt("%zu", threads), "replica",
+                  Fmt("%.1f", 1e3 * replica_s), Fmt("%.1f", replica_eps),
+                  Fmt("%llu", (unsigned long long)replica_replicates),
+                  "yes"});
+  }
+  table.Print();
+
+  BenchReporter::Global().RecordCounter("estimates_per_sec_shared",
+                                        shared_eps_best);
+  BenchReporter::Global().RecordCounter("estimates_per_sec_replica",
+                                        replica_eps_best);
+  BenchReporter::Global().RecordCounter("deployment_cache_hits",
+                                        DeploymentCacheHits());
+  BenchReporter::Global().RecordCounter("deployment_cache_misses",
+                                        DeploymentCacheMisses());
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::BenchRun run("e17_concurrent_queries");
+  ringdde::bench::Run();
+  return 0;
+}

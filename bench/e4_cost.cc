@@ -126,8 +126,12 @@ void Run() {
   scaling.AddRows(ParallelRows<std::vector<std::string>>(
       cells.size(), [&](size_t row) {
         const auto [n, m] = cells[row];
-        auto env2 = BuildEnv(n, std::make_unique<UniformDistribution>(),
-                             Scaled(50000, 4000), n + 7);
+        // The (n, m) grid rebuilds the same deployment for every m; the
+        // cache builds each n-peer ring once and shares it read-only
+        // across the rows (trials never mutate it).
+        const UniformDistribution uniform;
+        std::shared_ptr<Env> env2 =
+            CachedDeployment(n, uniform, Scaled(50000, 4000), n + 7);
         DdeOptions opts;
         opts.num_probes = m;
         const RepeatedResult r = RepeatDde(*env2, opts, 3, n + m);

@@ -33,7 +33,8 @@ DistributionFreeEstimator::DistributionFreeEstimator(ChordRing* ring,
                                  options.resolve_covered_locally,
                                  options.use_sketch_summaries,
                                  options.sketch_epsilon, options.retry}),
-      rng_(options.seed) {
+      rng_(options.seed),
+      ctx_(ring->network().MakeQueryContext(options.seed)) {
   assert(ring != nullptr);
   assert(options_.num_probes > 0);
   assert(options_.refinement_rounds >= 1);
@@ -52,7 +53,8 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
   }
   assert(adaptive.batch_size > 0);
   assert(adaptive.tolerance > 0.0);
-  CostScope scope(ring_->network().counters());
+  const CostCounters cost_before = ctx_.counters;
+  const uint64_t lost_before = ctx_.lost_messages;
   const uint64_t failed_before = prober_.failed_probes();
 
   std::vector<LocalSummary> summaries;
@@ -68,7 +70,7 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
         std::min(adaptive.batch_size, adaptive.max_probes - probes_spent);
     if (!have_previous) {
       // First batch: unbiased uniform positions.
-      prober_.ProbeUniform(querier, batch, rng_, &summaries);
+      prober_.ProbeUniform(ctx_, querier, batch, rng_, &summaries);
     } else {
       // Later batches blend exploitation with exploration: half the
       // targets come from inversion on the current estimate (sharpen the
@@ -84,7 +86,7 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
       for (size_t i = guided; i < batch; ++i) {
         targets.push_back(RingId(rng_.NextU64()));
       }
-      prober_.ProbeTargets(querier, targets, &summaries);
+      prober_.ProbeTargets(ctx_, querier, targets, &summaries);
     }
     probes_spent += batch;
     if (summaries.empty()) {
@@ -109,12 +111,15 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
   estimate.estimated_total_items = recon->estimated_total;
   estimate.peers_probed = summaries.size();
   estimate.covered_fraction = recon->covered_fraction;
-  estimate.cost = scope.Delta();
+  estimate.cost = ctx_.counters - cost_before;
   estimate.probes_requested = probes_spent;
   estimate.failed_probes = prober_.failed_probes() - failed_before;
   estimate.retries = estimate.cost.retries;
   estimate.timeouts = estimate.cost.timeouts;
   estimate.produced_at = ring_->network().Now();
+  // Fold this run's cost into the deployment-wide totals so shared-counter
+  // observers still account for all traffic.
+  ring_->network().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
   return estimate;
 }
 
@@ -124,7 +129,8 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
   if (!ring_->IsAlive(querier)) {
     return Status::InvalidArgument("querier is not an alive peer");
   }
-  CostScope scope(ring_->network().counters());
+  const CostCounters cost_before = ctx_.counters;
+  const uint64_t lost_before = ctx_.lost_messages;
   const uint64_t failed_before = prober_.failed_probes();
 
   const int rounds = options_.refinement_rounds;
@@ -134,7 +140,7 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
       fresh_probes - per_round * static_cast<size_t>(rounds - 1);
 
   // Round 1: uniform positions.
-  prober_.ProbeUniform(querier, first_round, rng_, carry_over);
+  prober_.ProbeUniform(ctx_, querier, first_round, rng_, carry_over);
   if (carry_over->empty()) {
     return Status::Unavailable("all probes failed; no summaries collected");
   }
@@ -151,7 +157,7 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
     targets.reserve(keys.size());
     for (double k : keys) targets.push_back(RingId::FromUnit(k));
     const size_t before = carry_over->size();
-    prober_.ProbeTargets(querier, targets, carry_over);
+    prober_.ProbeTargets(ctx_, querier, targets, carry_over);
     if (carry_over->size() == before) continue;  // everything was covered
     recon = ReconstructGlobalCdf(*carry_over, options_.reconstruction);
     if (!recon.ok()) return recon.status();
@@ -162,12 +168,15 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
   estimate.estimated_total_items = recon->estimated_total;
   estimate.peers_probed = carry_over->size();
   estimate.covered_fraction = recon->covered_fraction;
-  estimate.cost = scope.Delta();
+  estimate.cost = ctx_.counters - cost_before;
   estimate.probes_requested = fresh_probes;
   estimate.failed_probes = prober_.failed_probes() - failed_before;
   estimate.retries = estimate.cost.retries;
   estimate.timeouts = estimate.cost.timeouts;
   estimate.produced_at = ring_->network().Now();
+  // Fold this run's cost into the deployment-wide totals so shared-counter
+  // observers still account for all traffic.
+  ring_->network().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
   return estimate;
 }
 

@@ -160,11 +160,20 @@ class DistributionFreeEstimator {
 
   const DdeOptions& options() const { return options_; }
 
+  /// The per-query cost context this estimator charges. Every run's cost
+  /// is the context delta across the run (and is also merged back into the
+  /// network's shared totals), so estimation never writes shared network
+  /// state: one deployment serves any number of concurrent estimators.
+  const CostContext& context() const { return ctx_; }
+
  private:
   ChordRing* ring_;
   DdeOptions options_;
   CdfProber prober_;
   Rng rng_;
+  /// Derived from (network seed, options.seed): the estimator's private
+  /// accounting/latency/fault stream, independent of all other traffic.
+  CostContext ctx_;
 };
 
 }  // namespace ringdde

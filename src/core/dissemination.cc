@@ -19,7 +19,7 @@ EstimateDisseminator::EstimateDisseminator(ChordRing* ring,
 }
 
 Result<size_t> EstimateDisseminator::Broadcast(
-    NodeAddr origin, const DensityEstimate& estimate) {
+    CostContext& ctx, NodeAddr origin, const DensityEstimate& estimate) {
   if (!ring_->IsAlive(origin)) {
     return Status::InvalidArgument("origin is not an alive peer");
   }
@@ -28,15 +28,16 @@ Result<size_t> EstimateDisseminator::Broadcast(
 
   const Node* root = ring_->GetNode(origin);
   size_t delivered = 0;
-  Relay(origin, root->id(), encoder.buffer(), 0, &delivered);
+  Relay(ctx, origin, root->id(), encoder.buffer(), 0, &delivered);
   return delivered;
 }
 
-void EstimateDisseminator::Relay(NodeAddr coordinator, RingId until,
+void EstimateDisseminator::Relay(CostContext& ctx, NodeAddr coordinator,
+                                 RingId until,
                                  const std::vector<uint8_t>& payload,
                                  int depth, size_t* delivered) {
   if (depth > kMaxDepth) return;
-  Node* node = ring_->GetNode(coordinator);
+  const Node* node = ring_->GetNode(coordinator);
   if (node == nullptr || !node->alive()) return;
 
   // Deliver locally: decode the wire bytes, exactly as a real peer would.
@@ -70,11 +71,11 @@ void EstimateDisseminator::Relay(NodeAddr coordinator, RingId until,
         const double backoff = retry_.BackoffSeconds(task, attempt - 1);
         if (waited + backoff > retry_.budget_seconds) break;
         waited += backoff;
-        ring_->network().RecordRetry();
-        ring_->network().ChargeWait(backoff);
+        ring_->network().RecordRetry(ctx);
+        ring_->network().ChargeWait(ctx, backoff);
       }
       if (ring_->network()
-              .TrySend(coordinator, children[i].addr, payload.size(),
+              .TrySend(ctx, coordinator, children[i].addr, payload.size(),
                        /*hop_count=*/1)
               .ok()) {
         sent = true;
@@ -85,7 +86,7 @@ void EstimateDisseminator::Relay(NodeAddr coordinator, RingId until,
       ++failed_edges_;
       continue;
     }
-    Relay(children[i].addr, bound, payload, depth + 1, delivered);
+    Relay(ctx, children[i].addr, bound, payload, depth + 1, delivered);
   }
 }
 

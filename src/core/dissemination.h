@@ -29,14 +29,20 @@ class EstimateDisseminator {
   /// historical reliable-broadcast behavior exactly.
   explicit EstimateDisseminator(ChordRing* ring, RetryPolicy retry = {});
 
-  /// Broadcasts `estimate` from `origin` to every reachable alive peer.
+  /// Broadcasts `estimate` from `origin` to every reachable alive peer,
+  /// charging all edge traffic to `ctx`.
   /// Returns the number of peers that received it (including the origin).
   /// Charges one message of the encoded estimate's size per tree edge.
   /// Under faults, an edge whose retry budget is exhausted orphans its
   /// whole sub-arc: delivery degrades gracefully (holder_count() < n)
   /// instead of blocking — the dropped peers catch up at the next
-  /// broadcast.
-  Result<size_t> Broadcast(NodeAddr origin, const DensityEstimate& estimate);
+  /// broadcast. Read-only on ring state; delivery bookkeeping lives in
+  /// this object, so concurrent broadcasts need separate disseminators.
+  Result<size_t> Broadcast(CostContext& ctx, NodeAddr origin,
+                           const DensityEstimate& estimate);
+  Result<size_t> Broadcast(NodeAddr origin, const DensityEstimate& estimate) {
+    return Broadcast(ring_->network().shared_context(), origin, estimate);
+  }
 
   /// The estimate a peer currently holds, if any. Decoded from the wire
   /// bytes, so what peers hold is exactly what survived encoding.
@@ -53,7 +59,7 @@ class EstimateDisseminator {
   uint64_t failed_edges() const { return failed_edges_; }
 
  private:
-  void Relay(NodeAddr coordinator, RingId until,
+  void Relay(CostContext& ctx, NodeAddr coordinator, RingId until,
              const std::vector<uint8_t>& payload, int depth,
              size_t* delivered);
 

@@ -1,6 +1,7 @@
 #ifndef RINGDDE_CORE_PROBE_H_
 #define RINGDDE_CORE_PROBE_H_
 
+#include <map>
 #include <vector>
 
 #include "common/retry_policy.h"
@@ -40,6 +41,34 @@ struct ProbeOptions {
   RetryPolicy retry;
 };
 
+/// Union of clockwise ring arcs (lo, hi], answering membership in
+/// O(log k) for k disjoint covered stretches.
+///
+/// Internally each arc becomes one or two closed uint64 intervals
+/// ((lo, hi] = [lo+1, hi], split at the 2^64 wrap), kept as a sorted map of
+/// disjoint, non-touching [start, end] ranges. Contains() is then a single
+/// upper_bound plus one comparison — the binary-search replacement for the
+/// per-target linear scan over all fetched summaries (O(m²) per estimate).
+/// Membership is EXACTLY "some added arc contains t" per InArcOpenClosed,
+/// including the lo == hi full-ring convention.
+class ArcCoverageSet {
+ public:
+  /// Adds the clockwise arc (lo, hi]; lo == hi covers the whole ring.
+  void Add(RingId lo, RingId hi);
+
+  /// True iff any added arc contains `t`.
+  bool Contains(RingId t) const;
+
+  void Clear() { intervals_.clear(); }
+  size_t interval_count() const { return intervals_.size(); }
+
+ private:
+  /// Unions the closed interval [a, b] (a <= b) into the set.
+  void AddClosed(uint64_t a, uint64_t b);
+
+  std::map<uint64_t, uint64_t> intervals_;  // start -> end, disjoint
+};
+
 /// The CDF-sampling primitive: route to the owner of a ring position and
 /// fetch its LocalSummary.
 ///
@@ -50,25 +79,45 @@ struct ProbeOptions {
 /// governs bounded re-attempts with deterministic backoff. A probe that
 /// exhausts its attempts (or its backoff budget) returns the last error
 /// and is counted in failed_probes().
+///
+/// All probing is read-only on ring and network state: cost is charged to
+/// the CostContext the caller passes (the context-free overloads use the
+/// network's shared context, preserving historical single-threaded
+/// behavior). A prober instance itself is NOT thread-safe — it carries the
+/// per-query probe sequence and failure tallies — so concurrent queries
+/// each use their own prober, all over one shared ring.
 class CdfProber {
  public:
   CdfProber(ChordRing* ring, ProbeOptions options = {});
 
   /// Probes the owner of `target` starting from `querier`, retrying
-  /// transient failures per options().retry.
-  Result<LocalSummary> Probe(NodeAddr querier, RingId target);
+  /// transient failures per options().retry. Cost lands in `ctx`.
+  Result<LocalSummary> Probe(CostContext& ctx, NodeAddr querier,
+                             RingId target);
+  Result<LocalSummary> Probe(NodeAddr querier, RingId target) {
+    return Probe(ring_->network().shared_context(), querier, target);
+  }
 
   /// Draws `m` ring positions uniformly at random and probes each; this is
   /// the distribution-free CDF-sampling step. Repeat owners are fetched
   /// only once (a duplicate position adds no information); failed probes
   /// (churn) are skipped. Appends to `out`, skipping owners already present.
-  void ProbeUniform(NodeAddr querier, size_t m, Rng& rng,
+  void ProbeUniform(CostContext& ctx, NodeAddr querier, size_t m, Rng& rng,
                     std::vector<LocalSummary>* out);
+  void ProbeUniform(NodeAddr querier, size_t m, Rng& rng,
+                    std::vector<LocalSummary>* out) {
+    ProbeUniform(ring_->network().shared_context(), querier, m, rng, out);
+  }
 
   /// Probes the owners of explicit ring positions (used by the inversion-
   /// guided refinement rounds). Same dedup/failure semantics.
-  void ProbeTargets(NodeAddr querier, const std::vector<RingId>& targets,
+  void ProbeTargets(CostContext& ctx, NodeAddr querier,
+                    const std::vector<RingId>& targets,
                     std::vector<LocalSummary>* out);
+  void ProbeTargets(NodeAddr querier, const std::vector<RingId>& targets,
+                    std::vector<LocalSummary>* out) {
+    ProbeTargets(ring_->network().shared_context(), querier, targets, out);
+  }
 
   const ProbeOptions& options() const { return options_; }
 
@@ -82,7 +131,8 @@ class CdfProber {
  private:
   /// One full probe attempt: lookup, then summary request/response over
   /// TrySend. No retrying at this level.
-  Result<LocalSummary> ProbeOnce(NodeAddr querier, RingId target);
+  Result<LocalSummary> ProbeOnce(CostContext& ctx, NodeAddr querier,
+                                 RingId target);
 
   ChordRing* ring_;
   ProbeOptions options_;

@@ -33,6 +33,7 @@ Status ChordRing::CreateNetwork(size_t n) {
     index_.emplace(id.value, addr);
   }
   InvalidateAliveCache();
+  BumpEpoch();
   StabilizeAll();
   return Status::OK();
 }
@@ -48,11 +49,13 @@ Status ChordRing::InsertKeyBulk(double key01) {
   Result<NodeAddr> owner = OracleOwner(RingId::FromUnit(key01));
   if (!owner.ok()) return owner.status();
   GetNode(*owner)->InsertKey(key01);
+  BumpEpoch();
   return Status::OK();
 }
 
 void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01) {
   if (index_.empty() || keys01.empty()) return;
+  BumpEpoch();
   // Sort once, then sweep the sorted keys against the sorted node arcs:
   // FromUnit is monotone on [0,1), so consecutive keys land on the same or
   // a later arc and each node receives one pre-sorted contiguous slice —
@@ -88,18 +91,21 @@ void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01) {
   }
 }
 
-void ChordRing::ChargeHop(NodeAddr from, NodeAddr to) {
+void ChordRing::ChargeHop(CostContext& ctx, NodeAddr from,
+                          NodeAddr to) const {
   // Query + response round trip.
-  network_->Send(from, to, options_.routing_info_bytes, /*hop_count=*/1);
-  network_->Send(to, from, options_.routing_info_bytes, /*hop_count=*/0);
+  network_->Send(ctx, from, to, options_.routing_info_bytes, /*hop_count=*/1);
+  network_->Send(ctx, to, from, options_.routing_info_bytes, /*hop_count=*/0);
 }
 
-void ChordRing::ChargeTimeout(NodeAddr from, NodeAddr to) {
-  network_->Send(from, to, options_.routing_info_bytes, /*hop_count=*/0);
+void ChordRing::ChargeTimeout(CostContext& ctx, NodeAddr from,
+                              NodeAddr to) const {
+  network_->Send(ctx, from, to, options_.routing_info_bytes, /*hop_count=*/0);
 }
 
-Result<NodeAddr> ChordRing::Lookup(NodeAddr from, RingId target) {
-  Node* start = GetNode(from);
+Result<NodeAddr> ChordRing::Lookup(CostContext& ctx, NodeAddr from,
+                                   RingId target) const {
+  const Node* start = GetNode(from);
   if (start == nullptr || !start->alive()) {
     return Status::InvalidArgument("lookup origin is not an alive node");
   }
@@ -107,7 +113,7 @@ Result<NodeAddr> ChordRing::Lookup(NodeAddr from, RingId target) {
 
   NodeAddr current = from;
   for (uint32_t hops = 0; hops <= options_.max_lookup_hops; ++hops) {
-    Node* cur = GetNode(current);
+    const Node* cur = GetNode(current);
     // First alive entry of the successor list; each stale head costs a
     // timed-out ping.
     const NodeEntry* succ = nullptr;
@@ -116,7 +122,7 @@ Result<NodeAddr> ChordRing::Lookup(NodeAddr from, RingId target) {
         succ = &e;
         break;
       }
-      ChargeTimeout(current, e.addr);
+      ChargeTimeout(ctx, current, e.addr);
     }
     if (succ == nullptr) {
       return Status::Unavailable("successor list exhausted (partition)");
@@ -130,13 +136,13 @@ Result<NodeAddr> ChordRing::Lookup(NodeAddr from, RingId target) {
     std::optional<NodeEntry> next =
         cur->fingers().ClosestPreceding(cur->id(), target, alive,
                                         &probed_dead);
-    for (const NodeEntry& d : probed_dead) ChargeTimeout(current, d.addr);
+    for (const NodeEntry& d : probed_dead) ChargeTimeout(ctx, current, d.addr);
     if (!next.has_value()) {
       // No finger inside (cur, target): fall through to the successor,
       // which is guaranteed to precede the owner, so progress is made.
       next = *succ;
     }
-    ChargeHop(current, next->addr);
+    ChargeHop(ctx, current, next->addr);
     current = next->addr;
   }
   return Status::TimedOut("lookup exceeded hop budget");
@@ -186,6 +192,7 @@ Result<NodeAddr> ChordRing::Join(NodeAddr bootstrap) {
   index_.emplace(id.value, addr);
   nodes_.emplace(addr, std::move(node));
   InvalidateAliveCache();
+  BumpEpoch();
   return addr;
 }
 
@@ -199,6 +206,7 @@ Status ChordRing::Leave(NodeAddr addr) {
   }
   index_.erase(node->id().value);
   InvalidateAliveCache();
+  BumpEpoch();
   node->set_alive(false);
 
   Result<NodeAddr> succ_addr = OracleOwner(node->id());
@@ -238,6 +246,7 @@ Status ChordRing::Crash(NodeAddr addr) {
   }
   index_.erase(node->id().value);
   InvalidateAliveCache();
+  BumpEpoch();
   node->set_alive(false);
 
   if (options_.durable_data) {
@@ -259,6 +268,7 @@ Status ChordRing::InsertKeyRouted(NodeAddr from, double key01) {
   if (!owner.ok()) return owner.status();
   network_->Send(from, *owner, options_.key_bytes, /*hop_count=*/1);
   GetNode(*owner)->InsertKey(key01);
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -268,6 +278,7 @@ Status ChordRing::EraseKeyBulk(double key01) {
   if (!GetNode(*owner)->EraseKey(key01)) {
     return Status::NotFound("key not stored at its owner");
   }
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -278,6 +289,7 @@ Status ChordRing::EraseKeyRouted(NodeAddr from, double key01) {
   if (!GetNode(*owner)->EraseKey(key01)) {
     return Status::NotFound("key not stored at its owner");
   }
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -309,6 +321,7 @@ std::vector<NodeEntry> ChordRing::OracleSuccessorList(RingId id) const {
 void ChordRing::StabilizeNode(NodeAddr addr) {
   Node* node = GetNode(addr);
   if (node == nullptr || !node->alive()) return;
+  BumpEpoch();
   const RingId id = node->id();
 
   node->set_successors(OracleSuccessorList(id));
@@ -430,6 +443,7 @@ void ChordRing::StabilizeAll(ThreadPool* pool) {
   // so serial and parallel runs produce byte-identical routing state.
   const size_t n = index_.size();
   if (n == 0) return;
+  BumpEpoch();
   MembershipSnapshot snap;
   snap.ids.reserve(n);
   snap.addrs.reserve(n);
@@ -461,6 +475,15 @@ const Node* ChordRing::GetNode(NodeAddr addr) const {
 bool ChordRing::IsAlive(NodeAddr addr) const {
   const Node* n = GetNode(addr);
   return n != nullptr && n->alive();
+}
+
+void ChordRing::PrepareConcurrentReads() const {
+  // Materialize every lazy cache the read path may touch, so the query
+  // path performs no writes even through `mutable` members: the flat
+  // alive-address vector (RandomAliveNode / AliveAddrsView) and each
+  // node's on-demand key sort (RankOf / quantiles via keys()).
+  EnsureAliveCache();
+  for (const auto& [id, addr] : index_) GetNode(addr)->keys();
 }
 
 void ChordRing::EnsureAliveCache() const {

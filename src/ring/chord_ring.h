@@ -81,8 +81,17 @@ class ChordRing {
   // --- Protocol operations (cost-accounted) ------------------------------
 
   /// Iteratively routes from `from` (must be alive) to the owner of
-  /// `target`. Charges per the class comment. Returns the owner's address.
-  Result<NodeAddr> Lookup(NodeAddr from, RingId target);
+  /// `target`, charging routing cost to `ctx`. Read-only on ring state:
+  /// any number of lookups with distinct contexts may run concurrently
+  /// over one deployment (warm the caches with PrepareConcurrentReads()
+  /// first). Returns the owner's address.
+  Result<NodeAddr> Lookup(CostContext& ctx, NodeAddr from,
+                          RingId target) const;
+
+  /// Legacy entry point: routes against the network's shared context.
+  Result<NodeAddr> Lookup(NodeAddr from, RingId target) {
+    return Lookup(network_->shared_context(), from, target);
+  }
 
   /// A new peer joins via `bootstrap`: one lookup to find its successor,
   /// one data-handover message, pointer handshakes with its neighbors, and
@@ -136,6 +145,27 @@ class ChordRing {
   size_t AliveCount() const { return index_.size(); }
   std::vector<NodeAddr> AliveAddrs() const;
 
+  /// Zero-copy view of the alive-address cache (addresses in ascending-id
+  /// order, i.e. index_ iteration order). Rebuilds the cache if stale;
+  /// the reference is invalidated by the next membership change.
+  const std::vector<NodeAddr>& AliveAddrsView() const {
+    EnsureAliveCache();
+    return alive_cache_;
+  }
+
+  /// Warms every lazily materialized cache (the alive-address vector and
+  /// each node's sorted key array) so that subsequent const traffic —
+  /// Lookup/probe/summary reads — performs no writes at all. Call once
+  /// from the owning thread before sharing the ring across read-only
+  /// concurrent queriers.
+  void PrepareConcurrentReads() const;
+
+  /// Monotone counter bumped by every mutating operation (membership or
+  /// data). Two reads returning the same epoch (together with an unchanged
+  /// Network::Now()) bracket a window with no ring mutation — the dirty
+  /// check replica pools use to decide whether a lease needs a rebuild.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   /// Uniformly random alive node (for choosing queriers).
   Result<NodeAddr> RandomAliveNode(Rng& rng) const;
 
@@ -177,9 +207,18 @@ class ChordRing {
   std::vector<NodeEntry> OracleSuccessorList(RingId id) const;
 
   /// Charges one routing round trip between two peers.
-  void ChargeHop(NodeAddr from, NodeAddr to);
+  void ChargeHop(CostContext& ctx, NodeAddr from, NodeAddr to) const;
+  void ChargeHop(NodeAddr from, NodeAddr to) {
+    ChargeHop(network_->shared_context(), from, to);
+  }
   /// Charges one timed-out probe of a stale candidate.
-  void ChargeTimeout(NodeAddr from, NodeAddr to);
+  void ChargeTimeout(CostContext& ctx, NodeAddr from, NodeAddr to) const;
+  void ChargeTimeout(NodeAddr from, NodeAddr to) {
+    ChargeTimeout(network_->shared_context(), from, to);
+  }
+
+  /// Marks a mutation of ring state (membership, routing tables, or data).
+  void BumpEpoch() { ++mutation_epoch_; }
 
   Network* network_;
   RingOptions options_;
@@ -203,6 +242,9 @@ class ChordRing {
   // drivers touch it from the owning thread before fanning out).
   mutable std::vector<NodeAddr> alive_cache_;
   mutable bool alive_cache_valid_ = false;
+
+  /// See mutation_epoch().
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace ringdde

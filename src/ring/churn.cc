@@ -64,11 +64,12 @@ void ChurnProcess::OnStabilizeTick() {
   const size_t n = ring_->AliveCount();
   if (n > 0) {
     // Stabilize the cursor-th alive node; the cursor walks the whole ring
-    // once per stabilize_interval.
-    const auto& index = ring_->index();
-    auto it = index.begin();
-    std::advance(it, static_cast<ptrdiff_t>(stabilize_cursor_ % n));
-    ring_->StabilizeNode(it->second);
+    // once per stabilize_interval. The alive cache holds index_'s values
+    // in the same ascending-id order, so indexing it picks exactly the
+    // node the old O(n) std::advance walk picked — at O(1) per tick
+    // (amortized: the cache rebuilds only after membership changes).
+    const std::vector<NodeAddr>& alive = ring_->AliveAddrsView();
+    ring_->StabilizeNode(alive[stabilize_cursor_ % n]);
     ++stabilize_cursor_;
   }
   const double delay =

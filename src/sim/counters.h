@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
+
 namespace ringdde {
 
 /// Communication-cost accounting for one network (or one experiment phase).
@@ -52,6 +54,35 @@ struct CostCounters {
   }
 
   std::string ToString() const;
+};
+
+/// The complete mutable state one accounted query (or protocol flow)
+/// threads through the network fabric: cost counters, the loss/latency
+/// sampling stream, and the fault-plan message-identity sequence.
+///
+/// A Network owns one shared CostContext (the legacy Send/TrySend overloads
+/// charge it, preserving historical behavior for event-driven protocols),
+/// but any number of additional contexts can be in flight concurrently —
+/// every Network accounting method is const over ring/network state and
+/// touches only the context it is handed, which is what lets many queriers
+/// share one immutable deployment snapshot. Per-context state means a
+/// query's realized latency stream and fault schedule are a pure function
+/// of the context seed, independent of scheduling or thread count.
+struct CostContext {
+  explicit CostContext(uint64_t seed) : rng(seed) {}
+
+  CostCounters counters;
+
+  /// Messages lost (dropped, retransmitted, or abandoned) on this context.
+  uint64_t lost_messages = 0;
+
+  /// Sequence number of the next TrySend attempt — the message identity
+  /// the fault plan hashes. Starts at 0, never resets, so a context's
+  /// fault schedule is one continuous reproducible stream.
+  uint64_t send_seq = 0;
+
+  /// Latency/loss sampling stream for this context's sends.
+  Rng rng;
 };
 
 /// RAII snapshot: construct before a protocol phase, call Delta() after, to

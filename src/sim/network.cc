@@ -3,7 +3,7 @@
 namespace ringdde {
 
 Network::Network(NetworkOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {
+    : options_(std::move(options)), shared_ctx_(options_.seed) {
   if (!options_.latency) {
     options_.latency = MakeDefaultLatencyModel();
   }
@@ -12,76 +12,77 @@ Network::Network(NetworkOptions options)
   if (options_.loss_probability > 0.99) options_.loss_probability = 0.99;
 }
 
-double Network::Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
-                     uint64_t hop_count) {
+double Network::Send(CostContext& ctx, NodeAddr from, NodeAddr to,
+                     uint64_t payload_bytes, uint64_t hop_count) const {
   double total_latency = 0.0;
   // Reliable delivery over a lossy channel: retransmit until one attempt
   // gets through; every attempt is charged.
   for (;;) {
-    const double latency = options_.latency->Sample(rng_, from, to);
-    counters_.messages += 1;
-    counters_.bytes += payload_bytes + options_.header_bytes;
-    counters_.latency_sum += latency;
-    if (!rng_.Bernoulli(options_.loss_probability)) {
+    const double latency = options_.latency->Sample(ctx.rng, from, to);
+    ctx.counters.messages += 1;
+    ctx.counters.bytes += payload_bytes + options_.header_bytes;
+    ctx.counters.latency_sum += latency;
+    if (!ctx.rng.Bernoulli(options_.loss_probability)) {
       total_latency += latency;
       break;
     }
-    ++lost_messages_;
+    ++ctx.lost_messages;
     total_latency += options_.retransmit_timeout_seconds;
-    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    ctx.counters.latency_sum += options_.retransmit_timeout_seconds;
   }
-  counters_.hops += hop_count;
+  ctx.counters.hops += hop_count;
   return total_latency;
 }
 
-Result<double> Network::TrySend(NodeAddr from, NodeAddr to,
-                                uint64_t payload_bytes, uint64_t hop_count) {
+Result<double> Network::TrySend(CostContext& ctx, NodeAddr from, NodeAddr to,
+                                uint64_t payload_bytes,
+                                uint64_t hop_count) const {
   if (options_.faults == nullptr) {
     // Zero-cost-off: identical code path, cost stream, and rng draws as a
     // build without the fault layer.
-    return Send(from, to, payload_bytes, hop_count);
+    return Send(ctx, from, to, payload_bytes, hop_count);
   }
   const FaultInjector& faults = *options_.faults;
-  const uint64_t seq = send_seq_++;
+  const uint64_t seq = ctx.send_seq++;
   // Every attempt is charged whether or not it arrives: the sender put the
   // bytes on the wire either way.
-  counters_.messages += 1;
-  counters_.bytes += payload_bytes + options_.header_bytes;
-  counters_.hops += hop_count;
+  ctx.counters.messages += 1;
+  ctx.counters.bytes += payload_bytes + options_.header_bytes;
+  ctx.counters.hops += hop_count;
   const double now = Now();
   if (faults.IsCrashed(to, now)) {
-    ++lost_messages_;
-    ++counters_.timeouts;
-    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    ++ctx.lost_messages;
+    ++ctx.counters.timeouts;
+    ctx.counters.latency_sum += options_.retransmit_timeout_seconds;
     return Status::Unavailable("destination crashed");
   }
   if (faults.IsHung(to, now)) {
-    ++lost_messages_;
-    ++counters_.timeouts;
-    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    ++ctx.lost_messages;
+    ++ctx.counters.timeouts;
+    ctx.counters.latency_sum += options_.retransmit_timeout_seconds;
     return Status::TimedOut("destination hung");
   }
   if (faults.IsPartitioned(from, to, now)) {
-    ++lost_messages_;
-    ++counters_.timeouts;
-    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    ++ctx.lost_messages;
+    ++ctx.counters.timeouts;
+    ctx.counters.latency_sum += options_.retransmit_timeout_seconds;
     return Status::TimedOut("partition between endpoints");
   }
   const MessageFault fault = faults.DecideMessage(seq);
   if (fault.drop) {
-    ++lost_messages_;
-    ++counters_.timeouts;
-    counters_.latency_sum += options_.retransmit_timeout_seconds;
+    ++ctx.lost_messages;
+    ++ctx.counters.timeouts;
+    ctx.counters.latency_sum += options_.retransmit_timeout_seconds;
     return Status::TimedOut("message dropped");
   }
   double latency =
-      options_.latency->Sample(rng_, from, to) + fault.extra_delay_seconds;
+      options_.latency->Sample(ctx.rng, from, to) + fault.extra_delay_seconds;
   if (fault.duplicate) {
     // The duplicate transits (and is charged) but carries no information.
-    counters_.messages += 1;
-    counters_.bytes += payload_bytes + options_.header_bytes;
+    ctx.counters.messages += 1;
+    ctx.counters.bytes += payload_bytes + options_.header_bytes;
   }
-  counters_.latency_sum += latency;
+  ctx.counters.latency_sum += latency;
   return latency;
 }
 

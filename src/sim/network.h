@@ -2,6 +2,7 @@
 #define RINGDDE_SIM_NETWORK_H_
 
 #include <memory>
+#include <mutex>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -39,47 +40,98 @@ struct NetworkOptions {
 
 /// The message fabric shared by all peers of one simulated deployment.
 ///
-/// Two usage styles coexist:
-///  - Synchronous accounting: request/response protocols (lookups, probes)
-///    call Send() per hop; the call records cost and returns the sampled
-///    latency so the caller can accumulate the serial completion time.
+/// Three usage styles coexist:
+///  - Synchronous accounting against the shared context: request/response
+///    protocols driven from one thread (joins, churn, event-queue
+///    maintenance) call the legacy Send()/TrySend() overloads, which charge
+///    the network-owned CostContext exactly as historical builds did.
+///  - Per-query accounting: concurrent read-only queriers (the estimation
+///    path) pass their own CostContext to the const Send/TrySend overloads.
+///    Nothing shared is written, so any number of queries can run in
+///    parallel over one deployment; a finished query merges its context
+///    back with Accumulate() so deployment-wide totals stay observable.
 ///  - Event-driven: periodic processes (churn, gossip rounds, maintenance)
 ///    schedule themselves on the owned EventQueue.
 class Network {
  public:
   explicit Network(NetworkOptions options = {});
 
-  /// Records one logical message of `payload_bytes` from `from` to `to`,
-  /// counting it as `hop_count` overlay hops (1 for a direct hop). With
-  /// loss enabled, lost attempts are retransmitted and every attempt is
-  /// charged. Returns the total delivery latency in seconds (including
-  /// retransmission timeouts).
+  /// Records one logical message of `payload_bytes` from `from` to `to`
+  /// against `ctx`, counting it as `hop_count` overlay hops (1 for a direct
+  /// hop). With loss enabled, lost attempts are retransmitted and every
+  /// attempt is charged. Returns the total delivery latency in seconds
+  /// (including retransmission timeouts). Read-only on the network: safe to
+  /// call concurrently with any other const accounting call as long as each
+  /// thread uses its own context.
+  double Send(CostContext& ctx, NodeAddr from, NodeAddr to,
+              uint64_t payload_bytes, uint64_t hop_count = 1) const;
+
+  /// Fallible send against `ctx`: ONE delivery attempt judged by the
+  /// attached FaultInjector. A dropped message, a crashed or hung
+  /// destination, or an active partition costs the attempt plus one
+  /// observed timeout (ctx.counters.timeouts) and returns
+  /// TimedOut/Unavailable — the caller decides whether to retry (see
+  /// common/retry_policy.h). Duplicated messages charge an extra
+  /// message/bytes; delayed ones inflate the returned latency. Without an
+  /// injector this is exactly Send(): same cost, same rng stream, same
+  /// return value, wrapped in an OK Result.
+  Result<double> TrySend(CostContext& ctx, NodeAddr from, NodeAddr to,
+                         uint64_t payload_bytes, uint64_t hop_count = 1) const;
+
+  /// Legacy single-threaded entry points: charge the network-owned shared
+  /// context (bit-identical to historical builds where these counters and
+  /// streams lived directly on the Network).
   double Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
-              uint64_t hop_count = 1);
-
-  /// Fallible send: ONE delivery attempt judged by the attached
-  /// FaultInjector. A dropped message, a crashed or hung destination, or
-  /// an active partition costs the attempt plus one observed timeout
-  /// (counters().timeouts) and returns TimedOut/Unavailable — the caller
-  /// decides whether to retry (see common/retry_policy.h). Duplicated
-  /// messages charge an extra message/bytes; delayed ones inflate the
-  /// returned latency. Without an injector this is exactly Send(): same
-  /// cost, same rng stream, same return value, wrapped in an OK Result.
+              uint64_t hop_count = 1) {
+    return Send(shared_ctx_, from, to, payload_bytes, hop_count);
+  }
   Result<double> TrySend(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
-                         uint64_t hop_count = 1);
+                         uint64_t hop_count = 1) {
+    return TrySend(shared_ctx_, from, to, payload_bytes, hop_count);
+  }
 
-  /// Records one protocol-level retry / failed probe into the counters
-  /// (kept here so CostScope deltas capture them alongside message cost).
-  void RecordRetry() { counters_.retries += 1; }
-  void RecordFailedProbe() { counters_.failed_probes += 1; }
+  /// Records one protocol-level retry / failed probe into a context (kept
+  /// here so CostScope deltas capture them alongside message cost).
+  void RecordRetry(CostContext& ctx) const { ctx.counters.retries += 1; }
+  void RecordFailedProbe(CostContext& ctx) const {
+    ctx.counters.failed_probes += 1;
+  }
+  void RecordRetry() { RecordRetry(shared_ctx_); }
+  void RecordFailedProbe() { RecordFailedProbe(shared_ctx_); }
 
   /// Charges wall-clock the protocol spent waiting (retry backoff) to the
   /// serial-latency accounting without sending anything.
-  void ChargeWait(double seconds) { counters_.latency_sum += seconds; }
+  void ChargeWait(CostContext& ctx, double seconds) const {
+    ctx.counters.latency_sum += seconds;
+  }
+  void ChargeWait(double seconds) { ChargeWait(shared_ctx_, seconds); }
+
+  /// The network-owned context behind the legacy overloads. Exposed so
+  /// protocol layers can thread it explicitly through context-taking APIs.
+  CostContext& shared_context() { return shared_ctx_; }
+
+  /// Builds an independent per-query context whose latency/loss/fault
+  /// streams are a pure function of (network seed, query_seed) — identical
+  /// across thread counts and across bit-identical deployment replicas.
+  CostContext MakeQueryContext(uint64_t query_seed) const {
+    return CostContext(SplitMix64(options_.seed ^ SplitMix64(query_seed)));
+  }
+
+  /// Merges a finished per-query context's cost into the shared totals so
+  /// deployment-wide observers (CostScope around the shared counters,
+  /// lost_messages()) keep seeing all traffic. Thread-safe: concurrent
+  /// queries may accumulate simultaneously. `send_seq` is deliberately NOT
+  /// merged — the shared context's own fault stream stays continuous.
+  void Accumulate(const CostCounters& cost, uint64_t lost) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    shared_ctx_.counters += cost;
+    shared_ctx_.lost_messages += lost;
+  }
 
   /// Messages lost (and retransmitted or abandoned) since construction or
-  /// the last ResetCounters().
-  uint64_t lost_messages() const { return lost_messages_; }
+  /// the last ResetCounters(), across the shared context and every
+  /// Accumulate()d query context.
+  uint64_t lost_messages() const { return shared_ctx_.lost_messages; }
 
   /// The attached fault plan, or null when fault injection is off.
   const FaultInjector* fault_injector() const {
@@ -87,10 +139,10 @@ class Network {
   }
 
   /// Cumulative cost since construction (or the last ResetCounters()).
-  const CostCounters& counters() const { return counters_; }
+  const CostCounters& counters() const { return shared_ctx_.counters; }
   void ResetCounters() {
-    counters_.Reset();
-    lost_messages_ = 0;
+    shared_ctx_.counters.Reset();
+    shared_ctx_.lost_messages = 0;
   }
 
   EventQueue& events() { return events_; }
@@ -103,14 +155,12 @@ class Network {
 
  private:
   NetworkOptions options_;
-  Rng rng_;
   EventQueue events_;
-  CostCounters counters_;
-  uint64_t lost_messages_ = 0;
-  /// Sequence number of the next TrySend attempt — the message identity
-  /// the fault plan hashes. Never reset, so a deployment's fault schedule
-  /// is one continuous stream.
-  uint64_t send_seq_ = 0;
+  /// The context charged by the legacy overloads; its rng is the historical
+  /// network-seeded stream and its send_seq the historical global sequence.
+  CostContext shared_ctx_;
+  /// Serializes Accumulate() merges from concurrently finishing queries.
+  std::mutex merge_mu_;
 };
 
 }  // namespace ringdde

@@ -1,0 +1,281 @@
+// Concurrency-model regression tests for the shared-snapshot query engine:
+// parallel trials against ONE deployment must reproduce the serial trial
+// outputs bit for bit at any thread count (with and without injected
+// faults) while performing zero replica builds; the replica-pool and
+// deployment-cache layers must reuse instead of rebuild. This binary
+// carries the ctest "concurrency" label — configure with
+// RINGDDE_SANITIZE=thread and run `ctest -L concurrency` for race
+// coverage of the shared read-only snapshot.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/id.h"
+#include "core/probe.h"
+#include "sim/fault_injector.h"
+
+namespace ringdde::bench {
+namespace {
+
+void ExpectSameResult(const RepeatedResult& a, const RepeatedResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.accuracy.ks, b.accuracy.ks) << what;
+  EXPECT_EQ(a.accuracy.l1_cdf, b.accuracy.l1_cdf) << what;
+  EXPECT_EQ(a.accuracy.l2_cdf, b.accuracy.l2_cdf) << what;
+  EXPECT_EQ(a.accuracy.l1_pdf, b.accuracy.l1_pdf) << what;
+  EXPECT_EQ(a.mean_messages, b.mean_messages) << what;
+  EXPECT_EQ(a.mean_hops, b.mean_hops) << what;
+  EXPECT_EQ(a.mean_bytes, b.mean_bytes) << what;
+  EXPECT_EQ(a.mean_total_error, b.mean_total_error) << what;
+  EXPECT_EQ(a.mean_peers, b.mean_peers) << what;
+}
+
+TEST(SharedSnapshotTest, ParallelEqualsSerialAt1And4And16Threads) {
+  DdeOptions opts;
+  opts.num_probes = 48;
+  constexpr int kReps = 6;
+  constexpr uint64_t kSeedBase = 4200;
+
+  auto env = BuildEnv(128, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      5000, /*seed=*/21);
+  ThreadPool serial(0);
+  const RepeatedResult reference =
+      RepeatDde(*env, opts, kReps, kSeedBase, &serial);
+
+  for (size_t threads : {1u, 4u, 16u}) {
+    ThreadPool pool(threads - 1);
+    const uint64_t replicates_before = ReplicateCalls();
+    const RepeatedResult r = RepeatDde(*env, opts, kReps, kSeedBase, &pool);
+    // Acceptance criterion: a read-only parallel RepeatDde builds ZERO
+    // replica deployments — all trials share the snapshot.
+    EXPECT_EQ(ReplicateCalls(), replicates_before)
+        << threads << " threads replicated the deployment";
+    ExpectSameResult(r, reference, "shared-vs-serial");
+  }
+}
+
+TEST(SharedSnapshotTest, SharedEngineMatchesReplicatedEngine) {
+  DdeOptions opts;
+  opts.num_probes = 48;
+  constexpr int kReps = 5;
+  constexpr uint64_t kSeedBase = 910;
+
+  auto env_shared =
+      BuildEnv(128, std::make_unique<ZipfDistribution>(1000, 0.9), 5000,
+               /*seed=*/33);
+  auto env_replicated = env_shared->Replicate();
+
+  ThreadPool pool(3);
+  const RepeatedResult shared =
+      RepeatDde(*env_shared, opts, kReps, kSeedBase, &pool);
+  const RepeatedResult replicated =
+      RepeatDdeReplicated(*env_replicated, opts, kReps, kSeedBase, &pool);
+  ExpectSameResult(shared, replicated, "shared-vs-replicated");
+}
+
+TEST(SharedSnapshotTest, FaultsEnabledParallelEqualsSerial) {
+  // A lossy-but-survivable fault plan: trials exercise the TrySend fault
+  // branches (drops, retries, per-context send sequences) and must still
+  // be bit-identical at every thread count.
+  FaultOptions faults;
+  faults.drop_probability = 0.05;
+  faults.seed = 0xFA17;
+
+  const auto build = [&] {
+    auto env = std::make_unique<Env>();
+    NetworkOptions nopts;
+    nopts.faults = std::make_shared<FaultInjector>(faults);
+    env->net = std::make_unique<Network>(nopts);
+    RingOptions ropts;
+    ropts.seed = 77;
+    env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+    EXPECT_TRUE(env->ring->CreateNetwork(96).ok());
+    env->dist = std::make_unique<UniformDistribution>();
+    env->items = 4000;
+    env->peers = 96;
+    env->seed = 77;
+    Rng rng(77 ^ 0xDA7A);
+    env->ring->InsertDatasetBulk(
+        GenerateDataset(*env->dist, env->items, rng).keys);
+    return env;
+  };
+
+  DdeOptions opts;
+  opts.num_probes = 48;
+  opts.retry.max_attempts = 3;
+  constexpr int kReps = 5;
+  constexpr uint64_t kSeedBase = 5100;
+
+  auto env = build();
+  ThreadPool serial(0);
+  const RepeatedResult reference =
+      RepeatDde(*env, opts, kReps, kSeedBase, &serial);
+  for (size_t threads : {4u, 16u}) {
+    ThreadPool pool(threads - 1);
+    const RepeatedResult r = RepeatDde(*env, opts, kReps, kSeedBase, &pool);
+    ExpectSameResult(r, reference, "faulted shared-vs-serial");
+  }
+}
+
+TEST(ArcCoverageSetTest, MatchesLinearArcScan) {
+  // Randomized equivalence: membership in the interval set must equal
+  // "some arc contains t" under InArcOpenClosed, including wrapping arcs.
+  Rng rng(0xA2C5);
+  for (int round = 0; round < 20; ++round) {
+    ArcCoverageSet set;
+    std::vector<std::pair<RingId, RingId>> arcs;
+    const int arc_count = 1 + static_cast<int>(rng.UniformU64(12));
+    for (int i = 0; i < arc_count; ++i) {
+      const RingId lo(rng.NextU64());
+      // Mix tiny, huge, and wrapping arcs.
+      const RingId hi(rng.Bernoulli(0.5) ? rng.NextU64()
+                                         : lo.value + 1 + rng.UniformU64(1u << 20));
+      arcs.emplace_back(lo, hi);
+      set.Add(lo, hi);
+    }
+    for (int q = 0; q < 400; ++q) {
+      const RingId t(rng.NextU64());
+      bool linear = false;
+      for (const auto& [lo, hi] : arcs) {
+        if (InArcOpenClosed(t, lo, hi)) {
+          linear = true;
+          break;
+        }
+      }
+      EXPECT_EQ(set.Contains(t), linear)
+          << "round " << round << " t=" << t.value;
+    }
+    // Arc boundary semantics: (lo, hi] excludes lo, includes hi.
+    const auto [lo, hi] = arcs[0];
+    EXPECT_EQ(set.Contains(hi), InArcOpenClosed(hi, lo, hi));
+  }
+}
+
+TEST(ArcCoverageSetTest, FullRingAndWrapEdgeCases) {
+  ArcCoverageSet set;
+  EXPECT_FALSE(set.Contains(RingId(0)));
+
+  // Wrapping arc (MAX-10, 5].
+  set.Add(RingId(UINT64_MAX - 10), RingId(5));
+  EXPECT_TRUE(set.Contains(RingId(UINT64_MAX)));
+  EXPECT_TRUE(set.Contains(RingId(0)));
+  EXPECT_TRUE(set.Contains(RingId(5)));
+  EXPECT_FALSE(set.Contains(RingId(6)));
+  EXPECT_FALSE(set.Contains(RingId(UINT64_MAX - 10)));  // lo is excluded
+
+  // Degenerate arc covers everything.
+  set.Add(RingId(42), RingId(42));
+  EXPECT_TRUE(set.Contains(RingId(42)));
+  EXPECT_TRUE(set.Contains(RingId(31337)));
+  EXPECT_EQ(set.interval_count(), 1u);
+
+  set.Clear();
+  EXPECT_FALSE(set.Contains(RingId(42)));
+}
+
+TEST(ReplicaPoolTest, ReusesCleanReplicasAndRebuildsDirtyOnes) {
+  auto base = BuildEnv(64, std::make_unique<UniformDistribution>(), 2000,
+                       /*seed=*/5);
+  ReplicaPool pool(*base);
+
+  // First lease builds; a clean (read-only) lease is reused for free.
+  {
+    ReplicaPool::Lease lease = pool.Acquire();
+    DdeOptions opts;
+    opts.num_probes = 16;
+    (void)RunDde(lease.env(), opts, 1);
+  }
+  EXPECT_EQ(pool.builds(), 1u);
+  {
+    ReplicaPool::Lease lease = pool.Acquire();
+    EXPECT_EQ(pool.builds(), 1u);
+    // Mutate the deployment: the next leaseholder must get a rebuilt one.
+    EXPECT_TRUE(lease.env().ring->InsertKeyBulk(0.25).ok());
+  }
+  {
+    ReplicaPool::Lease lease = pool.Acquire();
+    EXPECT_EQ(pool.builds(), 2u);
+    EXPECT_EQ(lease.env().ring->TotalItems(), base->ring->TotalItems());
+  }
+}
+
+TEST(RepeatDdeMutatingTest, LeasedTrialsMatchPerTrialReplicas) {
+  // A mutating workload (each trial inserts extra keys before estimating)
+  // through the replica pool must equal running each trial on a fresh
+  // replica — the pool's reset-between-trials contract.
+  auto base = BuildEnv(64, std::make_unique<UniformDistribution>(), 2000,
+                       /*seed=*/9);
+  DdeOptions opts;
+  opts.num_probes = 24;
+  constexpr int kReps = 4;
+  const auto prepare = [](Env& env, int rep) {
+    Rng rng(1000 + static_cast<uint64_t>(rep));
+    for (int i = 0; i <= rep; ++i) {
+      ASSERT_TRUE(env.ring->InsertKeyBulk(rng.UniformDouble()).ok());
+    }
+  };
+
+  std::vector<double> expected_messages;
+  for (int r = 0; r < kReps; ++r) {
+    std::unique_ptr<Env> replica = base->Replicate();
+    prepare(*replica, r);
+    const DensityEstimate e =
+        RunDde(*replica, opts, 77 + static_cast<uint64_t>(r) * 7919);
+    expected_messages.push_back(static_cast<double>(e.cost.messages));
+  }
+  double mean = 0.0;
+  for (double m : expected_messages) mean += m;
+  mean /= static_cast<double>(kReps);
+
+  ReplicaPool pool(*base);
+  ThreadPool workers(3);
+  const RepeatedResult r =
+      RepeatDdeMutating(pool, opts, kReps, 77, prepare, &workers);
+  EXPECT_EQ(r.mean_messages, mean);
+  // The pool never built more replicas than concurrent workers + caller.
+  EXPECT_LE(pool.builds(), workers.concurrency() + 1);
+}
+
+TEST(DeploymentCacheTest, SameRecipeIsSharedDifferentRecipeIsNot) {
+  ClearDeploymentCache();
+  const UniformDistribution uniform;
+  const uint64_t misses_before = DeploymentCacheMisses();
+  const uint64_t hits_before = DeploymentCacheHits();
+
+  std::shared_ptr<Env> a = CachedDeployment(48, uniform, 1000, 3);
+  std::shared_ptr<Env> b = CachedDeployment(48, uniform, 1000, 3);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(DeploymentCacheMisses(), misses_before + 1);
+  EXPECT_EQ(DeploymentCacheHits(), hits_before + 1);
+
+  // Any recipe component change — including distribution parameters via
+  // Name() — is a different deployment.
+  std::shared_ptr<Env> c = CachedDeployment(48, uniform, 1000, 4);
+  EXPECT_NE(a.get(), c.get());
+  const ZipfDistribution zipf(1000, 0.9);
+  std::shared_ptr<Env> d = CachedDeployment(48, zipf, 1000, 3);
+  EXPECT_NE(a.get(), d.get());
+  ClearDeploymentCache();
+}
+
+TEST(PerQueryContextTest, EstimateCostAccumulatesIntoSharedTotals) {
+  // DensityEstimate.cost comes from the query's own context, and the same
+  // delta is merged back into the network totals — external shared-counter
+  // observers lose nothing.
+  auto env = BuildEnv(64, std::make_unique<UniformDistribution>(), 2000,
+                      /*seed=*/13);
+  const CostCounters before = env->net->counters();
+  DdeOptions opts;
+  opts.num_probes = 32;
+  const DensityEstimate e = RunDde(*env, opts, 5);
+  const CostCounters delta = env->net->counters() - before;
+  EXPECT_EQ(delta.messages, e.cost.messages);
+  EXPECT_EQ(delta.hops, e.cost.hops);
+  EXPECT_EQ(delta.bytes, e.cost.bytes);
+  EXPECT_GT(e.cost.messages, 0u);
+}
+
+}  // namespace
+}  // namespace ringdde::bench

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/thread_pool.h"
 
 namespace ringdde::bench {
@@ -91,6 +95,24 @@ void BenchReporter::RecordCounter(const std::string& name, double value) {
     }
   }
   named_counters_.emplace_back(name, value);
+}
+
+double BenchReporter::PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+void BenchReporter::RecordPeakRssCounter(const std::string& name) {
+  RecordCounter(name, PeakRssMb());
 }
 
 bool BenchReporter::WriteJson() {

@@ -61,6 +61,14 @@ class BenchReporter {
   /// overwrites its value; emission preserves first-recorded order.
   void RecordCounter(const std::string& name, double value);
 
+  /// Records the process's peak resident set size (MB, from getrusage) as
+  /// counter `name`. Call at the high-water point of interest; the value is
+  /// a lifetime maximum, so later calls can only report more, never less.
+  void RecordPeakRssCounter(const std::string& name);
+
+  /// Peak resident set size of this process in MB (0.0 if unavailable).
+  static double PeakRssMb();
+
   /// Writes BENCH_<experiment>.json into the current directory. Returns
   /// false (after printing a warning) if the file cannot be written.
   bool WriteJson();

@@ -12,14 +12,26 @@ std::atomic<uint64_t> g_replicate_calls{0};
 std::atomic<uint64_t> g_deployment_cache_hits{0};
 std::atomic<uint64_t> g_deployment_cache_misses{0};
 
-std::mutex& DeploymentCacheMutex() {
-  static std::mutex mu;
-  return mu;
+// The deployment cache is sharded by recipe-key hash: builds of *different*
+// recipes proceed concurrently (each holds only its shard's lock for the
+// whole build), while concurrent first requests for the *same* recipe still
+// collapse onto one build. 16 shards comfortably cover the handful of
+// distinct recipes a bench binary requests.
+constexpr size_t kDeployCacheShards = 16;
+
+struct DeployCacheShard {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<Env>> cache;
+};
+
+DeployCacheShard* DeployCacheShards() {
+  static auto* shards = new DeployCacheShard[kDeployCacheShards];
+  return shards;
 }
 
-std::map<std::string, std::shared_ptr<Env>>& DeploymentCacheMap() {
-  static auto* cache = new std::map<std::string, std::shared_ptr<Env>>();
-  return *cache;
+DeployCacheShard& DeploymentCacheShard(const std::string& key) {
+  return DeployCacheShards()[std::hash<std::string>{}(key) %
+                             kDeployCacheShards];
 }
 }  // namespace
 
@@ -59,15 +71,15 @@ std::shared_ptr<Env> CachedDeployment(size_t n, const Distribution& dist,
   const std::string key =
       Fmt("%zu|%s|%zu|%llu", n, dist.Name().c_str(), items,
           static_cast<unsigned long long>(seed));
-  // Build under the lock: concurrent first requests for one recipe must
-  // not each pay the (expensive) build — exactly what the cache exists to
-  // avoid. Requests for other recipes briefly queue behind a build; bench
-  // drivers request their deployments up front, so this doesn't serialize
-  // steady-state rows.
-  std::lock_guard<std::mutex> lock(DeploymentCacheMutex());
-  auto& cache = DeploymentCacheMap();
-  auto it = cache.find(key);
-  if (it != cache.end()) {
+  // Build under the shard lock: concurrent first requests for one recipe
+  // must not each pay the (expensive) build — exactly what the cache
+  // exists to avoid. Different recipes almost always land on different
+  // shards, so concurrent builds of distinct deployments no longer
+  // serialize behind one global mutex.
+  DeployCacheShard& shard = DeploymentCacheShard(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(key);
+  if (it != shard.cache.end()) {
     g_deployment_cache_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
@@ -76,13 +88,16 @@ std::shared_ptr<Env> CachedDeployment(size_t n, const Distribution& dist,
   // Shared deployments serve concurrent read-only queries; warm the lazy
   // caches now so no reader ever writes.
   env->ring->PrepareConcurrentReads();
-  cache.emplace(key, env);
+  shard.cache.emplace(key, env);
   return env;
 }
 
 void ClearDeploymentCache() {
-  std::lock_guard<std::mutex> lock(DeploymentCacheMutex());
-  DeploymentCacheMap().clear();
+  DeployCacheShard* shards = DeployCacheShards();
+  for (size_t i = 0; i < kDeployCacheShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards[i].mu);
+    shards[i].cache.clear();
+  }
 }
 
 ReplicaPool::Lease ReplicaPool::Acquire() {

@@ -46,5 +46,20 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The scale experiment must report the million-peer gate counters: the
+  # deploy/stabilize timings (struct-of-arrays AND the legacy-layout
+  # baseline), the lookup hop/latency percentiles, throughput, and the
+  # process peak RSS — the scale-regression observability contract.
+  if(report MATCHES "BENCH_e18\\.json$")
+    foreach(key deploy_us stabilize_us_soa stabilize_us_legacy
+                lookup_hops_p50 lookup_hops_p99 lookup_us_p50 lookup_us_p99
+                lookups_per_sec peak_rss_mb)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

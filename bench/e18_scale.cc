@@ -1,0 +1,195 @@
+// E18: million-peer scale — deployment, stabilization, and lookup cost of
+// the struct-of-arrays ring core.
+//
+// Rows sweep the ring size (full: 100k and 1M peers; smoke: 10k) and
+// measure, per size:
+//   - deploy: CreateNetwork (id assignment + RingIndex build + the initial
+//     full stabilization) plus the bulk dataset load (n keys).
+//   - stabilize: one full StabilizeAll sweep on the struct-of-arrays
+//     snapshot vs the PR2-era legacy layout (std::map walk into fresh flat
+//     arrays, then the identical chunked sweep) — same math, same
+//     parallelism, only the membership layout differs. The legacy mirror's
+//     construction is excluded from its timing.
+//   - lookups: iterative routed lookups from random alive origins to
+//     uniform targets, each with a private CostContext; hop and latency
+//     percentiles over the batch.
+//
+// The largest row's numbers are also emitted as BENCH_e18.json counters
+// (deploy_us, stabilize_us_soa, stabilize_us_legacy, lookup hop/µs
+// percentiles, lookups_per_sec, peak_rss_mb) — the scale regression gate —
+// together with the RingIndex segment-cache telemetry (flat hits vs
+// partial/full rebuilds, shard spans copied, invalidations).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "ring/reference_stabilize.h"
+
+namespace {
+
+using namespace ringdde;
+using namespace ringdde::bench;
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  return v[static_cast<size_t>(std::llround(idx))];
+}
+
+struct ScaleRow {
+  size_t n = 0;
+  double deploy_us = 0.0;        // CreateNetwork + bulk key load
+  double stab_soa_us = 0.0;      // one StabilizeAll sweep, SoA layout
+  double stab_legacy_us = 0.0;   // one sweep, legacy map layout
+  double hops_p50 = 0.0, hops_p99 = 0.0;
+  double us_p50 = 0.0, us_p99 = 0.0;
+  double lookups_per_sec = 0.0;
+};
+
+ScaleRow RunScale(size_t n, size_t lookups, int sweep_reps, uint64_t seed) {
+  ScaleRow row;
+  row.n = n;
+
+  // --- Deploy: peers + initial convergence + bulk dataset load. ---------
+  auto net = std::make_unique<Network>();
+  RingOptions ropts;
+  ropts.seed = seed;
+  ChordRing ring(net.get(), ropts);
+  const auto t_deploy = Clock::now();
+  Status s = ring.CreateNetwork(n);
+  if (!s.ok()) {
+    std::fprintf(stderr, "e18: CreateNetwork failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+  {
+    Rng data_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<double> keys(n);
+    for (double& k : keys) k = data_rng.UniformDouble();
+    ring.InsertDatasetBulk(keys);
+  }
+  row.deploy_us = ElapsedUs(t_deploy);
+
+  // --- StabilizeAll: SoA sweep vs the legacy-layout sweep. --------------
+  for (int rep = 0; rep < sweep_reps; ++rep) {
+    const auto t0 = Clock::now();
+    ring.StabilizeAll();
+    const double us = ElapsedUs(t0);
+    row.stab_soa_us = rep == 0 ? us : std::min(row.stab_soa_us, us);
+  }
+  {
+    // Mirror construction (the map build) is setup, not sweep cost.
+    const LegacyMembership legacy = MirrorMembership(ring);
+    for (int rep = 0; rep < sweep_reps; ++rep) {
+      const auto t0 = Clock::now();
+      ReferenceStabilizeAllSnapshot(legacy, ring.options().successor_list_size);
+      const double us = ElapsedUs(t0);
+      row.stab_legacy_us = rep == 0 ? us : std::min(row.stab_legacy_us, us);
+    }
+  }
+  // Both sweeps write identical routing state, so the ring is converged
+  // regardless of which ran last.
+
+  // --- Lookup batch: random origins, uniform targets. -------------------
+  ring.PrepareConcurrentReads();
+  Rng lookup_rng(seed ^ 0xda942042e4dd58b5ULL);
+  std::vector<double> hop_samples;
+  std::vector<double> us_samples;
+  hop_samples.reserve(lookups);
+  us_samples.reserve(lookups);
+  const auto t_batch = Clock::now();
+  for (size_t q = 0; q < lookups; ++q) {
+    const Result<NodeAddr> from = ring.RandomAliveNode(lookup_rng);
+    const RingId target(lookup_rng.NextU64());
+    CostContext ctx = net->MakeQueryContext(q);
+    const auto t0 = Clock::now();
+    const Result<NodeAddr> owner = ring.Lookup(ctx, *from, target);
+    const double us = ElapsedUs(t0);
+    if (!owner.ok()) {
+      std::fprintf(stderr, "e18: lookup failed: %s\n",
+                   owner.status().ToString().c_str());
+      std::abort();
+    }
+    hop_samples.push_back(static_cast<double>(ctx.counters.hops));
+    us_samples.push_back(us);
+  }
+  const double batch_us = ElapsedUs(t_batch);
+  row.hops_p50 = Percentile(hop_samples, 0.50);
+  row.hops_p99 = Percentile(hop_samples, 0.99);
+  row.us_p50 = Percentile(us_samples, 0.50);
+  row.us_p99 = Percentile(us_samples, 0.99);
+  row.lookups_per_sec =
+      batch_us > 0.0 ? static_cast<double>(lookups) / (batch_us * 1e-6) : 0.0;
+
+  // Segment-cache telemetry from the largest ring (overwritten per row;
+  // rows run smallest to largest).
+  const RingIndex::CacheStats& cs = ring.index().cache_stats();
+  BenchReporter& rep = BenchReporter::Global();
+  rep.RecordCounter("ring_flat_hits", static_cast<double>(cs.flat_hits));
+  rep.RecordCounter("ring_flat_rebuilds",
+                    static_cast<double>(cs.flat_rebuilds));
+  rep.RecordCounter("ring_flat_full_rebuilds",
+                    static_cast<double>(cs.flat_full_rebuilds));
+  rep.RecordCounter("ring_flat_shards_copied",
+                    static_cast<double>(cs.flat_shards_copied));
+  rep.RecordCounter("ring_shard_invalidations",
+                    static_cast<double>(cs.shard_invalidations));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  BenchRun run("e18");
+
+  std::vector<size_t> sizes;
+  if (SmokeMode()) {
+    sizes = {10'000};
+  } else {
+    sizes = {100'000, 1'000'000};
+  }
+  const size_t lookups = Scaled(20'000, 1'000);
+  const int sweep_reps = ScaledInt(3, 2);
+
+  Table table("E18: ring scale — deploy, stabilize, lookup",
+              {"peers", "deploy_ms", "stabilize_ms_soa", "stabilize_ms_legacy",
+               "legacy/soa", "hops_p50", "hops_p99", "lookup_us_p50",
+               "lookup_us_p99", "lookups/s"});
+  ScaleRow last;
+  for (size_t n : sizes) {
+    last = RunScale(n, lookups, sweep_reps, /*seed=*/18);
+    table.AddRow({Fmt("%zu", last.n), Fmt("%.1f", last.deploy_us / 1e3),
+                  Fmt("%.1f", last.stab_soa_us / 1e3),
+                  Fmt("%.1f", last.stab_legacy_us / 1e3),
+                  Fmt("%.2f", last.stab_soa_us > 0.0
+                                  ? last.stab_legacy_us / last.stab_soa_us
+                                  : 0.0),
+                  Fmt("%.0f", last.hops_p50), Fmt("%.0f", last.hops_p99),
+                  Fmt("%.2f", last.us_p50), Fmt("%.2f", last.us_p99),
+                  Fmt("%.0f", last.lookups_per_sec)});
+  }
+  table.Print();
+
+  // Scale-gate counters from the largest ring.
+  BenchReporter& rep = BenchReporter::Global();
+  rep.RecordCounter("scale_peers", static_cast<double>(last.n));
+  rep.RecordCounter("deploy_us", last.deploy_us);
+  rep.RecordCounter("stabilize_us_soa", last.stab_soa_us);
+  rep.RecordCounter("stabilize_us_legacy", last.stab_legacy_us);
+  rep.RecordCounter("lookup_hops_p50", last.hops_p50);
+  rep.RecordCounter("lookup_hops_p99", last.hops_p99);
+  rep.RecordCounter("lookup_us_p50", last.us_p50);
+  rep.RecordCounter("lookup_us_p99", last.us_p99);
+  rep.RecordCounter("lookups_per_sec", last.lookups_per_sec);
+  rep.RecordPeakRssCounter("peak_rss_mb");
+  return 0;
+}

@@ -55,7 +55,8 @@ std::vector<double> PredictNodeLoads(const ChordRing& ring,
   // with node 0 wrapping from the last boundary.
   std::vector<double> units;
   units.reserve(index.size());
-  for (const auto& [id, addr] : index) units.push_back(RingId(id).ToUnit());
+  index.ForEach(
+      [&](uint64_t id, NodeAddr /*addr*/) { units.push_back(RingId(id).ToUnit()); });
   const std::vector<double> f = cdf.EvaluateSorted(units);
   for (size_t i = 0; i < units.size(); ++i) {
     const double lo = i == 0 ? units.back() : units[i - 1];

@@ -27,12 +27,12 @@ double ExactSelectivity(const ChordRing& ring, double lo, double hi) {
   if (hi < lo) std::swap(lo, hi);
   uint64_t matching = 0;
   uint64_t total = 0;
-  for (const auto& [id, addr] : ring.index()) {
+  ring.index().ForEach([&](uint64_t /*id*/, NodeAddr addr) {
     const Node* node = ring.GetNode(addr);
     total += node->item_count();
     // Sorted keys: rank difference counts keys in [lo, hi].
     matching += node->RankOf(std::nextafter(hi, 1e300)) - node->RankOf(lo);
-  }
+  });
   if (total == 0) return 0.0;
   return static_cast<double>(matching) / static_cast<double>(total);
 }

@@ -16,7 +16,7 @@ void GossipHistogramAggregator::Initialize() {
   states_.clear();
   rounds_ = 0;
   exact_global_.assign(options_.bins, 0.0);
-  for (const auto& [id, addr] : ring_->index()) {
+  ring_->index().ForEach([&](uint64_t /*id*/, NodeAddr addr) {
     const Node* node = ring_->GetNode(addr);
     State st;
     st.mass.assign(options_.bins, 0.0);
@@ -29,7 +29,7 @@ void GossipHistogramAggregator::Initialize() {
       exact_global_[bin] += 1.0;
     }
     states_.emplace(addr, std::move(st));
-  }
+  });
 }
 
 NodeAddr GossipHistogramAggregator::PickPartner(NodeAddr sender) {
@@ -72,9 +72,9 @@ uint64_t GossipHistogramAggregator::Step() {
   deliveries.reserve(states_.size());
 
   uint64_t messages = 0;
-  for (const auto& [id, addr] : ring_->index()) {
+  ring_->index().ForEach([&](uint64_t /*id*/, NodeAddr addr) {
     auto it = states_.find(addr);
-    if (it == states_.end()) continue;
+    if (it == states_.end()) return;
     State& st = it->second;
     const NodeAddr partner = PickPartner(addr);
     // Halve in place; ship the other half (possibly to self, still one
@@ -91,7 +91,7 @@ uint64_t GossipHistogramAggregator::Step() {
       ++messages;
     }
     deliveries.push_back(std::move(d));
-  }
+  });
   for (Delivery& d : deliveries) {
     auto it = states_.find(d.to);
     if (it == states_.end()) continue;  // partner churned away: share lost

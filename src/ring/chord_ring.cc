@@ -6,8 +6,15 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "ring/stabilize_sweep.h"
 
 namespace ringdde {
+
+namespace {
+/// Contiguous positions per parallel task: large enough that task dispatch
+/// is noise, small enough that chunks balance across workers.
+constexpr size_t kSweepChunk = 512;
+}  // namespace
 
 ChordRing::ChordRing(Network* network, RingOptions options)
     : network_(network), options_(options), rng_(options.seed) {
@@ -21,28 +28,46 @@ RingId ChordRing::NewUniqueId() {
   }
 }
 
+void ChordRing::StoreNode(NodeAddr addr, std::unique_ptr<Node> node) {
+  // Addresses are dense, but a failed Join burns one without storing a
+  // node, so resize (leaving null gaps) rather than push.
+  if (addr > nodes_.size()) {
+    nodes_.resize(addr);
+    alive_.resize(addr, 0);
+  }
+  nodes_[addr - 1] = std::move(node);
+  alive_[addr - 1] = 1;
+}
+
+void ChordRing::MarkDead(Node* node) {
+  alive_[node->addr() - 1] = 0;
+  node->set_alive(false);
+}
+
 Status ChordRing::CreateNetwork(size_t n) {
   if (n == 0) return Status::InvalidArgument("network size must be positive");
   if (!nodes_.empty()) {
     return Status::FailedPrecondition("network already created");
   }
+  nodes_.reserve(n);
+  alive_.reserve(n);
+  used_ids_.reserve(n);
+  index_.Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     NodeAddr addr = next_addr_++;
     RingId id = NewUniqueId();
-    nodes_.emplace(addr, std::make_unique<Node>(addr, id));
-    index_.emplace(id.value, addr);
+    StoreNode(addr, std::make_unique<Node>(addr, id));
+    index_.Insert(id.value, addr);
   }
-  InvalidateAliveCache();
   BumpEpoch();
   StabilizeAll();
   return Status::OK();
 }
 
 Result<NodeAddr> ChordRing::OracleOwner(RingId target) const {
-  if (index_.empty()) return Status::NotFound("ring is empty");
-  auto it = index_.lower_bound(target.value);
-  if (it == index_.end()) it = index_.begin();  // wrap
-  return it->second;
+  const std::optional<RingIndex::Entry> owner = index_.OwnerOf(target.value);
+  if (!owner.has_value()) return Status::NotFound("ring is empty");
+  return owner->addr;
 }
 
 Status ChordRing::InsertKeyBulk(double key01) {
@@ -53,42 +78,86 @@ Status ChordRing::InsertKeyBulk(double key01) {
   return Status::OK();
 }
 
-void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01) {
+void ChordRing::InsertDatasetBulk(const std::vector<double>& keys01,
+                                  ThreadPool* pool) {
   if (index_.empty() || keys01.empty()) return;
   BumpEpoch();
-  // Sort once, then sweep the sorted keys against the sorted node arcs:
-  // FromUnit is monotone on [0,1), so consecutive keys land on the same or
-  // a later arc and each node receives one pre-sorted contiguous slice —
-  // O(N log N + N + n) instead of a map lookup plus hash churn per key.
+  // Sort once, then split the sorted keys against the sorted node arcs:
+  // FromUnit is monotone on [0,1), so node rank r (owning (ids[r-1],
+  // ids[r]]) receives exactly the key range [bound[r-1], bound[r]) where
+  // bound[r] is the first key position past ids[r] — with rank 0 also
+  // taking the wrap tail [bound[n-1], N). The bounds are a merge sweep
+  // (O(N + n)), each owner's store is reserved to its exact final size
+  // before any insert, and the per-node slice inserts run node-parallel —
+  // every node touches only its own pre-computed slice, so the stores are
+  // bit-identical at any thread count.
   std::vector<double> sorted(keys01);
   std::sort(sorted.begin(), sorted.end());
-  const size_t n = sorted.size();
-  auto it = index_.begin();
-  uint64_t last_pos = 0;
-  size_t i = 0;
-  while (i < n) {
-    const uint64_t pos = RingId::FromUnit(sorted[i]).value;
-    if (pos < last_pos) {
-      // Wrapped position (key outside [0,1) reduced mod 1): restart the
-      // sweep cursor. Rare, so the extra lookup is irrelevant.
-      it = index_.lower_bound(pos);
-    } else {
-      while (it != index_.end() && it->first < pos) ++it;
-    }
-    last_pos = pos;
-    // Owner of pos: first id at or after it, wrapping to the smallest id.
-    Node* owner = GetNode(it == index_.end() ? index_.begin()->second
-                                             : it->second);
-    const uint64_t hi = it == index_.end() ? UINT64_MAX : it->first;
-    size_t j = i + 1;
-    while (j < n) {
-      const uint64_t p = RingId::FromUnit(sorted[j]).value;
-      if (p < pos || p > hi) break;
-      ++j;
-    }
-    owner->InsertSortedKeys(sorted.data() + i, sorted.data() + j);
-    i = j;
+  const size_t total = sorted.size();
+
+  const RingIndex::FlatView flat = index_.Flat();
+  const std::vector<Node*>& nodes = FlatNodes();
+  const size_t n = flat.size;
+
+  // Ring positions of the sorted keys; monotone unless some key fell
+  // outside [0,1) and wrapped mod 1.
+  std::vector<uint64_t> pos(total);
+  bool monotone = true;
+  for (size_t i = 0; i < total; ++i) {
+    pos[i] = RingId::FromUnit(sorted[i]).value;
+    if (i > 0 && pos[i] < pos[i - 1]) monotone = false;
   }
+
+  if (!monotone) {
+    // Wrapped positions break the split invariant: fall back to the serial
+    // owner-cursor sweep (restarting the cursor at each wrap). Rare.
+    size_t i = 0;
+    while (i < total) {
+      const uint64_t p = pos[i];
+      size_t r = index_.LowerBoundRank(p);
+      Node* owner = r == n ? nodes[0] : nodes[r];
+      const uint64_t hi = r == n ? UINT64_MAX : flat.ids[r];
+      size_t j = i + 1;
+      while (j < total && pos[j] >= p && pos[j] <= hi) ++j;
+      owner->InsertSortedKeys(sorted.data() + i, sorted.data() + j);
+      i = j;
+    }
+    return;
+  }
+
+  // bound[r] = first key index with position > flat.ids[r].
+  std::vector<size_t> bound(n);
+  {
+    size_t cursor = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const uint64_t hi = flat.ids[r];
+      while (cursor < total && pos[cursor] <= hi) ++cursor;
+      bound[r] = cursor;
+    }
+  }
+
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  const size_t chunks = (n + kSweepChunk - 1) / kSweepChunk;
+  p.ParallelFor(0, chunks, [&](size_t c) {
+    const size_t lo = c * kSweepChunk;
+    const size_t hi = std::min(lo + kSweepChunk, n);
+    for (size_t r = lo; r < hi; ++r) {
+      const size_t kb = r == 0 ? 0 : bound[r - 1];
+      const size_t ke = bound[r];
+      const size_t tail = r == 0 ? total - bound[n - 1] : 0;
+      if (ke == kb && tail == 0) continue;
+      Node* owner = nodes[r];
+      owner->ReserveAdditionalKeys(ke - kb + tail);
+      if (ke > kb) {
+        owner->InsertSortedKeys(sorted.data() + kb, sorted.data() + ke);
+      }
+      // Keys past the largest id wrap to the smallest node.
+      if (tail > 0) {
+        owner->InsertSortedKeys(sorted.data() + bound[n - 1],
+                                sorted.data() + total);
+      }
+    }
+  });
 }
 
 void ChordRing::ChargeHop(CostContext& ctx, NodeAddr from,
@@ -189,9 +258,8 @@ Result<NodeAddr> ChordRing::Join(NodeAddr bootstrap) {
   node->fingers() = succ->fingers();
   ChargeHop(addr, *succ_addr);
 
-  index_.emplace(id.value, addr);
-  nodes_.emplace(addr, std::move(node));
-  InvalidateAliveCache();
+  StoreNode(addr, std::move(node));
+  index_.Insert(id.value, addr);
   BumpEpoch();
   return addr;
 }
@@ -204,10 +272,9 @@ Status ChordRing::Leave(NodeAddr addr) {
   if (index_.size() == 1) {
     return Status::FailedPrecondition("last node cannot leave");
   }
-  index_.erase(node->id().value);
-  InvalidateAliveCache();
+  index_.Erase(node->id().value);
+  MarkDead(node);
   BumpEpoch();
-  node->set_alive(false);
 
   Result<NodeAddr> succ_addr = OracleOwner(node->id());
   Node* succ = GetNode(*succ_addr);
@@ -244,10 +311,9 @@ Status ChordRing::Crash(NodeAddr addr) {
   if (index_.size() == 1) {
     return Status::FailedPrecondition("last node cannot crash");
   }
-  index_.erase(node->id().value);
-  InvalidateAliveCache();
+  index_.Erase(node->id().value);
+  MarkDead(node);
   BumpEpoch();
-  node->set_alive(false);
 
   if (options_.durable_data) {
     // Replication recovery: items re-materialize at the new owner.
@@ -296,24 +362,21 @@ Status ChordRing::EraseKeyRouted(NodeAddr from, double key01) {
 std::vector<NodeEntry> ChordRing::OracleSuccessorList(RingId id) const {
   std::vector<NodeEntry> out;
   if (index_.empty()) return out;
-  const size_t distinct_others =
-      index_.size() - (index_.contains(id.value) ? 1 : 0);
+  const size_t n = index_.size();
+  const size_t distinct_others = n - (index_.Contains(id.value) ? 1 : 0);
   if (distinct_others == 0) {
     // Single-node ring: the node is its own successor.
-    const Node* n = GetNode(index_.begin()->second);
-    out.push_back(NodeEntry{n->addr(), n->id()});
+    out.push_back(EntryOf(index_.AtRank(0)));
     return out;
   }
   const size_t want =
       std::min<size_t>(options_.successor_list_size, distinct_others);
-  auto it = index_.upper_bound(id.value);
+  size_t r = index_.UpperBoundRank(id.value);
   while (out.size() < want) {
-    if (it == index_.end()) it = index_.begin();
-    if (RingId(it->first) != id) {
-      const Node* n = GetNode(it->second);
-      out.push_back(NodeEntry{n->addr(), n->id()});
-    }
-    ++it;
+    if (r == n) r = 0;  // wrap
+    const RingIndex::Entry e = index_.AtRank(r);
+    if (e.id != id.value) out.push_back(EntryOf(e));
+    ++r;
   }
   return out;
 }
@@ -326,193 +389,102 @@ void ChordRing::StabilizeNode(NodeAddr addr) {
 
   node->set_successors(OracleSuccessorList(id));
 
-  // Predecessor: last alive node strictly before id (wrapping).
-  auto it = index_.lower_bound(id.value);
-  if (it == index_.begin()) it = index_.end();
-  --it;
-  const Node* pred = GetNode(it->second);
-  if (pred->id() == id) {
+  // Predecessor: last alive node strictly before id (wrapping). The node
+  // itself is in the index, so its own rank's predecessor is rank - 1.
+  const size_t r = index_.LowerBoundRank(id.value);
+  const RingIndex::Entry pred =
+      index_.AtRank((r == 0 ? index_.size() : r) - 1);
+  if (RingId(pred.id) == id) {
     node->set_predecessor(EntryFor(*node));  // lone node
   } else {
-    node->set_predecessor(EntryFor(*pred));
+    node->set_predecessor(EntryOf(pred));
   }
 
   // fix_fingers: finger k = successor(id + 2^k).
   for (int k = 0; k < FingerTable::kBits; ++k) {
-    Result<NodeAddr> owner = OracleOwner(FingerTable::FingerStart(id, k));
-    if (owner.ok()) {
-      const Node* f = GetNode(*owner);
-      node->fingers().Set(k, NodeEntry{f->addr(), f->id()});
-    }
-  }
-}
-
-void ChordRing::StabilizeRange(const MembershipSnapshot& snap, size_t begin,
-                               size_t end) {
-  const size_t n = snap.ids.size();
-  const size_t want = std::min<size_t>(options_.successor_list_size,
-                                       n > 0 ? n - 1 : 0);
-  std::vector<NodeEntry> succ_buf;
-  succ_buf.reserve(want);
-
-  // Finger cursors. u[k] is the rank of finger k's current owner in the
-  // *virtually doubled* id array — value(u) = ids[u] for u < n and
-  // ids[u - n] + 2^64 for u >= n — which linearizes the circular
-  // lower_bound-with-wrap: the owner of target id + 2^k is the first rank
-  // whose value reaches the (unwrapped, 65-bit) target. Within the range,
-  // ids[pos] grows with pos, so every target grows too and each cursor
-  // only ever moves forward: one binary search seeds it, then advancing it
-  // across all nodes of the range costs amortized O(1) per node per
-  // finger. The uint64 comparisons below encode the 65-bit compare via
-  // `big` (true iff the target overflowed, i.e. its true value >= 2^64):
-  // a first-lap value is >= the target iff !big && ids[u] >= t, a
-  // second-lap value iff big ? ids[u - n] >= t : true.
-  size_t u[FingerTable::kBits];
-  {
-    const uint64_t id0 = snap.ids[begin];
-    for (int k = 0; k < FingerTable::kBits; ++k) {
-      const uint64_t t = FingerTable::FingerStart(RingId(id0), k).value;
-      const bool big = t < id0;  // id0 + 2^k wrapped past 2^64
-      if (big) {
-        // All first-lap values are below the target: search the high lap.
-        // A wrapped target always has ids[n-1] >= t, so the search lands.
-        size_t lo = n;
-        size_t hi = 2 * n;
-        while (lo < hi) {
-          const size_t mid = lo + (hi - lo) / 2;
-          if (snap.ids[mid - n] < t) {
-            lo = mid + 1;
-          } else {
-            hi = mid;
-          }
-        }
-        u[k] = lo;
-      } else {
-        u[k] = static_cast<size_t>(
-            std::lower_bound(snap.ids.begin(), snap.ids.end(), t) -
-            snap.ids.begin());  // == n means wrap to ids[0] (rank n)
-      }
-    }
-  }
-
-  for (size_t pos = begin; pos < end; ++pos) {
-    Node* node = snap.nodes[pos];
-    const RingId id(snap.ids[pos]);
-
-    if (n == 1) {
-      node->set_successors({NodeEntry{node->addr(), id}});
-      node->set_predecessor(NodeEntry{node->addr(), id});
-    } else {
-      // Successor list: the next `want` peers clockwise from our position.
-      succ_buf.clear();
-      for (size_t step = 1; step <= want; ++step) {
-        size_t j = pos + step;
-        if (j >= n) j -= n;
-        succ_buf.push_back(NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
-      }
-      node->assign_successors(succ_buf.data(), succ_buf.size());
-
-      // Predecessor: the previous snapshot entry, wrapping.
-      const size_t j = pos == 0 ? n - 1 : pos - 1;
-      node->set_predecessor(NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
-    }
-
-    // fix_fingers: finger k = successor(id + 2^k), read off the cursors.
-    FingerTable& fingers = node->fingers();
-    const uint64_t self = snap.ids[pos];
-    for (int k = 0; k < FingerTable::kBits; ++k) {
-      const uint64_t t = FingerTable::FingerStart(id, k).value;
-      const bool big = t < self;
-      size_t uk = u[k];
-      while (uk < n ? (big || snap.ids[uk] < t)
-                    : (uk < 2 * n && big && snap.ids[uk - n] < t)) {
-        ++uk;
-      }
-      assert(uk < 2 * n && "finger target past the doubled id array");
-      u[k] = uk;
-      const size_t j = uk >= n ? uk - n : uk;
-      fingers.Set(k, NodeEntry{snap.addrs[j], RingId(snap.ids[j])});
-    }
+    const std::optional<RingIndex::Entry> owner =
+        index_.OwnerOf(FingerTable::FingerStart(id, k).value);
+    if (owner.has_value()) node->fingers().Set(k, EntryOf(*owner));
   }
 }
 
 void ChordRing::StabilizeAll(ThreadPool* pool) {
-  // One flat sorted snapshot of the membership, shared read-only by every
-  // chunk. Each node's new state depends only on the snapshot and its own
-  // position, and the chunk grid depends only on n — never on the pool —
-  // so serial and parallel runs produce byte-identical routing state.
+  // One flat sorted snapshot of the membership (the cached RingIndex flat
+  // arrays — only dirtied segments are re-copied), shared read-only by
+  // every chunk. Each node's new state depends only on the snapshot and
+  // its own position, and the chunk grid depends only on n — never on the
+  // pool — so serial and parallel runs produce byte-identical routing
+  // state.
   const size_t n = index_.size();
   if (n == 0) return;
   BumpEpoch();
-  MembershipSnapshot snap;
-  snap.ids.reserve(n);
-  snap.addrs.reserve(n);
-  snap.nodes.reserve(n);
-  for (const auto& [id, addr] : index_) {
-    snap.ids.push_back(id);
-    snap.addrs.push_back(addr);
-    snap.nodes.push_back(GetNode(addr));
-  }
-  constexpr size_t kChunk = 512;
-  const size_t chunks = (n + kChunk - 1) / kChunk;
+  const RingIndex::FlatView flat = index_.Flat();
+  const std::vector<Node*>& nodes = FlatNodes();
+  const size_t chunks = (n + kSweepChunk - 1) / kSweepChunk;
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
   p.ParallelFor(0, chunks, [&](size_t c) {
-    const size_t chunk_begin = c * kChunk;
-    StabilizeRange(snap, chunk_begin, std::min(chunk_begin + kChunk, n));
+    const size_t chunk_begin = c * kSweepChunk;
+    StabilizeSweepRange(flat.ids, flat.addrs, nodes.data(), n,
+                        options_.successor_list_size, chunk_begin,
+                        std::min(chunk_begin + kSweepChunk, n));
   });
 }
 
-Node* ChordRing::GetNode(NodeAddr addr) {
-  auto it = nodes_.find(addr);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const Node* ChordRing::GetNode(NodeAddr addr) const {
-  auto it = nodes_.find(addr);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-bool ChordRing::IsAlive(NodeAddr addr) const {
-  const Node* n = GetNode(addr);
-  return n != nullptr && n->alive();
+const std::vector<Node*>& ChordRing::FlatNodes() const {
+  if (flat_nodes_version_ == index_.version() &&
+      flat_nodes_.size() == index_.size()) {
+    return flat_nodes_;
+  }
+  const RingIndex::FlatView flat = index_.Flat();
+  flat_nodes_.resize(flat.size);
+  for (size_t i = 0; i < flat.size; ++i) {
+    flat_nodes_[i] = nodes_[flat.addrs[i] - 1].get();
+  }
+  flat_nodes_version_ = index_.version();
+  return flat_nodes_;
 }
 
 void ChordRing::PrepareConcurrentReads() const {
   // Materialize every lazy cache the read path may touch, so the query
-  // path performs no writes even through `mutable` members: the flat
-  // alive-address vector (RandomAliveNode / AliveAddrsView) and each
-  // node's on-demand key sort (RankOf / quantiles via keys()).
-  EnsureAliveCache();
-  for (const auto& [id, addr] : index_) GetNode(addr)->keys();
-}
-
-void ChordRing::EnsureAliveCache() const {
-  if (alive_cache_valid_) return;
-  alive_cache_.clear();
-  alive_cache_.reserve(index_.size());
-  for (const auto& [id, addr] : index_) alive_cache_.push_back(addr);
-  alive_cache_valid_ = true;
+  // path performs no writes even through `mutable` members: the segment
+  // offset table (AtRank / RandomAliveNode), the flat membership snapshot
+  // (AliveAddrsView), the flat Node-pointer array, and each node's
+  // on-demand key sort (RankOf / quantiles via keys()). The key sorts are
+  // per-node independent, so they warm node-parallel.
+  index_.WarmCaches();
+  const std::vector<Node*>& nodes = FlatNodes();
+  const size_t n = nodes.size();
+  const size_t chunks = (n + kSweepChunk - 1) / kSweepChunk;
+  ThreadPool::Global().ParallelFor(0, chunks, [&](size_t c) {
+    const size_t hi = std::min((c + 1) * kSweepChunk, n);
+    for (size_t i = c * kSweepChunk; i < hi; ++i) nodes[i]->keys();
+  });
 }
 
 std::vector<NodeAddr> ChordRing::AliveAddrs() const {
-  EnsureAliveCache();
-  return alive_cache_;
+  return index_.FlatAddrs();
 }
 
 Result<NodeAddr> ChordRing::RandomAliveNode(Rng& rng) const {
   if (index_.empty()) return Status::NotFound("ring is empty");
-  // The cache holds index_'s values in iteration (ascending-id) order, so
-  // picking the k-th element selects exactly the node the old O(n)
-  // std::advance walk selected.
-  EnsureAliveCache();
-  const uint64_t k = rng.UniformU64(alive_cache_.size());
-  return alive_cache_[static_cast<size_t>(k)];
+  // Rank selection in ascending-id order: picks exactly the node the old
+  // O(n) std::advance walk (and the flat alive cache after it) selected.
+  const uint64_t k = rng.UniformU64(index_.size());
+  return index_.AtRank(static_cast<size_t>(k)).addr;
 }
 
 uint64_t ChordRing::TotalItems() const {
   uint64_t total = 0;
-  for (const auto& [id, addr] : index_) total += GetNode(addr)->item_count();
+  for (const Node* n : FlatNodes()) total += n->item_count();
   return total;
+}
+
+std::vector<uint64_t> ChordRing::SnapshotKeyCounts() const {
+  const std::vector<Node*>& nodes = FlatNodes();
+  std::vector<uint64_t> counts;
+  counts.reserve(nodes.size());
+  for (const Node* n : nodes) counts.push_back(n->item_count());
+  return counts;
 }
 
 }  // namespace ringdde

@@ -1,15 +1,14 @@
 #ifndef RINGDDE_RING_CHORD_RING_H_
 #define RINGDDE_RING_CHORD_RING_H_
 
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "ring/node.h"
+#include "ring/ring_index.h"
 #include "sim/network.h"
 
 namespace ringdde {
@@ -53,10 +52,22 @@ struct RingOptions {
 ///    Stabilize*) manipulate ground truth for experiment setup and for
 ///    modeling converged background maintenance; they are cost-free.
 ///
-/// The `index_` map is the ground-truth membership (alive nodes by ring id).
+/// Memory layout (struct-of-arrays, sized for n=10^6..10^7 peers):
+///  - `index_` is the ground-truth alive membership: sorted parallel
+///    (id, addr) flat arrays, sharded into 256 id segments (RingIndex).
+///    Owner searches, rank selection, and snapshot sweeps run over these
+///    arrays cache-linearly; a join/leave memmoves one ~n/256 segment.
+///  - `nodes_` is the dense payload store: every Node ever created (alive
+///    or dead), indexed directly by its address (addresses are allocated
+///    densely from 1). Key lists, finger tables, and successor lists live
+///    only behind this index; the hot paths touch them at most once per
+///    peer after resolving ids/addrs/liveness from the flat arrays.
+///  - `alive_` is the parallel liveness bitmap over the same address
+///    space: IsAlive is one byte load, never a Node dereference.
+///
 /// Per-node routing state (successor lists, finger tables) is a *cached
-/// snapshot* of that truth taken at the node's last stabilization, so
-/// between stabilizations routing runs on stale state exactly as a real
+/// snapshot* of the ground truth taken at the node's last stabilization,
+/// so between stabilizations routing runs on stale state exactly as a real
 /// deployment would.
 class ChordRing {
  public:
@@ -68,11 +79,17 @@ class ChordRing {
   /// routing state. Fails if n == 0.
   Status CreateNetwork(size_t n);
 
-  /// Places one unit-domain key on its owner. Cost-free bulk load.
+  /// Places one unit-domain key on its owner (binary search over the
+  /// sorted id array). Cost-free bulk load.
   Status InsertKeyBulk(double key01);
 
-  /// Bulk-loads a dataset of unit-domain keys (cost-free).
-  void InsertDatasetBulk(const std::vector<double>& keys01);
+  /// Bulk-loads a dataset of unit-domain keys (cost-free). Sorts once,
+  /// computes per-node slice boundaries as prefix sums over the sorted
+  /// arcs, reserves each owner's key vector to its final size, and inserts
+  /// the slices node-parallel on `pool` (default: the global ThreadPool) —
+  /// the resulting stores are bit-identical at any thread count.
+  void InsertDatasetBulk(const std::vector<double>& keys01,
+                         ThreadPool* pool = nullptr);
 
   /// Ground-truth owner of a ring position: the first alive node clockwise
   /// at or after `target`. Fails only on an empty ring.
@@ -120,44 +137,60 @@ class ChordRing {
 
   /// Refreshes one node's successor list, predecessor, and fingers to
   /// ground truth (models a completed stabilize + fix_fingers cycle).
-  /// Incremental path: walks `index_` directly, the right trade-off when
-  /// churn repairs one node at a time.
+  /// Incremental path: binary searches over the sorted id array, the right
+  /// trade-off when churn repairs one node at a time.
   void StabilizeNode(NodeAddr addr);
 
-  /// Stabilizes every alive node. Builds one flat sorted (id, addr, Node*)
-  /// snapshot of `index_` and sweeps it in fixed-size contiguous chunks:
-  /// within a chunk the kBits finger targets grow monotonically with the
-  /// node position, so each finger's owner is tracked by a forward-only
-  /// cursor over the id array — one binary search to seed it per chunk,
-  /// then amortized O(1) advancement per node — making the whole sweep
-  /// O(n·(s + kBits)) instead of the per-node std::map range walks of
-  /// repeated StabilizeNode calls. Chunks run on `pool` (default: the
-  /// global pool); the chunk grid depends only on n and every node's state
-  /// is a pure function of the read-only snapshot, so the resulting
-  /// routing state is byte-identical to a serial sweep at any thread count.
+  /// Stabilizes every alive node: sweeps the struct-of-arrays membership
+  /// snapshot (RingIndex::Flat — a cache hit when nothing changed since
+  /// the last sweep) in fixed-size contiguous chunks with forward-only
+  /// finger cursors (see ring/stabilize_sweep.h) — O(n·(s + kBits)) with
+  /// no per-node map walks or hash lookups anywhere. Chunks run on `pool`
+  /// (default: the global pool); the chunk grid depends only on n and
+  /// every node's state is a pure function of the read-only snapshot, so
+  /// the resulting routing state is byte-identical to a serial sweep at
+  /// any thread count — and to the legacy map-layout sweep
+  /// (ring/reference_stabilize.h).
   void StabilizeAll(ThreadPool* pool = nullptr);
 
   // --- Introspection ------------------------------------------------------
 
-  Node* GetNode(NodeAddr addr);
-  const Node* GetNode(NodeAddr addr) const;
-  bool IsAlive(NodeAddr addr) const;
+  Node* GetNode(NodeAddr addr) {
+    return addr == 0 || addr > nodes_.size() ? nullptr
+                                             : nodes_[addr - 1].get();
+  }
+  const Node* GetNode(NodeAddr addr) const {
+    return addr == 0 || addr > nodes_.size() ? nullptr
+                                             : nodes_[addr - 1].get();
+  }
+  /// One byte load off the liveness array — no Node dereference.
+  bool IsAlive(NodeAddr addr) const {
+    return addr != 0 && addr <= alive_.size() && alive_[addr - 1] != 0;
+  }
   size_t AliveCount() const { return index_.size(); }
   std::vector<NodeAddr> AliveAddrs() const;
 
   /// Zero-copy view of the alive-address cache (addresses in ascending-id
-  /// order, i.e. index_ iteration order). Rebuilds the cache if stale;
-  /// the reference is invalidated by the next membership change.
+  /// order). Rebuilds only the dirtied segments if stale; the reference is
+  /// invalidated by the next membership change.
   const std::vector<NodeAddr>& AliveAddrsView() const {
-    EnsureAliveCache();
-    return alive_cache_;
+    return index_.FlatAddrs();
   }
 
-  /// Warms every lazily materialized cache (the alive-address vector and
-  /// each node's sorted key array) so that subsequent const traffic —
-  /// Lookup/probe/summary reads — performs no writes at all. Call once
-  /// from the owning thread before sharing the ring across read-only
-  /// concurrent queriers.
+  /// Address of the alive node at ascending-id rank `rank` (must be
+  /// < AliveCount()): a binary search over the segment offset table, never
+  /// a flat-cache rebuild — the churn stabilize cursor and random node
+  /// selection stay O(log S) under membership churn.
+  NodeAddr AliveAddrAtRank(size_t rank) const {
+    return index_.AtRank(rank).addr;
+  }
+
+  /// Warms every lazily materialized structure (the segment offset table,
+  /// the flat membership snapshot, the flat Node-pointer array, and each
+  /// node's sorted key array — the key sorts node-parallel on the global
+  /// pool) so that subsequent const traffic — Lookup/probe/summary reads —
+  /// performs no writes at all. Call once from the owning thread before
+  /// sharing the ring across read-only concurrent queriers.
   void PrepareConcurrentReads() const;
 
   /// Monotone counter bumped by every mutating operation (membership or
@@ -172,39 +205,44 @@ class ChordRing {
   /// Total items stored across alive nodes.
   uint64_t TotalItems() const;
 
-  /// Alive-membership ground truth: ring id -> address, ascending by id.
-  const std::map<uint64_t, NodeAddr>& index() const { return index_; }
+  /// Per-alive-node stored-key counts in ascending-id order (parallel to
+  /// index().Flat()): the key-count array consumers sweep instead of
+  /// dereferencing every Node themselves.
+  std::vector<uint64_t> SnapshotKeyCounts() const;
+
+  /// Alive-membership ground truth: the struct-of-arrays index (sorted
+  /// ids/addrs in sharded flat segments). Iterate with ForEach or Flat().
+  const RingIndex& index() const { return index_; }
 
   Network& network() { return *network_; }
   const RingOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 
  private:
-  /// Flat sorted view of `index_` (ids ascending; addrs and Node pointers
-  /// parallel): the read-only input of one StabilizeAll sweep. Contiguous
-  /// arrays make the finger-cursor walks cache-friendly and safely
-  /// shareable across worker threads.
-  struct MembershipSnapshot {
-    std::vector<uint64_t> ids;
-    std::vector<NodeAddr> addrs;
-    std::vector<Node*> nodes;
-  };
-
-  /// Refreshes the nodes at snapshot positions [begin, end) from the
-  /// snapshot, carrying the finger cursors forward across the range.
-  /// Produces exactly the state StabilizeNode derives from `index_`.
-  void StabilizeRange(const MembershipSnapshot& snap, size_t begin,
-                      size_t end);
-
   /// Picks a fresh never-used ring id.
   RingId NewUniqueId();
 
   NodeEntry EntryFor(const Node& node) const {
     return NodeEntry{node.addr(), node.id()};
   }
+  static NodeEntry EntryOf(const RingIndex::Entry& e) {
+    return NodeEntry{e.addr, RingId(e.id)};
+  }
 
   /// Ground-truth successor list for position `id` (excluding `id` itself).
   std::vector<NodeEntry> OracleSuccessorList(RingId id) const;
+
+  /// Registers a freshly created node in the dense payload store and the
+  /// liveness array (addresses are allocated densely, so this is a
+  /// push_back).
+  void StoreNode(NodeAddr addr, std::unique_ptr<Node> node);
+
+  /// Marks `addr` dead in both the liveness array and its payload.
+  void MarkDead(Node* node);
+
+  /// The flat Node-pointer array parallel to index().Flat(), rebuilt when
+  /// the membership version moved.
+  const std::vector<Node*>& FlatNodes() const;
 
   /// Charges one routing round trip between two peers.
   void ChargeHop(CostContext& ctx, NodeAddr from, NodeAddr to) const;
@@ -224,24 +262,22 @@ class ChordRing {
   RingOptions options_;
   Rng rng_;
 
-  /// Rebuilds `alive_cache_` from `index_` if a membership change
-  /// invalidated it.
-  void EnsureAliveCache() const;
-  /// Marks the cached alive-address vector stale (any index_ mutation).
-  void InvalidateAliveCache() { alive_cache_valid_ = false; }
-
-  std::unordered_map<NodeAddr, std::unique_ptr<Node>> nodes_;  // incl. dead
-  std::map<uint64_t, NodeAddr> index_;  // alive nodes by ring id
+  /// Sorted alive membership as sharded parallel (id, addr) arrays.
+  RingIndex index_;
+  /// Dense payload store: Node at address a lives at slot a-1 (incl. dead).
+  std::vector<std::unique_ptr<Node>> nodes_;
+  /// Liveness flags parallel to nodes_ (1 = alive).
+  std::vector<uint8_t> alive_;
   std::unordered_set<uint64_t> used_ids_;
   NodeAddr next_addr_ = 1;
 
-  // Flat copy of index_ values (addresses in ascending-id order), rebuilt
-  // lazily after membership changes so RandomAliveNode/AliveAddrs stop
-  // paying an O(n) map walk per query. Not synchronized: concurrent
-  // readers must ensure the cache is warm (StabilizeAll and the bench
-  // drivers touch it from the owning thread before fanning out).
-  mutable std::vector<NodeAddr> alive_cache_;
-  mutable bool alive_cache_valid_ = false;
+  // Flat Node pointers parallel to index_.Flat(), rebuilt lazily when the
+  // membership version moved (pointers are stable — Nodes live on the
+  // heap — so only membership changes invalidate it). Not synchronized:
+  // concurrent readers must ensure the cache is warm
+  // (PrepareConcurrentReads touches it from the owning thread).
+  mutable std::vector<Node*> flat_nodes_;
+  mutable uint64_t flat_nodes_version_ = ~uint64_t{0};
 
   /// See mutation_epoch().
   uint64_t mutation_epoch_ = 0;

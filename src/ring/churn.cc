@@ -64,12 +64,12 @@ void ChurnProcess::OnStabilizeTick() {
   const size_t n = ring_->AliveCount();
   if (n > 0) {
     // Stabilize the cursor-th alive node; the cursor walks the whole ring
-    // once per stabilize_interval. The alive cache holds index_'s values
-    // in the same ascending-id order, so indexing it picks exactly the
-    // node the old O(n) std::advance walk picked — at O(1) per tick
-    // (amortized: the cache rebuilds only after membership changes).
-    const std::vector<NodeAddr>& alive = ring_->AliveAddrsView();
-    ring_->StabilizeNode(alive[stabilize_cursor_ % n]);
+    // once per stabilize_interval. Rank selection runs off the segment
+    // offset table — O(log S) per tick even while churn dirties the
+    // membership, where the old flat alive cache re-copied O(n) addresses
+    // on every tick that followed a join or departure. Ranks are
+    // ascending-id order, so the victim matches the legacy walk exactly.
+    ring_->StabilizeNode(ring_->AliveAddrAtRank(stabilize_cursor_ % n));
     ++stabilize_cursor_;
   }
   const double delay =

@@ -70,6 +70,13 @@ class Node {
   /// path behind ChordRing::InsertDatasetBulk's sorted owner sweep.
   void InsertSortedKeys(const double* first, const double* last);
 
+  /// Pre-sizes the store for `extra` more keys on top of the current count
+  /// (bulk loaders know each owner's exact final size from the arc prefix
+  /// sums, so the inserts below never reallocate).
+  void ReserveAdditionalKeys(size_t extra) {
+    keys_.reserve(keys_.size() + extra);
+  }
+
   /// Removes one occurrence; returns false if absent.
   bool EraseKey(double key);
 

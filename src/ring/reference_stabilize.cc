@@ -1,0 +1,94 @@
+#include "ring/reference_stabilize.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ring/stabilize_sweep.h"
+
+namespace ringdde {
+
+LegacyMembership MirrorMembership(ChordRing& ring) {
+  LegacyMembership legacy;
+  legacy.nodes_by_rank.reserve(ring.AliveCount());
+  ring.index().ForEach([&](uint64_t id, NodeAddr addr) {
+    legacy.index.emplace(id, addr);
+    legacy.nodes_by_rank.push_back(ring.GetNode(addr));
+  });
+  return legacy;
+}
+
+void ReferenceStabilizeAllMapWalk(const LegacyMembership& legacy,
+                                  size_t successor_list_size) {
+  const std::map<uint64_t, NodeAddr>& index = legacy.index;
+  const size_t n = index.size();
+  if (n == 0) return;
+
+  size_t rank = 0;
+  for (auto node_it = index.begin(); node_it != index.end();
+       ++node_it, ++rank) {
+    Node* node = legacy.nodes_by_rank[rank];
+    const RingId id(node_it->first);
+
+    if (n == 1) {
+      node->set_successors({NodeEntry{node->addr(), id}});
+      node->set_predecessor(NodeEntry{node->addr(), id});
+    } else {
+      // Successor list: upper_bound walk with wrap, skipping self.
+      const size_t want = std::min<size_t>(successor_list_size, n - 1);
+      std::vector<NodeEntry> succ;
+      succ.reserve(want);
+      auto it = index.upper_bound(id.value);
+      while (succ.size() < want) {
+        if (it == index.end()) it = index.begin();
+        if (it->first != id.value) {
+          succ.push_back(NodeEntry{it->second, RingId(it->first)});
+        }
+        ++it;
+      }
+      node->set_successors(std::move(succ));
+
+      // Predecessor: last entry strictly before id, wrapping.
+      auto pit = index.lower_bound(id.value);
+      if (pit == index.begin()) pit = index.end();
+      --pit;
+      node->set_predecessor(NodeEntry{pit->second, RingId(pit->first)});
+    }
+
+    // fix_fingers: finger k = successor(id + 2^k) via wrapped lower_bound.
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      const RingId t = FingerTable::FingerStart(id, k);
+      auto fit = index.lower_bound(t.value);
+      if (fit == index.end()) fit = index.begin();
+      node->fingers().Set(k, NodeEntry{fit->second, RingId(fit->first)});
+    }
+  }
+}
+
+void ReferenceStabilizeAllSnapshot(const LegacyMembership& legacy,
+                                   size_t successor_list_size,
+                                   ThreadPool* pool) {
+  const size_t n = legacy.index.size();
+  if (n == 0) return;
+  // The per-sweep flattening cost of the legacy layout: one full walk of
+  // the red-black tree into fresh arrays, every time.
+  std::vector<uint64_t> ids;
+  std::vector<NodeAddr> addrs;
+  ids.reserve(n);
+  addrs.reserve(n);
+  for (const auto& [id, addr] : legacy.index) {
+    ids.push_back(id);
+    addrs.push_back(addr);
+  }
+  constexpr size_t kChunk = 512;
+  const size_t chunks = (n + kChunk - 1) / kChunk;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  p.ParallelFor(0, chunks, [&](size_t c) {
+    const size_t begin = c * kChunk;
+    StabilizeSweepRange(ids.data(), addrs.data(),
+                        legacy.nodes_by_rank.data(), n, successor_list_size,
+                        begin, std::min(begin + kChunk, n));
+  });
+}
+
+}  // namespace ringdde

@@ -1,0 +1,47 @@
+#ifndef RINGDDE_RING_REFERENCE_STABILIZE_H_
+#define RINGDDE_RING_REFERENCE_STABILIZE_H_
+
+#include <map>
+
+#include "ring/chord_ring.h"
+
+namespace ringdde {
+
+class ThreadPool;
+
+/// The pre-RingIndex membership layout: the sorted alive set as a
+/// `std::map<id, addr>` plus out-of-band Node pointers. Kept as a *test
+/// oracle and benchmark baseline only* — production code runs on the
+/// struct-of-arrays RingIndex. Mirroring is O(n log n) map inserts; the
+/// reference sweeps below take the mirror so callers can exclude its
+/// construction from timing.
+struct LegacyMembership {
+  std::map<uint64_t, NodeAddr> index;
+  std::vector<Node*> nodes_by_rank;  // ascending-id, parallel to the map walk
+};
+
+/// Snapshots the ring's current alive membership into the legacy layout.
+LegacyMembership MirrorMembership(ChordRing& ring);
+
+/// Per-node oracle stabilization over the legacy map — the original
+/// O(n·(s + kBits)·log n) formulation: each node independently derives its
+/// successor list (upper_bound walk with wrap), predecessor (lower_bound,
+/// step back with wrap), and fingers (one wrapped lower_bound per finger)
+/// from the red-black tree. Deliberately shares *no* code with the
+/// struct-of-arrays sweep, so agreement between the two is evidence, not
+/// tautology.
+void ReferenceStabilizeAllMapWalk(const LegacyMembership& legacy,
+                                  size_t successor_list_size);
+
+/// The PR2-era snapshot sweep on the legacy layout: walks the map into
+/// flat arrays (the per-sweep O(n) pointer chase RingIndex eliminates),
+/// then runs the shared chunked StabilizeSweepRange on `pool`. This is the
+/// honest before/after baseline for the E18 scale benchmark: same math,
+/// same parallelism — only the membership layout differs.
+void ReferenceStabilizeAllSnapshot(const LegacyMembership& legacy,
+                                   size_t successor_list_size,
+                                   ThreadPool* pool = nullptr);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_REFERENCE_STABILIZE_H_

@@ -1,0 +1,170 @@
+#include "ring/ring_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ringdde {
+
+void RingIndex::Reserve(size_t n) {
+  const size_t per_shard = n / kShardCount + 4;
+  for (Shard& s : shards_) {
+    s.ids.reserve(per_shard);
+    s.addrs.reserve(per_shard);
+  }
+  offsets_.reserve(kShardCount + 1);
+  flat_ids_.reserve(n);
+  flat_addrs_.reserve(n);
+}
+
+void RingIndex::Invalidate(size_t s) {
+  offsets_valid_ = false;
+  first_dirty_shard_ = std::min(first_dirty_shard_, s);
+  ++stats_.shard_invalidations;
+  ++version_;
+}
+
+void RingIndex::Insert(uint64_t id, NodeAddr addr) {
+  const size_t si = ShardOf(id);
+  Shard& s = shards_[si];
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(s.ids.begin(), s.ids.end(), id) - s.ids.begin());
+  assert(pos == s.ids.size() || s.ids[pos] != id);
+  s.ids.insert(s.ids.begin() + static_cast<ptrdiff_t>(pos), id);
+  s.addrs.insert(s.addrs.begin() + static_cast<ptrdiff_t>(pos), addr);
+  ++size_;
+  Invalidate(si);
+}
+
+bool RingIndex::Erase(uint64_t id) {
+  const size_t si = ShardOf(id);
+  Shard& s = shards_[si];
+  const auto it = std::lower_bound(s.ids.begin(), s.ids.end(), id);
+  if (it == s.ids.end() || *it != id) return false;
+  const size_t pos = static_cast<size_t>(it - s.ids.begin());
+  s.ids.erase(it);
+  s.addrs.erase(s.addrs.begin() + static_cast<ptrdiff_t>(pos));
+  --size_;
+  Invalidate(si);
+  return true;
+}
+
+bool RingIndex::Contains(uint64_t id) const {
+  const Shard& s = shards_[ShardOf(id)];
+  return std::binary_search(s.ids.begin(), s.ids.end(), id);
+}
+
+void RingIndex::EnsureOffsets() const {
+  if (offsets_valid_) return;
+  offsets_.resize(kShardCount + 1);
+  size_t acc = 0;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    offsets_[s] = acc;
+    acc += shards_[s].ids.size();
+  }
+  offsets_[kShardCount] = acc;
+  offsets_valid_ = true;
+}
+
+std::optional<RingIndex::Entry> RingIndex::OwnerOf(uint64_t target) const {
+  if (size_ == 0) return std::nullopt;
+  // First entry at or after target: search the target's shard, then the
+  // following non-empty shards, wrapping to the globally smallest entry.
+  for (size_t step = 0, si = ShardOf(target); step < kShardCount;
+       ++step, si = (si + 1) & (kShardCount - 1)) {
+    const Shard& s = shards_[si];
+    if (s.ids.empty()) continue;
+    if (step == 0) {
+      const auto it = std::lower_bound(s.ids.begin(), s.ids.end(), target);
+      if (it != s.ids.end()) {
+        const size_t pos = static_cast<size_t>(it - s.ids.begin());
+        return Entry{s.ids[pos], s.addrs[pos]};
+      }
+      continue;  // everything in this shard is below target
+    }
+    return Entry{s.ids[0], s.addrs[0]};
+  }
+  // target is past every entry: wrap to the smallest id overall.
+  for (const Shard& s : shards_) {
+    if (!s.ids.empty()) return Entry{s.ids[0], s.addrs[0]};
+  }
+  return std::nullopt;  // unreachable while size_ > 0
+}
+
+size_t RingIndex::LowerBoundRank(uint64_t target) const {
+  EnsureOffsets();
+  const size_t si = ShardOf(target);
+  const Shard& s = shards_[si];
+  return offsets_[si] +
+         static_cast<size_t>(
+             std::lower_bound(s.ids.begin(), s.ids.end(), target) -
+             s.ids.begin());
+}
+
+size_t RingIndex::UpperBoundRank(uint64_t target) const {
+  EnsureOffsets();
+  const size_t si = ShardOf(target);
+  const Shard& s = shards_[si];
+  return offsets_[si] +
+         static_cast<size_t>(
+             std::upper_bound(s.ids.begin(), s.ids.end(), target) -
+             s.ids.begin());
+}
+
+RingIndex::Entry RingIndex::AtRank(size_t rank) const {
+  assert(rank < size_);
+  EnsureOffsets();
+  // Shard owning this rank: last offset <= rank.
+  const size_t si = static_cast<size_t>(
+      std::upper_bound(offsets_.begin(), offsets_.begin() + kShardCount,
+                       rank) -
+      offsets_.begin() - 1);
+  const Shard& s = shards_[si];
+  const size_t i = rank - offsets_[si];
+  return Entry{s.ids[i], s.addrs[i]};
+}
+
+void RingIndex::EnsureFlat() const {
+  if (flat_built_ && first_dirty_shard_ == kShardCount) {
+    ++stats_.flat_hits;
+    return;
+  }
+  EnsureOffsets();
+  const size_t start = flat_built_ ? first_dirty_shard_ : 0;
+  // resize() preserves the clean prefix even across a reallocation, so
+  // only the spans of shards [start, kShardCount) need re-copying: shards
+  // before the first dirtied one kept both their contents and (because
+  // sizes before them are unchanged) their offsets.
+  flat_ids_.resize(size_);
+  flat_addrs_.resize(size_);
+  for (size_t si = start; si < kShardCount; ++si) {
+    const Shard& s = shards_[si];
+    if (s.ids.empty()) continue;
+    std::memcpy(flat_ids_.data() + offsets_[si], s.ids.data(),
+                s.ids.size() * sizeof(uint64_t));
+    std::memcpy(flat_addrs_.data() + offsets_[si], s.addrs.data(),
+                s.addrs.size() * sizeof(NodeAddr));
+    ++stats_.flat_shards_copied;
+  }
+  ++stats_.flat_rebuilds;
+  if (start == 0) ++stats_.flat_full_rebuilds;
+  first_dirty_shard_ = kShardCount;
+  flat_built_ = true;
+}
+
+RingIndex::FlatView RingIndex::Flat() const {
+  EnsureFlat();
+  return FlatView{flat_ids_.data(), flat_addrs_.data(), size_};
+}
+
+const std::vector<NodeAddr>& RingIndex::FlatAddrs() const {
+  EnsureFlat();
+  return flat_addrs_;
+}
+
+void RingIndex::WarmCaches() const {
+  EnsureOffsets();
+  EnsureFlat();
+}
+
+}  // namespace ringdde

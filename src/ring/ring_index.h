@@ -1,0 +1,166 @@
+#ifndef RINGDDE_RING_RING_INDEX_H_
+#define RINGDDE_RING_RING_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ringdde {
+
+/// Struct-of-arrays membership index: the sorted alive set of the ring as
+/// parallel flat arrays of (id, addr), sharded into fixed id-range segments.
+///
+/// This replaces the `std::map<uint64_t, NodeAddr>` ground truth of the
+/// legacy layout. Design goals, in order:
+///  1. *Cache-linear hot paths*: owner searches, rank selection, and the
+///     flat snapshot StabilizeAll / bulk-insert sweeps all run over
+///     contiguous arrays instead of pointer-chasing a red-black tree.
+///  2. *Segment-granular invalidation*: a join/leave touches exactly one
+///     shard (ids are uniform, so each shard holds ~n/kShardCount entries);
+///     the cached flat snapshot re-copies only the shards at or after the
+///     first dirtied one instead of rebuilding from scratch, and rank
+///     selection never needs the flat snapshot at all.
+///  3. *Bit-identical iteration order*: shards partition the id space in
+///     ascending order, so shard-by-shard traversal equals the legacy
+///     ascending-id map walk exactly — every consumer sees the same
+///     sequence the `std::map` produced.
+///
+/// Thread-safety follows the ring's existing contract: mutations and lazy
+/// cache materialization happen on the owning thread; WarmCaches() (called
+/// from ChordRing::PrepareConcurrentReads) makes every subsequent const
+/// accessor write-free so concurrent read-only queriers race on nothing.
+class RingIndex {
+ public:
+  /// Shard = top kShardBits of the id: 256 segments. Peer ids are uniform
+  /// on the 2^64 ring, so shards stay balanced at ~n/256 entries — small
+  /// enough that the memmove of one shard insert/erase is cheap at n=10^6,
+  /// large enough that per-shard bookkeeping (two vectors, one offset) is
+  /// noise. The count is a compile-time constant so shard assignment is a
+  /// single shift and the layout is a pure function of the id set.
+  static constexpr int kShardBits = 8;
+  static constexpr size_t kShardCount = size_t{1} << kShardBits;
+
+  struct Entry {
+    uint64_t id = 0;
+    NodeAddr addr = 0;
+  };
+
+  /// Contiguous snapshot of the whole membership, ids ascending with addrs
+  /// parallel. Pointers remain valid until the next Insert/Erase.
+  struct FlatView {
+    const uint64_t* ids = nullptr;
+    const NodeAddr* addrs = nullptr;
+    size_t size = 0;
+  };
+
+  /// Telemetry for the segment-granular snapshot cache (satellite of the
+  /// deployment-cache hit/miss counters): how often the flat snapshot was
+  /// served valid, how many shard spans each rebuild re-copied, and how
+  /// many rebuilds had to start at shard 0 (the old "invalidate the whole
+  /// cache" behavior, now the worst case instead of the only case).
+  struct CacheStats {
+    uint64_t flat_hits = 0;
+    uint64_t flat_rebuilds = 0;
+    uint64_t flat_full_rebuilds = 0;
+    uint64_t flat_shards_copied = 0;
+    uint64_t shard_invalidations = 0;
+  };
+
+  /// Pre-sizes the shards for `n` uniformly distributed ids.
+  void Reserve(size_t n);
+
+  /// Inserts one (id, addr); ids are unique by construction (the ring
+  /// allocates them from a used-id set). Amortized O(log(n/S) + n/S).
+  void Insert(uint64_t id, NodeAddr addr);
+
+  /// Removes the entry for `id`; returns false if absent.
+  bool Erase(uint64_t id);
+
+  bool Contains(uint64_t id) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bumped by every Insert/Erase; consumers caching derived state (the
+  /// ring's flat Node-pointer array) compare against it.
+  uint64_t version() const { return version_; }
+
+  /// Owner of ring position `target`: the first entry at or after it,
+  /// wrapping to the smallest id. The legacy `lower_bound + wrap` in two
+  /// binary searches (offset table, then one shard). nullopt iff empty.
+  std::optional<Entry> OwnerOf(uint64_t target) const;
+
+  /// Rank (0-based position in ascending-id order) of the first entry with
+  /// id >= target (lower_bound) or id > target (upper_bound); size() if
+  /// none. No wrap — callers fold the wrap themselves.
+  size_t LowerBoundRank(uint64_t target) const;
+  size_t UpperBoundRank(uint64_t target) const;
+
+  /// Entry at ascending-id rank `rank` (must be < size()). O(log S) via
+  /// the per-shard offset table — never touches the flat snapshot, so
+  /// rank-indexed consumers (random node selection, the churn stabilize
+  /// cursor) stay cheap under membership churn.
+  Entry AtRank(size_t rank) const;
+
+  /// Applies fn(id, addr) to every entry in ascending-id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      const size_t n = s.ids.size();
+      for (size_t i = 0; i < n; ++i) fn(s.ids[i], s.addrs[i]);
+    }
+  }
+
+  /// The cached contiguous snapshot, rebuilt lazily from the first dirty
+  /// shard onward (see CacheStats). The returned pointers alias internal
+  /// storage: valid until the next mutation.
+  FlatView Flat() const;
+
+  /// The flat addr array behind Flat() as a vector reference (the ring's
+  /// AliveAddrsView contract). Same lifetime rules.
+  const std::vector<NodeAddr>& FlatAddrs() const;
+
+  /// Materializes every lazy structure (offset table + flat snapshot) so
+  /// subsequent const calls perform no writes.
+  void WarmCaches() const;
+
+  const CacheStats& cache_stats() const { return stats_; }
+
+ private:
+  struct Shard {
+    std::vector<uint64_t> ids;    // ascending
+    std::vector<NodeAddr> addrs;  // parallel
+  };
+
+  static size_t ShardOf(uint64_t id) { return id >> (64 - kShardBits); }
+
+  /// Marks shard `s` dirty for the flat snapshot and stales the offsets.
+  void Invalidate(size_t s);
+  void EnsureOffsets() const;
+  void EnsureFlat() const;
+
+  Shard shards_[kShardCount];
+  size_t size_ = 0;
+  uint64_t version_ = 0;
+
+  // Rank offsets: offsets_[s] = number of entries in shards [0, s). Lazily
+  // refreshed after mutations; O(kShardCount) to rebuild.
+  mutable std::vector<size_t> offsets_;
+  mutable bool offsets_valid_ = false;
+
+  // Flat snapshot cache. first_dirty_shard_ == kShardCount means clean;
+  // otherwise shards [first_dirty_shard_, kShardCount) must be re-copied
+  // (sizes before it are unchanged, so their spans are still in place).
+  mutable std::vector<uint64_t> flat_ids_;
+  mutable std::vector<NodeAddr> flat_addrs_;
+  mutable size_t first_dirty_shard_ = 0;
+  mutable bool flat_built_ = false;
+
+  mutable CacheStats stats_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_RING_INDEX_H_

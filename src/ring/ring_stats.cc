@@ -8,28 +8,24 @@
 namespace ringdde {
 
 std::vector<uint64_t> NodeLoads(const ChordRing& ring) {
-  std::vector<uint64_t> loads;
-  loads.reserve(ring.AliveCount());
-  for (const auto& [id, addr] : ring.index()) {
-    loads.push_back(ring.GetNode(addr)->item_count());
-  }
-  return loads;
+  // Ascending-id key counts straight off the flat membership snapshot.
+  return ring.SnapshotKeyCounts();
 }
 
 std::vector<double> NodeArcs(const ChordRing& ring) {
-  const auto& index = ring.index();
+  const RingIndex::FlatView flat = ring.index().Flat();
   std::vector<double> arcs;
-  arcs.reserve(index.size());
-  if (index.empty()) return arcs;
-  if (index.size() == 1) {
+  arcs.reserve(flat.size);
+  if (flat.size == 0) return arcs;
+  if (flat.size == 1) {
     arcs.push_back(1.0);
     return arcs;
   }
-  // Node with id x owns (pred_id, x]; walk the sorted index.
-  uint64_t prev = index.rbegin()->first;  // predecessor of the first node
-  for (const auto& [id, addr] : index) {
-    arcs.push_back(ArcFraction(RingId(prev), RingId(id)));
-    prev = id;
+  // Node with id x owns (pred_id, x]; sweep the sorted id array.
+  uint64_t prev = flat.ids[flat.size - 1];  // predecessor of the first node
+  for (size_t i = 0; i < flat.size; ++i) {
+    arcs.push_back(ArcFraction(RingId(prev), RingId(flat.ids[i])));
+    prev = flat.ids[i];
   }
   return arcs;
 }

@@ -1,0 +1,100 @@
+#include "ring/stabilize_sweep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "ring/node.h"
+
+namespace ringdde {
+
+void StabilizeSweepRange(const uint64_t* ids, const NodeAddr* addrs,
+                         Node* const* nodes, size_t n,
+                         size_t successor_list_size, size_t begin,
+                         size_t end) {
+  const size_t want = std::min<size_t>(successor_list_size,
+                                       n > 0 ? n - 1 : 0);
+  std::vector<NodeEntry> succ_buf;
+  succ_buf.reserve(want);
+
+  // Finger cursors. u[k] is the rank of finger k's current owner in the
+  // *virtually doubled* id array — value(u) = ids[u] for u < n and
+  // ids[u - n] + 2^64 for u >= n — which linearizes the circular
+  // lower_bound-with-wrap: the owner of target id + 2^k is the first rank
+  // whose value reaches the (unwrapped, 65-bit) target. Within the range,
+  // ids[pos] grows with pos, so every target grows too and each cursor
+  // only ever moves forward: one binary search seeds it, then advancing it
+  // across all nodes of the range costs amortized O(1) per node per
+  // finger. The uint64 comparisons below encode the 65-bit compare via
+  // `big` (true iff the target overflowed, i.e. its true value >= 2^64):
+  // a first-lap value is >= the target iff !big && ids[u] >= t, a
+  // second-lap value iff big ? ids[u - n] >= t : true.
+  size_t u[FingerTable::kBits];
+  {
+    const uint64_t id0 = ids[begin];
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      const uint64_t t = FingerTable::FingerStart(RingId(id0), k).value;
+      const bool big = t < id0;  // id0 + 2^k wrapped past 2^64
+      if (big) {
+        // All first-lap values are below the target: search the high lap.
+        // A wrapped target always has ids[n-1] >= t, so the search lands.
+        size_t lo = n;
+        size_t hi = 2 * n;
+        while (lo < hi) {
+          const size_t mid = lo + (hi - lo) / 2;
+          if (ids[mid - n] < t) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        u[k] = lo;
+      } else {
+        u[k] = static_cast<size_t>(std::lower_bound(ids, ids + n, t) -
+                                   ids);  // == n means wrap to ids[0]
+      }
+    }
+  }
+
+  for (size_t pos = begin; pos < end; ++pos) {
+    Node* node = nodes[pos];
+    const RingId id(ids[pos]);
+
+    if (n == 1) {
+      node->set_successors({NodeEntry{node->addr(), id}});
+      node->set_predecessor(NodeEntry{node->addr(), id});
+    } else {
+      // Successor list: the next `want` peers clockwise from our position.
+      succ_buf.clear();
+      for (size_t step = 1; step <= want; ++step) {
+        size_t j = pos + step;
+        if (j >= n) j -= n;
+        succ_buf.push_back(NodeEntry{addrs[j], RingId(ids[j])});
+      }
+      node->assign_successors(succ_buf.data(), succ_buf.size());
+
+      // Predecessor: the previous snapshot entry, wrapping.
+      const size_t j = pos == 0 ? n - 1 : pos - 1;
+      node->set_predecessor(NodeEntry{addrs[j], RingId(ids[j])});
+    }
+
+    // fix_fingers: finger k = successor(id + 2^k), read off the cursors.
+    FingerTable& fingers = node->fingers();
+    const uint64_t self = ids[pos];
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      const uint64_t t = FingerTable::FingerStart(id, k).value;
+      const bool big = t < self;
+      size_t uk = u[k];
+      while (uk < n ? (big || ids[uk] < t)
+                    : (uk < 2 * n && big && ids[uk - n] < t)) {
+        ++uk;
+      }
+      assert(uk < 2 * n && "finger target past the doubled id array");
+      u[k] = uk;
+      const size_t j = uk >= n ? uk - n : uk;
+      fingers.Set(k, NodeEntry{addrs[j], RingId(ids[j])});
+    }
+  }
+}
+
+}  // namespace ringdde

@@ -1,0 +1,32 @@
+#ifndef RINGDDE_RING_STABILIZE_SWEEP_H_
+#define RINGDDE_RING_STABILIZE_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace ringdde {
+
+class Node;
+
+/// Refreshes the routing state of the nodes at snapshot positions
+/// [begin, end) from a flat sorted membership snapshot (`ids` ascending,
+/// `addrs`/`nodes` parallel, `n` entries), carrying forward-only finger
+/// cursors across the range: one binary search per finger to seed, then
+/// amortized O(1) advancement per node. Produces exactly the state a
+/// per-node oracle stabilization derives from the same membership.
+///
+/// Shared by ChordRing::StabilizeAll (which feeds it the struct-of-arrays
+/// snapshot) and the legacy-layout reference sweep in
+/// ring/reference_stabilize.h (which feeds it a snapshot walked out of a
+/// std::map mirror) — both layouts run the same math, so routing state can
+/// never depend on the layout.
+void StabilizeSweepRange(const uint64_t* ids, const NodeAddr* addrs,
+                         Node* const* nodes, size_t n,
+                         size_t successor_list_size, size_t begin,
+                         size_t end);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_STABILIZE_SWEEP_H_

@@ -1,0 +1,438 @@
+// Struct-of-arrays ring-core regression tests: RingIndex must behave
+// exactly like the std::map ground truth it replaced (owner search, rank
+// selection, iteration order, flat snapshots, segment-granular cache
+// invalidation), and every hot path rewritten against it — StabilizeAll,
+// Lookup, bulk dataset loads, full estimation runs, fault-injected runs —
+// must produce routing state and estimates byte-identical to the legacy
+// map-layout formulation at 1, 4, and 16 threads, on churned rings
+// carrying dead nodes. Part of the ctest "concurrency" label: configure
+// with RINGDDE_SANITIZE=thread for race coverage of the parallel sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ring/chord_ring.h"
+#include "ring/finger_table.h"
+#include "ring/node.h"
+#include "ring/reference_stabilize.h"
+#include "ring/ring_index.h"
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+
+namespace ringdde {
+namespace {
+
+using bench::Env;
+using bench::RepeatDde;
+using bench::RepeatedResult;
+
+// ---------------------------------------------------------------------------
+// RingIndex vs a std::map model.
+
+TEST(RingIndexTest, MatchesStdMapUnderRandomChurn) {
+  RingIndex index;
+  std::map<uint64_t, NodeAddr> model;
+  Rng rng(2024);
+
+  const auto check_equivalent = [&] {
+    ASSERT_EQ(index.size(), model.size());
+    // Iteration order and flat snapshot equal the ascending map walk.
+    const RingIndex::FlatView flat = index.Flat();
+    ASSERT_EQ(flat.size, model.size());
+    size_t rank = 0;
+    for (const auto& [id, addr] : model) {
+      EXPECT_EQ(flat.ids[rank], id);
+      EXPECT_EQ(flat.addrs[rank], addr);
+      const RingIndex::Entry e = index.AtRank(rank);
+      EXPECT_EQ(e.id, id);
+      EXPECT_EQ(e.addr, addr);
+      ++rank;
+    }
+    size_t fe_rank = 0;
+    index.ForEach([&](uint64_t id, NodeAddr addr) {
+      EXPECT_EQ(id, flat.ids[fe_rank]);
+      EXPECT_EQ(addr, flat.addrs[fe_rank]);
+      ++fe_rank;
+    });
+    EXPECT_EQ(fe_rank, model.size());
+    // Owner search = lower_bound with wrap; rank searches = map distances.
+    for (int probe = 0; probe < 64; ++probe) {
+      const uint64_t target = rng.NextU64();
+      auto it = model.lower_bound(target);
+      const size_t lb = static_cast<size_t>(
+          std::distance(model.begin(), it));
+      EXPECT_EQ(index.LowerBoundRank(target), lb);
+      EXPECT_EQ(index.UpperBoundRank(target),
+                static_cast<size_t>(
+                    std::distance(model.begin(), model.upper_bound(target))));
+      if (it == model.end()) it = model.begin();
+      const auto owner = index.OwnerOf(target);
+      if (model.empty()) {
+        EXPECT_FALSE(owner.has_value());
+      } else {
+        ASSERT_TRUE(owner.has_value());
+        EXPECT_EQ(owner->id, it->first);
+        EXPECT_EQ(owner->addr, it->second);
+      }
+    }
+  };
+
+  NodeAddr next_addr = 1;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t id = rng.NextU64();
+      if (model.emplace(id, next_addr).second) {
+        index.Insert(id, next_addr);
+        ++next_addr;
+      }
+    }
+    // Erase a random third of the population.
+    std::vector<uint64_t> ids;
+    ids.reserve(model.size());
+    for (const auto& [id, addr] : model) ids.push_back(id);
+    for (size_t i = 0; i < ids.size() / 3; ++i) {
+      const uint64_t victim = ids[rng.UniformU64(ids.size())];
+      EXPECT_EQ(index.Erase(victim), model.erase(victim) > 0);
+      EXPECT_FALSE(index.Contains(victim));
+    }
+    check_equivalent();
+  }
+}
+
+TEST(RingIndexTest, SegmentGranularInvalidation) {
+  // Ids pinned to known segments: shard = id >> 56.
+  const auto in_shard = [](uint64_t shard, uint64_t low) {
+    return (shard << 56) | low;
+  };
+  RingIndex index;
+  for (uint64_t s : {0ull, 3ull, 128ull, 255ull}) {
+    index.Insert(in_shard(s, 10), static_cast<NodeAddr>(s + 1));
+    index.Insert(in_shard(s, 20), static_cast<NodeAddr>(s + 100));
+  }
+
+  index.Flat();
+  const RingIndex::CacheStats s0 = index.cache_stats();
+  EXPECT_EQ(s0.flat_rebuilds, 1u);
+  EXPECT_EQ(s0.flat_full_rebuilds, 1u);
+  EXPECT_EQ(s0.flat_shards_copied, 4u);  // only non-empty shards copy
+
+  // Clean cache: repeated reads are hits, no copying.
+  index.Flat();
+  index.FlatAddrs();
+  const RingIndex::CacheStats s1 = index.cache_stats();
+  EXPECT_EQ(s1.flat_hits, s0.flat_hits + 2);
+  EXPECT_EQ(s1.flat_rebuilds, 1u);
+
+  // Dirtying the LAST shard re-copies only that shard's span.
+  index.Insert(in_shard(255, 30), 999);
+  index.Flat();
+  const RingIndex::CacheStats s2 = index.cache_stats();
+  EXPECT_EQ(s2.flat_rebuilds, 2u);
+  EXPECT_EQ(s2.flat_full_rebuilds, 1u);  // NOT a full rebuild
+  EXPECT_EQ(s2.flat_shards_copied, s1.flat_shards_copied + 1);
+
+  // Dirtying shard 0 degrades to the full re-copy (the old behavior,
+  // now the worst case instead of the only case).
+  index.Insert(in_shard(0, 30), 998);
+  index.Flat();
+  const RingIndex::CacheStats s3 = index.cache_stats();
+  EXPECT_EQ(s3.flat_full_rebuilds, 2u);
+  EXPECT_EQ(s3.flat_shards_copied, s2.flat_shards_copied + 4);
+
+  // Rank access never needs the flat snapshot: dirty the index, then
+  // AtRank — no rebuild happens until the next Flat().
+  index.Insert(in_shard(128, 30), 997);
+  EXPECT_EQ(index.AtRank(2).addr, 998u);  // shard-0 entries: 10, 20, 30
+  const RingIndex::CacheStats s4 = index.cache_stats();
+  EXPECT_EQ(s4.flat_rebuilds, s3.flat_rebuilds);
+  EXPECT_EQ(s4.shard_invalidations, 11u);  // one per Insert/Erase
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity of the rewritten hot paths vs the legacy map layout.
+
+struct NodeRouting {
+  bool alive = false;
+  std::vector<NodeEntry> successors;
+  NodeEntry predecessor;
+  std::vector<std::optional<NodeEntry>> fingers;
+
+  bool operator==(const NodeRouting&) const = default;
+};
+
+struct Deployment {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<ChordRing> ring;
+  NodeAddr max_addr = 0;
+};
+
+/// Deterministic churned ring: crashes and graceful leaves interleaved
+/// with joins, leaving dead nodes and not-yet-stabilized neighbors.
+Deployment BuildChurnedRing(size_t peers, uint64_t ring_seed) {
+  Deployment d;
+  d.net = std::make_unique<Network>();
+  RingOptions opts;
+  opts.seed = ring_seed;
+  d.ring = std::make_unique<ChordRing>(d.net.get(), opts);
+  EXPECT_TRUE(d.ring->CreateNetwork(peers).ok());
+  d.max_addr = peers;
+
+  Rng churn(171717);
+  for (int i = 0; i < 20; ++i) {
+    const auto alive = d.ring->AliveAddrs();
+    if (churn.Bernoulli(0.5)) {
+      EXPECT_TRUE(d.ring->Crash(alive[churn.UniformU64(alive.size())]).ok());
+    } else {
+      EXPECT_TRUE(d.ring->Leave(alive[churn.UniformU64(alive.size())]).ok());
+    }
+    if (i % 2 == 0) {
+      const auto alive2 = d.ring->AliveAddrs();
+      auto added = d.ring->Join(alive2[churn.UniformU64(alive2.size())]);
+      EXPECT_TRUE(added.ok());
+      d.max_addr = std::max(d.max_addr, *added);
+    }
+  }
+  return d;
+}
+
+std::map<NodeAddr, NodeRouting> CaptureRouting(const Deployment& d) {
+  std::map<NodeAddr, NodeRouting> out;
+  for (NodeAddr a = 1; a <= d.max_addr; ++a) {
+    const Node* node = d.ring->GetNode(a);
+    if (node == nullptr) {
+      ADD_FAILURE() << "missing node at addr " << a;
+      continue;
+    }
+    NodeRouting r;
+    r.alive = node->alive();
+    r.successors = node->successors();
+    r.predecessor = node->predecessor();
+    r.fingers.reserve(FingerTable::kBits);
+    for (int k = 0; k < FingerTable::kBits; ++k) {
+      r.fingers.push_back(node->fingers().Get(k));
+    }
+    out[a] = std::move(r);
+  }
+  return out;
+}
+
+void ExpectSameRouting(const std::map<NodeAddr, NodeRouting>& got,
+                       const std::map<NodeAddr, NodeRouting>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [addr, want_r] : want) {
+    const auto it = got.find(addr);
+    ASSERT_NE(it, got.end()) << "addr " << addr;
+    EXPECT_EQ(it->second, want_r) << "routing state differs at addr " << addr;
+  }
+}
+
+class SoaIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SoaIdentityTest, StabilizeAllMatchesLegacyMapWalk) {
+  const size_t workers = GetParam();
+  const size_t peers = 600;  // > one 512-node chunk after churn
+  const uint64_t seed = 29;
+
+  // Reference: the independent per-node map-walk formulation over the
+  // legacy layout (no code shared with the struct-of-arrays sweep).
+  Deployment legacy = BuildChurnedRing(peers, seed);
+  const LegacyMembership mirror = MirrorMembership(*legacy.ring);
+  ReferenceStabilizeAllMapWalk(mirror,
+                               legacy.ring->options().successor_list_size);
+  const auto want = CaptureRouting(legacy);
+
+  Deployment soa = BuildChurnedRing(peers, seed);
+  ThreadPool pool(workers);
+  soa.ring->StabilizeAll(&pool);
+  ExpectSameRouting(CaptureRouting(soa), want);
+}
+
+TEST_P(SoaIdentityTest, LookupsMatchAcrossLayoutsAfterStabilize) {
+  const size_t workers = GetParam();
+  const uint64_t seed = 31;
+
+  Deployment legacy = BuildChurnedRing(400, seed);
+  const LegacyMembership mirror = MirrorMembership(*legacy.ring);
+  ReferenceStabilizeAllMapWalk(mirror,
+                               legacy.ring->options().successor_list_size);
+
+  Deployment soa = BuildChurnedRing(400, seed);
+  ThreadPool pool(workers);
+  soa.ring->StabilizeAll(&pool);
+  soa.ring->PrepareConcurrentReads();
+  legacy.ring->PrepareConcurrentReads();
+
+  Rng qrng(555);
+  for (int q = 0; q < 200; ++q) {
+    const Result<NodeAddr> from_a = soa.ring->RandomAliveNode(qrng);
+    ASSERT_TRUE(from_a.ok());
+    const RingId target(qrng.NextU64());
+    CostContext ctx_a = soa.net->MakeQueryContext(static_cast<uint64_t>(q));
+    CostContext ctx_b = legacy.net->MakeQueryContext(static_cast<uint64_t>(q));
+    const Result<NodeAddr> owner_a = soa.ring->Lookup(ctx_a, *from_a, target);
+    const Result<NodeAddr> owner_b =
+        legacy.ring->Lookup(ctx_b, *from_a, target);
+    ASSERT_EQ(owner_a.ok(), owner_b.ok()) << "query " << q;
+    if (owner_a.ok()) EXPECT_EQ(*owner_a, *owner_b) << "query " << q;
+    EXPECT_EQ(ctx_a.counters.hops, ctx_b.counters.hops) << "query " << q;
+    EXPECT_EQ(ctx_a.counters.messages, ctx_b.counters.messages)
+        << "query " << q;
+    EXPECT_EQ(ctx_a.counters.bytes, ctx_b.counters.bytes) << "query " << q;
+  }
+}
+
+// Worker counts 0/3/15 = thread counts 1/4/16 (the caller participates).
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SoaIdentityTest,
+                         ::testing::Values<size_t>(0, 3, 15));
+
+// ---------------------------------------------------------------------------
+// Bulk dataset loads.
+
+std::vector<double> MakeKeys(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys(count);
+  for (double& k : keys) k = rng.UniformDouble();
+  return keys;
+}
+
+void ExpectSameStores(const Deployment& a, const Deployment& b) {
+  ASSERT_EQ(a.max_addr, b.max_addr);
+  for (NodeAddr addr = 1; addr <= a.max_addr; ++addr) {
+    const Node* na = a.ring->GetNode(addr);
+    const Node* nb = b.ring->GetNode(addr);
+    ASSERT_NE(na, nullptr);
+    ASSERT_NE(nb, nullptr);
+    EXPECT_EQ(na->keys(), nb->keys()) << "store differs at addr " << addr;
+  }
+}
+
+Deployment BuildPlainRing(size_t peers, uint64_t seed) {
+  Deployment d;
+  d.net = std::make_unique<Network>();
+  RingOptions opts;
+  opts.seed = seed;
+  d.ring = std::make_unique<ChordRing>(d.net.get(), opts);
+  EXPECT_TRUE(d.ring->CreateNetwork(peers).ok());
+  d.max_addr = peers;
+  return d;
+}
+
+TEST(InsertDatasetBulkTest, MatchesPerKeyInsertAtEveryThreadCount) {
+  const std::vector<double> keys = MakeKeys(5000, 808);
+
+  Deployment per_key = BuildPlainRing(300, 7);
+  for (double k : keys) ASSERT_TRUE(per_key.ring->InsertKeyBulk(k).ok());
+
+  for (size_t workers : {0u, 3u, 15u}) {
+    Deployment bulk = BuildPlainRing(300, 7);
+    ThreadPool pool(workers);
+    bulk.ring->InsertDatasetBulk(keys, &pool);
+    ExpectSameStores(bulk, per_key);
+    EXPECT_EQ(bulk.ring->TotalItems(), keys.size());
+  }
+}
+
+TEST(InsertDatasetBulkTest, OutOfRangeKeysTakeTheWrapFallback) {
+  // Keys outside [0,1) reduce mod 1 on the ring, which breaks the sorted
+  // merge-sweep's monotonicity; the bulk loader must detect this and fall
+  // back to the cursor sweep, matching per-key placement exactly.
+  std::vector<double> keys = MakeKeys(500, 909);
+  keys.push_back(1.25);   // wraps to 0.25
+  keys.push_back(2.75);   // wraps to 0.75
+  keys.push_back(-0.25);  // wraps to 0.75
+  keys.push_back(0.999999);
+
+  Deployment per_key = BuildPlainRing(64, 9);
+  for (double k : keys) ASSERT_TRUE(per_key.ring->InsertKeyBulk(k).ok());
+
+  Deployment bulk = BuildPlainRing(64, 9);
+  bulk.ring->InsertDatasetBulk(keys);
+  ExpectSameStores(bulk, per_key);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end estimates across layouts (fault-free and fault-injected).
+
+void ExpectSameResult(const RepeatedResult& a, const RepeatedResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.accuracy.ks, b.accuracy.ks) << what;
+  EXPECT_EQ(a.accuracy.l1_cdf, b.accuracy.l1_cdf) << what;
+  EXPECT_EQ(a.accuracy.l2_cdf, b.accuracy.l2_cdf) << what;
+  EXPECT_EQ(a.accuracy.l1_pdf, b.accuracy.l1_pdf) << what;
+  EXPECT_EQ(a.mean_messages, b.mean_messages) << what;
+  EXPECT_EQ(a.mean_hops, b.mean_hops) << what;
+  EXPECT_EQ(a.mean_bytes, b.mean_bytes) << what;
+  EXPECT_EQ(a.mean_total_error, b.mean_total_error) << what;
+  EXPECT_EQ(a.mean_peers, b.mean_peers) << what;
+}
+
+std::unique_ptr<Env> BuildEstimateEnv(const FaultOptions* faults) {
+  auto env = std::make_unique<Env>();
+  NetworkOptions nopts;
+  if (faults != nullptr) {
+    nopts.faults = std::make_shared<FaultInjector>(*faults);
+  }
+  env->net = std::make_unique<Network>(nopts);
+  RingOptions ropts;
+  ropts.seed = 83;
+  env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+  EXPECT_TRUE(env->ring->CreateNetwork(128).ok());
+  env->dist = std::make_unique<UniformDistribution>();
+  env->items = 6000;
+  env->peers = 128;
+  env->seed = 83;
+  Rng rng(83 ^ 0xDA7A);
+  env->ring->InsertDatasetBulk(
+      GenerateDataset(*env->dist, env->items, rng).keys);
+  return env;
+}
+
+void RunEstimateIdentity(const FaultOptions* faults, const char* what) {
+  DdeOptions opts;
+  opts.num_probes = 48;
+  if (faults != nullptr) opts.retry.max_attempts = 3;
+  constexpr int kReps = 4;
+  constexpr uint64_t kSeedBase = 6100;
+
+  // Legacy layout path: converge via the map-walk reference.
+  auto env_legacy = BuildEstimateEnv(faults);
+  const LegacyMembership mirror = MirrorMembership(*env_legacy->ring);
+  ReferenceStabilizeAllMapWalk(mirror,
+                               env_legacy->ring->options().successor_list_size);
+  env_legacy->ring->PrepareConcurrentReads();
+  ThreadPool serial(0);
+  const RepeatedResult want =
+      RepeatDde(*env_legacy, opts, kReps, kSeedBase, &serial);
+
+  // SoA path: converge via the parallel struct-of-arrays sweep at 1/4/16
+  // threads; every estimate must be bitwise equal to the legacy run.
+  for (size_t workers : {0u, 3u, 15u}) {
+    auto env = BuildEstimateEnv(faults);
+    ThreadPool pool(workers);
+    env->ring->StabilizeAll(&pool);
+    env->ring->PrepareConcurrentReads();
+    const RepeatedResult got = RepeatDde(*env, opts, kReps, kSeedBase, &pool);
+    ExpectSameResult(got, want, what);
+  }
+}
+
+TEST(SoaEstimateTest, EstimatesMatchLegacyLayout) {
+  RunEstimateIdentity(nullptr, "fault-free");
+}
+
+TEST(SoaEstimateTest, FaultInjectedEstimatesMatchLegacyLayout) {
+  FaultOptions faults;
+  faults.drop_probability = 0.05;
+  faults.seed = 0xE18;
+  RunEstimateIdentity(&faults, "fault-injected");
+}
+
+}  // namespace
+}  // namespace ringdde

@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdarg>
 #include <cstdlib>
 #include <map>
@@ -9,8 +11,6 @@ namespace ringdde::bench {
 
 namespace {
 std::atomic<uint64_t> g_replicate_calls{0};
-std::atomic<uint64_t> g_deployment_cache_hits{0};
-std::atomic<uint64_t> g_deployment_cache_misses{0};
 
 // The deployment cache is sharded by recipe-key hash: builds of *different*
 // recipes proceed concurrently (each holds only its shard's lock for the
@@ -22,6 +22,13 @@ constexpr size_t kDeployCacheShards = 16;
 struct DeployCacheShard {
   std::mutex mu;
   std::map<std::string, std::shared_ptr<Env>> cache;
+  // Telemetry lives beside the entry map, guarded by the same mutex every
+  // touch already holds: clearing or evicting entries never discards the
+  // shard's history, so the aggregate counters are monotone process-wide.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
 };
 
 DeployCacheShard* DeployCacheShards() {
@@ -36,8 +43,37 @@ DeployCacheShard& DeploymentCacheShard(const std::string& key) {
 }  // namespace
 
 uint64_t ReplicateCalls() { return g_replicate_calls.load(); }
-uint64_t DeploymentCacheHits() { return g_deployment_cache_hits.load(); }
-uint64_t DeploymentCacheMisses() { return g_deployment_cache_misses.load(); }
+
+DeploymentCacheStats AggregateDeploymentCacheStats() {
+  DeploymentCacheStats out;
+  DeployCacheShard* shards = DeployCacheShards();
+  for (size_t i = 0; i < kDeployCacheShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards[i].mu);
+    out.hits += shards[i].hits;
+    out.misses += shards[i].misses;
+    out.insertions += shards[i].insertions;
+    out.evictions += shards[i].evictions;
+    out.entries += shards[i].cache.size();
+  }
+  return out;
+}
+
+void ReportDeploymentCacheCounters() {
+  const DeploymentCacheStats s = AggregateDeploymentCacheStats();
+  BenchReporter& r = BenchReporter::Global();
+  r.RecordCounter("deployment_cache_hits", static_cast<double>(s.hits));
+  r.RecordCounter("deployment_cache_misses", static_cast<double>(s.misses));
+  r.RecordCounter("deployment_cache_insertions",
+                  static_cast<double>(s.insertions));
+  r.RecordCounter("deployment_cache_evictions",
+                  static_cast<double>(s.evictions));
+  r.RecordCounter("deployment_cache_entries", static_cast<double>(s.entries));
+}
+
+uint64_t DeploymentCacheHits() { return AggregateDeploymentCacheStats().hits; }
+uint64_t DeploymentCacheMisses() {
+  return AggregateDeploymentCacheStats().misses;
+}
 
 std::unique_ptr<Env> BuildEnv(size_t n, std::unique_ptr<Distribution> dist,
                               size_t items, uint64_t seed) {
@@ -80,15 +116,16 @@ std::shared_ptr<Env> CachedDeployment(size_t n, const Distribution& dist,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.cache.find(key);
   if (it != shard.cache.end()) {
-    g_deployment_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    ++shard.hits;
     return it->second;
   }
-  g_deployment_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  ++shard.misses;
   std::shared_ptr<Env> env = BuildEnv(n, dist.Clone(), items, seed);
   // Shared deployments serve concurrent read-only queries; warm the lazy
   // caches now so no reader ever writes.
   env->ring->PrepareConcurrentReads();
   shard.cache.emplace(key, env);
+  ++shard.insertions;
   return env;
 }
 
@@ -96,6 +133,7 @@ void ClearDeploymentCache() {
   DeployCacheShard* shards = DeployCacheShards();
   for (size_t i = 0; i < kDeployCacheShards; ++i) {
     std::lock_guard<std::mutex> lock(shards[i].mu);
+    shards[i].evictions += shards[i].cache.size();
     shards[i].cache.clear();
   }
 }
@@ -167,6 +205,33 @@ DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed) {
   return std::move(*est);
 }
 
+DensityEstimate RunDdeEpoch(const EpochView& view, const DdeOptions& options,
+                            uint64_t seed) {
+  // Mirrors RunDde step for step (same seed derivations, same reporting),
+  // with every ring read resolved against the pinned epoch.
+  DdeOptions opts = options;
+  opts.seed = seed;
+  DistributionFreeEstimator estimator(&view, opts);
+  Rng rng(seed ^ 0x5EED);
+  Result<NodeAddr> querier = view.RandomAliveNode(rng);
+  if (!querier.ok()) {
+    std::fprintf(stderr, "no alive querier\n");
+    std::abort();
+  }
+  Result<DensityEstimate> est = estimator.Estimate(*querier);
+  if (!est.ok()) {
+    std::fprintf(stderr, "estimate failed: %s\n",
+                 est.status().ToString().c_str());
+    std::abort();
+  }
+  BenchReporter::Global().AddCost(est->cost.messages, est->cost.bytes);
+  if (est->failed_probes != 0 || est->retries != 0 || est->timeouts != 0) {
+    BenchReporter::Global().AddFailureStats(est->failed_probes, est->retries,
+                                            est->timeouts);
+  }
+  return std::move(*est);
+}
+
 namespace {
 
 /// Everything RepeatDde needs from one trial, gathered before reduction.
@@ -184,6 +249,24 @@ TrialOutcome RunTrial(Env& env, const DdeOptions& options, uint64_t seed) {
   out.cost = e.cost;
   out.peers_probed = e.peers_probed;
   const double n_true = static_cast<double>(env.ring->TotalItems());
+  if (n_true > 0) {
+    out.total_error = std::abs(e.estimated_total_items - n_true) / n_true;
+  }
+  return out;
+}
+
+/// RunTrial against a pinned epoch: accuracy is still scored against the
+/// env's ground-truth distribution, but the population total the count
+/// error normalizes by is the VIEW's (what the frozen epoch held), so the
+/// score stays a pure function of (view, seed) under concurrent mutation.
+TrialOutcome RunTrialEpoch(Env& env, const EpochView& view,
+                           const DdeOptions& options, uint64_t seed) {
+  TrialOutcome out;
+  const DensityEstimate e = RunDdeEpoch(view, options, seed);
+  out.accuracy = CompareCdfToTruth(e.cdf, *env.dist);
+  out.cost = e.cost;
+  out.peers_probed = e.peers_probed;
+  const double n_true = static_cast<double>(view.total_items());
   if (n_true > 0) {
     out.total_error = std::abs(e.estimated_total_items - n_true) / n_true;
   }
@@ -248,6 +331,28 @@ RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
   return ReduceTrials(trials);
 }
 
+RepeatedResult RepeatDdeEpoch(Env& env, const EpochView& view,
+                              DdeOptions options, int reps,
+                              uint64_t seed_base, ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  std::vector<TrialOutcome> trials(static_cast<size_t>(reps));
+  if (p.worker_count() == 0 || reps <= 1 || ThreadPool::InWorker()) {
+    for (int r = 0; r < reps; ++r) {
+      trials[static_cast<size_t>(r)] =
+          RunTrialEpoch(env, view, options, TrialSeed(seed_base, r));
+    }
+  } else {
+    // Unlike RepeatDde's shared-snapshot path, no PrepareConcurrentReads
+    // warm-up is needed: trials touch only the immutable view (plus the
+    // network's atomics), never lazy live-ring caches.
+    p.ParallelFor(0, static_cast<size_t>(reps), [&](size_t r) {
+      trials[r] = RunTrialEpoch(env, view, options,
+                                TrialSeed(seed_base, static_cast<int>(r)));
+    });
+  }
+  return ReduceTrials(trials);
+}
+
 RepeatedResult RepeatDdeReplicated(Env& env, DdeOptions options, int reps,
                                    uint64_t seed_base, ThreadPool* pool) {
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
@@ -297,6 +402,133 @@ Env& RowEnv(Env& base, std::unique_ptr<Env>& storage) {
   if (ThreadPool::Global().worker_count() == 0) return base;
   storage = base.Replicate();
   return *storage;
+}
+
+ServingEngine::ServingEngine(SnapshotManager* manager, Options options)
+    : manager_(manager), options_(std::move(options)) {}
+
+ServingEngine::~ServingEngine() {
+  if (!workers_.empty()) Stop();
+}
+
+void ServingEngine::Start() {
+  stop_.store(false, std::memory_order_release);
+  logs_.assign(static_cast<size_t>(options_.threads), WorkerLog{});
+  completed_.clear();
+  for (int t = 0; t < options_.threads; ++t) {
+    completed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  started_ = std::chrono::steady_clock::now();
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    WorkerLog* log = &logs_[static_cast<size_t>(t)];
+    std::atomic<uint64_t>* completed = completed_[static_cast<size_t>(t)].get();
+    workers_.emplace_back(
+        [this, log, completed] { WorkerLoop(log, completed); });
+  }
+}
+
+std::vector<uint64_t> ServingEngine::Completions() const {
+  std::vector<uint64_t> out;
+  out.reserve(completed_.size());
+  for (const auto& c : completed_) {
+    out.push_back(c->load(std::memory_order_acquire));
+  }
+  return out;
+}
+
+void ServingEngine::WorkerLoop(WorkerLog* log,
+                               std::atomic<uint64_t>* completed) {
+  // Pin once, then serve every query against the same pin until the head
+  // sequence reports a newer epoch: probe scheduling is batched per epoch
+  // (one lock-free atomic load per query), not re-pinned per trial.
+  std::shared_ptr<const EpochView> view = manager_->Current();
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (manager_->head_sequence() != view->sequence()) {
+      view = manager_->Current();
+    }
+    const uint64_t i =
+        query_counter_.fetch_add(1, std::memory_order_relaxed);
+    const size_t cycle = static_cast<size_t>(i % options_.seed_cycle);
+    const uint64_t seed = TrialSeed(options_.seed_base,
+                                    static_cast<int>(cycle));
+    const auto t0 = std::chrono::steady_clock::now();
+
+    DdeOptions opts = options_.dde;
+    opts.seed = seed;
+    DistributionFreeEstimator estimator(view.get(), opts);
+    Rng rng(seed ^ 0x5EED);
+    Result<NodeAddr> querier = view->RandomAliveNode(rng);
+    if (!querier.ok()) {
+      ++log->failed;
+      completed->fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    Result<DensityEstimate> est = estimator.Estimate(*querier);
+    if (!est.ok()) {
+      ++log->failed;
+      completed->fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // Staleness at COMPLETION: how many publishes the head advanced past
+    // the epoch this answer was computed from.
+    const uint64_t head = manager_->head_sequence();
+    log->staleness.push_back(
+        static_cast<uint32_t>(head - view->sequence()));
+    log->query_seconds_sum +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (options_.oracle_cdfs != nullptr) {
+      log->ks_sum += SupDistanceCdf(
+          est->cdf, (*options_.oracle_cdfs)[cycle], 0.0, 1.0);
+    }
+    ++log->count;
+    completed->fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+ServingEngine::Stats ServingEngine::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  Stats s;
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  std::vector<uint32_t> staleness;
+  double ks_sum = 0.0;
+  double query_seconds_sum = 0.0;
+  for (const WorkerLog& log : logs_) {
+    s.estimates += log.count;
+    s.failed += log.failed;
+    ks_sum += log.ks_sum;
+    query_seconds_sum += log.query_seconds_sum;
+    staleness.insert(staleness.end(), log.staleness.begin(),
+                     log.staleness.end());
+  }
+  if (s.wall_seconds > 0.0) {
+    s.estimates_per_sec = static_cast<double>(s.estimates) / s.wall_seconds;
+  }
+  if (!staleness.empty()) {
+    std::sort(staleness.begin(), staleness.end());
+    const auto nearest_rank = [&](double p) {
+      const size_t idx = std::min(
+          staleness.size() - 1,
+          static_cast<size_t>(p * static_cast<double>(staleness.size())));
+      return static_cast<double>(staleness[idx]);
+    };
+    s.staleness_p50 = nearest_rank(0.50);
+    s.staleness_p99 = nearest_rank(0.99);
+    s.staleness_max = static_cast<double>(staleness.back());
+  }
+  if (s.estimates > 0) {
+    s.mean_ks_vs_oracle = ks_sum / static_cast<double>(s.estimates);
+    s.mean_query_seconds =
+        query_seconds_sum / static_cast<double>(s.estimates);
+  }
+  return s;
 }
 
 bool SmokeMode() {

@@ -1,11 +1,14 @@
 #ifndef RINGDDE_BENCH_BENCH_UTIL_H_
 #define RINGDDE_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_reporter.h"
@@ -14,6 +17,7 @@
 #include "data/dataset.h"
 #include "data/distribution.h"
 #include "ring/chord_ring.h"
+#include "ring/epoch_snapshot.h"
 #include "sim/network.h"
 #include "stats/metrics.h"
 
@@ -61,10 +65,31 @@ uint64_t ReplicateCalls();
 std::shared_ptr<Env> CachedDeployment(size_t n, const Distribution& dist,
                                       size_t items, uint64_t seed);
 
-/// Drops all cached deployments (frees memory between experiments).
+/// Drops all cached deployments (frees memory between experiments). The
+/// dropped entries count as evictions; their hit/miss history survives in
+/// the per-shard stats (see AggregateDeploymentCacheStats).
 void ClearDeploymentCache();
 
-/// Cache telemetry for BENCH_*.json counters.
+/// Aggregated telemetry of the 16-way sharded deployment cache: one
+/// counter set summed across every shard. Per-shard counters live beside
+/// (not inside) each shard's entry map, so evicting or clearing entries
+/// never loses history — the numbers are monotone over the process.
+struct DeploymentCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Deployments currently resident across all shards (not monotone).
+  uint64_t entries = 0;
+};
+DeploymentCacheStats AggregateDeploymentCacheStats();
+
+/// Records the aggregated cache stats as deployment_cache_* counters in
+/// BenchReporter::Global() — the single reported counter set every bench
+/// binary emits the same way.
+void ReportDeploymentCacheCounters();
+
+/// Cache telemetry for BENCH_*.json counters (aggregate across shards).
 uint64_t DeploymentCacheHits();
 uint64_t DeploymentCacheMisses();
 
@@ -130,6 +155,13 @@ class ReplicaPool {
 /// Aborts the process on failure (benchmarks run on healthy rings).
 DensityEstimate RunDde(Env& env, const DdeOptions& options, uint64_t seed);
 
+/// As RunDde, but the whole query (querier selection, routing, summaries)
+/// runs against the pinned epoch `view` instead of live ring state. Same
+/// seed schedule, same reporting; bit-identical to RunDde on a quiescent
+/// ring.
+DensityEstimate RunDdeEpoch(const EpochView& view, const DdeOptions& options,
+                            uint64_t seed);
+
 /// Mean accuracy and cost of `reps` independent DDE runs.
 struct RepeatedResult {
   AccuracyReport accuracy;
@@ -152,6 +184,16 @@ struct RepeatedResult {
 RepeatedResult RepeatDde(Env& env, DdeOptions options, int reps,
                          uint64_t seed_base, ThreadPool* pool = nullptr);
 
+/// RepeatDde over a pinned epoch view: every trial (serial or parallel)
+/// resolves routing/liveness/summaries against `view`; `env` supplies only
+/// the ground-truth distribution for accuracy scoring. Same seed schedule
+/// and trial-order reduction as RepeatDde, so on a quiescent ring the
+/// result is bit-identical to RepeatDde at every thread count — the gate
+/// the epoch tests and e19 assert before serving under live churn.
+RepeatedResult RepeatDdeEpoch(Env& env, const EpochView& view,
+                              DdeOptions options, int reps,
+                              uint64_t seed_base, ThreadPool* pool = nullptr);
+
 /// The pre-shared-snapshot trial engine: every parallel trial rebuilds a
 /// private Env replica. Kept as the bit-identity reference (the
 /// concurrency tests pin RepeatDde == RepeatDdeReplicated) and as the
@@ -171,6 +213,87 @@ RepeatedResult RepeatDdeMutating(ReplicaPool& pool_of_replicas,
                                  uint64_t seed_base,
                                  const std::function<void(Env&, int)>& prepare,
                                  ThreadPool* pool = nullptr);
+
+/// Sustained estimate serving over rotating epoch snapshots: a fixed crew
+/// of reader threads drains queries against the SnapshotManager's head
+/// epoch while the CALLER's thread keeps mutating the ring (churn, data
+/// updates) and publishing new epochs.
+///
+/// Probe scheduling is pipelined per epoch rather than per trial: a reader
+/// pins one view and issues every query (each with its own CostContext and
+/// seed) against that same pin until head_sequence() reports a newer
+/// epoch — one atomic load per query, no lock, no re-pin churn. Staleness
+/// is measured per finished estimate as head_sequence() minus the pinned
+/// view's sequence at completion; an optional per-seed oracle CDF set
+/// (estimates of the initial frozen epoch) yields KS-vs-oracle drift.
+class ServingEngine {
+ public:
+  struct Options {
+    DdeOptions dde;
+    /// Reader threads to spawn (>= 1).
+    int threads = 1;
+    /// Per-query seeds follow the RepeatDde trial schedule, cycling over
+    /// `seed_cycle` indices so each query seed has a precomputable oracle.
+    uint64_t seed_base = 0;
+    size_t seed_cycle = 16;
+    /// Oracle CDFs parallel to the seed cycle (oracle_cdfs[i] pairs with
+    /// seed index i). Null disables KS tracking.
+    const std::vector<PiecewiseLinearCdf>* oracle_cdfs = nullptr;
+  };
+
+  struct Stats {
+    uint64_t estimates = 0;
+    uint64_t failed = 0;
+    double wall_seconds = 0.0;
+    double estimates_per_sec = 0.0;
+    double staleness_p50 = 0.0;
+    double staleness_p99 = 0.0;
+    double staleness_max = 0.0;
+    /// Mean KS distance of served estimates vs their seed's oracle (0 when
+    /// no oracle set was supplied).
+    double mean_ks_vs_oracle = 0.0;
+    /// Mean wall-clock seconds per estimate (pacing input for publishers).
+    double mean_query_seconds = 0.0;
+  };
+
+  /// The manager must outlive the engine; Start()..Stop() brackets the
+  /// serving window. The caller thread remains the mutator/publisher.
+  ServingEngine(SnapshotManager* manager, Options options);
+  ~ServingEngine();
+
+  /// Spawns the reader crew (requires a published head epoch).
+  void Start();
+
+  /// Signals the crew, joins it, and reduces the per-thread logs.
+  Stats Stop();
+
+  /// Per-worker completed-query counters (successful or failed), one slot
+  /// per thread. The publisher samples these to pace rotation against
+  /// actual drain progress: waiting until every worker advanced past its
+  /// pre-publish mark bounds reader staleness even when the crew
+  /// oversubscribes the machine and threads stall mid-query.
+  std::vector<uint64_t> Completions() const;
+
+ private:
+  struct WorkerLog {
+    std::vector<uint32_t> staleness;
+    double ks_sum = 0.0;
+    double query_seconds_sum = 0.0;
+    uint64_t count = 0;
+    uint64_t failed = 0;
+  };
+  void WorkerLoop(WorkerLog* log, std::atomic<uint64_t>* completed);
+
+  SnapshotManager* manager_;
+  Options options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> query_counter_{0};
+  std::vector<std::thread> workers_;
+  std::vector<WorkerLog> logs_;
+  /// unique_ptr per slot: atomics are not movable, logs_ may reallocate.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> completed_;
+  std::chrono::steady_clock::time_point started_;
+};
 
 /// Runs `count` independent row tasks — `fn(row_index) -> RowT` — on the
 /// pool and returns the results in row order. Row tasks must not share

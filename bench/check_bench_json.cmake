@@ -61,5 +61,19 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The live-serving experiment must report the epoch engine's serving
+  # contract: sustained throughput, the staleness percentiles (the
+  # freshness side of the staleness-vs-error trade), and the KS drift
+  # against the frozen-ring oracle.
+  if(report MATCHES "BENCH_e19_live_serving\\.json$")
+    foreach(key estimates_per_sec staleness_epochs_p50 staleness_epochs_p99
+                ks_vs_oracle)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

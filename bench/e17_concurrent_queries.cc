@@ -128,10 +128,7 @@ void Run() {
                                         shared_eps_best);
   BenchReporter::Global().RecordCounter("estimates_per_sec_replica",
                                         replica_eps_best);
-  BenchReporter::Global().RecordCounter("deployment_cache_hits",
-                                        DeploymentCacheHits());
-  BenchReporter::Global().RecordCounter("deployment_cache_misses",
-                                        DeploymentCacheMisses());
+  ReportDeploymentCacheCounters();
 }
 
 }  // namespace

@@ -40,6 +40,26 @@ DistributionFreeEstimator::DistributionFreeEstimator(ChordRing* ring,
   assert(options_.refinement_rounds >= 1);
 }
 
+DistributionFreeEstimator::DistributionFreeEstimator(const EpochView* view,
+                                                     DdeOptions options)
+    : ring_(nullptr),
+      view_(view),
+      options_(options),
+      prober_(view, ProbeOptions{options.local_quantiles,
+                                 options.resolve_covered_locally,
+                                 options.use_sketch_summaries,
+                                 options.sketch_epsilon, options.retry}),
+      rng_(options.seed),
+      ctx_(view->network().MakeQueryContext(options.seed)) {
+  assert(view != nullptr);
+  assert(options_.num_probes > 0);
+  assert(options_.refinement_rounds >= 1);
+  // Fault windows are judged at the epoch's publish instant: the verdict
+  // stream of a pinned query must not depend on how far a concurrent
+  // mutator has advanced the (mutator-owned) virtual clock.
+  ctx_.frozen_now = view->published_at();
+}
+
 Result<DensityEstimate> DistributionFreeEstimator::Estimate(
     NodeAddr querier) {
   std::vector<LocalSummary> summaries;
@@ -48,7 +68,7 @@ Result<DensityEstimate> DistributionFreeEstimator::Estimate(
 
 Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
     NodeAddr querier, const AdaptiveOptions& adaptive) {
-  if (!ring_->IsAlive(querier)) {
+  if (!QuerierAlive(querier)) {
     return Status::InvalidArgument("querier is not an alive peer");
   }
   assert(adaptive.batch_size > 0);
@@ -116,17 +136,17 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateAdaptive(
   estimate.failed_probes = prober_.failed_probes() - failed_before;
   estimate.retries = estimate.cost.retries;
   estimate.timeouts = estimate.cost.timeouts;
-  estimate.produced_at = ring_->network().Now();
+  estimate.produced_at = ProducedAt();
   // Fold this run's cost into the deployment-wide totals so shared-counter
   // observers still account for all traffic.
-  ring_->network().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
+  net().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
   return estimate;
 }
 
 Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
     NodeAddr querier, std::vector<LocalSummary>* carry_over,
     size_t fresh_probes) {
-  if (!ring_->IsAlive(querier)) {
+  if (!QuerierAlive(querier)) {
     return Status::InvalidArgument("querier is not an alive peer");
   }
   const CostCounters cost_before = ctx_.counters;
@@ -173,10 +193,10 @@ Result<DensityEstimate> DistributionFreeEstimator::EstimateWith(
   estimate.failed_probes = prober_.failed_probes() - failed_before;
   estimate.retries = estimate.cost.retries;
   estimate.timeouts = estimate.cost.timeouts;
-  estimate.produced_at = ring_->network().Now();
+  estimate.produced_at = ProducedAt();
   // Fold this run's cost into the deployment-wide totals so shared-counter
   // observers still account for all traffic.
-  ring_->network().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
+  net().Accumulate(estimate.cost, ctx_.lost_messages - lost_before);
   return estimate;
 }
 

@@ -8,6 +8,7 @@
 #include "core/global_cdf.h"
 #include "core/probe.h"
 #include "ring/chord_ring.h"
+#include "ring/epoch_snapshot.h"
 #include "sim/counters.h"
 #include "stats/kde.h"
 #include "stats/piecewise_cdf.h"
@@ -140,6 +141,16 @@ class DistributionFreeEstimator {
  public:
   DistributionFreeEstimator(ChordRing* ring, DdeOptions options = {});
 
+  /// Epoch-pinned estimator: the whole protocol (routing, liveness,
+  /// summaries) reads the immutable `view`, so estimates are served while
+  /// mutators rewrite the live ring. The query's fault clock is frozen to
+  /// the view's publish time (CostContext::frozen_now) and produced_at
+  /// reports that same timestamp — a pinned query is a pure function of
+  /// (view, options.seed). The view must outlive the estimator. On a
+  /// quiescent ring, bit-identical to the live-ring constructor.
+  explicit DistributionFreeEstimator(const EpochView* view,
+                                     DdeOptions options = {});
+
   /// Runs the full protocol from `querier` (must be an alive peer).
   Result<DensityEstimate> Estimate(NodeAddr querier);
 
@@ -167,7 +178,25 @@ class DistributionFreeEstimator {
   const CostContext& context() const { return ctx_; }
 
  private:
+  /// True if `querier` can originate queries against this estimator's
+  /// state source (live liveness, or epoch membership).
+  bool QuerierAlive(NodeAddr querier) const {
+    return view_ != nullptr ? view_->IsAlive(querier)
+                            : ring_->IsAlive(querier);
+  }
+  Network& net() const {
+    return view_ != nullptr ? view_->network() : ring_->network();
+  }
+  /// The virtual timestamp an estimate reports: the epoch's publish time
+  /// in pinned mode (reading the live clock would race the mutator).
+  double ProducedAt() const {
+    return view_ != nullptr ? view_->published_at() : ring_->network().Now();
+  }
+
+  /// Null in epoch mode.
   ChordRing* ring_;
+  /// Null in live mode; the pinned epoch otherwise.
+  const EpochView* view_ = nullptr;
   DdeOptions options_;
   CdfProber prober_;
   Rng rng_;

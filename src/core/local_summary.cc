@@ -36,46 +36,11 @@ double LocalSummary::InterpolatedRank(double key) const {
 
 LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
                                          double sketch_epsilon) {
-  assert(num_quantiles >= 2);
-  LocalSummary s;
-  s.addr = node.addr();
-  s.arc_lo = node.predecessor().id;
-  s.arc_hi = node.id();
-  s.item_count = node.item_count();
-  if (s.item_count > 0) {
-    GkSketch sketch(sketch_epsilon);
-    sketch.AddAll(node.keys());
-    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
-    const double q1 = static_cast<double>(num_quantiles - 1);
-    double prev = -1e300;
-    for (int i = 0; i < num_quantiles; ++i) {
-      double q = sketch.Quantile(static_cast<double>(i) / q1);
-      // The sketch's per-query guarantees do not promise joint
-      // monotonicity; enforce it so InterpolatedRank stays well-defined.
-      q = std::max(q, prev);
-      prev = q;
-      s.quantiles.push_back(q);
-    }
-  }
-  return s;
+  return ComputeLocalSummarySketchedOf(node, num_quantiles, sketch_epsilon);
 }
 
 LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles) {
-  assert(num_quantiles >= 2);
-  LocalSummary s;
-  s.addr = node.addr();
-  s.arc_lo = node.predecessor().id;
-  s.arc_hi = node.id();
-  s.item_count = node.item_count();
-  if (s.item_count > 0) {
-    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
-    const double q1 = static_cast<double>(num_quantiles - 1);
-    for (int i = 0; i < num_quantiles; ++i) {
-      s.quantiles.push_back(
-          node.LocalQuantile(static_cast<double>(i) / q1));
-    }
-  }
-  return s;
+  return ComputeLocalSummaryOf(node, num_quantiles);
 }
 
 }  // namespace ringdde

@@ -1,11 +1,14 @@
 #ifndef RINGDDE_CORE_LOCAL_SUMMARY_H_
 #define RINGDDE_CORE_LOCAL_SUMMARY_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "common/id.h"
 #include "ring/node.h"
+#include "stats/gk_sketch.h"
 
 namespace ringdde {
 
@@ -45,15 +48,76 @@ struct LocalSummary {
 
 /// Computes the summary a peer would return to a probe, with `num_quantiles`
 /// local quantiles (exact order statistics).
-LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles);
+///
+/// Templated over the peer representation so the live Node and its frozen
+/// epoch capture (ring/epoch_snapshot.h) run the *same* arithmetic — the
+/// bit-identity of epoch-mode estimates against the live-snapshot engine
+/// rests on there being exactly one implementation of this math. `Peer`
+/// needs addr()/id()/predecessor()/item_count()/LocalQuantile(p)/keys().
+template <typename Peer>
+LocalSummary ComputeLocalSummaryOf(const Peer& node, int num_quantiles);
 
-/// As ComputeLocalSummary, but the quantiles are read from a Greenwald–
+/// As ComputeLocalSummaryOf, but the quantiles are read from a Greenwald–
 /// Khanna ε-sketch over the peer's keys instead of exact order statistics —
 /// modeling peers whose stores are too large (or too write-hot) to keep
 /// sorted, and bounding what sketch-only peers cost in estimate fidelity
 /// (ablation E11f). Rank error per quantile is ≤ ε·count.
+template <typename Peer>
+LocalSummary ComputeLocalSummarySketchedOf(const Peer& node, int num_quantiles,
+                                           double sketch_epsilon);
+
+/// The historical Node entry points (wrappers over the templates above).
+LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles);
 LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
                                          double sketch_epsilon);
+
+// --- Template definitions ---------------------------------------------------
+
+template <typename Peer>
+LocalSummary ComputeLocalSummaryOf(const Peer& node, int num_quantiles) {
+  assert(num_quantiles >= 2);
+  LocalSummary s;
+  s.addr = node.addr();
+  s.arc_lo = node.predecessor().id;
+  s.arc_hi = node.id();
+  s.item_count = node.item_count();
+  if (s.item_count > 0) {
+    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
+    const double q1 = static_cast<double>(num_quantiles - 1);
+    for (int i = 0; i < num_quantiles; ++i) {
+      s.quantiles.push_back(
+          node.LocalQuantile(static_cast<double>(i) / q1));
+    }
+  }
+  return s;
+}
+
+template <typename Peer>
+LocalSummary ComputeLocalSummarySketchedOf(const Peer& node, int num_quantiles,
+                                           double sketch_epsilon) {
+  assert(num_quantiles >= 2);
+  LocalSummary s;
+  s.addr = node.addr();
+  s.arc_lo = node.predecessor().id;
+  s.arc_hi = node.id();
+  s.item_count = node.item_count();
+  if (s.item_count > 0) {
+    GkSketch sketch(sketch_epsilon);
+    sketch.AddAll(node.keys());
+    s.quantiles.reserve(static_cast<size_t>(num_quantiles));
+    const double q1 = static_cast<double>(num_quantiles - 1);
+    double prev = -1e300;
+    for (int i = 0; i < num_quantiles; ++i) {
+      double q = sketch.Quantile(static_cast<double>(i) / q1);
+      // The sketch's per-query guarantees do not promise joint
+      // monotonicity; enforce it so InterpolatedRank stays well-defined.
+      q = std::max(q, prev);
+      prev = q;
+      s.quantiles.push_back(q);
+    }
+  }
+  return s;
+}
 
 }  // namespace ringdde
 

@@ -57,6 +57,12 @@ CdfProber::CdfProber(ChordRing* ring, ProbeOptions options)
   assert(options_.num_quantiles >= 2);
 }
 
+CdfProber::CdfProber(const EpochView* view, ProbeOptions options)
+    : ring_(nullptr), view_(view), options_(options) {
+  assert(view != nullptr);
+  assert(options_.num_quantiles >= 2);
+}
+
 namespace {
 
 /// Only transient failures are worth re-attempting; InvalidArgument (dead
@@ -69,27 +75,48 @@ bool IsTransient(const Status& s) {
 
 Result<LocalSummary> CdfProber::ProbeOnce(CostContext& ctx, NodeAddr querier,
                                           RingId target) {
-  Result<NodeAddr> owner = ring_->Lookup(ctx, querier, target);
-  if (!owner.ok()) return owner.status();
-  const Node* node =
-      static_cast<const ChordRing*>(ring_)->GetNode(*owner);
-  if (node == nullptr || !node->alive()) {
-    // The lookup's final answer went stale before we could contact it.
-    return Status::Unavailable("probed owner died");
+  // Resolve the owner and compute its summary against whichever state
+  // source this prober reads — the live ring, or an immutable epoch view.
+  // Both branches run the same lookup algorithm and the same summary
+  // arithmetic (ComputeLocalSummaryOf instantiated over Node respectively
+  // EpochNodeView), so on a quiescent ring they are bit-identical.
+  NodeAddr owner_addr = 0;
+  LocalSummary summary;
+  if (view_ != nullptr) {
+    Result<NodeAddr> owner = view_->Lookup(ctx, querier, target);
+    if (!owner.ok()) return owner.status();
+    const EpochNodeView* node = view_->ViewOf(*owner);
+    if (node == nullptr) {
+      return Status::Unavailable("probed owner died");
+    }
+    owner_addr = *owner;
+    summary = options_.use_sketch_summaries
+                  ? ComputeLocalSummarySketchedOf(*node, options_.num_quantiles,
+                                                  options_.sketch_epsilon)
+                  : ComputeLocalSummaryOf(*node, options_.num_quantiles);
+  } else {
+    Result<NodeAddr> owner = ring_->Lookup(ctx, querier, target);
+    if (!owner.ok()) return owner.status();
+    const Node* node =
+        static_cast<const ChordRing*>(ring_)->GetNode(*owner);
+    if (node == nullptr || !node->alive()) {
+      // The lookup's final answer went stale before we could contact it.
+      return Status::Unavailable("probed owner died");
+    }
+    owner_addr = *owner;
+    summary = options_.use_sketch_summaries
+                  ? ComputeLocalSummarySketched(*node, options_.num_quantiles,
+                                                options_.sketch_epsilon)
+                  : ComputeLocalSummary(*node, options_.num_quantiles);
   }
-  LocalSummary summary =
-      options_.use_sketch_summaries
-          ? ComputeLocalSummarySketched(*node, options_.num_quantiles,
-                                        options_.sketch_epsilon)
-          : ComputeLocalSummary(*node, options_.num_quantiles);
   // Summary request + response, charged at the response's REAL wire size.
   // Both legs are fallible: a fault-crashed owner or a dropped packet
   // surfaces here as a non-ok Result instead of free retransmission.
-  Result<double> req = ring_->network().TrySend(ctx, querier, *owner, 16,
-                                                /*hop_count=*/1);
+  Result<double> req = net().TrySend(ctx, querier, owner_addr, 16,
+                                     /*hop_count=*/1);
   if (!req.ok()) return req.status();
-  Result<double> resp = ring_->network().TrySend(
-      ctx, *owner, querier, EncodedSummarySize(summary), /*hop_count=*/0);
+  Result<double> resp = net().TrySend(
+      ctx, owner_addr, querier, EncodedSummarySize(summary), /*hop_count=*/0);
   if (!resp.ok()) return resp.status();
   return summary;
 }
@@ -109,8 +136,8 @@ Result<LocalSummary> CdfProber::Probe(CostContext& ctx, NodeAddr querier,
       }
       waited += backoff;
       ++retries_;
-      ring_->network().RecordRetry(ctx);
-      ring_->network().ChargeWait(ctx, backoff);
+      net().RecordRetry(ctx);
+      net().ChargeWait(ctx, backoff);
     }
     Result<LocalSummary> r = ProbeOnce(ctx, querier, target);
     if (r.ok()) return r;
@@ -118,7 +145,7 @@ Result<LocalSummary> CdfProber::Probe(CostContext& ctx, NodeAddr querier,
     if (!IsTransient(last)) break;
   }
   ++failed_probes_;
-  ring_->network().RecordFailedProbe(ctx);
+  net().RecordFailedProbe(ctx);
   return last;
 }
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/local_summary.h"
 #include "ring/chord_ring.h"
+#include "ring/epoch_snapshot.h"
 
 namespace ringdde {
 
@@ -90,12 +91,20 @@ class CdfProber {
  public:
   CdfProber(ChordRing* ring, ProbeOptions options = {});
 
+  /// Epoch-pinned prober: every lookup, liveness check, and summary read
+  /// resolves against the immutable `view` instead of live ring state, so
+  /// probing proceeds (lock-free) while mutators rewrite the ring. Cost
+  /// still lands in the caller's CostContext over the view's Network. The
+  /// view must outlive the prober (callers hold the pin). On a quiescent
+  /// ring this mode is bit-identical to the live-ring mode.
+  explicit CdfProber(const EpochView* view, ProbeOptions options = {});
+
   /// Probes the owner of `target` starting from `querier`, retrying
   /// transient failures per options().retry. Cost lands in `ctx`.
   Result<LocalSummary> Probe(CostContext& ctx, NodeAddr querier,
                              RingId target);
   Result<LocalSummary> Probe(NodeAddr querier, RingId target) {
-    return Probe(ring_->network().shared_context(), querier, target);
+    return Probe(net().shared_context(), querier, target);
   }
 
   /// Draws `m` ring positions uniformly at random and probes each; this is
@@ -106,7 +115,7 @@ class CdfProber {
                     std::vector<LocalSummary>* out);
   void ProbeUniform(NodeAddr querier, size_t m, Rng& rng,
                     std::vector<LocalSummary>* out) {
-    ProbeUniform(ring_->network().shared_context(), querier, m, rng, out);
+    ProbeUniform(net().shared_context(), querier, m, rng, out);
   }
 
   /// Probes the owners of explicit ring positions (used by the inversion-
@@ -116,7 +125,7 @@ class CdfProber {
                     std::vector<LocalSummary>* out);
   void ProbeTargets(NodeAddr querier, const std::vector<RingId>& targets,
                     std::vector<LocalSummary>* out) {
-    ProbeTargets(ring_->network().shared_context(), querier, targets, out);
+    ProbeTargets(net().shared_context(), querier, targets, out);
   }
 
   const ProbeOptions& options() const { return options_; }
@@ -134,7 +143,15 @@ class CdfProber {
   Result<LocalSummary> ProbeOnce(CostContext& ctx, NodeAddr querier,
                                  RingId target);
 
+  /// The message fabric of whichever state source this prober reads.
+  Network& net() const {
+    return view_ != nullptr ? view_->network() : ring_->network();
+  }
+
+  /// Null in epoch mode.
   ChordRing* ring_;
+  /// Null in live mode; the pinned epoch otherwise.
+  const EpochView* view_ = nullptr;
   ProbeOptions options_;
   uint64_t failed_probes_ = 0;
   uint64_t retries_ = 0;

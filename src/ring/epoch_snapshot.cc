@@ -1,0 +1,218 @@
+#include "ring/epoch_snapshot.h"
+
+#include <optional>
+
+#include "ring/ring_index.h"
+
+namespace ringdde {
+
+// --- EpochView --------------------------------------------------------------
+
+void EpochView::ChargeHop(CostContext& ctx, NodeAddr from, NodeAddr to) const {
+  // Query + response round trip (mirrors ChordRing::ChargeHop).
+  network_->Send(ctx, from, to, options_.routing_info_bytes, /*hop_count=*/1);
+  network_->Send(ctx, to, from, options_.routing_info_bytes, /*hop_count=*/0);
+}
+
+void EpochView::ChargeTimeout(CostContext& ctx, NodeAddr from,
+                              NodeAddr to) const {
+  network_->Send(ctx, from, to, options_.routing_info_bytes, /*hop_count=*/0);
+}
+
+Result<NodeAddr> EpochView::Lookup(CostContext& ctx, NodeAddr from,
+                                   RingId target) const {
+  // Structurally identical to ChordRing::Lookup with liveness replaced by
+  // epoch membership: same scan order, same charging, same arc tests —
+  // which is what makes a quiescent-ring epoch route bit-identical to the
+  // live route.
+  const EpochNodeView* start = ViewOf(from);
+  if (start == nullptr) {
+    return Status::InvalidArgument("lookup origin is not an alive node");
+  }
+  const auto alive = [this](NodeAddr a) { return IsAlive(a); };
+
+  NodeAddr current = from;
+  for (uint32_t hops = 0; hops <= options_.max_lookup_hops; ++hops) {
+    const EpochNodeView* cur = ViewOf(current);
+    // First alive entry of the successor list; each stale head costs a
+    // timed-out ping.
+    const NodeEntry* succ = nullptr;
+    for (const NodeEntry& e : cur->successors()) {
+      if (IsAlive(e.addr)) {
+        succ = &e;
+        break;
+      }
+      ChargeTimeout(ctx, current, e.addr);
+    }
+    if (succ == nullptr) {
+      return Status::Unavailable("successor list exhausted (partition)");
+    }
+    if (InArcOpenClosed(target, cur->id(), succ->id)) {
+      // succ owns target (or will after its next stabilize).
+      return succ->addr;
+    }
+    // Biggest legal finger jump; dead candidates cost a timeout each.
+    std::vector<NodeEntry> probed_dead;
+    std::optional<NodeEntry> next =
+        cur->fingers().ClosestPreceding(cur->id(), target, alive,
+                                        &probed_dead);
+    for (const NodeEntry& d : probed_dead) ChargeTimeout(ctx, current, d.addr);
+    if (!next.has_value()) {
+      // No finger inside (cur, target): fall through to the successor,
+      // which is guaranteed to precede the owner, so progress is made.
+      next = *succ;
+    }
+    ChargeHop(ctx, current, next->addr);
+    current = next->addr;
+  }
+  return Status::TimedOut("lookup exceeded hop budget");
+}
+
+Result<NodeAddr> EpochView::RandomAliveNode(Rng& rng) const {
+  if (addrs_.empty()) return Status::NotFound("ring is empty");
+  // Same rank selection (and rng draw) as ChordRing::RandomAliveNode:
+  // addrs_ is the ascending-id flat order AtRank indexes.
+  const uint64_t k = rng.UniformU64(addrs_.size());
+  return addrs_[static_cast<size_t>(k)];
+}
+
+// --- SnapshotManager --------------------------------------------------------
+
+SnapshotManager::SnapshotManager(ChordRing* ring)
+    : ring_(ring),
+      live_count_(std::make_shared<std::atomic<size_t>>(0)),
+      reclaimed_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+std::shared_ptr<const EpochView> SnapshotManager::Publish() {
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    if (head_ != nullptr && head_->epoch_ == ring_->mutation_epoch()) {
+      ++stats_.republish_noops;
+      return head_;
+    }
+  }
+  std::shared_ptr<const EpochView> prev = Current();
+  std::shared_ptr<const EpochView> view = BuildView(prev.get());
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    head_ = view;
+  }
+  head_sequence_.store(view->sequence_, std::memory_order_release);
+  ++stats_.publishes;
+  const RingIndex& index = ring_->index();
+  shard_versions_.resize(RingIndex::kShardCount);
+  for (size_t s = 0; s < RingIndex::kShardCount; ++s) {
+    shard_versions_[s] = index.shard_version(s);
+  }
+  return view;
+}
+
+std::shared_ptr<const EpochView> SnapshotManager::BuildView(
+    const EpochView* prev) {
+  const RingIndex& index = ring_->index();
+  const RingIndex::FlatView flat = index.Flat();
+
+  auto* view = new EpochView();
+  view->epoch_ = ring_->mutation_epoch();
+  view->sequence_ = next_sequence_++;
+  view->published_at_ = ring_->network().Now();
+  view->network_ = &ring_->network();
+  view->options_ = ring_->options();
+
+  view->ids_.assign(flat.ids, flat.ids + flat.size);
+  view->addrs_.assign(flat.addrs, flat.addrs + flat.size);
+
+  // Aligned membership prefix: ranks in id-shards before the first shard
+  // whose membership version moved since the previous publish occupy the
+  // same positions in the previous view, so their old captures are found
+  // by direct rank index (and counted as reused prefix entries).
+  size_t prefix_ranks = 0;
+  if (prev != nullptr && !shard_versions_.empty()) {
+    size_t first_dirty = RingIndex::kShardCount;
+    for (size_t s = 0; s < RingIndex::kShardCount; ++s) {
+      if (index.shard_version(s) != shard_versions_[s]) {
+        first_dirty = s;
+        break;
+      }
+    }
+    if (first_dirty == RingIndex::kShardCount) {
+      prefix_ranks = flat.size;  // membership untouched (data-only epoch)
+    } else if (first_dirty > 0) {
+      // Entries of shards [0, first_dirty) are exactly the ids below the
+      // dirty shard's id-range start.
+      const uint64_t boundary = first_dirty
+                                << (64 - RingIndex::kShardBits);
+      prefix_ranks = static_cast<size_t>(
+          std::lower_bound(flat.ids, flat.ids + flat.size, boundary) -
+          flat.ids);
+    }
+    stats_.prefix_entries_reused += prefix_ranks;
+  }
+
+  NodeAddr max_addr = 0;
+  for (size_t r = 0; r < flat.size; ++r) {
+    max_addr = std::max(max_addr, flat.addrs[r]);
+  }
+  view->rank_of_addr_.assign(static_cast<size_t>(max_addr) + 1, 0);
+  view->views_.resize(flat.size);
+
+  uint64_t total_items = 0;
+  for (size_t rank = 0; rank < flat.size; ++rank) {
+    const NodeAddr addr = flat.addrs[rank];
+    view->rank_of_addr_[addr] = static_cast<uint32_t>(rank + 1);
+    const Node* node = ring_->GetNode(addr);
+
+    // Previous capture of this peer, by aligned rank inside the clean
+    // prefix, by address lookup past it.
+    std::shared_ptr<const EpochNodeView> old;
+    if (prev != nullptr) {
+      if (rank < prefix_ranks) {
+        old = prev->views_[rank];
+      } else if (addr < prev->rank_of_addr_.size() &&
+                 prev->rank_of_addr_[addr] != 0) {
+        old = prev->views_[prev->rank_of_addr_[addr] - 1];
+      }
+    }
+
+    if (old != nullptr && old->route_version_ == node->route_version() &&
+        old->data_version_ == node->data_version()) {
+      // Nothing about this peer changed: share the whole capture.
+      view->views_[rank] = old;
+      ++stats_.node_views_reused;
+    } else {
+      auto nv = std::make_shared<EpochNodeView>();
+      nv->addr_ = addr;
+      nv->id_ = node->id();
+      nv->predecessor_ = node->predecessor();
+      nv->successors_ = node->successors();
+      nv->fingers_ = node->fingers();
+      nv->route_version_ = node->route_version();
+      nv->data_version_ = node->data_version();
+      if (old != nullptr && old->data_version_ == node->data_version()) {
+        // Routing moved but the store did not: share the key array.
+        nv->keys_ = old->keys_;
+        ++stats_.key_arrays_reused;
+      } else {
+        nv->keys_ =
+            std::make_shared<const std::vector<double>>(node->keys());
+        ++stats_.key_arrays_built;
+      }
+      view->views_[rank] = std::move(nv);
+      ++stats_.node_views_built;
+    }
+    total_items += view->views_[rank]->item_count();
+  }
+  view->total_items_ = total_items;
+
+  live_count_->fetch_add(1, std::memory_order_acq_rel);
+  auto live = live_count_;
+  auto reclaimed = reclaimed_;
+  return std::shared_ptr<const EpochView>(
+      view, [live, reclaimed](const EpochView* v) {
+        delete v;
+        reclaimed->fetch_add(1, std::memory_order_acq_rel);
+        live->fetch_sub(1, std::memory_order_acq_rel);
+      });
+}
+
+}  // namespace ringdde

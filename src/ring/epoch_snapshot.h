@@ -1,0 +1,259 @@
+#ifndef RINGDDE_RING_EPOCH_SNAPSHOT_H_
+#define RINGDDE_RING_EPOCH_SNAPSHOT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/id.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "ring/chord_ring.h"
+#include "ring/finger_table.h"
+#include "sim/network.h"
+
+namespace ringdde {
+
+/// Frozen capture of one alive peer: everything the estimation read path
+/// touches (routing state for Lookup, the sorted key store for summaries),
+/// decoupled from the live Node so mutators can keep rewriting the ring
+/// while readers drain this epoch.
+///
+/// The accessor surface deliberately mirrors Node's — ComputeLocalSummaryOf
+/// and the lookup loop are instantiated over both, so a frozen peer and a
+/// quiescent live peer produce bit-identical summaries and routes.
+class EpochNodeView {
+ public:
+  NodeAddr addr() const { return addr_; }
+  RingId id() const { return id_; }
+  const NodeEntry& predecessor() const { return predecessor_; }
+  const std::vector<NodeEntry>& successors() const { return successors_; }
+  const FingerTable& fingers() const { return fingers_; }
+
+  /// The peer's keys at capture time, ascending (captured through
+  /// Node::keys(), which sorts — so the content equals what a live read
+  /// would have seen).
+  const std::vector<double>& keys() const { return *keys_; }
+  size_t item_count() const { return keys_->size(); }
+
+  /// Exact local p-quantile — the same arithmetic as Node::LocalQuantile,
+  /// replicated over the frozen store (bit-identity depends on it).
+  double LocalQuantile(double p) const {
+    const std::vector<double>& k = *keys_;
+    assert(!k.empty());
+    p = std::min(std::max(p, 0.0), 1.0);
+    const double h = p * static_cast<double>(k.size() - 1);
+    const size_t lo = static_cast<size_t>(h);
+    const size_t hi = std::min(lo + 1, k.size() - 1);
+    const double t = h - static_cast<double>(lo);
+    return k[lo] + (k[hi] - k[lo]) * t;
+  }
+
+  /// The live Node's change counters at capture time: the next Publish()
+  /// compares them against the node's current counters to reuse this
+  /// capture (or just its key array) instead of re-copying.
+  uint64_t route_version() const { return route_version_; }
+  uint64_t data_version() const { return data_version_; }
+
+ private:
+  friend class SnapshotManager;
+
+  NodeAddr addr_ = 0;
+  RingId id_;
+  NodeEntry predecessor_;
+  std::vector<NodeEntry> successors_;
+  FingerTable fingers_;
+  /// Shared with the captures of adjacent epochs when the store did not
+  /// change between publishes (the common case under pure membership
+  /// churn) — an epoch's marginal memory is then per-node pointers, not
+  /// per-node key copies.
+  std::shared_ptr<const std::vector<double>> keys_;
+  uint64_t route_version_ = 0;
+  uint64_t data_version_ = 0;
+};
+
+/// One immutable published epoch of the ring: the flat sorted membership
+/// (ids ascending, addrs parallel — the same order RingIndex::Flat()
+/// produces), per-rank frozen peer captures, and the constants a query
+/// needs (RingOptions, the Network for cost accounting, the virtual
+/// publish timestamp).
+///
+/// Readers pin an epoch by holding the shared_ptr handed out by
+/// SnapshotManager::Current(); everything reachable from it is immutable,
+/// so any number of queries drain one epoch concurrently with zero
+/// synchronization while the mutator builds the next epoch off to the
+/// side. Dropping the last pin reclaims the epoch (see SnapshotManager).
+class EpochView {
+ public:
+  /// ChordRing::mutation_epoch() at publish: two views with equal epoch()
+  /// captured identical ring state.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Dense publish counter (1, 2, 3, ...): head_sequence() minus a query's
+  /// view sequence is the query's staleness in epochs.
+  uint64_t sequence() const { return sequence_; }
+
+  /// Network::Now() at publish. Epoch-pinned queries freeze their fault
+  /// clock to this (CostContext::frozen_now) so verdicts are a function of
+  /// the view, not of concurrent mutator progress.
+  double published_at() const { return published_at_; }
+
+  Network& network() const { return *network_; }
+  const RingOptions& options() const { return options_; }
+
+  size_t size() const { return addrs_.size(); }
+  uint64_t total_items() const { return total_items_; }
+
+  /// Membership test: was `addr` an alive peer of this epoch? This is the
+  /// liveness predicate of every frozen read path (the epoch analogue of
+  /// ChordRing::IsAlive — identical on a quiescent ring, by construction).
+  bool IsAlive(NodeAddr addr) const {
+    return addr != 0 && addr < rank_of_addr_.size() &&
+           rank_of_addr_[addr] != 0;
+  }
+
+  /// The frozen capture of `addr`, or null if not a member of this epoch.
+  const EpochNodeView* ViewOf(NodeAddr addr) const {
+    if (!IsAlive(addr)) return nullptr;
+    return views_[rank_of_addr_[addr] - 1].get();
+  }
+
+  /// Iteratively routes from `from` to the owner of `target` *within this
+  /// epoch*, charging routing cost to `ctx` exactly like
+  /// ChordRing::Lookup (same hop/timeout charging order, same arc tests,
+  /// same hop budget) — the two are bit-identical on a quiescent ring.
+  Result<NodeAddr> Lookup(CostContext& ctx, NodeAddr from,
+                          RingId target) const;
+
+  /// Uniformly random member (ascending-id rank selection, matching
+  /// ChordRing::RandomAliveNode draw-for-draw).
+  Result<NodeAddr> RandomAliveNode(Rng& rng) const;
+
+  /// Flat membership, ids ascending / addrs parallel.
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::vector<NodeAddr>& addrs() const { return addrs_; }
+
+ private:
+  friend class SnapshotManager;
+
+  void ChargeHop(CostContext& ctx, NodeAddr from, NodeAddr to) const;
+  void ChargeTimeout(CostContext& ctx, NodeAddr from, NodeAddr to) const;
+
+  uint64_t epoch_ = 0;
+  uint64_t sequence_ = 0;
+  double published_at_ = 0.0;
+  Network* network_ = nullptr;
+  RingOptions options_;
+  uint64_t total_items_ = 0;
+
+  std::vector<uint64_t> ids_;
+  std::vector<NodeAddr> addrs_;
+  /// Frozen captures parallel to ids_/addrs_ (shared with adjacent epochs
+  /// for peers that did not change between publishes).
+  std::vector<std::shared_ptr<const EpochNodeView>> views_;
+  /// rank_of_addr_[addr] = rank + 1, or 0 when addr is not a member.
+  /// Addresses are allocated densely from 1, so this is a direct index.
+  std::vector<uint32_t> rank_of_addr_;
+};
+
+/// Publishes immutable EpochViews of a live ChordRing and reclaims them
+/// when their last reader unpins — the RCU-style rotation layer that lets
+/// estimate serving run concurrently with churn and data updates.
+///
+/// Threading contract:
+///  - Publish() runs on the mutator thread only (the thread that owns the
+///    ring and its event queue), between mutations.
+///  - Current(), head_sequence(), live_views() are safe from any thread.
+///  - A reader pins an epoch by keeping the shared_ptr from Current();
+///    releasing the last shared_ptr of a superseded epoch destroys it
+///    immediately on whichever thread dropped it (cheap: vectors of PODs
+///    and refcount decrements on the shared node captures).
+///
+/// Publish is incremental along two axes:
+///  - *Membership prefix* (segment-granular, from RingIndex's per-shard
+///    versions): ranks in id-shards before the first shard whose
+///    membership changed are positionally unchanged, so the previous
+///    epoch's capture for that rank is checked by direct index instead of
+///    an addr lookup, and the id/addr prefix is reused wholesale.
+///  - *Per-peer change counters*: a peer whose route_version and
+///    data_version both match its previous capture reuses the capture
+///    object; a peer whose data_version alone matches reuses the key
+///    array and re-copies only routing state.
+class SnapshotManager {
+ public:
+  /// Publish/reuse telemetry. Mutator-thread reads only (except
+  /// views_reclaimed and the live count, which are atomics because
+  /// reclamation runs on reader threads).
+  struct Stats {
+    uint64_t publishes = 0;
+    /// Publish() calls that returned the current head unchanged because
+    /// the ring's mutation epoch had not moved.
+    uint64_t republish_noops = 0;
+    uint64_t node_views_built = 0;
+    uint64_t node_views_reused = 0;
+    uint64_t key_arrays_built = 0;
+    uint64_t key_arrays_reused = 0;
+    /// Ranks whose (id, addr) came from the previous epoch's aligned
+    /// prefix (membership shards before the first dirty one).
+    uint64_t prefix_entries_reused = 0;
+  };
+
+  explicit SnapshotManager(ChordRing* ring);
+
+  /// Captures the ring's current state as a new epoch and makes it the
+  /// head. Returns the head unchanged (no allocation) when nothing mutated
+  /// since the last publish. Mutator thread only.
+  std::shared_ptr<const EpochView> Publish();
+
+  /// The current head epoch; the returned shared_ptr IS the reader's pin.
+  std::shared_ptr<const EpochView> Current() const {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    return head_;
+  }
+
+  /// Sequence number of the head epoch (0 before the first publish).
+  /// Lock-free: readers poll it to decide whether to re-acquire Current().
+  uint64_t head_sequence() const {
+    return head_sequence_.load(std::memory_order_acquire);
+  }
+
+  /// Number of EpochViews currently alive (head + every pinned retired
+  /// epoch). Bounded by 1 + concurrent readers, regardless of how many
+  /// epochs were ever published — the reclamation guarantee.
+  size_t live_views() const {
+    return live_count_->load(std::memory_order_acquire);
+  }
+
+  /// Total retired epochs already destroyed by their last unpin.
+  uint64_t views_reclaimed() const {
+    return reclaimed_->load(std::memory_order_acquire);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const EpochView> BuildView(const EpochView* prev);
+
+  ChordRing* ring_;
+
+  mutable std::mutex head_mu_;
+  std::shared_ptr<const EpochView> head_;
+  std::atomic<uint64_t> head_sequence_{0};
+
+  /// Shared with every view's deleter (views can outlive the manager).
+  std::shared_ptr<std::atomic<size_t>> live_count_;
+  std::shared_ptr<std::atomic<uint64_t>> reclaimed_;
+
+  Stats stats_;
+  uint64_t next_sequence_ = 1;
+  /// RingIndex per-shard membership versions at the last publish.
+  std::vector<uint64_t> shard_versions_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_RING_EPOCH_SNAPSHOT_H_

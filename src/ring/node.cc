@@ -16,15 +16,19 @@ void Node::InsertKey(double key) {
   EnsureSorted();
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
   keys_.insert(it, key);
+  ++data_version_;
 }
 
 void Node::InsertKeys(const std::vector<double>& keys) {
+  if (keys.empty()) return;
   keys_.insert(keys_.end(), keys.begin(), keys.end());
   sorted_ = false;
+  ++data_version_;
 }
 
 void Node::InsertSortedKeys(const double* first, const double* last) {
   if (first == last) return;
+  ++data_version_;
   if (keys_.empty()) {
     keys_.assign(first, last);
     sorted_ = true;
@@ -43,11 +47,13 @@ bool Node::EraseKey(double key) {
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
   if (it == keys_.end() || *it != key) return false;
   keys_.erase(it);
+  ++data_version_;
   return true;
 }
 
 std::vector<double> Node::ExtractKeysInArc(RingId from, RingId to) {
   EnsureSorted();
+  if (!keys_.empty()) ++data_version_;
   if (from == to) {
     // Full-ring arc (the leave/crash handover): everything moves, so the
     // store itself is the result — no copying at all.

@@ -26,22 +26,42 @@ class Node {
   RingId id() const { return id_; }
 
   bool alive() const { return alive_; }
-  void set_alive(bool alive) { alive_ = alive; }
+  void set_alive(bool alive) {
+    alive_ = alive;
+    ++route_version_;
+  }
+
+  // --- Change tracking (epoch snapshot capture) --------------------------
+  /// Monotone counters bumped by every mutation of routing state
+  /// (predecessor/successors/fingers/liveness) respectively the local data
+  /// store. SnapshotManager compares them against the versions recorded in
+  /// the previous epoch view to reuse unchanged per-node captures instead
+  /// of re-copying them. Finger writes go through the non-const fingers()
+  /// reference; every such site (StabilizeNode, the stabilize sweep) also
+  /// rewrites the successor list, which bumps — so a moved route_version
+  /// covers finger changes too.
+  uint64_t route_version() const { return route_version_; }
+  uint64_t data_version() const { return data_version_; }
 
   // --- Routing state ---------------------------------------------------
   const NodeEntry& predecessor() const { return predecessor_; }
-  void set_predecessor(NodeEntry e) { predecessor_ = e; }
+  void set_predecessor(NodeEntry e) {
+    predecessor_ = e;
+    ++route_version_;
+  }
 
   /// Successor list, nearest first. Entry 0 is THE successor.
   const std::vector<NodeEntry>& successors() const { return successors_; }
   void set_successors(std::vector<NodeEntry> succ) {
     successors_ = std::move(succ);
+    ++route_version_;
   }
 
   /// Overwrites the successor list in place, reusing its capacity (the
   /// allocation-free path for repeated stabilization sweeps).
   void assign_successors(const NodeEntry* entries, size_t count) {
     successors_.assign(entries, entries + count);
+    ++route_version_;
   }
 
   FingerTable& fingers() { return fingers_; }
@@ -124,6 +144,8 @@ class Node {
   NodeAddr addr_;
   RingId id_;
   bool alive_ = true;
+  uint64_t route_version_ = 0;
+  uint64_t data_version_ = 0;
 
   NodeEntry predecessor_;
   std::vector<NodeEntry> successors_;

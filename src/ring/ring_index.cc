@@ -22,6 +22,7 @@ void RingIndex::Invalidate(size_t s) {
   first_dirty_shard_ = std::min(first_dirty_shard_, s);
   ++stats_.shard_invalidations;
   ++version_;
+  ++shard_versions_[s];
 }
 
 void RingIndex::Insert(uint64_t id, NodeAddr addr) {

@@ -87,6 +87,13 @@ class RingIndex {
   /// ring's flat Node-pointer array) compare against it.
   uint64_t version() const { return version_; }
 
+  /// Per-shard mutation counter, bumped whenever shard `s` is dirtied.
+  /// Incremental consumers (SnapshotManager) record the versions at capture
+  /// time and on the next capture re-copy only from the first shard whose
+  /// version moved — the same segment granularity the flat snapshot cache
+  /// uses, but across independently-owned snapshots.
+  uint64_t shard_version(size_t s) const { return shard_versions_[s]; }
+
   /// Owner of ring position `target`: the first entry at or after it,
   /// wrapping to the smallest id. The legacy `lower_bound + wrap` in two
   /// binary searches (offset table, then one shard). nullopt iff empty.
@@ -144,6 +151,7 @@ class RingIndex {
   Shard shards_[kShardCount];
   size_t size_ = 0;
   uint64_t version_ = 0;
+  uint64_t shard_versions_[kShardCount] = {};
 
   // Rank offsets: offsets_[s] = number of entries in shards [0, s). Lazily
   // refreshed after mutations; O(kShardCount) to rebuild.

@@ -83,6 +83,15 @@ struct CostContext {
 
   /// Latency/loss sampling stream for this context's sends.
   Rng rng;
+
+  /// Virtual timestamp at which fault windows (crash/hang/partition) are
+  /// evaluated for this context's sends, or negative for "read the live
+  /// clock". Queries pinned to an epoch snapshot freeze this to the
+  /// snapshot's publish time: their fault verdicts then depend only on the
+  /// (seed, view) pair — not on how far a concurrent mutator has advanced
+  /// the event queue — which keeps pinned-view results reproducible and
+  /// keeps readers off the mutator-owned clock entirely.
+  double frozen_now = -1.0;
 };
 
 /// RAII snapshot: construct before a protocol phase, call Delta() after, to

@@ -14,6 +14,7 @@ Network::Network(NetworkOptions options)
 
 double Network::Send(CostContext& ctx, NodeAddr from, NodeAddr to,
                      uint64_t payload_bytes, uint64_t hop_count) const {
+  const auto lock = MaybeLock(ctx);
   double total_latency = 0.0;
   // Reliable delivery over a lossy channel: retransmit until one attempt
   // gets through; every attempt is charged.
@@ -43,13 +44,16 @@ Result<double> Network::TrySend(CostContext& ctx, NodeAddr from, NodeAddr to,
     return Send(ctx, from, to, payload_bytes, hop_count);
   }
   const FaultInjector& faults = *options_.faults;
+  const auto lock = MaybeLock(ctx);
   const uint64_t seq = ctx.send_seq++;
   // Every attempt is charged whether or not it arrives: the sender put the
   // bytes on the wire either way.
   ctx.counters.messages += 1;
   ctx.counters.bytes += payload_bytes + options_.header_bytes;
   ctx.counters.hops += hop_count;
-  const double now = Now();
+  // Epoch-pinned contexts evaluate fault windows at their frozen timestamp
+  // so verdicts never depend on (or race with) the mutator-owned clock.
+  const double now = ctx.frozen_now >= 0.0 ? ctx.frozen_now : Now();
   if (faults.IsCrashed(to, now)) {
     ++ctx.lost_messages;
     ++ctx.counters.timeouts;

@@ -92,8 +92,12 @@ class Network {
 
   /// Records one protocol-level retry / failed probe into a context (kept
   /// here so CostScope deltas capture them alongside message cost).
-  void RecordRetry(CostContext& ctx) const { ctx.counters.retries += 1; }
+  void RecordRetry(CostContext& ctx) const {
+    auto lock = MaybeLock(ctx);
+    ctx.counters.retries += 1;
+  }
   void RecordFailedProbe(CostContext& ctx) const {
+    auto lock = MaybeLock(ctx);
     ctx.counters.failed_probes += 1;
   }
   void RecordRetry() { RecordRetry(shared_ctx_); }
@@ -102,6 +106,7 @@ class Network {
   /// Charges wall-clock the protocol spent waiting (retry backoff) to the
   /// serial-latency accounting without sending anything.
   void ChargeWait(CostContext& ctx, double seconds) const {
+    auto lock = MaybeLock(ctx);
     ctx.counters.latency_sum += seconds;
   }
   void ChargeWait(double seconds) { ChargeWait(shared_ctx_, seconds); }
@@ -154,13 +159,25 @@ class Network {
   const LatencyModel& latency_model() const { return *options_.latency; }
 
  private:
+  /// The shared context is written both by the legacy overloads (a mutator
+  /// thread driving churn/maintenance) and by Accumulate() on query threads.
+  /// Charging it therefore takes merge_mu_; per-query contexts are owned by
+  /// exactly one thread and stay lock-free. The pointer comparison is exact:
+  /// only the legacy overloads and shared_context() ever hand out
+  /// shared_ctx_ itself.
+  std::unique_lock<std::mutex> MaybeLock(const CostContext& ctx) const {
+    return &ctx == &shared_ctx_ ? std::unique_lock<std::mutex>(merge_mu_)
+                                : std::unique_lock<std::mutex>();
+  }
+
   NetworkOptions options_;
   EventQueue events_;
   /// The context charged by the legacy overloads; its rng is the historical
   /// network-seeded stream and its send_seq the historical global sequence.
   CostContext shared_ctx_;
-  /// Serializes Accumulate() merges from concurrently finishing queries.
-  std::mutex merge_mu_;
+  /// Serializes Accumulate() merges from concurrently finishing queries and
+  /// any shared-context charge racing them (see MaybeLock).
+  mutable std::mutex merge_mu_;
 };
 
 }  // namespace ringdde

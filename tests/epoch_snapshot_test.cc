@@ -1,0 +1,254 @@
+// Epoch-rotation regression tests: the serving-side contract of
+// SnapshotManager / EpochView.
+//
+//  - Quiescent bit-identity: the epoch engine reproduces the live
+//    shared-snapshot engine bit for bit at 1/4/16 threads (rotation costs
+//    exactness nothing when nothing mutates).
+//  - Pin stability: readers pinned to epoch N keep producing bit-identical
+//    answers while a mutator thread churns the ring, crashes/hangs nodes
+//    via the deterministic fault plan, and publishes later epochs.
+//  - Reclamation: retired epochs are destroyed by their last unpin, so the
+//    number of live views is bounded by pins + head no matter how many
+//    epochs were published.
+//  - Incremental publish: unchanged peers are reused (whole captures or at
+//    least their key arrays), and clean membership prefixes are reused by
+//    aligned rank.
+//
+// This binary rides the ctest "concurrency" label; configure with
+// RINGDDE_SANITIZE=thread and run the label for race coverage of readers
+// draining one epoch while the mutator builds the next.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ring/churn.h"
+#include "ring/epoch_snapshot.h"
+#include "sim/fault_injector.h"
+
+namespace ringdde::bench {
+namespace {
+
+void ExpectSameResult(const RepeatedResult& a, const RepeatedResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.accuracy.ks, b.accuracy.ks) << what;
+  EXPECT_EQ(a.accuracy.l1_cdf, b.accuracy.l1_cdf) << what;
+  EXPECT_EQ(a.accuracy.l2_cdf, b.accuracy.l2_cdf) << what;
+  EXPECT_EQ(a.accuracy.l1_pdf, b.accuracy.l1_pdf) << what;
+  EXPECT_EQ(a.mean_messages, b.mean_messages) << what;
+  EXPECT_EQ(a.mean_hops, b.mean_hops) << what;
+  EXPECT_EQ(a.mean_bytes, b.mean_bytes) << what;
+  EXPECT_EQ(a.mean_total_error, b.mean_total_error) << what;
+  EXPECT_EQ(a.mean_peers, b.mean_peers) << what;
+}
+
+TEST(EpochSnapshotTest, QuiescentEpochEngineMatchesLiveEngineAtAllThreads) {
+  DdeOptions opts;
+  opts.num_probes = 48;
+  constexpr int kReps = 6;
+  constexpr uint64_t kSeedBase = 6200;
+
+  auto env = BuildEnv(128, std::make_unique<ZipfDistribution>(1000, 0.9),
+                      5000, /*seed=*/41);
+  SnapshotManager manager(env->ring.get());
+  std::shared_ptr<const EpochView> view = manager.Publish();
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), env->ring->AliveCount());
+  EXPECT_EQ(view->total_items(), env->ring->TotalItems());
+
+  ThreadPool serial(0);
+  const RepeatedResult live =
+      RepeatDde(*env, opts, kReps, kSeedBase, &serial);
+  for (size_t threads : {1u, 4u, 16u}) {
+    ThreadPool pool(threads - 1);
+    const RepeatedResult epoch =
+        RepeatDdeEpoch(*env, *view, opts, kReps, kSeedBase, &pool);
+    ExpectSameResult(epoch, live, "epoch-vs-live quiescent");
+  }
+}
+
+TEST(EpochSnapshotTest, EpochLookupMatchesLiveLookupWithIdenticalCost) {
+  auto env = BuildEnv(96, std::make_unique<UniformDistribution>(), 3000,
+                      /*seed=*/51);
+  SnapshotManager manager(env->ring.get());
+  std::shared_ptr<const EpochView> view = manager.Publish();
+
+  Rng rng(0xE19C);
+  for (int i = 0; i < 200; ++i) {
+    const RingId target(rng.NextU64());
+    Rng pick(0x9E19 + static_cast<uint64_t>(i));
+    Result<NodeAddr> from = env->ring->RandomAliveNode(pick);
+    ASSERT_TRUE(from.ok());
+
+    CostContext live_ctx(1);
+    CostContext epoch_ctx(1);
+    Result<NodeAddr> live = env->ring->Lookup(live_ctx, *from, target);
+    Result<NodeAddr> epoch = view->Lookup(epoch_ctx, *from, target);
+    ASSERT_EQ(live.ok(), epoch.ok());
+    if (live.ok()) {
+      EXPECT_EQ(*live, *epoch);
+    }
+    EXPECT_EQ(live_ctx.counters.messages, epoch_ctx.counters.messages);
+    EXPECT_EQ(live_ctx.counters.hops, epoch_ctx.counters.hops);
+    EXPECT_EQ(live_ctx.counters.bytes, epoch_ctx.counters.bytes);
+  }
+}
+
+TEST(EpochSnapshotTest, PinnedEpochStableUnderChurnAndInjectedFaults) {
+  // Crash/hang windows open as virtual time advances, i.e. mid-rotation:
+  // later epochs see different fault verdicts and membership, but readers
+  // pinned to epoch 1 must keep reproducing the pre-mutation reference bit
+  // for bit (their fault clock is frozen to the view's publish time).
+  FaultOptions faults;
+  faults.drop_probability = 0.04;
+  faults.crash_probability = 0.05;
+  faults.crash_start_max_seconds = 50.0;
+  faults.hang_probability = 0.05;
+  faults.hang_start_max_seconds = 50.0;
+  faults.hang_duration_seconds = 30.0;
+  faults.seed = 0xEF19;
+
+  auto env = std::make_unique<Env>();
+  NetworkOptions nopts;
+  nopts.faults = std::make_shared<FaultInjector>(faults);
+  env->net = std::make_unique<Network>(nopts);
+  RingOptions ropts;
+  ropts.seed = 61;
+  env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+  ASSERT_TRUE(env->ring->CreateNetwork(96).ok());
+  env->dist = std::make_unique<UniformDistribution>();
+  env->items = 4000;
+  env->peers = 96;
+  env->seed = 61;
+  Rng data_rng(61 ^ 0xDA7A);
+  env->ring->InsertDatasetBulk(
+      GenerateDataset(*env->dist, env->items, data_rng).keys);
+
+  DdeOptions opts;
+  opts.num_probes = 48;
+  opts.retry.max_attempts = 3;
+  constexpr int kReps = 5;
+  constexpr uint64_t kSeedBase = 7300;
+
+  SnapshotManager manager(env->ring.get());
+  std::shared_ptr<const EpochView> pinned = manager.Publish();
+
+  // Reference outputs for epoch 1, computed before any mutation.
+  ThreadPool serial(0);
+  const RepeatedResult reference =
+      RepeatDdeEpoch(*env, *pinned, opts, kReps, kSeedBase, &serial);
+
+  // Mutator thread: churn + stabilization + periodic publishes, advancing
+  // virtual time through the crash/hang windows.
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    ChurnOptions copts;
+    copts.mean_session_seconds = 120.0;
+    ChurnProcess churn(env->ring.get(), copts);
+    churn.Start();
+    while (!stop.load(std::memory_order_acquire)) {
+      env->net->events().RunUntil(env->net->Now() + 2.0);
+      manager.Publish();
+    }
+  });
+
+  for (size_t threads : {1u, 4u, 16u}) {
+    ThreadPool pool(threads - 1);
+    const RepeatedResult r =
+        RepeatDdeEpoch(*env, *pinned, opts, kReps, kSeedBase, &pool);
+    ExpectSameResult(r, reference, "pinned epoch under churn+faults");
+  }
+  stop.store(true, std::memory_order_release);
+  mutator.join();
+
+  // The mutator actually rotated epochs past the pin.
+  EXPECT_GT(manager.head_sequence(), pinned->sequence());
+  // Pinned + head are both alive; dropping the pin reclaims it.
+  EXPECT_GE(manager.live_views(), 2u);
+  const uint64_t reclaimed_before = manager.views_reclaimed();
+  pinned.reset();
+  EXPECT_EQ(manager.views_reclaimed(), reclaimed_before + 1);
+  EXPECT_EQ(manager.live_views(), 1u);
+}
+
+TEST(EpochSnapshotTest, RetiredEpochsAreReclaimedWhenUnpinned) {
+  auto env = BuildEnv(64, std::make_unique<UniformDistribution>(), 1000,
+                      /*seed=*/71);
+  SnapshotManager manager(env->ring.get());
+  std::shared_ptr<const EpochView> first = manager.Publish();
+  EXPECT_EQ(manager.live_views(), 1u);
+
+  // Rotate many epochs holding no extra pins: every superseded head is
+  // destroyed as soon as Publish() drops it, so live views never exceed
+  // the transient {old head, new head} pair.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(env->ring->InsertKeyBulk(0.25 + 0.02 * i).ok());
+    manager.Publish();
+    EXPECT_LE(manager.live_views(), 2u + 1u /* `first` pin */);
+  }
+  EXPECT_EQ(manager.stats().publishes, 21u);
+  EXPECT_EQ(manager.views_reclaimed(), 19u);
+
+  // `first` is still valid while pinned...
+  EXPECT_EQ(first->sequence(), 1u);
+  EXPECT_GT(first->size(), 0u);
+  // ...and reclaimed exactly when released.
+  first.reset();
+  EXPECT_EQ(manager.views_reclaimed(), 20u);
+  EXPECT_EQ(manager.live_views(), 1u);
+}
+
+TEST(EpochSnapshotTest, RepublishWithoutMutationIsANoop) {
+  auto env = BuildEnv(64, std::make_unique<UniformDistribution>(), 1000,
+                      /*seed=*/81);
+  SnapshotManager manager(env->ring.get());
+  std::shared_ptr<const EpochView> a = manager.Publish();
+  std::shared_ptr<const EpochView> b = manager.Publish();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(manager.stats().publishes, 1u);
+  EXPECT_EQ(manager.stats().republish_noops, 1u);
+}
+
+TEST(EpochSnapshotTest, IncrementalPublishReusesUnchangedCaptures) {
+  auto env = BuildEnv(128, std::make_unique<UniformDistribution>(), 4000,
+                      /*seed=*/91);
+  SnapshotManager manager(env->ring.get());
+  manager.Publish();
+  const uint64_t built_initial = manager.stats().node_views_built;
+  EXPECT_EQ(built_initial, 128u);
+
+  // Data-only mutation: one owner's store changes. Membership shards are
+  // all clean, so the whole flat array is an aligned prefix and every
+  // other capture is shared with the previous epoch.
+  ASSERT_TRUE(env->ring->InsertKeyBulk(0.5).ok());
+  std::shared_ptr<const EpochView> after = manager.Publish();
+  const SnapshotManager::Stats& s = manager.stats();
+  EXPECT_EQ(s.node_views_built, built_initial + 1);
+  EXPECT_EQ(s.node_views_reused, 127u);
+  EXPECT_EQ(s.prefix_entries_reused, 128u);
+  EXPECT_EQ(after->total_items(), env->ring->TotalItems());
+
+  // Membership mutation: a leave rewrites routing state around the gap
+  // but most key arrays still carry over between the epochs.
+  const uint64_t keys_built_before = manager.stats().key_arrays_built;
+  Rng rng(0x91);
+  Result<NodeAddr> victim = env->ring->RandomAliveNode(rng);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(env->ring->Leave(*victim).ok());
+  env->ring->StabilizeAll();
+  std::shared_ptr<const EpochView> final_view = manager.Publish();
+  EXPECT_EQ(final_view->size(), 127u);
+  const uint64_t keys_built =
+      manager.stats().key_arrays_built - keys_built_before;
+  const uint64_t keys_reused = manager.stats().key_arrays_reused;
+  EXPECT_GT(keys_reused, 0u);
+  // Routing rewrites touch many peers (successor lists, fingers), but only
+  // the leave's key handover actually moves data.
+  EXPECT_LT(keys_built, 16u);
+  EXPECT_EQ(final_view->total_items(), env->ring->TotalItems());
+}
+
+}  // namespace
+}  // namespace ringdde::bench

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Collate BENCH_*.json perf reports into one BENCH_trajectory.json series.
+
+Every bench binary drops a BENCH_<experiment>.json with the
+{experiment, threads, wall_clock_ms, counters} schema (enforced by
+bench/check_bench_json.cmake). This tool stitches those point-in-time
+reports into a per-experiment time series so counter trends (estimates/sec,
+staleness percentiles, cache hit rates, peak RSS, ...) can be tracked
+across commits:
+
+  - every committed revision of any BENCH_*.json in git history becomes one
+    sample, stamped with its commit hash and commit time;
+  - uncommitted reports from --scan-dir directories (typically the build's
+    bench/ output dir) are appended as "worktree" samples.
+
+Output schema:
+
+  {
+    "schema": "ringdde-bench-trajectory-v1",
+    "series": {
+      "<experiment>": [
+        {"commit": "<hash>|null", "commit_time": <epoch>|null,
+         "source": "<path>", "threads": N, "wall_clock_ms": X,
+         "counters": {...}},
+        ...                         # ascending commit_time, worktree last
+      ]
+    }
+  }
+
+Stdlib only; requires git in PATH only when history collation is enabled
+(default; --no-git skips it).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_git(repo, *args):
+    """Returns git stdout or None if git/repo is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(repo), *args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def parse_report(text, source, commit=None, commit_time=None):
+    """One trajectory sample from a BENCH_*.json payload, or None."""
+    try:
+        doc = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict) or "experiment" not in doc:
+        return None
+    return {
+        "experiment": doc["experiment"],
+        "sample": {
+            "commit": commit,
+            "commit_time": commit_time,
+            "source": source,
+            "threads": doc.get("threads"),
+            "wall_clock_ms": doc.get("wall_clock_ms"),
+            "counters": doc.get("counters", {}),
+        },
+    }
+
+
+def history_samples(repo):
+    """Every committed revision of every BENCH_*.json, oldest first."""
+    log = run_git(
+        repo,
+        "log",
+        "--reverse",
+        "--format=%x01%H %ct",
+        "--name-only",
+        "--",
+        "*BENCH_*.json",
+    )
+    if log is None:
+        return []
+    samples = []
+    commit = None
+    commit_time = None
+    for line in log.splitlines():
+        if line.startswith("\x01"):
+            commit, _, stamp = line[1:].partition(" ")
+            commit_time = int(stamp) if stamp.strip().isdigit() else None
+            continue
+        path = line.strip()
+        if not path or "BENCH_" not in Path(path).name:
+            continue
+        if not Path(path).name.endswith(".json"):
+            continue
+        blob = run_git(repo, "show", f"{commit}:{path}")
+        if blob is None:
+            continue  # deleted or renamed in this commit
+        parsed = parse_report(blob, path, commit=commit,
+                              commit_time=commit_time)
+        if parsed is not None:
+            samples.append(parsed)
+    return samples
+
+
+def worktree_samples(scan_dirs):
+    samples = []
+    for d in scan_dirs:
+        for path in sorted(Path(d).glob("BENCH_*.json")):
+            if path.name == "BENCH_trajectory.json":
+                continue
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            parsed = parse_report(text, str(path))
+            if parsed is not None:
+                samples.append(parsed)
+    return samples
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Collate BENCH_*.json reports into BENCH_trajectory.json")
+    ap.add_argument("--repo", default=str(Path(__file__).resolve().parent.parent),
+                    help="git repository to mine for committed reports")
+    ap.add_argument("--scan-dir", action="append", default=[],
+                    help="directory with uncommitted BENCH_*.json reports "
+                         "(repeatable)")
+    ap.add_argument("--output", default="BENCH_trajectory.json",
+                    help="output path")
+    ap.add_argument("--no-git", action="store_true",
+                    help="skip git history; collate only --scan-dir reports")
+    args = ap.parse_args(argv)
+
+    samples = []
+    if not args.no_git:
+        samples.extend(history_samples(args.repo))
+    samples.extend(worktree_samples(args.scan_dir))
+
+    series = {}
+    for entry in samples:
+        series.setdefault(entry["experiment"], []).append(entry["sample"])
+    for points in series.values():
+        # History is already oldest-first; keep worktree samples last.
+        points.sort(key=lambda p: (p["commit_time"] is None,
+                                   p["commit_time"] or 0))
+
+    out = {
+        "schema": "ringdde-bench-trajectory-v1",
+        "experiments": sorted(series),
+        "series": series,
+    }
+    Path(args.output).write_text(json.dumps(out, indent=2, sort_keys=True)
+                                 + "\n")
+    total = sum(len(p) for p in series.values())
+    print(f"wrote {args.output}: {len(series)} experiments, "
+          f"{total} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

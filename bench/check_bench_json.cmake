@@ -75,5 +75,18 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The wire-cost experiment must report the socket backend's transport
+  # contract: real bytes on the wire in both directions and the RPC
+  # latency percentiles — the sim-charged-vs-wire-carried evidence pair.
+  if(report MATCHES "BENCH_e20_wire_cost\\.json$")
+    foreach(key wire_bytes_sent wire_bytes_received
+                rpc_latency_ms_p50 rpc_latency_ms_p99)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

@@ -1,0 +1,150 @@
+// E20 — Wire cost: the E4 cost curves replayed over the socket backend.
+//
+// Each probe budget m runs the estimation protocol inside a socket-served
+// ring process model (RingRpcService behind a real local-TCP RpcServer)
+// and compares what the simulator CHARGES for in-ring traffic (the
+// CostCounters byte model) with what the wire actually CARRIES for the
+// query RPCs (framed request + reply bytes), plus the real RPC latency
+// distribution. Expected shape: both grow with m (more probes means more
+// summaries and a denser reconstructed CDF), but the wire carries an
+// order of magnitude less than the sim charges — the ring pays per PROBE
+// for m summary exchanges, while the wire ships only the final digest
+// per QUERY.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ring_service.h"
+#include "sim/rpc_server.h"
+#include "sim/socket_transport.h"
+
+namespace ringdde::bench {
+namespace {
+
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const double h = p * static_cast<double>(seconds.size() - 1);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min(lo + 1, seconds.size() - 1);
+  const double t = h - static_cast<double>(lo);
+  return 1000.0 * (seconds[lo] + (seconds[hi] - seconds[lo]) * t);
+}
+
+void Run() {
+  const uint64_t kPeers = Scaled(4096, 128);
+  const uint64_t kItems = Scaled(200000, 5000);
+  const int kQueries = ScaledInt(16, 4);
+  const std::vector<uint64_t> kBudgets =
+      SmokeMode() ? std::vector<uint64_t>{32, 64}
+                  : std::vector<uint64_t>{256, 1024};
+
+  Table table(Fmt("E20 sim-charged vs wire-carried cost — n=%llu, "
+                  "Zipf(1000,0.9), N=%llu, %d estimate RPCs per row",
+                  (unsigned long long)kPeers, (unsigned long long)kItems,
+                  kQueries),
+              {"m", "sim_msgs", "sim_kbytes", "wire_kbytes_tx",
+               "wire_kbytes_rx", "rpc_ms_p50", "rpc_ms_p99"});
+
+  // Totals across every row's channel, reported as the BENCH counters the
+  // schema gate pins (wire_bytes_* / rpc_latency_*).
+  uint64_t total_wire_tx = 0;
+  uint64_t total_wire_rx = 0;
+  std::vector<double> all_latencies;
+
+  for (uint64_t m : kBudgets) {
+    DeploymentSpec spec;
+    spec.peers = kPeers;
+    spec.ring_seed = 71;
+    spec.net_seed = 0xE20;
+    spec.num_probes = m;
+
+    RingRpcService service(spec);
+    if (!service.Init().ok()) {
+      table.AddRow({Fmt("%llu", (unsigned long long)m), "-", "-", "-", "-",
+                    "-", "-"});
+      continue;
+    }
+    RpcServer server(
+        [&service](const Frame& f) { return service.Handle(f); });
+    if (!server.Start().ok()) {
+      table.AddRow({Fmt("%llu", (unsigned long long)m), "-", "-", "-", "-",
+                    "-", "-"});
+      continue;
+    }
+    {
+      SocketRpcChannel channel(server.port());
+      RingClient client(&channel);
+
+      InsertSpec ins;
+      ins.dist_kind = 2;  // zipf(values, theta)
+      ins.param_a = 1000;
+      ins.param_b = 0.9;
+      ins.count = kItems;
+      ins.data_seed = 71;
+      if (!client.Insert(ins).ok() || !client.Stabilize().ok()) {
+        server.Stop();
+        table.AddRow({Fmt("%llu", (unsigned long long)m), "-", "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
+
+      // Setup traffic (insert/stabilize) is not part of the query cost
+      // curve: snapshot the channel AFTER setup and diff at the end.
+      const uint64_t tx0 = channel.stats().wire_bytes_sent;
+      const uint64_t rx0 = channel.stats().wire_bytes_received;
+      const size_t lat0 = channel.stats().rpc_latency_seconds.size();
+
+      uint64_t sim_messages = 0;
+      uint64_t sim_bytes = 0;
+      for (int q = 0; q < kQueries; ++q) {
+        const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+        auto est = client.Estimate(querier, DeriveTaskSeed(0xE20 + m, q));
+        if (!est.ok()) continue;
+        sim_messages += est->cost.messages;
+        sim_bytes += est->cost.bytes;
+      }
+
+      const uint64_t wire_tx = channel.stats().wire_bytes_sent - tx0;
+      const uint64_t wire_rx = channel.stats().wire_bytes_received - rx0;
+      std::vector<double> latencies(
+          channel.stats().rpc_latency_seconds.begin() + lat0,
+          channel.stats().rpc_latency_seconds.end());
+
+      table.AddRow({Fmt("%llu", (unsigned long long)m),
+                    Fmt("%llu", (unsigned long long)sim_messages),
+                    Fmt("%.1f", sim_bytes / 1024.0),
+                    Fmt("%.1f", wire_tx / 1024.0),
+                    Fmt("%.1f", wire_rx / 1024.0),
+                    Fmt("%.3f", PercentileMs(latencies, 0.50)),
+                    Fmt("%.3f", PercentileMs(latencies, 0.99))});
+
+      total_wire_tx += channel.stats().wire_bytes_sent;
+      total_wire_rx += channel.stats().wire_bytes_received;
+      all_latencies.insert(all_latencies.end(), latencies.begin(),
+                           latencies.end());
+      BenchReporter::Global().AddCost(sim_messages, sim_bytes);
+    }
+    server.Stop();
+  }
+  table.Print();
+
+  BenchReporter::Global().RecordCounter("wire_bytes_sent",
+                                        static_cast<double>(total_wire_tx));
+  BenchReporter::Global().RecordCounter("wire_bytes_received",
+                                        static_cast<double>(total_wire_rx));
+  BenchReporter::Global().RecordCounter("rpc_latency_ms_p50",
+                                        PercentileMs(all_latencies, 0.50));
+  BenchReporter::Global().RecordCounter("rpc_latency_ms_p99",
+                                        PercentileMs(all_latencies, 0.99));
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::BenchRun run("e20_wire_cost");
+  ringdde::bench::Run();
+  return 0;
+}

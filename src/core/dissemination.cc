@@ -71,10 +71,10 @@ void EstimateDisseminator::Relay(CostContext& ctx, NodeAddr coordinator,
         const double backoff = retry_.BackoffSeconds(task, attempt - 1);
         if (waited + backoff > retry_.budget_seconds) break;
         waited += backoff;
-        ring_->network().RecordRetry(ctx);
-        ring_->network().ChargeWait(ctx, backoff);
+        ring_->transport().RecordRetry(ctx);
+        ring_->transport().ChargeWait(ctx, backoff);
       }
-      if (ring_->network()
+      if (ring_->transport()
               .TrySend(ctx, coordinator, children[i].addr, payload.size(),
                        /*hop_count=*/1)
               .ok()) {

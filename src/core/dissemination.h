@@ -41,7 +41,7 @@ class EstimateDisseminator {
   Result<size_t> Broadcast(CostContext& ctx, NodeAddr origin,
                            const DensityEstimate& estimate);
   Result<size_t> Broadcast(NodeAddr origin, const DensityEstimate& estimate) {
-    return Broadcast(ring_->network().shared_context(), origin, estimate);
+    return Broadcast(ring_->transport().shared_context(), origin, estimate);
   }
 
   /// The estimate a peer currently holds, if any. Decoded from the wire

@@ -143,8 +143,10 @@ class CdfProber {
   Result<LocalSummary> ProbeOnce(CostContext& ctx, NodeAddr querier,
                                  RingId target);
 
-  /// The message fabric of whichever state source this prober reads.
-  Network& net() const {
+  /// The message fabric of whichever state source this prober reads, typed
+  /// as the Transport interface: the probe protocol only uses the
+  /// accounting surface, never Network's sim-only machinery.
+  Transport& net() const {
     return view_ != nullptr ? view_->network() : ring_->network();
   }
 

@@ -1,0 +1,476 @@
+#include "core/ring_service.h"
+
+#include <utility>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/probe.h"
+#include "core/wire.h"
+#include "data/dataset.h"
+
+namespace ringdde {
+
+namespace {
+
+/// Digest mixer (SplitMix64 over a running state).
+uint64_t MixInto(uint64_t h, uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9E3779B97F4A7C15ULL));
+}
+
+void EncodeCostCounters(const CostCounters& c, Encoder* enc) {
+  enc->PutVarint64(c.messages);
+  enc->PutVarint64(c.hops);
+  enc->PutVarint64(c.bytes);
+  enc->PutDouble(c.latency_sum);
+  enc->PutVarint64(c.timeouts);
+  enc->PutVarint64(c.retries);
+  enc->PutVarint64(c.failed_probes);
+}
+
+Status DecodeCostCounters(Decoder* dec, CostCounters* c) {
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->messages));
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->hops));
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->bytes));
+  RINGDDE_RETURN_IF_ERROR(dec->GetDouble(&c->latency_sum));
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->timeouts));
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->retries));
+  RINGDDE_RETURN_IF_ERROR(dec->GetVarint64(&c->failed_probes));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Distribution>> MakeSpecDistribution(
+    const InsertSpec& spec) {
+  switch (spec.dist_kind) {
+    case 0:
+      return std::unique_ptr<Distribution>(
+          new UniformDistribution(spec.param_a, spec.param_b));
+    case 1:
+      return std::unique_ptr<Distribution>(
+          new TruncatedNormalDistribution(spec.param_a, spec.param_b));
+    case 2:
+      return std::unique_ptr<Distribution>(new ZipfDistribution(
+          static_cast<size_t>(spec.param_a), spec.param_b));
+    case 3:
+      return std::unique_ptr<Distribution>(
+          new TruncatedExponentialDistribution(spec.param_a));
+    case 4:
+      return std::unique_ptr<Distribution>(
+          new BoundedParetoDistribution(spec.param_a, spec.param_b));
+    default:
+      return Status::InvalidArgument("unknown distribution kind");
+  }
+}
+
+Result<std::unique_ptr<Deployment>> BuildDeployment(
+    const DeploymentSpec& spec) {
+  if (spec.peers == 0) {
+    return Status::InvalidArgument("deployment needs >= 1 peer");
+  }
+  auto deployment = std::make_unique<Deployment>();
+  NetworkOptions net_opts;
+  net_opts.seed = spec.net_seed;
+  if (spec.faults_enabled) {
+    net_opts.faults = std::make_shared<FaultInjector>(spec.faults);
+  }
+  deployment->network = std::make_unique<Network>(net_opts);
+  RingOptions ring_opts;
+  ring_opts.seed = spec.ring_seed;
+  deployment->ring =
+      std::make_unique<ChordRing>(deployment->network.get(), ring_opts);
+  RINGDDE_RETURN_IF_ERROR(
+      deployment->ring->CreateNetwork(static_cast<size_t>(spec.peers)));
+  return deployment;
+}
+
+uint64_t RingFingerprint(const ChordRing& ring) {
+  uint64_t h = 0x52494E47u;  // "RING"
+  const RingIndex::FlatView flat = ring.index().Flat();
+  h = MixInto(h, flat.size);
+  for (size_t i = 0; i < flat.size; ++i) {
+    h = MixInto(h, flat.ids[i]);
+    h = MixInto(h, flat.addrs[i]);
+    const Node* node = ring.GetNode(flat.addrs[i]);
+    h = MixInto(h, node != nullptr ? node->keys().size() : 0);
+  }
+  return h;
+}
+
+void EncodeDeploymentSpec(const DeploymentSpec& spec,
+                          std::vector<uint8_t>* out) {
+  Encoder enc;
+  enc.PutVarint64(spec.peers);
+  enc.PutFixed64(spec.ring_seed);
+  enc.PutFixed64(spec.net_seed);
+  enc.PutU8(spec.faults_enabled ? 1 : 0);
+  enc.PutDouble(spec.faults.drop_probability);
+  enc.PutDouble(spec.faults.duplicate_probability);
+  enc.PutDouble(spec.faults.delay_probability);
+  enc.PutDouble(spec.faults.delay_mean_seconds);
+  enc.PutDouble(spec.faults.crash_probability);
+  enc.PutDouble(spec.faults.crash_start_max_seconds);
+  enc.PutDouble(spec.faults.crash_duration_seconds);
+  enc.PutFixed64(spec.faults.seed);
+  enc.PutVarint64(spec.num_probes);
+  enc.PutVarint64(spec.refinement_rounds);
+  enc.PutVarint64(spec.local_quantiles);
+  enc.PutVarint64(spec.retry_max_attempts);
+  *out = enc.buffer();
+}
+
+Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in) {
+  Decoder dec(in);
+  DeploymentSpec spec;
+  uint8_t faults = 0;
+  uint64_t rounds = 0, quantiles = 0, attempts = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&spec.peers));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.ring_seed));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.net_seed));
+  RINGDDE_RETURN_IF_ERROR(dec.GetU8(&faults));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.drop_probability));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.duplicate_probability));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.delay_probability));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.delay_mean_seconds));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.crash_probability));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.crash_start_max_seconds));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.faults.crash_duration_seconds));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.faults.seed));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&spec.num_probes));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&rounds));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&quantiles));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&attempts));
+  spec.faults_enabled = faults != 0;
+  spec.refinement_rounds = static_cast<uint32_t>(rounds);
+  spec.local_quantiles = static_cast<uint32_t>(quantiles);
+  spec.retry_max_attempts = static_cast<uint32_t>(attempts);
+  return spec;
+}
+
+void EncodeInsertSpec(const InsertSpec& spec, std::vector<uint8_t>* out) {
+  Encoder enc;
+  enc.PutU8(spec.dist_kind);
+  enc.PutDouble(spec.param_a);
+  enc.PutDouble(spec.param_b);
+  enc.PutVarint64(spec.count);
+  enc.PutFixed64(spec.data_seed);
+  *out = enc.buffer();
+}
+
+Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in) {
+  Decoder dec(in);
+  InsertSpec spec;
+  RINGDDE_RETURN_IF_ERROR(dec.GetU8(&spec.dist_kind));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.param_a));
+  RINGDDE_RETURN_IF_ERROR(dec.GetDouble(&spec.param_b));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&spec.count));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.data_seed));
+  return spec;
+}
+
+void EncodeEstimateReply(const DensityEstimate& estimate,
+                         std::vector<uint8_t>* out) {
+  Encoder enc;
+  EncodeDensityEstimate(estimate, &enc);
+  EncodeCostCounters(estimate.cost, &enc);
+  enc.PutVarint64(estimate.probes_requested);
+  enc.PutVarint64(estimate.failed_probes);
+  enc.PutVarint64(estimate.retries);
+  enc.PutVarint64(estimate.timeouts);
+  *out = enc.buffer();
+}
+
+Result<DensityEstimate> DecodeEstimateReply(const std::vector<uint8_t>& in) {
+  Decoder dec(in);
+  Result<DensityEstimate> decoded = DecodeDensityEstimate(&dec);
+  if (!decoded.ok()) return decoded.status();
+  DensityEstimate estimate = std::move(*decoded);
+  uint64_t requested = 0;
+  RINGDDE_RETURN_IF_ERROR(DecodeCostCounters(&dec, &estimate.cost));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&requested));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&estimate.failed_probes));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&estimate.retries));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&estimate.timeouts));
+  estimate.probes_requested = static_cast<size_t>(requested);
+  return estimate;
+}
+
+void EncodeCountersReply(const CountersReply& reply,
+                         std::vector<uint8_t>* out) {
+  Encoder enc;
+  EncodeCostCounters(reply.counters, &enc);
+  enc.PutVarint64(reply.lost_messages);
+  *out = enc.buffer();
+}
+
+Result<CountersReply> DecodeCountersReply(const std::vector<uint8_t>& in) {
+  Decoder dec(in);
+  CountersReply reply;
+  RINGDDE_RETURN_IF_ERROR(DecodeCostCounters(&dec, &reply.counters));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&reply.lost_messages));
+  return reply;
+}
+
+RingRpcService::RingRpcService(DeploymentSpec spec) : spec_(std::move(spec)) {}
+
+Status RingRpcService::Init() {
+  Result<std::unique_ptr<Deployment>> built = BuildDeployment(spec_);
+  if (!built.ok()) return built.status();
+  deployment_ = std::move(*built);
+  return Status::OK();
+}
+
+uint64_t RingRpcService::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RingFingerprint(*deployment_->ring);
+}
+
+Result<Frame> RingRpcService::Handle(const Frame& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deployment_ == nullptr) {
+    return Status::FailedPrecondition("service not initialized");
+  }
+  switch (static_cast<RpcType>(request.type)) {
+    case RpcType::kHello:
+      return HandleHello();
+    case RpcType::kJoin:
+      return HandleJoin(request);
+    case RpcType::kStabilize:
+      return HandleStabilize();
+    case RpcType::kInsert:
+      return HandleInsert(request);
+    case RpcType::kProbe:
+      return HandleProbe(request);
+    case RpcType::kEstimate:
+      return HandleEstimate(request);
+    case RpcType::kCounters:
+      return HandleCounters();
+    case RpcType::kShutdown: {
+      shutdown_requested_ = true;
+      Frame reply;
+      reply.type = request.type;
+      return reply;
+    }
+    default:
+      return Status::InvalidArgument("unknown rpc type");
+  }
+}
+
+Result<Frame> RingRpcService::HandleHello() {
+  ChordRing& ring = *deployment_->ring;
+  Encoder enc;
+  enc.PutVarint64(ring.AliveCount());
+  enc.PutVarint64(ring.TotalItems());
+  enc.PutFixed64(RingFingerprint(ring));
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kHello);
+  reply.payload = enc.buffer();
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleJoin(const Frame& request) {
+  Decoder dec(request.payload);
+  uint64_t k = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&k));
+  ChordRing& ring = *deployment_->ring;
+  for (uint64_t i = 0; i < k; ++i) {
+    if (ring.AliveCount() == 0) {
+      return Status::FailedPrecondition("no bootstrap peer alive");
+    }
+    // Deterministic bootstrap: the lowest-id alive peer. Join draws all
+    // other randomness from the ring's own seeded rng, so every replica
+    // shard performs the identical join.
+    Result<NodeAddr> joined = ring.Join(ring.AliveAddrAtRank(0));
+    if (!joined.ok()) return joined.status();
+  }
+  Encoder enc;
+  enc.PutVarint64(ring.AliveCount());
+  enc.PutFixed64(RingFingerprint(ring));
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kJoin);
+  reply.payload = enc.buffer();
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleStabilize() {
+  ChordRing& ring = *deployment_->ring;
+  ring.StabilizeAll();
+  Encoder enc;
+  enc.PutFixed64(RingFingerprint(ring));
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kStabilize);
+  reply.payload = enc.buffer();
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleInsert(const Frame& request) {
+  Result<InsertSpec> spec = DecodeInsertSpec(request.payload);
+  if (!spec.ok()) return spec.status();
+  Result<std::unique_ptr<Distribution>> dist = MakeSpecDistribution(*spec);
+  if (!dist.ok()) return dist.status();
+  Rng rng(spec->data_seed);
+  Dataset dataset =
+      GenerateDataset(**dist, static_cast<size_t>(spec->count), rng);
+  ChordRing& ring = *deployment_->ring;
+  ring.InsertDatasetBulk(dataset.keys);
+  Encoder enc;
+  enc.PutVarint64(ring.TotalItems());
+  enc.PutFixed64(RingFingerprint(ring));
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kInsert);
+  reply.payload = enc.buffer();
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleProbe(const Frame& request) {
+  Decoder dec(request.payload);
+  uint64_t querier = 0, target = 0, ctx_seed = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&target));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&ctx_seed));
+  ChordRing& ring = *deployment_->ring;
+  ProbeOptions popts;
+  popts.num_quantiles = static_cast<int>(spec_.local_quantiles);
+  popts.retry.max_attempts = static_cast<int>(spec_.retry_max_attempts);
+  CdfProber prober(&ring, popts);
+  CostContext ctx = deployment_->network->MakeQueryContext(ctx_seed);
+  Result<LocalSummary> summary = prober.Probe(ctx, querier, RingId(target));
+  if (!summary.ok()) return summary.status();
+  deployment_->network->Accumulate(ctx.counters, ctx.lost_messages);
+  Encoder enc;
+  EncodeLocalSummary(*summary, &enc);
+  EncodeCostCounters(ctx.counters, &enc);
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kProbe);
+  reply.payload = enc.buffer();
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleEstimate(const Frame& request) {
+  Decoder dec(request.payload);
+  uint64_t querier = 0, query_seed = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&query_seed));
+  DdeOptions opts;
+  opts.num_probes = static_cast<size_t>(spec_.num_probes);
+  opts.refinement_rounds = static_cast<int>(spec_.refinement_rounds);
+  opts.local_quantiles = static_cast<int>(spec_.local_quantiles);
+  opts.retry.max_attempts = static_cast<int>(spec_.retry_max_attempts);
+  opts.seed = query_seed;
+  DistributionFreeEstimator estimator(deployment_->ring.get(), opts);
+  Result<DensityEstimate> estimate = estimator.Estimate(querier);
+  if (!estimate.ok()) return estimate.status();
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kEstimate);
+  EncodeEstimateReply(*estimate, &reply.payload);
+  return reply;
+}
+
+Result<Frame> RingRpcService::HandleCounters() {
+  CountersReply counters;
+  counters.counters = deployment_->network->counters();
+  counters.lost_messages = deployment_->network->lost_messages();
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kCounters);
+  EncodeCountersReply(counters, &reply.payload);
+  return reply;
+}
+
+// --- RingClient -------------------------------------------------------------
+
+namespace {
+
+Result<Frame> CallExpecting(RpcChannel* channel, RpcType type,
+                            const std::vector<uint8_t>& payload) {
+  Frame request;
+  request.type = static_cast<uint8_t>(type);
+  request.payload = payload;
+  Result<Frame> reply = channel->Call(request);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != static_cast<uint8_t>(type)) {
+    return Status::Internal("rpc reply type mismatch");
+  }
+  return reply;
+}
+
+}  // namespace
+
+Result<RingClient::HelloReply> RingClient::Hello() {
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kHello, {});
+  if (!reply.ok()) return reply.status();
+  Decoder dec(reply->payload);
+  HelloReply out;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&out.alive_count));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&out.total_items));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&out.fingerprint));
+  return out;
+}
+
+Result<uint64_t> RingClient::Join(uint64_t k) {
+  Encoder enc;
+  enc.PutVarint64(k);
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kJoin, enc.buffer());
+  if (!reply.ok()) return reply.status();
+  Decoder dec(reply->payload);
+  uint64_t alive = 0, fingerprint = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&alive));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&fingerprint));
+  return fingerprint;
+}
+
+Result<uint64_t> RingClient::Stabilize() {
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kStabilize, {});
+  if (!reply.ok()) return reply.status();
+  Decoder dec(reply->payload);
+  uint64_t fingerprint = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&fingerprint));
+  return fingerprint;
+}
+
+Result<uint64_t> RingClient::Insert(const InsertSpec& spec) {
+  std::vector<uint8_t> payload;
+  EncodeInsertSpec(spec, &payload);
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kInsert, payload);
+  if (!reply.ok()) return reply.status();
+  Decoder dec(reply->payload);
+  uint64_t items = 0, fingerprint = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&items));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&fingerprint));
+  return items;
+}
+
+Result<LocalSummary> RingClient::Probe(NodeAddr querier, RingId target,
+                                       uint64_t ctx_seed) {
+  Encoder enc;
+  enc.PutVarint64(querier);
+  enc.PutFixed64(target.value);
+  enc.PutFixed64(ctx_seed);
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kProbe, enc.buffer());
+  if (!reply.ok()) return reply.status();
+  Decoder dec(reply->payload);
+  return DecodeLocalSummary(&dec);
+}
+
+Result<DensityEstimate> RingClient::Estimate(NodeAddr querier,
+                                             uint64_t query_seed) {
+  Encoder enc;
+  enc.PutVarint64(querier);
+  enc.PutFixed64(query_seed);
+  Result<Frame> reply =
+      CallExpecting(channel_, RpcType::kEstimate, enc.buffer());
+  if (!reply.ok()) return reply.status();
+  return DecodeEstimateReply(reply->payload);
+}
+
+Result<CountersReply> RingClient::Counters() {
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kCounters, {});
+  if (!reply.ok()) return reply.status();
+  return DecodeCountersReply(reply->payload);
+}
+
+Status RingClient::Shutdown() {
+  Result<Frame> reply = CallExpecting(channel_, RpcType::kShutdown, {});
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+}  // namespace ringdde

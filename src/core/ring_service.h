@@ -1,0 +1,191 @@
+#ifndef RINGDDE_CORE_RING_SERVICE_H_
+#define RINGDDE_CORE_RING_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "data/distribution.h"
+#include "ring/chord_ring.h"
+#include "sim/network.h"
+#include "sim/socket_transport.h"
+#include "sim/transport.h"
+
+namespace ringdde {
+
+/// Everything needed to build one ring deployment deterministically.
+///
+/// The multi-process model is DETERMINISTIC REPLICA SHARDS: every
+/// `ringdde_node` process builds the identical deployment from the same
+/// spec, and the driving client broadcasts every mutating command (join /
+/// stabilize / insert) to all processes in the same order. State then
+/// stays bit-identical everywhere (verified by fingerprint), so read RPCs
+/// (probe / estimate) can be partitioned across processes arbitrarily —
+/// and their results and CostCounters match the in-process sim oracle
+/// exactly, because the server runs the very same protocol code over the
+/// very same seeds.
+struct DeploymentSpec {
+  /// Initial CreateNetwork size (>= 1).
+  uint64_t peers = 8;
+  /// RingOptions::seed (node ids, protocol randomness).
+  uint64_t ring_seed = 1;
+  /// NetworkOptions::seed (latency/loss/query-context derivation).
+  uint64_t net_seed = 0xC0FFEE;
+  /// In-ring fault plan. Probabilities of 0 with empty windows means no
+  /// injector is attached at all (TrySend degenerates to Send exactly).
+  bool faults_enabled = false;
+  FaultOptions faults;
+  /// Estimation options applied by kEstimate (seed comes per-request).
+  uint64_t num_probes = 64;
+  uint32_t refinement_rounds = 2;
+  uint32_t local_quantiles = 8;
+  uint32_t retry_max_attempts = 1;
+};
+
+/// Dataset synthesis request, shipped in kInsert: the server generates the
+/// keys itself (same distribution + seed => same keys in every process)
+/// rather than shipping the raw values.
+struct InsertSpec {
+  /// 0 uniform(a,b) · 1 normal(mean=a, stddev=b) · 2 zipf(values=a,
+  /// theta=b) · 3 exponential(rate=a) · 4 pareto(alpha=a, lo=b).
+  uint8_t dist_kind = 0;
+  double param_a = 0.0;
+  double param_b = 1.0;
+  uint64_t count = 0;
+  uint64_t data_seed = 7;
+};
+
+/// Builds the distribution named by an InsertSpec. InvalidArgument on an
+/// unknown kind.
+Result<std::unique_ptr<Distribution>> MakeSpecDistribution(
+    const InsertSpec& spec);
+
+/// One process-local deployment built from a spec: the fabric plus the
+/// ring, constructed in a fixed order so two Deployments from equal specs
+/// are bit-identical.
+struct Deployment {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<ChordRing> ring;
+};
+
+Result<std::unique_ptr<Deployment>> BuildDeployment(
+    const DeploymentSpec& spec);
+
+/// Order-sensitive digest of all replicated ring state: alive membership
+/// (ids + addrs in ring order) and every node's stored key count. Two
+/// processes that executed the same command sequence from the same spec
+/// MUST agree on it; the conformance harness checks it after every
+/// mutating step.
+uint64_t RingFingerprint(const ChordRing& ring);
+
+/// Per-request payload codecs (sim/transport.h frames carry these).
+void EncodeDeploymentSpec(const DeploymentSpec& spec,
+                          std::vector<uint8_t>* out);
+Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in);
+void EncodeInsertSpec(const InsertSpec& spec, std::vector<uint8_t>* out);
+Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in);
+
+/// What kEstimate returns: the estimate itself plus the degradation and
+/// cost accounting the conformance/fault-parity tests compare against the
+/// sim oracle.
+struct EstimateReply {
+  DensityEstimate estimate;
+};
+void EncodeEstimateReply(const DensityEstimate& estimate,
+                         std::vector<uint8_t>* out);
+Result<DensityEstimate> DecodeEstimateReply(const std::vector<uint8_t>& in);
+
+/// kCounters reply: deployment-wide totals.
+struct CountersReply {
+  CostCounters counters;
+  uint64_t lost_messages = 0;
+};
+void EncodeCountersReply(const CountersReply& reply,
+                         std::vector<uint8_t>* out);
+Result<CountersReply> DecodeCountersReply(const std::vector<uint8_t>& in);
+
+/// The ring node's RPC dispatch: owns one Deployment and executes frames
+/// against it. Handler-thread-safe (one big mutex — correctness over
+/// concurrency; the conformance corpus is sequential anyway and the bench
+/// drives one channel per client thread against distinct ops).
+class RingRpcService {
+ public:
+  explicit RingRpcService(DeploymentSpec spec);
+
+  /// Builds the deployment. Must be called (and succeed) before Handle.
+  Status Init();
+
+  /// Executes one request frame, returning the reply frame (success echoes
+  /// the request type; errors surface as a non-ok Status, which socket
+  /// servers turn into kError frames).
+  Result<Frame> Handle(const Frame& request);
+
+  /// True once a kShutdown frame was served.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+  /// State digest of the current deployment (test/diagnostic use).
+  uint64_t Fingerprint() const;
+
+  const DeploymentSpec& spec() const { return spec_; }
+  Deployment* deployment() { return deployment_.get(); }
+
+ private:
+  Result<Frame> HandleHello();
+  Result<Frame> HandleJoin(const Frame& request);
+  Result<Frame> HandleStabilize();
+  Result<Frame> HandleInsert(const Frame& request);
+  Result<Frame> HandleProbe(const Frame& request);
+  Result<Frame> HandleEstimate(const Frame& request);
+  Result<Frame> HandleCounters();
+
+  DeploymentSpec spec_;
+  std::unique_ptr<Deployment> deployment_;
+  mutable std::mutex mu_;
+  bool shutdown_requested_ = false;
+};
+
+/// Client-side convenience wrappers over any RpcChannel, mirroring the
+/// service ops one to one. Each returns the decoded reply.
+class RingClient {
+ public:
+  explicit RingClient(RpcChannel* channel) : channel_(channel) {}
+
+  struct HelloReply {
+    uint64_t alive_count = 0;
+    uint64_t total_items = 0;
+    uint64_t fingerprint = 0;
+  };
+  Result<HelloReply> Hello();
+
+  /// Joins `k` fresh peers (bootstrap chosen deterministically server-side)
+  /// and returns the post-join fingerprint.
+  Result<uint64_t> Join(uint64_t k);
+
+  /// Full stabilization sweep; returns the post-sweep fingerprint.
+  Result<uint64_t> Stabilize();
+
+  /// Synthesizes + bulk-loads a dataset; returns total items stored.
+  Result<uint64_t> Insert(const InsertSpec& spec);
+
+  /// One CDF probe from `querier` toward `target` with a fresh query
+  /// context derived from `ctx_seed`; returns the summary.
+  Result<LocalSummary> Probe(NodeAddr querier, RingId target,
+                             uint64_t ctx_seed);
+
+  /// Full estimation run from `querier` with DdeOptions.seed = query_seed.
+  Result<DensityEstimate> Estimate(NodeAddr querier, uint64_t query_seed);
+
+  Result<CountersReply> Counters();
+
+  Status Shutdown();
+
+ private:
+  RpcChannel* channel_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_RING_SERVICE_H_

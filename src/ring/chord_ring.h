@@ -215,6 +215,11 @@ class ChordRing {
   const RingIndex& index() const { return index_; }
 
   Network& network() { return *network_; }
+  /// The fabric typed as the accounting interface, for protocol layers
+  /// (probe, dissemination) that never need sim-only machinery. The ring's
+  /// own hot paths keep the concrete Network* so their charges stay
+  /// devirtualized.
+  Transport& transport() { return *network_; }
   const RingOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 

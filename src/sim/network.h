@@ -10,12 +10,9 @@
 #include "sim/event_queue.h"
 #include "sim/fault_injector.h"
 #include "sim/latency_model.h"
+#include "sim/transport.h"
 
 namespace ringdde {
-
-/// Opaque endpoint address (a node's stable name, NOT its ring id — a node
-/// keeps its address across re-joins).
-using NodeAddr = uint64_t;
 
 /// Options for the simulated network fabric.
 struct NetworkOptions {
@@ -52,7 +49,12 @@ struct NetworkOptions {
 ///    back with Accumulate() so deployment-wide totals stay observable.
 ///  - Event-driven: periodic processes (churn, gossip rounds, maintenance)
 ///    schedule themselves on the owned EventQueue.
-class Network {
+///
+/// Network is the deterministic backend of the Transport interface (the
+/// test oracle for the socket backend). It is `final` so code holding a
+/// concrete Network* — the ring hot paths — keeps devirtualized direct
+/// calls; only code written against Transport& pays a virtual dispatch.
+class Network final : public Transport {
  public:
   explicit Network(NetworkOptions options = {});
 
@@ -64,7 +66,7 @@ class Network {
   /// call concurrently with any other const accounting call as long as each
   /// thread uses its own context.
   double Send(CostContext& ctx, NodeAddr from, NodeAddr to,
-              uint64_t payload_bytes, uint64_t hop_count = 1) const;
+              uint64_t payload_bytes, uint64_t hop_count = 1) const override;
 
   /// Fallible send against `ctx`: ONE delivery attempt judged by the
   /// attached FaultInjector. A dropped message, a crashed or hung
@@ -76,7 +78,8 @@ class Network {
   /// injector this is exactly Send(): same cost, same rng stream, same
   /// return value, wrapped in an OK Result.
   Result<double> TrySend(CostContext& ctx, NodeAddr from, NodeAddr to,
-                         uint64_t payload_bytes, uint64_t hop_count = 1) const;
+                         uint64_t payload_bytes,
+                         uint64_t hop_count = 1) const override;
 
   /// Legacy single-threaded entry points: charge the network-owned shared
   /// context (bit-identical to historical builds where these counters and
@@ -92,11 +95,11 @@ class Network {
 
   /// Records one protocol-level retry / failed probe into a context (kept
   /// here so CostScope deltas capture them alongside message cost).
-  void RecordRetry(CostContext& ctx) const {
+  void RecordRetry(CostContext& ctx) const override {
     auto lock = MaybeLock(ctx);
     ctx.counters.retries += 1;
   }
-  void RecordFailedProbe(CostContext& ctx) const {
+  void RecordFailedProbe(CostContext& ctx) const override {
     auto lock = MaybeLock(ctx);
     ctx.counters.failed_probes += 1;
   }
@@ -105,7 +108,7 @@ class Network {
 
   /// Charges wall-clock the protocol spent waiting (retry backoff) to the
   /// serial-latency accounting without sending anything.
-  void ChargeWait(CostContext& ctx, double seconds) const {
+  void ChargeWait(CostContext& ctx, double seconds) const override {
     auto lock = MaybeLock(ctx);
     ctx.counters.latency_sum += seconds;
   }
@@ -113,7 +116,7 @@ class Network {
 
   /// The network-owned context behind the legacy overloads. Exposed so
   /// protocol layers can thread it explicitly through context-taking APIs.
-  CostContext& shared_context() { return shared_ctx_; }
+  CostContext& shared_context() override { return shared_ctx_; }
 
   /// Builds an independent per-query context whose latency/loss/fault
   /// streams are a pure function of (network seed, query_seed) — identical
@@ -154,7 +157,7 @@ class Network {
   const EventQueue& events() const { return events_; }
 
   /// Virtual time of the event queue, for convenience.
-  double Now() const { return events_.Now(); }
+  double Now() const override { return events_.Now(); }
 
   const LatencyModel& latency_model() const { return *options_.latency; }
 

@@ -1,0 +1,214 @@
+#include "sim/rpc_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ringdde {
+
+namespace {
+
+/// Writes the whole buffer, tolerating partial writes and EINTR. Returns
+/// false on a severed peer.
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::send(fd, data + off, len - off, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+RpcServer::RpcServer(Handler handler, RpcServerOptions options)
+    : handler_(std::move(handler)), options_(options) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the OS picks a free port
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:0) failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  stopping_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<Connection> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (Connection& c : conns) {
+    // Shutdown wakes the connection thread out of poll/recv; it then exits.
+    ::shutdown(c.fd, SHUT_RDWR);
+    if (c.thread.joinable()) c.thread.join();
+    ::close(c.fd);
+  }
+}
+
+void RpcServer::JoinFinished() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (size_t i = 0; i < connections_.size();) {
+    if (connections_[i].done->load()) {
+      if (connections_[i].thread.joinable()) connections_[i].thread.join();
+      ::close(connections_[i].fd);
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void RpcServer::AcceptLoop() {
+  const int poll_ms =
+      static_cast<int>(options_.poll_interval_seconds * 1000.0);
+  while (!stopping_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, poll_ms > 0 ? poll_ms : 50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) {
+      JoinFinished();
+      continue;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_ += 1;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread t([this, fd, done] {
+      ServeConnection(fd);
+      done->store(true);
+    });
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(Connection{fd, std::move(t), std::move(done)});
+  }
+}
+
+void RpcServer::ServeConnection(int fd) {
+  std::vector<uint8_t> buffer;
+  const int idle_ms =
+      static_cast<int>(options_.idle_timeout_seconds * 1000.0);
+  const int poll_ms =
+      static_cast<int>(options_.poll_interval_seconds * 1000.0);
+  double idle_budget_ms = idle_ms;
+
+  while (!stopping_) {
+    // Drain every complete frame already buffered before reading more.
+    size_t consumed = 0;
+    bool close_conn = false;
+    while (true) {
+      size_t frame_bytes = 0;
+      Result<Frame> frame = DecodeFrame(buffer.data() + consumed,
+                                        buffer.size() - consumed,
+                                        &frame_bytes);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kOutOfRange) break;
+        close_conn = true;  // malformed framing: never resynchronize
+        break;
+      }
+      consumed += frame_bytes;
+      idle_budget_ms = idle_ms;
+
+      const uint64_t seq = rpc_seq_.fetch_add(1);
+      if (wire_fault_hook_) {
+        WireFault fault = wire_fault_hook_(seq);
+        if (fault.extra_delay_seconds > 0.0 && !stopping_) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              fault.extra_delay_seconds));
+        }
+        if (fault.drop) {
+          // Severed BEFORE dispatch: the request never executes, so the
+          // client's retry re-runs it exactly once end to end.
+          frames_dropped_ += 1;
+          close_conn = true;
+          break;
+        }
+      }
+
+      Result<Frame> reply = handler_(*frame);
+      std::vector<uint8_t> out;
+      if (reply.ok()) {
+        EncodeFrame(reply->type, reply->payload, &out);
+      } else {
+        std::vector<uint8_t> payload;
+        EncodeStatusPayload(reply.status(), &payload);
+        EncodeFrame(static_cast<uint8_t>(RpcType::kError), payload, &out);
+      }
+      if (!WriteAll(fd, out.data(), out.size())) {
+        close_conn = true;
+        break;
+      }
+      frames_served_ += 1;
+      wire_bytes_sent_ += out.size();
+    }
+    if (consumed > 0) buffer.erase(buffer.begin(), buffer.begin() + consumed);
+    if (close_conn) break;
+
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, poll_ms > 0 ? poll_ms : 50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc == 0) {
+      idle_budget_ms -= (poll_ms > 0 ? poll_ms : 50);
+      if (idle_budget_ms <= 0) break;  // hung peer: disconnect, fail fast
+      continue;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    uint8_t chunk[16384];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or error
+    buffer.insert(buffer.end(), chunk, chunk + n);
+    wire_bytes_received_ += static_cast<uint64_t>(n);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace ringdde

@@ -1,0 +1,122 @@
+#ifndef RINGDDE_SIM_RPC_SERVER_H_
+#define RINGDDE_SIM_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/transport.h"
+
+namespace ringdde {
+
+/// Wire-level fault verdict for one inbound RPC, decided by the attached
+/// WireFaultHook from the server-wide rpc sequence number. This is the
+/// socket realization of FaultInjector's message faults:
+///  - drop  -> the connection is closed WITHOUT executing the request or
+///             sending a reply (the client sees EOF and retries; because
+///             the request never dispatched, a retried RPC still executes
+///             exactly once).
+///  - extra_delay_seconds -> the server sleeps for real before dispatching
+///             (the client observes genuinely inflated RPC latency).
+struct WireFault {
+  bool drop = false;
+  double extra_delay_seconds = 0.0;
+};
+
+struct RpcServerOptions {
+  /// Idle deadline per connection: a peer that goes silent mid-frame for
+  /// this long is disconnected (hung-peer guard; keeps ctest from wedging).
+  double idle_timeout_seconds = 30.0;
+  /// Accept-loop poll granularity; also bounds Stop() latency.
+  double poll_interval_seconds = 0.05;
+};
+
+/// A minimal framed-RPC server over local TCP.
+///
+/// Binds 127.0.0.1 on an ephemeral port (port 0 — the OS picks; port()
+/// reports it), accepts connections on a background thread, and serves
+/// each connection on its own thread: read frames (sim/transport.h
+/// framing), dispatch the handler, write the reply frame. A handler error
+/// becomes a kError frame carrying the encoded Status; a malformed inbound
+/// frame closes the connection. Connections are persistent — one client
+/// issues many RPCs over one socket.
+///
+/// Teardown is deterministic: Stop() closes the listener and every live
+/// connection, then joins all threads. The destructor calls Stop().
+class RpcServer {
+ public:
+  /// Dispatch callback. Runs on connection threads — the handler is
+  /// responsible for its own synchronization.
+  using Handler = std::function<Result<Frame>(const Frame& request)>;
+
+  /// Optional wire-fault hook, consulted once per inbound frame with the
+  /// server-wide rpc sequence number (0, 1, 2, ... in arrival order).
+  using WireFaultHook = std::function<WireFault(uint64_t rpc_seq)>;
+
+  explicit RpcServer(Handler handler, RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds + listens + starts the accept loop. Fails if already started or
+  /// if no ephemeral port could be bound.
+  Status Start();
+
+  /// Stops accepting, severs every connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The OS-assigned listening port; 0 before Start().
+  uint16_t port() const { return port_; }
+
+  void set_wire_fault_hook(WireFaultHook hook) {
+    wire_fault_hook_ = std::move(hook);
+  }
+
+  /// Cumulative socket-level telemetry (atomics; readable live).
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t frames_served() const { return frames_served_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t wire_bytes_received() const { return wire_bytes_received_; }
+  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Reaps finished connection threads (called from the accept loop).
+  void JoinFinished();
+
+  Handler handler_;
+  RpcServerOptions options_;
+  WireFaultHook wire_fault_hook_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  struct Connection {
+    int fd;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+
+  std::atomic<uint64_t> rpc_seq_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> wire_bytes_received_{0};
+  std::atomic<uint64_t> wire_bytes_sent_{0};
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_RPC_SERVER_H_

@@ -1,0 +1,203 @@
+#include "sim/socket_transport.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace ringdde {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::send(fd, data + off, len - off, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketRpcChannel::SocketRpcChannel(uint16_t port, SocketChannelOptions options)
+    : port_(port), options_(options) {}
+
+SocketRpcChannel::~SocketRpcChannel() { Disconnect(); }
+
+void SocketRpcChannel::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status SocketRpcChannel::EnsureConnected(double deadline_left_seconds) {
+  if (fd_ >= 0) return Status::OK();
+  if (deadline_left_seconds <= 0.0) {
+    return Status::TimedOut("rpc deadline exhausted before connect");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect(127.0.0.1) refused");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  read_buffer_.clear();
+  stats_.reconnects += 1;
+  return Status::OK();
+}
+
+Result<Frame> SocketRpcChannel::CallOnce(const std::vector<uint8_t>& encoded,
+                                         double deadline_left_seconds) {
+  const double deadline = MonotonicSeconds() + deadline_left_seconds;
+  RINGDDE_RETURN_IF_ERROR(EnsureConnected(deadline_left_seconds));
+  if (!SendAll(fd_, encoded.data(), encoded.size())) {
+    Disconnect();
+    return Status::Unavailable("peer severed connection on send");
+  }
+  stats_.wire_bytes_sent += encoded.size();
+
+  // Await exactly one reply frame under the remaining deadline.
+  while (true) {
+    size_t consumed = 0;
+    Result<Frame> frame =
+        DecodeFrame(read_buffer_.data(), read_buffer_.size(), &consumed);
+    if (frame.ok()) {
+      read_buffer_.erase(read_buffer_.begin(),
+                         read_buffer_.begin() + consumed);
+      return frame;
+    }
+    if (frame.status().code() != StatusCode::kOutOfRange) {
+      Disconnect();  // malformed reply framing: the stream is poisoned
+      return frame.status();
+    }
+    const double left = deadline - MonotonicSeconds();
+    if (left <= 0.0) {
+      // Fail fast AND sever: a late reply must not be mistaken for the
+      // answer to a later request on this stream.
+      Disconnect();
+      return Status::TimedOut("rpc deadline exceeded awaiting reply");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(left * 1000.0) + 1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      Disconnect();
+      return Status::TimedOut("rpc deadline exceeded awaiting reply");
+    }
+    uint8_t chunk[16384];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Disconnect();
+      return Status::Unavailable("peer closed connection before reply");
+    }
+    read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+    stats_.wire_bytes_received += static_cast<uint64_t>(n);
+  }
+}
+
+Result<Frame> SocketRpcChannel::Call(const Frame& request) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame(request.type, request.payload, &encoded);
+
+  const double start = MonotonicSeconds();
+  const double deadline = start + options_.rpc_deadline_seconds;
+  Status last = Status::Unavailable("rpc made no attempt");
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.reconnect_backoff_seconds));
+    }
+    const double left = deadline - MonotonicSeconds();
+    if (left <= 0.0) {
+      last = Status::TimedOut("rpc deadline exhausted across retries");
+      break;
+    }
+    Result<Frame> reply = CallOnce(encoded, left);
+    if (reply.ok()) {
+      stats_.rpcs_sent += 1;
+      stats_.rpc_latency_seconds.push_back(MonotonicSeconds() - start);
+      if (reply->type == static_cast<uint8_t>(RpcType::kError)) {
+        return DecodeStatusPayload(reply->payload);
+      }
+      return reply;
+    }
+    last = reply.status();
+    // Deadline errors are terminal; severed connections are retried (the
+    // server's wire drop-fault severs before dispatch, so a retry cannot
+    // double-execute).
+    if (last.IsTimedOut()) break;
+  }
+  stats_.rpcs_failed += 1;
+  return last;
+}
+
+LoopbackChannel::LoopbackChannel(Handler handler)
+    : handler_(std::move(handler)) {}
+
+Result<Frame> LoopbackChannel::Call(const Frame& request) {
+  // Round-trip through the real framing both ways so this rung certifies
+  // the codecs, not just the handler.
+  std::vector<uint8_t> encoded;
+  EncodeFrame(request.type, request.payload, &encoded);
+  stats_.wire_bytes_sent += encoded.size();
+  size_t consumed = 0;
+  Result<Frame> decoded = DecodeFrame(encoded.data(), encoded.size(),
+                                      &consumed);
+  if (!decoded.ok()) return decoded.status();
+
+  const double start = MonotonicSeconds();
+  Result<Frame> reply = handler_(*decoded);
+  std::vector<uint8_t> reply_bytes;
+  if (reply.ok()) {
+    EncodeFrame(reply->type, reply->payload, &reply_bytes);
+  } else {
+    std::vector<uint8_t> payload;
+    EncodeStatusPayload(reply.status(), &payload);
+    EncodeFrame(static_cast<uint8_t>(RpcType::kError), payload,
+                &reply_bytes);
+  }
+  stats_.wire_bytes_received += reply_bytes.size();
+  Result<Frame> out =
+      DecodeFrame(reply_bytes.data(), reply_bytes.size(), &consumed);
+  if (!out.ok()) return out.status();
+  stats_.rpcs_sent += 1;
+  stats_.rpc_latency_seconds.push_back(MonotonicSeconds() - start);
+  if (out->type == static_cast<uint8_t>(RpcType::kError)) {
+    // Transport-level success: the error is the operation's, mirroring
+    // SocketRpcChannel's accounting.
+    return DecodeStatusPayload(out->payload);
+  }
+  return out;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,108 @@
+#ifndef RINGDDE_SIM_SOCKET_TRANSPORT_H_
+#define RINGDDE_SIM_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/transport.h"
+
+namespace ringdde {
+
+/// Client-side telemetry of one RPC channel. These are the REAL wire
+/// numbers the E20 bench reports against the sim's charged byte counts.
+struct RpcChannelStats {
+  uint64_t rpcs_sent = 0;
+  uint64_t rpcs_failed = 0;
+  uint64_t wire_bytes_sent = 0;
+  uint64_t wire_bytes_received = 0;
+  /// Connections (re)established — first connect counts 1; every recovery
+  /// after a server-side drop or severed socket adds another.
+  uint64_t reconnects = 0;
+  /// Wall-clock seconds per completed RPC, in completion order.
+  std::vector<double> rpc_latency_seconds;
+};
+
+/// One request/response exchange with a ring node service. The request's
+/// frame type selects the operation (RpcType); a successful reply echoes
+/// the type, a failed one surfaces the server's Status.
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+
+  /// Sends `request` and blocks for the matching reply. A kError reply is
+  /// decoded into its Status. Transport-level failures (connect refused,
+  /// peer EOF after retries, deadline) surface as Unavailable/TimedOut.
+  virtual Result<Frame> Call(const Frame& request) = 0;
+
+  virtual const RpcChannelStats& stats() const = 0;
+};
+
+struct SocketChannelOptions {
+  /// Per-RPC deadline: connect + send + await-reply must finish inside it.
+  double rpc_deadline_seconds = 20.0;
+  /// Transport-level attempts per Call (reconnect between attempts). The
+  /// server's drop-fault closes the socket before dispatch, so a retried
+  /// RPC still executes exactly once.
+  int max_attempts = 5;
+  /// Pause between reconnect attempts.
+  double reconnect_backoff_seconds = 0.02;
+};
+
+/// Framed RPC over one persistent TCP connection to 127.0.0.1:port, with
+/// lazy connect and reconnect-retry. NOT thread-safe: one channel per
+/// client thread (matching CostContext ownership rules).
+class SocketRpcChannel final : public RpcChannel {
+ public:
+  SocketRpcChannel(uint16_t port, SocketChannelOptions options = {});
+  ~SocketRpcChannel() override;
+
+  SocketRpcChannel(const SocketRpcChannel&) = delete;
+  SocketRpcChannel& operator=(const SocketRpcChannel&) = delete;
+
+  Result<Frame> Call(const Frame& request) override;
+
+  const RpcChannelStats& stats() const override { return stats_; }
+
+  /// Drops the connection (next Call reconnects).
+  void Disconnect();
+
+ private:
+  Status EnsureConnected(double deadline_left_seconds);
+  /// One attempt: send the encoded request, read one reply frame.
+  Result<Frame> CallOnce(const std::vector<uint8_t>& encoded,
+                         double deadline_left_seconds);
+
+  uint16_t port_;
+  SocketChannelOptions options_;
+  int fd_ = -1;
+  std::vector<uint8_t> read_buffer_;
+  RpcChannelStats stats_;
+};
+
+/// In-process channel: frames are encoded to bytes, decoded back, and
+/// dispatched to a handler directly — the full codec path with zero
+/// sockets. This is the middle rung of the conformance ladder: it proves
+/// the frame/payload codecs are lossless independently of socket
+/// mechanics, so a conformance failure localizes to either the codec rung
+/// or the socket rung.
+class LoopbackChannel final : public RpcChannel {
+ public:
+  using Handler = std::function<Result<Frame>(const Frame& request)>;
+
+  explicit LoopbackChannel(Handler handler);
+
+  Result<Frame> Call(const Frame& request) override;
+
+  const RpcChannelStats& stats() const override { return stats_; }
+
+ private:
+  Handler handler_;
+  RpcChannelStats stats_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_SOCKET_TRANSPORT_H_

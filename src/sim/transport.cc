@@ -1,0 +1,87 @@
+#include "sim/transport.h"
+
+#include <string>
+
+#include "common/codec.h"
+
+namespace ringdde {
+
+void EncodeFrame(uint8_t type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out) {
+  const uint32_t length = static_cast<uint32_t>(payload_len) + 2;
+  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+  out->push_back(static_cast<uint8_t>(length & 0xFF));
+  out->push_back(static_cast<uint8_t>((length >> 8) & 0xFF));
+  out->push_back(static_cast<uint8_t>((length >> 16) & 0xFF));
+  out->push_back(static_cast<uint8_t>((length >> 24) & 0xFF));
+  out->push_back(kWireProtocolVersion);
+  out->push_back(type);
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t len, size_t* consumed) {
+  if (len < 4) return Status::OutOfRange("incomplete frame: short header");
+  const uint32_t length = static_cast<uint32_t>(data[0]) |
+                          static_cast<uint32_t>(data[1]) << 8 |
+                          static_cast<uint32_t>(data[2]) << 16 |
+                          static_cast<uint32_t>(data[3]) << 24;
+  // length covers version + type + payload; anything smaller lies.
+  if (length < 2) return Status::InvalidArgument("frame length undersized");
+  const size_t payload_len = static_cast<size_t>(length) - 2;
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
+  }
+  if (len < 4 + static_cast<size_t>(length)) {
+    return Status::OutOfRange("incomplete frame: short body");
+  }
+  if (data[4] != kWireProtocolVersion) {
+    return Status::InvalidArgument("unsupported wire protocol version");
+  }
+  Frame frame;
+  frame.type = data[5];
+  frame.payload.assign(data + kFrameHeaderBytes,
+                       data + kFrameHeaderBytes + payload_len);
+  if (consumed != nullptr) *consumed = 4 + static_cast<size_t>(length);
+  return frame;
+}
+
+void EncodeStatusPayload(const Status& status, std::vector<uint8_t>* out) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(status.code()));
+  enc.PutLengthPrefixedBytes(
+      reinterpret_cast<const uint8_t*>(status.message().data()),
+      status.message().size());
+  *out = enc.buffer();
+}
+
+Status DecodeStatusPayload(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  uint8_t code = 0;
+  const uint8_t* msg = nullptr;
+  size_t msg_len = 0;
+  if (!dec.GetU8(&code).ok() ||
+      !dec.GetLengthPrefixedBytes(&msg, &msg_len).ok() ||
+      code > static_cast<uint8_t>(StatusCode::kInternal) ||
+      code == static_cast<uint8_t>(StatusCode::kOk)) {
+    return Status::Internal("malformed error payload");
+  }
+  std::string text(reinterpret_cast<const char*>(msg), msg_len);
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(text));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(text));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(text));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(text));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(text));
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(std::move(text));
+    default:
+      return Status::Internal(std::move(text));
+  }
+}
+
+}  // namespace ringdde

@@ -1,0 +1,149 @@
+#ifndef RINGDDE_SIM_TRANSPORT_H_
+#define RINGDDE_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/counters.h"
+
+namespace ringdde {
+
+/// Opaque endpoint address (a node's stable name, NOT its ring id — a node
+/// keeps its address across re-joins).
+using NodeAddr = uint64_t;
+
+/// The message-delivery abstraction every protocol layer charges its
+/// traffic through.
+///
+/// Two backends exist:
+///  - sim/network.h `Network`: the deterministic in-process fabric. Every
+///    send is a function call whose cost (messages, hops, bytes, sampled
+///    latency, fault verdicts) is charged to a CostContext. This backend is
+///    the test oracle: its behavior is a pure function of seeds.
+///  - the socket backend (sim/socket_transport.h + sim/rpc_server.h): the
+///    same protocol payloads (core/wire.h codecs) framed over local
+///    TCP sockets between real processes. The deterministic protocol logic
+///    runs server-side against the identical sim substrate, so the wire
+///    deployment remains conformant to the oracle (see
+///    tests/transport_conformance_test.cc); the sockets add *real* wire
+///    bytes and RPC latency, measured by bench/e20_wire_cost.
+///
+/// The interface is exactly the accounting surface CdfProber,
+/// EstimateDisseminator, and the retry policies use; ChordRing exposes its
+/// fabric through it (ChordRing::transport()). Contexts follow the same
+/// ownership rules as Network documents: the shared context is
+/// mutex-guarded, per-query contexts are single-owner and lock-free.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Records one logical message of `payload_bytes` from `from` to `to`
+  /// against `ctx`, counted as `hop_count` overlay hops. Returns the total
+  /// delivery latency in seconds.
+  virtual double Send(CostContext& ctx, NodeAddr from, NodeAddr to,
+                      uint64_t payload_bytes, uint64_t hop_count = 1) const = 0;
+
+  /// Fallible send: ONE delivery attempt. A dropped message, crashed or
+  /// hung destination, or active partition costs the attempt plus one
+  /// observed timeout and returns TimedOut/Unavailable; the caller decides
+  /// whether to retry (common/retry_policy.h).
+  virtual Result<double> TrySend(CostContext& ctx, NodeAddr from, NodeAddr to,
+                                 uint64_t payload_bytes,
+                                 uint64_t hop_count = 1) const = 0;
+
+  /// Records one protocol-level retry / failed probe into a context.
+  virtual void RecordRetry(CostContext& ctx) const = 0;
+  virtual void RecordFailedProbe(CostContext& ctx) const = 0;
+
+  /// Charges wall-clock the protocol spent waiting (retry backoff) without
+  /// sending anything.
+  virtual void ChargeWait(CostContext& ctx, double seconds) const = 0;
+
+  /// Virtual time of the fabric.
+  virtual double Now() const = 0;
+
+  /// The transport-owned context behind the legacy overloads.
+  virtual CostContext& shared_context() = 0;
+
+  /// Legacy single-threaded entry points: charge the shared context.
+  double Send(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+              uint64_t hop_count = 1) {
+    return Send(shared_context(), from, to, payload_bytes, hop_count);
+  }
+  Result<double> TrySend(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+                         uint64_t hop_count = 1) {
+    return TrySend(shared_context(), from, to, payload_bytes, hop_count);
+  }
+  void RecordRetry() { RecordRetry(shared_context()); }
+  void RecordFailedProbe() { RecordFailedProbe(shared_context()); }
+  void ChargeWait(double seconds) { ChargeWait(shared_context(), seconds); }
+};
+
+// --- Wire framing -----------------------------------------------------------
+//
+// Every RPC between ring processes is one frame:
+//
+//   [u32 length LE] [u8 version] [u8 type] [payload bytes]
+//
+// `length` counts version + type + payload. Payloads are core/wire.h
+// codec messages. The version byte lets the format evolve; a peer speaking
+// a different version is rejected at the frame layer, before any payload
+// decoding. Frames are bounded (kMaxFramePayload) so a length-lying header
+// can never drive an allocation or an over-read.
+
+/// Protocol version stamped into every frame.
+inline constexpr uint8_t kWireProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload (16 MiB — a full DensityEstimate at
+/// maximal knot counts is ~3 orders of magnitude smaller).
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// Frame header bytes on the wire before the payload.
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+/// Message-type tags. Requests echo their tag in the success response;
+/// failures answer with kError carrying an encoded Status.
+enum class RpcType : uint8_t {
+  kHello = 0x01,      ///< handshake: -> fingerprint, peers, items
+  kJoin = 0x02,       ///< k protocol joins -> fingerprint
+  kStabilize = 0x03,  ///< StabilizeAll -> fingerprint
+  kInsert = 0x04,     ///< bulk-load a dataset spec -> total items
+  kProbe = 0x05,      ///< CDF probe -> LocalSummary + cost delta
+  kEstimate = 0x06,   ///< full DDE estimation -> estimate + cost
+  kCounters = 0x07,   ///< shared network totals snapshot
+  kShutdown = 0x08,   ///< orderly stop; reply precedes the stop
+  kError = 0x7F,      ///< response-only: encoded Status payload
+};
+
+/// One decoded frame.
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends the complete on-wire encoding of one frame to `out`.
+void EncodeFrame(uint8_t type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out);
+inline void EncodeFrame(uint8_t type, const std::vector<uint8_t>& payload,
+                        std::vector<uint8_t>* out) {
+  EncodeFrame(type, payload.data(), payload.size(), out);
+}
+
+/// Decodes one frame from the front of [data, data+len).
+///  - OutOfRange: the buffer holds a syntactically valid prefix but not the
+///    whole frame yet (socket readers keep reading).
+///  - InvalidArgument: malformed beyond repair (undersized length, payload
+///    over kMaxFramePayload, version mismatch) — readers must drop the
+///    connection, never resynchronize.
+/// On success `*consumed` is the total frame size in bytes.
+Result<Frame> DecodeFrame(const uint8_t* data, size_t len, size_t* consumed);
+
+/// kError frame payload: [u8 code][varint len][message bytes]. Shared by
+/// the server (encode) and every channel (decode).
+void EncodeStatusPayload(const Status& status, std::vector<uint8_t>* out);
+Status DecodeStatusPayload(const std::vector<uint8_t>& payload);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_TRANSPORT_H_

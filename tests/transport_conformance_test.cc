@@ -1,0 +1,400 @@
+// Sim-vs-wire conformance: one command corpus (join -> stabilize -> bulk
+// insert -> probe -> estimate) executed three ways —
+//   1. ORACLE: raw sim calls on a local Deployment (no service code),
+//   2. LOOPBACK: RingRpcService behind LoopbackChannel (frame + payload
+//      codecs, zero sockets),
+//   3. WIRE: >= 2 forked ringdde_node processes behind SocketRpcChannel,
+//      with the >= 8 queriers partitioned across the processes —
+// asserting estimates match the oracle to 1e-9 and CostCounters message
+// counts are identical. A failure localizes by rung: loopback-only =>
+// codecs; wire-only => socket mechanics.
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/probe.h"
+#include "core/ring_service.h"
+#include "data/dataset.h"
+#include "sim/socket_transport.h"
+
+namespace ringdde {
+namespace {
+
+constexpr uint64_t kCorpusSeed = 0x7A35;
+constexpr int kQueriers = 8;
+
+DeploymentSpec SpecForCase(uint64_t case_seed) {
+  DeploymentSpec spec;
+  spec.peers = 8;
+  spec.ring_seed = DeriveTaskSeed(case_seed, 1);
+  spec.net_seed = DeriveTaskSeed(case_seed, 2);
+  spec.num_probes = 32;
+  spec.refinement_rounds = 2;
+  spec.local_quantiles = 8;
+  return spec;
+}
+
+InsertSpec InsertForCase(uint64_t case_seed) {
+  InsertSpec ins;
+  ins.dist_kind = 2;  // zipf(values, theta)
+  ins.param_a = 400;
+  ins.param_b = 0.9;
+  ins.count = 2000;
+  ins.data_seed = DeriveTaskSeed(case_seed, 3);
+  return ins;
+}
+
+/// The oracle: the corpus executed with raw sim calls — exactly the
+/// semantics RingRpcService promises to reproduce.
+struct OracleRun {
+  std::unique_ptr<Deployment> dep;
+  std::vector<uint64_t> fingerprints;  // after each mutating step
+  std::vector<LocalSummary> probes;
+  std::vector<CostCounters> probe_costs;
+  std::vector<DensityEstimate> estimates;
+};
+
+OracleRun RunOracle(const DeploymentSpec& spec, const InsertSpec& ins,
+                    uint64_t case_seed) {
+  OracleRun run;
+  Result<std::unique_ptr<Deployment>> built = BuildDeployment(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  run.dep = std::move(*built);
+  ChordRing& ring = *run.dep->ring;
+
+  for (int i = 0; i < 4; ++i) {
+    Result<NodeAddr> joined = ring.Join(ring.AliveAddrAtRank(0));
+    EXPECT_TRUE(joined.ok());
+  }
+  run.fingerprints.push_back(RingFingerprint(ring));
+  ring.StabilizeAll();
+  run.fingerprints.push_back(RingFingerprint(ring));
+
+  Result<std::unique_ptr<Distribution>> dist = MakeSpecDistribution(ins);
+  EXPECT_TRUE(dist.ok());
+  Rng data_rng(ins.data_seed);
+  ring.InsertDatasetBulk(
+      GenerateDataset(**dist, static_cast<size_t>(ins.count), data_rng).keys);
+  run.fingerprints.push_back(RingFingerprint(ring));
+  ring.StabilizeAll();
+  run.fingerprints.push_back(RingFingerprint(ring));
+
+  ProbeOptions popts;
+  popts.num_quantiles = static_cast<int>(spec.local_quantiles);
+  popts.retry.max_attempts = static_cast<int>(spec.retry_max_attempts);
+  for (int q = 0; q < kQueriers; ++q) {
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    const RingId target(SplitMix64(case_seed ^ (0x9E37u + q)));
+    const uint64_t ctx_seed = DeriveTaskSeed(case_seed, 100 + q);
+    CdfProber prober(&ring, popts);
+    CostContext ctx = run.dep->network->MakeQueryContext(ctx_seed);
+    Result<LocalSummary> summary = prober.Probe(ctx, querier, target);
+    EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+    run.dep->network->Accumulate(ctx.counters, ctx.lost_messages);
+    run.probes.push_back(*summary);
+    run.probe_costs.push_back(ctx.counters);
+  }
+
+  for (int q = 0; q < kQueriers; ++q) {
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    DdeOptions opts;
+    opts.num_probes = static_cast<size_t>(spec.num_probes);
+    opts.refinement_rounds = static_cast<int>(spec.refinement_rounds);
+    opts.local_quantiles = static_cast<int>(spec.local_quantiles);
+    opts.retry.max_attempts = static_cast<int>(spec.retry_max_attempts);
+    opts.seed = DeriveTaskSeed(case_seed, 200 + q);
+    DistributionFreeEstimator estimator(&ring, opts);
+    Result<DensityEstimate> estimate = estimator.Estimate(querier);
+    EXPECT_TRUE(estimate.ok()) << estimate.status().ToString();
+    run.estimates.push_back(*estimate);
+  }
+  return run;
+}
+
+void ExpectEstimateMatches(const DensityEstimate& got,
+                           const DensityEstimate& want, const char* what) {
+  ASSERT_EQ(got.cdf.knots().size(), want.cdf.knots().size()) << what;
+  for (size_t i = 0; i < want.cdf.knots().size(); ++i) {
+    EXPECT_NEAR(got.cdf.knots()[i].x, want.cdf.knots()[i].x, 1e-9) << what;
+    EXPECT_NEAR(got.cdf.knots()[i].f, want.cdf.knots()[i].f, 1e-9) << what;
+  }
+  EXPECT_NEAR(got.estimated_total_items, want.estimated_total_items, 1e-9)
+      << what;
+  EXPECT_EQ(got.peers_probed, want.peers_probed) << what;
+  EXPECT_NEAR(got.covered_fraction, want.covered_fraction, 1e-9) << what;
+  // CostCounters: message counts IDENTICAL, latency to 1e-9.
+  EXPECT_EQ(got.cost.messages, want.cost.messages) << what;
+  EXPECT_EQ(got.cost.hops, want.cost.hops) << what;
+  EXPECT_EQ(got.cost.bytes, want.cost.bytes) << what;
+  EXPECT_EQ(got.cost.timeouts, want.cost.timeouts) << what;
+  EXPECT_EQ(got.cost.retries, want.cost.retries) << what;
+  EXPECT_EQ(got.cost.failed_probes, want.cost.failed_probes) << what;
+  EXPECT_NEAR(got.cost.latency_sum, want.cost.latency_sum, 1e-9) << what;
+  EXPECT_EQ(got.probes_requested, want.probes_requested) << what;
+  EXPECT_EQ(got.failed_probes, want.failed_probes) << what;
+  EXPECT_EQ(got.retries, want.retries) << what;
+  EXPECT_EQ(got.timeouts, want.timeouts) << what;
+  EXPECT_NEAR(got.ConfidenceEpsilon(), want.ConfidenceEpsilon(), 1e-12)
+      << what;
+}
+
+/// Drives the corpus through a RingClient; clients.size() >= 1. Mutating
+/// commands are broadcast to every client (each replica shard applies them
+/// identically); probe/estimate q is served by client q % clients.size().
+void RunCorpusOverChannels(const std::vector<RingClient*>& clients,
+                           const InsertSpec& ins, uint64_t case_seed,
+                           const OracleRun& oracle, const char* what) {
+  std::vector<uint64_t> fingerprints;
+  for (RingClient* client : clients) {
+    Result<uint64_t> fp = client->Join(4);
+    ASSERT_TRUE(fp.ok()) << what << ": " << fp.status().ToString();
+    fingerprints.push_back(*fp);
+  }
+  for (uint64_t fp : fingerprints) EXPECT_EQ(fp, oracle.fingerprints[0]);
+
+  for (RingClient* client : clients) {
+    Result<uint64_t> fp = client->Stabilize();
+    ASSERT_TRUE(fp.ok()) << what;
+    EXPECT_EQ(*fp, oracle.fingerprints[1]) << what;
+  }
+  for (RingClient* client : clients) {
+    Result<uint64_t> items = client->Insert(ins);
+    ASSERT_TRUE(items.ok()) << what;
+    EXPECT_EQ(*items, oracle.dep->ring->TotalItems()) << what;
+  }
+  for (RingClient* client : clients) {
+    Result<uint64_t> fp = client->Stabilize();
+    ASSERT_TRUE(fp.ok()) << what;
+    EXPECT_EQ(*fp, oracle.fingerprints[3]) << what;
+  }
+
+  for (int q = 0; q < kQueriers; ++q) {
+    RingClient* client = clients[q % clients.size()];
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    const RingId target(SplitMix64(case_seed ^ (0x9E37u + q)));
+    const uint64_t ctx_seed = DeriveTaskSeed(case_seed, 100 + q);
+    Result<LocalSummary> summary = client->Probe(querier, target, ctx_seed);
+    ASSERT_TRUE(summary.ok()) << what << ": " << summary.status().ToString();
+    const LocalSummary& want = oracle.probes[q];
+    EXPECT_EQ(summary->addr, want.addr) << what;
+    EXPECT_EQ(summary->arc_lo, want.arc_lo) << what;
+    EXPECT_EQ(summary->arc_hi, want.arc_hi) << what;
+    EXPECT_EQ(summary->item_count, want.item_count) << what;
+    ASSERT_EQ(summary->quantiles.size(), want.quantiles.size()) << what;
+    for (size_t i = 0; i < want.quantiles.size(); ++i) {
+      EXPECT_NEAR(summary->quantiles[i], want.quantiles[i], 1e-9) << what;
+    }
+  }
+
+  for (int q = 0; q < kQueriers; ++q) {
+    RingClient* client = clients[q % clients.size()];
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    const uint64_t query_seed = DeriveTaskSeed(case_seed, 200 + q);
+    Result<DensityEstimate> estimate = client->Estimate(querier, query_seed);
+    ASSERT_TRUE(estimate.ok()) << what << ": " << estimate.status().ToString();
+    ExpectEstimateMatches(*estimate, oracle.estimates[q], what);
+  }
+}
+
+// --- Multi-process fixture --------------------------------------------------
+
+/// Forks one ringdde_node, parses its LISTENING line for the ephemeral
+/// port, and guarantees teardown: graceful SIGTERM with a bounded wait,
+/// then SIGKILL — a wedged child can never outlive the test.
+class NodeProcess {
+ public:
+  static std::unique_ptr<NodeProcess> Launch(
+      const std::vector<std::string>& extra_args) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) return nullptr;
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return nullptr;
+    }
+    if (pid == 0) {
+      ::dup2(pipe_fds[1], STDOUT_FILENO);
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      std::vector<std::string> args;
+      args.push_back(RINGDDE_NODE_BIN);
+      for (const std::string& a : extra_args) args.push_back(a);
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);
+    }
+    ::close(pipe_fds[1]);
+    auto node = std::unique_ptr<NodeProcess>(new NodeProcess(pid));
+    // Await the LISTENING line (the child prints it once serving).
+    std::string banner;
+    char c;
+    while (banner.find('\n') == std::string::npos && banner.size() < 4096) {
+      ssize_t n = ::read(pipe_fds[0], &c, 1);
+      if (n <= 0) break;
+      banner.push_back(c);
+    }
+    ::close(pipe_fds[0]);
+    const char* marker = "RINGDDE_NODE LISTENING port=";
+    size_t pos = banner.find(marker);
+    if (pos == std::string::npos) return nullptr;
+    node->port_ =
+        static_cast<uint16_t>(std::atoi(banner.c_str() + pos +
+                                        std::strlen(marker)));
+    if (node->port_ == 0) return nullptr;
+    return node;
+  }
+
+  ~NodeProcess() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    // Bounded graceful wait (~2 s), then the hammer.
+    for (int i = 0; i < 100; ++i) {
+      int status = 0;
+      pid_t done = ::waitpid(pid_, &status, WNOHANG);
+      if (done == pid_) return;
+      ::usleep(20 * 1000);
+    }
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  explicit NodeProcess(pid_t pid) : pid_(pid) {}
+  pid_t pid_;
+  uint16_t port_ = 0;
+};
+
+std::vector<std::string> NodeArgs(const DeploymentSpec& spec) {
+  return {
+      "--peers=" + std::to_string(spec.peers),
+      "--ring-seed=" + std::to_string(spec.ring_seed),
+      "--net-seed=" + std::to_string(spec.net_seed),
+      "--probes=" + std::to_string(spec.num_probes),
+      "--rounds=" + std::to_string(spec.refinement_rounds),
+      "--quantiles=" + std::to_string(spec.local_quantiles),
+      "--retries=" + std::to_string(spec.retry_max_attempts),
+  };
+}
+
+// --- The parameterized corpus ----------------------------------------------
+
+class TransportConformanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportConformanceTest, LoopbackMatchesOracle) {
+  const uint64_t case_seed = DeriveTaskSeed(kCorpusSeed, GetParam());
+  const DeploymentSpec spec = SpecForCase(case_seed);
+  const InsertSpec ins = InsertForCase(case_seed);
+  OracleRun oracle = RunOracle(spec, ins, case_seed);
+
+  RingRpcService service(spec);
+  ASSERT_TRUE(service.Init().ok());
+  LoopbackChannel channel(
+      [&service](const Frame& request) { return service.Handle(request); });
+  RingClient client(&channel);
+
+  Result<RingClient::HelloReply> hello = client.Hello();
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->alive_count, spec.peers);
+
+  RingClient* clients[] = {&client};
+  RunCorpusOverChannels({clients[0]}, ins, case_seed, oracle, "loopback");
+  EXPECT_GT(channel.stats().wire_bytes_sent, 0u);
+  EXPECT_GT(channel.stats().wire_bytes_received, 0u);
+}
+
+TEST_P(TransportConformanceTest, TwoProcessWireMatchesOracle) {
+  const uint64_t case_seed = DeriveTaskSeed(kCorpusSeed, GetParam());
+  const DeploymentSpec spec = SpecForCase(case_seed);
+  const InsertSpec ins = InsertForCase(case_seed);
+  OracleRun oracle = RunOracle(spec, ins, case_seed);
+  ASSERT_GE(oracle.dep->ring->AliveCount(), 8u);
+
+  std::unique_ptr<NodeProcess> node_a = NodeProcess::Launch(NodeArgs(spec));
+  std::unique_ptr<NodeProcess> node_b = NodeProcess::Launch(NodeArgs(spec));
+  ASSERT_NE(node_a, nullptr) << "failed to launch ringdde_node A";
+  ASSERT_NE(node_b, nullptr) << "failed to launch ringdde_node B";
+
+  SocketRpcChannel channel_a(node_a->port());
+  SocketRpcChannel channel_b(node_b->port());
+  RingClient client_a(&channel_a);
+  RingClient client_b(&channel_b);
+
+  // Replica shards must agree before any command.
+  Result<RingClient::HelloReply> hello_a = client_a.Hello();
+  Result<RingClient::HelloReply> hello_b = client_b.Hello();
+  ASSERT_TRUE(hello_a.ok()) << hello_a.status().ToString();
+  ASSERT_TRUE(hello_b.ok()) << hello_b.status().ToString();
+  EXPECT_EQ(hello_a->fingerprint, hello_b->fingerprint);
+  {
+    // ...and with a locally built replica of the same spec (the oracle's
+    // ring has already advanced past the corpus, so rebuild fresh).
+    Result<std::unique_ptr<Deployment>> fresh = BuildDeployment(spec);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(hello_a->fingerprint, RingFingerprint(*(*fresh)->ring));
+  }
+
+  // The 8 queriers are partitioned across the two processes inside
+  // RunCorpusOverChannels (q % 2).
+  RunCorpusOverChannels({&client_a, &client_b}, ins, case_seed, oracle,
+                        "wire");
+
+  EXPECT_GT(channel_a.stats().rpcs_sent, 0u);
+  EXPECT_GT(channel_b.stats().rpcs_sent, 0u);
+  EXPECT_GT(channel_a.stats().wire_bytes_received, 0u);
+
+  EXPECT_TRUE(client_a.Shutdown().ok());
+  EXPECT_TRUE(client_b.Shutdown().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TransportConformanceTest,
+                         ::testing::Range(0, 3));
+
+// A deliberately hung "peer" — a bare listener that accepts into its
+// backlog but never reads or replies — must fail the RPC by deadline, not
+// wedge the suite.
+TEST(TransportReliabilityTest, DeadlineFiresOnSilentPeer) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral, like every socket in this suite
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len),
+            0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+
+  SocketChannelOptions opts;
+  opts.rpc_deadline_seconds = 0.3;
+  opts.max_attempts = 1;
+  SocketRpcChannel channel(ntohs(addr.sin_port), opts);
+  Frame request;
+  request.type = static_cast<uint8_t>(RpcType::kHello);
+  Result<Frame> reply = channel.Call(request);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsTimedOut()) << reply.status().ToString();
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace ringdde

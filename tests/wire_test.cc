@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "data/distribution.h"
+#include "sim/transport.h"
 
 namespace ringdde {
 namespace {
@@ -145,6 +146,203 @@ TEST(WireTest, EstimateWithNegativeTotalRejected) {
   EncodeDensityEstimate(e, &enc);
   Decoder dec(enc.buffer());
   EXPECT_TRUE(DecodeDensityEstimate(&dec).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Transport frame hardening: DecodeFrame must classify every malformed
+// input as a Status — OutOfRange when more bytes could complete the frame,
+// InvalidArgument when the stream is poisoned — and never crash, over-read,
+// or return a frame from garbage.
+
+std::vector<uint8_t> EncodedProbeFrame() {
+  const std::vector<uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  std::vector<uint8_t> out;
+  EncodeFrame(static_cast<uint8_t>(RpcType::kProbe), payload, &out);
+  return out;
+}
+
+TEST(FrameTest, RoundTrips) {
+  const std::vector<uint8_t> wire = EncodedProbeFrame();
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 5u);
+  size_t consumed = 0;
+  Result<Frame> decoded = DecodeFrame(wire.data(), wire.size(), &consumed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(decoded->type, static_cast<uint8_t>(RpcType::kProbe));
+  EXPECT_EQ(decoded->payload,
+            (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF, 0x01}));
+}
+
+TEST(FrameTest, EveryTruncationIsOutOfRangeNeverGarbage) {
+  const std::vector<uint8_t> wire = EncodedProbeFrame();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    size_t consumed = 0;
+    Status status = DecodeFrame(wire.data(), len, &consumed).status();
+    // Incomplete, not poisoned: the reader keeps the bytes and reads more.
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange) << "len=" << len;
+  }
+}
+
+TEST(FrameTest, LengthLyingFrameRejected) {
+  // Header claims a payload far beyond the frame cap; a reader that trusted
+  // it would try to buffer 4GiB from a hostile peer.
+  std::vector<uint8_t> wire = EncodedProbeFrame();
+  wire[0] = 0xFF;
+  wire[1] = 0xFF;
+  wire[2] = 0xFF;
+  wire[3] = 0xFF;
+  size_t consumed = 0;
+  EXPECT_TRUE(DecodeFrame(wire.data(), wire.size(), &consumed)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FrameTest, LengthTooShortForTagByteRejected) {
+  // length must cover at least version+type; 0 and 1 are structurally
+  // impossible and mean the stream is corrupt, not short.
+  for (uint8_t lied : {uint8_t{0}, uint8_t{1}}) {
+    std::vector<uint8_t> wire = EncodedProbeFrame();
+    wire[0] = lied;
+    wire[1] = wire[2] = wire[3] = 0;
+    size_t consumed = 0;
+    EXPECT_TRUE(DecodeFrame(wire.data(), wire.size(), &consumed)
+                    .status()
+                    .IsInvalidArgument())
+        << "length=" << int{lied};
+  }
+}
+
+TEST(FrameTest, VersionMismatchRejected) {
+  std::vector<uint8_t> wire = EncodedProbeFrame();
+  wire[4] = kWireProtocolVersion + 1;
+  size_t consumed = 0;
+  EXPECT_TRUE(DecodeFrame(wire.data(), wire.size(), &consumed)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FrameTest, GarbledBytesNeverCrash) {
+  // Random byte-flip fuzz over a valid frame: every mutant must decode to
+  // ok / OutOfRange / InvalidArgument without crashing, and an ok decode
+  // must never consume more bytes than were offered.
+  const std::vector<uint8_t> pristine = EncodedProbeFrame();
+  Rng rng(0xF422);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> wire = pristine;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      wire[rng.UniformU64(wire.size())] ^=
+          static_cast<uint8_t>(1u << rng.UniformU64(8));
+    }
+    size_t consumed = 0;
+    Result<Frame> got = DecodeFrame(wire.data(), wire.size(), &consumed);
+    if (got.ok()) {
+      EXPECT_LE(consumed, wire.size());
+    }
+  }
+}
+
+TEST(FrameTest, StatusPayloadRoundTripsEveryCode) {
+  const std::vector<Status> originals = {
+      Status::InvalidArgument("frame says: \"it broke\""),
+      Status::NotFound("no such node"),
+      Status::FailedPrecondition("ring not built"),
+      Status::OutOfRange("short read"),
+      Status::Unavailable("peer crashed"),
+      Status::TimedOut("hop budget exceeded"),
+      Status::Internal("handler bug"),
+  };
+  for (const Status& original : originals) {
+    std::vector<uint8_t> payload;
+    EncodeStatusPayload(original, &payload);
+    const Status decoded = DecodeStatusPayload(payload);
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+// Randomized round-trip property: arbitrary (seeded) LocalSummary and
+// DensityEstimate payloads survive encode -> frame -> decode bit-exactly.
+TEST(FrameTest, RandomizedSummaryRoundTripProperty) {
+  Rng rng(0x5EED'F00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    // A node owning the arc (lo, hi] with its keys strictly inside it, so
+    // the summary's quantiles are well-defined (no NaNs — NaN != NaN would
+    // fail the comparison below even for a bit-exact codec).
+    const double lo = rng.UniformDouble(0.0, 0.5);
+    const double hi = rng.UniformDouble(lo + 0.01, 1.0);
+    Node node(rng.NextU64() | 1, RingId::FromUnit(hi));
+    node.set_predecessor(
+        NodeEntry{rng.NextU64() | 1, RingId::FromUnit(lo)});
+    const uint64_t n_keys = rng.UniformU64(200);
+    std::vector<double> keys;
+    keys.reserve(n_keys);
+    for (uint64_t i = 0; i < n_keys; ++i) {
+      keys.push_back(rng.UniformDouble(lo + 1e-9, hi));
+    }
+    node.InsertKeys(keys);
+    // ComputeLocalSummary requires >= 2 quantile points.
+    const LocalSummary original = ComputeLocalSummary(
+        node, static_cast<int>(2 + rng.UniformU64(15)));
+
+    Encoder enc;
+    EncodeLocalSummary(original, &enc);
+    std::vector<uint8_t> wire;
+    EncodeFrame(static_cast<uint8_t>(RpcType::kProbe), enc.buffer(), &wire);
+
+    size_t consumed = 0;
+    Result<Frame> back = DecodeFrame(wire.data(), wire.size(), &consumed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(consumed, wire.size());
+    Decoder dec(back->payload);
+    Result<LocalSummary> decoded = DecodeLocalSummary(&dec);
+    ASSERT_TRUE(decoded.ok()) << "trial=" << trial;
+    EXPECT_EQ(decoded->addr, original.addr);
+    EXPECT_EQ(decoded->arc_lo, original.arc_lo);
+    EXPECT_EQ(decoded->arc_hi, original.arc_hi);
+    EXPECT_EQ(decoded->item_count, original.item_count);
+    EXPECT_EQ(decoded->quantiles, original.quantiles);
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+TEST(FrameTest, RandomizedEstimateRoundTripProperty) {
+  Rng rng(0xE57'1AA7E);
+  for (int trial = 0; trial < 20; ++trial) {
+    Network net;
+    ChordRing ring(&net);
+    ASSERT_TRUE(ring.CreateNetwork(32 + rng.UniformU64(64)).ok());
+    TruncatedNormalDistribution dist(rng.UniformDouble(0.3, 0.7),
+                                     rng.UniformDouble(0.05, 0.3));
+    Rng data_rng(rng.NextU64());
+    ring.InsertDatasetBulk(
+        GenerateDataset(dist, 500 + rng.UniformU64(3000), data_rng).keys);
+    DdeOptions opts;
+    opts.num_probes = 16;
+    opts.seed = rng.NextU64();
+    DistributionFreeEstimator est(&ring, opts);
+    auto original = est.Estimate(ring.AliveAddrs()[0]);
+    ASSERT_TRUE(original.ok());
+
+    Encoder enc;
+    EncodeDensityEstimate(*original, &enc);
+    std::vector<uint8_t> wire;
+    EncodeFrame(static_cast<uint8_t>(RpcType::kEstimate), enc.buffer(), &wire);
+
+    size_t consumed = 0;
+    Result<Frame> back = DecodeFrame(wire.data(), wire.size(), &consumed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    Decoder dec(back->payload);
+    Result<DensityEstimate> decoded = DecodeDensityEstimate(&dec);
+    ASSERT_TRUE(decoded.ok()) << "trial=" << trial;
+    EXPECT_DOUBLE_EQ(decoded->estimated_total_items,
+                     original->estimated_total_items);
+    EXPECT_EQ(decoded->peers_probed, original->peers_probed);
+    for (int i = 0; i < 8; ++i) {
+      const double x = rng.UniformDouble();
+      EXPECT_DOUBLE_EQ(decoded->Cdf(x), original->Cdf(x)) << "x=" << x;
+    }
+  }
 }
 
 }  // namespace

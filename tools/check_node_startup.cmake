@@ -1,0 +1,26 @@
+# Launches one ringdde_node, waits for its LISTENING line, then SIGTERMs
+# it and checks the exit is clean. Usage:
+#   cmake -DNODE_BIN=<path> -P check_node_startup.cmake
+if(NOT DEFINED NODE_BIN)
+  message(FATAL_ERROR "NODE_BIN not set")
+endif()
+
+set(log "${CMAKE_CURRENT_BINARY_DIR}/ringdde_node_startup.log")
+execute_process(
+  COMMAND bash -c "\
+    set -e; \
+    '${NODE_BIN}' --peers=8 --ring-seed=3 --net-seed=9 > '${log}' & \
+    pid=$!; \
+    for i in $(seq 1 100); do \
+      grep -q 'RINGDDE_NODE LISTENING port=' '${log}' 2>/dev/null && break; \
+      sleep 0.1; \
+    done; \
+    grep -q 'RINGDDE_NODE LISTENING port=' '${log}'; \
+    kill -TERM $pid; \
+    wait $pid"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  file(READ "${log}" contents)
+  message(FATAL_ERROR "ringdde_node startup failed (rc=${rc}): ${contents}")
+endif()
+message(STATUS "ringdde_node startup OK")

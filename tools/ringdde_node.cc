@@ -1,0 +1,154 @@
+// ringdde_node: one socket-served ring process.
+//
+// Builds a deterministic ring deployment from command-line parameters
+// (every process launched with the same parameters builds bit-identical
+// state — the replica-shard model, see core/ring_service.h), binds an
+// ephemeral local TCP port, prints one LISTENING line for the launcher to
+// parse, and serves framed RPCs until a kShutdown frame or SIGTERM/SIGINT.
+//
+// Quick start (two-process ring, 8 peers each):
+//   ./ringdde_node --peers=8 --ring-seed=1 --net-seed=7 &
+//   ./ringdde_node --peers=8 --ring-seed=1 --net-seed=7 &
+//   # each prints: RINGDDE_NODE LISTENING port=<p> peers=8 fingerprint=<hex>
+// then drive them with RingClient over SocketRpcChannel(port) — joins,
+// stabilization, bulk inserts (broadcast to both), probe/estimate RPCs
+// (to either).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/ring_service.h"
+#include "sim/rpc_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void OnSignal(int) { g_signaled = 1; }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--peers=N] [--ring-seed=S] [--net-seed=S]\n"
+      "          [--probes=M] [--rounds=R] [--quantiles=Q] [--retries=A]\n"
+      "          [--fault-drop=P] [--fault-crash=P] [--fault-seed=S]\n"
+      "          [--wire-drop=P] [--wire-delay=P] [--wire-delay-mean=SEC]\n"
+      "          [--wire-seed=S]\n"
+      "Serves a deterministic ring deployment over framed RPCs on an\n"
+      "ephemeral 127.0.0.1 port (printed as RINGDDE_NODE LISTENING ...).\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ringdde::DeploymentSpec spec;
+  double wire_drop = 0.0, wire_delay = 0.0, wire_delay_mean = 0.01;
+  uint64_t wire_seed = 0x3173;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--peers", &v)) {
+      spec.peers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ring-seed", &v)) {
+      spec.ring_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--net-seed", &v)) {
+      spec.net_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--probes", &v)) {
+      spec.num_probes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rounds", &v)) {
+      spec.refinement_rounds =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--quantiles", &v)) {
+      spec.local_quantiles =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--retries", &v)) {
+      spec.retry_max_attempts =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--fault-drop", &v)) {
+      spec.faults_enabled = true;
+      spec.faults.drop_probability = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--fault-crash", &v)) {
+      spec.faults_enabled = true;
+      spec.faults.crash_probability = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--fault-seed", &v)) {
+      spec.faults.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--wire-drop", &v)) {
+      wire_drop = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--wire-delay", &v)) {
+      wire_delay = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--wire-delay-mean", &v)) {
+      wire_delay_mean = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--wire-seed", &v)) {
+      wire_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  ringdde::RingRpcService service(spec);
+  ringdde::Status init = service.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "ringdde_node: %s\n", init.ToString().c_str());
+    return 1;
+  }
+
+  ringdde::RpcServer server(
+      [&service](const ringdde::Frame& request) {
+        return service.Handle(request);
+      });
+
+  // Wire-level faults reuse the deterministic fault-plan hashing: the
+  // verdict for rpc i is a pure function of (wire_seed, i), realized as a
+  // REAL connection close (drop) or a REAL sleep (delay). See
+  // sim/rpc_server.h for the exactly-once argument.
+  if (wire_drop > 0.0 || wire_delay > 0.0) {
+    ringdde::FaultOptions wire_faults;
+    wire_faults.drop_probability = wire_drop;
+    wire_faults.delay_probability = wire_delay;
+    wire_faults.delay_mean_seconds = wire_delay_mean;
+    wire_faults.seed = wire_seed;
+    auto injector = std::make_shared<ringdde::FaultInjector>(wire_faults);
+    server.set_wire_fault_hook([injector](uint64_t rpc_seq) {
+      ringdde::MessageFault fault = injector->DecideMessage(rpc_seq);
+      ringdde::WireFault wire;
+      wire.drop = fault.drop;
+      wire.extra_delay_seconds = fault.extra_delay_seconds;
+      return wire;
+    });
+  }
+
+  ringdde::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "ringdde_node: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  // The launcher greps this exact line for the ephemeral port.
+  std::printf("RINGDDE_NODE LISTENING port=%u peers=%llu fingerprint=%016llx\n",
+              server.port(),
+              static_cast<unsigned long long>(spec.peers),
+              static_cast<unsigned long long>(service.Fingerprint()));
+  std::fflush(stdout);
+
+  while (!g_signaled && !service.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  return 0;
+}

@@ -88,5 +88,19 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The sketch-aggregation experiment must report the accuracy-per-byte
+  # contract: the per-holder frame size, the convergecast message count,
+  # and the realized KS error of the hierarchical sketch estimate (the
+  # evidence triple behind the "fewer bytes per estimate at
+  # equal-or-better error" claim).
+  if(report MATCHES "BENCH_e21_sketch_aggregation\\.json$")
+    foreach(key bytes_per_estimate messages_per_estimate ks_error)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

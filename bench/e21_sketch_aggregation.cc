@@ -1,0 +1,268 @@
+// E21 — Mergeable-sketch aggregation: accuracy per byte and per message.
+//
+// (a) Head-to-head across the E1–E3 workload skews (uniform, normal,
+// zipf): the hierarchical DensitySketch convergecast vs the m-probe DDE
+// estimator vs the exact TreeAggregator anchor. Two cost framings are
+// reported honestly:
+//   - ring_kbytes: what the ring pays to BUILD one estimate (convergecast
+//     or probe traffic). The sketch path spends ~2(n−1) constant-size
+//     messages here — more than m probes at large n, by design.
+//   - frame_bytes: what each peer pays to HOLD the estimate — the encoded
+//     frame dissemination ships per peer (core/wire.h). This is where the
+//     sketch wins: a fixed (K+1)-knot frame vs a dense CDF knot list that
+//     grows with probe resolution. One aggregation + one broadcast serves
+//     all n peers, so frame_bytes is the per-estimate serving cost.
+// Expected shape: at equal-or-better KS on uniform, the K=64 sketch frame
+// is >= 5x smaller than the m=256 probe estimator's frame (the acceptance
+// gate; the recorded bytes_per_estimate / probe_bytes_per_estimate
+// counters pin the ratio).
+//
+// (b) Fault-injected degradation: drop-rate sweep over the sketch
+// convergecast with single-attempt vs retrying edges. An edge that
+// exhausts its retries orphans its subtree, so covered_fraction falls and
+// the confidence bound widens — accuracy degrades gracefully, and retries
+// buy coverage back at message cost (the PR3 machinery, inherited).
+#include <memory>
+#include <vector>
+
+#include "baselines/tree_aggregation.h"
+#include "bench_util.h"
+#include "core/sketch_aggregation.h"
+#include "core/wire.h"
+#include "sim/fault_injector.h"
+
+namespace ringdde::bench {
+namespace {
+
+/// BuildEnv with a fault plan attached (e16 idiom): an all-zero plan
+/// reproduces the fault-free deployment bit-for-bit.
+std::unique_ptr<Env> BuildFaultEnv(size_t n,
+                                   std::unique_ptr<Distribution> dist,
+                                   size_t items, uint64_t seed,
+                                   const FaultOptions& fopts) {
+  auto env = std::make_unique<Env>();
+  NetworkOptions nopts;
+  nopts.faults = std::make_shared<FaultInjector>(fopts);
+  env->net = std::make_unique<Network>(nopts);
+  RingOptions ropts;
+  ropts.seed = seed;
+  env->ring = std::make_unique<ChordRing>(env->net.get(), ropts);
+  Status s = env->ring->CreateNetwork(n);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildFaultEnv failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  env->dist = std::move(dist);
+  env->items = items;
+  env->peers = n;
+  env->seed = seed;
+  Rng rng(seed ^ 0xDA7A);
+  env->ring->InsertDatasetBulk(GenerateDataset(*env->dist, items, rng).keys);
+  return env;
+}
+
+struct MethodResult {
+  double ks = 0.0;
+  uint64_t messages = 0;
+  uint64_t ring_bytes = 0;
+  size_t frame_bytes = 0;
+  double covered = 0.0;
+};
+
+MethodResult RunSketch(Env& e, uint32_t levels, uint64_t seed) {
+  SketchAggregationOptions opts;
+  opts.sketch_levels = levels;
+  opts.seed = seed;
+  Rng rng(seed);
+  SketchAggregator agg(e.ring.get(), opts);
+  auto est = agg.Estimate(*e.ring->RandomAliveNode(rng));
+  MethodResult r;
+  if (!est.ok()) return r;
+  r.ks = CompareCdfToTruth(est->cdf, *e.dist).ks;
+  r.messages = est->cost.messages;
+  r.ring_bytes = est->cost.bytes;
+  r.frame_bytes = EncodedEstimateSize(*est);
+  r.covered = est->covered_fraction;
+  return r;
+}
+
+MethodResult RunProbe(Env& e, size_t m, uint64_t seed) {
+  DdeOptions opts;
+  opts.num_probes = m;
+  opts.seed = seed;
+  Rng rng(seed);
+  DistributionFreeEstimator estimator(e.ring.get(), opts);
+  auto est = estimator.Estimate(*e.ring->RandomAliveNode(rng));
+  MethodResult r;
+  if (!est.ok()) return r;
+  r.ks = CompareCdfToTruth(est->cdf, *e.dist).ks;
+  r.messages = est->cost.messages;
+  r.ring_bytes = est->cost.bytes;
+  r.frame_bytes = EncodedEstimateSize(*est);
+  r.covered = est->covered_fraction;
+  return r;
+}
+
+MethodResult RunTreeExact(Env& e, uint64_t seed) {
+  Rng rng(seed);
+  TreeAggregator agg(e.ring.get(), TreeAggregationOptions{});
+  auto est = agg.Estimate(*e.ring->RandomAliveNode(rng));
+  MethodResult r;
+  if (!est.ok()) return r;
+  r.ks = CompareCdfToTruth(est->cdf, *e.dist).ks;
+  r.messages = est->cost.messages;
+  r.ring_bytes = est->cost.bytes;
+  r.frame_bytes = EncodedEstimateSize(*est);
+  r.covered = est->covered_fraction;
+  return r;
+}
+
+std::vector<std::string> MethodRow(const char* method,
+                                   const MethodResult& r) {
+  return {method,
+          Fmt("%.4f", r.ks),
+          Fmt("%llu", (unsigned long long)r.messages),
+          Fmt("%.1f", r.ring_bytes / 1024.0),
+          Fmt("%zu", r.frame_bytes),
+          Fmt("%.3f", r.covered)};
+}
+
+void RunHeadToHead() {
+  const size_t kPeers = Scaled(4096, 128);
+  const size_t kItems = Scaled(200000, 5000);
+  const size_t kProbeBudget = Scaled(256, 64);
+  const std::vector<uint32_t> kLevels =
+      SmokeMode() ? std::vector<uint32_t>{32, 64}
+                  : std::vector<uint32_t>{32, 64, 128};
+
+  // The acceptance-gate counters come from the FIRST workload (uniform —
+  // the E1 shape) at K=64 vs m=kProbeBudget.
+  bool gate_recorded = false;
+
+  for (auto& dist : StandardBenchmarkDistributions()) {
+    const std::string name = dist->Name();
+    auto env = BuildEnv(kPeers, std::move(dist), kItems, /*seed=*/21);
+
+    Table table(Fmt("E21a accuracy per byte — workload %s, n=%zu, N=%zu "
+                    "(ring_kbytes builds the estimate once; frame_bytes is "
+                    "what every holder pays at dissemination)",
+                    name.c_str(), kPeers, kItems),
+                {"method", "ks", "msgs", "ring_kbytes", "frame_bytes",
+                 "covered"});
+
+    // Row tasks are independent estimations against one read-only
+    // deployment snapshot; labels are attached after the parallel run.
+    std::vector<std::function<MethodResult()>> tasks;
+    std::vector<std::string> labels;
+    for (uint32_t levels : kLevels) {
+      labels.push_back(Fmt("sketch K=%u", levels));
+      tasks.push_back([&env, levels] {
+        return RunSketch(*env, levels, 0xE21 + levels);
+      });
+    }
+    for (size_t m : {kProbeBudget / 4, kProbeBudget}) {
+      labels.push_back(Fmt("probe m=%zu", m));
+      tasks.push_back([&env, m] { return RunProbe(*env, m, 0xE21 + m); });
+    }
+    labels.push_back("tree exact");
+    tasks.push_back([&env] { return RunTreeExact(*env, 0xE21); });
+
+    std::vector<MethodResult> results =
+        ParallelRows<MethodResult>(tasks.size(),
+                                   [&](size_t i) { return tasks[i](); });
+    for (size_t i = 0; i < results.size(); ++i) {
+      table.AddRow(MethodRow(labels[i].c_str(), results[i]));
+    }
+    table.Print();
+
+    if (!gate_recorded) {
+      // uniform workload: sketch K=64 vs probe m=kProbeBudget.
+      const MethodResult& sk =
+          results[kLevels.size() > 1 ? 1 : 0];  // K=64 slot
+      const MethodResult& probe = results[kLevels.size() + 1];
+      BenchReporter::Global().RecordCounter(
+          "bytes_per_estimate", static_cast<double>(sk.frame_bytes));
+      BenchReporter::Global().RecordCounter(
+          "messages_per_estimate", static_cast<double>(sk.messages));
+      BenchReporter::Global().RecordCounter("ks_error", sk.ks);
+      BenchReporter::Global().RecordCounter(
+          "probe_bytes_per_estimate", static_cast<double>(probe.frame_bytes));
+      BenchReporter::Global().RecordCounter("probe_ks_error", probe.ks);
+      BenchReporter::Global().RecordCounter(
+          "bytes_ratio", sk.frame_bytes > 0
+                             ? static_cast<double>(probe.frame_bytes) /
+                                   static_cast<double>(sk.frame_bytes)
+                             : 0.0);
+      gate_recorded = true;
+    }
+  }
+}
+
+void RunFaultDegradation() {
+  const size_t kPeers = Scaled(1024, 128);
+  const size_t kItems = Scaled(100000, 4000);
+  const std::vector<double> kDrops =
+      SmokeMode() ? std::vector<double>{0.0, 0.1}
+                  : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
+
+  Table table(Fmt("E21b sketch convergecast under message drops — n=%zu, "
+                  "K=64, Normal(0.5,0.15); an orphaned edge loses its whole "
+                  "subtree, retries buy coverage back",
+                  kPeers),
+              {"drop", "retries", "covered", "ks", "failed_edges", "msgs",
+               "ring_kbytes"});
+
+  struct Case {
+    double drop;
+    int max_attempts;
+  };
+  std::vector<Case> cases;
+  for (double drop : kDrops) {
+    cases.push_back({drop, 1});
+    if (drop > 0.0) cases.push_back({drop, 4});
+  }
+
+  table.AddRows(ParallelRows<std::vector<std::string>>(
+      cases.size(), [&](size_t row) {
+        const Case& c = cases[row];
+        FaultOptions fopts;
+        fopts.drop_probability = c.drop;
+        fopts.seed = 0xE21B + row;
+        auto env = BuildFaultEnv(
+            kPeers,
+            std::make_unique<TruncatedNormalDistribution>(0.5, 0.15),
+            kItems, /*seed=*/23, fopts);
+
+        SketchAggregationOptions opts;
+        opts.sketch_levels = 64;
+        opts.retry.max_attempts = c.max_attempts;
+        opts.seed = 0x5E21 + row;
+        Rng rng(opts.seed);
+        SketchAggregator agg(env->ring.get(), opts);
+        auto est = agg.Estimate(*env->ring->RandomAliveNode(rng));
+        if (!est.ok()) {
+          return std::vector<std::string>{Fmt("%.2f", c.drop),
+                                          Fmt("%d", c.max_attempts),
+                                          "-", "-", "-", "-", "-"};
+        }
+        return std::vector<std::string>{
+            Fmt("%.2f", c.drop),
+            Fmt("%d", c.max_attempts),
+            Fmt("%.3f", est->covered_fraction),
+            Fmt("%.4f", CompareCdfToTruth(est->cdf, *env->dist).ks),
+            Fmt("%llu", (unsigned long long)agg.failed_edges()),
+            Fmt("%llu", (unsigned long long)est->cost.messages),
+            Fmt("%.1f", est->cost.bytes / 1024.0)};
+      }));
+  table.Print();
+}
+
+}  // namespace
+}  // namespace ringdde::bench
+
+int main() {
+  ringdde::bench::BenchRun run("e21_sketch_aggregation");
+  ringdde::bench::RunHeadToHead();
+  ringdde::bench::RunFaultDegradation();
+  return 0;
+}

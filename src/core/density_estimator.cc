@@ -32,7 +32,9 @@ DistributionFreeEstimator::DistributionFreeEstimator(ChordRing* ring,
       prober_(ring, ProbeOptions{options.local_quantiles,
                                  options.resolve_covered_locally,
                                  options.use_sketch_summaries,
-                                 options.sketch_epsilon, options.retry}),
+                                 options.sketch_epsilon,
+                                 options.density_sketch_levels,
+                                 options.retry}),
       rng_(options.seed),
       ctx_(ring->network().MakeQueryContext(options.seed)) {
   assert(ring != nullptr);
@@ -48,7 +50,9 @@ DistributionFreeEstimator::DistributionFreeEstimator(const EpochView* view,
       prober_(view, ProbeOptions{options.local_quantiles,
                                  options.resolve_covered_locally,
                                  options.use_sketch_summaries,
-                                 options.sketch_epsilon, options.retry}),
+                                 options.sketch_epsilon,
+                                 options.density_sketch_levels,
+                                 options.retry}),
       rng_(options.seed),
       ctx_(view->network().MakeQueryContext(options.seed)) {
   assert(view != nullptr);

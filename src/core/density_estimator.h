@@ -2,10 +2,12 @@
 #define RINGDDE_CORE_DENSITY_ESTIMATOR_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/global_cdf.h"
+#include "stats/density_sketch.h"
 #include "core/probe.h"
 #include "ring/chord_ring.h"
 #include "ring/epoch_snapshot.h"
@@ -41,6 +43,10 @@ struct DdeOptions {
   bool use_sketch_summaries = false;
   double sketch_epsilon = 0.02;
 
+  /// When > 0, probe responses carry fixed-size mergeable density sketches
+  /// instead of quantile arrays (ProbeOptions::density_sketch_levels).
+  uint32_t density_sketch_levels = 0;
+
   ReconstructionOptions reconstruction;
 
   /// Retry schedule applied to every probe (see ProbeOptions::retry).
@@ -55,6 +61,13 @@ struct DdeOptions {
 struct DensityEstimate {
   /// The estimated global CDF over the unit key domain.
   PiecewiseLinearCdf cdf;
+
+  /// The mergeable sketch the estimate was derived from, when it came off
+  /// the hierarchical aggregation path (core/sketch_aggregation.h). When
+  /// present, `cdf` equals sketch.ToCdf() and wire encoding ships the
+  /// fixed-size sketch instead of the full knot list — the serving-path
+  /// payload shrink (core/dissemination.h charges the smaller frame).
+  std::optional<DensitySketch> sketch;
 
   /// N̂: estimated global item count.
   double estimated_total_items = 0.0;

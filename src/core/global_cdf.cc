@@ -31,11 +31,14 @@ struct Segment {
 /// `cum_at_lo` (the summary's rank at the segment's lower end).
 void AddShapeKnots(const LocalSummary& s, double lo, double hi,
                    double cum_at_lo, Segment* seg) {
-  if (s.quantiles.size() < 2 || s.item_count == 0) return;
+  // ShapeKnots: the exact quantile array, or the density sketch's knot
+  // grid for sketch-only summaries — identical knot-at-i/(q-1) convention.
+  const std::vector<double>& qs = s.ShapeKnots();
+  if (qs.size() < 2 || s.item_count == 0) return;
   const double c = static_cast<double>(s.item_count);
-  const double q1 = static_cast<double>(s.quantiles.size() - 1);
-  for (size_t i = 0; i < s.quantiles.size(); ++i) {
-    const double x = s.quantiles[i];
+  const double q1 = static_cast<double>(qs.size() - 1);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const double x = qs[i];
     if (x <= lo || x >= hi) continue;
     const double rel = c * static_cast<double>(i) / q1 - cum_at_lo;
     seg->shape.push_back({x, Clamp(rel, 0.0, seg->count)});
@@ -96,7 +99,7 @@ bool ClipSegmentLow(double floor_lo, const LocalSummary* src, Segment* seg) {
   if (seg->lo >= floor_lo) return true;
   if (seg->hi <= floor_lo) return false;
   double cut_rank;
-  if (src != nullptr && !src->quantiles.empty()) {
+  if (src != nullptr && !src->ShapeKnots().empty()) {
     cut_rank = src->InterpolatedRank(floor_lo) - seg->rank_offset;
   } else {
     // Uniform-within-segment assumption.

@@ -15,20 +15,23 @@ double LocalSummary::Density() const {
 }
 
 double LocalSummary::InterpolatedRank(double key) const {
-  if (item_count == 0 || quantiles.empty()) return 0.0;
+  // Works off ShapeKnots so sketch-only summaries (no quantile array)
+  // interpolate through the sketch's knot grid with identical arithmetic.
+  const std::vector<double>& knots = ShapeKnots();
+  if (item_count == 0 || knots.empty()) return 0.0;
   const double c = static_cast<double>(item_count);
-  if (quantiles.size() == 1) {
+  if (knots.size() == 1) {
     // Single knot: all mass at one value.
-    return key >= quantiles.front() ? c : 0.0;
+    return key >= knots.front() ? c : 0.0;
   }
-  if (key < quantiles.front()) return 0.0;
-  if (key >= quantiles.back()) return c;
-  // quantiles[i] sits at cumulative fraction i/(q-1).
-  auto it = std::upper_bound(quantiles.begin(), quantiles.end(), key);
-  const size_t i = static_cast<size_t>(it - quantiles.begin());  // >= 1
-  const double lo = quantiles[i - 1];
-  const double hi = quantiles[i];
-  const double q1 = static_cast<double>(quantiles.size() - 1);
+  if (key < knots.front()) return 0.0;
+  if (key >= knots.back()) return c;
+  // knots[i] sits at cumulative fraction i/(q-1).
+  auto it = std::upper_bound(knots.begin(), knots.end(), key);
+  const size_t i = static_cast<size_t>(it - knots.begin());  // >= 1
+  const double lo = knots[i - 1];
+  const double hi = knots[i];
+  const double q1 = static_cast<double>(knots.size() - 1);
   double t = 0.0;
   if (hi > lo) t = (key - lo) / (hi - lo);
   return c * ((static_cast<double>(i - 1) + t) / q1);
@@ -41,6 +44,11 @@ LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
 
 LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles) {
   return ComputeLocalSummaryOf(node, num_quantiles);
+}
+
+LocalSummary ComputeLocalSummaryWithDensitySketch(const Node& node,
+                                                  uint32_t sketch_levels) {
+  return ComputeLocalSummaryWithDensitySketchOf(node, sketch_levels);
 }
 
 }  // namespace ringdde

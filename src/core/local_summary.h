@@ -4,10 +4,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/id.h"
 #include "ring/node.h"
+#include "stats/density_sketch.h"
 #include "stats/gk_sketch.h"
 
 namespace ringdde {
@@ -30,6 +32,21 @@ struct LocalSummary {
   /// ascending. Empty when the peer stores nothing.
   std::vector<double> quantiles;
 
+  /// Optional mergeable density sketch over the same keys (fixed-size,
+  /// hierarchy-ready — see stats/density_sketch.h). Sketch-bearing
+  /// summaries may drop `quantiles` entirely: the sketch's knot grid uses
+  /// the same knot-at-i/(size−1) convention, so it serves as the CDF shape
+  /// directly (ShapeKnots below) at a size that does not grow with the
+  /// peer's store.
+  std::optional<DensitySketch> sketch;
+
+  /// CDF shape knots for reconstruction: the exact quantile array when
+  /// present, else the sketch's quantile grid. Empty when neither exists.
+  const std::vector<double>& ShapeKnots() const {
+    if (!quantiles.empty() || !sketch.has_value()) return quantiles;
+    return sketch->knots();
+  }
+
   /// Arc length as a fraction of the ring (= of the unit key domain).
   double ArcWidth() const { return ArcFraction(arc_lo, arc_hi); }
 
@@ -42,8 +59,12 @@ struct LocalSummary {
   double InterpolatedRank(double key) const;
 
   /// Serialized probe-response size: arc (16) + count (8) + quantiles (8
-  /// each).
-  uint64_t EncodedBytes() const { return 24 + 8 * quantiles.size(); }
+  /// each) + the sketch frame (exact codec size) when carried.
+  uint64_t EncodedBytes() const {
+    uint64_t bytes = 24 + 8 * quantiles.size();
+    if (sketch.has_value()) bytes += 1 + sketch->EncodedBytes();
+    return bytes;
+  }
 };
 
 /// Computes the summary a peer would return to a probe, with `num_quantiles`
@@ -66,10 +87,21 @@ template <typename Peer>
 LocalSummary ComputeLocalSummarySketchedOf(const Peer& node, int num_quantiles,
                                            double sketch_epsilon);
 
+/// As ComputeLocalSummaryOf, but the summary carries a mergeable
+/// DensitySketch (stats/density_sketch.h) and NO quantile array: the
+/// sketch's knot grid doubles as the CDF shape, so the response size is
+/// fixed by `sketch_levels` instead of growing with resolution demands,
+/// and downstream aggregators can merge responses without re-reading keys.
+template <typename Peer>
+LocalSummary ComputeLocalSummaryWithDensitySketchOf(const Peer& node,
+                                                    uint32_t sketch_levels);
+
 /// The historical Node entry points (wrappers over the templates above).
 LocalSummary ComputeLocalSummary(const Node& node, int num_quantiles);
 LocalSummary ComputeLocalSummarySketched(const Node& node, int num_quantiles,
                                          double sketch_epsilon);
+LocalSummary ComputeLocalSummaryWithDensitySketch(const Node& node,
+                                                  uint32_t sketch_levels);
 
 // --- Template definitions ---------------------------------------------------
 
@@ -115,6 +147,34 @@ LocalSummary ComputeLocalSummarySketchedOf(const Peer& node, int num_quantiles,
       prev = q;
       s.quantiles.push_back(q);
     }
+  }
+  return s;
+}
+
+template <typename Peer>
+LocalSummary ComputeLocalSummaryWithDensitySketchOf(const Peer& node,
+                                                    uint32_t sketch_levels) {
+  assert(sketch_levels >= 2);
+  LocalSummary s;
+  s.addr = node.addr();
+  s.arc_lo = node.predecessor().id;
+  s.arc_hi = node.id();
+  s.item_count = node.item_count();
+  if (s.item_count > 0) {
+    // Knot i = the i/levels local quantile — the same LocalQuantile
+    // arithmetic as the exact path, so the live Node and its frozen epoch
+    // view produce bit-identical sketches.
+    std::vector<double> knots;
+    knots.reserve(sketch_levels + 1);
+    for (uint32_t i = 0; i <= sketch_levels; ++i) {
+      knots.push_back(node.LocalQuantile(static_cast<double>(i) /
+                                         static_cast<double>(sketch_levels)));
+    }
+    auto sk = DensitySketch::FromQuantileKnots(s.item_count, std::move(knots));
+    assert(sk.ok());
+    if (sk.ok()) s.sketch = std::move(*sk);
+  } else {
+    s.sketch = DensitySketch(sketch_levels);
   }
   return s;
 }

@@ -90,7 +90,11 @@ Result<LocalSummary> CdfProber::ProbeOnce(CostContext& ctx, NodeAddr querier,
       return Status::Unavailable("probed owner died");
     }
     owner_addr = *owner;
-    summary = options_.use_sketch_summaries
+    summary =
+        options_.density_sketch_levels > 0
+            ? ComputeLocalSummaryWithDensitySketchOf(
+                  *node, options_.density_sketch_levels)
+            : options_.use_sketch_summaries
                   ? ComputeLocalSummarySketchedOf(*node, options_.num_quantiles,
                                                   options_.sketch_epsilon)
                   : ComputeLocalSummaryOf(*node, options_.num_quantiles);
@@ -104,7 +108,11 @@ Result<LocalSummary> CdfProber::ProbeOnce(CostContext& ctx, NodeAddr querier,
       return Status::Unavailable("probed owner died");
     }
     owner_addr = *owner;
-    summary = options_.use_sketch_summaries
+    summary =
+        options_.density_sketch_levels > 0
+            ? ComputeLocalSummaryWithDensitySketch(
+                  *node, options_.density_sketch_levels)
+            : options_.use_sketch_summaries
                   ? ComputeLocalSummarySketched(*node, options_.num_quantiles,
                                                 options_.sketch_epsilon)
                   : ComputeLocalSummary(*node, options_.num_quantiles);

@@ -34,6 +34,13 @@ struct ProbeOptions {
   /// Rank-error bound of the peer sketches when use_sketch_summaries.
   double sketch_epsilon = 0.02;
 
+  /// When > 0, probed peers answer with a fixed-size mergeable
+  /// DensitySketch of this many grid levels instead of a quantile array
+  /// (stats/density_sketch.h): responses stop growing with num_quantiles,
+  /// and downstream aggregators can merge them. Takes precedence over
+  /// use_sketch_summaries. 0 = classic quantile-array responses.
+  uint32_t density_sketch_levels = 0;
+
   /// Retry schedule for transient probe failures (lookup Unavailable /
   /// TimedOut, dropped summary exchange, crashed owner). The default is a
   /// single attempt — exactly the historical skip-on-failure behavior —

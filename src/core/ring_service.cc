@@ -5,6 +5,7 @@
 #include "common/codec.h"
 #include "common/rng.h"
 #include "core/probe.h"
+#include "core/sketch_aggregation.h"
 #include "core/wire.h"
 #include "data/dataset.h"
 
@@ -116,6 +117,7 @@ void EncodeDeploymentSpec(const DeploymentSpec& spec,
   enc.PutVarint64(spec.refinement_rounds);
   enc.PutVarint64(spec.local_quantiles);
   enc.PutVarint64(spec.retry_max_attempts);
+  enc.PutVarint64(spec.sketch_levels);
   *out = enc.buffer();
 }
 
@@ -123,7 +125,7 @@ Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in) {
   Decoder dec(in);
   DeploymentSpec spec;
   uint8_t faults = 0;
-  uint64_t rounds = 0, quantiles = 0, attempts = 0;
+  uint64_t rounds = 0, quantiles = 0, attempts = 0, sketch_levels = 0;
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&spec.peers));
   RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.ring_seed));
   RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&spec.net_seed));
@@ -140,10 +142,12 @@ Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in) {
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&rounds));
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&quantiles));
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&attempts));
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&sketch_levels));
   spec.faults_enabled = faults != 0;
   spec.refinement_rounds = static_cast<uint32_t>(rounds);
   spec.local_quantiles = static_cast<uint32_t>(quantiles);
   spec.retry_max_attempts = static_cast<uint32_t>(attempts);
+  spec.sketch_levels = static_cast<uint32_t>(sketch_levels);
   return spec;
 }
 
@@ -243,6 +247,8 @@ Result<Frame> RingRpcService::Handle(const Frame& request) {
       return HandleProbe(request);
     case RpcType::kEstimate:
       return HandleEstimate(request);
+    case RpcType::kSketchEstimate:
+      return HandleSketchEstimate(request);
     case RpcType::kCounters:
       return HandleCounters();
     case RpcType::kShutdown: {
@@ -366,6 +372,26 @@ Result<Frame> RingRpcService::HandleEstimate(const Frame& request) {
   return reply;
 }
 
+Result<Frame> RingRpcService::HandleSketchEstimate(const Frame& request) {
+  Decoder dec(request.payload);
+  uint64_t querier = 0, query_seed = 0;
+  RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
+  RINGDDE_RETURN_IF_ERROR(dec.GetFixed64(&query_seed));
+  SketchAggregationOptions opts;
+  opts.sketch_levels = spec_.sketch_levels;
+  opts.retry.max_attempts = static_cast<int>(spec_.retry_max_attempts);
+  opts.seed = query_seed;
+  SketchAggregator aggregator(deployment_->ring.get(), opts);
+  Result<DensityEstimate> estimate = aggregator.Estimate(querier);
+  if (!estimate.ok()) return estimate.status();
+  Frame reply;
+  reply.type = static_cast<uint8_t>(RpcType::kSketchEstimate);
+  // Same reply layout as kEstimate; the estimate's sketch makes the inner
+  // frame the compact kSketchEstimateTag form automatically.
+  EncodeEstimateReply(*estimate, &reply.payload);
+  return reply;
+}
+
 Result<Frame> RingRpcService::HandleCounters() {
   CountersReply counters;
   counters.counters = deployment_->network->counters();
@@ -458,6 +484,17 @@ Result<DensityEstimate> RingClient::Estimate(NodeAddr querier,
   enc.PutFixed64(query_seed);
   Result<Frame> reply =
       CallExpecting(channel_, RpcType::kEstimate, enc.buffer());
+  if (!reply.ok()) return reply.status();
+  return DecodeEstimateReply(reply->payload);
+}
+
+Result<DensityEstimate> RingClient::SketchEstimate(NodeAddr querier,
+                                                   uint64_t query_seed) {
+  Encoder enc;
+  enc.PutVarint64(querier);
+  enc.PutFixed64(query_seed);
+  Result<Frame> reply =
+      CallExpecting(channel_, RpcType::kSketchEstimate, enc.buffer());
   if (!reply.ok()) return reply.status();
   return DecodeEstimateReply(reply->payload);
 }

@@ -43,6 +43,9 @@ struct DeploymentSpec {
   uint32_t refinement_rounds = 2;
   uint32_t local_quantiles = 8;
   uint32_t retry_max_attempts = 1;
+  /// Sketch grid resolution applied by kSketchEstimate (the hierarchical
+  /// convergecast path). Probe/estimate RPCs are unaffected by it.
+  uint32_t sketch_levels = 64;
 };
 
 /// Dataset synthesis request, shipped in kInsert: the server generates the
@@ -139,6 +142,7 @@ class RingRpcService {
   Result<Frame> HandleInsert(const Frame& request);
   Result<Frame> HandleProbe(const Frame& request);
   Result<Frame> HandleEstimate(const Frame& request);
+  Result<Frame> HandleSketchEstimate(const Frame& request);
   Result<Frame> HandleCounters();
 
   DeploymentSpec spec_;
@@ -177,6 +181,13 @@ class RingClient {
 
   /// Full estimation run from `querier` with DdeOptions.seed = query_seed.
   Result<DensityEstimate> Estimate(NodeAddr querier, uint64_t query_seed);
+
+  /// Hierarchical sketch convergecast from `querier` with the spec's
+  /// sketch_levels and SketchAggregationOptions.seed = query_seed. The
+  /// reply ships the compact sketch frame; the decoded estimate's CDF is
+  /// regenerated from it bit-identically to the server's.
+  Result<DensityEstimate> SketchEstimate(NodeAddr querier,
+                                         uint64_t query_seed);
 
   Result<CountersReply> Counters();
 

@@ -1,0 +1,149 @@
+#include "core/sketch_aggregation.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/local_summary.h"
+
+namespace ringdde {
+
+namespace {
+constexpr int kMaxDepth = 80;
+/// Down-edge request: query id + delegated arc bounds (same frame the
+/// exact TreeAggregator charges).
+constexpr uint64_t kDelegateBytes = 24;
+
+bool IsTransient(const Status& s) {
+  return s.IsUnavailable() || s.IsTimedOut();
+}
+}  // namespace
+
+SketchAggregator::SketchAggregator(ChordRing* ring,
+                                   SketchAggregationOptions options)
+    : ring_(ring),
+      options_(options),
+      ctx_(ring->network().MakeQueryContext(options.seed)) {}
+
+Result<DensityEstimate> SketchAggregator::Estimate(NodeAddr querier) {
+  if (!ring_->IsAlive(querier)) {
+    return Status::InvalidArgument("querier is not an alive peer");
+  }
+  const CostCounters cost_before = ctx_.counters;
+  const uint64_t lost_before = ctx_.lost_messages;
+  peers_merged_ = 0;
+  failed_edges_ = 0;
+  visited_.clear();
+
+  DensitySketch sink(options_.sketch_levels);
+  const Node* root = ring_->GetNode(querier);
+  // The querier covers the full ring: (own id, own id] wraps all the way
+  // around, so every alive peer falls in exactly one delegated sub-arc.
+  peers_merged_ = Aggregate(querier, root->id(), &sink, 0);
+
+  DensityEstimate est;
+  if (!sink.empty()) {
+    Result<PiecewiseLinearCdf> cdf = sink.ToCdf();
+    if (!cdf.ok()) return cdf.status();
+    est.cdf = std::move(*cdf);
+  }
+  est.sketch = std::move(sink);
+  est.estimated_total_items = static_cast<double>(est.sketch->count());
+  est.peers_probed = peers_merged_;
+  // The convergecast "requests" every alive peer; the ones whose subtree
+  // edge failed are exactly the degraded probes the DKW bound widens for.
+  const size_t alive = ring_->AliveCount();
+  est.probes_requested = alive;
+  est.failed_probes =
+      alive > peers_merged_ ? static_cast<uint64_t>(alive - peers_merged_) : 0;
+  est.covered_fraction =
+      alive > 0 ? static_cast<double>(peers_merged_) / alive : 0.0;
+  est.cost = ctx_.counters - cost_before;
+  est.retries = est.cost.retries;
+  est.timeouts = est.cost.timeouts;
+  est.produced_at = ring_->network().Now();
+  ring_->network().Accumulate(est.cost, ctx_.lost_messages - lost_before);
+  return est;
+}
+
+bool SketchAggregator::SendWithRetry(NodeAddr from, NodeAddr to,
+                                     uint64_t payload_bytes,
+                                     uint64_t hop_count) {
+  const RetryPolicy& retry = options_.retry;
+  const uint64_t task = edge_seq_++;
+  double waited = 0.0;
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double backoff = retry.BackoffSeconds(task, attempt - 1);
+      if (waited + backoff > retry.budget_seconds) break;
+      waited += backoff;
+      ring_->network().RecordRetry(ctx_);
+      ring_->network().ChargeWait(ctx_, backoff);
+    }
+    Result<double> r =
+        ring_->network().TrySend(ctx_, from, to, payload_bytes, hop_count);
+    if (r.ok()) return true;
+    if (!IsTransient(r.status())) break;
+  }
+  ++failed_edges_;
+  return false;
+}
+
+size_t SketchAggregator::Aggregate(NodeAddr coordinator, RingId until,
+                                   DensitySketch* sink, int depth) {
+  if (depth > kMaxDepth) return 0;
+  Node* node = ring_->GetNode(coordinator);
+  if (node == nullptr || !node->alive()) return 0;
+  // Stale finger tables after churn can hand overlapping sub-arcs to two
+  // children; a real protocol dedupes by query id, we dedupe by visit.
+  if (!visited_.insert(coordinator).second) return 0;
+
+  // The coordinator contributes its own fixed-size sketch — built through
+  // the same LocalQuantile arithmetic as sketch-bearing probe responses,
+  // so both paths summarize a peer bit-identically.
+  size_t merged = 0;
+  LocalSummary own =
+      ComputeLocalSummaryWithDensitySketch(*node, options_.sketch_levels);
+  if (own.sketch.has_value() && sink->Merge(*own.sketch).ok()) {
+    merged = 1;
+  }
+
+  // Delegate disjoint sub-arcs of (self, until) to fingers, in ascending
+  // clockwise order; each child covers up to the next child. On the root
+  // call until == self, so InArcOpenOpen spans the full ring.
+  std::vector<NodeEntry> children;
+  std::unordered_set<NodeAddr> dedup;
+  for (int k = 0; k < FingerTable::kBits; ++k) {
+    const auto& f = node->fingers().Get(k);
+    if (!f.has_value() || f->addr == coordinator) continue;
+    if (!InArcOpenOpen(f->id, node->id(), until)) continue;
+    if (!ring_->IsAlive(f->addr)) continue;
+    if (dedup.insert(f->addr).second) children.push_back(*f);
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    const RingId bound = i + 1 < children.size() ? children[i + 1].id : until;
+    // Delegation down. A dead edge orphans the child's whole sub-arc:
+    // nothing below it reaches the root this round.
+    if (!SendWithRetry(coordinator, children[i].addr, kDelegateBytes,
+                       /*hop_count=*/1)) {
+      continue;
+    }
+    // The child aggregates its subtree into its OWN sketch first; the
+    // subtree only joins the parent's if the up-edge survives, so a
+    // failure loses exactly that subtree (partial degradation, not a
+    // torn merge).
+    DensitySketch subtree(options_.sketch_levels);
+    const size_t sub_peers =
+        Aggregate(children[i].addr, bound, &subtree, depth + 1);
+    if (sub_peers == 0) continue;
+    // The up-edge carries the subtree sketch at its REAL encoded size —
+    // the constant-size message the hierarchy exists for.
+    if (!SendWithRetry(children[i].addr, coordinator, subtree.EncodedBytes(),
+                       /*hop_count=*/0)) {
+      continue;
+    }
+    if (sink->Merge(subtree).ok()) merged += sub_peers;
+  }
+  return merged;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,91 @@
+#ifndef RINGDDE_CORE_SKETCH_AGGREGATION_H_
+#define RINGDDE_CORE_SKETCH_AGGREGATION_H_
+
+#include <unordered_set>
+
+#include "common/retry_policy.h"
+#include "common/status.h"
+#include "core/density_estimator.h"
+#include "ring/chord_ring.h"
+#include "stats/density_sketch.h"
+
+namespace ringdde {
+
+/// Hierarchical density estimation: a finger-tree convergecast of mergeable
+/// fixed-size sketches.
+///
+/// Generalizes the TreeAggregator baseline (baselines/tree_aggregation.h)
+/// from "ship every key into an exact histogram" to "merge constant-size
+/// DensitySketches up the tree": the querier partitions the ring among its
+/// fingers, each child recursively aggregates its sub-arc into ONE sketch,
+/// and parents merge child sketches on the way back up. Depth is O(log n),
+/// message count ~2(n−1), and — the point — every message is the same
+/// fixed sketch frame regardless of how much data the subtree holds, so
+/// the byte cost per estimate is ~2(n−1)·|sketch| instead of growing with
+/// data volume or probe resolution.
+///
+/// Fault behavior reuses the PR3 degradation machinery: every edge is a
+/// fallible TrySend with a per-edge RetryPolicy; an edge that exhausts its
+/// retries orphans that child's whole subtree (its peers' data is simply
+/// absent from the root sketch), and the returned estimate reports
+/// probes_requested = alive peers, failed_probes = peers not merged — so
+/// DensityEstimate::ConfidenceEpsilon() widens exactly as it does for
+/// failed probes.
+struct SketchAggregationOptions {
+  /// Grid resolution K of every sketch in the tree: messages carry K+1
+  /// knots, and rank error after depth-d merging is ≤ (d+1)/K.
+  uint32_t sketch_levels = 64;
+
+  /// Per-edge retry schedule (default: single attempt).
+  RetryPolicy retry;
+
+  /// Seed of the aggregator's private cost/fault context.
+  uint64_t seed = 42;
+};
+
+class SketchAggregator {
+ public:
+  SketchAggregator(ChordRing* ring, SketchAggregationOptions options = {});
+
+  /// Runs one full convergecast from `querier`. The returned estimate
+  /// carries the merged sketch (estimate.sketch) and its CDF
+  /// (estimate.cdf == sketch.ToCdf()), so wire encoding ships the compact
+  /// sketch frame.
+  Result<DensityEstimate> Estimate(NodeAddr querier);
+
+  /// Peers whose data reached the root in the last Estimate() call.
+  size_t peers_merged() const { return peers_merged_; }
+
+  /// Tree edges that exhausted their retries in the last call (each
+  /// orphans one subtree).
+  uint64_t failed_edges() const { return failed_edges_; }
+
+  const SketchAggregationOptions& options() const { return options_; }
+
+  /// The per-query cost context this aggregator charges (PR4 model: all
+  /// traffic lands here, then folds into the network totals per run).
+  const CostContext& context() const { return ctx_; }
+
+ private:
+  /// Aggregates the sub-arc (coordinator, until] rooted at `coordinator`
+  /// into `sink`; returns the number of peers merged into it.
+  size_t Aggregate(NodeAddr coordinator, RingId until, DensitySketch* sink,
+                   int depth);
+
+  /// One fallible edge with the configured retry schedule. False once the
+  /// attempts (or the backoff budget) are exhausted.
+  bool SendWithRetry(NodeAddr from, NodeAddr to, uint64_t payload_bytes,
+                     uint64_t hop_count);
+
+  ChordRing* ring_;
+  SketchAggregationOptions options_;
+  size_t peers_merged_ = 0;
+  uint64_t failed_edges_ = 0;
+  uint64_t edge_seq_ = 0;
+  std::unordered_set<NodeAddr> visited_;
+  CostContext ctx_;
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_CORE_SKETCH_AGGREGATION_H_

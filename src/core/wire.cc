@@ -6,22 +6,28 @@ namespace {
 constexpr uint8_t kSummaryTag = 0x51;
 constexpr uint8_t kCdfTag = 0x52;
 constexpr uint8_t kEstimateTag = 0x53;
+// v2 frames: identical to their v1 counterparts plus a trailing
+// DensitySketch frame. Sketchless payloads keep the v1 tags bit-for-bit so
+// existing goldens, charges, and cross-version peers are unaffected.
+constexpr uint8_t kSketchSummaryTag = 0x54;
+constexpr uint8_t kSketchEstimateTag = 0x55;
 }  // namespace
 
 void EncodeLocalSummary(const LocalSummary& summary, Encoder* encoder) {
-  encoder->PutU8(kSummaryTag);
+  encoder->PutU8(summary.sketch.has_value() ? kSketchSummaryTag : kSummaryTag);
   encoder->PutVarint64(summary.addr);
   encoder->PutFixed64(summary.arc_lo.value);
   encoder->PutFixed64(summary.arc_hi.value);
   encoder->PutVarint64(summary.item_count);
   encoder->PutVarint64(summary.quantiles.size());
   for (double q : summary.quantiles) encoder->PutDouble(q);
+  if (summary.sketch.has_value()) summary.sketch->EncodeTo(encoder);
 }
 
 Result<LocalSummary> DecodeLocalSummary(Decoder* decoder) {
   uint8_t tag;
   RINGDDE_RETURN_IF_ERROR(decoder->GetU8(&tag));
-  if (tag != kSummaryTag) {
+  if (tag != kSummaryTag && tag != kSketchSummaryTag) {
     return Status::InvalidArgument("not a LocalSummary payload");
   }
   LocalSummary s;
@@ -48,6 +54,14 @@ Result<LocalSummary> DecodeLocalSummary(Decoder* decoder) {
     }
     prev = q;
     s.quantiles.push_back(q);
+  }
+  if (tag == kSketchSummaryTag) {
+    Result<DensitySketch> sk = DensitySketch::DecodeFrom(decoder);
+    if (!sk.ok()) return sk.status();
+    if (sk->count() != s.item_count) {
+      return Status::InvalidArgument("summary sketch count mismatch");
+    }
+    s.sketch = std::move(*sk);
   }
   return s;
 }
@@ -87,8 +101,18 @@ Result<PiecewiseLinearCdf> DecodePiecewiseCdf(Decoder* decoder) {
 
 void EncodeDensityEstimate(const DensityEstimate& estimate,
                            Encoder* encoder) {
-  encoder->PutU8(kEstimateTag);
-  EncodePiecewiseCdf(estimate.cdf, encoder);
+  // Sketch-backed estimates ship the fixed-size sketch INSTEAD of the CDF
+  // knot list — the receiver regenerates the identical CDF from it
+  // (cdf == sketch.ToCdf() by construction on the aggregation path). This
+  // is the dissemination payload shrink: the frame size stops growing
+  // with reconstruction resolution.
+  if (estimate.sketch.has_value()) {
+    encoder->PutU8(kSketchEstimateTag);
+    estimate.sketch->EncodeTo(encoder);
+  } else {
+    encoder->PutU8(kEstimateTag);
+    EncodePiecewiseCdf(estimate.cdf, encoder);
+  }
   encoder->PutDouble(estimate.estimated_total_items);
   encoder->PutVarint64(estimate.peers_probed);
   encoder->PutDouble(estimate.covered_fraction);
@@ -98,13 +122,24 @@ void EncodeDensityEstimate(const DensityEstimate& estimate,
 Result<DensityEstimate> DecodeDensityEstimate(Decoder* decoder) {
   uint8_t tag;
   RINGDDE_RETURN_IF_ERROR(decoder->GetU8(&tag));
-  if (tag != kEstimateTag) {
+  if (tag != kEstimateTag && tag != kSketchEstimateTag) {
     return Status::InvalidArgument("not a DensityEstimate payload");
   }
-  Result<PiecewiseLinearCdf> cdf = DecodePiecewiseCdf(decoder);
-  if (!cdf.ok()) return cdf.status();
   DensityEstimate e;
-  e.cdf = std::move(*cdf);
+  if (tag == kSketchEstimateTag) {
+    Result<DensitySketch> sk = DensitySketch::DecodeFrom(decoder);
+    if (!sk.ok()) return sk.status();
+    if (!sk->empty()) {
+      Result<PiecewiseLinearCdf> cdf = sk->ToCdf();
+      if (!cdf.ok()) return cdf.status();
+      e.cdf = std::move(*cdf);
+    }
+    e.sketch = std::move(*sk);
+  } else {
+    Result<PiecewiseLinearCdf> cdf = DecodePiecewiseCdf(decoder);
+    if (!cdf.ok()) return cdf.status();
+    e.cdf = std::move(*cdf);
+  }
   uint64_t peers;
   RINGDDE_RETURN_IF_ERROR(decoder->GetDouble(&e.estimated_total_items));
   RINGDDE_RETURN_IF_ERROR(decoder->GetVarint64(&peers));
@@ -119,11 +154,26 @@ Result<DensityEstimate> DecodeDensityEstimate(Decoder* decoder) {
 }
 
 size_t EncodedSummarySize(const LocalSummary& summary) {
-  // tag + varint(addr) + 2 fixed64 + varint(count) + varint(#q) + 8/q.
-  return 1 + VarintLength(summary.addr) + 16 +
-         VarintLength(summary.item_count) +
-         VarintLength(summary.quantiles.size()) +
-         8 * summary.quantiles.size();
+  // tag + varint(addr) + 2 fixed64 + varint(count) + varint(#q) + 8/q,
+  // plus the exact sketch frame when one is carried. Tests pin this
+  // against EncodeLocalSummary's real output size.
+  size_t bytes = 1 + VarintLength(summary.addr) + 16 +
+                 VarintLength(summary.item_count) +
+                 VarintLength(summary.quantiles.size()) +
+                 8 * summary.quantiles.size();
+  if (summary.sketch.has_value()) bytes += summary.sketch->EncodedBytes();
+  return bytes;
+}
+
+size_t EncodedEstimateSize(const DensityEstimate& estimate) {
+  size_t bytes = 1 + 24 + VarintLength(estimate.peers_probed);
+  if (estimate.sketch.has_value()) {
+    bytes += estimate.sketch->EncodedBytes();
+  } else {
+    bytes += 1 + VarintLength(estimate.cdf.knots().size()) +
+             16 * estimate.cdf.knots().size();
+  }
+  return bytes;
 }
 
 }  // namespace ringdde

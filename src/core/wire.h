@@ -34,6 +34,11 @@ Result<DensityEstimate> DecodeDensityEstimate(Decoder* decoder);
 /// Convenience: encoded size of a summary without keeping the bytes.
 size_t EncodedSummarySize(const LocalSummary& summary);
 
+/// Convenience: encoded size of an estimate without keeping the bytes.
+/// Sketch-backed estimates cost the fixed sketch frame; knot-list
+/// estimates cost 16 bytes per CDF knot.
+size_t EncodedEstimateSize(const DensityEstimate& estimate);
+
 }  // namespace ringdde
 
 #endif  // RINGDDE_CORE_WIRE_H_

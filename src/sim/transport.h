@@ -113,6 +113,7 @@ enum class RpcType : uint8_t {
   kEstimate = 0x06,   ///< full DDE estimation -> estimate + cost
   kCounters = 0x07,   ///< shared network totals snapshot
   kShutdown = 0x08,   ///< orderly stop; reply precedes the stop
+  kSketchEstimate = 0x09,  ///< hierarchical sketch convergecast -> estimate
   kError = 0x7F,      ///< response-only: encoded Status payload
 };
 

@@ -1,0 +1,228 @@
+#include "stats/density_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ringdde {
+namespace {
+
+// Same interpolation as Node::LocalQuantile: fractional order statistic
+// h = p·(n−1) with linear interpolation between neighbours. Keeping the
+// arithmetic identical means a peer's depth-0 sketch knots match its exact
+// quantile replies bit-for-bit (the transport conformance tests rely on
+// deterministic byte-level agreement between sim and wire paths).
+double SortedQuantile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = h - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+}
+
+bool KnotsValid(const std::vector<double>& knots) {
+  for (size_t i = 0; i < knots.size(); ++i) {
+    if (!std::isfinite(knots[i])) return false;
+    if (i > 0 && knots[i] < knots[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DensitySketch::DensitySketch(uint32_t levels) : levels_(levels) {
+  assert(levels >= 2);
+}
+
+DensitySketch DensitySketch::FromSorted(const std::vector<double>& sorted,
+                                        uint32_t levels) {
+  DensitySketch s(levels);
+  if (sorted.empty()) return s;
+  s.count_ = sorted.size();
+  s.knots_.reserve(levels + 1);
+  for (uint32_t i = 0; i <= levels; ++i) {
+    s.knots_.push_back(SortedQuantile(
+        sorted, static_cast<double>(i) / static_cast<double>(levels)));
+  }
+  return s;
+}
+
+Result<DensitySketch> DensitySketch::FromQuantileKnots(
+    uint64_t count, std::vector<double> knots) {
+  if (knots.size() < 3) {
+    return Status::InvalidArgument("density sketch needs >= 3 knots");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("density sketch knots require count > 0");
+  }
+  if (!KnotsValid(knots)) {
+    return Status::InvalidArgument("density sketch knots must be ascending");
+  }
+  DensitySketch s(static_cast<uint32_t>(knots.size() - 1));
+  s.count_ = count;
+  s.knots_ = std::move(knots);
+  return s;
+}
+
+double DensitySketch::CdfAt(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x <= knots_.front()) return 0.0;
+  if (x >= knots_.back()) return 1.0;
+  // First knot strictly greater than x; segment [knots[i-1], knots[i]]
+  // spans levels (i-1)/K .. i/K. upper_bound skips runs of equal knots, so
+  // the CDF is right-continuous at value atoms (repeated keys).
+  const auto it = std::upper_bound(knots_.begin(), knots_.end(), x);
+  const size_t i = static_cast<size_t>(it - knots_.begin());
+  const double lo = knots_[i - 1];
+  const double hi = knots_[i];
+  const double t = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+  return (static_cast<double>(i - 1) + t) / static_cast<double>(levels_);
+}
+
+uint64_t DensitySketch::RankOf(double x) const {
+  if (count_ == 0) return 0;
+  return static_cast<uint64_t>(
+      std::llround(CdfAt(x) * static_cast<double>(count_)));
+}
+
+double DensitySketch::Quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double h = p * static_cast<double>(levels_);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min<size_t>(lo + 1, levels_);
+  const double t = h - static_cast<double>(lo);
+  return knots_[lo] + (knots_[hi] - knots_[lo]) * t;
+}
+
+Status DensitySketch::Merge(const DensitySketch& other) {
+  if (levels_ != other.levels_) {
+    return Status::InvalidArgument("cannot merge sketches with mixed levels");
+  }
+  if (other.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    *this = other;
+    return Status::OK();
+  }
+
+  // Union of both knot sets: the mixture CDF G is piecewise linear
+  // exactly between these breakpoints, so evaluating it there and
+  // inverting by linear interpolation is exact (no extra grid error
+  // beyond the one re-compaction charged to merge_depth_).
+  std::vector<double> xs;
+  xs.reserve(knots_.size() + other.knots_.size());
+  std::merge(knots_.begin(), knots_.end(), other.knots_.begin(),
+             other.knots_.end(), std::back_inserter(xs));
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  // Mixture weights and values. The arithmetic is symmetric in (this,
+  // other) — IEEE addition and multiplication commute bitwise — so
+  // Merge(a,b) and Merge(b,a) produce identical knots.
+  const double wa = static_cast<double>(count_);
+  const double wb = static_cast<double>(other.count_);
+  const double wt = wa + wb;
+  std::vector<double> g(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    g[i] = (wa * CdfAt(xs[i]) + wb * other.CdfAt(xs[i])) / wt;
+  }
+
+  // Re-compact: invert G at each grid level i/K. g is nondecreasing, so a
+  // single forward sweep suffices.
+  std::vector<double> merged;
+  merged.reserve(levels_ + 1);
+  merged.push_back(xs.front());
+  size_t j = 0;
+  for (uint32_t i = 1; i < levels_; ++i) {
+    const double target = static_cast<double>(i) / static_cast<double>(levels_);
+    while (j + 1 < xs.size() && g[j + 1] < target) ++j;
+    // Segment (xs[j], xs[j+1]] brackets target: g[j] < target <= g[j+1]
+    // (or we ran off the end and clamp to the max).
+    if (j + 1 >= xs.size()) {
+      merged.push_back(xs.back());
+      continue;
+    }
+    const double glo = g[j];
+    const double ghi = g[j + 1];
+    const double t = ghi > glo ? (target - glo) / (ghi - glo) : 1.0;
+    merged.push_back(xs[j] + (xs[j + 1] - xs[j]) * t);
+  }
+  merged.push_back(xs.back());
+
+  // Numerical guard: the inversion is monotone in exact arithmetic; clamp
+  // any float-rounding inversions so knots stay a valid ascending grid.
+  for (size_t i = 1; i < merged.size(); ++i) {
+    merged[i] = std::max(merged[i], merged[i - 1]);
+  }
+
+  count_ += other.count_;
+  merge_depth_ = std::max(merge_depth_, other.merge_depth_) + 1;
+  knots_ = std::move(merged);
+  return Status::OK();
+}
+
+Result<PiecewiseLinearCdf> DensitySketch::ToCdf() const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("empty density sketch has no CDF");
+  }
+  std::vector<PiecewiseLinearCdf::Knot> knots;
+  knots.reserve(knots_.size());
+  for (uint32_t i = 0; i <= levels_; ++i) {
+    knots.push_back(
+        {knots_[i], static_cast<double>(i) / static_cast<double>(levels_)});
+  }
+  PiecewiseLinearCdf::MakeMonotone(knots);
+  return PiecewiseLinearCdf::FromKnots(std::move(knots));
+}
+
+double DensitySketch::ErrorBound() const {
+  return std::min(
+      1.0, static_cast<double>(merge_depth_ + 1) / static_cast<double>(levels_));
+}
+
+void DensitySketch::EncodeTo(Encoder* enc) const {
+  enc->PutVarint64(levels_);
+  enc->PutVarint64(count_);
+  enc->PutVarint64(merge_depth_);
+  enc->PutVarint64(knots_.size());
+  for (double k : knots_) enc->PutDouble(k);
+}
+
+uint64_t DensitySketch::EncodedBytes() const {
+  return VarintLength(levels_) + VarintLength(count_) +
+         VarintLength(merge_depth_) + VarintLength(knots_.size()) +
+         8 * knots_.size();
+}
+
+Result<DensitySketch> DensitySketch::DecodeFrom(Decoder* dec) {
+  uint64_t levels = 0, count = 0, depth = 0, nknots = 0;
+  Status s = dec->GetVarint64(&levels);
+  if (s.ok()) s = dec->GetVarint64(&count);
+  if (s.ok()) s = dec->GetVarint64(&depth);
+  if (s.ok()) s = dec->GetVarint64(&nknots);
+  if (!s.ok()) return s;
+  if (levels < 2 || levels > (1u << 20)) {
+    return Status::InvalidArgument("density sketch levels out of range");
+  }
+  if (nknots != 0 && nknots != levels + 1) {
+    return Status::InvalidArgument("density sketch knot count != levels+1");
+  }
+  if ((count == 0) != (nknots == 0)) {
+    return Status::InvalidArgument("density sketch count/knots mismatch");
+  }
+  DensitySketch out(static_cast<uint32_t>(levels));
+  out.count_ = count;
+  out.merge_depth_ = static_cast<uint32_t>(depth);
+  out.knots_.resize(nknots);
+  for (uint64_t i = 0; i < nknots; ++i) {
+    s = dec->GetDouble(&out.knots_[i]);
+    if (!s.ok()) return s;
+  }
+  if (!KnotsValid(out.knots_)) {
+    return Status::InvalidArgument("density sketch knots must be ascending");
+  }
+  return out;
+}
+
+}  // namespace ringdde

@@ -1,0 +1,107 @@
+#ifndef RINGDDE_STATS_DENSITY_SKETCH_H_
+#define RINGDDE_STATS_DENSITY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "stats/piecewise_cdf.h"
+
+namespace ringdde {
+
+/// Mergeable fixed-size density summary: a K-level quantile grid.
+///
+/// A sketch over n values stores K+1 knots where knots[i] approximates the
+/// i/K quantile of the summarized data (knots[0] = min, knots[K] = max),
+/// plus the exact count. The encoded size is a fixed byte budget chosen by
+/// K alone — it does NOT grow with n, unlike the exact quantile arrays in
+/// LocalSummary or the data-dependent tuple list in GkSketch. That fixed
+/// size is what makes hierarchical aggregation pay O(log n) hops of
+/// CONSTANT-size messages (see core/sketch_aggregation.h).
+///
+/// Merge is the weighted CDF mixture: given sketches A (count na) and B
+/// (count nb), the merged CDF is G(x) = (na·A(x) + nb·B(x)) / (na + nb)
+/// evaluated exactly on the union of both knot sets (where G is piecewise
+/// linear), then re-compacted to K+1 knots by inverting G at i/K. The
+/// compaction is deterministic and the mixture arithmetic is symmetric, so
+/// Merge is bitwise COMMUTATIVE; associativity holds within the error
+/// bound (each compaction re-grids, losing up to 1/K of rank resolution).
+///
+/// Error contract (the accuracy-per-byte contract DESIGN.md documents):
+/// after d levels of merging, any rank query is within
+/// (d + 1)/K · N of truth — so a K=128 sketch merged up a depth-12 finger
+/// tree still answers within ~10% rank error for ~2 KB per message.
+class DensitySketch {
+ public:
+  /// An empty sketch with the given grid resolution. `levels` >= 2.
+  explicit DensitySketch(uint32_t levels = 64);
+
+  /// Builds a depth-0 sketch from an ascending-sorted value array using
+  /// the same order-statistic interpolation as Node::LocalQuantile, so a
+  /// peer's sketch knots are bit-identical to its exact quantile replies.
+  static DensitySketch FromSorted(const std::vector<double>& sorted,
+                                  uint32_t levels);
+
+  /// Builds a depth-0 sketch directly from precomputed quantile knots
+  /// (knots[i] = quantile at i/levels; size must be levels+1, ascending)
+  /// and the count they summarize. This is how ring peers build sketches
+  /// without copying their key arrays.
+  static Result<DensitySketch> FromQuantileKnots(uint64_t count,
+                                                 std::vector<double> knots);
+
+  /// Merges `other` into this sketch (weighted CDF mixture + deterministic
+  /// re-compaction). Requires identical `levels()`; merging an empty
+  /// sketch is the identity. Commutative to the bit; associative within
+  /// the error bound.
+  Status Merge(const DensitySketch& other);
+
+  /// Value at cumulative fraction p (clamped to [0,1]). 0 on empty.
+  double Quantile(double p) const;
+
+  /// Approximate rank of x: count of summarized values <= x.
+  uint64_t RankOf(double x) const;
+
+  /// Approximate CDF at x, in [0,1]. Right-continuous at knot atoms.
+  double CdfAt(double x) const;
+
+  /// The sketch's CDF as a reconstruction-ready piecewise-linear curve.
+  /// InvalidArgument on an empty sketch.
+  Result<PiecewiseLinearCdf> ToCdf() const;
+
+  /// Worst-case rank-error fraction: (merge_depth + 1) / levels, capped
+  /// at 1. Depth-0 sketches built from exact order statistics already
+  /// carry up to 1/levels of grid rounding.
+  double ErrorBound() const;
+
+  uint32_t levels() const { return levels_; }
+  uint64_t count() const { return count_; }
+  uint32_t merge_depth() const { return merge_depth_; }
+  bool empty() const { return count_ == 0; }
+  const std::vector<double>& knots() const { return knots_; }
+
+  /// Appends the serialized sketch; EncodedBytes() is exactly the number
+  /// of bytes this appends (tests pin the identity).
+  void EncodeTo(Encoder* enc) const;
+  uint64_t EncodedBytes() const;
+
+  /// Decodes a sketch previously written by EncodeTo. Validates grid
+  /// shape, knot monotonicity, and finiteness.
+  static Result<DensitySketch> DecodeFrom(Decoder* dec);
+
+  bool operator==(const DensitySketch& other) const {
+    return levels_ == other.levels_ && count_ == other.count_ &&
+           merge_depth_ == other.merge_depth_ && knots_ == other.knots_;
+  }
+
+ private:
+  uint32_t levels_;
+  uint64_t count_ = 0;
+  uint32_t merge_depth_ = 0;
+  std::vector<double> knots_;  // empty, or exactly levels_+1 ascending
+};
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_STATS_DENSITY_SKETCH_H_

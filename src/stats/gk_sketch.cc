@@ -76,6 +76,115 @@ double GkSketch::Quantile(double p) const {
   return tuples_.back().value;
 }
 
+double GkSketch::CdfAt(double x) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(RankOf(x)) / static_cast<double>(count_);
+}
+
+void GkSketch::Merge(const GkSketch& other) {
+  if (other.count_ == 0) {
+    epsilon_ = std::max(epsilon_, other.epsilon_);
+    return;
+  }
+  if (count_ == 0) {
+    epsilon_ = std::max(epsilon_, other.epsilon_);
+    tuples_ = other.tuples_;
+    count_ = other.count_;
+    since_compress_ = 0;
+    Compress();
+    return;
+  }
+
+  // Interleave by value. A tuple taken from one sketch inherits extra rank
+  // uncertainty from the next-not-yet-consumed tuple of the OTHER sketch:
+  // delta' = delta + (next.g + next.delta − 1). This is the standard
+  // mergeable-summaries combine for GK and keeps every tuple's rank band
+  // within εa·Na + εb·Nb of truth.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  size_t ia = 0, ib = 0;
+  while (ia < tuples_.size() || ib < other.tuples_.size()) {
+    const bool take_a =
+        ib >= other.tuples_.size() ||
+        (ia < tuples_.size() && tuples_[ia].value <= other.tuples_[ib].value);
+    Tuple t = take_a ? tuples_[ia] : other.tuples_[ib];
+    const std::vector<Tuple>& opposite = take_a ? other.tuples_ : tuples_;
+    const size_t inext = take_a ? ib : ia;
+    if (inext < opposite.size()) {
+      // g >= 1 for every stored tuple, so the subtraction cannot wrap.
+      t.delta += opposite[inext].g + opposite[inext].delta - 1;
+    }
+    merged.push_back(t);
+    if (take_a) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  epsilon_ = std::max(epsilon_, other.epsilon_);
+  since_compress_ = 0;
+  Compress();
+}
+
+void GkSketch::EncodeTo(Encoder* enc) const {
+  enc->PutDouble(epsilon_);
+  enc->PutVarint64(count_);
+  enc->PutVarint64(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    enc->PutDouble(t.value);
+    enc->PutVarint64(t.g);
+    enc->PutVarint64(t.delta);
+  }
+}
+
+uint64_t GkSketch::EncodedBytes() const {
+  uint64_t bytes = 8 + VarintLength(count_) + VarintLength(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    bytes += 8 + VarintLength(t.g) + VarintLength(t.delta);
+  }
+  return bytes;
+}
+
+Result<GkSketch> GkSketch::DecodeFrom(Decoder* dec) {
+  double epsilon = 0.0;
+  uint64_t count = 0, ntuples = 0;
+  Status s = dec->GetDouble(&epsilon);
+  if (s.ok()) s = dec->GetVarint64(&count);
+  if (s.ok()) s = dec->GetVarint64(&ntuples);
+  if (!s.ok()) return s;
+  if (!(epsilon > 0.0 && epsilon < 0.5)) {
+    return Status::InvalidArgument("gk sketch epsilon out of range");
+  }
+  if (ntuples > count) {
+    return Status::InvalidArgument("gk sketch has more tuples than items");
+  }
+  GkSketch out(epsilon);
+  out.count_ = count;
+  out.tuples_.resize(ntuples);
+  uint64_t gsum = 0;
+  for (uint64_t i = 0; i < ntuples; ++i) {
+    Tuple& t = out.tuples_[i];
+    s = dec->GetDouble(&t.value);
+    if (s.ok()) s = dec->GetVarint64(&t.g);
+    if (s.ok()) s = dec->GetVarint64(&t.delta);
+    if (!s.ok()) return s;
+    if (!std::isfinite(t.value) || t.g == 0) {
+      return Status::InvalidArgument("gk sketch tuple invalid");
+    }
+    if (i > 0 && t.value < out.tuples_[i - 1].value) {
+      return Status::InvalidArgument("gk sketch tuples must be ascending");
+    }
+    gsum += t.g;
+  }
+  if (gsum != count) {
+    return Status::InvalidArgument("gk sketch gap sum != count");
+  }
+  return out;
+}
+
 uint64_t GkSketch::RankOf(double x) const {
   // Midpoint of the [rmin, rmax] band of the last tuple with value <= x.
   uint64_t rmin = 0;

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/codec.h"
+#include "common/status.h"
+
 namespace ringdde {
 
 /// Greenwald–Khanna ε-approximate quantile sketch.
@@ -31,13 +34,30 @@ class GkSketch {
   /// Approximate rank of x (count of inserted values <= x), within ε·N.
   uint64_t RankOf(double x) const;
 
+  /// Approximate CDF at x: RankOf(x) / count. 0 on an empty sketch.
+  double CdfAt(double x) const;
+
+  /// Merges `other` into this sketch (mergeable-summaries interleave rule:
+  /// each surviving tuple absorbs the rank uncertainty of its successor
+  /// from the other sketch, then one Compress pass re-compacts). The
+  /// merged sketch answers rank queries within εa·Na + εb·Nb
+  /// <= max(εa,εb)·(Na+Nb), so the ε·N guarantee is preserved; epsilon()
+  /// becomes the max of the two inputs.
+  void Merge(const GkSketch& other);
+
   uint64_t count() const { return count_; }
   size_t tuple_count() const { return tuples_.size(); }
   double epsilon() const { return epsilon_; }
 
-  /// Serialized payload size if shipped over the network: each tuple is a
-  /// (value, g, delta) triple ≈ 20 bytes.
-  uint64_t EncodedBytes() const { return 20 * tuples_.size(); }
+  /// Appends the serialized sketch; EncodedBytes() is exactly the number
+  /// of bytes this appends, and is what CostCounters charges when a GK
+  /// summary ships over the network.
+  void EncodeTo(Encoder* enc) const;
+  uint64_t EncodedBytes() const;
+
+  /// Decodes a sketch previously written by EncodeTo. Validates value
+  /// ordering, per-tuple gaps, and the count/gap-sum identity.
+  static Result<GkSketch> DecodeFrom(Decoder* dec);
 
  private:
   struct Tuple {

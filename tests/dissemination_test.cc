@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "core/sketch_aggregation.h"
+#include "core/wire.h"
 #include "data/dataset.h"
 #include "data/distribution.h"
 #include "sim/counters.h"
@@ -95,6 +97,51 @@ TEST_F(DisseminationTest, StaleFingersLoseSomeSubtreesGracefully) {
   ASSERT_TRUE(delivered.ok());
   EXPECT_GE(*delivered, ring_->AliveCount() / 2);
   EXPECT_LE(*delivered, ring_->AliveCount());
+}
+
+// When the estimate carries a sketch, Broadcast ships the compact 0x55
+// sketch frame instead of the full CDF knot list: per-edge bytes shrink to
+// the sketch's fixed budget, and receivers regenerate the CDF from the
+// sketch bit-identically.
+TEST_F(DisseminationTest, SketchPayloadShrinksBroadcastBytes) {
+  SketchAggregationOptions sopts;
+  sopts.sketch_levels = 64;
+  SketchAggregator agg(ring_.get(), sopts);
+  auto sketch_est = agg.Estimate(ring_->AliveAddrs()[0]);
+  ASSERT_TRUE(sketch_est.ok());
+  ASSERT_TRUE(sketch_est->sketch.has_value());
+  // Sketch-backed frame must be smaller than the dense-CDF frame of the
+  // plain m-probe estimate built in SetUp (which has hundreds of knots).
+  const size_t sketch_frame = EncodedEstimateSize(*sketch_est);
+  const size_t dense_frame = EncodedEstimateSize(estimate_);
+  EXPECT_LT(sketch_frame, dense_frame);
+
+  EstimateDisseminator dense(ring_.get());
+  CostScope dense_scope(net_->counters());
+  ASSERT_TRUE(dense.Broadcast(ring_->AliveAddrs()[0], estimate_).ok());
+  const CostCounters dense_cost = dense_scope.Delta();
+
+  EstimateDisseminator compact(ring_.get());
+  CostScope compact_scope(net_->counters());
+  ASSERT_TRUE(compact.Broadcast(ring_->AliveAddrs()[0], *sketch_est).ok());
+  const CostCounters compact_cost = compact_scope.Delta();
+
+  // Same tree, same 255 edges — only the per-edge payload changed, so the
+  // byte savings are exactly the frame-size difference per message (the
+  // fabric's fixed per-message header overhead cancels out).
+  EXPECT_EQ(compact_cost.messages, dense_cost.messages);
+  EXPECT_LT(compact_cost.bytes, dense_cost.bytes);
+  EXPECT_EQ(dense_cost.bytes - compact_cost.bytes,
+            compact_cost.messages * (dense_frame - sketch_frame));
+
+  // Receivers hold the sketch and its bit-identical regenerated CDF.
+  const DensityEstimate* got = compact.EstimateAt(ring_->AliveAddrs()[77]);
+  ASSERT_NE(got, nullptr);
+  ASSERT_TRUE(got->sketch.has_value());
+  EXPECT_TRUE(*got->sketch == *sketch_est->sketch);
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(got->Cdf(x), sketch_est->Cdf(x));
+  }
 }
 
 TEST_F(DisseminationTest, ClearDropsState) {

@@ -1,0 +1,373 @@
+// Sketch algebra suite: the merge laws and codec guarantees the
+// hierarchical aggregation path (core/sketch_aggregation.h) rests on.
+//
+//  - DensitySketch merge: bitwise commutativity, associativity within the
+//    (depth+1)/K error bound, identity of the empty sketch, and
+//    order-insensitivity of k-way merge accuracy.
+//  - GkSketch merge: the mergeable-summaries ε·N rank guarantee survives
+//    k-way merges (εa·Na + εb·Nb <= max(ε)·(Na+Nb)).
+//  - Codecs: EncodedBytes() == real frame size, bit-exact round-trips, and
+//    byte-flip fuzz in wire_test.cc style (decode never crashes, never
+//    accepts a malformed grid).
+//
+// Run with `ctest -L sketch`.
+
+#include "stats/density_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/gk_sketch.h"
+
+namespace ringdde {
+namespace {
+
+std::vector<double> SortedSample(Rng* rng, size_t n, int shape) {
+  std::vector<double> xs(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (shape % 3) {
+      case 0: xs[i] = rng->UniformDouble(); break;
+      case 1: xs[i] = rng->Normal(0.5, 0.15); break;
+      default: xs[i] = rng->Exponential(4.0); break;
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+/// Exact rank in a sorted array: #values <= x.
+uint64_t ExactRank(const std::vector<double>& sorted, double x) {
+  return static_cast<uint64_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), x) - sorted.begin());
+}
+
+/// Worst observed |RankOf - exact| / N over a probe grid.
+double MaxRankErrorFraction(const DensitySketch& sk,
+                            const std::vector<double>& sorted) {
+  double worst = 0.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = sorted.front() +
+                     (sorted.back() - sorted.front()) * (i / 200.0);
+    const double err =
+        std::abs(static_cast<double>(sk.RankOf(x)) -
+                 static_cast<double>(ExactRank(sorted, x))) /
+        static_cast<double>(sorted.size());
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+// --- DensitySketch merge laws ----------------------------------------------
+
+TEST(DensitySketchAlgebraTest, MergeIsBitwiseCommutative) {
+  Rng rng(0xA1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t levels = 16 + 8 * (trial % 4);
+    DensitySketch a = DensitySketch::FromSorted(
+        SortedSample(&rng, 200 + 50 * (trial % 5), trial), levels);
+    DensitySketch b = DensitySketch::FromSorted(
+        SortedSample(&rng, 300 + 70 * (trial % 3), trial + 1), levels);
+    DensitySketch ab = a, ba = b;
+    ASSERT_TRUE(ab.Merge(b).ok());
+    ASSERT_TRUE(ba.Merge(a).ok());
+    // operator== compares the knot doubles exactly — bit parity, not near.
+    EXPECT_TRUE(ab == ba) << "trial " << trial;
+  }
+}
+
+TEST(DensitySketchAlgebraTest, EmptySketchIsMergeIdentity) {
+  Rng rng(0xA2);
+  const DensitySketch a =
+      DensitySketch::FromSorted(SortedSample(&rng, 500, 0), 32);
+  DensitySketch left(32), right = a;
+  ASSERT_TRUE(left.Merge(a).ok());
+  ASSERT_TRUE(right.Merge(DensitySketch(32)).ok());
+  EXPECT_TRUE(left == a);
+  EXPECT_TRUE(right == a);
+  EXPECT_EQ(right.merge_depth(), a.merge_depth());
+}
+
+TEST(DensitySketchAlgebraTest, MismatchedLevelsRejected) {
+  Rng rng(0xA3);
+  DensitySketch a = DensitySketch::FromSorted(SortedSample(&rng, 50, 0), 16);
+  const DensitySketch b =
+      DensitySketch::FromSorted(SortedSample(&rng, 50, 0), 32);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+}
+
+TEST(DensitySketchAlgebraTest, AssociativeWithinErrorBound) {
+  // (a+b)+c vs a+(b+c): not bit-identical (each merge re-grids), but both
+  // must satisfy the advertised (depth+1)/K rank-error contract against
+  // the pooled data, and agree with each other within the summed bounds.
+  Rng rng(0xA4);
+  const uint32_t levels = 64;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> xa = SortedSample(&rng, 400, trial);
+    std::vector<double> xb = SortedSample(&rng, 600, trial + 1);
+    std::vector<double> xc = SortedSample(&rng, 300, trial + 2);
+    const DensitySketch a = DensitySketch::FromSorted(xa, levels);
+    const DensitySketch b = DensitySketch::FromSorted(xb, levels);
+    const DensitySketch c = DensitySketch::FromSorted(xc, levels);
+
+    DensitySketch left = a;
+    ASSERT_TRUE(left.Merge(b).ok());
+    ASSERT_TRUE(left.Merge(c).ok());
+    DensitySketch bc = b;
+    ASSERT_TRUE(bc.Merge(c).ok());
+    DensitySketch right = a;
+    ASSERT_TRUE(right.Merge(bc).ok());
+
+    EXPECT_EQ(left.count(), right.count());
+    std::vector<double> pooled;
+    pooled.reserve(xa.size() + xb.size() + xc.size());
+    pooled.insert(pooled.end(), xa.begin(), xa.end());
+    pooled.insert(pooled.end(), xb.begin(), xb.end());
+    pooled.insert(pooled.end(), xc.begin(), xc.end());
+    std::sort(pooled.begin(), pooled.end());
+    EXPECT_LE(MaxRankErrorFraction(left, pooled), left.ErrorBound());
+    EXPECT_LE(MaxRankErrorFraction(right, pooled), right.ErrorBound());
+    for (int i = 0; i <= 20; ++i) {
+      const double p = i / 20.0;
+      EXPECT_NEAR(left.Quantile(p), right.Quantile(p),
+                  // Quantile disagreement is bounded by the summed rank
+                  // slack mapped through the pooled spread.
+                  (left.ErrorBound() + right.ErrorBound()) *
+                      (pooled.back() - pooled.front()));
+    }
+  }
+}
+
+TEST(DensitySketchAlgebraTest, KWayMergeOrderInsensitiveAccuracy) {
+  // Merging k peer sketches in ring order, reverse order, and interleaved
+  // order must all honor the error contract for the pooled data — the
+  // aggregation tree's shape must not be able to break accuracy.
+  Rng rng(0xA5);
+  const uint32_t levels = 64;
+  const int k = 8;
+  std::vector<std::vector<double>> parts;
+  std::vector<DensitySketch> sketches;
+  std::vector<double> pooled;
+  for (int i = 0; i < k; ++i) {
+    parts.push_back(SortedSample(&rng, 100 + 60 * i, i));
+    sketches.push_back(DensitySketch::FromSorted(parts.back(), levels));
+    pooled.insert(pooled.end(), parts.back().begin(), parts.back().end());
+  }
+  std::sort(pooled.begin(), pooled.end());
+
+  const std::vector<std::vector<int>> orders = {
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {7, 6, 5, 4, 3, 2, 1, 0},
+      {3, 7, 0, 5, 1, 6, 2, 4},
+  };
+  for (const std::vector<int>& order : orders) {
+    DensitySketch acc(levels);
+    for (int idx : order) ASSERT_TRUE(acc.Merge(sketches[idx]).ok());
+    EXPECT_EQ(acc.count(), pooled.size());
+    EXPECT_LE(MaxRankErrorFraction(acc, pooled), acc.ErrorBound());
+  }
+}
+
+TEST(DensitySketchAlgebraTest, MergeDepthTracksTreeHeight) {
+  Rng rng(0xA6);
+  const uint32_t levels = 32;
+  DensitySketch leaf1 = DensitySketch::FromSorted(SortedSample(&rng, 64, 0),
+                                                  levels);
+  const DensitySketch leaf2 =
+      DensitySketch::FromSorted(SortedSample(&rng, 64, 1), levels);
+  EXPECT_EQ(leaf1.merge_depth(), 0u);
+  ASSERT_TRUE(leaf1.Merge(leaf2).ok());
+  EXPECT_EQ(leaf1.merge_depth(), 1u);
+  DensitySketch parent =
+      DensitySketch::FromSorted(SortedSample(&rng, 64, 2), levels);
+  ASSERT_TRUE(parent.Merge(leaf1).ok());
+  EXPECT_EQ(parent.merge_depth(), 2u);
+  EXPECT_DOUBLE_EQ(parent.ErrorBound(), 3.0 / levels);
+}
+
+// --- GkSketch merge: ε·N preservation ---------------------------------------
+
+TEST(GkSketchMergeTest, RankGuaranteePreservedAfterKWayMerge) {
+  Rng rng(0xB1);
+  const double eps = 0.02;
+  for (int shape = 0; shape < 3; ++shape) {
+    GkSketch merged(eps);
+    std::vector<double> pooled;
+    for (int part = 0; part < 6; ++part) {
+      GkSketch piece(eps);
+      std::vector<double> xs = SortedSample(&rng, 800 + 100 * part, shape);
+      piece.AddAll(xs);
+      pooled.insert(pooled.end(), xs.begin(), xs.end());
+      merged.Merge(piece);
+    }
+    std::sort(pooled.begin(), pooled.end());
+    ASSERT_EQ(merged.count(), pooled.size());
+    EXPECT_DOUBLE_EQ(merged.epsilon(), eps);
+    // The combine rule keeps every tuple's rank band within
+    // εa·Na + εb·Nb <= ε·N at every step, so the g+Δ <= 2εN invariant is
+    // preserved across all k merges. RankOf answers from the band of the
+    // last tuple <= x (ignoring the successor's gap), so its guarantee
+    // under that invariant is 2εN. The load-bearing claim: the bound does
+    // NOT grow with the number of merges — a broken combine rule would
+    // accumulate error per merge and blow well past this.
+    const double n = static_cast<double>(pooled.size());
+    for (int i = 0; i <= 300; ++i) {
+      const double x = pooled.front() +
+                       (pooled.back() - pooled.front()) * (i / 300.0);
+      const double got = static_cast<double>(merged.RankOf(x));
+      const double want = static_cast<double>(ExactRank(pooled, x));
+      EXPECT_LE(std::abs(got - want), 2.0 * eps * n + 1.0)
+          << "shape " << shape << " x " << x;
+    }
+    // Quantile honors its advertised εN slack band: the returned value's
+    // true rank stays within the invariant-width window of the target.
+    for (int i = 1; i < 20; ++i) {
+      const double p = i / 20.0;
+      const double got_rank =
+          static_cast<double>(ExactRank(pooled, merged.Quantile(p)));
+      EXPECT_LE(std::abs(got_rank - p * n), 3.0 * eps * n + 1.0)
+          << "shape " << shape << " p " << p;
+    }
+  }
+}
+
+TEST(GkSketchMergeTest, MergeCommutesOnQuantileAnswers) {
+  Rng rng(0xB2);
+  GkSketch a(0.02), b(0.02);
+  a.AddAll(SortedSample(&rng, 1500, 0));
+  b.AddAll(SortedSample(&rng, 900, 1));
+  GkSketch ab = a, ba = b;
+  ab.Merge(b);
+  ba.Merge(a);
+  ASSERT_EQ(ab.count(), ba.count());
+  const double n = static_cast<double>(ab.count());
+  for (int i = 0; i <= 20; ++i) {
+    const double p = i / 20.0;
+    // Both orders answer within the shared guarantee, so they can differ
+    // by at most 2ε·N in rank — check via cross-rank.
+    EXPECT_LE(std::abs(static_cast<double>(ab.RankOf(ba.Quantile(p))) -
+                       p * n),
+              2.0 * 0.02 * n + 2.0);
+  }
+}
+
+TEST(GkSketchMergeTest, MergeWithEmptyIsIdentityOnAnswers) {
+  Rng rng(0xB3);
+  GkSketch a(0.01);
+  a.AddAll(SortedSample(&rng, 500, 0));
+  const uint64_t before_count = a.count();
+  const double q_before = a.Quantile(0.5);
+  a.Merge(GkSketch(0.01));
+  EXPECT_EQ(a.count(), before_count);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), q_before);
+}
+
+// --- Codec: exact sizes, round-trips, fuzz ----------------------------------
+
+TEST(SketchCodecTest, DensitySketchEncodedBytesIsExact) {
+  Rng rng(0xC1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t levels = 8 + 16 * trial;
+    DensitySketch sk = DensitySketch::FromSorted(
+        SortedSample(&rng, 100 + 40 * trial, trial), levels);
+    Encoder enc;
+    sk.EncodeTo(&enc);
+    EXPECT_EQ(sk.EncodedBytes(), enc.size());
+  }
+  // Empty sketches encode too (a zero-item peer still participates).
+  DensitySketch empty(64);
+  Encoder enc;
+  empty.EncodeTo(&enc);
+  EXPECT_EQ(empty.EncodedBytes(), enc.size());
+}
+
+TEST(SketchCodecTest, DensitySketchRoundTripsBitExactly) {
+  Rng rng(0xC2);
+  for (int trial = 0; trial < 20; ++trial) {
+    DensitySketch sk = DensitySketch::FromSorted(
+        SortedSample(&rng, 50 + 90 * trial, trial), 16 + 8 * (trial % 5));
+    if (trial % 4 == 0) {
+      DensitySketch other = DensitySketch::FromSorted(
+          SortedSample(&rng, 70, trial + 1), sk.levels());
+      ASSERT_TRUE(sk.Merge(other).ok());  // nonzero merge_depth too
+    }
+    Encoder enc;
+    sk.EncodeTo(&enc);
+    Decoder dec(enc.buffer());
+    Result<DensitySketch> back = DensitySketch::DecodeFrom(&dec);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(*back == sk);
+  }
+}
+
+TEST(SketchCodecTest, GkSketchRoundTripsAndSizeIsExact) {
+  Rng rng(0xC3);
+  for (int trial = 0; trial < 10; ++trial) {
+    GkSketch sk(0.01 + 0.01 * trial);
+    sk.AddAll(SortedSample(&rng, 200 + 300 * trial, trial));
+    Encoder enc;
+    sk.EncodeTo(&enc);
+    EXPECT_EQ(sk.EncodedBytes(), enc.size());
+    Decoder dec(enc.buffer());
+    Result<GkSketch> back = GkSketch::DecodeFrom(&dec);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->count(), sk.count());
+    EXPECT_EQ(back->tuple_count(), sk.tuple_count());
+    EXPECT_DOUBLE_EQ(back->epsilon(), sk.epsilon());
+    for (int i = 0; i <= 10; ++i) {
+      EXPECT_DOUBLE_EQ(back->Quantile(i / 10.0), sk.Quantile(i / 10.0));
+    }
+  }
+}
+
+TEST(SketchCodecTest, ByteFlipFuzzNeverCrashes) {
+  // wire_test.cc-style mutation fuzz: every mutant must decode to ok or a
+  // clean error — and an ok decode must yield a structurally valid sketch
+  // (ascending finite knots of the advertised grid shape).
+  Rng rng(0xC4);
+  DensitySketch sk =
+      DensitySketch::FromSorted(SortedSample(&rng, 400, 0), 32);
+  Encoder enc;
+  sk.EncodeTo(&enc);
+  const std::vector<uint8_t> pristine = enc.buffer();
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> bytes = pristine;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.UniformU64(bytes.size())] ^=
+          static_cast<uint8_t>(1u << rng.UniformU64(8));
+    }
+    Decoder dec(bytes);
+    Result<DensitySketch> got = DensitySketch::DecodeFrom(&dec);
+    if (!got.ok()) continue;
+    if (!got->empty()) {
+      ASSERT_EQ(got->knots().size(), got->levels() + 1u);
+      for (size_t i = 0; i < got->knots().size(); ++i) {
+        ASSERT_TRUE(std::isfinite(got->knots()[i]));
+        if (i > 0) {
+          ASSERT_GE(got->knots()[i], got->knots()[i - 1]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SketchCodecTest, TruncatedDensitySketchRejected) {
+  Rng rng(0xC5);
+  DensitySketch sk =
+      DensitySketch::FromSorted(SortedSample(&rng, 100, 0), 16);
+  Encoder enc;
+  sk.EncodeTo(&enc);
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    std::vector<uint8_t> bytes(enc.buffer().begin(),
+                               enc.buffer().begin() + cut);
+    Decoder dec(bytes);
+    EXPECT_FALSE(DensitySketch::DecodeFrom(&dec).ok()) << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace ringdde

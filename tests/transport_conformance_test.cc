@@ -27,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "core/probe.h"
 #include "core/ring_service.h"
+#include "core/sketch_aggregation.h"
 #include "data/dataset.h"
 #include "sim/socket_transport.h"
 
@@ -44,6 +45,9 @@ DeploymentSpec SpecForCase(uint64_t case_seed) {
   spec.num_probes = 32;
   spec.refinement_rounds = 2;
   spec.local_quantiles = 8;
+  // Non-default on purpose: proves the spec codec and --sketch-levels flag
+  // thread the grid resolution through to every replica shard.
+  spec.sketch_levels = 48;
   return spec;
 }
 
@@ -65,6 +69,7 @@ struct OracleRun {
   std::vector<LocalSummary> probes;
   std::vector<CostCounters> probe_costs;
   std::vector<DensityEstimate> estimates;
+  std::vector<DensityEstimate> sketch_estimates;
 };
 
 OracleRun RunOracle(const DeploymentSpec& spec, const InsertSpec& ins,
@@ -121,6 +126,18 @@ OracleRun RunOracle(const DeploymentSpec& spec, const InsertSpec& ins,
     EXPECT_TRUE(estimate.ok()) << estimate.status().ToString();
     run.estimates.push_back(*estimate);
   }
+
+  for (int q = 0; q < kQueriers; ++q) {
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    SketchAggregationOptions sopts;
+    sopts.sketch_levels = spec.sketch_levels;
+    sopts.retry.max_attempts = static_cast<int>(spec.retry_max_attempts);
+    sopts.seed = DeriveTaskSeed(case_seed, 300 + q);
+    SketchAggregator aggregator(&ring, sopts);
+    Result<DensityEstimate> estimate = aggregator.Estimate(querier);
+    EXPECT_TRUE(estimate.ok()) << estimate.status().ToString();
+    run.sketch_estimates.push_back(*estimate);
+  }
   return run;
 }
 
@@ -149,6 +166,34 @@ void ExpectEstimateMatches(const DensityEstimate& got,
   EXPECT_EQ(got.timeouts, want.timeouts) << what;
   EXPECT_NEAR(got.ConfidenceEpsilon(), want.ConfidenceEpsilon(), 1e-12)
       << what;
+}
+
+/// The sketch path pins BIT parity, not near-parity: knots round-trip
+/// through the fixed64 IEEE codec unchanged, and the server runs the
+/// identical SketchAggregator code over the identical seeds, so every
+/// double must compare EXACTLY equal.
+void ExpectSketchEstimateMatches(const DensityEstimate& got,
+                                 const DensityEstimate& want,
+                                 const char* what) {
+  ExpectEstimateMatches(got, want, what);
+  ASSERT_TRUE(want.sketch.has_value()) << what;
+  ASSERT_TRUE(got.sketch.has_value()) << what;
+  EXPECT_EQ(got.sketch->levels(), want.sketch->levels()) << what;
+  EXPECT_EQ(got.sketch->count(), want.sketch->count()) << what;
+  EXPECT_EQ(got.sketch->merge_depth(), want.sketch->merge_depth()) << what;
+  ASSERT_EQ(got.sketch->knots().size(), want.sketch->knots().size()) << what;
+  for (size_t i = 0; i < want.sketch->knots().size(); ++i) {
+    EXPECT_EQ(got.sketch->knots()[i], want.sketch->knots()[i])
+        << what << " sketch knot " << i << " not bit-identical";
+  }
+  EXPECT_TRUE(*got.sketch == *want.sketch) << what;
+  // The regenerated CDF must ALSO be bit-identical (same ToCdf over the
+  // same bits), which is stronger than the 1e-9 bound checked above.
+  ASSERT_EQ(got.cdf.knots().size(), want.cdf.knots().size()) << what;
+  for (size_t i = 0; i < want.cdf.knots().size(); ++i) {
+    EXPECT_EQ(got.cdf.knots()[i].x, want.cdf.knots()[i].x) << what;
+    EXPECT_EQ(got.cdf.knots()[i].f, want.cdf.knots()[i].f) << what;
+  }
 }
 
 /// Drives the corpus through a RingClient; clients.size() >= 1. Mutating
@@ -206,6 +251,16 @@ void RunCorpusOverChannels(const std::vector<RingClient*>& clients,
     Result<DensityEstimate> estimate = client->Estimate(querier, query_seed);
     ASSERT_TRUE(estimate.ok()) << what << ": " << estimate.status().ToString();
     ExpectEstimateMatches(*estimate, oracle.estimates[q], what);
+  }
+
+  for (int q = 0; q < kQueriers; ++q) {
+    RingClient* client = clients[q % clients.size()];
+    const NodeAddr querier = static_cast<NodeAddr>(q + 1);
+    const uint64_t query_seed = DeriveTaskSeed(case_seed, 300 + q);
+    Result<DensityEstimate> estimate =
+        client->SketchEstimate(querier, query_seed);
+    ASSERT_TRUE(estimate.ok()) << what << ": " << estimate.status().ToString();
+    ExpectSketchEstimateMatches(*estimate, oracle.sketch_estimates[q], what);
   }
 }
 
@@ -292,6 +347,7 @@ std::vector<std::string> NodeArgs(const DeploymentSpec& spec) {
       "--rounds=" + std::to_string(spec.refinement_rounds),
       "--quantiles=" + std::to_string(spec.local_quantiles),
       "--retries=" + std::to_string(spec.retry_max_attempts),
+      "--sketch-levels=" + std::to_string(spec.sketch_levels),
   };
 }
 

@@ -42,6 +42,7 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s [--peers=N] [--ring-seed=S] [--net-seed=S]\n"
       "          [--probes=M] [--rounds=R] [--quantiles=Q] [--retries=A]\n"
+      "          [--sketch-levels=K]\n"
       "          [--fault-drop=P] [--fault-crash=P] [--fault-seed=S]\n"
       "          [--wire-drop=P] [--wire-delay=P] [--wire-delay-mean=SEC]\n"
       "          [--wire-seed=S]\n"
@@ -75,6 +76,9 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--retries", &v)) {
       spec.retry_max_attempts =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--sketch-levels", &v)) {
+      spec.sketch_levels =
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--fault-drop", &v)) {
       spec.faults_enabled = true;

@@ -102,5 +102,20 @@ foreach(report ${reports})
       endif()
     endforeach()
   endif()
+  # The RPC-throughput experiment must report the transport-rewrite
+  # contract: the baseline and epoll+pipelined throughputs, both p99
+  # latencies, and the steady-state allocation rate — the evidence that
+  # the event loop + pipelining + buffer reuse actually paid off.
+  if(report MATCHES "BENCH_e22_rpc_throughput\\.json$")
+    foreach(key rpcs_per_sec_baseline rpcs_per_sec_epoll_pipelined
+                rpc_latency_p99_ms_baseline rpc_latency_p99_ms_epoll_pipelined
+                allocs_per_rpc)
+      string(JSON value ERROR_VARIABLE err GET "${contents}" counters ${key})
+      if(NOT err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+          "${report}: missing or unreadable 'counters.${key}': ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: schema OK")
 endforeach()

@@ -22,14 +22,8 @@
 namespace ringdde::bench {
 namespace {
 
-double PercentileMs(std::vector<double> seconds, double p) {
-  if (seconds.empty()) return 0.0;
-  std::sort(seconds.begin(), seconds.end());
-  const double h = p * static_cast<double>(seconds.size() - 1);
-  const size_t lo = static_cast<size_t>(h);
-  const size_t hi = std::min(lo + 1, seconds.size() - 1);
-  const double t = h - static_cast<double>(lo);
-  return 1000.0 * (seconds[lo] + (seconds[hi] - seconds[lo]) * t);
+double PercentileMs(const std::vector<double>& seconds, double p) {
+  return 1000.0 * PercentileOf(seconds, p);
 }
 
 void Run() {
@@ -66,36 +60,42 @@ void Run() {
                     "-", "-"});
       continue;
     }
-    RpcServer server(
-        [&service](const Frame& f) { return service.Handle(f); });
+    RpcServer server([&service](const Frame& f, Frame* reply) {
+      return service.Handle(f, reply);
+    });
     if (!server.Start().ok()) {
       table.AddRow({Fmt("%llu", (unsigned long long)m), "-", "-", "-", "-",
                     "-", "-"});
       continue;
     }
     {
-      SocketRpcChannel channel(server.port());
-      RingClient client(&channel);
-
-      InsertSpec ins;
-      ins.dist_kind = 2;  // zipf(values, theta)
-      ins.param_a = 1000;
-      ins.param_b = 0.9;
-      ins.count = kItems;
-      ins.data_seed = 71;
-      if (!client.Insert(ins).ok() || !client.Stabilize().ok()) {
+      // Setup traffic (insert/stabilize) is not part of the query cost
+      // curve: run setup on its own channel, then query on a FRESH one so
+      // its stats are purely query traffic.
+      bool setup_ok = true;
+      {
+        SocketRpcChannel setup_channel(server.port());
+        RingClient setup_client(&setup_channel);
+        InsertSpec ins;
+        ins.dist_kind = 2;  // zipf(values, theta)
+        ins.param_a = 1000;
+        ins.param_b = 0.9;
+        ins.count = kItems;
+        ins.data_seed = 71;
+        setup_ok = setup_client.Insert(ins).ok() &&
+                   setup_client.Stabilize().ok();
+        total_wire_tx += setup_channel.stats().wire_bytes_sent;
+        total_wire_rx += setup_channel.stats().wire_bytes_received;
+      }
+      if (!setup_ok) {
         server.Stop();
         table.AddRow({Fmt("%llu", (unsigned long long)m), "-", "-", "-",
                       "-", "-", "-"});
         continue;
       }
 
-      // Setup traffic (insert/stabilize) is not part of the query cost
-      // curve: snapshot the channel AFTER setup and diff at the end.
-      const uint64_t tx0 = channel.stats().wire_bytes_sent;
-      const uint64_t rx0 = channel.stats().wire_bytes_received;
-      const size_t lat0 = channel.stats().rpc_latency_seconds.size();
-
+      SocketRpcChannel channel(server.port());
+      RingClient client(&channel);
       uint64_t sim_messages = 0;
       uint64_t sim_bytes = 0;
       for (int q = 0; q < kQueries; ++q) {
@@ -106,11 +106,10 @@ void Run() {
         sim_bytes += est->cost.bytes;
       }
 
-      const uint64_t wire_tx = channel.stats().wire_bytes_sent - tx0;
-      const uint64_t wire_rx = channel.stats().wire_bytes_received - rx0;
-      std::vector<double> latencies(
-          channel.stats().rpc_latency_seconds.begin() + lat0,
-          channel.stats().rpc_latency_seconds.end());
+      const uint64_t wire_tx = channel.stats().wire_bytes_sent;
+      const uint64_t wire_rx = channel.stats().wire_bytes_received;
+      const std::vector<double>& latencies =
+          channel.stats().rpc_latency_seconds.samples();
 
       table.AddRow({Fmt("%llu", (unsigned long long)m),
                     Fmt("%llu", (unsigned long long)sim_messages),
@@ -120,8 +119,8 @@ void Run() {
                     Fmt("%.3f", PercentileMs(latencies, 0.50)),
                     Fmt("%.3f", PercentileMs(latencies, 0.99))});
 
-      total_wire_tx += channel.stats().wire_bytes_sent;
-      total_wire_rx += channel.stats().wire_bytes_received;
+      total_wire_tx += wire_tx;
+      total_wire_rx += wire_rx;
       all_latencies.insert(all_latencies.end(), latencies.begin(),
                            latencies.end());
       BenchReporter::Global().AddCost(sim_messages, sim_bytes);

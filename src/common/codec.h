@@ -30,6 +30,17 @@ class Encoder {
   size_t size() const { return buffer_.size(); }
   void Clear() { buffer_.clear(); }
 
+  /// Moves the encoded bytes out (the encoder is left empty). The
+  /// allocation travels with the result — nothing is copied.
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+  /// Copies the encoded bytes into `out`, reusing `out`'s capacity — the
+  /// scratch-encoder pattern: one long-lived Encoder per server/connection,
+  /// Clear() + encode + CopyTo() per RPC, zero steady-state allocations.
+  void CopyTo(std::vector<uint8_t>* out) const {
+    out->assign(buffer_.begin(), buffer_.end());
+  }
+
  private:
   std::vector<uint8_t> buffer_;
 };

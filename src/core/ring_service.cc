@@ -98,9 +98,8 @@ uint64_t RingFingerprint(const ChordRing& ring) {
   return h;
 }
 
-void EncodeDeploymentSpec(const DeploymentSpec& spec,
-                          std::vector<uint8_t>* out) {
-  Encoder enc;
+void EncodeDeploymentSpec(const DeploymentSpec& spec, Encoder* out) {
+  Encoder& enc = *out;
   enc.PutVarint64(spec.peers);
   enc.PutFixed64(spec.ring_seed);
   enc.PutFixed64(spec.net_seed);
@@ -118,7 +117,13 @@ void EncodeDeploymentSpec(const DeploymentSpec& spec,
   enc.PutVarint64(spec.local_quantiles);
   enc.PutVarint64(spec.retry_max_attempts);
   enc.PutVarint64(spec.sketch_levels);
-  *out = enc.buffer();
+}
+
+void EncodeDeploymentSpec(const DeploymentSpec& spec,
+                          std::vector<uint8_t>* out) {
+  Encoder enc;
+  EncodeDeploymentSpec(spec, &enc);
+  *out = enc.Take();
 }
 
 Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in) {
@@ -151,14 +156,18 @@ Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in) {
   return spec;
 }
 
+void EncodeInsertSpec(const InsertSpec& spec, Encoder* enc) {
+  enc->PutU8(spec.dist_kind);
+  enc->PutDouble(spec.param_a);
+  enc->PutDouble(spec.param_b);
+  enc->PutVarint64(spec.count);
+  enc->PutFixed64(spec.data_seed);
+}
+
 void EncodeInsertSpec(const InsertSpec& spec, std::vector<uint8_t>* out) {
   Encoder enc;
-  enc.PutU8(spec.dist_kind);
-  enc.PutDouble(spec.param_a);
-  enc.PutDouble(spec.param_b);
-  enc.PutVarint64(spec.count);
-  enc.PutFixed64(spec.data_seed);
-  *out = enc.buffer();
+  EncodeInsertSpec(spec, &enc);
+  *out = enc.Take();
 }
 
 Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in) {
@@ -172,16 +181,20 @@ Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in) {
   return spec;
 }
 
+void EncodeEstimateReply(const DensityEstimate& estimate, Encoder* enc) {
+  EncodeDensityEstimate(estimate, enc);
+  EncodeCostCounters(estimate.cost, enc);
+  enc->PutVarint64(estimate.probes_requested);
+  enc->PutVarint64(estimate.failed_probes);
+  enc->PutVarint64(estimate.retries);
+  enc->PutVarint64(estimate.timeouts);
+}
+
 void EncodeEstimateReply(const DensityEstimate& estimate,
                          std::vector<uint8_t>* out) {
   Encoder enc;
-  EncodeDensityEstimate(estimate, &enc);
-  EncodeCostCounters(estimate.cost, &enc);
-  enc.PutVarint64(estimate.probes_requested);
-  enc.PutVarint64(estimate.failed_probes);
-  enc.PutVarint64(estimate.retries);
-  enc.PutVarint64(estimate.timeouts);
-  *out = enc.buffer();
+  EncodeEstimateReply(estimate, &enc);
+  *out = enc.Take();
 }
 
 Result<DensityEstimate> DecodeEstimateReply(const std::vector<uint8_t>& in) {
@@ -199,12 +212,16 @@ Result<DensityEstimate> DecodeEstimateReply(const std::vector<uint8_t>& in) {
   return estimate;
 }
 
+void EncodeCountersReply(const CountersReply& reply, Encoder* enc) {
+  EncodeCostCounters(reply.counters, enc);
+  enc->PutVarint64(reply.lost_messages);
+}
+
 void EncodeCountersReply(const CountersReply& reply,
                          std::vector<uint8_t>* out) {
   Encoder enc;
-  EncodeCostCounters(reply.counters, &enc);
-  enc.PutVarint64(reply.lost_messages);
-  *out = enc.buffer();
+  EncodeCountersReply(reply, &enc);
+  *out = enc.Take();
 }
 
 Result<CountersReply> DecodeCountersReply(const std::vector<uint8_t>& in) {
@@ -229,52 +246,56 @@ uint64_t RingRpcService::Fingerprint() const {
   return RingFingerprint(*deployment_->ring);
 }
 
-Result<Frame> RingRpcService::Handle(const Frame& request) {
+Status RingRpcService::Handle(const Frame& request, Frame* reply) {
   std::lock_guard<std::mutex> lock(mu_);
   if (deployment_ == nullptr) {
     return Status::FailedPrecondition("service not initialized");
   }
+  enc_.Clear();
   switch (static_cast<RpcType>(request.type)) {
     case RpcType::kHello:
-      return HandleHello();
+      return HandleHello(reply);
     case RpcType::kJoin:
-      return HandleJoin(request);
+      return HandleJoin(request, reply);
     case RpcType::kStabilize:
-      return HandleStabilize();
+      return HandleStabilize(reply);
     case RpcType::kInsert:
-      return HandleInsert(request);
+      return HandleInsert(request, reply);
     case RpcType::kProbe:
-      return HandleProbe(request);
+      return HandleProbe(request, reply);
     case RpcType::kEstimate:
-      return HandleEstimate(request);
+      return HandleEstimate(request, reply);
     case RpcType::kSketchEstimate:
-      return HandleSketchEstimate(request);
+      return HandleSketchEstimate(request, reply);
     case RpcType::kCounters:
-      return HandleCounters();
-    case RpcType::kShutdown: {
+      return HandleCounters(reply);
+    case RpcType::kShutdown:
       shutdown_requested_ = true;
-      Frame reply;
-      reply.type = request.type;
-      return reply;
-    }
+      reply->type = request.type;
+      reply->payload.clear();
+      return Status::OK();
     default:
       return Status::InvalidArgument("unknown rpc type");
   }
 }
 
-Result<Frame> RingRpcService::HandleHello() {
-  ChordRing& ring = *deployment_->ring;
-  Encoder enc;
-  enc.PutVarint64(ring.AliveCount());
-  enc.PutVarint64(ring.TotalItems());
-  enc.PutFixed64(RingFingerprint(ring));
+Result<Frame> RingRpcService::Handle(const Frame& request) {
   Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kHello);
-  reply.payload = enc.buffer();
+  RINGDDE_RETURN_IF_ERROR(Handle(request, &reply));
   return reply;
 }
 
-Result<Frame> RingRpcService::HandleJoin(const Frame& request) {
+Status RingRpcService::HandleHello(Frame* reply) {
+  ChordRing& ring = *deployment_->ring;
+  enc_.PutVarint64(ring.AliveCount());
+  enc_.PutVarint64(ring.TotalItems());
+  enc_.PutFixed64(RingFingerprint(ring));
+  reply->type = static_cast<uint8_t>(RpcType::kHello);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
+}
+
+Status RingRpcService::HandleJoin(const Frame& request, Frame* reply) {
   Decoder dec(request.payload);
   uint64_t k = 0;
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&k));
@@ -289,27 +310,23 @@ Result<Frame> RingRpcService::HandleJoin(const Frame& request) {
     Result<NodeAddr> joined = ring.Join(ring.AliveAddrAtRank(0));
     if (!joined.ok()) return joined.status();
   }
-  Encoder enc;
-  enc.PutVarint64(ring.AliveCount());
-  enc.PutFixed64(RingFingerprint(ring));
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kJoin);
-  reply.payload = enc.buffer();
-  return reply;
+  enc_.PutVarint64(ring.AliveCount());
+  enc_.PutFixed64(RingFingerprint(ring));
+  reply->type = static_cast<uint8_t>(RpcType::kJoin);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleStabilize() {
+Status RingRpcService::HandleStabilize(Frame* reply) {
   ChordRing& ring = *deployment_->ring;
   ring.StabilizeAll();
-  Encoder enc;
-  enc.PutFixed64(RingFingerprint(ring));
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kStabilize);
-  reply.payload = enc.buffer();
-  return reply;
+  enc_.PutFixed64(RingFingerprint(ring));
+  reply->type = static_cast<uint8_t>(RpcType::kStabilize);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleInsert(const Frame& request) {
+Status RingRpcService::HandleInsert(const Frame& request, Frame* reply) {
   Result<InsertSpec> spec = DecodeInsertSpec(request.payload);
   if (!spec.ok()) return spec.status();
   Result<std::unique_ptr<Distribution>> dist = MakeSpecDistribution(*spec);
@@ -319,16 +336,14 @@ Result<Frame> RingRpcService::HandleInsert(const Frame& request) {
       GenerateDataset(**dist, static_cast<size_t>(spec->count), rng);
   ChordRing& ring = *deployment_->ring;
   ring.InsertDatasetBulk(dataset.keys);
-  Encoder enc;
-  enc.PutVarint64(ring.TotalItems());
-  enc.PutFixed64(RingFingerprint(ring));
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kInsert);
-  reply.payload = enc.buffer();
-  return reply;
+  enc_.PutVarint64(ring.TotalItems());
+  enc_.PutFixed64(RingFingerprint(ring));
+  reply->type = static_cast<uint8_t>(RpcType::kInsert);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleProbe(const Frame& request) {
+Status RingRpcService::HandleProbe(const Frame& request, Frame* reply) {
   Decoder dec(request.payload);
   uint64_t querier = 0, target = 0, ctx_seed = 0;
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
@@ -343,16 +358,14 @@ Result<Frame> RingRpcService::HandleProbe(const Frame& request) {
   Result<LocalSummary> summary = prober.Probe(ctx, querier, RingId(target));
   if (!summary.ok()) return summary.status();
   deployment_->network->Accumulate(ctx.counters, ctx.lost_messages);
-  Encoder enc;
-  EncodeLocalSummary(*summary, &enc);
-  EncodeCostCounters(ctx.counters, &enc);
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kProbe);
-  reply.payload = enc.buffer();
-  return reply;
+  EncodeLocalSummary(*summary, &enc_);
+  EncodeCostCounters(ctx.counters, &enc_);
+  reply->type = static_cast<uint8_t>(RpcType::kProbe);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleEstimate(const Frame& request) {
+Status RingRpcService::HandleEstimate(const Frame& request, Frame* reply) {
   Decoder dec(request.payload);
   uint64_t querier = 0, query_seed = 0;
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
@@ -366,13 +379,14 @@ Result<Frame> RingRpcService::HandleEstimate(const Frame& request) {
   DistributionFreeEstimator estimator(deployment_->ring.get(), opts);
   Result<DensityEstimate> estimate = estimator.Estimate(querier);
   if (!estimate.ok()) return estimate.status();
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kEstimate);
-  EncodeEstimateReply(*estimate, &reply.payload);
-  return reply;
+  EncodeEstimateReply(*estimate, &enc_);
+  reply->type = static_cast<uint8_t>(RpcType::kEstimate);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleSketchEstimate(const Frame& request) {
+Status RingRpcService::HandleSketchEstimate(const Frame& request,
+                                            Frame* reply) {
   Decoder dec(request.payload);
   uint64_t querier = 0, query_seed = 0;
   RINGDDE_RETURN_IF_ERROR(dec.GetVarint64(&querier));
@@ -384,22 +398,22 @@ Result<Frame> RingRpcService::HandleSketchEstimate(const Frame& request) {
   SketchAggregator aggregator(deployment_->ring.get(), opts);
   Result<DensityEstimate> estimate = aggregator.Estimate(querier);
   if (!estimate.ok()) return estimate.status();
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kSketchEstimate);
   // Same reply layout as kEstimate; the estimate's sketch makes the inner
   // frame the compact kSketchEstimateTag form automatically.
-  EncodeEstimateReply(*estimate, &reply.payload);
-  return reply;
+  EncodeEstimateReply(*estimate, &enc_);
+  reply->type = static_cast<uint8_t>(RpcType::kSketchEstimate);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
-Result<Frame> RingRpcService::HandleCounters() {
+Status RingRpcService::HandleCounters(Frame* reply) {
   CountersReply counters;
   counters.counters = deployment_->network->counters();
   counters.lost_messages = deployment_->network->lost_messages();
-  Frame reply;
-  reply.type = static_cast<uint8_t>(RpcType::kCounters);
-  EncodeCountersReply(counters, &reply.payload);
-  return reply;
+  EncodeCountersReply(counters, &enc_);
+  reply->type = static_cast<uint8_t>(RpcType::kCounters);
+  enc_.CopyTo(&reply->payload);
+  return Status::OK();
 }
 
 // --- RingClient -------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/status.h"
 #include "core/density_estimator.h"
 #include "data/distribution.h"
@@ -84,10 +85,14 @@ Result<std::unique_ptr<Deployment>> BuildDeployment(
 /// mutating step.
 uint64_t RingFingerprint(const ChordRing& ring);
 
-/// Per-request payload codecs (sim/transport.h frames carry these).
+/// Per-request payload codecs (sim/transport.h frames carry these). Each
+/// has an Encoder-appending form (for scratch-encoder reuse on the serving
+/// path) and a whole-vector convenience form.
+void EncodeDeploymentSpec(const DeploymentSpec& spec, Encoder* enc);
 void EncodeDeploymentSpec(const DeploymentSpec& spec,
                           std::vector<uint8_t>* out);
 Result<DeploymentSpec> DecodeDeploymentSpec(const std::vector<uint8_t>& in);
+void EncodeInsertSpec(const InsertSpec& spec, Encoder* enc);
 void EncodeInsertSpec(const InsertSpec& spec, std::vector<uint8_t>* out);
 Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in);
 
@@ -97,6 +102,7 @@ Result<InsertSpec> DecodeInsertSpec(const std::vector<uint8_t>& in);
 struct EstimateReply {
   DensityEstimate estimate;
 };
+void EncodeEstimateReply(const DensityEstimate& estimate, Encoder* enc);
 void EncodeEstimateReply(const DensityEstimate& estimate,
                          std::vector<uint8_t>* out);
 Result<DensityEstimate> DecodeEstimateReply(const std::vector<uint8_t>& in);
@@ -106,6 +112,7 @@ struct CountersReply {
   CostCounters counters;
   uint64_t lost_messages = 0;
 };
+void EncodeCountersReply(const CountersReply& reply, Encoder* enc);
 void EncodeCountersReply(const CountersReply& reply,
                          std::vector<uint8_t>* out);
 Result<CountersReply> DecodeCountersReply(const std::vector<uint8_t>& in);
@@ -121,9 +128,15 @@ class RingRpcService {
   /// Builds the deployment. Must be called (and succeed) before Handle.
   Status Init();
 
-  /// Executes one request frame, returning the reply frame (success echoes
-  /// the request type; errors surface as a non-ok Status, which socket
-  /// servers turn into kError frames).
+  /// Executes one request frame into `*reply` (success echoes the request
+  /// type; errors surface as a non-ok Status, which socket servers turn
+  /// into kError frames). Allocation-lean serving path: the reply payload
+  /// is built in a member Encoder scratch and copied into `reply->payload`
+  /// reusing its capacity — pair it with RpcServer's connection-owned
+  /// reply frames for steady-state-allocation-free serving.
+  Status Handle(const Frame& request, Frame* reply);
+
+  /// Convenience wrapper over the two-arg form (fresh Frame per call).
   Result<Frame> Handle(const Frame& request);
 
   /// True once a kShutdown frame was served.
@@ -136,18 +149,20 @@ class RingRpcService {
   Deployment* deployment() { return deployment_.get(); }
 
  private:
-  Result<Frame> HandleHello();
-  Result<Frame> HandleJoin(const Frame& request);
-  Result<Frame> HandleStabilize();
-  Result<Frame> HandleInsert(const Frame& request);
-  Result<Frame> HandleProbe(const Frame& request);
-  Result<Frame> HandleEstimate(const Frame& request);
-  Result<Frame> HandleSketchEstimate(const Frame& request);
-  Result<Frame> HandleCounters();
+  Status HandleHello(Frame* reply);
+  Status HandleJoin(const Frame& request, Frame* reply);
+  Status HandleStabilize(Frame* reply);
+  Status HandleInsert(const Frame& request, Frame* reply);
+  Status HandleProbe(const Frame& request, Frame* reply);
+  Status HandleEstimate(const Frame& request, Frame* reply);
+  Status HandleSketchEstimate(const Frame& request, Frame* reply);
+  Status HandleCounters(Frame* reply);
 
   DeploymentSpec spec_;
   std::unique_ptr<Deployment> deployment_;
   mutable std::mutex mu_;
+  /// Reply-payload scratch, guarded by mu_ like the deployment itself.
+  Encoder enc_;
   bool shutdown_requested_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/latency_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -41,8 +42,92 @@ double LogNormalLatency::Mean() const {
   return std::exp(mu_ + 0.5 * sigma_ * sigma_);
 }
 
+namespace {
+
+/// Phi^-1(0.99) for the two-quantile log-normal fit.
+constexpr double kZ99 = 2.3263478740408408;
+
+/// Acklam's rational approximation of the standard normal inverse CDF
+/// (relative error < 1.15e-9 — far below the 20% calibration tolerance).
+double NormalQuantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+CalibratedLatency::CalibratedLatency(double measured_p50_seconds,
+                                     double measured_p99_seconds) {
+  const double p50 = measured_p50_seconds > 0.0 ? measured_p50_seconds : 1e-9;
+  mu_ = std::log(p50);
+  sigma_ = measured_p99_seconds > p50
+               ? std::log(measured_p99_seconds / p50) / kZ99
+               : 0.0;
+}
+
+double CalibratedLatency::Sample(Rng& rng, uint64_t from, uint64_t to) const {
+  (void)from;
+  (void)to;
+  if (sigma_ == 0.0) {
+    (void)rng;
+    return std::exp(mu_);
+  }
+  return std::exp(mu_ + sigma_ * rng.Normal());
+}
+
+double CalibratedLatency::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double CalibratedLatency::QuantileSeconds(double p) const {
+  return std::exp(mu_ + sigma_ * NormalQuantile(p));
+}
+
 std::unique_ptr<LatencyModel> MakeDefaultLatencyModel() {
   return std::make_unique<LogNormalLatency>(0.05, 0.5);
+}
+
+CalibratedLatency CalibratedLatency::FitFromSamples(
+    const std::vector<double>& seconds) {
+  if (seconds.empty()) return CalibratedLatency(0.0, 0.0);
+  std::vector<double> sorted = seconds;
+  std::sort(sorted.begin(), sorted.end());
+  auto at = [&sorted](double p) {
+    const double h = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(h);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double t = h - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+  };
+  return CalibratedLatency(at(0.50), at(0.99));
 }
 
 }  // namespace ringdde

@@ -2,6 +2,7 @@
 #define RINGDDE_SIM_LATENCY_MODEL_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -58,6 +59,48 @@ class LogNormalLatency : public LatencyModel {
  private:
   double mu_;     ///< log(median)
   double sigma_;
+};
+
+/// A latency model FITTED to measured wire percentiles instead of guessed.
+///
+/// The sim's per-message latency was always a hand-picked log-normal
+/// (MakeDefaultLatencyModel: 50 ms median, sigma 0.5) — fine for relative
+/// message-count studies, uncalibrated against what the socket transport
+/// actually delivers. CalibratedLatency closes that gap: give it the
+/// measured p50/p99 of real RPC latency (bench/e22_rpc_throughput measures
+/// them against the event-loop server) and it pins a log-normal through
+/// exactly those two quantiles:
+///
+///   mu    = ln(p50)                      (log-normal median == p50)
+///   sigma = ln(p99 / p50) / z_99         (z_99 = Phi^-1(0.99))
+///
+/// so QuantileSeconds(0.50) == p50 and QuantileSeconds(0.99) == p99 by
+/// construction, and Sample() draws a deterministic stream whose empirical
+/// percentiles converge to the measured wire percentiles. Degenerate
+/// inputs (p99 <= p50, e.g. a constant-latency loopback) collapse to a
+/// constant model at p50.
+class CalibratedLatency : public LatencyModel {
+ public:
+  /// Fits through the two measured quantiles (seconds, p50 > 0).
+  CalibratedLatency(double measured_p50_seconds, double measured_p99_seconds);
+
+  double Sample(Rng& rng, uint64_t from, uint64_t to) const override;
+  double Mean() const override;
+
+  /// The fitted model's analytic quantile at p in (0,1).
+  double QuantileSeconds(double p) const;
+
+  double fitted_p50() const { return QuantileSeconds(0.50); }
+  double fitted_p99() const { return QuantileSeconds(0.99); }
+  double sigma() const { return sigma_; }
+
+  /// Convenience: fit from raw latency samples (takes their empirical
+  /// p50/p99). Returns a constant model at 0 when `seconds` is empty.
+  static CalibratedLatency FitFromSamples(const std::vector<double>& seconds);
+
+ private:
+  double mu_;     ///< ln(p50)
+  double sigma_;  ///< 0 for degenerate (constant) fits
 };
 
 /// Convenience factory for the default model used across benchmarks:

@@ -1,0 +1,52 @@
+#include "sim/latency_reservoir.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ringdde {
+
+LatencyReservoir::LatencyReservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), seed_(seed) {}
+
+void LatencyReservoir::Add(double seconds) {
+  sum_ += seconds;
+  const uint64_t index = count_++;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(seconds);
+    return;
+  }
+  // Algorithm R, derandomized: slot choice is a pure function of
+  // (seed, index), so the retained subset never depends on timing or
+  // thread interleaving of OTHER channels — only on this channel's own
+  // observation order.
+  const uint64_t r = SplitMix64(seed_ ^ (index * 0x9E3779B97F4A7C15ull));
+  const uint64_t slot = r % (index + 1);
+  if (slot < capacity_) {
+    samples_[static_cast<size_t>(slot)] = seconds;
+  }
+}
+
+double LatencyReservoir::Percentile(double p) const {
+  return PercentileOf(samples_, p);
+}
+
+void LatencyReservoir::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  samples_.clear();
+}
+
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 1.0) return values.back();
+  const double h = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(h);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double t = h - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * t;
+}
+
+}  // namespace ringdde

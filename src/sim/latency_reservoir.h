@@ -1,0 +1,71 @@
+#ifndef RINGDDE_SIM_LATENCY_RESERVOIR_H_
+#define RINGDDE_SIM_LATENCY_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ringdde {
+
+/// Fixed-capacity latency sample set with exact count/sum.
+///
+/// RPC channels used to log EVERY completed RPC's latency into an
+/// unbounded vector — per-RPC heap growth for the life of the channel and
+/// unbounded memory under soak workloads. This reservoir bounds the
+/// footprint at `capacity` doubles while keeping:
+///  - `count()`/`sum()`/`mean()` EXACT (tracked outside the sample set),
+///  - percentile estimates stable: Algorithm R with a DETERMINISTIC
+///    SplitMix64 replacement stream keyed by (seed, observation index), so
+///    the sampled subset — and therefore every reported percentile — is a
+///    pure function of the observation sequence, not of scheduling.
+///
+/// Below `capacity` observations the reservoir holds every sample and
+/// Percentile() is exact, which keeps E20/E21-scale reporting (hundreds to
+/// thousands of RPCs against a 4096 default) byte-identical to the old
+/// full-vector behavior.
+class LatencyReservoir {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit LatencyReservoir(size_t capacity = kDefaultCapacity,
+                            uint64_t seed = 0x1A7E9C5ull);
+
+  /// Records one observation (reservoir-samples past capacity).
+  void Add(double seconds);
+
+  /// Exact number of observations ever Add()ed.
+  uint64_t count() const { return count_; }
+
+  /// Exact sum of all observations (not just the retained ones).
+  double sum() const { return sum_; }
+
+  /// Exact mean over all observations; 0 when empty.
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// The retained samples, in insertion/replacement order.
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Linear-interpolated percentile (p in [0,1]) over the retained
+  /// samples; exact while count() <= capacity. 0 when empty.
+  double Percentile(double p) const;
+
+  /// Forgets everything (capacity and determinism stream restart too).
+  void Reset();
+
+ private:
+  size_t capacity_;
+  uint64_t seed_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// Linear-interpolated percentile over an ad-hoc sample vector (sorted
+/// in place). Shared by the reservoir and the bench reporters.
+double PercentileOf(std::vector<double> values, double p);
+
+}  // namespace ringdde
+
+#endif  // RINGDDE_SIM_LATENCY_RESERVOIR_H_

@@ -1,9 +1,14 @@
 #include "sim/rpc_server.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,34 +19,36 @@ namespace ringdde {
 
 namespace {
 
-/// Writes the whole buffer, tolerating partial writes and EINTR. Returns
-/// false on a severed peer.
-bool WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-#ifdef MSG_NOSIGNAL
-    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-#else
-    ssize_t n = ::send(fd, data + off, len - off, 0);
-#endif
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+/// Coalescing width of one writev batch (replies per syscall).
+constexpr int kMaxIovecs = 16;
+
+/// Recycled reply buffers kept per connection.
+constexpr size_t kMaxSpareBuffers = 8;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
 
 RpcServer::RpcServer(Handler handler, RpcServerOptions options)
-    : handler_(std::move(handler)), options_(options) {}
+    : handler_(std::move(handler)), options_(std::move(options)) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
-Status RpcServer::Start() {
-  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+Status RpcServer::Listen() {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal("socket() failed");
   int one = 1;
@@ -49,47 +56,414 @@ Status RpcServer::Start() {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, options_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable bind_host \"" +
+                                   options_.bind_host + "\"");
+  }
   addr.sin_port = 0;  // ephemeral: the OS picks a free port
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    return Status::Internal("bind(127.0.0.1:0) failed");
+    return Status::Internal("bind(" + options_.bind_host + ":0) failed");
   }
   socklen_t addr_len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
     ::close(fd);
     return Status::Internal("getsockname() failed");
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 128) != 0) {
     ::close(fd);
     return Status::Internal("listen() failed");
   }
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status RpcServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  RINGDDE_RETURN_IF_ERROR(Listen());
   stopping_ = false;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.mode == RpcServerMode::kEventLoop) {
+    Status started = StartEventLoops();
+    if (!started.ok()) {
+      Stop();
+      return started;
+    }
+    return Status::OK();
+  }
+  accept_thread_ = std::thread([this] { AcceptLoopThreaded(); });
   return Status::OK();
 }
 
 void RpcServer::Stop() {
   stopping_ = true;
+
+  // Wake every event loop out of epoll_wait, then join.
+  for (auto& loop : loops_) {
+    if (loop->wake_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(loop->wake_fd, &one, sizeof(one));
+    }
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
+
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::vector<Connection> conns;
+
+  for (auto& loop : loops_) {
+    for (auto& entry : loop->conns) {
+      ::shutdown(entry.second->fd, SHUT_RDWR);
+      ::close(entry.second->fd);
+      live_connections_ -= 1;
+    }
+    loop->conns.clear();
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+  }
+  loops_.clear();
+
+  std::vector<ThreadedConnection> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns.swap(connections_);
   }
-  for (Connection& c : conns) {
+  for (ThreadedConnection& c : conns) {
     // Shutdown wakes the connection thread out of poll/recv; it then exits.
     ::shutdown(c.fd, SHUT_RDWR);
     if (c.thread.joinable()) c.thread.join();
     ::close(c.fd);
+    live_connections_ -= 1;
   }
 }
+
+// --- shared frame pump ------------------------------------------------------
+
+std::vector<uint8_t> RpcServer::TakeReplyBuffer(Conn* conn) {
+  if (conn->spare.empty()) return {};
+  std::vector<uint8_t> buffer = std::move(conn->spare.back());
+  conn->spare.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void RpcServer::RecycleReplyBuffer(Conn* conn, std::vector<uint8_t> buffer) {
+  if (conn->spare.size() >= kMaxSpareBuffers) return;
+  conn->spare.push_back(std::move(buffer));
+}
+
+bool RpcServer::DispatchBufferedFrames(Conn* conn) {
+  bool alive = true;
+  while (alive) {
+    size_t consumed = 0;
+    Status decoded = DecodeFrameInto(conn->in.data() + conn->parsed,
+                                     conn->in.size() - conn->parsed,
+                                     &conn->request, &consumed);
+    if (!decoded.ok()) {
+      if (decoded.code() != StatusCode::kOutOfRange) {
+        alive = false;  // malformed framing: never resynchronize
+      }
+      break;  // incomplete: await more bytes
+    }
+    conn->parsed += consumed;
+
+    const uint64_t seq = rpc_seq_.fetch_add(1);
+    if (wire_fault_hook_) {
+      WireFault fault = wire_fault_hook_(seq);
+      if (fault.extra_delay_seconds > 0.0 && !stopping_) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.extra_delay_seconds));
+      }
+      if (fault.drop) {
+        // Severed BEFORE dispatch: the request never executes, so the
+        // client's retry re-runs it exactly once end to end.
+        frames_dropped_ += 1;
+        alive = false;
+        break;
+      }
+    }
+
+    conn->reply.type = 0;
+    conn->reply.payload.clear();
+    Status handled = handler_(conn->request, &conn->reply);
+    std::vector<uint8_t> buffer = TakeReplyBuffer(conn);
+    const bool mux = conn->request.version == kWireProtocolVersionMux;
+    if (handled.ok()) {
+      if (mux) {
+        EncodeMuxFrame(conn->reply.type, conn->request.correlation_id,
+                       conn->reply.payload, &buffer);
+      } else {
+        EncodeFrame(conn->reply.type, conn->reply.payload, &buffer);
+      }
+    } else {
+      conn->reply.payload.clear();
+      EncodeStatusPayload(handled, &conn->reply.payload);
+      const uint8_t err = static_cast<uint8_t>(RpcType::kError);
+      if (mux) {
+        EncodeMuxFrame(err, conn->request.correlation_id,
+                       conn->reply.payload, &buffer);
+      } else {
+        EncodeFrame(err, conn->reply.payload, &buffer);
+      }
+    }
+    conn->out.push_back(std::move(buffer));
+    frames_served_ += 1;
+  }
+
+  // Compact the reassembly buffer in place: unparsed tail to the front,
+  // capacity kept for the next read.
+  if (conn->parsed > 0) {
+    const size_t remaining = conn->in.size() - conn->parsed;
+    if (remaining > 0) {
+      std::memmove(conn->in.data(), conn->in.data() + conn->parsed,
+                   remaining);
+    }
+    conn->in.resize(remaining);
+    conn->parsed = 0;
+  }
+  return alive;
+}
+
+bool RpcServer::FlushWrites(Conn* conn) {
+  while (!conn->out.empty()) {
+    iovec iov[kMaxIovecs];
+    int iov_count = 0;
+    for (auto it = conn->out.begin();
+         it != conn->out.end() && iov_count < kMaxIovecs; ++it) {
+      const size_t off = iov_count == 0 ? conn->out_head : 0;
+      iov[iov_count].iov_base = it->data() + off;
+      iov[iov_count].iov_len = it->size() - off;
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::sendmsg(conn->fd, &msg, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // socket full: the caller arms EPOLLOUT
+      }
+      return false;  // severed peer
+    }
+    wire_bytes_sent_ += static_cast<uint64_t>(n);
+    size_t written = static_cast<size_t>(n);
+    while (written > 0) {
+      std::vector<uint8_t>& front = conn->out.front();
+      const size_t avail = front.size() - conn->out_head;
+      if (written >= avail) {
+        written -= avail;
+        conn->out_head = 0;
+        RecycleReplyBuffer(conn, std::move(front));
+        conn->out.pop_front();
+      } else {
+        conn->out_head += written;
+        written = 0;
+      }
+    }
+  }
+  return true;
+}
+
+// --- event-loop mode --------------------------------------------------------
+
+Status RpcServer::StartEventLoops() {
+  if (!SetNonBlocking(listen_fd_)) {
+    return Status::Internal("failed to set listener nonblocking");
+  }
+  const int threads =
+      options_.event_loop_threads > 0 ? options_.event_loop_threads : 1;
+  for (int i = 0; i < threads; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->epoll_fd = ::epoll_create1(0);
+    if (loop->epoll_fd < 0) return Status::Internal("epoll_create1() failed");
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (loop->wake_fd < 0) return Status::Internal("eventfd() failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) != 0) {
+      return Status::Internal("epoll_ctl(wake_fd) failed");
+    }
+    loops_.push_back(std::move(loop));
+  }
+  // The listener lives in loop 0; accepted fds fan out round-robin.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::Internal("epoll_ctl(listen_fd) failed");
+  }
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { RunEventLoop(i); });
+  }
+  return Status::OK();
+}
+
+void RpcServer::AcceptReady(size_t loop_index) {
+  (void)loop_index;
+  while (!stopping_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: accepted everything pending
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    connections_accepted_ += 1;
+    live_connections_ += 1;
+
+    const size_t target = next_loop_.fetch_add(1) % loops_.size();
+    EventLoop& loop = *loops_[target];
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->last_active = MonotonicSeconds();
+    {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      loop.conns.emplace(fd, std::move(conn));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseConn(loop, fd);
+    }
+  }
+}
+
+void RpcServer::CloseConn(EventLoop& loop, int fd) {
+  std::unique_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    auto it = loop.conns.find(fd);
+    if (it == loop.conns.end()) return;
+    conn = std::move(it->second);
+    loop.conns.erase(it);
+  }
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  live_connections_ -= 1;
+  // `conn` (buffers and all) frees here — the slot recycles immediately,
+  // not at Stop().
+}
+
+void RpcServer::SweepIdle(EventLoop& loop, double now_seconds) {
+  std::vector<int> expired;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    for (const auto& entry : loop.conns) {
+      if (now_seconds - entry.second->last_active >
+          options_.idle_timeout_seconds) {
+        expired.push_back(entry.first);
+      }
+    }
+  }
+  for (int fd : expired) CloseConn(loop, fd);
+}
+
+void RpcServer::ServeEvent(EventLoop& loop, Conn* conn, uint32_t events) {
+  bool peer_gone = false;
+  if ((events & EPOLLIN) != 0) {
+    uint8_t chunk[65536];
+    while (true) {
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n <= 0) {
+        peer_gone = true;  // EOF or hard error
+        break;
+      }
+      conn->in.insert(conn->in.end(), chunk, chunk + n);
+      wire_bytes_received_ += static_cast<uint64_t>(n);
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+    }
+    conn->last_active = MonotonicSeconds();
+    // Serve whatever arrived before honoring an EOF: a client that
+    // half-closed after its last request still gets its replies.
+    const bool framing_ok = DispatchBufferedFrames(conn);
+    const bool write_ok = FlushWrites(conn);
+    if (!framing_ok || !write_ok || peer_gone) {
+      CloseConn(loop, conn->fd);
+      return;
+    }
+  } else if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(loop, conn->fd);
+    return;
+  }
+
+  if ((events & EPOLLOUT) != 0) {
+    if (!FlushWrites(conn)) {
+      CloseConn(loop, conn->fd);
+      return;
+    }
+  }
+
+  const bool want_write = !conn->out.empty();
+  if (want_write != conn->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0);
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_write = want_write;
+  }
+}
+
+void RpcServer::RunEventLoop(size_t loop_index) {
+  EventLoop& loop = *loops_[loop_index];
+  const int poll_ms =
+      options_.poll_interval_seconds > 0.0
+          ? static_cast<int>(options_.poll_interval_seconds * 1000.0)
+          : 50;
+  epoll_event events[64];
+  double last_sweep = MonotonicSeconds();
+  while (!stopping_) {
+    int n = ::epoll_wait(loop.epoll_fd, events, 64, poll_ms > 0 ? poll_ms : 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && !stopping_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_fd) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop.wake_fd, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_ && loop_index == 0) {
+        AcceptReady(loop_index);
+        continue;
+      }
+      Conn* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(loop.mu);
+        auto it = loop.conns.find(fd);
+        if (it != loop.conns.end()) conn = it->second.get();
+      }
+      if (conn != nullptr) ServeEvent(loop, conn, events[i].events);
+    }
+    const double now = MonotonicSeconds();
+    if (now - last_sweep >= options_.poll_interval_seconds) {
+      SweepIdle(loop, now);
+      last_sweep = now;
+    }
+  }
+}
+
+// --- thread-per-connection mode ---------------------------------------------
 
 void RpcServer::JoinFinished() {
   std::lock_guard<std::mutex> lock(conn_mu_);
@@ -97,6 +471,7 @@ void RpcServer::JoinFinished() {
     if (connections_[i].done->load()) {
       if (connections_[i].thread.joinable()) connections_[i].thread.join();
       ::close(connections_[i].fd);
+      live_connections_ -= 1;
       connections_[i] = std::move(connections_.back());
       connections_.pop_back();
     } else {
@@ -105,34 +480,36 @@ void RpcServer::JoinFinished() {
   }
 }
 
-void RpcServer::AcceptLoop() {
+void RpcServer::AcceptLoopThreaded() {
   const int poll_ms =
       static_cast<int>(options_.poll_interval_seconds * 1000.0);
   while (!stopping_) {
+    // Reap EVERY iteration (not only idle ones): a long accept burst must
+    // not let finished-connection slots pile up until Stop().
+    JoinFinished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     int rc = ::poll(&pfd, 1, poll_ms > 0 ? poll_ms : 50);
     if (rc < 0 && errno != EINTR) break;
-    if (rc <= 0 || (pfd.revents & POLLIN) == 0) {
-      JoinFinished();
-      continue;
-    }
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetNoDelay(fd);
     connections_accepted_ += 1;
+    live_connections_ += 1;
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::thread t([this, fd, done] {
-      ServeConnection(fd);
+      ServeConnectionThreaded(fd);
       done->store(true);
     });
     std::lock_guard<std::mutex> lock(conn_mu_);
-    connections_.push_back(Connection{fd, std::move(t), std::move(done)});
+    connections_.push_back(ThreadedConnection{fd, std::move(t),
+                                              std::move(done)});
   }
 }
 
-void RpcServer::ServeConnection(int fd) {
-  std::vector<uint8_t> buffer;
+void RpcServer::ServeConnectionThreaded(int fd) {
+  Conn conn;
+  conn.fd = fd;
   const int idle_ms =
       static_cast<int>(options_.idle_timeout_seconds * 1000.0);
   const int poll_ms =
@@ -140,56 +517,11 @@ void RpcServer::ServeConnection(int fd) {
   double idle_budget_ms = idle_ms;
 
   while (!stopping_) {
-    // Drain every complete frame already buffered before reading more.
-    size_t consumed = 0;
-    bool close_conn = false;
-    while (true) {
-      size_t frame_bytes = 0;
-      Result<Frame> frame = DecodeFrame(buffer.data() + consumed,
-                                        buffer.size() - consumed,
-                                        &frame_bytes);
-      if (!frame.ok()) {
-        if (frame.status().code() == StatusCode::kOutOfRange) break;
-        close_conn = true;  // malformed framing: never resynchronize
-        break;
-      }
-      consumed += frame_bytes;
-      idle_budget_ms = idle_ms;
-
-      const uint64_t seq = rpc_seq_.fetch_add(1);
-      if (wire_fault_hook_) {
-        WireFault fault = wire_fault_hook_(seq);
-        if (fault.extra_delay_seconds > 0.0 && !stopping_) {
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              fault.extra_delay_seconds));
-        }
-        if (fault.drop) {
-          // Severed BEFORE dispatch: the request never executes, so the
-          // client's retry re-runs it exactly once end to end.
-          frames_dropped_ += 1;
-          close_conn = true;
-          break;
-        }
-      }
-
-      Result<Frame> reply = handler_(*frame);
-      std::vector<uint8_t> out;
-      if (reply.ok()) {
-        EncodeFrame(reply->type, reply->payload, &out);
-      } else {
-        std::vector<uint8_t> payload;
-        EncodeStatusPayload(reply.status(), &payload);
-        EncodeFrame(static_cast<uint8_t>(RpcType::kError), payload, &out);
-      }
-      if (!WriteAll(fd, out.data(), out.size())) {
-        close_conn = true;
-        break;
-      }
-      frames_served_ += 1;
-      wire_bytes_sent_ += out.size();
-    }
-    if (consumed > 0) buffer.erase(buffer.begin(), buffer.begin() + consumed);
-    if (close_conn) break;
+    const bool framing_ok = DispatchBufferedFrames(&conn);
+    // Blocking socket: FlushWrites drains the whole queue (EAGAIN cannot
+    // happen), so replies are fully on the wire before the next read.
+    if (!FlushWrites(&conn)) break;
+    if (!framing_ok) break;
 
     pollfd pfd{fd, POLLIN, 0};
     int rc = ::poll(&pfd, 1, poll_ms > 0 ? poll_ms : 50);
@@ -205,8 +537,9 @@ void RpcServer::ServeConnection(int fd) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed or error
-    buffer.insert(buffer.end(), chunk, chunk + n);
+    conn.in.insert(conn.in.end(), chunk, chunk + n);
     wire_bytes_received_ += static_cast<uint64_t>(n);
+    idle_budget_ms = idle_ms;
   }
   ::shutdown(fd, SHUT_RDWR);
 }

@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -28,31 +31,67 @@ struct WireFault {
   double extra_delay_seconds = 0.0;
 };
 
+/// How the server realizes concurrency.
+enum class RpcServerMode {
+  /// Default: a small pool of epoll event-loop threads with nonblocking
+  /// sockets. Per-connection read/write reassembly buffers survive across
+  /// frames, replies are coalesced into writev batches, and connection
+  /// slots are recycled the moment a peer disconnects.
+  kEventLoop,
+  /// Legacy baseline: one blocking thread per accepted connection. Kept
+  /// for the e22 before/after comparison and as a semantics reference.
+  kThreadPerConnection,
+};
+
 struct RpcServerOptions {
   /// Idle deadline per connection: a peer that goes silent mid-frame for
   /// this long is disconnected (hung-peer guard; keeps ctest from wedging).
   double idle_timeout_seconds = 30.0;
-  /// Accept-loop poll granularity; also bounds Stop() latency.
+  /// Event/accept-loop poll granularity; also bounds Stop() latency and
+  /// the idle-sweep cadence.
   double poll_interval_seconds = 0.05;
+  /// Listen address (default loopback; set e.g. "0.0.0.0" to serve other
+  /// hosts — `ringdde_node --listen-host`).
+  std::string bind_host = "127.0.0.1";
+  RpcServerMode mode = RpcServerMode::kEventLoop;
+  /// Event-loop worker threads (kEventLoop only). Connections are
+  /// assigned round-robin at accept; each is owned by exactly one loop
+  /// thread, so per-connection state needs no locking.
+  int event_loop_threads = 2;
 };
 
-/// A minimal framed-RPC server over local TCP.
+/// A framed-RPC server over TCP.
 ///
-/// Binds 127.0.0.1 on an ephemeral port (port 0 — the OS picks; port()
-/// reports it), accepts connections on a background thread, and serves
-/// each connection on its own thread: read frames (sim/transport.h
-/// framing), dispatch the handler, write the reply frame. A handler error
-/// becomes a kError frame carrying the encoded Status; a malformed inbound
-/// frame closes the connection. Connections are persistent — one client
-/// issues many RPCs over one socket.
+/// Binds `bind_host` on an ephemeral port (port 0 — the OS picks; port()
+/// reports it) and serves length-prefixed frames (sim/transport.h): read
+/// frames, dispatch the handler, write the reply frame. Both frame
+/// versions are served — v1 (blocking channels, byte-identical to the
+/// pre-mux wire) and v2 (correlation-id frames from pipelined channels);
+/// replies echo the request's version and correlation id, so many requests
+/// may be in flight per connection and replies stay attributable. A
+/// handler error becomes a kError frame carrying the encoded Status; a
+/// malformed inbound frame closes the connection. Connections are
+/// persistent — one client issues many RPCs over one socket.
+///
+/// The default kEventLoop mode runs a small epoll worker pool over
+/// nonblocking sockets: per-connection reassembly buffers persist across
+/// frames (arbitrary fragmentation is reassembled without re-allocating),
+/// encoded replies are recycled through a per-connection free list and
+/// flushed as coalesced writev batches, and a disconnect releases the
+/// connection slot immediately. kThreadPerConnection serves each
+/// connection on a dedicated blocking thread (the pre-event-loop
+/// behavior); finished threads are reaped eagerly by the accept loop.
 ///
 /// Teardown is deterministic: Stop() closes the listener and every live
 /// connection, then joins all threads. The destructor calls Stop().
 class RpcServer {
  public:
-  /// Dispatch callback. Runs on connection threads — the handler is
-  /// responsible for its own synchronization.
-  using Handler = std::function<Result<Frame>(const Frame& request)>;
+  /// Dispatch callback: fill `*reply` (its payload vector is connection-
+  /// owned scratch whose capacity is reused across RPCs — assign into it)
+  /// or return an error to be sent as a kError frame. Runs on event-loop
+  /// or connection threads — the handler is responsible for its own
+  /// synchronization.
+  using Handler = std::function<Status(const Frame& request, Frame* reply)>;
 
   /// Optional wire-fault hook, consulted once per inbound frame with the
   /// server-wide rpc sequence number (0, 1, 2, ... in arrival order).
@@ -64,8 +103,8 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Binds + listens + starts the accept loop. Fails if already started or
-  /// if no ephemeral port could be bound.
+  /// Binds + listens + starts the serving threads. Fails if already
+  /// started or if no ephemeral port could be bound.
   Status Start();
 
   /// Stops accepting, severs every connection, joins all threads.
@@ -85,11 +124,74 @@ class RpcServer {
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t wire_bytes_received() const { return wire_bytes_received_; }
   uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  /// Currently-open connections. The slot-recycling regression gate:
+  /// after clients disconnect this must return to 0 while the server is
+  /// still running, in BOTH modes.
+  uint64_t live_connections() const { return live_connections_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Reaps finished connection threads (called from the accept loop).
+  // --- shared -------------------------------------------------------------
+  /// One connection's persistent transport state. Owned by exactly one
+  /// serving thread; every buffer survives across frames so steady-state
+  /// RPC serving allocates nothing.
+  struct Conn {
+    int fd = -1;
+    /// Read reassembly: bytes [parsed, in.size()) await framing. Compacted
+    /// by memmove (capacity kept) after each drain.
+    std::vector<uint8_t> in;
+    size_t parsed = 0;
+    /// Decode/dispatch scratch (payload capacity reused per frame).
+    Frame request;
+    Frame reply;
+    /// Encoded replies awaiting the socket, oldest first; out_head is the
+    /// byte offset already written of the front buffer.
+    std::deque<std::vector<uint8_t>> out;
+    size_t out_head = 0;
+    /// Recycled reply buffers (bounded free list).
+    std::vector<std::vector<uint8_t>> spare;
+    /// Event-loop bookkeeping.
+    double last_active = 0.0;
+    bool want_write = false;
+  };
+
+  /// Parses every complete frame in conn->in, dispatches, and queues
+  /// encoded replies. Returns false when the connection must close
+  /// (malformed frame or wire-fault drop).
+  bool DispatchBufferedFrames(Conn* conn);
+
+  /// Takes a recycled (or fresh) buffer for one encoded reply.
+  static std::vector<uint8_t> TakeReplyBuffer(Conn* conn);
+  static void RecycleReplyBuffer(Conn* conn, std::vector<uint8_t> buffer);
+
+  Status Listen();
+
+  // --- event-loop mode -----------------------------------------------------
+  struct EventLoop {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    /// Guards conns: inserted by the accepting loop thread, owned/erased
+    /// by this loop's thread.
+    std::mutex mu;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  };
+
+  Status StartEventLoops();
+  void RunEventLoop(size_t loop_index);
+  void AcceptReady(size_t loop_index);
+  /// Handles one readable/writable connection; closes it on failure.
+  void ServeEvent(EventLoop& loop, Conn* conn, uint32_t events);
+  /// Sends as much queued output as the socket accepts (coalesced writev).
+  /// Returns false on a dead peer.
+  bool FlushWrites(Conn* conn);
+  void CloseConn(EventLoop& loop, int fd);
+  void SweepIdle(EventLoop& loop, double now_seconds);
+
+  // --- thread-per-connection mode ------------------------------------------
+  void AcceptLoopThreaded();
+  void ServeConnectionThreaded(int fd);
+  /// Reaps finished connection threads (called from the accept loop every
+  /// iteration — finished slots recycle eagerly, not only at Stop()).
   void JoinFinished();
 
   Handler handler_;
@@ -99,15 +201,18 @@ class RpcServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
 
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<uint64_t> next_loop_{0};
+
+  std::thread accept_thread_;
   std::mutex conn_mu_;
-  struct Connection {
+  struct ThreadedConnection {
     int fd;
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
   };
-  std::vector<Connection> connections_;
+  std::vector<ThreadedConnection> connections_;
 
   std::atomic<uint64_t> rpc_seq_{0};
   std::atomic<uint64_t> connections_accepted_{0};
@@ -115,6 +220,7 @@ class RpcServer {
   std::atomic<uint64_t> frames_dropped_{0};
   std::atomic<uint64_t> wire_bytes_received_{0};
   std::atomic<uint64_t> wire_bytes_sent_{0};
+  std::atomic<uint64_t> live_connections_{0};
 };
 
 }  // namespace ringdde

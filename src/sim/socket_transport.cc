@@ -1,14 +1,18 @@
 #include "sim/socket_transport.h"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <thread>
+#include <utility>
 
 namespace ringdde {
 
@@ -37,10 +41,32 @@ bool SendAll(int fd, const uint8_t* data, size_t len) {
   return true;
 }
 
+Status ConnectTo(const std::string& host, uint16_t port, int* out_fd) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host \"" + host + "\"");
+  }
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect(" + host + ") refused");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::OK();
+}
+
 }  // namespace
 
+// --- SocketRpcChannel -------------------------------------------------------
+
 SocketRpcChannel::SocketRpcChannel(uint16_t port, SocketChannelOptions options)
-    : port_(port), options_(options) {}
+    : port_(port), options_(std::move(options)) {}
 
 SocketRpcChannel::~SocketRpcChannel() { Disconnect(); }
 
@@ -57,19 +83,7 @@ Status SocketRpcChannel::EnsureConnected(double deadline_left_seconds) {
   if (deadline_left_seconds <= 0.0) {
     return Status::TimedOut("rpc deadline exhausted before connect");
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::Internal("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port_);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::Unavailable("connect(127.0.0.1) refused");
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
+  RINGDDE_RETURN_IF_ERROR(ConnectTo(options_.host, port_, &fd_));
   read_buffer_.clear();
   stats_.reconnects += 1;
   return Status::OK();
@@ -126,8 +140,9 @@ Result<Frame> SocketRpcChannel::CallOnce(const std::vector<uint8_t>& encoded,
 }
 
 Result<Frame> SocketRpcChannel::Call(const Frame& request) {
-  std::vector<uint8_t> encoded;
-  EncodeFrame(request.type, request.payload, &encoded);
+  // EncodeFrame APPENDS — clear the reused scratch or stale frames pile up.
+  encode_buffer_.clear();
+  EncodeFrame(request.type, request.payload, &encode_buffer_);
 
   const double start = MonotonicSeconds();
   const double deadline = start + options_.rpc_deadline_seconds;
@@ -142,10 +157,10 @@ Result<Frame> SocketRpcChannel::Call(const Frame& request) {
       last = Status::TimedOut("rpc deadline exhausted across retries");
       break;
     }
-    Result<Frame> reply = CallOnce(encoded, left);
+    Result<Frame> reply = CallOnce(encode_buffer_, left);
     if (reply.ok()) {
       stats_.rpcs_sent += 1;
-      stats_.rpc_latency_seconds.push_back(MonotonicSeconds() - start);
+      stats_.rpc_latency_seconds.Add(MonotonicSeconds() - start);
       if (reply->type == static_cast<uint8_t>(RpcType::kError)) {
         return DecodeStatusPayload(reply->payload);
       }
@@ -160,6 +175,216 @@ Result<Frame> SocketRpcChannel::Call(const Frame& request) {
   stats_.rpcs_failed += 1;
   return last;
 }
+
+// --- MultiplexedRpcChannel --------------------------------------------------
+
+MultiplexedRpcChannel::MultiplexedRpcChannel(uint16_t port,
+                                             SocketChannelOptions options)
+    : port_(port), options_(std::move(options)) {}
+
+MultiplexedRpcChannel::~MultiplexedRpcChannel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisconnectLocked();
+}
+
+size_t MultiplexedRpcChannel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void MultiplexedRpcChannel::DisconnectLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  parsed_ = 0;
+}
+
+Status MultiplexedRpcChannel::EnsureConnectedLocked() {
+  if (fd_ >= 0) return Status::OK();
+  Status last = Status::Unavailable("no connect attempt");
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.reconnect_backoff_seconds));
+    }
+    last = ConnectTo(options_.host, port_, &fd_);
+    if (last.ok()) {
+      in_.clear();
+      parsed_ = 0;
+      stats_.reconnects += 1;
+      return Status::OK();
+    }
+    if (last.code() == StatusCode::kInvalidArgument) break;
+  }
+  return last;
+}
+
+void MultiplexedRpcChannel::FailAllLocked(const Status& status) {
+  for (auto& entry : pending_) {
+    Pending& p = entry.second;
+    if (p.done) continue;
+    p.done = true;
+    p.status = status;
+    stats_.rpcs_failed += 1;
+  }
+  DisconnectLocked();
+  cv_.notify_all();
+}
+
+Result<uint64_t> MultiplexedRpcChannel::Start(const Frame& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RINGDDE_RETURN_IF_ERROR(EnsureConnectedLocked());
+  const uint64_t cid = next_correlation_id_++;
+  encode_buffer_.clear();  // EncodeMuxFrame appends into the reused scratch.
+  EncodeMuxFrame(request.type, cid, request.payload.data(),
+                 request.payload.size(), &encode_buffer_);
+  if (!SendAll(fd_, encode_buffer_.data(), encode_buffer_.size())) {
+    Status severed = Status::Unavailable("peer severed connection on send");
+    FailAllLocked(severed);
+    return severed;
+  }
+  stats_.wire_bytes_sent += encode_buffer_.size();
+  Pending p;
+  p.start_seconds = MonotonicSeconds();
+  pending_.emplace(cid, std::move(p));
+  return cid;
+}
+
+Status MultiplexedRpcChannel::DrainFramesLocked() {
+  const double now = MonotonicSeconds();
+  while (true) {
+    size_t consumed = 0;
+    Status decoded = DecodeFrameInto(in_.data() + parsed_,
+                                     in_.size() - parsed_, &decode_scratch_,
+                                     &consumed);
+    if (!decoded.ok()) {
+      if (decoded.code() == StatusCode::kOutOfRange) break;  // incomplete
+      return decoded;  // poisoned framing
+    }
+    parsed_ += consumed;
+    auto it = pending_.find(decode_scratch_.correlation_id);
+    if (it == pending_.end() || it->second.done) {
+      continue;  // stale reply for an abandoned id: discard, stream is fine
+    }
+    Pending& p = it->second;
+    p.reply.version = decode_scratch_.version;
+    p.reply.type = decode_scratch_.type;
+    p.reply.correlation_id = decode_scratch_.correlation_id;
+    p.reply.payload.assign(decode_scratch_.payload.begin(),
+                           decode_scratch_.payload.end());
+    p.done = true;
+    p.status = Status::OK();
+    stats_.rpcs_sent += 1;
+    stats_.rpc_latency_seconds.Add(now - p.start_seconds);
+  }
+  if (parsed_ > 0) {
+    const size_t remaining = in_.size() - parsed_;
+    if (remaining > 0) {
+      std::memmove(in_.data(), in_.data() + parsed_, remaining);
+    }
+    in_.resize(remaining);
+    parsed_ = 0;
+  }
+  return Status::OK();
+}
+
+Status MultiplexedRpcChannel::PumpLocked(std::unique_lock<std::mutex>& lock,
+                                         double deadline_seconds) {
+  const int fd = fd_;
+  if (fd < 0) return Status::Unavailable("connection severed");
+  lock.unlock();
+
+  // Short poll slices so this caller re-checks its own completion (another
+  // frame in the same batch may have resolved it) and honors its deadline.
+  const double left = deadline_seconds - MonotonicSeconds();
+  const int wait_ms =
+      left > 0.0 ? std::min(50, static_cast<int>(left * 1000.0) + 1) : 1;
+  pollfd pfd{fd, POLLIN, 0};
+  int rc = ::poll(&pfd, 1, wait_ms);
+  bool readable = rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+
+  uint8_t chunk[65536];
+  ssize_t n = 0;
+  bool peer_gone = false;
+  if (readable) {
+    n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      n = 0;
+    } else if (n <= 0) {
+      peer_gone = true;
+    }
+  }
+
+  lock.lock();
+  if (fd_ != fd) return Status::OK();  // severed by another caller meanwhile
+  if (peer_gone) {
+    return Status::Unavailable("peer closed connection with RPCs in flight");
+  }
+  if (n > 0) {
+    in_.insert(in_.end(), chunk, chunk + n);
+    stats_.wire_bytes_received += static_cast<uint64_t>(n);
+    Status drained = DrainFramesLocked();
+    if (!drained.ok()) return drained;
+    if (!pending_.empty()) cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status MultiplexedRpcChannel::Await(uint64_t correlation_id, Frame* reply) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = pending_.find(correlation_id);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument("Await on unknown correlation id");
+  }
+  const double deadline =
+      it->second.start_seconds + options_.rpc_deadline_seconds;
+
+  while (!it->second.done) {
+    if (MonotonicSeconds() >= deadline) {
+      // The whole stream is suspect once one reply is late: fail every
+      // in-flight RPC (this one included) and sever.
+      FailAllLocked(Status::TimedOut("rpc deadline exceeded awaiting reply"));
+      break;
+    }
+    if (reader_active_) {
+      // Someone else is pumping the socket; sleep until they hand off or
+      // our reply lands.
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+    } else {
+      reader_active_ = true;
+      Status pumped = PumpLocked(lock, deadline);
+      reader_active_ = false;
+      cv_.notify_all();
+      if (!pumped.ok()) FailAllLocked(pumped);
+    }
+    // pending_ may have rehashed (Start inserts) while we waited.
+    it = pending_.find(correlation_id);
+    if (it == pending_.end()) {
+      return Status::Internal("pending rpc entry vanished");
+    }
+  }
+
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (!p.status.ok()) return p.status;
+  if (p.reply.type == static_cast<uint8_t>(RpcType::kError)) {
+    return DecodeStatusPayload(p.reply.payload);
+  }
+  *reply = std::move(p.reply);
+  return Status::OK();
+}
+
+Result<Frame> MultiplexedRpcChannel::Call(const Frame& request) {
+  Result<uint64_t> cid = Start(request);
+  if (!cid.ok()) return cid.status();
+  Frame reply;
+  RINGDDE_RETURN_IF_ERROR(Await(*cid, &reply));
+  return reply;
+}
+
+// --- LoopbackChannel --------------------------------------------------------
 
 LoopbackChannel::LoopbackChannel(Handler handler)
     : handler_(std::move(handler)) {}
@@ -191,7 +416,7 @@ Result<Frame> LoopbackChannel::Call(const Frame& request) {
       DecodeFrame(reply_bytes.data(), reply_bytes.size(), &consumed);
   if (!out.ok()) return out.status();
   stats_.rpcs_sent += 1;
-  stats_.rpc_latency_seconds.push_back(MonotonicSeconds() - start);
+  stats_.rpc_latency_seconds.Add(MonotonicSeconds() - start);
   if (out->type == static_cast<uint8_t>(RpcType::kError)) {
     // Transport-level success: the error is the operation's, mirroring
     // SocketRpcChannel's accounting.

@@ -1,18 +1,23 @@
 #ifndef RINGDDE_SIM_SOCKET_TRANSPORT_H_
 #define RINGDDE_SIM_SOCKET_TRANSPORT_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "sim/latency_reservoir.h"
 #include "sim/transport.h"
 
 namespace ringdde {
 
 /// Client-side telemetry of one RPC channel. These are the REAL wire
-/// numbers the E20 bench reports against the sim's charged byte counts.
+/// numbers the E20/E22 benches report against the sim's charged byte
+/// counts.
 struct RpcChannelStats {
   uint64_t rpcs_sent = 0;
   uint64_t rpcs_failed = 0;
@@ -21,8 +26,10 @@ struct RpcChannelStats {
   /// Connections (re)established — first connect counts 1; every recovery
   /// after a server-side drop or severed socket adds another.
   uint64_t reconnects = 0;
-  /// Wall-clock seconds per completed RPC, in completion order.
-  std::vector<double> rpc_latency_seconds;
+  /// Wall-clock seconds per completed RPC. Bounded: a fixed-capacity
+  /// deterministic reservoir (plus exact count/sum), so a channel's
+  /// footprint stays constant no matter how many RPCs it issues.
+  LatencyReservoir rpc_latency_seconds;
 };
 
 /// One request/response exchange with a ring node service. The request's
@@ -41,6 +48,8 @@ class RpcChannel {
 };
 
 struct SocketChannelOptions {
+  /// Server address (IPv4 dotted quad).
+  std::string host = "127.0.0.1";
   /// Per-RPC deadline: connect + send + await-reply must finish inside it.
   double rpc_deadline_seconds = 20.0;
   /// Transport-level attempts per Call (reconnect between attempts). The
@@ -51,9 +60,10 @@ struct SocketChannelOptions {
   double reconnect_backoff_seconds = 0.02;
 };
 
-/// Framed RPC over one persistent TCP connection to 127.0.0.1:port, with
-/// lazy connect and reconnect-retry. NOT thread-safe: one channel per
-/// client thread (matching CostContext ownership rules).
+/// Framed RPC over one persistent TCP connection to host:port, with lazy
+/// connect and reconnect-retry. One v1 frame in flight at a time. NOT
+/// thread-safe: one channel per client thread (matching CostContext
+/// ownership rules).
 class SocketRpcChannel final : public RpcChannel {
  public:
   SocketRpcChannel(uint16_t port, SocketChannelOptions options = {});
@@ -79,6 +89,88 @@ class SocketRpcChannel final : public RpcChannel {
   SocketChannelOptions options_;
   int fd_ = -1;
   std::vector<uint8_t> read_buffer_;
+  /// Request-encoding scratch, reused across Calls (capacity persists).
+  std::vector<uint8_t> encode_buffer_;
+  RpcChannelStats stats_;
+};
+
+/// Pipelined RPC over one persistent TCP connection: many RPCs may be in
+/// flight simultaneously, matched to their replies by the v2 frame's
+/// correlation id (sim/transport.h). Two usage styles:
+///
+///   - Start(request) -> cid, then Await(cid, &reply): issue a window of
+///     requests back to back, then collect — one connection, one syscall
+///     batch, no per-RPC round-trip serialization.
+///   - Call(request): Start+Await fused (blocking, drop-in RpcChannel).
+///
+/// Thread-safe: many threads may Start/Await/Call concurrently over the
+/// same channel. There is NO dedicated reader thread — whichever caller is
+/// awaiting takes over the socket and pumps replies for everyone (relevant
+/// on small machines: 64 channels add zero threads). Failure model is
+/// fail-all-on-sever: a malformed frame, EOF, send error, or an Await
+/// deadline marks every in-flight RPC failed and drops the connection
+/// (no transparent retry — pipelined requests are not re-issued; callers
+/// see Unavailable/TimedOut and decide). The next Start reconnects.
+class MultiplexedRpcChannel final : public RpcChannel {
+ public:
+  MultiplexedRpcChannel(uint16_t port, SocketChannelOptions options = {});
+  ~MultiplexedRpcChannel() override;
+
+  MultiplexedRpcChannel(const MultiplexedRpcChannel&) = delete;
+  MultiplexedRpcChannel& operator=(const MultiplexedRpcChannel&) = delete;
+
+  /// Sends `request` without waiting; the returned correlation id claims
+  /// the reply via Await. Connects lazily (with reconnect-backoff).
+  Result<uint64_t> Start(const Frame& request);
+
+  /// Blocks until the reply for `correlation_id` arrives (or the RPC
+  /// deadline, measured from Start, expires). A kError reply is decoded
+  /// into its Status. Each id may be awaited exactly once.
+  Status Await(uint64_t correlation_id, Frame* reply);
+
+  /// Start + Await fused.
+  Result<Frame> Call(const Frame& request) override;
+
+  /// NOT synchronized with in-flight callers: read after quiescence.
+  const RpcChannelStats& stats() const override { return stats_; }
+
+  /// In-flight RPCs (Started, not yet Awaited-and-returned).
+  size_t pending() const;
+
+ private:
+  struct Pending {
+    bool done = false;
+    Status status = Status::OK();
+    Frame reply;
+    double start_seconds = 0.0;
+  };
+
+  Status EnsureConnectedLocked();
+  /// Reads from the socket (lock released around blocking IO) and resolves
+  /// buffered reply frames. Returns an error when the stream is dead.
+  Status PumpLocked(std::unique_lock<std::mutex>& lock,
+                    double deadline_seconds);
+  /// Resolves every buffered complete frame against pending_.
+  Status DrainFramesLocked();
+  /// Marks every in-flight RPC failed and severs the connection.
+  void FailAllLocked(const Status& status);
+  void DisconnectLocked();
+
+  uint16_t port_;
+  SocketChannelOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool reader_active_ = false;  ///< one awaiting caller pumps the socket
+  int fd_ = -1;
+  uint64_t next_correlation_id_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  /// Read reassembly (bytes [parsed_, in_.size()) await framing) and
+  /// encode/decode scratch — all reused across RPCs.
+  std::vector<uint8_t> in_;
+  size_t parsed_ = 0;
+  std::vector<uint8_t> encode_buffer_;
+  Frame decode_scratch_;
   RpcChannelStats stats_;
 };
 

@@ -6,42 +6,87 @@
 
 namespace ringdde {
 
-void EncodeFrame(uint8_t type, const uint8_t* payload, size_t payload_len,
-                 std::vector<uint8_t>* out) {
-  const uint32_t length = static_cast<uint32_t>(payload_len) + 2;
-  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+namespace {
+
+void AppendFrameHeader(uint32_t length, uint8_t version, uint8_t type,
+                       std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(length & 0xFF));
   out->push_back(static_cast<uint8_t>((length >> 8) & 0xFF));
   out->push_back(static_cast<uint8_t>((length >> 16) & 0xFF));
   out->push_back(static_cast<uint8_t>((length >> 24) & 0xFF));
-  out->push_back(kWireProtocolVersion);
+  out->push_back(version);
   out->push_back(type);
+}
+
+}  // namespace
+
+void EncodeFrame(uint8_t type, const uint8_t* payload, size_t payload_len,
+                 std::vector<uint8_t>* out) {
+  const uint32_t length = static_cast<uint32_t>(payload_len) + 2;
+  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+  AppendFrameHeader(length, kWireProtocolVersion, type, out);
   out->insert(out->end(), payload, payload + payload_len);
 }
 
-Result<Frame> DecodeFrame(const uint8_t* data, size_t len, size_t* consumed) {
+void EncodeMuxFrame(uint8_t type, uint64_t correlation_id,
+                    const uint8_t* payload, size_t payload_len,
+                    std::vector<uint8_t>* out) {
+  // length covers version + type + correlation id + payload.
+  const uint32_t length = static_cast<uint32_t>(payload_len) + 10;
+  out->reserve(out->size() + kMuxFrameHeaderBytes + payload_len);
+  AppendFrameHeader(length, kWireProtocolVersionMux, type, out);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((correlation_id >> (8 * i)) & 0xFF));
+  }
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+Status DecodeFrameInto(const uint8_t* data, size_t len, Frame* frame,
+                       size_t* consumed) {
   if (len < 4) return Status::OutOfRange("incomplete frame: short header");
   const uint32_t length = static_cast<uint32_t>(data[0]) |
                           static_cast<uint32_t>(data[1]) << 8 |
                           static_cast<uint32_t>(data[2]) << 16 |
                           static_cast<uint32_t>(data[3]) << 24;
-  // length covers version + type + payload; anything smaller lies.
+  // length covers at least version + type; anything smaller lies.
   if (length < 2) return Status::InvalidArgument("frame length undersized");
-  const size_t payload_len = static_cast<size_t>(length) - 2;
-  if (payload_len > kMaxFramePayload) {
+  if (static_cast<size_t>(length) - 2 > kMaxFramePayload + 8) {
     return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
   }
   if (len < 4 + static_cast<size_t>(length)) {
     return Status::OutOfRange("incomplete frame: short body");
   }
-  if (data[4] != kWireProtocolVersion) {
+  const uint8_t version = data[4];
+  size_t header = 0;
+  uint64_t correlation_id = 0;
+  if (version == kWireProtocolVersion) {
+    header = kFrameHeaderBytes;
+  } else if (version == kWireProtocolVersionMux) {
+    if (length < 10) {
+      return Status::InvalidArgument("mux frame too short for correlation id");
+    }
+    header = kMuxFrameHeaderBytes;
+    for (int i = 0; i < 8; ++i) {
+      correlation_id |= static_cast<uint64_t>(data[6 + i]) << (8 * i);
+    }
+  } else {
     return Status::InvalidArgument("unsupported wire protocol version");
   }
-  Frame frame;
-  frame.type = data[5];
-  frame.payload.assign(data + kFrameHeaderBytes,
-                       data + kFrameHeaderBytes + payload_len);
+  const size_t payload_len = 4 + static_cast<size_t>(length) - header;
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
+  }
+  frame->type = data[5];
+  frame->version = version;
+  frame->correlation_id = correlation_id;
+  frame->payload.assign(data + header, data + header + payload_len);
   if (consumed != nullptr) *consumed = 4 + static_cast<size_t>(length);
+  return Status::OK();
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t len, size_t* consumed) {
+  Frame frame;
+  RINGDDE_RETURN_IF_ERROR(DecodeFrameInto(data, len, &frame, consumed));
   return frame;
 }
 
@@ -51,7 +96,7 @@ void EncodeStatusPayload(const Status& status, std::vector<uint8_t>* out) {
   enc.PutLengthPrefixedBytes(
       reinterpret_cast<const uint8_t*>(status.message().data()),
       status.message().size());
-  *out = enc.buffer();
+  *out = enc.Take();
 }
 
 Status DecodeStatusPayload(const std::vector<uint8_t>& payload) {

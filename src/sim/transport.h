@@ -82,25 +82,40 @@ class Transport {
 
 // --- Wire framing -----------------------------------------------------------
 //
-// Every RPC between ring processes is one frame:
+// Every RPC between ring processes is one frame. Two frame versions share
+// the wire:
 //
-//   [u32 length LE] [u8 version] [u8 type] [payload bytes]
+//   v1:  [u32 length LE] [u8 version=1] [u8 type] [payload bytes]
+//   v2:  [u32 length LE] [u8 version=2] [u8 type] [u64 correlation id LE]
+//        [payload bytes]
 //
-// `length` counts version + type + payload. Payloads are core/wire.h
-// codec messages. The version byte lets the format evolve; a peer speaking
-// a different version is rejected at the frame layer, before any payload
-// decoding. Frames are bounded (kMaxFramePayload) so a length-lying header
-// can never drive an allocation or an over-read.
+// `length` counts everything after itself (version + type + optional
+// correlation id + payload). Payloads are core/wire.h codec messages and
+// are IDENTICAL across versions — v2 only wraps them with a correlation
+// id so many RPCs can be in flight on one connection at once (the
+// multiplexed channel matches replies to requests by id; replies echo the
+// request's version and id). v1 frames stay byte-for-byte what they were
+// before v2 existed, so the sim-vs-wire conformance ladder and every
+// committed byte charge are untouched. A peer speaking an unknown version
+// is rejected at the frame layer, before any payload decoding. Frames are
+// bounded (kMaxFramePayload) so a length-lying header can never drive an
+// allocation or an over-read.
 
-/// Protocol version stamped into every frame.
+/// Protocol version stamped into every blocking-channel frame.
 inline constexpr uint8_t kWireProtocolVersion = 1;
+
+/// Extension version carrying a correlation id for pipelined RPCs.
+inline constexpr uint8_t kWireProtocolVersionMux = 2;
 
 /// Hard ceiling on one frame's payload (16 MiB — a full DensityEstimate at
 /// maximal knot counts is ~3 orders of magnitude smaller).
 inline constexpr size_t kMaxFramePayload = 16u << 20;
 
-/// Frame header bytes on the wire before the payload.
+/// v1 frame header bytes on the wire before the payload.
 inline constexpr size_t kFrameHeaderBytes = 6;
+
+/// v2 frame header bytes (v1 header + 8-byte correlation id).
+inline constexpr size_t kMuxFrameHeaderBytes = 14;
 
 /// Message-type tags. Requests echo their tag in the success response;
 /// failures answer with kError carrying an encoded Status.
@@ -117,13 +132,19 @@ enum class RpcType : uint8_t {
   kError = 0x7F,      ///< response-only: encoded Status payload
 };
 
-/// One decoded frame.
+/// One decoded frame. `version`/`correlation_id` are transport-layer
+/// concerns: handlers receive the inner (type, payload) and never see
+/// them; servers echo the request's version and id onto the reply frame.
 struct Frame {
   uint8_t type = 0;
   std::vector<uint8_t> payload;
+  /// Which frame version carried this payload (1 or 2).
+  uint8_t version = kWireProtocolVersion;
+  /// Meaningful only when version == kWireProtocolVersionMux.
+  uint64_t correlation_id = 0;
 };
 
-/// Appends the complete on-wire encoding of one frame to `out`.
+/// Appends the complete on-wire v1 encoding of one frame to `out`.
 void EncodeFrame(uint8_t type, const uint8_t* payload, size_t payload_len,
                  std::vector<uint8_t>* out);
 inline void EncodeFrame(uint8_t type, const std::vector<uint8_t>& payload,
@@ -131,14 +152,40 @@ inline void EncodeFrame(uint8_t type, const std::vector<uint8_t>& payload,
   EncodeFrame(type, payload.data(), payload.size(), out);
 }
 
-/// Decodes one frame from the front of [data, data+len).
+/// Appends the complete on-wire v2 (correlation-id) encoding to `out`.
+void EncodeMuxFrame(uint8_t type, uint64_t correlation_id,
+                    const uint8_t* payload, size_t payload_len,
+                    std::vector<uint8_t>* out);
+inline void EncodeMuxFrame(uint8_t type, uint64_t correlation_id,
+                           const std::vector<uint8_t>& payload,
+                           std::vector<uint8_t>* out) {
+  EncodeMuxFrame(type, correlation_id, payload.data(), payload.size(), out);
+}
+
+/// Encodes `frame` in its own version (v1 or v2, echoing correlation_id).
+inline void EncodeFrameAs(const Frame& frame, std::vector<uint8_t>* out) {
+  if (frame.version == kWireProtocolVersionMux) {
+    EncodeMuxFrame(frame.type, frame.correlation_id, frame.payload, out);
+  } else {
+    EncodeFrame(frame.type, frame.payload, out);
+  }
+}
+
+/// Decodes one frame (either version) from the front of [data, data+len).
 ///  - OutOfRange: the buffer holds a syntactically valid prefix but not the
 ///    whole frame yet (socket readers keep reading).
 ///  - InvalidArgument: malformed beyond repair (undersized length, payload
-///    over kMaxFramePayload, version mismatch) — readers must drop the
+///    over kMaxFramePayload, unknown version) — readers must drop the
 ///    connection, never resynchronize.
 /// On success `*consumed` is the total frame size in bytes.
 Result<Frame> DecodeFrame(const uint8_t* data, size_t len, size_t* consumed);
+
+/// Allocation-reusing decode: identical contract to DecodeFrame, but the
+/// payload is assigned into `frame->payload` (reusing its capacity) instead
+/// of constructing a fresh vector — the per-RPC scratch path the event-loop
+/// server and the multiplexed channel decode through.
+Status DecodeFrameInto(const uint8_t* data, size_t len, Frame* frame,
+                       size_t* consumed);
 
 /// kError frame payload: [u8 code][varint len][message bytes]. Shared by
 /// the server (encode) and every channel (decode).

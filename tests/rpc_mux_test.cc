@@ -1,0 +1,360 @@
+// RpcServer/MultiplexedRpcChannel hardening: adversarial fragmentation
+// (frames delivered one byte at a time, split mid-header, many frames
+// interleaved in one write), malformed-stream teardown, out-of-order
+// pipelined awaits, a many-channel soak, and the connection-slot reaping
+// contract — all exercised against BOTH server modes (epoll event loop
+// and thread-per-connection), since the reassembly path must behave
+// identically regardless of who pumps the socket.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/rpc_server.h"
+#include "sim/socket_transport.h"
+
+namespace ringdde {
+namespace {
+
+bool SmokeRun() {
+  const char* v = std::getenv("RINGDDE_SMOKE");
+  return v != nullptr && v[0] == '1';
+}
+
+Status EchoHandler(const Frame& request, Frame* reply) {
+  reply->type = request.type;
+  reply->payload = request.payload;
+  return Status::OK();
+}
+
+/// Raw client socket: lets tests control exactly which bytes hit the
+/// server's reassembly buffer and when.
+class RawClient {
+ public:
+  explicit RawClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const uint8_t* data, size_t len) {
+    size_t sent = 0;
+    while (sent < len) {
+      ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Sends `bytes` in `chunk`-byte pieces with a scheduling yield between
+  /// them, forcing the server to reassemble across many partial reads.
+  bool SendFragmented(const std::vector<uint8_t>& bytes, size_t chunk) {
+    for (size_t off = 0; off < bytes.size(); off += chunk) {
+      const size_t n = std::min(chunk, bytes.size() - off);
+      if (!Send(bytes.data() + off, n)) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  /// Reads until `want` complete frames decode (or error/EOF/timeout).
+  bool ReadFrames(size_t want, std::vector<Frame>* out) {
+    while (out->size() < want) {
+      size_t consumed = 0;
+      Frame frame;
+      Status decoded = DecodeFrameInto(buffer_.data() + parsed_,
+                                       buffer_.size() - parsed_, &frame,
+                                       &consumed);
+      if (decoded.ok()) {
+        parsed_ += consumed;
+        out->push_back(std::move(frame));
+        continue;
+      }
+      if (decoded.code() != StatusCode::kOutOfRange) {
+        return false;  // poisoned stream
+      }
+      uint8_t chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+    }
+    return true;
+  }
+
+  /// True once the server closes this connection (recv returns 0).
+  bool WaitForClose() {
+    uint8_t chunk[256];
+    while (true) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout or error, not a clean close
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<uint8_t> buffer_;
+  size_t parsed_ = 0;
+};
+
+class RpcMuxTest : public ::testing::TestWithParam<RpcServerMode> {
+ protected:
+  RpcServerOptions Options() const {
+    RpcServerOptions options;
+    options.mode = GetParam();
+    return options;
+  }
+};
+
+TEST_P(RpcMuxTest, OneByteAtATimeFragmentation) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.connected());
+
+    // A v1 and a v2 frame, every byte its own send().
+    std::vector<uint8_t> wire;
+    const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 6, 7};
+    EncodeFrame(static_cast<uint8_t>(RpcType::kHello), payload, &wire);
+    EncodeMuxFrame(static_cast<uint8_t>(RpcType::kHello), 0xC1D, payload,
+                   &wire);
+    ASSERT_TRUE(raw.SendFragmented(wire, 1));
+
+    std::vector<Frame> replies;
+    ASSERT_TRUE(raw.ReadFrames(2, &replies));
+    EXPECT_EQ(replies[0].version, kWireProtocolVersion);
+    EXPECT_EQ(replies[0].payload, payload);
+    EXPECT_EQ(replies[1].version, kWireProtocolVersionMux);
+    EXPECT_EQ(replies[1].correlation_id, 0xC1Du);
+    EXPECT_EQ(replies[1].payload, payload);
+  }
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, SplitMidHeaderAcrossWrites) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.connected());
+
+    std::vector<uint8_t> wire;
+    const std::vector<uint8_t> payload(100, 0x5A);
+    EncodeMuxFrame(static_cast<uint8_t>(RpcType::kHello), 99, payload, &wire);
+    // First write ends inside the length prefix; second ends inside the
+    // correlation id; the rest arrives in one piece.
+    ASSERT_TRUE(raw.Send(wire.data(), 3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(raw.Send(wire.data() + 3, 8));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(raw.Send(wire.data() + 11, wire.size() - 11));
+
+    std::vector<Frame> replies;
+    ASSERT_TRUE(raw.ReadFrames(1, &replies));
+    EXPECT_EQ(replies[0].correlation_id, 99u);
+    EXPECT_EQ(replies[0].payload, payload);
+  }
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, InterleavedCorrelationIdsInOneWrite) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.connected());
+
+    // Eight pipelined requests, distinct ids and payloads, one send().
+    constexpr uint64_t kCount = 8;
+    std::vector<uint8_t> wire;
+    for (uint64_t cid = 1; cid <= kCount; ++cid) {
+      std::vector<uint8_t> payload(16, static_cast<uint8_t>(cid));
+      EncodeMuxFrame(static_cast<uint8_t>(RpcType::kHello), cid, payload,
+                     &wire);
+    }
+    ASSERT_TRUE(raw.Send(wire.data(), wire.size()));
+
+    std::vector<Frame> replies;
+    ASSERT_TRUE(raw.ReadFrames(kCount, &replies));
+    for (const Frame& reply : replies) {
+      ASSERT_GE(reply.correlation_id, 1u);
+      ASSERT_LE(reply.correlation_id, kCount);
+      EXPECT_EQ(reply.payload,
+                std::vector<uint8_t>(
+                    16, static_cast<uint8_t>(reply.correlation_id)));
+    }
+  }
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, MalformedFrameSeversConnection) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    // Length prefix claims 4GiB — a poisoned stream the server must drop
+    // rather than buffer.
+    const uint8_t poison[] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x01};
+    ASSERT_TRUE(raw.Send(poison, sizeof(poison)));
+    EXPECT_TRUE(raw.WaitForClose());
+  }
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, PipelinedAwaitsOutOfOrder) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    MultiplexedRpcChannel channel(server.port());
+    constexpr int kInflight = 16;
+    std::vector<uint64_t> cids;
+    for (int i = 0; i < kInflight; ++i) {
+      Frame req;
+      req.type = static_cast<uint8_t>(RpcType::kHello);
+      req.payload.assign(32, static_cast<uint8_t>(i));
+      Result<uint64_t> cid = channel.Start(req);
+      ASSERT_TRUE(cid.ok()) << cid.status().ToString();
+      cids.push_back(*cid);
+    }
+    // Await newest-first: replies for earlier ids must be parked and
+    // matched by correlation id, not by arrival order.
+    for (int i = kInflight - 1; i >= 0; --i) {
+      Frame reply;
+      Status status = channel.Await(cids[static_cast<size_t>(i)], &reply);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      EXPECT_EQ(reply.payload,
+                std::vector<uint8_t>(32, static_cast<uint8_t>(i)));
+    }
+    EXPECT_EQ(channel.pending(), 0u);
+  }
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, SoakManyChannelsManyRpcs) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+  const int kChannels = SmokeRun() ? 8 : 64;
+  const int kRpcsPerChannel = SmokeRun() ? 100 : 1000;
+  constexpr size_t kWindow = 8;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(kChannels));
+  for (int c = 0; c < kChannels; ++c) {
+    threads.emplace_back([&server, &failures, kRpcsPerChannel, c] {
+      MultiplexedRpcChannel channel(server.port());
+      Frame req;
+      req.type = static_cast<uint8_t>(RpcType::kHello);
+      req.payload.assign(64, static_cast<uint8_t>(c));
+      std::deque<uint64_t> window;
+      Frame reply;
+      for (int i = 0; i < kRpcsPerChannel; ++i) {
+        Result<uint64_t> cid = channel.Start(req);
+        if (!cid.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        window.push_back(*cid);
+        if (window.size() >= kWindow) {
+          if (!channel.Await(window.front(), &reply).ok() ||
+              reply.payload != req.payload) {
+            failures.fetch_add(1);
+            return;
+          }
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        if (!channel.Await(window.front(), &reply).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        window.pop_front();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.frames_served(),
+            static_cast<uint64_t>(kChannels) * kRpcsPerChannel);
+  server.Stop();
+}
+
+TEST_P(RpcMuxTest, ConnectionSlotsReapedEagerly) {
+  RpcServer server(EchoHandler, Options());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Churn: sequential connect -> one RPC -> disconnect. Slots must be
+  // recycled as connections close, not hoarded until Stop().
+  constexpr int kChurn = 12;
+  for (int i = 0; i < kChurn; ++i) {
+    SocketRpcChannel channel(server.port());
+    Frame req;
+    req.type = static_cast<uint8_t>(RpcType::kHello);
+    req.payload = {static_cast<uint8_t>(i)};
+    ASSERT_TRUE(channel.Call(req).ok());
+  }
+  EXPECT_EQ(server.connections_accepted(), static_cast<uint64_t>(kChurn));
+
+  // Teardown is asynchronous (the server notices the close on its next
+  // poll/epoll round) — but it must converge to zero live connections
+  // while the server keeps running.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.live_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.live_connections(), 0u);
+
+  // And a fresh connection still works after the churn.
+  SocketRpcChannel channel(server.port());
+  Frame req;
+  req.type = static_cast<uint8_t>(RpcType::kHello);
+  req.payload = {0x77};
+  ASSERT_TRUE(channel.Call(req).ok());
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, RpcMuxTest,
+    ::testing::Values(RpcServerMode::kEventLoop,
+                      RpcServerMode::kThreadPerConnection),
+    [](const ::testing::TestParamInfo<RpcServerMode>& info) {
+      return info.param == RpcServerMode::kEventLoop ? "epoll"
+                                                     : "threadconn";
+    });
+
+}  // namespace
+}  // namespace ringdde

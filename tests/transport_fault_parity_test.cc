@@ -115,8 +115,9 @@ TEST_P(TransportFaultParityTest, SocketBackendMatchesSimUnderFaultPlan) {
   // Socket rung: an identical service behind a real TCP server.
   RingRpcService wire_service(spec);
   ASSERT_TRUE(wire_service.Init().ok());
-  RpcServer server(
-      [&wire_service](const Frame& f) { return wire_service.Handle(f); });
+  RpcServer server([&wire_service](const Frame& f, Frame* reply) {
+    return wire_service.Handle(f, reply);
+  });
   ASSERT_TRUE(server.Start().ok());
   {
     SocketRpcChannel channel(server.port());
@@ -144,8 +145,9 @@ TEST_P(TransportFaultParityTest, WireFaultsChangeTransportNotResults) {
   // every dropped call, leaving the protocol results bit-identical.
   RingRpcService wire_service(spec);
   ASSERT_TRUE(wire_service.Init().ok());
-  RpcServer server(
-      [&wire_service](const Frame& f) { return wire_service.Handle(f); });
+  RpcServer server([&wire_service](const Frame& f, Frame* reply) {
+    return wire_service.Handle(f, reply);
+  });
   FaultOptions wire_faults;
   wire_faults.drop_probability = 0.15;
   wire_faults.delay_probability = 0.10;

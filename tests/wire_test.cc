@@ -242,6 +242,100 @@ TEST(FrameTest, GarbledBytesNeverCrash) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// v2 (correlation-id) frames: the multiplexed channel's wire format. Same
+// hardening contract as v1, plus the id must round-trip exactly and a v2
+// header lying about its length (too short to hold the id) must poison the
+// stream rather than mis-slice the payload.
+
+std::vector<uint8_t> EncodedMuxProbeFrame(uint64_t correlation_id) {
+  const std::vector<uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  std::vector<uint8_t> out;
+  EncodeMuxFrame(static_cast<uint8_t>(RpcType::kProbe), correlation_id,
+                 payload, &out);
+  return out;
+}
+
+TEST(MuxFrameTest, RoundTripsCorrelationId) {
+  for (uint64_t cid : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEF},
+                       ~uint64_t{0}}) {
+    const std::vector<uint8_t> wire = EncodedMuxProbeFrame(cid);
+    EXPECT_EQ(wire.size(), kMuxFrameHeaderBytes + 5u);
+    size_t consumed = 0;
+    Result<Frame> decoded = DecodeFrame(wire.data(), wire.size(), &consumed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(decoded->version, kWireProtocolVersionMux);
+    EXPECT_EQ(decoded->correlation_id, cid);
+    EXPECT_EQ(decoded->type, static_cast<uint8_t>(RpcType::kProbe));
+    EXPECT_EQ(decoded->payload,
+              (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF, 0x01}));
+  }
+}
+
+TEST(MuxFrameTest, EveryTruncationIsOutOfRangeNeverGarbage) {
+  const std::vector<uint8_t> wire = EncodedMuxProbeFrame(0x1234567890ABCDEF);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    size_t consumed = 0;
+    Status status = DecodeFrame(wire.data(), len, &consumed).status();
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange) << "len=" << len;
+  }
+}
+
+TEST(MuxFrameTest, LengthTooShortForCorrelationIdRejected) {
+  // A v2 frame whose length cannot cover version+type+id is structurally
+  // impossible — corrupt stream, not a short read.
+  for (uint32_t lied = 2; lied < 10; ++lied) {
+    std::vector<uint8_t> wire = EncodedMuxProbeFrame(7);
+    wire[0] = static_cast<uint8_t>(lied);
+    wire[1] = wire[2] = wire[3] = 0;
+    size_t consumed = 0;
+    EXPECT_TRUE(DecodeFrame(wire.data(), wire.size(), &consumed)
+                    .status()
+                    .IsInvalidArgument())
+        << "length=" << lied;
+  }
+}
+
+TEST(MuxFrameTest, EncodeAppendsSoFramesConcatenate) {
+  // Both encoders APPEND: encoding into a non-empty buffer builds a valid
+  // back-to-back stream (and reused scratch buffers must be cleared first —
+  // the contract the pipelined channel relies on).
+  std::vector<uint8_t> wire;
+  EncodeMuxFrame(static_cast<uint8_t>(RpcType::kProbe), 11,
+                 std::vector<uint8_t>{0x01}, &wire);
+  EncodeMuxFrame(static_cast<uint8_t>(RpcType::kEstimate), 12,
+                 std::vector<uint8_t>{0x02, 0x03}, &wire);
+  size_t consumed = 0;
+  Result<Frame> first = DecodeFrame(wire.data(), wire.size(), &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->correlation_id, 11u);
+  size_t consumed2 = 0;
+  Result<Frame> second = DecodeFrame(wire.data() + consumed,
+                                     wire.size() - consumed, &consumed2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->correlation_id, 12u);
+  EXPECT_EQ(consumed + consumed2, wire.size());
+}
+
+TEST(MuxFrameTest, GarbledBytesNeverCrash) {
+  const std::vector<uint8_t> pristine = EncodedMuxProbeFrame(42);
+  Rng rng(0xF423);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> wire = pristine;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      wire[rng.UniformU64(wire.size())] ^=
+          static_cast<uint8_t>(1u << rng.UniformU64(8));
+    }
+    size_t consumed = 0;
+    Result<Frame> got = DecodeFrame(wire.data(), wire.size(), &consumed);
+    if (got.ok()) {
+      EXPECT_LE(consumed, wire.size());
+    }
+  }
+}
+
 TEST(FrameTest, StatusPayloadRoundTripsEveryCode) {
   const std::vector<Status> originals = {
       Status::InvalidArgument("frame says: \"it broke\""),

@@ -43,11 +43,14 @@ void Usage(const char* prog) {
       "usage: %s [--peers=N] [--ring-seed=S] [--net-seed=S]\n"
       "          [--probes=M] [--rounds=R] [--quantiles=Q] [--retries=A]\n"
       "          [--sketch-levels=K]\n"
+      "          [--listen-host=ADDR] [--server-mode=epoll|threads]\n"
+      "          [--loop-threads=N]\n"
       "          [--fault-drop=P] [--fault-crash=P] [--fault-seed=S]\n"
       "          [--wire-drop=P] [--wire-delay=P] [--wire-delay-mean=SEC]\n"
       "          [--wire-seed=S]\n"
       "Serves a deterministic ring deployment over framed RPCs on an\n"
-      "ephemeral 127.0.0.1 port (printed as RINGDDE_NODE LISTENING ...).\n",
+      "ephemeral port bound to --listen-host (default 127.0.0.1; use\n"
+      "0.0.0.0 to serve other hosts), printed as RINGDDE_NODE LISTENING.\n",
       prog);
 }
 
@@ -55,6 +58,7 @@ void Usage(const char* prog) {
 
 int main(int argc, char** argv) {
   ringdde::DeploymentSpec spec;
+  ringdde::RpcServerOptions server_options;
   double wire_drop = 0.0, wire_delay = 0.0, wire_delay_mean = 0.01;
   uint64_t wire_seed = 0x3173;
 
@@ -80,6 +84,20 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--sketch-levels", &v)) {
       spec.sketch_levels =
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--listen-host", &v)) {
+      server_options.bind_host = v;
+    } else if (ParseFlag(argv[i], "--server-mode", &v)) {
+      if (v == "epoll") {
+        server_options.mode = ringdde::RpcServerMode::kEventLoop;
+      } else if (v == "threads") {
+        server_options.mode = ringdde::RpcServerMode::kThreadPerConnection;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--loop-threads", &v)) {
+      server_options.event_loop_threads =
+          static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--fault-drop", &v)) {
       spec.faults_enabled = true;
       spec.faults.drop_probability = std::strtod(v.c_str(), nullptr);
@@ -110,9 +128,10 @@ int main(int argc, char** argv) {
   }
 
   ringdde::RpcServer server(
-      [&service](const ringdde::Frame& request) {
-        return service.Handle(request);
-      });
+      [&service](const ringdde::Frame& request, ringdde::Frame* reply) {
+        return service.Handle(request, reply);
+      },
+      server_options);
 
   // Wire-level faults reuse the deterministic fault-plan hashing: the
   // verdict for rpc i is a pure function of (wire_seed, i), realized as a
@@ -143,11 +162,14 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
 
-  // The launcher greps this exact line for the ephemeral port.
-  std::printf("RINGDDE_NODE LISTENING port=%u peers=%llu fingerprint=%016llx\n",
-              server.port(),
-              static_cast<unsigned long long>(spec.peers),
-              static_cast<unsigned long long>(service.Fingerprint()));
+  // The launcher greps this exact line for the ephemeral port (`port=` and
+  // the fields before it are load-bearing; host= is appended info).
+  std::printf(
+      "RINGDDE_NODE LISTENING port=%u peers=%llu fingerprint=%016llx "
+      "host=%s\n",
+      server.port(), static_cast<unsigned long long>(spec.peers),
+      static_cast<unsigned long long>(service.Fingerprint()),
+      server_options.bind_host.c_str());
   std::fflush(stdout);
 
   while (!g_signaled && !service.shutdown_requested()) {
